@@ -1,0 +1,79 @@
+//! Ablation A2: namespace tokenization (paper §4.1).
+//!
+//! BXSA refers to namespaces by (scope depth, index) instead of repeating
+//! prefix strings. This bench builds a namespace-heavy document (many
+//! qualified elements under a handful of declarations — the shape of a
+//! WS-* message) and compares encoding through BXSA's tokenized
+//! references against textual XML's repeated prefixes, plus the resulting
+//! sizes as custom throughput.
+
+use bxdm::{AtomicValue, Document, Element};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A WS-*-shaped document: `n` qualified leaf elements under three
+/// namespace declarations.
+fn namespace_heavy(n: usize) -> Document {
+    let mut root = Element::component("soapenv:Envelope")
+        .with_namespace("soapenv", "http://schemas.xmlsoap.org/soap/envelope/")
+        .with_namespace("wsa", "http://www.w3.org/2005/08/addressing")
+        .with_namespace("d", "http://bxsoap.example.org/lead");
+    let mut body = Element::component("soapenv:Body");
+    for i in 0..n {
+        body.push_child(
+            Element::component("d:record")
+                .with_attr("wsa:IsReferenceParameter", "true")
+                .with_child(Element::leaf("d:seq", AtomicValue::I64(i as i64)))
+                .with_child(Element::leaf("d:v", AtomicValue::F64(i as f64 * 0.25))),
+        );
+    }
+    root.push_child(body);
+    Document::with_root(root)
+}
+
+fn bench_tokenization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenization");
+    for &n in &[100usize, 2_000] {
+        let doc = namespace_heavy(n);
+        let bxsa_len = bxsa::encode(&doc).expect("encode").len();
+        let Ok(xml) = xmltext::to_string(&doc);
+        // Surface the size effect in the report line.
+        let id_suffix = format!("{n}records_bxsa{bxsa_len}B_xml{}B", xml.len());
+
+        group.bench_with_input(
+            BenchmarkId::new("bxsa_tokenized_encode", &id_suffix),
+            &doc,
+            |b, d| b.iter(|| bxsa::encode(d).expect("encode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xml_prefixed_encode", &id_suffix),
+            &doc,
+            |b, d| {
+                b.iter(|| {
+                    let Ok(s) = xmltext::to_string(d);
+                    s
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bxsa_tokenized_decode", &id_suffix),
+            &bxsa::encode(&doc).expect("encode"),
+            |b, bytes| b.iter(|| bxsa::decode(bytes).expect("decode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xml_prefixed_decode", &id_suffix),
+            &xml,
+            |b, text| b.iter(|| xmltext::parse(text).expect("parse")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_tokenization
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation A3: variable-length size integers vs fixed-width fields.
+//!
+//! BXSA spends a VLS on every size, count and length field (Figure 2).
+//! This bench quantifies the cpu cost of that choice against raw
+//! fixed-width u32 fields, for the small values that dominate real
+//! documents and for large ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xbs::vls::{read_vls, vls_len, write_vls};
+
+fn values(kind: &str, n: usize) -> Vec<u64> {
+    match kind {
+        // Name lengths, attribute counts: almost always < 128.
+        "small" => (0..n as u64).map(|i| i % 100).collect(),
+        // Frame sizes of array-heavy documents.
+        "large" => (0..n as u64).map(|i| 10_000 + i * 97).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_vls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vls");
+    let n = 10_000usize;
+    for kind in ["small", "large"] {
+        let vals = values(kind, n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("vls_write", kind), &vals, |b, vals| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(n * 5);
+                for &v in vals {
+                    write_vls(&mut out, v);
+                }
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("u32_write", kind), &vals, |b, vals| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(n * 4);
+                for &v in vals {
+                    out.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+                out
+            })
+        });
+
+        let mut encoded = Vec::new();
+        for &v in &vals {
+            write_vls(&mut encoded, v);
+        }
+        group.bench_with_input(BenchmarkId::new("vls_read", kind), &encoded, |b, buf| {
+            b.iter(|| {
+                let mut pos = 0;
+                let mut sum = 0u64;
+                while pos < buf.len() {
+                    let (v, used) = read_vls(&buf[pos..], pos).expect("read");
+                    sum = sum.wrapping_add(v);
+                    pos += used;
+                }
+                sum
+            })
+        });
+
+        // Size effect: bytes per field.
+        let total: usize = vals.iter().map(|&v| vls_len(v)).sum();
+        let fixed = n * 4;
+        // Criterion has no direct "report a number" hook; encode the
+        // space saving in the id of a trivial bench.
+        group.bench_function(
+            BenchmarkId::new(
+                "space",
+                format!("{kind}_vls{total}B_vs_u32{fixed}B"),
+            ),
+            |b| b.iter(|| total.min(fixed)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_vls
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Figure 4 reproduction: message response time for small binary data
+//! sets (model size 0..1000) on the LAN.
+//!
+//! Paper's findings (§6.2): "SOAP over BXSA/TCP achieves superior
+//! performance over other schemes"; XML/HTTP "performs well when the
+//! message is fairly small" but grows steeply with size; "the high
+//! response time by the SOAP with GridFTP data channel scheme is due to
+//! the expensive authentication and the SSL handshake".
+//!
+//! Run with: `cargo run --release -p bench --bin fig4_small_lan`
+
+use bench::schemes::{response_time, Scheme};
+use bench::workload::SMALL_MODEL_SIZES;
+use bench::{CpuCosts, Workload};
+use netsim::NetworkProfile;
+
+fn main() {
+    let lan = NetworkProfile::lan();
+    let schemes = Scheme::figure4_set();
+
+    println!("Figure 4: response time (µs) vs model size, LAN (RTT 0.2 ms)");
+    print!("{:>10}", "# pairs");
+    for s in &schemes {
+        print!(" {:>28}", s.label());
+    }
+    println!();
+
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for &model_size in SMALL_MODEL_SIZES.iter() {
+        let w = Workload::prepare(model_size, 42);
+        let cpu = CpuCosts::measure(&w, 15);
+        print!("{model_size:>10}");
+        let mut row = Vec::new();
+        for s in &schemes {
+            let out = response_time(*s, &lan, &w, &cpu);
+            row.push(out.response.as_micros_f64());
+            print!(" {:>28.1}", out.response.as_micros_f64());
+        }
+        println!();
+        table.push(row);
+    }
+
+    // Shape checks. Column order follows figure4_set():
+    // [GridFTP(1), XML/HTTP, SOAP+HTTP, BXSA/TCP]
+    let (grid, xml, http, bxsa) = (0usize, 1usize, 2usize, 3usize);
+    let first = &table[0];
+    let last = &table[table.len() - 1];
+    let mut pass = true;
+    pass &= check(
+        "BXSA/TCP fastest at every size",
+        table
+            .iter()
+            .all(|r| r[bxsa] <= r[grid] && r[bxsa] <= r[xml] && r[bxsa] <= r[http]),
+    );
+    pass &= check(
+        "GridFTP slowest at every size (auth dominates)",
+        table
+            .iter()
+            .all(|r| r[grid] >= r[xml] && r[grid] >= r[http] && r[grid] >= r[bxsa]),
+    );
+    pass &= check(
+        "XML/HTTP cheaper than the separated HTTP scheme for small messages",
+        first[xml] < first[http] && table[1][xml] < table[1][http],
+    );
+    pass &= check(
+        "XML/HTTP response grows with size faster than BXSA/TCP",
+        (last[xml] - first[xml]) > 2.0 * (last[bxsa] - first[bxsa]),
+    );
+    pass &= check(
+        "BXSA/TCP stays latency-bound across the sweep (< 10x growth)",
+        last[bxsa] < first[bxsa] * 10.0,
+    );
+
+    // The paper's Figure 4 shows XML/HTTP eventually crossing above the
+    // separated SOAP+HTTP scheme ("even more expensive than the separated
+    // solution"). Our Rust XML codec is orders of magnitude faster than a
+    // 2006 C++ validating parser, so the crossover lands beyond model
+    // size 1000; locate it to confirm the shape survives, just shifted.
+    let mut crossover = None;
+    for model_size in [2_000usize, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000] {
+        let w = Workload::prepare(model_size, 42);
+        let cpu = CpuCosts::measure(&w, 5);
+        let t_xml = response_time(Scheme::SoapXmlHttp, &lan, &w, &cpu).response;
+        let t_http = response_time(Scheme::SoapHttpData, &lan, &w, &cpu).response;
+        if t_xml > t_http {
+            crossover = Some(model_size);
+            break;
+        }
+    }
+    match crossover {
+        Some(size) => println!(
+            "[PASS] XML/HTTP crosses above SOAP+HTTP at model size <= {size} \
+             (paper: within 0..1000 on 2006-era XML parsers)"
+        ),
+        None => {
+            println!("[FAIL] XML/HTTP never crossed above SOAP+HTTP by model size 200000");
+            pass = false;
+        }
+    }
+    std::process::exit(if pass { 0 } else { 1 });
+}
+
+fn check(what: &str, ok: bool) -> bool {
+    println!("[{}] {what}", if ok { "PASS" } else { "FAIL" });
+    ok
+}

@@ -1,0 +1,82 @@
+//! Figure 6 reproduction: invocation bandwidth for large binary data on
+//! the WAN (IU ↔ Chicago path, RTT 5.75 ms).
+//!
+//! Paper's findings (§6.2): "the ordering has partially changed. The
+//! parallel transport of GridFTP begins to show its benefit ... not
+//! restricted by the bandwidth of a single TCP stream"; "both SOAP over
+//! BXSA/TCP and SOAP with HTTP data channel have similar performance.
+//! They are still restricted by the bandwidth of a single TCP stream."
+//!
+//! Run with: `cargo run --release -p bench --bin fig6_large_wan`
+
+use bench::schemes::{response_time, Scheme};
+use bench::workload::LARGE_MODEL_SIZES;
+use bench::{CpuCosts, Workload};
+use netsim::NetworkProfile;
+
+fn main() {
+    let wan = NetworkProfile::wan();
+    let schemes = [
+        Scheme::SoapGridFtp { streams: 16 },
+        Scheme::SoapBxsaTcp,
+        Scheme::SoapGridFtp { streams: 4 },
+        Scheme::SoapHttpData,
+        Scheme::SoapGridFtp { streams: 1 },
+    ];
+
+    println!("Figure 6: bandwidth ((double,int) pairs/s) vs model size, WAN (RTT 5.75 ms)");
+    print!("{:>10}", "# pairs");
+    for s in &schemes {
+        print!(" {:>28}", s.label());
+    }
+    println!();
+
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for (i, &model_size) in LARGE_MODEL_SIZES.iter().enumerate() {
+        let w = Workload::prepare(model_size, 42);
+        let reps = if i >= 5 { 2 } else { 5 };
+        let cpu = CpuCosts::measure(&w, reps);
+        print!("{model_size:>10}");
+        let mut row = Vec::new();
+        for s in &schemes {
+            let out = response_time(*s, &wan, &w, &cpu);
+            row.push(out.pairs_per_sec());
+            print!(" {:>28.0}", out.pairs_per_sec());
+        }
+        println!();
+        table.push(row);
+    }
+
+    let (g16, bxsa, g4, http, g1) = (0usize, 1usize, 2usize, 3usize, 4usize);
+    let last = &table[table.len() - 1];
+    let mut pass = true;
+    pass &= check(
+        "striped GridFTP (16) beats every single-stream scheme at the top size",
+        last[g16] > last[bxsa] && last[g16] > last[http] && last[g16] > last[g1],
+    );
+    pass &= check(
+        "more streams help on the WAN: 16 > 4 > 1",
+        last[g16] > last[g4] && last[g4] > last[g1],
+    );
+    pass &= check(
+        "BXSA/TCP and SOAP+HTTP are similar (both window-limited)",
+        last[bxsa] / last[http] < 2.0 && last[http] / last[bxsa] < 2.0,
+    );
+    let single_stream_bytes = last[bxsa] * 12.0;
+    let window_rate = wan.rwnd as f64 / wan.rtt.as_secs_f64();
+    pass &= check(
+        "single-stream schemes pinned near the window ceiling, far below link capacity",
+        single_stream_bytes < wan.link_bw * 0.6
+            && (single_stream_bytes - window_rate).abs() / window_rate < 0.5,
+    );
+    pass &= check(
+        "GridFTP still loses at the smallest size (auth not yet amortized)",
+        table[0][g16] < table[0][bxsa],
+    );
+    std::process::exit(if pass { 0 } else { 1 });
+}
+
+fn check(what: &str, ok: bool) -> bool {
+    println!("[{}] {what}", if ok { "PASS" } else { "FAIL" });
+    ok
+}

@@ -1,0 +1,96 @@
+//! Table 1 reproduction: serialization size of the binary data set with
+//! model size = 1000.
+//!
+//! Paper's rows: Native 12000 B (0%), BXSA 12156 B (1.3%), netCDF
+//! 12268 B (2.2%), XML 1.0 23896 B (99.1%). The XML row used a
+//! namespace-free encoding with the shortest possible tag per array item,
+//! so this harness serializes with the same options.
+//!
+//! Run with: `cargo run --release -p bench --bin table1_sizes`
+
+use bench::Workload;
+use xmltext::XmlWriteOptions;
+
+fn main() {
+    let w = Workload::prepare(1000, 42);
+    let native = w.native_bytes();
+
+    // The paper's XML variant: namespace free, one-character item tags,
+    // no type attributes.
+    let minimal_xml = xmltext::to_string_with(
+        &w.request_doc,
+        &XmlWriteOptions {
+            emit_type_info: false,
+            item_tag: "i".into(),
+            ..Default::default()
+        },
+    )
+    .expect("infallible")
+    .into_bytes();
+
+    println!("Table 1: serialization size of the binary data set (model size = 1000)");
+    println!("{:<24} {:>10} {:>10}", "Format", "Size (B)", "Overhead");
+    let mut rows = vec![
+        ("Native representation", native),
+        ("BXSA", w.bxsa_bytes.len()),
+        ("netCDF", w.netcdf_bytes.len()),
+        ("XML 1.0 (minimal tags)", minimal_xml.len()),
+    ];
+    // Also report the typed XML the SOAP engine actually sends.
+    rows.push(("XML 1.0 (typed, SOAP)", w.xml_bytes.len()));
+
+    for (name, size) in &rows {
+        let overhead = 100.0 * (*size as f64 - native as f64) / native as f64;
+        println!("{name:<24} {size:>10} {overhead:>9.1}%");
+    }
+
+    // Shape checks against the paper's claims.
+    let bxsa_overhead = pct(w.bxsa_bytes.len(), native);
+    let netcdf_overhead = pct(w.netcdf_bytes.len(), native);
+    let xml_overhead = pct(minimal_xml.len(), native);
+    let mut pass = true;
+    pass &= check(
+        "BXSA overhead is insignificant (paper: 1.3%)",
+        bxsa_overhead < 5.0,
+    );
+    pass &= check(
+        "netCDF overhead is insignificant (paper: 2.2%)",
+        netcdf_overhead < 5.0,
+    );
+    pass &= check(
+        "XML overhead is dominated by tag pairs (paper: 99.1%)",
+        xml_overhead > 60.0,
+    );
+    // The paper's own ratio is 23896/12156 = 1.97x, so demand > 1.8x.
+    pass &= check(
+        "ordering: native < BXSA < netCDF-class << XML",
+        w.bxsa_bytes.len() > native && minimal_xml.len() * 10 > 18 * w.bxsa_bytes.len(),
+    );
+    // XML overhead grows linearly with model size (paper §6.1).
+    let w4 = Workload::prepare(4000, 42);
+    let minimal_xml4 = xmltext::to_string_with(
+        &w4.request_doc,
+        &XmlWriteOptions {
+            emit_type_info: false,
+            item_tag: "i".into(),
+            ..Default::default()
+        },
+    )
+    .expect("infallible");
+    let per_item_1k = (minimal_xml.len() - 200) as f64 / 1000.0;
+    let per_item_4k = (minimal_xml4.len() - 200) as f64 / 4000.0;
+    pass &= check(
+        "XML overhead linear in model size",
+        (per_item_1k - per_item_4k).abs() / per_item_1k < 0.1,
+    );
+    std::process::exit(if pass { 0 } else { 1 });
+}
+
+fn pct(size: usize, native: usize) -> f64 {
+    100.0 * (size as f64 - native as f64) / native as f64
+}
+
+fn check(what: &str, ok: bool) -> bool {
+    println!("[{}] {what}", if ok { "PASS" } else { "FAIL" });
+    ok
+}

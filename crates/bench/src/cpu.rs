@@ -1,0 +1,118 @@
+//! Measured CPU costs.
+//!
+//! Everything here is *measured on the running machine*, not modeled:
+//! the harnesses time the real codecs over the real workload and inject
+//! the durations into the virtual-time composition. This keeps the one
+//! cost the paper identifies as dominant — "the conversion between
+//! floating-point numbers and their ASCII representation" (§6.2) —
+//! genuine rather than assumed.
+
+use std::time::{Duration, Instant};
+
+use netcdf3::NcFile;
+
+use crate::workload::{netcdf_file, Workload};
+
+/// Per-operation CPU durations for one workload size.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCosts {
+    /// bXDM → XML 1.0 text.
+    pub xml_encode: Duration,
+    /// XML 1.0 text → bXDM (typed recovery included).
+    pub xml_decode: Duration,
+    /// bXDM → BXSA frames.
+    pub bxsa_encode: Duration,
+    /// BXSA frames → bXDM.
+    pub bxsa_decode: Duration,
+    /// Dataset → netCDF-3 bytes.
+    pub netcdf_encode: Duration,
+    /// netCDF-3 bytes → dataset.
+    pub netcdf_decode: Duration,
+    /// The server's per-value verification sweep.
+    pub verify: Duration,
+}
+
+/// Time `f`, taking the minimum of `reps` runs (minimum is the standard
+/// low-noise estimator for deterministic workloads).
+pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best
+}
+
+impl CpuCosts {
+    /// Measure every codec path over a prepared workload.
+    ///
+    /// `reps` trades precision for harness runtime; the Figure 4 harness
+    /// uses more repetitions than the 64 MB points of Figures 5/6.
+    pub fn measure(w: &Workload, reps: usize) -> CpuCosts {
+        let reps = reps.max(1);
+        let xml_encode = time_min(reps, || {
+            let Ok(s) = xmltext::to_string(&w.request_doc);
+            s
+        });
+        let xml_text = std::str::from_utf8(&w.xml_bytes).expect("xml is utf8");
+        let xml_decode = time_min(reps, || xmltext::parse(xml_text).expect("parse"));
+        let bxsa_encode = time_min(reps, || bxsa::encode(&w.request_doc).expect("encode"));
+        let bxsa_decode = time_min(reps, || bxsa::decode(&w.bxsa_bytes).expect("decode"));
+        let netcdf_encode = time_min(reps, || {
+            netcdf_file(&w.index, &w.values).to_bytes().expect("nc")
+        });
+        let netcdf_decode = time_min(reps, || {
+            NcFile::from_bytes(&w.netcdf_bytes).expect("nc parse")
+        });
+        let verify = time_min(reps, || bxsoap::verify_dataset(&w.index, &w.values));
+        CpuCosts {
+            xml_encode,
+            xml_decode,
+            bxsa_encode,
+            bxsa_decode,
+            netcdf_encode,
+            netcdf_decode,
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_costs_dominate_binary_costs() {
+        // The paper's core observation, measured live: the textual codec
+        // is far more expensive than the binary one for numeric data.
+        let w = Workload::prepare(20_000, 5);
+        let costs = CpuCosts::measure(&w, 3);
+        assert!(
+            costs.xml_encode > costs.bxsa_encode * 3,
+            "xml encode {:?} should dwarf bxsa encode {:?}",
+            costs.xml_encode,
+            costs.bxsa_encode
+        );
+        assert!(
+            costs.xml_decode > costs.bxsa_decode * 3,
+            "xml decode {:?} should dwarf bxsa decode {:?}",
+            costs.xml_decode,
+            costs.bxsa_decode
+        );
+    }
+
+    #[test]
+    fn time_min_is_minimum() {
+        let mut calls = 0;
+        let d = time_min(5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+}

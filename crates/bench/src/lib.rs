@@ -1,0 +1,28 @@
+//! # bench — the experiment harnesses for the paper's evaluation (§6)
+//!
+//! Each table/figure has a binary that regenerates it:
+//!
+//! | artifact | binary | what it shows |
+//! |----------|--------|---------------|
+//! | Table 1  | `table1_sizes` | serialization size & overhead, model size 1000 |
+//! | Figure 4 | `fig4_small_lan` | small-message response time on the LAN |
+//! | Figure 5 | `fig5_large_lan` | large-message bandwidth on the LAN |
+//! | Figure 6 | `fig6_large_wan` | large-message bandwidth on the WAN |
+//!
+//! Methodology (see DESIGN.md "Substitutions"): response times compose
+//! **measured CPU costs** — real serialization, parsing, netCDF codec
+//! and verification work executed on this machine — with **simulated
+//! network/disk/authentication durations** from the calibrated `netsim`
+//! models. The absolute numbers therefore differ from the paper's 2006
+//! testbed, but the forces that shape the curves (float↔ASCII conversion
+//! growth, per-message fixed costs, window-limited streams) are all
+//! present, so who-wins/where-crossovers-fall is reproducible. Criterion
+//! micro-benches (`benches/`) cover the ablations A1–A6.
+
+pub mod cpu;
+pub mod schemes;
+pub mod workload;
+
+pub use cpu::CpuCosts;
+pub use schemes::{Scheme, SchemeOutcome};
+pub use workload::Workload;

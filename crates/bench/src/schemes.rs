@@ -1,0 +1,216 @@
+//! Virtual-time composition of the four evaluated schemes (§6).
+//!
+//! Each scheme's response time is assembled exactly as the paper
+//! describes its test programs, mixing **measured** CPU durations (the
+//! [`crate::cpu::CpuCosts`] inputs) with **simulated** network, disk and
+//! authentication durations from `netsim`/`gridftp`.
+
+use gridftp::{GridFtpConfig, GridFtpSession};
+use netsim::{NetworkProfile, SimTime, TcpFlow};
+
+use crate::cpu::CpuCosts;
+use crate::workload::Workload;
+
+/// Bytes of HTTP request+response header framing per exchange.
+const HTTP_OVERHEAD: usize = 250;
+
+/// The communication schemes of Figures 4–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Unified: SOAP over BXSA on raw TCP.
+    SoapBxsaTcp,
+    /// Conventional: SOAP over textual XML on HTTP.
+    SoapXmlHttp,
+    /// Separated: SOAP control + netCDF file fetched over HTTP.
+    SoapHttpData,
+    /// Separated: SOAP control + netCDF file fetched over GridFTP with
+    /// `streams` parallel data channels.
+    SoapGridFtp {
+        /// Parallel TCP data streams.
+        streams: u32,
+    },
+}
+
+impl Scheme {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::SoapBxsaTcp => "SOAP over BXSA/TCP".into(),
+            Scheme::SoapXmlHttp => "SOAP over XML/HTTP".into(),
+            Scheme::SoapHttpData => "SOAP + HTTP".into(),
+            Scheme::SoapGridFtp { streams } => {
+                format!("SOAP + GridFTP ({streams} stream{})", if *streams == 1 { "" } else { "s" })
+            }
+        }
+    }
+
+    /// The full scheme list of Figure 5 (LAN, large messages).
+    pub fn figure5_set() -> Vec<Scheme> {
+        vec![
+            Scheme::SoapBxsaTcp,
+            Scheme::SoapHttpData,
+            Scheme::SoapGridFtp { streams: 1 },
+            Scheme::SoapGridFtp { streams: 4 },
+            Scheme::SoapGridFtp { streams: 16 },
+            Scheme::SoapXmlHttp,
+        ]
+    }
+
+    /// The scheme list of Figure 6 (WAN, large messages).
+    pub fn figure6_set() -> Vec<Scheme> {
+        vec![
+            Scheme::SoapGridFtp { streams: 16 },
+            Scheme::SoapBxsaTcp,
+            Scheme::SoapGridFtp { streams: 4 },
+            Scheme::SoapHttpData,
+            Scheme::SoapGridFtp { streams: 1 },
+        ]
+    }
+
+    /// The scheme list of Figure 4 (LAN, small messages).
+    pub fn figure4_set() -> Vec<Scheme> {
+        vec![
+            Scheme::SoapGridFtp { streams: 1 },
+            Scheme::SoapXmlHttp,
+            Scheme::SoapHttpData,
+            Scheme::SoapBxsaTcp,
+        ]
+    }
+}
+
+/// The result of evaluating a scheme at one workload size.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeOutcome {
+    /// End-to-end virtual response time at the client.
+    pub response: SimTime,
+    /// Model size evaluated.
+    pub model_size: usize,
+}
+
+impl SchemeOutcome {
+    /// Bandwidth in (double, int) pairs per second — the y-axis of
+    /// Figures 5 and 6 ("the bandwidth which equals the model size
+    /// divided by the response time").
+    pub fn pairs_per_sec(&self) -> f64 {
+        self.model_size as f64 / self.response.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Evaluate one scheme over one workload on one network.
+pub fn response_time(
+    scheme: Scheme,
+    profile: &NetworkProfile,
+    w: &Workload,
+    cpu: &CpuCosts,
+) -> SchemeOutcome {
+    let tcp = TcpFlow::new(profile.tcp());
+    let response = match scheme {
+        Scheme::SoapBxsaTcp => {
+            // encode → connect → send → decode+verify → reply.
+            SimTime::from(cpu.bxsa_encode)
+                + tcp.connect_duration()
+                + tcp.transfer_duration(w.bxsa_bytes.len())
+                + SimTime::from(cpu.bxsa_decode)
+                + SimTime::from(cpu.verify)
+                + tcp.transfer_duration(Workload::response_bytes_bxsa())
+        }
+        Scheme::SoapXmlHttp => {
+            SimTime::from(cpu.xml_encode)
+                + tcp.connect_duration()
+                + tcp.transfer_duration(w.xml_bytes.len() + HTTP_OVERHEAD)
+                + SimTime::from(cpu.xml_decode)
+                + SimTime::from(cpu.verify)
+                + tcp.transfer_duration(Workload::response_bytes_xml() + HTTP_OVERHEAD)
+        }
+        Scheme::SoapHttpData => {
+            // Client: encode netCDF + write the staging file.
+            let stage = SimTime::from(cpu.netcdf_encode)
+                + profile.disk.write_duration(w.netcdf_bytes.len());
+            // Control message (SOAP over XML/HTTP, tiny).
+            let control = tcp.connect_duration()
+                + tcp.transfer_duration(Workload::control_bytes_xml() + HTTP_OVERHEAD);
+            // Server pulls the file over HTTP: fresh connection, the
+            // client-side web server reads the file, the bytes cross the
+            // network, the server writes then re-reads them (the netCDF
+            // library "does not support reading the data directly from
+            // memory", §6.2).
+            let fetch = tcp.connect_duration()
+                + tcp.transfer_duration(HTTP_OVERHEAD) // GET request
+                + profile.disk.read_duration(w.netcdf_bytes.len())
+                + tcp.transfer_duration(w.netcdf_bytes.len() + HTTP_OVERHEAD)
+                + profile.disk.write_duration(w.netcdf_bytes.len())
+                + profile.disk.read_duration(w.netcdf_bytes.len());
+            let process = SimTime::from(cpu.netcdf_decode) + SimTime::from(cpu.verify);
+            let reply = tcp.transfer_duration(Workload::response_bytes_xml() + HTTP_OVERHEAD);
+            stage + control + fetch + process + reply
+        }
+        Scheme::SoapGridFtp { streams } => {
+            let stage = SimTime::from(cpu.netcdf_encode)
+                + profile.disk.write_duration(w.netcdf_bytes.len());
+            let control = tcp.connect_duration()
+                + tcp.transfer_duration(Workload::control_bytes_xml() + HTTP_OVERHEAD);
+            let session = GridFtpSession::new(GridFtpConfig::gsi_default(streams), *profile);
+            let fetch = session.fetch_duration(w.netcdf_bytes.len());
+            // The striped receiver already wrote the file to disk; the
+            // service still has to read and parse it.
+            let process = profile.disk.read_duration(w.netcdf_bytes.len())
+                + SimTime::from(cpu.netcdf_decode)
+                + SimTime::from(cpu.verify);
+            let reply = tcp.transfer_duration(Workload::response_bytes_xml() + HTTP_OVERHEAD);
+            stage + control + fetch + process + reply
+        }
+    };
+    SchemeOutcome {
+        response,
+        model_size: w.model_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(scheme: Scheme, profile: &NetworkProfile, model_size: usize) -> SchemeOutcome {
+        let w = Workload::prepare(model_size, 42);
+        let cpu = CpuCosts::measure(&w, 2);
+        response_time(scheme, profile, &w, &cpu)
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Scheme::SoapBxsaTcp.label(), "SOAP over BXSA/TCP");
+        assert_eq!(
+            Scheme::SoapGridFtp { streams: 16 }.label(),
+            "SOAP + GridFTP (16 streams)"
+        );
+        assert_eq!(
+            Scheme::SoapGridFtp { streams: 1 }.label(),
+            "SOAP + GridFTP (1 stream)"
+        );
+        assert_eq!(Scheme::figure5_set().len(), 6);
+        assert_eq!(Scheme::figure6_set().len(), 5);
+        assert_eq!(Scheme::figure4_set().len(), 4);
+    }
+
+    #[test]
+    fn figure4_headline_small_messages() {
+        // At model size 1000 on the LAN: BXSA/TCP is fastest and GridFTP
+        // is slowest (authentication dominates).
+        let lan = NetworkProfile::lan();
+        let bxsa = eval(Scheme::SoapBxsaTcp, &lan, 1000).response;
+        let xml = eval(Scheme::SoapXmlHttp, &lan, 1000).response;
+        let http = eval(Scheme::SoapHttpData, &lan, 1000).response;
+        let grid = eval(Scheme::SoapGridFtp { streams: 1 }, &lan, 1000).response;
+        assert!(bxsa < xml && bxsa < http && bxsa < grid);
+        assert!(grid > xml && grid > http);
+    }
+
+    #[test]
+    fn pairs_per_sec_math() {
+        let o = SchemeOutcome {
+            response: SimTime::from_millis(500),
+            model_size: 1_000_000,
+        };
+        assert!((o.pairs_per_sec() - 2_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's workload: LEAD-derived (int index, double value) pairs,
+//! pre-encoded in every representation an experiment needs.
+
+use bxdm::Document;
+use netcdf3::{NcFile, NcValue};
+use soap::SoapEnvelope;
+
+/// A fully prepared workload for one model size.
+pub struct Workload {
+    /// Number of (double, int) pairs — the paper's "model size".
+    pub model_size: usize,
+    /// The integer index array.
+    pub index: Vec<i32>,
+    /// The double value array.
+    pub values: Vec<f64>,
+    /// The unified-solution SOAP request envelope.
+    pub request: SoapEnvelope,
+    /// The request as a bXDM document (envelope materialized).
+    pub request_doc: Document,
+    /// BXSA serialization of the request.
+    pub bxsa_bytes: Vec<u8>,
+    /// Textual XML serialization of the request.
+    pub xml_bytes: Vec<u8>,
+    /// netCDF-3 file holding the same dataset (the separated scheme).
+    pub netcdf_bytes: Vec<u8>,
+}
+
+impl Workload {
+    /// Prepare all representations for `model_size` pairs.
+    pub fn prepare(model_size: usize, seed: u64) -> Workload {
+        let (index, values) = bxsoap::lead_dataset(model_size, seed);
+        let request = bxsoap::verify_request_envelope(&index, &values);
+        let request_doc = request.to_document();
+        let bxsa_bytes = bxsa::encode(&request_doc).expect("bxsa encode");
+        let Ok(xml) = xmltext::to_string(&request_doc);
+        let netcdf_bytes = netcdf_file(&index, &values).to_bytes().expect("netcdf");
+        Workload {
+            model_size,
+            index,
+            values,
+            request,
+            request_doc,
+            bxsa_bytes,
+            xml_bytes: xml.into_bytes(),
+            netcdf_bytes,
+        }
+    }
+
+    /// Bytes of the native (in-memory) representation: 12 per pair.
+    pub fn native_bytes(&self) -> usize {
+        self.model_size * (4 + 8)
+    }
+
+    /// The small SOAP *response* used by every scheme (ok + count): its
+    /// encoded size barely varies, so one number per encoding suffices.
+    pub fn response_bytes_bxsa() -> usize {
+        260
+    }
+
+    /// See [`Workload::response_bytes_bxsa`].
+    pub fn response_bytes_xml() -> usize {
+        420
+    }
+
+    /// The control message of the separated scheme (a URL in a SOAP
+    /// envelope).
+    pub fn control_bytes_xml() -> usize {
+        560
+    }
+}
+
+/// Build the netCDF dataset the separated scheme stages.
+pub fn netcdf_file(index: &[i32], values: &[f64]) -> NcFile {
+    let mut nc = NcFile::new();
+    let d = nc.add_dim("model", index.len());
+    nc.add_attr("parameters", NcValue::Char("time,y,x,height".into()));
+    nc.add_var("index", &[d], NcValue::Int(index.to_vec()))
+        .expect("index var");
+    nc.add_var("values", &[d], NcValue::Double(values.to_vec()))
+        .expect("values var");
+    nc
+}
+
+/// The model sizes of Figures 5 and 6: 1365 × 4^k, k = 0..6 — "selected
+/// so that the corresponding BXSA serialization size is from 16K bytes to
+/// 64M bytes" (§6.2).
+pub const LARGE_MODEL_SIZES: [usize; 7] =
+    [1365, 5460, 21840, 87360, 349440, 1397760, 5591040];
+
+/// The model sizes of Figure 4: 0 to 1000.
+pub const SMALL_MODEL_SIZES: [usize; 11] =
+    [0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_representations_agree() {
+        let w = Workload::prepare(1000, 42);
+        assert_eq!(w.index.len(), 1000);
+        assert_eq!(w.values.len(), 1000);
+        assert_eq!(w.native_bytes(), 12_000);
+        // BXSA is near-native; XML is far larger; netCDF is near-native.
+        assert!(w.bxsa_bytes.len() < w.native_bytes() + 600);
+        assert!(w.netcdf_bytes.len() < w.native_bytes() + 600);
+        assert!(w.xml_bytes.len() > w.native_bytes() * 3 / 2);
+        // All decode back to the same data.
+        let doc = bxsa::decode(&w.bxsa_bytes).unwrap();
+        assert_eq!(doc, w.request_doc);
+        let nc = NcFile::from_bytes(&w.netcdf_bytes).unwrap();
+        assert_eq!(nc.var("values").unwrap().data.as_double().unwrap(), &w.values[..]);
+    }
+
+    #[test]
+    fn large_sizes_are_the_papers() {
+        // Each size is 4x the previous, ending at 5,591,040 (64 MB BXSA).
+        for pair in LARGE_MODEL_SIZES.windows(2) {
+            assert_eq!(pair[1], pair[0] * 4);
+        }
+        let largest = LARGE_MODEL_SIZES[6];
+        assert_eq!(largest * 12, 67_092_480); // ≈ 64 MiB of native data
+    }
+
+    #[test]
+    fn zero_model_size_works() {
+        let w = Workload::prepare(0, 1);
+        assert!(bxsa::decode(&w.bxsa_bytes).is_ok());
+    }
+}

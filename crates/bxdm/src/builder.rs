@@ -1,0 +1,113 @@
+//! Fluent construction helpers.
+//!
+//! Service code builds SOAP payloads with chained calls; the methods here
+//! are the bXDM equivalent of the DOM-building convenience layers in
+//! classic SOAP toolkits.
+
+use crate::name::QName;
+use crate::namespace::NamespaceDecl;
+use crate::node::{Attribute, Element, Node};
+use crate::value::AtomicValue;
+
+impl Element {
+    /// Add a namespace declaration and return `self` (chainable).
+    pub fn with_namespace(mut self, prefix: &str, uri: &str) -> Element {
+        self.namespaces.push(NamespaceDecl::prefixed(prefix, uri));
+        self
+    }
+
+    /// Add a default-namespace declaration and return `self`.
+    pub fn with_default_namespace(mut self, uri: &str) -> Element {
+        self.namespaces.push(NamespaceDecl::default(uri));
+        self
+    }
+
+    /// Add a string attribute and return `self`.
+    pub fn with_attr(mut self, name: impl Into<QName>, value: &str) -> Element {
+        self.attributes.push(Attribute::string(name, value));
+        self
+    }
+
+    /// Add a typed attribute and return `self`.
+    pub fn with_typed_attr(mut self, name: impl Into<QName>, value: AtomicValue) -> Element {
+        self.attributes.push(Attribute::typed(name, value));
+        self
+    }
+
+    /// Append a child element and return `self`.
+    ///
+    /// # Panics
+    /// Panics when called on a leaf or array element — those have no
+    /// children by construction; build the element as a component instead.
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.push_child(child);
+        self
+    }
+
+    /// Append a text node and return `self` (mixed content).
+    pub fn with_text(mut self, text: &str) -> Element {
+        self.push_node(Node::Text(text.to_owned()));
+        self
+    }
+
+    /// Append a comment child and return `self`.
+    pub fn with_comment(mut self, comment: &str) -> Element {
+        self.push_node(Node::Comment(comment.to_owned()));
+        self
+    }
+
+    /// Append a child element in place.
+    pub fn push_child(&mut self, child: Element) {
+        self.push_node(Node::Element(child));
+    }
+
+    /// Append any node in place.
+    ///
+    /// # Panics
+    /// Panics when called on a leaf or array element.
+    pub fn push_node(&mut self, node: Node) {
+        match &mut self.content {
+            crate::node::Content::Children(c) => c.push(node),
+            other => panic!(
+                "cannot append children to a {} element",
+                match other {
+                    crate::node::Content::Leaf(_) => "leaf",
+                    crate::node::Content::Array(_) => "array",
+                    crate::node::Content::Children(_) => unreachable!(),
+                }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ArrayValue;
+
+    #[test]
+    fn chained_construction() {
+        let e = Element::component("d:root")
+            .with_namespace("d", "http://example.org")
+            .with_attr("id", "r1")
+            .with_child(Element::leaf("d:n", AtomicValue::I32(1)))
+            .with_child(Element::array("d:v", ArrayValue::F64(vec![0.5])))
+            .with_text("tail")
+            .with_comment("done");
+        assert_eq!(e.namespaces.len(), 1);
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.children().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf")]
+    fn cannot_add_children_to_leaf() {
+        Element::leaf("x", AtomicValue::I32(0)).with_child(Element::component("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "array")]
+    fn cannot_add_children_to_array() {
+        Element::array("x", ArrayValue::I32(vec![])).with_text("t");
+    }
+}

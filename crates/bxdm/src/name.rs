@@ -1,0 +1,153 @@
+//! Qualified names.
+
+use std::fmt;
+
+/// An XML qualified name: optional prefix plus local part.
+///
+/// The prefix is kept verbatim (textual XML needs it back); namespace
+/// *resolution* — mapping the prefix to a URI through the in-scope
+/// declarations — is done by [`crate::namespace::NsContext`] at
+/// encode/decode time, matching how BXSA tokenizes references (paper
+/// §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    prefix: Option<String>,
+    local: String,
+}
+
+impl QName {
+    /// Build from separate parts. An empty prefix means "no prefix".
+    pub fn new(prefix: Option<&str>, local: &str) -> QName {
+        QName {
+            prefix: prefix.filter(|p| !p.is_empty()).map(str::to_owned),
+            local: local.to_owned(),
+        }
+    }
+
+    /// Parse a `prefix:local` lexical form.
+    pub fn parse(qname: &str) -> QName {
+        match qname.split_once(':') {
+            Some((p, l)) => QName::new(Some(p), l),
+            None => QName::new(None, qname),
+        }
+    }
+
+    /// Local part (`Envelope` in `soap:Envelope`).
+    #[inline]
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    /// Prefix if any (`soap` in `soap:Envelope`).
+    #[inline]
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// `true` if this name has a prefix.
+    #[inline]
+    pub fn is_prefixed(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Write the lexical `prefix:local` form into a string buffer.
+    pub fn write_lexical(&self, out: &mut String) {
+        if let Some(p) = &self.prefix {
+            out.push_str(p);
+            out.push(':');
+        }
+        out.push_str(&self.local);
+    }
+
+    /// The lexical `prefix:local` form as an owned string.
+    pub fn lexical(&self) -> String {
+        let mut s = String::with_capacity(
+            self.local.len() + self.prefix.as_ref().map_or(0, |p| p.len() + 1),
+        );
+        self.write_lexical(&mut s);
+        s
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.prefix {
+            write!(f, "{p}:{}", self.local)
+        } else {
+            f.write_str(&self.local)
+        }
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> QName {
+        QName::parse(s)
+    }
+}
+
+impl From<String> for QName {
+    fn from(s: String) -> QName {
+        QName::parse(&s)
+    }
+}
+
+/// Is `s` a syntactically valid XML name (NCName, conservatively ASCII
+/// letters, digits, `_`, `-`, `.`, plus non-ASCII pass-through)?
+///
+/// This is deliberately the pragmatic subset real SOAP toolkits enforce,
+/// not the full XML 1.0 production.
+pub fn is_valid_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || !c.is_ascii() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || !c.is_ascii())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_prefixed() {
+        let q = QName::parse("soap:Envelope");
+        assert_eq!(q.prefix(), Some("soap"));
+        assert_eq!(q.local(), "Envelope");
+        assert_eq!(q.lexical(), "soap:Envelope");
+        assert_eq!(q.to_string(), "soap:Envelope");
+    }
+
+    #[test]
+    fn parse_unprefixed() {
+        let q = QName::parse("item");
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), "item");
+        assert_eq!(q.lexical(), "item");
+    }
+
+    #[test]
+    fn empty_prefix_is_none() {
+        let q = QName::new(Some(""), "x");
+        assert_eq!(q.prefix(), None);
+    }
+
+    #[test]
+    fn from_str_impls() {
+        let q: QName = "a:b".into();
+        assert_eq!(q.prefix(), Some("a"));
+        let q: QName = String::from("c").into();
+        assert_eq!(q.local(), "c");
+    }
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_valid_ncname("Envelope"));
+        assert!(is_valid_ncname("_x-1.2"));
+        assert!(!is_valid_ncname(""));
+        assert!(!is_valid_ncname("1abc"));
+        assert!(!is_valid_ncname("a b"));
+        assert!(!is_valid_ncname("-x"));
+        assert!(is_valid_ncname("élément"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Namespace declarations and in-scope resolution.
+//!
+//! BXSA tokenizes namespace references: a QName on the wire carries a
+//! *(scope depth, index)* pair pointing back into the namespace symbol
+//! table of the frame (or an ancestor frame) that declared it, instead of
+//! repeating the prefix string (paper §4.1). [`NsContext`] is the shared
+//! scope-stack machinery both codecs use to produce and resolve those
+//! references.
+
+use crate::name::QName;
+
+/// Namespace URI of XML Schema datatypes (`xsd`).
+pub const XSD_URI: &str = "http://www.w3.org/2001/XMLSchema";
+/// Namespace URI of XML Schema instance attributes (`xsi`, for `xsi:type`).
+pub const XSI_URI: &str = "http://www.w3.org/2001/XMLSchema-instance";
+/// The reserved `xmlns` prefix.
+pub const XMLNS_PREFIX: &str = "xmlns";
+
+/// A single `xmlns:prefix="uri"` (or default `xmlns="uri"`) declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NamespaceDecl {
+    /// Declared prefix; `None` for the default namespace.
+    pub prefix: Option<String>,
+    /// Namespace URI. An empty URI un-declares the default namespace.
+    pub uri: String,
+}
+
+impl NamespaceDecl {
+    /// A prefixed declaration `xmlns:prefix="uri"`.
+    pub fn prefixed(prefix: &str, uri: &str) -> NamespaceDecl {
+        NamespaceDecl {
+            prefix: Some(prefix.to_owned()),
+            uri: uri.to_owned(),
+        }
+    }
+
+    /// A default-namespace declaration `xmlns="uri"`.
+    pub fn default(uri: &str) -> NamespaceDecl {
+        NamespaceDecl {
+            prefix: None,
+            uri: uri.to_owned(),
+        }
+    }
+}
+
+/// A reference to a namespace declaration as BXSA encodes it: how many
+/// element scopes up the declaring frame is (0 = the current frame), and
+/// the index within that frame's declaration list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NsRef {
+    /// "Namespace scope depth (VLS)" — count backwards to the declaring scope.
+    pub scope_depth: u32,
+    /// "Namespace index" within that scope's symbol table.
+    pub index: u32,
+}
+
+/// Stack of in-scope namespace declaration lists.
+///
+/// Codecs push one scope per element (even an empty one — scope depth is
+/// counted in *elements*, not in declaring elements) and pop on exit.
+#[derive(Debug, Default, Clone)]
+pub struct NsContext {
+    scopes: Vec<Vec<NamespaceDecl>>,
+}
+
+impl NsContext {
+    /// An empty context (no element entered yet).
+    pub fn new() -> NsContext {
+        NsContext::default()
+    }
+
+    /// Enter an element scope carrying `decls` (possibly empty).
+    pub fn push_scope(&mut self, decls: &[NamespaceDecl]) {
+        self.scopes.push(decls.to_vec());
+    }
+
+    /// Leave the innermost element scope.
+    ///
+    /// # Panics
+    /// Panics if no scope is open — that is a codec bug, not bad input.
+    pub fn pop_scope(&mut self) {
+        self.scopes
+            .pop()
+            .expect("NsContext::pop_scope with no open scope");
+    }
+
+    /// Number of open scopes.
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Resolve a prefix to its in-scope URI, innermost declaration wins.
+    /// `None` prefix resolves the default namespace.
+    pub fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
+        for scope in self.scopes.iter().rev() {
+            // Within one scope, later declarations win (mirrors attribute
+            // order in the document).
+            for decl in scope.iter().rev() {
+                if decl.prefix.as_deref() == prefix {
+                    return Some(&decl.uri);
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolve the namespace URI a QName is bound to in the current scope.
+    pub fn resolve_qname(&self, name: &QName) -> Option<&str> {
+        self.resolve(name.prefix())
+    }
+
+    /// Find the BXSA *(scope depth, index)* reference for `prefix`:
+    /// the innermost declaration of that prefix.
+    pub fn find_ref(&self, prefix: Option<&str>) -> Option<NsRef> {
+        for (depth_back, scope) in self.scopes.iter().rev().enumerate() {
+            for (idx, decl) in scope.iter().enumerate().rev() {
+                if decl.prefix.as_deref() == prefix {
+                    return Some(NsRef {
+                        scope_depth: depth_back as u32,
+                        index: idx as u32,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Look a reference back up into the declaration it points to.
+    pub fn lookup_ref(&self, r: NsRef) -> Option<&NamespaceDecl> {
+        let n = self.scopes.len();
+        let scope = self.scopes.get(n.checked_sub(1 + r.scope_depth as usize)?)?;
+        scope.get(r.index as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> NsContext {
+        let mut c = NsContext::new();
+        c.push_scope(&[
+            NamespaceDecl::prefixed("soap", "http://schemas.xmlsoap.org/soap/envelope/"),
+            NamespaceDecl::prefixed("xsd", XSD_URI),
+        ]);
+        c.push_scope(&[]);
+        c.push_scope(&[NamespaceDecl::prefixed("d", "http://example.org/data")]);
+        c
+    }
+
+    #[test]
+    fn resolve_walks_outward() {
+        let c = ctx();
+        assert_eq!(c.resolve(Some("d")), Some("http://example.org/data"));
+        assert_eq!(c.resolve(Some("xsd")), Some(XSD_URI));
+        assert_eq!(c.resolve(Some("nope")), None);
+        assert_eq!(c.resolve(None), None);
+    }
+
+    #[test]
+    fn inner_declaration_shadows_outer() {
+        let mut c = ctx();
+        c.push_scope(&[NamespaceDecl::prefixed("d", "http://example.org/other")]);
+        assert_eq!(c.resolve(Some("d")), Some("http://example.org/other"));
+        c.pop_scope();
+        assert_eq!(c.resolve(Some("d")), Some("http://example.org/data"));
+    }
+
+    #[test]
+    fn find_ref_counts_scopes_backwards() {
+        let c = ctx();
+        assert_eq!(
+            c.find_ref(Some("d")),
+            Some(NsRef {
+                scope_depth: 0,
+                index: 0
+            })
+        );
+        assert_eq!(
+            c.find_ref(Some("soap")),
+            Some(NsRef {
+                scope_depth: 2,
+                index: 0
+            })
+        );
+        assert_eq!(
+            c.find_ref(Some("xsd")),
+            Some(NsRef {
+                scope_depth: 2,
+                index: 1
+            })
+        );
+        assert_eq!(c.find_ref(Some("missing")), None);
+    }
+
+    #[test]
+    fn refs_roundtrip_through_lookup() {
+        let c = ctx();
+        for prefix in [Some("d"), Some("soap"), Some("xsd")] {
+            let r = c.find_ref(prefix).unwrap();
+            let decl = c.lookup_ref(r).unwrap();
+            assert_eq!(decl.prefix.as_deref(), prefix);
+        }
+    }
+
+    #[test]
+    fn lookup_out_of_range_is_none() {
+        let c = ctx();
+        assert!(c
+            .lookup_ref(NsRef {
+                scope_depth: 10,
+                index: 0
+            })
+            .is_none());
+        assert!(c
+            .lookup_ref(NsRef {
+                scope_depth: 0,
+                index: 7
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn default_namespace() {
+        let mut c = NsContext::new();
+        c.push_scope(&[NamespaceDecl::default("http://example.org/default")]);
+        assert_eq!(c.resolve(None), Some("http://example.org/default"));
+        let r = c.find_ref(None).unwrap();
+        assert_eq!(c.lookup_ref(r).unwrap().prefix, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open scope")]
+    fn pop_empty_panics() {
+        NsContext::new().pop_scope();
+    }
+}

@@ -1,0 +1,202 @@
+//! Tree navigation and extraction helpers.
+
+use crate::node::{Content, Element, Node};
+use crate::value::AtomicValue;
+
+impl Element {
+    /// First child element with the given *local* name.
+    pub fn find_child(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name.local() == local)
+    }
+
+    /// Mutable variant of [`Element::find_child`].
+    pub fn find_child_mut(&mut self, local: &str) -> Option<&mut Element> {
+        match &mut self.content {
+            Content::Children(c) => c
+                .iter_mut()
+                .filter_map(Node::as_element_mut)
+                .find(|e| e.name.local() == local),
+            _ => None,
+        }
+    }
+
+    /// All child elements, in document order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children().iter().filter_map(Node::as_element)
+    }
+
+    /// Walk a path of local names from this element down.
+    ///
+    /// ```
+    /// use bxdm::{Element, AtomicValue};
+    /// let tree = Element::component("a")
+    ///     .with_child(Element::component("b")
+    ///         .with_child(Element::leaf("c", AtomicValue::I32(9))));
+    /// assert_eq!(tree.find_path(&["b", "c"]).unwrap().leaf_value(),
+    ///            Some(&AtomicValue::I32(9)));
+    /// ```
+    pub fn find_path(&self, path: &[&str]) -> Option<&Element> {
+        let mut cur = self;
+        for step in path {
+            cur = cur.find_child(step)?;
+        }
+        Some(cur)
+    }
+
+    /// All descendant elements (depth-first, self excluded).
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants {
+            stack: self.child_elements().collect::<Vec<_>>().into_iter().rev().collect(),
+        }
+    }
+
+    /// Concatenated character data of this element.
+    ///
+    /// For leaf elements this is the lexical form of the value; for array
+    /// elements the space-separated lexical items; for components the
+    /// concatenation of all descendant text (XPath `string()` semantics).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.append_text(&mut out);
+        out
+    }
+
+    fn append_text(&self, out: &mut String) {
+        match &self.content {
+            Content::Leaf(v) => v.write_lexical(out),
+            Content::Array(a) => {
+                for i in 0..a.len() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    a.item(i).expect("index in range").write_lexical(out);
+                }
+            }
+            Content::Children(children) => {
+                for child in children {
+                    match child {
+                        Node::Text(t) => out.push_str(t),
+                        Node::Element(e) => e.append_text(out),
+                        Node::Comment(_) | Node::Pi { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shortcut: the `f64` array of the named child (or of `self` when it
+    /// is itself an array element and `local` matches its name).
+    pub fn as_f64_array(&self) -> Option<&[f64]> {
+        self.array_value()?.as_f64()
+    }
+
+    /// Shortcut: the `i32` array content of this element.
+    pub fn as_i32_array(&self) -> Option<&[i32]> {
+        self.array_value()?.as_i32()
+    }
+
+    /// Shortcut: typed leaf value of the named child.
+    pub fn child_value(&self, local: &str) -> Option<&AtomicValue> {
+        self.find_child(local)?.leaf_value()
+    }
+
+    /// Total number of nodes in this subtree (self included) — used by
+    /// size accounting and tests.
+    pub fn node_count(&self) -> usize {
+        1 + match &self.content {
+            Content::Children(c) => c
+                .iter()
+                .map(|n| match n {
+                    Node::Element(e) => e.node_count(),
+                    _ => 1,
+                })
+                .sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// Depth-first descendant iterator (see [`Element::descendants`]).
+pub struct Descendants<'a> {
+    stack: Vec<&'a Element>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Element;
+
+    fn next(&mut self) -> Option<&'a Element> {
+        let next = self.stack.pop()?;
+        // Push children in reverse so document order pops first.
+        let children: Vec<_> = next.child_elements().collect();
+        self.stack.extend(children.into_iter().rev());
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ArrayValue;
+
+    fn sample() -> Element {
+        Element::component("root")
+            .with_child(
+                Element::component("a")
+                    .with_child(Element::leaf("x", AtomicValue::I32(1)))
+                    .with_child(Element::leaf("y", AtomicValue::Str("s".into()))),
+            )
+            .with_child(Element::array("v", ArrayValue::F64(vec![1.0, 2.0])))
+            .with_child(Element::component("a"))
+    }
+
+    #[test]
+    fn find_child_first_match() {
+        let r = sample();
+        let a = r.find_child("a").unwrap();
+        assert_eq!(a.children().len(), 2);
+        assert!(r.find_child("zzz").is_none());
+    }
+
+    #[test]
+    fn find_path_walks() {
+        let r = sample();
+        assert_eq!(
+            r.find_path(&["a", "x"]).unwrap().leaf_value(),
+            Some(&AtomicValue::I32(1))
+        );
+        assert!(r.find_path(&["a", "nope"]).is_none());
+        assert_eq!(r.find_path(&[]).unwrap().name.local(), "root");
+    }
+
+    #[test]
+    fn descendants_depth_first_order() {
+        let r = sample();
+        let names: Vec<_> = r.descendants().map(|e| e.name.local().to_owned()).collect();
+        assert_eq!(names, ["a", "x", "y", "v", "a"]);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let r = sample();
+        assert_eq!(r.text_content(), "1s1 2");
+        let mixed = Element::component("m")
+            .with_text("pre ")
+            .with_child(Element::leaf("n", AtomicValue::I32(3)))
+            .with_text(" post");
+        assert_eq!(mixed.text_content(), "pre 3 post");
+    }
+
+    #[test]
+    fn node_count_counts_subtree() {
+        // root + (a + x + y) + v + a = 6 elements, plus no text nodes
+        assert_eq!(sample().node_count(), 6);
+    }
+
+    #[test]
+    fn find_child_mut_allows_edit() {
+        let mut r = sample();
+        let v = r.find_child_mut("v").unwrap();
+        v.content = Content::Array(ArrayValue::F64(vec![9.0]));
+        assert_eq!(r.find_child("v").unwrap().as_f64_array(), Some(&[9.0][..]));
+    }
+}

@@ -1,0 +1,308 @@
+//! The bXDM node tree.
+
+use crate::name::QName;
+use crate::namespace::NamespaceDecl;
+use crate::value::{ArrayValue, AtomicValue};
+
+/// A typed attribute.
+///
+/// bXDM attributes carry typed values (the "attribute value type code" in
+/// the BXSA frame layout); plain textual attributes are `AtomicValue::Str`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (possibly prefixed).
+    pub name: QName,
+    /// Typed attribute value.
+    pub value: AtomicValue,
+}
+
+impl Attribute {
+    /// A plain string attribute.
+    pub fn string(name: impl Into<QName>, value: &str) -> Attribute {
+        Attribute {
+            name: name.into(),
+            value: AtomicValue::Str(value.to_owned()),
+        }
+    }
+
+    /// A typed attribute.
+    pub fn typed(name: impl Into<QName>, value: AtomicValue) -> Attribute {
+        Attribute {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// Element content — the bXDM refinement of the XDM element node (paper §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// A general ("component") element: ordered child nodes, possibly
+    /// mixed content.
+    Children(Vec<Node>),
+    /// A LeafElement: one typed atomic value, no child nodes.
+    Leaf(AtomicValue),
+    /// An ArrayElement: a packed homogeneous array as a single node.
+    Array(ArrayValue),
+}
+
+impl Content {
+    /// Empty component content.
+    pub fn empty() -> Content {
+        Content::Children(Vec::new())
+    }
+}
+
+/// An element node (component, leaf, or array — see [`Content`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Qualified element name.
+    pub name: QName,
+    /// Namespace declarations appearing on this element.
+    pub namespaces: Vec<NamespaceDecl>,
+    /// Attributes in document order (excluding `xmlns` declarations).
+    pub attributes: Vec<Attribute>,
+    /// The content model.
+    pub content: Content,
+}
+
+impl Element {
+    /// A new empty component element.
+    pub fn component(name: impl Into<QName>) -> Element {
+        Element {
+            name: name.into(),
+            namespaces: Vec::new(),
+            attributes: Vec::new(),
+            content: Content::empty(),
+        }
+    }
+
+    /// A new leaf element holding one typed value.
+    pub fn leaf(name: impl Into<QName>, value: AtomicValue) -> Element {
+        Element {
+            name: name.into(),
+            namespaces: Vec::new(),
+            attributes: Vec::new(),
+            content: Content::Leaf(value),
+        }
+    }
+
+    /// A new array element holding a packed array.
+    pub fn array(name: impl Into<QName>, value: ArrayValue) -> Element {
+        Element {
+            name: name.into(),
+            namespaces: Vec::new(),
+            attributes: Vec::new(),
+            content: Content::Array(value),
+        }
+    }
+
+    /// `true` for component (general) elements.
+    pub fn is_component(&self) -> bool {
+        matches!(self.content, Content::Children(_))
+    }
+
+    /// `true` for leaf elements.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.content, Content::Leaf(_))
+    }
+
+    /// `true` for array elements.
+    pub fn is_array(&self) -> bool {
+        matches!(self.content, Content::Array(_))
+    }
+
+    /// Child nodes of a component element (empty slice otherwise).
+    pub fn children(&self) -> &[Node] {
+        match &self.content {
+            Content::Children(c) => c,
+            _ => &[],
+        }
+    }
+
+    /// Mutable child list; converts leaf/array content into component
+    /// content on demand (used by parsers building mixed content).
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        if !matches!(self.content, Content::Children(_)) {
+            self.content = Content::Children(Vec::new());
+        }
+        match &mut self.content {
+            Content::Children(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The typed value of a leaf element.
+    pub fn leaf_value(&self) -> Option<&AtomicValue> {
+        match &self.content {
+            Content::Leaf(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The packed array of an array element.
+    pub fn array_value(&self) -> Option<&ArrayValue> {
+        match &self.content {
+            Content::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Find an attribute by its lexical qualified name.
+    pub fn attribute(&self, qname: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name.lexical() == qname)
+    }
+
+    /// Attribute lookup by local name only (prefix-insensitive).
+    pub fn attribute_local(&self, local: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name.local() == local)
+    }
+}
+
+/// Any bXDM node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element (component / leaf / array).
+    Element(Element),
+    /// Character data.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// PI target (`<?target data?>`).
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+impl Node {
+    /// Borrow the element if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable element access.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Borrow the text if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Element> for Node {
+    fn from(e: Element) -> Node {
+        Node::Element(e)
+    }
+}
+
+/// The document node: the root of a bXDM tree.
+///
+/// A well-formed document has exactly one element child; comments and PIs
+/// may appear beside it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    /// Top-level children (one element for well-formed documents).
+    pub children: Vec<Node>,
+}
+
+impl Document {
+    /// Empty document.
+    pub fn new() -> Document {
+        Document::default()
+    }
+
+    /// A document wrapping a single root element.
+    pub fn with_root(root: Element) -> Document {
+        Document {
+            children: vec![Node::Element(root)],
+        }
+    }
+
+    /// The root element, if the document has one.
+    pub fn root(&self) -> Option<&Element> {
+        self.children.iter().find_map(Node::as_element)
+    }
+
+    /// Mutable root element access.
+    pub fn root_mut(&mut self) -> Option<&mut Element> {
+        self.children.iter_mut().find_map(Node::as_element_mut)
+    }
+
+    /// Consume the document and return its root element.
+    pub fn into_root(self) -> Option<Element> {
+        self.children.into_iter().find_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_content_kind() {
+        assert!(Element::component("a").is_component());
+        assert!(Element::leaf("a", AtomicValue::I32(1)).is_leaf());
+        assert!(Element::array("a", ArrayValue::F64(vec![])).is_array());
+    }
+
+    #[test]
+    fn children_mut_promotes_content() {
+        let mut e = Element::leaf("a", AtomicValue::I32(1));
+        e.children_mut().push(Node::Text("x".into()));
+        assert!(e.is_component());
+        assert_eq!(e.children().len(), 1);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let mut e = Element::component("a");
+        e.attributes.push(Attribute::string("xsi:type", "xsd:int"));
+        e.attributes
+            .push(Attribute::typed("n", AtomicValue::I32(5)));
+        assert!(e.attribute("xsi:type").is_some());
+        assert!(e.attribute("type").is_none());
+        assert!(e.attribute_local("type").is_some());
+        assert_eq!(
+            e.attribute("n").unwrap().value,
+            AtomicValue::I32(5)
+        );
+    }
+
+    #[test]
+    fn document_root() {
+        let mut doc = Document::new();
+        doc.children.push(Node::Comment("preamble".into()));
+        doc.children.push(Node::Element(Element::component("root")));
+        assert_eq!(doc.root().unwrap().name.local(), "root");
+        assert_eq!(doc.into_root().unwrap().name.local(), "root");
+    }
+
+    #[test]
+    fn leaf_and_array_accessors() {
+        let e = Element::leaf("n", AtomicValue::F64(2.5));
+        assert_eq!(e.leaf_value(), Some(&AtomicValue::F64(2.5)));
+        assert_eq!(e.array_value(), None);
+        assert!(e.children().is_empty());
+
+        let a = Element::array("v", ArrayValue::I32(vec![1, 2]));
+        assert_eq!(a.array_value().unwrap().len(), 2);
+        assert_eq!(a.leaf_value(), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! The Visitor abstraction encoders are built on.
+//!
+//! Paper §5.2: *"every encoder behaves as a generic visitor of the bXDM
+//! data model and generates the specific serialization during the
+//! visiting."* Both the textual XML writer and the BXSA frame writer
+//! implement [`Visitor`]; [`walk_node`] drives the traversal so the
+//! encoders contain no recursion logic of their own.
+
+use crate::node::{Document, Element, Node};
+
+/// Callbacks invoked while walking a bXDM tree in document order.
+///
+/// All methods return `Result` so encoders can abort on I/O failure; `E`
+/// is the encoder's error type.
+pub trait Visitor {
+    /// Encoder error type.
+    type Error;
+
+    /// Called once before the document's children.
+    fn visit_document_start(&mut self, _doc: &Document) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Called once after the document's children.
+    fn visit_document_end(&mut self, _doc: &Document) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Called for every element before its content. This single hook sees
+    /// component, leaf and array elements alike; implementations dispatch
+    /// on [`Element::content`].
+    fn visit_element_start(&mut self, element: &Element) -> Result<(), Self::Error>;
+
+    /// Called for every element after its content.
+    fn visit_element_end(&mut self, element: &Element) -> Result<(), Self::Error>;
+
+    /// Character data.
+    fn visit_text(&mut self, text: &str) -> Result<(), Self::Error>;
+
+    /// A comment node.
+    fn visit_comment(&mut self, comment: &str) -> Result<(), Self::Error>;
+
+    /// A processing instruction.
+    fn visit_pi(&mut self, target: &str, data: &str) -> Result<(), Self::Error>;
+}
+
+/// Drive a visitor over a single node subtree.
+pub fn walk_node<V: Visitor>(node: &Node, visitor: &mut V) -> Result<(), V::Error> {
+    match node {
+        Node::Element(e) => {
+            visitor.visit_element_start(e)?;
+            for child in e.children() {
+                walk_node(child, visitor)?;
+            }
+            visitor.visit_element_end(e)
+        }
+        Node::Text(t) => visitor.visit_text(t),
+        Node::Comment(c) => visitor.visit_comment(c),
+        Node::Pi { target, data } => visitor.visit_pi(target, data),
+    }
+}
+
+/// Drive a visitor over a whole document.
+pub fn walk_document<V: Visitor>(doc: &Document, visitor: &mut V) -> Result<(), V::Error> {
+    visitor.visit_document_start(doc)?;
+    for child in &doc.children {
+        walk_node(child, visitor)?;
+    }
+    visitor.visit_document_end(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Element;
+    use crate::value::{ArrayValue, AtomicValue};
+
+    /// Records the traversal as a flat event log.
+    #[derive(Default)]
+    struct Tracer {
+        events: Vec<String>,
+    }
+
+    impl Visitor for Tracer {
+        type Error = std::convert::Infallible;
+
+        fn visit_document_start(&mut self, _d: &Document) -> Result<(), Self::Error> {
+            self.events.push("doc+".into());
+            Ok(())
+        }
+
+        fn visit_document_end(&mut self, _d: &Document) -> Result<(), Self::Error> {
+            self.events.push("doc-".into());
+            Ok(())
+        }
+
+        fn visit_element_start(&mut self, e: &Element) -> Result<(), Self::Error> {
+            self.events.push(format!("+{}", e.name.local()));
+            Ok(())
+        }
+
+        fn visit_element_end(&mut self, e: &Element) -> Result<(), Self::Error> {
+            self.events.push(format!("-{}", e.name.local()));
+            Ok(())
+        }
+
+        fn visit_text(&mut self, t: &str) -> Result<(), Self::Error> {
+            self.events.push(format!("t:{t}"));
+            Ok(())
+        }
+
+        fn visit_comment(&mut self, c: &str) -> Result<(), Self::Error> {
+            self.events.push(format!("c:{c}"));
+            Ok(())
+        }
+
+        fn visit_pi(&mut self, target: &str, _d: &str) -> Result<(), Self::Error> {
+            self.events.push(format!("pi:{target}"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn traversal_is_document_order() {
+        let doc = Document::with_root(
+            Element::component("r")
+                .with_text("hello")
+                .with_child(Element::leaf("n", AtomicValue::I32(1)))
+                .with_child(Element::array("v", ArrayValue::F64(vec![])))
+                .with_comment("end"),
+        );
+        let mut tracer = Tracer::default();
+        walk_document(&doc, &mut tracer).unwrap();
+        assert_eq!(
+            tracer.events,
+            vec!["doc+", "+r", "t:hello", "+n", "-n", "+v", "-v", "c:end", "-r", "doc-"]
+        );
+    }
+
+    #[test]
+    fn leaf_and_array_have_no_child_events() {
+        let doc = Document::with_root(Element::leaf("only", AtomicValue::F64(1.5)));
+        let mut tracer = Tracer::default();
+        walk_document(&doc, &mut tracer).unwrap();
+        assert_eq!(tracer.events, vec!["doc+", "+only", "-only", "doc-"]);
+    }
+
+    #[test]
+    fn error_aborts_walk() {
+        struct Failer(u32);
+        impl Visitor for Failer {
+            type Error = ();
+            fn visit_element_start(&mut self, _e: &Element) -> Result<(), ()> {
+                self.0 += 1;
+                if self.0 >= 2 {
+                    Err(())
+                } else {
+                    Ok(())
+                }
+            }
+            fn visit_element_end(&mut self, _e: &Element) -> Result<(), ()> {
+                Ok(())
+            }
+            fn visit_text(&mut self, _t: &str) -> Result<(), ()> {
+                Ok(())
+            }
+            fn visit_comment(&mut self, _c: &str) -> Result<(), ()> {
+                Ok(())
+            }
+            fn visit_pi(&mut self, _t: &str, _d: &str) -> Result<(), ()> {
+                Ok(())
+            }
+        }
+        let doc = Document::with_root(
+            Element::component("a")
+                .with_child(Element::component("b").with_child(Element::component("c"))),
+        );
+        let mut f = Failer(0);
+        assert!(walk_document(&doc, &mut f).is_err());
+        assert_eq!(f.0, 2); // stopped at the second element, never saw "c"
+    }
+}

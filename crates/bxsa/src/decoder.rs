@@ -1,0 +1,459 @@
+//! BXSA frames → bXDM.
+
+use bxdm::{
+    ArrayValue, Attribute, AtomicValue, Content, Document, Element, NamespaceDecl, Node, NsContext,
+    QName,
+};
+use bxdm::namespace::NsRef;
+use xbs::{ByteOrder, TypeCode, XbsReader};
+
+use crate::error::{BxsaError, BxsaResult};
+use crate::frame::{parse_prefix, FrameType};
+
+/// Decoding options.
+#[derive(Debug, Clone)]
+pub struct DecodeOptions {
+    /// Maximum frame nesting depth accepted. Guards the recursive parser
+    /// against stack exhaustion on adversarial input.
+    pub max_depth: usize,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> DecodeOptions {
+        DecodeOptions { max_depth: 256 }
+    }
+}
+
+/// Decode a complete BXSA document with default options.
+pub fn decode(bytes: &[u8]) -> BxsaResult<Document> {
+    decode_with(bytes, &DecodeOptions::default())
+}
+
+/// Decode a complete BXSA document.
+pub fn decode_with(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Document> {
+    let mut dec = Decoder {
+        r: XbsReader::new(bytes, ByteOrder::Little),
+        ctx: NsContext::new(),
+        opts,
+    };
+    let doc = dec.read_document()?;
+    if !dec.r.is_at_end() {
+        return Err(BxsaError::Structure {
+            what: format!("{} trailing byte(s) after the document frame", dec.r.remaining()),
+        });
+    }
+    Ok(doc)
+}
+
+/// Decode a standalone element frame (the output of
+/// [`crate::encoder::encode_element`]).
+pub fn decode_element(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Element> {
+    decode_element_at(bytes, 0, opts)
+}
+
+/// Decode one element frame located at `offset` inside a larger document
+/// buffer (e.g. a frame found by [`crate::scan::FrameScanner`]).
+///
+/// The whole buffer must be passed, not a slice of the frame: alignment
+/// padding inside the frame is relative to the *document* start, so the
+/// decoder has to see the true offsets.
+pub fn decode_element_at(
+    bytes: &[u8],
+    offset: usize,
+    opts: &DecodeOptions,
+) -> BxsaResult<Element> {
+    let mut dec = Decoder {
+        r: XbsReader::new(bytes, ByteOrder::Little),
+        ctx: NsContext::new(),
+        opts,
+    };
+    dec.r.seek(offset)?;
+    match dec.read_frame(0)? {
+        Node::Element(e) => Ok(e),
+        other => Err(BxsaError::Structure {
+            what: format!("expected an element frame, found {other:?}"),
+        }),
+    }
+}
+
+struct Decoder<'a, 'o> {
+    r: XbsReader<'a>,
+    ctx: NsContext,
+    opts: &'o DecodeOptions,
+}
+
+impl Decoder<'_, '_> {
+    fn read_document(&mut self) -> BxsaResult<Document> {
+        let start = self.r.position();
+        let (order, frame_type) = parse_prefix(self.r.read_raw_u8()?, start)?;
+        if frame_type != FrameType::Document {
+            return Err(BxsaError::Structure {
+                what: format!("expected a document frame, found {frame_type:?}"),
+            });
+        }
+        self.r.set_order(order);
+        let size = self.r.read_vls_padded()?;
+        let count = self.r.read_count(1)?;
+        let mut doc = Document::new();
+        doc.children.reserve(count.min(1024));
+        for _ in 0..count {
+            doc.children.push(self.read_frame(0)?);
+        }
+        self.check_frame_end(start, size)?;
+        Ok(doc)
+    }
+
+    fn check_frame_end(&mut self, start: usize, declared: u64) -> BxsaResult<()> {
+        let consumed = (self.r.position() - start) as u64;
+        if consumed != declared {
+            return Err(BxsaError::FrameSizeMismatch {
+                offset: start,
+                declared,
+                consumed,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_frame(&mut self, depth: usize) -> BxsaResult<Node> {
+        if depth > self.opts.max_depth {
+            return Err(BxsaError::Structure {
+                what: format!("frame nesting exceeds max_depth {}", self.opts.max_depth),
+            });
+        }
+        let start = self.r.position();
+        let (order, frame_type) = parse_prefix(self.r.read_raw_u8()?, start)?;
+        // Byte order is a per-frame property; restore the enclosing
+        // frame's order afterwards (embedded frames may differ).
+        let outer_order = self.r.order();
+        self.r.set_order(order);
+        let size = self.r.read_vls_padded()?;
+        let node = match frame_type {
+            FrameType::Document => {
+                self.r.set_order(outer_order);
+                return Err(BxsaError::Structure {
+                    what: "nested document frame".into(),
+                });
+            }
+            FrameType::Component | FrameType::Leaf | FrameType::Array => {
+                self.read_element_body(frame_type, depth)
+            }
+            FrameType::CharData => self.r.read_str().map(|s| Node::Text(s.to_owned())).map_err(Into::into),
+            FrameType::Comment => self
+                .r
+                .read_str()
+                .map(|s| Node::Comment(s.to_owned()))
+                .map_err(Into::into),
+            FrameType::Pi => (|| {
+                let target = self.r.read_str()?.to_owned();
+                let data = self.r.read_str()?.to_owned();
+                Ok(Node::Pi { target, data })
+            })(),
+        };
+        self.r.set_order(outer_order);
+        let node = node?;
+        self.check_frame_end(start, size)?;
+        Ok(node)
+    }
+
+    fn read_element_body(&mut self, frame_type: FrameType, depth: usize) -> BxsaResult<Node> {
+        // Namespace symbol table.
+        let n1 = self.r.read_count(2)?;
+        let mut decls = Vec::with_capacity(n1);
+        for _ in 0..n1 {
+            let prefix = self.r.read_str()?;
+            let uri = self.r.read_str()?.to_owned();
+            decls.push(NamespaceDecl {
+                prefix: (!prefix.is_empty()).then(|| prefix.to_owned()),
+                uri,
+            });
+        }
+        self.ctx.push_scope(&decls);
+
+        let result = (|| -> BxsaResult<Node> {
+            let name = self.read_qname()?;
+            let n2 = self.r.read_count(3)?;
+            let mut attributes = Vec::with_capacity(n2);
+            for _ in 0..n2 {
+                let attr_name = self.read_qname()?;
+                let value = self.read_atomic()?;
+                attributes.push(Attribute {
+                    name: attr_name,
+                    value,
+                });
+            }
+
+            let content = match frame_type {
+                FrameType::Leaf => Content::Leaf(self.read_atomic()?),
+                FrameType::Array => Content::Array(self.read_array()?),
+                FrameType::Component => {
+                    let count = self.r.read_count(1)?;
+                    let mut children = Vec::with_capacity(count.min(4096));
+                    for _ in 0..count {
+                        children.push(self.read_frame(depth + 1)?);
+                    }
+                    Content::Children(children)
+                }
+                _ => unreachable!("caller filters to element frames"),
+            };
+
+            Ok(Node::Element(Element {
+                name,
+                namespaces: decls.clone(),
+                attributes,
+                content,
+            }))
+        })();
+
+        self.ctx.pop_scope();
+        result
+    }
+
+    /// Read a tokenized namespace reference + local name.
+    fn read_qname(&mut self) -> BxsaResult<QName> {
+        let at = self.r.position();
+        let tag = self.r.read_vls()?;
+        let prefix: Option<String> = if tag == 0 {
+            None
+        } else {
+            let index = self.r.read_vls()?;
+            let r = NsRef {
+                scope_depth: (tag - 1).try_into().map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
+                index: index.try_into().map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
+            };
+            let decl = self
+                .ctx
+                .lookup_ref(r)
+                .ok_or(BxsaError::BadNamespaceRef { offset: at })?;
+            decl.prefix.clone()
+        };
+        let local = self.r.read_str()?;
+        Ok(QName::new(prefix.as_deref(), local))
+    }
+
+    fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {
+        let at = self.r.position();
+        let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
+        Ok(match code {
+            TypeCode::I8 => AtomicValue::I8(self.r.read_i8()?),
+            TypeCode::U8 => AtomicValue::U8(self.r.read_u8()?),
+            TypeCode::I16 => AtomicValue::I16(self.r.read_i16()?),
+            TypeCode::U16 => AtomicValue::U16(self.r.read_u16()?),
+            TypeCode::I32 => AtomicValue::I32(self.r.read_i32()?),
+            TypeCode::U32 => AtomicValue::U32(self.r.read_u32()?),
+            TypeCode::I64 => AtomicValue::I64(self.r.read_i64()?),
+            TypeCode::U64 => AtomicValue::U64(self.r.read_u64()?),
+            TypeCode::F32 => AtomicValue::F32(self.r.read_f32()?),
+            TypeCode::F64 => AtomicValue::F64(self.r.read_f64()?),
+            TypeCode::Str => AtomicValue::Str(self.r.read_str()?.to_owned()),
+            TypeCode::Bool => {
+                let b = self.r.read_raw_u8()?;
+                if b > 1 {
+                    return Err(BxsaError::BadValueType {
+                        offset: at,
+                        what: format!("boolean byte {b:#04x}"),
+                    });
+                }
+                AtomicValue::Bool(b == 1)
+            }
+        })
+    }
+
+    fn read_array(&mut self) -> BxsaResult<ArrayValue> {
+        let at = self.r.position();
+        let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
+        let width = code.width().filter(|_| code != TypeCode::Bool && code != TypeCode::Str);
+        let Some(width) = width else {
+            return Err(BxsaError::BadValueType {
+                offset: at,
+                what: format!("{code:?} is not a valid array element type"),
+            });
+        };
+        let count = self.r.read_count(width)?;
+        Ok(match code {
+            TypeCode::I8 => ArrayValue::I8(self.r.read_packed(count)?),
+            TypeCode::U8 => ArrayValue::U8(self.r.read_packed(count)?),
+            TypeCode::I16 => ArrayValue::I16(self.r.read_packed(count)?),
+            TypeCode::U16 => ArrayValue::U16(self.r.read_packed(count)?),
+            TypeCode::I32 => ArrayValue::I32(self.r.read_packed(count)?),
+            TypeCode::U32 => ArrayValue::U32(self.r.read_packed(count)?),
+            TypeCode::I64 => ArrayValue::I64(self.r.read_packed(count)?),
+            TypeCode::U64 => ArrayValue::U64(self.r.read_packed(count)?),
+            TypeCode::F32 => ArrayValue::F32(self.r.read_packed(count)?),
+            TypeCode::F64 => ArrayValue::F64(self.r.read_packed(count)?),
+            TypeCode::Str | TypeCode::Bool => unreachable!("filtered above"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode, encode_element, encode_with, EncodeOptions};
+
+    fn sample_doc() -> Document {
+        Document::with_root(
+            Element::component("d:set")
+                .with_namespace("d", "http://example.org/data")
+                .with_attr("run", "7")
+                .with_child(Element::leaf("d:count", AtomicValue::I32(2)))
+                .with_child(Element::array(
+                    "d:values",
+                    ArrayValue::F64(vec![0.25, -1.5]),
+                ))
+                .with_text("note")
+                .with_comment("end"),
+        )
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let doc = sample_doc();
+        let bytes = encode(&doc).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let doc = sample_doc();
+        let bytes = encode_with(
+            &doc,
+            &EncodeOptions {
+                byte_order: ByteOrder::Big,
+            },
+        )
+        .unwrap();
+        assert_eq!(decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn nested_namespace_scopes_roundtrip() {
+        let doc = Document::with_root(
+            Element::component("a:r")
+                .with_namespace("a", "http://a")
+                .with_child(
+                    Element::component("b:mid")
+                        .with_namespace("b", "http://b")
+                        .with_child(Element::leaf("a:deep", AtomicValue::Bool(false))),
+                ),
+        );
+        let bytes = encode(&doc).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn shadowed_prefix_resolves_innermost() {
+        let doc = Document::with_root(
+            Element::component("p:r")
+                .with_namespace("p", "http://outer")
+                .with_child(
+                    Element::component("p:inner").with_namespace("p", "http://inner"),
+                ),
+        );
+        let bytes = encode(&doc).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = encode(&sample_doc()).unwrap();
+        for cut in [0, 1, 2, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_type_codes_error() {
+        let mut bytes = encode(&Document::with_root(Element::leaf(
+            "n",
+            AtomicValue::I32(5),
+        )))
+        .unwrap();
+        // Find the I32 type code and corrupt it to an unassigned code.
+        let pos = bytes.iter().position(|&b| b == TypeCode::I32 as u8).unwrap();
+        bytes[pos] = 0x3f;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&sample_doc()).unwrap();
+        bytes.push(0xaa);
+        assert!(matches!(
+            decode(&bytes),
+            Err(BxsaError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut e = Element::component("leafmost");
+        for _ in 0..40 {
+            e = Element::component("wrap").with_child(e);
+        }
+        let bytes = encode(&Document::with_root(e)).unwrap();
+        let ok = decode_with(&bytes, &DecodeOptions { max_depth: 64 });
+        assert!(ok.is_ok());
+        let err = decode_with(&bytes, &DecodeOptions { max_depth: 8 });
+        assert!(matches!(err, Err(BxsaError::Structure { .. })));
+    }
+
+    #[test]
+    fn standalone_element_roundtrip() {
+        let e = Element::array("v", ArrayValue::U8(vec![1, 2, 3]));
+        let bytes = encode_element(&e, &EncodeOptions::default()).unwrap();
+        assert_eq!(decode_element(&bytes, &DecodeOptions::default()).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_document_roundtrips() {
+        let doc = Document::new();
+        let bytes = encode(&doc).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn all_array_types_roundtrip() {
+        let arrays = vec![
+            ArrayValue::I8(vec![-1, 2]),
+            ArrayValue::U8(vec![3, 4]),
+            ArrayValue::I16(vec![-5]),
+            ArrayValue::U16(vec![6]),
+            ArrayValue::I32(vec![-7, 8, 9]),
+            ArrayValue::U32(vec![10]),
+            ArrayValue::I64(vec![i64::MIN]),
+            ArrayValue::U64(vec![u64::MAX]),
+            ArrayValue::F32(vec![0.5]),
+            ArrayValue::F64(vec![std::f64::consts::E]),
+        ];
+        for a in arrays {
+            let doc = Document::with_root(Element::array("v", a));
+            let bytes = encode(&doc).unwrap();
+            assert_eq!(decode(&bytes).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn all_atomic_types_roundtrip() {
+        let values = vec![
+            AtomicValue::I8(-1),
+            AtomicValue::U8(200),
+            AtomicValue::I16(-300),
+            AtomicValue::U16(60000),
+            AtomicValue::I32(12345),
+            AtomicValue::U32(u32::MAX),
+            AtomicValue::I64(-(1 << 50)),
+            AtomicValue::U64(1 << 60),
+            AtomicValue::F32(1.25),
+            AtomicValue::F64(-0.0),
+            AtomicValue::Str("héllo <xml>".into()),
+            AtomicValue::Bool(true),
+        ];
+        for v in values {
+            let doc = Document::with_root(Element::leaf("n", v));
+            let bytes = encode(&doc).unwrap();
+            assert_eq!(decode(&bytes).unwrap(), doc);
+        }
+    }
+}

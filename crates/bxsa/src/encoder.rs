@@ -1,0 +1,303 @@
+//! bXDM → BXSA frames.
+
+use bxdm::{Content, Document, Element, Node, NsContext};
+use xbs::{ByteOrder, XbsWriter};
+
+use crate::error::{BxsaError, BxsaResult};
+use crate::estimate::{body_bound, document_body_bound, size_field_len};
+use crate::frame::{prefix_byte, FrameType};
+
+/// Encoding options.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeOptions {
+    /// Byte order to encode numeric data in. Defaults to little-endian;
+    /// encoding in the machine's native order keeps the zero-copy read
+    /// path available on the receiver when architectures match.
+    pub byte_order: ByteOrder,
+}
+
+/// Encode a document with default options (little-endian).
+pub fn encode(doc: &Document) -> BxsaResult<Vec<u8>> {
+    encode_with(doc, &EncodeOptions::default())
+}
+
+/// Encode a document with explicit options.
+pub fn encode_with(doc: &Document, opts: &EncodeOptions) -> BxsaResult<Vec<u8>> {
+    // Pre-size the output from the estimate: one allocation for the
+    // common case.
+    let bound = document_body_bound(&doc.children);
+    let mut enc = Encoder {
+        w: XbsWriter::with_capacity(bound + 12, opts.byte_order),
+        ctx: NsContext::new(),
+        order: opts.byte_order,
+    };
+    enc.write_document(doc)?;
+    Ok(enc.w.into_bytes())
+}
+
+/// Encode a single element as a standalone frame sequence (no document
+/// frame). Used by tests and by intermediaries re-framing message parts.
+pub fn encode_element(element: &Element, opts: &EncodeOptions) -> BxsaResult<Vec<u8>> {
+    let node = Node::Element(element.clone());
+    let mut enc = Encoder {
+        w: XbsWriter::with_capacity(crate::estimate::frame_bound(&node), opts.byte_order),
+        ctx: NsContext::new(),
+        order: opts.byte_order,
+    };
+    enc.write_frame(&node)?;
+    Ok(enc.w.into_bytes())
+}
+
+struct Encoder {
+    w: XbsWriter,
+    ctx: NsContext,
+    order: ByteOrder,
+}
+
+impl Encoder {
+    fn write_document(&mut self, doc: &Document) -> BxsaResult<()> {
+        let bound = document_body_bound(&doc.children);
+        let (start, field_len) = self.open_frame(FrameType::Document, bound);
+        self.w.put_vls(doc.children.len() as u64);
+        for child in &doc.children {
+            self.write_frame(child)?;
+        }
+        self.close_frame(start, field_len);
+        Ok(())
+    }
+
+    /// Write the prefix byte and reserve the size field; returns the frame
+    /// start offset and the reserved length.
+    fn open_frame(&mut self, frame_type: FrameType, bound: usize) -> (usize, usize) {
+        let start = self.w.offset();
+        self.w.put_raw_u8(prefix_byte(self.order, frame_type));
+        let field_len = size_field_len(bound);
+        self.w.reserve(field_len);
+        (start, field_len)
+    }
+
+    /// Backpatch the size field with the frame's actual total size.
+    fn close_frame(&mut self, start: usize, field_len: usize) {
+        let total = (self.w.offset() - start) as u64;
+        self.w.patch_vls_padded(start + 1, total, field_len);
+    }
+
+    fn write_frame(&mut self, node: &Node) -> BxsaResult<()> {
+        match node {
+            Node::Element(e) => self.write_element_frame(e),
+            Node::Text(t) => {
+                self.write_text_like(FrameType::CharData, t);
+                Ok(())
+            }
+            Node::Comment(c) => {
+                self.write_text_like(FrameType::Comment, c);
+                Ok(())
+            }
+            Node::Pi { target, data } => {
+                let bound = body_bound(node);
+                let (start, field_len) = self.open_frame(FrameType::Pi, bound);
+                self.w.put_str(target);
+                self.w.put_str(data);
+                self.close_frame(start, field_len);
+                Ok(())
+            }
+        }
+    }
+
+    fn write_text_like(&mut self, frame_type: FrameType, text: &str) {
+        let bound = xbs::vls::vls_len(text.len() as u64) + text.len();
+        let (start, field_len) = self.open_frame(frame_type, bound);
+        self.w.put_str(text);
+        self.close_frame(start, field_len);
+    }
+
+    fn write_element_frame(&mut self, e: &Element) -> BxsaResult<()> {
+        let node_bound = crate::estimate::element_body_bound(e);
+        let frame_type = match &e.content {
+            Content::Children(_) => FrameType::Component,
+            Content::Leaf(_) => FrameType::Leaf,
+            Content::Array(_) => FrameType::Array,
+        };
+        let (start, field_len) = self.open_frame(frame_type, node_bound);
+
+        // Namespace symbol table ("Repeated N1 times" in Figure 2). An
+        // absent prefix (default namespace) is encoded as a zero-length
+        // prefix string.
+        self.w.put_vls(e.namespaces.len() as u64);
+        for decl in &e.namespaces {
+            self.w.put_str(decl.prefix.as_deref().unwrap_or(""));
+            self.w.put_str(&decl.uri);
+        }
+        // The element's own declarations are in scope for its own name.
+        self.ctx.push_scope(&e.namespaces);
+
+        let result = (|| -> BxsaResult<()> {
+            self.write_ns_ref(e.name.prefix(), false)?;
+            self.w.put_str(e.name.local());
+
+            self.w.put_vls(e.attributes.len() as u64);
+            for attr in &e.attributes {
+                self.write_ns_ref(attr.name.prefix(), true)?;
+                self.w.put_str(attr.name.local());
+                self.write_atomic(&attr.value);
+            }
+
+            match &e.content {
+                Content::Children(children) => {
+                    self.w.put_vls(children.len() as u64);
+                    for child in children {
+                        self.write_frame(child)?;
+                    }
+                }
+                Content::Leaf(value) => self.write_atomic(value),
+                Content::Array(array) => self.write_array(array),
+            }
+            Ok(())
+        })();
+
+        self.ctx.pop_scope();
+        result?;
+        self.close_frame(start, field_len);
+        Ok(())
+    }
+
+    /// Encode a namespace reference: VLS 0 for "no namespace", else
+    /// VLS(scope depth + 1) followed by VLS(index) — the tokenized form of
+    /// §4.1 ("a namespace reference also includes the namespace scope
+    /// depth ... a count backwards to indicate where the namespace was
+    /// declared").
+    fn write_ns_ref(&mut self, prefix: Option<&str>, is_attr: bool) -> BxsaResult<()> {
+        // Per the XML namespaces rules, unprefixed attributes are never in
+        // the default namespace, so they always encode "no namespace".
+        let r = if is_attr && prefix.is_none() {
+            None
+        } else {
+            self.ctx.find_ref(prefix)
+        };
+        match r {
+            Some(r) => {
+                self.w.put_vls(r.scope_depth as u64 + 1);
+                self.w.put_vls(r.index as u64);
+            }
+            None => {
+                if let Some(p) = prefix {
+                    return Err(BxsaError::UndeclaredPrefix { prefix: p.to_owned() });
+                }
+                self.w.put_vls(0);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, value: &bxdm::AtomicValue) {
+        use bxdm::AtomicValue as A;
+        self.w.put_raw_u8(value.type_code() as u8);
+        match value {
+            A::I8(v) => self.w.put_i8(*v),
+            A::U8(v) => self.w.put_u8(*v),
+            A::I16(v) => self.w.put_i16(*v),
+            A::U16(v) => self.w.put_u16(*v),
+            A::I32(v) => self.w.put_i32(*v),
+            A::U32(v) => self.w.put_u32(*v),
+            A::I64(v) => self.w.put_i64(*v),
+            A::U64(v) => self.w.put_u64(*v),
+            A::F32(v) => self.w.put_f32(*v),
+            A::F64(v) => self.w.put_f64(*v),
+            A::Str(s) => self.w.put_str(s),
+            A::Bool(b) => self.w.put_raw_u8(*b as u8),
+        }
+    }
+
+    fn write_array(&mut self, array: &bxdm::ArrayValue) {
+        use bxdm::ArrayValue as V;
+        self.w.put_raw_u8(array.type_code() as u8);
+        self.w.put_vls(array.len() as u64);
+        match array {
+            V::I8(v) => self.w.put_packed(v),
+            V::U8(v) => self.w.put_packed(v),
+            V::I16(v) => self.w.put_packed(v),
+            V::U16(v) => self.w.put_packed(v),
+            V::I32(v) => self.w.put_packed(v),
+            V::U32(v) => self.w.put_packed(v),
+            V::I64(v) => self.w.put_packed(v),
+            V::U64(v) => self.w.put_packed(v),
+            V::F32(v) => self.w.put_packed(v),
+            V::F64(v) => self.w.put_packed(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::{ArrayValue, AtomicValue};
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let doc = Document::with_root(Element::component("nope:root"));
+        assert_eq!(
+            encode(&doc).unwrap_err(),
+            BxsaError::UndeclaredPrefix {
+                prefix: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn declared_prefix_encodes() {
+        let doc = Document::with_root(
+            Element::component("p:root").with_namespace("p", "http://example.org"),
+        );
+        assert!(encode(&doc).is_ok());
+    }
+
+    #[test]
+    fn unprefixed_attr_never_needs_declaration() {
+        let doc = Document::with_root(
+            Element::component("r")
+                .with_default_namespace("http://example.org")
+                .with_attr("plain", "v"),
+        );
+        assert!(encode(&doc).is_ok());
+    }
+
+    #[test]
+    fn document_frame_leads() {
+        let doc = Document::with_root(Element::component("r"));
+        let bytes = encode(&doc).unwrap();
+        let (order, ft) = crate::frame::parse_prefix(bytes[0], 0).unwrap();
+        assert_eq!(order, ByteOrder::Little);
+        assert_eq!(ft, FrameType::Document);
+    }
+
+    #[test]
+    fn encoding_overhead_is_small_for_arrays() {
+        // The Table 1 claim in miniature: framing overhead on a packed
+        // array should be on the order of a percent, not double.
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let native = values.len() * 8;
+        let doc = Document::with_root(Element::array("v", ArrayValue::F64(values)));
+        let bytes = encode(&doc).unwrap();
+        let overhead = bytes.len() - native;
+        assert!(
+            overhead < native / 50,
+            "overhead {overhead} bytes on {native}"
+        );
+    }
+
+    #[test]
+    fn leaf_scalar_layout_has_type_code() {
+        let doc = Document::with_root(Element::leaf("n", AtomicValue::Bool(true)));
+        let bytes = encode(&doc).unwrap();
+        // Bool code 0x0c followed by 0x01 must appear in the stream.
+        assert!(bytes.windows(2).any(|w| w == [0x0c, 0x01]));
+    }
+
+    #[test]
+    fn element_helper_encodes_without_document_frame() {
+        let e = Element::component("r");
+        let bytes = encode_element(&e, &EncodeOptions::default()).unwrap();
+        let (_, ft) = crate::frame::parse_prefix(bytes[0], 0).unwrap();
+        assert_eq!(ft, FrameType::Component);
+    }
+}

@@ -1,0 +1,116 @@
+//! BXSA encode/decode errors.
+
+use std::fmt;
+
+use xbs::XbsError;
+
+/// Errors while encoding or decoding BXSA documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BxsaError {
+    /// Low-level stream error from the XBS layer.
+    Xbs(XbsError),
+    /// Unknown frame-type code.
+    BadFrameType { offset: usize, code: u8 },
+    /// Reserved byte-order code in a frame prefix.
+    BadByteOrder { offset: usize, code: u8 },
+    /// A frame's parsed body did not end exactly at its declared size.
+    FrameSizeMismatch {
+        offset: usize,
+        declared: u64,
+        consumed: u64,
+    },
+    /// A QName used a prefix with no in-scope declaration.
+    ///
+    /// BXSA tokenizes namespace references, so it can only encode
+    /// namespace-well-formed documents (paper §4.1).
+    UndeclaredPrefix { prefix: String },
+    /// A namespace reference pointed outside the in-scope tables.
+    BadNamespaceRef { offset: usize },
+    /// A type code not permitted in this position (e.g. a string-typed
+    /// array element).
+    BadValueType { offset: usize, what: String },
+    /// Document-level structure violation.
+    Structure { what: String },
+}
+
+impl fmt::Display for BxsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BxsaError::Xbs(e) => write!(f, "XBS stream error: {e}"),
+            BxsaError::BadFrameType { offset, code } => {
+                write!(f, "unknown frame type {code:#04x} at offset {offset}")
+            }
+            BxsaError::BadByteOrder { offset, code } => {
+                write!(f, "reserved byte-order code {code} at offset {offset}")
+            }
+            BxsaError::FrameSizeMismatch {
+                offset,
+                declared,
+                consumed,
+            } => write!(
+                f,
+                "frame at offset {offset} declared {declared} bytes but its body consumed {consumed}"
+            ),
+            BxsaError::UndeclaredPrefix { prefix } => {
+                write!(f, "prefix {prefix:?} has no in-scope namespace declaration")
+            }
+            BxsaError::BadNamespaceRef { offset } => {
+                write!(f, "dangling namespace reference at offset {offset}")
+            }
+            BxsaError::BadValueType { offset, what } => {
+                write!(f, "invalid value type at offset {offset}: {what}")
+            }
+            BxsaError::Structure { what } => write!(f, "document structure error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BxsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BxsaError::Xbs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XbsError> for BxsaError {
+    fn from(e: XbsError) -> BxsaError {
+        BxsaError::Xbs(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type BxsaResult<T> = Result<T, BxsaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xbs_errors_convert_and_chain() {
+        let e: BxsaError = XbsError::UnexpectedEof {
+            offset: 3,
+            needed: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("XBS"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(BxsaError::UndeclaredPrefix {
+            prefix: "soap".into()
+        }
+        .to_string()
+        .contains("soap"));
+        assert!(BxsaError::FrameSizeMismatch {
+            offset: 1,
+            declared: 10,
+            consumed: 9
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

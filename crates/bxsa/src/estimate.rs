@@ -1,0 +1,152 @@
+//! Conservative size bounds used to pre-size frame size fields.
+//!
+//! The encoder writes each frame in a single pass: it reserves the size
+//! field *before* the body, then backpatches. The reservation length comes
+//! from the upper bounds computed here; they must hold for **any** start
+//! offset (alignment padding is bounded by `width - 1` per aligned item)
+//! and for any namespace context (references are bounded by their maximum
+//! VLS lengths). Over-estimating only costs padded size-field bytes;
+//! under-estimating would be a panic in the encoder, and the property
+//! tests in `lib.rs` exercise this.
+
+use bxdm::{ArrayValue, AtomicValue, Content, Element, Node};
+use xbs::vls::vls_len;
+use xbs::TypeCode;
+
+/// Upper bound on an encoded *(scope depth, index)* namespace reference.
+const NS_REF_BOUND: usize = 20;
+
+fn str_field(s: &str) -> usize {
+    vls_len(s.len() as u64) + s.len()
+}
+
+fn atomic_value_bound(v: &AtomicValue) -> usize {
+    // 1 byte type code + value (+ worst-case alignment padding).
+    1 + match v.type_code() {
+        TypeCode::Str => match v {
+            AtomicValue::Str(s) => str_field(s),
+            _ => unreachable!("Str code implies Str variant"),
+        },
+        code => {
+            let w = code.width().expect("fixed-width code");
+            w + (w - 1)
+        }
+    }
+}
+
+fn array_value_bound(a: &ArrayValue) -> usize {
+    let w = a
+        .type_code()
+        .width()
+        .expect("array element types are fixed-width");
+    // type code + count + padding + payload
+    1 + vls_len(a.len() as u64) + (w - 1) + a.len() * w
+}
+
+fn element_header_bound(e: &Element) -> usize {
+    let mut n = 0;
+    // Namespace declaration table.
+    n += vls_len(e.namespaces.len() as u64);
+    for decl in &e.namespaces {
+        n += str_field(decl.prefix.as_deref().unwrap_or(""));
+        n += str_field(&decl.uri);
+    }
+    // Element name reference + local name.
+    n += NS_REF_BOUND + str_field(e.name.local());
+    // Attributes.
+    n += vls_len(e.attributes.len() as u64);
+    for attr in &e.attributes {
+        n += NS_REF_BOUND + str_field(attr.name.local());
+        n += atomic_value_bound(&attr.value);
+    }
+    n
+}
+
+/// Upper bound on an element frame's *body* (no prefix/size field).
+pub fn element_body_bound(e: &Element) -> usize {
+    let mut n = element_header_bound(e);
+    match &e.content {
+        Content::Children(children) => {
+            n += vls_len(children.len() as u64);
+            for child in children {
+                n += frame_bound(child);
+            }
+        }
+        Content::Leaf(v) => n += atomic_value_bound(v),
+        Content::Array(a) => n += array_value_bound(a),
+    }
+    n
+}
+
+/// Upper bound on a frame *body* (everything after the prefix byte and
+/// the size field).
+pub fn body_bound(node: &Node) -> usize {
+    match node {
+        Node::Element(e) => element_body_bound(e),
+        Node::Text(t) | Node::Comment(t) => str_field(t),
+        Node::Pi { target, data } => str_field(target) + str_field(data),
+    }
+}
+
+/// The size-field length the encoder will reserve for a body bound:
+/// the smallest VLS length that can express any total up to
+/// `1 + len + bound`.
+pub fn size_field_len(bound: usize) -> usize {
+    for len in 1..=xbs::vls::MAX_VLS_LEN {
+        let max_total = 1 + len + bound;
+        if 7 * len >= 64 || (max_total as u64) >> (7 * len) == 0 {
+            return len;
+        }
+    }
+    xbs::vls::MAX_VLS_LEN
+}
+
+/// Upper bound on a complete frame (prefix + size field + body).
+pub fn frame_bound(node: &Node) -> usize {
+    let body = body_bound(node);
+    1 + size_field_len(body) + body
+}
+
+/// Upper bound on a document frame's body.
+pub fn document_body_bound(children: &[Node]) -> usize {
+    vls_len(children.len() as u64) + children.iter().map(frame_bound).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::Element;
+
+    #[test]
+    fn size_field_len_brackets() {
+        assert_eq!(size_field_len(0), 1);
+        assert_eq!(size_field_len(100), 1);
+        // bound 126: max total = 128 needs 2 bytes
+        assert_eq!(size_field_len(126), 2);
+        assert_eq!(size_field_len(10_000), 2);
+        assert_eq!(size_field_len(2_000_000), 3);
+        assert_eq!(size_field_len(100 << 20), 4);
+    }
+
+    #[test]
+    fn array_bound_scales_with_payload() {
+        let small = Node::Element(Element::array("v", ArrayValue::F64(vec![0.0; 10])));
+        let big = Node::Element(Element::array("v", ArrayValue::F64(vec![0.0; 1000])));
+        assert!(body_bound(&big) - body_bound(&small) >= 990 * 8);
+    }
+
+    #[test]
+    fn leaf_str_bound_is_exactish() {
+        let n = Node::Element(Element::leaf("s", AtomicValue::Str("abc".into())));
+        // header: nsdecls(1) + ref(20) + name(1+1) + attrs(1); value: code(1)+len(1)+3
+        assert_eq!(body_bound(&n), 1 + 20 + 2 + 1 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn nested_component_bounds_compose() {
+        let inner = Element::leaf("x", AtomicValue::I32(1));
+        let outer = Node::Element(Element::component("o").with_child(inner.clone()));
+        let inner_frame = frame_bound(&Node::Element(inner));
+        assert!(body_bound(&outer) > inner_frame);
+    }
+}

@@ -1,0 +1,120 @@
+//! The common frame prefix (paper Figure 2, top rows).
+//!
+//! Bit layout of the prefix byte: the two high bits are the byte-order
+//! code ("BO" in Figure 2), the low six bits are the frame-type code.
+
+use xbs::ByteOrder;
+
+use crate::error::{BxsaError, BxsaResult};
+
+/// The kinds of frames a BXSA document is built from.
+///
+/// The paper deliberately makes the frame granularity *coarser* than the
+/// node granularity: attributes and namespace declarations are fields of
+/// their owning element frame, not frames of their own, to avoid the
+/// encoding overhead of numerous tiny frames (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameType {
+    /// The document node; contains a count and the top-level frames.
+    Document = 0x01,
+    /// A general element with child frames ("Component Element Frame").
+    Component = 0x02,
+    /// An element with one typed atomic value ("Leaf Element Frame").
+    Leaf = 0x03,
+    /// An element with a packed homogeneous array ("Array Element Frame").
+    Array = 0x04,
+    /// Character data in mixed content.
+    CharData = 0x05,
+    /// A comment (same structure as CharData, different type code).
+    Comment = 0x06,
+    /// A processing instruction.
+    Pi = 0x07,
+}
+
+impl FrameType {
+    /// Decode the low six bits of a prefix byte.
+    pub fn from_code(code: u8, offset: usize) -> BxsaResult<FrameType> {
+        Ok(match code {
+            0x01 => FrameType::Document,
+            0x02 => FrameType::Component,
+            0x03 => FrameType::Leaf,
+            0x04 => FrameType::Array,
+            0x05 => FrameType::CharData,
+            0x06 => FrameType::Comment,
+            0x07 => FrameType::Pi,
+            _ => return Err(BxsaError::BadFrameType { offset, code }),
+        })
+    }
+
+    /// `true` for the three element frame kinds.
+    pub fn is_element(self) -> bool {
+        matches!(self, FrameType::Component | FrameType::Leaf | FrameType::Array)
+    }
+}
+
+/// Pack a prefix byte from byte order and frame type.
+#[inline]
+pub fn prefix_byte(order: ByteOrder, frame_type: FrameType) -> u8 {
+    (order.code() << 6) | (frame_type as u8)
+}
+
+/// Unpack a prefix byte.
+pub fn parse_prefix(byte: u8, offset: usize) -> BxsaResult<(ByteOrder, FrameType)> {
+    let order = ByteOrder::from_code(byte >> 6).ok_or(BxsaError::BadByteOrder {
+        offset,
+        code: byte >> 6,
+    })?;
+    let frame_type = FrameType::from_code(byte & 0x3f, offset)?;
+    Ok((order, frame_type))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_roundtrip() {
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            for ft in [
+                FrameType::Document,
+                FrameType::Component,
+                FrameType::Leaf,
+                FrameType::Array,
+                FrameType::CharData,
+                FrameType::Comment,
+                FrameType::Pi,
+            ] {
+                let b = prefix_byte(order, ft);
+                assert_eq!(parse_prefix(b, 0).unwrap(), (order, ft));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_codes_rejected() {
+        // frame type 0 is unassigned
+        assert!(matches!(
+            parse_prefix(0x00, 5),
+            Err(BxsaError::BadFrameType { offset: 5, code: 0 })
+        ));
+        // byte-order code 2 is reserved
+        assert!(matches!(
+            parse_prefix(0b1000_0001, 0),
+            Err(BxsaError::BadByteOrder { code: 2, .. })
+        ));
+        assert!(matches!(
+            parse_prefix(0x3f, 0),
+            Err(BxsaError::BadFrameType { code: 0x3f, .. })
+        ));
+    }
+
+    #[test]
+    fn element_kinds() {
+        assert!(FrameType::Component.is_element());
+        assert!(FrameType::Leaf.is_element());
+        assert!(FrameType::Array.is_element());
+        assert!(!FrameType::Document.is_element());
+        assert!(!FrameType::CharData.is_element());
+    }
+}

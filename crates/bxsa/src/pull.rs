@@ -1,0 +1,616 @@
+//! A streaming (pull) reader for BXSA documents.
+//!
+//! The tree decoder ([`crate::decoder`]) materializes a full bXDM tree;
+//! for large documents a consumer often wants to walk events and touch
+//! only what it needs — the streaming style XBS was originally built for
+//! (Chiu, "XBS: a *streaming* binary serializer", HPCS 2004). The pull
+//! reader yields one event per frame boundary and hands arrays back as
+//! lazy handles, so a filter that only inspects element names never pays
+//! for payload decoding at all.
+//!
+//! ```
+//! use bxdm::{Document, Element, ArrayValue};
+//! use bxsa::pull::{PullReader, PullEvent};
+//!
+//! let doc = Document::with_root(
+//!     Element::component("set")
+//!         .with_child(Element::array("v", ArrayValue::F64(vec![1.0, 2.0]))),
+//! );
+//! let bytes = bxsa::encode(&doc).unwrap();
+//! let mut names = Vec::new();
+//! let mut reader = PullReader::new(&bytes).unwrap();
+//! while let Some(event) = reader.next_event().unwrap() {
+//!     if let PullEvent::ElementStart(start) = &event {
+//!         names.push(start.name.local().to_owned());
+//!     }
+//! }
+//! assert_eq!(names, ["set", "v"]);
+//! ```
+
+use bxdm::namespace::NsRef;
+use bxdm::{ArrayValue, Attribute, AtomicValue, NamespaceDecl, NsContext, QName};
+use xbs::{ByteOrder, Primitive, TypeCode, XbsReader};
+
+use crate::error::{BxsaError, BxsaResult};
+use crate::frame::{parse_prefix, FrameType};
+
+/// The header of an element frame, common to all three element kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementStart {
+    /// Qualified element name.
+    pub name: QName,
+    /// Namespace declarations on this element.
+    pub namespaces: Vec<NamespaceDecl>,
+    /// Typed attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+/// A lazy handle onto an array frame's payload.
+///
+/// Nothing is decoded until [`ArrayHandle::read`] or
+/// [`ArrayHandle::view`] is called; skipping the element costs nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayHandle<'a> {
+    buf: &'a [u8],
+    payload_start: usize,
+    /// Element type of the array.
+    pub code: TypeCode,
+    /// Number of items.
+    pub len: usize,
+    /// Byte order of the payload.
+    pub order: ByteOrder,
+}
+
+impl<'a> ArrayHandle<'a> {
+    /// Decode the payload into an owned [`ArrayValue`].
+    pub fn read(&self) -> BxsaResult<ArrayValue> {
+        let mut r = XbsReader::new(self.buf, self.order);
+        r.seek(self.payload_start)?;
+        Ok(match self.code {
+            TypeCode::I8 => ArrayValue::I8(r.read_packed(self.len)?),
+            TypeCode::U8 => ArrayValue::U8(r.read_packed(self.len)?),
+            TypeCode::I16 => ArrayValue::I16(r.read_packed(self.len)?),
+            TypeCode::U16 => ArrayValue::U16(r.read_packed(self.len)?),
+            TypeCode::I32 => ArrayValue::I32(r.read_packed(self.len)?),
+            TypeCode::U32 => ArrayValue::U32(r.read_packed(self.len)?),
+            TypeCode::I64 => ArrayValue::I64(r.read_packed(self.len)?),
+            TypeCode::U64 => ArrayValue::U64(r.read_packed(self.len)?),
+            TypeCode::F32 => ArrayValue::F32(r.read_packed(self.len)?),
+            TypeCode::F64 => ArrayValue::F64(r.read_packed(self.len)?),
+            other => {
+                return Err(BxsaError::BadValueType {
+                    offset: self.payload_start,
+                    what: format!("{other:?} is not an array element type"),
+                })
+            }
+        })
+    }
+
+    /// Borrow the payload zero-copy when byte order and alignment allow.
+    pub fn view<T: Primitive>(&self) -> BxsaResult<Option<&'a [T]>> {
+        if T::TYPE_CODE != self.code {
+            return Err(BxsaError::BadValueType {
+                offset: self.payload_start,
+                what: format!("payload is {:?}, requested {:?}", self.code, T::TYPE_CODE),
+            });
+        }
+        let mut r = XbsReader::new(self.buf, self.order);
+        r.seek(self.payload_start)?;
+        Ok(r.read_packed_zero_copy::<T>(self.len)?)
+    }
+}
+
+/// One streaming event.
+#[derive(Debug, Clone)]
+pub enum PullEvent<'a> {
+    /// An element frame opened (any kind; see the following events).
+    ElementStart(ElementStart),
+    /// The typed value of a leaf element (between its start and end).
+    LeafValue(AtomicValue),
+    /// The payload handle of an array element (between start and end).
+    Array(ArrayHandle<'a>),
+    /// An element frame closed (emitted for leaf/array elements too).
+    ElementEnd,
+    /// Character data.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+/// What the reader still owes for an open scope.
+#[derive(Debug)]
+enum Pending {
+    /// A component element with `remaining` child frames to read.
+    Component { end: usize, remaining: usize },
+    /// A leaf element whose value event is due.
+    LeafValue { end: usize },
+    /// An array element whose handle event is due.
+    ArrayValue { end: usize },
+    /// An element whose end event is due, then the frame closes at `end`.
+    End { end: usize },
+}
+
+/// The streaming reader.
+pub struct PullReader<'a> {
+    r: XbsReader<'a>,
+    ctx: NsContext,
+    stack: Vec<Pending>,
+    /// Remaining top-level frames in the document frame.
+    top_remaining: usize,
+    doc_end: usize,
+    finished: bool,
+}
+
+impl<'a> PullReader<'a> {
+    /// Open a reader over an encoded document.
+    pub fn new(buf: &'a [u8]) -> BxsaResult<PullReader<'a>> {
+        let mut r = XbsReader::new(buf, ByteOrder::Little);
+        let start = r.position();
+        let (order, frame_type) = parse_prefix(r.read_raw_u8()?, start)?;
+        if frame_type != FrameType::Document {
+            return Err(BxsaError::Structure {
+                what: format!("expected a document frame, found {frame_type:?}"),
+            });
+        }
+        r.set_order(order);
+        let size = r.read_vls_padded()? as usize;
+        let top_remaining = r.read_count(1)?;
+        Ok(PullReader {
+            r,
+            ctx: NsContext::new(),
+            stack: Vec::new(),
+            top_remaining,
+            doc_end: start + size,
+            finished: false,
+        })
+    }
+
+    /// Pull the next event; `None` at end of document.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_event(&mut self) -> BxsaResult<Option<PullEvent<'a>>> {
+        if self.finished {
+            return Ok(None);
+        }
+        // Deliver owed value/end events for the innermost open scope.
+        match self.stack.pop() {
+            None => {
+                if self.top_remaining == 0 {
+                    self.finish()?;
+                    return Ok(None);
+                }
+                self.top_remaining -= 1;
+                self.read_frame().map(Some)
+            }
+            Some(Pending::LeafValue { end }) => {
+                let value = self.read_atomic()?;
+                self.stack.push(Pending::End { end });
+                Ok(Some(PullEvent::LeafValue(value)))
+            }
+            Some(Pending::ArrayValue { end }) => {
+                let handle = self.read_array_handle(end)?;
+                self.stack.push(Pending::End { end });
+                Ok(Some(PullEvent::Array(handle)))
+            }
+            Some(Pending::End { end }) => {
+                self.close_element(end)?;
+                Ok(Some(PullEvent::ElementEnd))
+            }
+            Some(Pending::Component { end, remaining }) => {
+                if remaining == 0 {
+                    self.close_element(end)?;
+                    return Ok(Some(PullEvent::ElementEnd));
+                }
+                self.stack.push(Pending::Component {
+                    end,
+                    remaining: remaining - 1,
+                });
+                self.read_frame().map(Some)
+            }
+        }
+    }
+
+    /// Skip the innermost open element entirely (children, payload and
+    /// all), without generating events — the streaming counterpart of the
+    /// size-field skip-scan.
+    pub fn skip_element(&mut self) -> BxsaResult<()> {
+        let end = match self.stack.pop() {
+            Some(
+                Pending::Component { end, .. }
+                | Pending::LeafValue { end }
+                | Pending::ArrayValue { end }
+                | Pending::End { end },
+            ) => end,
+            None => {
+                return Err(BxsaError::Structure {
+                    what: "skip_element with no open element".into(),
+                })
+            }
+        };
+        self.ctx.pop_scope();
+        self.r.seek(end)?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> BxsaResult<()> {
+        self.finished = true;
+        if self.r.position() != self.doc_end {
+            return Err(BxsaError::FrameSizeMismatch {
+                offset: 0,
+                declared: self.doc_end as u64,
+                consumed: self.r.position() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn close_element(&mut self, end: usize) -> BxsaResult<()> {
+        self.ctx.pop_scope();
+        let at = self.r.position();
+        if at != end {
+            return Err(BxsaError::FrameSizeMismatch {
+                offset: end,
+                declared: end as u64,
+                consumed: at as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> BxsaResult<PullEvent<'a>> {
+        let start = self.r.position();
+        let (order, frame_type) = parse_prefix(self.r.read_raw_u8()?, start)?;
+        self.r.set_order(order);
+        let size = self.r.read_vls_padded()? as usize;
+        let end = start + size;
+        match frame_type {
+            FrameType::Document => Err(BxsaError::Structure {
+                what: "nested document frame".into(),
+            }),
+            FrameType::CharData => {
+                let text = self.r.read_str()?.to_owned();
+                self.expect_end(start, end)?;
+                Ok(PullEvent::Text(text))
+            }
+            FrameType::Comment => {
+                let text = self.r.read_str()?.to_owned();
+                self.expect_end(start, end)?;
+                Ok(PullEvent::Comment(text))
+            }
+            FrameType::Pi => {
+                let target = self.r.read_str()?.to_owned();
+                let data = self.r.read_str()?.to_owned();
+                self.expect_end(start, end)?;
+                Ok(PullEvent::Pi { target, data })
+            }
+            FrameType::Component | FrameType::Leaf | FrameType::Array => {
+                let header = self.read_element_header()?;
+                match frame_type {
+                    FrameType::Component => {
+                        let remaining = self.r.read_count(1)?;
+                        self.stack.push(Pending::Component { end, remaining });
+                    }
+                    FrameType::Leaf => self.stack.push(Pending::LeafValue { end }),
+                    FrameType::Array => self.stack.push(Pending::ArrayValue { end }),
+                    _ => unreachable!(),
+                }
+                Ok(PullEvent::ElementStart(header))
+            }
+        }
+    }
+
+    fn expect_end(&mut self, start: usize, end: usize) -> BxsaResult<()> {
+        if self.r.position() != end {
+            return Err(BxsaError::FrameSizeMismatch {
+                offset: start,
+                declared: (end - start) as u64,
+                consumed: (self.r.position() - start) as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_element_header(&mut self) -> BxsaResult<ElementStart> {
+        let n1 = self.r.read_count(2)?;
+        let mut decls = Vec::with_capacity(n1);
+        for _ in 0..n1 {
+            let prefix = self.r.read_str()?;
+            let uri = self.r.read_str()?.to_owned();
+            decls.push(NamespaceDecl {
+                prefix: (!prefix.is_empty()).then(|| prefix.to_owned()),
+                uri,
+            });
+        }
+        self.ctx.push_scope(&decls);
+        let name = self.read_qname()?;
+        let n2 = self.r.read_count(3)?;
+        let mut attributes = Vec::with_capacity(n2);
+        for _ in 0..n2 {
+            let attr_name = self.read_qname()?;
+            let value = self.read_atomic()?;
+            attributes.push(Attribute {
+                name: attr_name,
+                value,
+            });
+        }
+        Ok(ElementStart {
+            name,
+            namespaces: decls,
+            attributes,
+        })
+    }
+
+    fn read_qname(&mut self) -> BxsaResult<QName> {
+        let at = self.r.position();
+        let tag = self.r.read_vls()?;
+        let prefix: Option<String> = if tag == 0 {
+            None
+        } else {
+            let index = self.r.read_vls()?;
+            let r = NsRef {
+                scope_depth: (tag - 1)
+                    .try_into()
+                    .map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
+                index: index
+                    .try_into()
+                    .map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
+            };
+            self.ctx
+                .lookup_ref(r)
+                .ok_or(BxsaError::BadNamespaceRef { offset: at })?
+                .prefix
+                .clone()
+        };
+        let local = self.r.read_str()?;
+        Ok(QName::new(prefix.as_deref(), local))
+    }
+
+    fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {
+        let at = self.r.position();
+        let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
+        Ok(match code {
+            TypeCode::I8 => AtomicValue::I8(self.r.read_i8()?),
+            TypeCode::U8 => AtomicValue::U8(self.r.read_u8()?),
+            TypeCode::I16 => AtomicValue::I16(self.r.read_i16()?),
+            TypeCode::U16 => AtomicValue::U16(self.r.read_u16()?),
+            TypeCode::I32 => AtomicValue::I32(self.r.read_i32()?),
+            TypeCode::U32 => AtomicValue::U32(self.r.read_u32()?),
+            TypeCode::I64 => AtomicValue::I64(self.r.read_i64()?),
+            TypeCode::U64 => AtomicValue::U64(self.r.read_u64()?),
+            TypeCode::F32 => AtomicValue::F32(self.r.read_f32()?),
+            TypeCode::F64 => AtomicValue::F64(self.r.read_f64()?),
+            TypeCode::Str => AtomicValue::Str(self.r.read_str()?.to_owned()),
+            TypeCode::Bool => {
+                let b = self.r.read_raw_u8()?;
+                if b > 1 {
+                    return Err(BxsaError::BadValueType {
+                        offset: at,
+                        what: format!("boolean byte {b:#04x}"),
+                    });
+                }
+                AtomicValue::Bool(b == 1)
+            }
+        })
+    }
+
+    fn read_array_handle(&mut self, end: usize) -> BxsaResult<ArrayHandle<'a>> {
+        let at = self.r.position();
+        let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
+        let width = code
+            .width()
+            .filter(|_| code != TypeCode::Bool && code != TypeCode::Str)
+            .ok_or_else(|| BxsaError::BadValueType {
+                offset: at,
+                what: format!("{code:?} is not a valid array element type"),
+            })?;
+        let len = self.r.read_count(width)?;
+        let payload_start = self.r.position();
+        let handle = ArrayHandle {
+            buf: self.r.buffer(),
+            payload_start,
+            code,
+            len,
+            order: self.r.order(),
+        };
+        // Advance past the payload without touching it.
+        let aligned = xbs::align_up(payload_start, width);
+        self.r.seek(aligned + len * width)?;
+        let _ = end;
+        Ok(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use bxdm::{Document, Element, Node};
+
+    fn sample_doc() -> Document {
+        Document::with_root(
+            Element::component("d:set")
+                .with_namespace("d", "http://example.org")
+                .with_attr("run", "1")
+                .with_child(Element::leaf("d:count", AtomicValue::I32(2)))
+                .with_child(Element::array(
+                    "d:values",
+                    ArrayValue::F64(vec![0.5, 1.5, -2.0]),
+                ))
+                .with_text("note")
+                .with_comment("end"),
+        )
+    }
+
+    /// Replay pull events into a tree and compare with the tree decoder.
+    fn rebuild(bytes: &[u8]) -> Document {
+        let mut reader = PullReader::new(bytes).unwrap();
+        let mut doc = Document::new();
+        let mut stack: Vec<Element> = Vec::new();
+        while let Some(event) = reader.next_event().unwrap() {
+            match event {
+                PullEvent::ElementStart(start) => {
+                    let mut e = Element::component(start.name.lexical().as_str());
+                    e.namespaces = start.namespaces;
+                    e.attributes = start.attributes;
+                    stack.push(e);
+                }
+                PullEvent::LeafValue(v) => {
+                    stack.last_mut().unwrap().content = bxdm::Content::Leaf(v);
+                }
+                PullEvent::Array(h) => {
+                    stack.last_mut().unwrap().content = bxdm::Content::Array(h.read().unwrap());
+                }
+                PullEvent::ElementEnd => {
+                    let done = stack.pop().unwrap();
+                    match stack.last_mut() {
+                        Some(parent) => parent.push_child(done),
+                        None => doc.children.push(Node::Element(done)),
+                    }
+                }
+                PullEvent::Text(t) => match stack.last_mut() {
+                    Some(p) => p.push_node(Node::Text(t)),
+                    None => doc.children.push(Node::Text(t)),
+                },
+                PullEvent::Comment(c) => match stack.last_mut() {
+                    Some(p) => p.push_node(Node::Comment(c)),
+                    None => doc.children.push(Node::Comment(c)),
+                },
+                PullEvent::Pi { target, data } => {
+                    let node = Node::Pi { target, data };
+                    match stack.last_mut() {
+                        Some(p) => p.push_node(node),
+                        None => doc.children.push(node),
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn pull_rebuild_matches_tree_decode() {
+        let doc = sample_doc();
+        let bytes = encode(&doc).unwrap();
+        assert_eq!(rebuild(&bytes), doc);
+    }
+
+    #[test]
+    fn event_sequence_shape() {
+        let bytes = encode(&sample_doc()).unwrap();
+        let mut reader = PullReader::new(&bytes).unwrap();
+        let mut kinds = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            kinds.push(match e {
+                PullEvent::ElementStart(_) => "start",
+                PullEvent::LeafValue(_) => "leaf",
+                PullEvent::Array(_) => "array",
+                PullEvent::ElementEnd => "end",
+                PullEvent::Text(_) => "text",
+                PullEvent::Comment(_) => "comment",
+                PullEvent::Pi { .. } => "pi",
+            });
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                "start", // d:set
+                "start", "leaf", "end", // d:count
+                "start", "array", "end", // d:values
+                "text", "comment", "end", // note, end-comment, </d:set>
+            ]
+        );
+    }
+
+    #[test]
+    fn skip_element_jumps_payload() {
+        let doc = Document::with_root(
+            Element::component("root")
+                .with_child(Element::array(
+                    "big",
+                    ArrayValue::F64((0..10_000).map(f64::from).collect()),
+                ))
+                .with_child(Element::leaf("after", AtomicValue::Bool(true))),
+        );
+        let bytes = encode(&doc).unwrap();
+        let mut reader = PullReader::new(&bytes).unwrap();
+        // root start, big start...
+        assert!(matches!(
+            reader.next_event().unwrap(),
+            Some(PullEvent::ElementStart(_))
+        ));
+        match reader.next_event().unwrap() {
+            Some(PullEvent::ElementStart(s)) => assert_eq!(s.name.local(), "big"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Skip the array without reading its handle.
+        reader.skip_element().unwrap();
+        match reader.next_event().unwrap() {
+            Some(PullEvent::ElementStart(s)) => assert_eq!(s.name.local(), "after"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_handle_lazy_read_and_view() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64 * 0.25).collect();
+        let doc = Document::with_root(Element::array("v", ArrayValue::F64(values.clone())));
+        let bytes = encode(&doc).unwrap();
+        let mut reader = PullReader::new(&bytes).unwrap();
+        reader.next_event().unwrap(); // start
+        match reader.next_event().unwrap() {
+            Some(PullEvent::Array(h)) => {
+                assert_eq!(h.len, 64);
+                assert_eq!(h.code, TypeCode::F64);
+                assert_eq!(h.read().unwrap(), ArrayValue::F64(values.clone()));
+                if let Some(view) = h.view::<f64>().unwrap() {
+                    assert_eq!(view, &values[..]);
+                }
+                assert!(h.view::<i32>().is_err());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespace_context_tracks_across_events() {
+        let doc = Document::with_root(
+            Element::component("a:r")
+                .with_namespace("a", "http://a")
+                .with_child(Element::leaf("a:x", AtomicValue::I32(1))),
+        );
+        let bytes = encode(&doc).unwrap();
+        let rebuilt = rebuild(&bytes);
+        assert_eq!(rebuilt, doc);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = encode(&sample_doc()).unwrap();
+        let cut = &bytes[..bytes.len() / 2];
+        let mut reader = PullReader::new(cut).unwrap();
+        let mut saw_error = false;
+        for _ in 0..100 {
+            match reader.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "truncation must surface as an error");
+    }
+
+    #[test]
+    fn rejects_non_document_input() {
+        assert!(PullReader::new(&[0x02, 0x05]).is_err());
+        assert!(PullReader::new(&[]).is_err());
+    }
+}

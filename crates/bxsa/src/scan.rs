@@ -1,0 +1,325 @@
+//! Accelerated sequential access.
+//!
+//! Paper §4.1: the size field "enables the accelerated sequential access
+//! ability, by which we can sequentially scan frames without fully
+//! parsing all parts of the document." [`FrameScanner`] walks sibling
+//! frames by hopping over their declared sizes; nothing inside a skipped
+//! frame is touched. The `skip_scan` bench quantifies the win over a full
+//! parse.
+
+use xbs::{ByteOrder, Primitive, XbsReader};
+
+use crate::error::{BxsaError, BxsaResult};
+use crate::frame::{parse_prefix, FrameType};
+
+/// A frame located by a scan, without its body having been parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Frame kind.
+    pub frame_type: FrameType,
+    /// Byte order of the frame's numeric payload.
+    pub byte_order: ByteOrder,
+    /// Offset of the frame's first byte within the scanned buffer.
+    pub start: usize,
+    /// Total frame length in bytes (prefix and size field included).
+    pub len: usize,
+    /// Offset of the first body byte (after prefix and size field).
+    pub body_start: usize,
+}
+
+impl FrameInfo {
+    /// The frame's bytes within the buffer it was scanned from.
+    pub fn slice<'a>(&self, buf: &'a [u8]) -> &'a [u8] {
+        &buf[self.start..self.start + self.len]
+    }
+}
+
+/// Iterator over sibling frames starting at a given offset.
+pub struct FrameScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// Scan the frames of an encoded document, starting at the first
+    /// top-level frame *inside* the document frame.
+    pub fn document(buf: &'a [u8]) -> BxsaResult<FrameScanner<'a>> {
+        let info = peek_frame(buf, 0)?;
+        if info.frame_type != FrameType::Document {
+            return Err(BxsaError::Structure {
+                what: format!("expected a document frame, found {:?}", info.frame_type),
+            });
+        }
+        // Skip the child-count VLS to land on the first child frame.
+        let mut r = XbsReader::new(buf, info.byte_order);
+        r.seek(info.body_start)?;
+        let _count = r.read_vls()?;
+        Ok(FrameScanner {
+            buf,
+            pos: r.position(),
+            end: info.start + info.len,
+        })
+    }
+
+    /// Scan sibling frames in `buf[start..end]` (e.g. the children region
+    /// of a component frame).
+    pub fn range(buf: &'a [u8], start: usize, end: usize) -> FrameScanner<'a> {
+        FrameScanner {
+            buf,
+            pos: start,
+            end: end.min(buf.len()),
+        }
+    }
+}
+
+impl Iterator for FrameScanner<'_> {
+    type Item = BxsaResult<FrameInfo>;
+
+    fn next(&mut self) -> Option<BxsaResult<FrameInfo>> {
+        if self.pos >= self.end {
+            return None;
+        }
+        match peek_frame(self.buf, self.pos) {
+            Ok(info) => {
+                if info.start + info.len > self.end {
+                    self.pos = self.end;
+                    return Some(Err(BxsaError::Structure {
+                        what: format!(
+                            "frame at {} overruns its container (len {})",
+                            info.start, info.len
+                        ),
+                    }));
+                }
+                self.pos = info.start + info.len;
+                Some(Ok(info))
+            }
+            Err(e) => {
+                self.pos = self.end; // stop iteration after an error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Read just a frame's prefix and size field at `offset`.
+pub fn peek_frame(buf: &[u8], offset: usize) -> BxsaResult<FrameInfo> {
+    let mut r = XbsReader::new(buf, ByteOrder::Little);
+    r.seek(offset)?;
+    let (byte_order, frame_type) = parse_prefix(r.read_raw_u8()?, offset)?;
+    let len = r.read_vls_padded()?;
+    let body_start = r.position();
+    let len: usize = len.try_into().map_err(|_| BxsaError::Structure {
+        what: "frame size exceeds addressable memory".into(),
+    })?;
+    if len < body_start - offset || offset + len > buf.len() {
+        return Err(BxsaError::Structure {
+            what: format!("frame at {offset} declares impossible size {len}"),
+        });
+    }
+    Ok(FrameInfo {
+        frame_type,
+        byte_order,
+        start: offset,
+        len,
+        body_start,
+    })
+}
+
+/// Zero-copy view of an **array frame's** packed payload, without parsing
+/// the element header.
+///
+/// Walks the header fields of the array frame located by `info`
+/// (namespace table, name, attributes), checks the element type code
+/// matches `T`, and returns a borrowed slice over the payload when the
+/// byte order is native and the mapping is aligned; `Ok(None)` means a
+/// copying read is required (foreign order or unaligned buffer).
+pub fn array_payload_view<'a, T: Primitive>(
+    buf: &'a [u8],
+    info: &FrameInfo,
+) -> BxsaResult<Option<&'a [T]>> {
+    if info.frame_type != FrameType::Array {
+        return Err(BxsaError::Structure {
+            what: format!("{:?} is not an array frame", info.frame_type),
+        });
+    }
+    let mut r = XbsReader::new(buf, info.byte_order);
+    r.seek(info.body_start)?;
+    skip_element_header(&mut r)?;
+    let at = r.position();
+    let code = xbs::TypeCode::from_byte(r.read_raw_u8()?, at)?;
+    if code != T::TYPE_CODE {
+        return Err(BxsaError::BadValueType {
+            offset: at,
+            what: format!("payload is {code:?}, requested {:?}", T::TYPE_CODE),
+        });
+    }
+    let count = r.read_count(T::WIDTH)?;
+    Ok(r.read_packed_zero_copy::<T>(count)?)
+}
+
+/// Copying read of an array frame's payload (always succeeds on valid
+/// input; pairs with [`array_payload_view`]).
+pub fn array_payload_copy<T: Primitive>(buf: &[u8], info: &FrameInfo) -> BxsaResult<Vec<T>> {
+    if info.frame_type != FrameType::Array {
+        return Err(BxsaError::Structure {
+            what: format!("{:?} is not an array frame", info.frame_type),
+        });
+    }
+    let mut r = XbsReader::new(buf, info.byte_order);
+    r.seek(info.body_start)?;
+    skip_element_header(&mut r)?;
+    let at = r.position();
+    let code = xbs::TypeCode::from_byte(r.read_raw_u8()?, at)?;
+    if code != T::TYPE_CODE {
+        return Err(BxsaError::BadValueType {
+            offset: at,
+            what: format!("payload is {code:?}, requested {:?}", T::TYPE_CODE),
+        });
+    }
+    let count = r.read_count(T::WIDTH)?;
+    Ok(r.read_packed(count)?)
+}
+
+/// Advance a reader past an element frame's namespace table, name
+/// reference, local name and attribute list, leaving it at the content.
+fn skip_element_header(r: &mut XbsReader<'_>) -> BxsaResult<()> {
+    let n1 = r.read_count(2)?;
+    for _ in 0..n1 {
+        let _prefix = r.read_str()?;
+        let _uri = r.read_str()?;
+    }
+    skip_qname(r)?;
+    let n2 = r.read_count(3)?;
+    for _ in 0..n2 {
+        skip_qname(r)?;
+        skip_atomic(r)?;
+    }
+    Ok(())
+}
+
+fn skip_qname(r: &mut XbsReader<'_>) -> BxsaResult<()> {
+    let tag = r.read_vls()?;
+    if tag != 0 {
+        let _index = r.read_vls()?;
+    }
+    let _local = r.read_str()?;
+    Ok(())
+}
+
+fn skip_atomic(r: &mut XbsReader<'_>) -> BxsaResult<()> {
+    let at = r.position();
+    let code = xbs::TypeCode::from_byte(r.read_raw_u8()?, at)?;
+    match code {
+        xbs::TypeCode::Str => {
+            let _s = r.read_str()?;
+        }
+        xbs::TypeCode::Bool => {
+            let _b = r.read_raw_u8()?;
+        }
+        other => {
+            let w = other.width().expect("fixed width");
+            r.align(w)?;
+            let _ = r.read_bytes(w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use bxdm::{ArrayValue, AtomicValue, Document, Element};
+
+    fn doc_with_frames() -> (Document, Vec<u8>) {
+        let doc = Document::with_root(
+            Element::component("root")
+                .with_child(Element::leaf("a", AtomicValue::I32(1)))
+                .with_child(Element::array("v", ArrayValue::F64(vec![1.0; 100])))
+                .with_child(Element::leaf("b", AtomicValue::Str("x".into()))),
+        );
+        let bytes = encode(&doc).unwrap();
+        (doc, bytes)
+    }
+
+    #[test]
+    fn document_scan_finds_root() {
+        let (_, bytes) = doc_with_frames();
+        let frames: Vec<_> = FrameScanner::document(&bytes)
+            .unwrap()
+            .collect::<BxsaResult<_>>()
+            .unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].frame_type, FrameType::Component);
+        // The root frame spans to the end of the buffer.
+        assert_eq!(frames[0].start + frames[0].len, bytes.len());
+    }
+
+    #[test]
+    fn scan_skips_without_parsing() {
+        let (_, bytes) = doc_with_frames();
+        let root = FrameScanner::document(&bytes)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        // Children of the root: skip over the element header by parsing
+        // the root normally, then locating children via a range scan is
+        // exercised in decoder tests; here we verify sizes chain.
+        assert!(root.len <= bytes.len());
+        assert_eq!(peek_frame(&bytes, root.start).unwrap(), root);
+    }
+
+    #[test]
+    fn array_payload_reads() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+        let doc = Document::with_root(Element::array("v", ArrayValue::F64(data.clone())));
+        let bytes = encode(&doc).unwrap();
+        let root = FrameScanner::document(&bytes)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        assert_eq!(root.frame_type, FrameType::Array);
+        // Copying read always works.
+        assert_eq!(array_payload_copy::<f64>(&bytes, &root).unwrap(), data);
+        // Zero-copy read matches when the allocation happens to align.
+        if let Some(view) = array_payload_view::<f64>(&bytes, &root).unwrap() {
+            assert_eq!(view, &data[..]);
+        }
+    }
+
+    #[test]
+    fn array_payload_type_mismatch() {
+        let doc = Document::with_root(Element::array("v", ArrayValue::I32(vec![1])));
+        let bytes = encode(&doc).unwrap();
+        let root = FrameScanner::document(&bytes)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            array_payload_copy::<f64>(&bytes, &root),
+            Err(BxsaError::BadValueType { .. })
+        ));
+    }
+
+    #[test]
+    fn peek_rejects_overrun_sizes() {
+        let (_, mut bytes) = doc_with_frames();
+        // Inflate the document frame's size field beyond the buffer:
+        // byte 1 starts the padded VLS; overwrite with a huge canonical VLS.
+        bytes[1] = 0xff;
+        bytes[2] = 0x7f;
+        assert!(peek_frame(&bytes, 0).is_err());
+    }
+
+    #[test]
+    fn range_scan_stops_on_error() {
+        let junk = [0xffu8, 0x00, 0x00];
+        let mut scanner = FrameScanner::range(&junk, 0, junk.len());
+        assert!(scanner.next().unwrap().is_err());
+        assert!(scanner.next().is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! # gridftp — a simulated GridFTP client/server pair
+//!
+//! The paper's separated scheme can stage its netCDF files over GridFTP
+//! (Globus GT4). Since the real GT4 stack is neither available nor
+//! desirable here, this crate models the *performance-relevant* behaviour
+//! of a GridFTP session on top of the `netsim` substrate:
+//!
+//! * a **control channel** (TCP connect + GSI authentication — the
+//!   multi-round-trip handshake and RSA work that dominate small
+//!   transfers, Figure 4);
+//! * **data channel setup** (`n` parallel TCP connections, opened
+//!   concurrently: one extra RTT regardless of `n`);
+//! * the **striped transfer** itself (per-stream window ceilings,
+//!   out-of-order reassembly at the receiver — `netsim::striped`);
+//! * per-command control exchanges (`SIZE`, `RETR`, `226 Transfer
+//!   complete`) each costing a round trip.
+//!
+//! The result is a virtual-time duration for "fetch this file with `n`
+//! streams", used by the Figure 4–6 harnesses.
+
+pub mod session;
+
+pub use session::{FetchBreakdown, GridFtpConfig, GridFtpSession};
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+    use netsim::NetworkProfile;
+
+    #[test]
+    fn auth_dominates_small_fetches() {
+        let lan = NetworkProfile::lan();
+        let session = GridFtpSession::new(GridFtpConfig::gsi_default(1), lan);
+        let b = session.fetch_breakdown(1000);
+        assert!(
+            b.auth.as_nanos() > b.transfer.as_nanos() * 10,
+            "auth {} should dwarf transfer {} for a 1 KB file",
+            b.auth,
+            b.transfer
+        );
+    }
+
+    #[test]
+    fn auth_amortizes_for_large_fetches() {
+        let lan = NetworkProfile::lan();
+        let session = GridFtpSession::new(GridFtpConfig::gsi_default(1), lan);
+        let b = session.fetch_breakdown(64 << 20);
+        assert!(b.transfer.as_nanos() > b.auth.as_nanos() * 20);
+    }
+
+    #[test]
+    fn wan_prefers_more_streams_lan_does_not() {
+        let bytes = 32 << 20;
+        let wan = NetworkProfile::wan();
+        let w1 = GridFtpSession::new(GridFtpConfig::gsi_default(1), wan).fetch_duration(bytes);
+        let w16 = GridFtpSession::new(GridFtpConfig::gsi_default(16), wan).fetch_duration(bytes);
+        assert!(w16 < w1, "WAN: 16 streams {w16} should beat 1 {w1}");
+
+        let lan = NetworkProfile::lan();
+        let l1 = GridFtpSession::new(GridFtpConfig::gsi_default(1), lan).fetch_duration(bytes);
+        let l16 = GridFtpSession::new(GridFtpConfig::gsi_default(16), lan).fetch_duration(bytes);
+        assert!(l16 >= l1, "LAN: parallelism should not help ({l16} vs {l1})");
+    }
+}

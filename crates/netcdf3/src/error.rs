@@ -1,0 +1,83 @@
+//! netCDF-3 codec errors.
+
+use std::fmt;
+
+/// Errors raised while building, writing, or reading netCDF-3 files.
+#[derive(Debug)]
+pub enum NcError {
+    /// The input is not a netCDF-3 classic file (bad magic or version).
+    BadMagic,
+    /// Structurally invalid header (bad tag, count, truncation...).
+    Malformed { offset: usize, what: String },
+    /// A variable's data length does not match the product of its
+    /// dimension lengths.
+    ShapeMismatch {
+        var: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A variable references a dimension id that does not exist.
+    BadDimId { var: String, dim: usize },
+    /// Duplicate dimension or variable name.
+    DuplicateName(String),
+    /// Underlying I/O failure (file read/write paths).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcError::BadMagic => write!(f, "not a netCDF-3 classic file"),
+            NcError::Malformed { offset, what } => {
+                write!(f, "malformed netCDF header at byte {offset}: {what}")
+            }
+            NcError::ShapeMismatch {
+                var,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "variable {var:?}: data has {actual} items but dimensions imply {expected}"
+            ),
+            NcError::BadDimId { var, dim } => {
+                write!(f, "variable {var:?} references unknown dimension id {dim}")
+            }
+            NcError::DuplicateName(n) => write!(f, "duplicate name {n:?}"),
+            NcError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NcError {
+    fn from(e: std::io::Error) -> NcError {
+        NcError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type NcResult<T> = Result<T, NcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(NcError::BadMagic.to_string().contains("netCDF"));
+        let e = NcError::ShapeMismatch {
+            var: "v".into(),
+            expected: 10,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('3'));
+    }
+}

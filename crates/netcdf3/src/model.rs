@@ -1,0 +1,379 @@
+//! In-memory model of a netCDF-3 classic dataset.
+
+use crate::error::{NcError, NcResult};
+
+/// The six external data types of the classic format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum NcType {
+    /// 8-bit signed integer (`NC_BYTE`).
+    Byte = 1,
+    /// Text (`NC_CHAR`).
+    Char = 2,
+    /// 16-bit signed integer (`NC_SHORT`).
+    Short = 3,
+    /// 32-bit signed integer (`NC_INT`).
+    Int = 4,
+    /// 32-bit IEEE float (`NC_FLOAT`).
+    Float = 5,
+    /// 64-bit IEEE float (`NC_DOUBLE`).
+    Double = 6,
+}
+
+impl NcType {
+    /// External size in bytes of one value.
+    pub fn width(self) -> usize {
+        match self {
+            NcType::Byte | NcType::Char => 1,
+            NcType::Short => 2,
+            NcType::Int | NcType::Float => 4,
+            NcType::Double => 8,
+        }
+    }
+
+    /// Decode the on-disk type tag.
+    pub fn from_tag(tag: u32, offset: usize) -> NcResult<NcType> {
+        Ok(match tag {
+            1 => NcType::Byte,
+            2 => NcType::Char,
+            3 => NcType::Short,
+            4 => NcType::Int,
+            5 => NcType::Float,
+            6 => NcType::Double,
+            _ => {
+                return Err(NcError::Malformed {
+                    offset,
+                    what: format!("unknown nc_type {tag}"),
+                })
+            }
+        })
+    }
+}
+
+/// Typed value payload (attribute values and variable data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NcValue {
+    Byte(Vec<i8>),
+    Char(String),
+    Short(Vec<i16>),
+    Int(Vec<i32>),
+    Float(Vec<f32>),
+    Double(Vec<f64>),
+}
+
+impl NcValue {
+    /// External type of this payload.
+    pub fn nc_type(&self) -> NcType {
+        match self {
+            NcValue::Byte(_) => NcType::Byte,
+            NcValue::Char(_) => NcType::Char,
+            NcValue::Short(_) => NcType::Short,
+            NcValue::Int(_) => NcType::Int,
+            NcValue::Float(_) => NcType::Float,
+            NcValue::Double(_) => NcType::Double,
+        }
+    }
+
+    /// Number of values (bytes for `Char`).
+    pub fn len(&self) -> usize {
+        match self {
+            NcValue::Byte(v) => v.len(),
+            NcValue::Char(s) => s.len(),
+            NcValue::Short(v) => v.len(),
+            NcValue::Int(v) => v.len(),
+            NcValue::Float(v) => v.len(),
+            NcValue::Double(v) => v.len(),
+        }
+    }
+
+    /// `true` when there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow as `&[i32]`.
+    pub fn as_int(&self) -> Option<&[i32]> {
+        match self {
+            NcValue::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[f64]`.
+    pub fn as_double(&self) -> Option<&[f64]> {
+        match self {
+            NcValue::Double(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&str` for `Char` payloads.
+    pub fn as_char(&self) -> Option<&str> {
+        match self {
+            NcValue::Char(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Append another payload of the same type (used when assembling
+    /// record variables slab by slab).
+    ///
+    /// # Panics
+    /// Panics on a type mismatch — the reader constructs both sides from
+    /// the same header type, so a mismatch is a codec bug.
+    pub fn append(&mut self, other: NcValue) {
+        match (self, other) {
+            (NcValue::Byte(a), NcValue::Byte(b)) => a.extend(b),
+            (NcValue::Char(a), NcValue::Char(b)) => a.push_str(&b),
+            (NcValue::Short(a), NcValue::Short(b)) => a.extend(b),
+            (NcValue::Int(a), NcValue::Int(b)) => a.extend(b),
+            (NcValue::Float(a), NcValue::Float(b)) => a.extend(b),
+            (NcValue::Double(a), NcValue::Double(b)) => a.extend(b),
+            _ => panic!("NcValue::append type mismatch"),
+        }
+    }
+
+    /// An empty payload of the given type.
+    pub fn empty_of(nc_type: NcType) -> NcValue {
+        match nc_type {
+            NcType::Byte => NcValue::Byte(Vec::new()),
+            NcType::Char => NcValue::Char(String::new()),
+            NcType::Short => NcValue::Short(Vec::new()),
+            NcType::Int => NcValue::Int(Vec::new()),
+            NcType::Float => NcValue::Float(Vec::new()),
+            NcType::Double => NcValue::Double(Vec::new()),
+        }
+    }
+}
+
+/// A named dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NcDim {
+    /// Dimension name.
+    pub name: String,
+    /// Length. `0` marks the record (UNLIMITED) dimension; its effective
+    /// length is [`NcFile::numrecs`].
+    pub len: usize,
+}
+
+impl NcDim {
+    /// `true` for the record (UNLIMITED) dimension.
+    pub fn is_record(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A named attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcAttr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute values.
+    pub value: NcValue,
+}
+
+/// A variable: a name, a dimension list, attributes, and its data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcVar {
+    /// Variable name.
+    pub name: String,
+    /// Indexes into [`NcFile::dims`], outermost first.
+    pub dims: Vec<usize>,
+    /// Per-variable attributes.
+    pub attrs: Vec<NcAttr>,
+    /// The data payload (row-major, complete).
+    pub data: NcValue,
+}
+
+/// An in-memory netCDF-3 classic dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NcFile {
+    /// Dimensions, in definition order.
+    pub dims: Vec<NcDim>,
+    /// Global attributes.
+    pub attrs: Vec<NcAttr>,
+    /// Variables, in definition order.
+    pub vars: Vec<NcVar>,
+    /// Number of records along the UNLIMITED dimension (0 when the
+    /// dataset has no record dimension).
+    pub numrecs: usize,
+}
+
+impl NcFile {
+    /// An empty dataset.
+    pub fn new() -> NcFile {
+        NcFile::default()
+    }
+
+    /// Define a dimension; returns its id.
+    pub fn add_dim(&mut self, name: &str, len: usize) -> usize {
+        self.dims.push(NcDim {
+            name: name.to_owned(),
+            len,
+        });
+        self.dims.len() - 1
+    }
+
+    /// Define the record (UNLIMITED) dimension with `numrecs` records;
+    /// returns its id. A classic file may have at most one.
+    pub fn add_record_dim(&mut self, name: &str, numrecs: usize) -> NcResult<usize> {
+        if self.record_dim().is_some() {
+            return Err(NcError::DuplicateName(format!(
+                "{name} (a record dimension already exists)"
+            )));
+        }
+        self.numrecs = numrecs;
+        Ok(self.add_dim(name, 0))
+    }
+
+    /// The record dimension's id, if one was defined.
+    pub fn record_dim(&self) -> Option<usize> {
+        self.dims.iter().position(NcDim::is_record)
+    }
+
+    /// `true` when `var` varies along the record dimension.
+    pub fn is_record_var(&self, var: &NcVar) -> bool {
+        matches!(
+            (var.dims.first(), self.record_dim()),
+            (Some(&first), Some(rec)) if first == rec
+        )
+    }
+
+    /// Number of values one record of `var` holds (its shape with the
+    /// record dimension stripped); equals the full length for fixed vars.
+    pub fn per_record_len(&self, var: &NcVar) -> usize {
+        let dims = if self.is_record_var(var) {
+            &var.dims[1..]
+        } else {
+            &var.dims[..]
+        };
+        dims.iter().map(|&d| self.dims[d].len).product::<usize>()
+    }
+
+    /// Add a global attribute.
+    pub fn add_attr(&mut self, name: &str, value: NcValue) {
+        self.attrs.push(NcAttr {
+            name: name.to_owned(),
+            value,
+        });
+    }
+
+    /// Define a variable over the given dimension ids with its data.
+    ///
+    /// Validates that every dimension id exists and that the data length
+    /// equals the product of the dimension lengths.
+    pub fn add_var(&mut self, name: &str, dims: &[usize], data: NcValue) -> NcResult<usize> {
+        if self.vars.iter().any(|v| v.name == name) {
+            return Err(NcError::DuplicateName(name.to_owned()));
+        }
+        let mut expected = 1usize;
+        for (pos, &d) in dims.iter().enumerate() {
+            let dim = self.dims.get(d).ok_or(NcError::BadDimId {
+                var: name.to_owned(),
+                dim: d,
+            })?;
+            if dim.is_record() {
+                // The record dimension may only lead (classic rule).
+                if pos != 0 {
+                    return Err(NcError::BadDimId {
+                        var: name.to_owned(),
+                        dim: d,
+                    });
+                }
+                expected = expected.saturating_mul(self.numrecs);
+            } else {
+                expected = expected.saturating_mul(dim.len);
+            }
+        }
+        if dims.is_empty() {
+            expected = 1; // scalar variable
+        }
+        if data.len() != expected {
+            return Err(NcError::ShapeMismatch {
+                var: name.to_owned(),
+                expected,
+                actual: data.len(),
+            });
+        }
+        self.vars.push(NcVar {
+            name: name.to_owned(),
+            dims: dims.to_vec(),
+            attrs: Vec::new(),
+            data,
+        });
+        Ok(self.vars.len() - 1)
+    }
+
+    /// Look up a variable by name.
+    pub fn var(&self, name: &str) -> Option<&NcVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Look up a dimension by name.
+    pub fn dim(&self, name: &str) -> Option<&NcDim> {
+        self.dims.iter().find(|d| d.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_validates_shape() {
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("n", 4);
+        assert!(matches!(
+            nc.add_var("v", &[d], NcValue::Int(vec![1, 2])),
+            Err(NcError::ShapeMismatch { expected: 4, actual: 2, .. })
+        ));
+        assert!(nc.add_var("v", &[d], NcValue::Int(vec![1, 2, 3, 4])).is_ok());
+    }
+
+    #[test]
+    fn add_var_validates_dim_ids() {
+        let mut nc = NcFile::new();
+        assert!(matches!(
+            nc.add_var("v", &[3], NcValue::Int(vec![])),
+            Err(NcError::BadDimId { dim: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_var_rejected() {
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("n", 1);
+        nc.add_var("v", &[d], NcValue::Int(vec![0])).unwrap();
+        assert!(matches!(
+            nc.add_var("v", &[d], NcValue::Int(vec![0])),
+            Err(NcError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_variable() {
+        let mut nc = NcFile::new();
+        nc.add_var("s", &[], NcValue::Double(vec![3.5])).unwrap();
+        assert_eq!(nc.var("s").unwrap().data.as_double(), Some(&[3.5][..]));
+    }
+
+    #[test]
+    fn multidim_shape() {
+        let mut nc = NcFile::new();
+        let a = nc.add_dim("a", 2);
+        let b = nc.add_dim("b", 3);
+        assert!(nc.add_var("m", &[a, b], NcValue::Float(vec![0.0; 6])).is_ok());
+    }
+
+    #[test]
+    fn type_widths() {
+        assert_eq!(NcType::Byte.width(), 1);
+        assert_eq!(NcType::Char.width(), 1);
+        assert_eq!(NcType::Short.width(), 2);
+        assert_eq!(NcType::Int.width(), 4);
+        assert_eq!(NcType::Float.width(), 4);
+        assert_eq!(NcType::Double.width(), 8);
+        assert!(NcType::from_tag(7, 0).is_err());
+        assert_eq!(NcType::from_tag(6, 0).unwrap(), NcType::Double);
+    }
+}

@@ -1,0 +1,440 @@
+//! Parsing netCDF-3 classic files.
+
+use crate::error::{NcError, NcResult};
+use crate::model::{NcAttr, NcDim, NcFile, NcType, NcValue, NcVar};
+use crate::write::{NC_ATTRIBUTE, NC_DIMENSION, NC_VARIABLE};
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> NcResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(NcError::Malformed {
+                offset: self.pos,
+                what: format!("truncated: needed {n} bytes"),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> NcResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn name(&mut self) -> NcResult<String> {
+        let at = self.pos;
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| NcError::Malformed {
+                offset: at,
+                what: "name is not UTF-8".into(),
+            })?
+            .to_owned();
+        self.padding(len)?;
+        Ok(name)
+    }
+
+    fn padding(&mut self, len: usize) -> NcResult<()> {
+        let pad = ((len + 3) & !3) - len;
+        let bytes = self.take(pad)?;
+        if bytes.iter().any(|&b| b != 0) {
+            return Err(NcError::Malformed {
+                offset: self.pos - pad,
+                what: "non-zero padding".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn values(&mut self, nc_type: NcType, count: usize) -> NcResult<NcValue> {
+        self.values_inner(nc_type, count, true)
+    }
+
+    fn values_inner(
+        &mut self,
+        nc_type: NcType,
+        count: usize,
+        pad: bool,
+    ) -> NcResult<NcValue> {
+        let at = self.pos;
+        let byte_len = count
+            .checked_mul(nc_type.width())
+            .ok_or(NcError::Malformed {
+                offset: at,
+                what: "value count overflow".into(),
+            })?;
+        let bytes = self.take(byte_len)?;
+        let value = match nc_type {
+            NcType::Byte => NcValue::Byte(bytes.iter().map(|&b| b as i8).collect()),
+            NcType::Char => NcValue::Char(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| NcError::Malformed {
+                        offset: at,
+                        what: "char data is not UTF-8".into(),
+                    })?
+                    .to_owned(),
+            ),
+            NcType::Short => NcValue::Short(
+                bytes
+                    .chunks_exact(2)
+                    .map(|c| i16::from_be_bytes(c.try_into().expect("2 bytes")))
+                    .collect(),
+            ),
+            NcType::Int => NcValue::Int(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| i32::from_be_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            ),
+            NcType::Float => NcValue::Float(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_be_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            ),
+            NcType::Double => NcValue::Double(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_be_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ),
+        };
+        if pad {
+            self.padding(byte_len)?;
+        }
+        Ok(value)
+    }
+
+    fn list_header(&mut self, expected_tag: u32) -> NcResult<usize> {
+        let at = self.pos;
+        let tag = self.u32()?;
+        let count = self.u32()? as usize;
+        if tag == 0 && count == 0 {
+            return Ok(0);
+        }
+        if tag != expected_tag {
+            return Err(NcError::Malformed {
+                offset: at,
+                what: format!("expected list tag {expected_tag:#x}, found {tag:#x}"),
+            });
+        }
+        Ok(count)
+    }
+
+    fn attr_list(&mut self) -> NcResult<Vec<NcAttr>> {
+        let count = self.list_header(NC_ATTRIBUTE)?;
+        let mut attrs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let name = self.name()?;
+            let at = self.pos;
+            let nc_type = NcType::from_tag(self.u32()?, at)?;
+            let nelems = self.u32()? as usize;
+            let value = self.values(nc_type, nelems)?;
+            attrs.push(NcAttr { name, value });
+        }
+        Ok(attrs)
+    }
+}
+
+impl NcFile {
+    /// Parse a netCDF-3 classic file from memory.
+    pub fn from_bytes(buf: &[u8]) -> NcResult<NcFile> {
+        let mut c = Cursor { buf, pos: 0 };
+        let magic = c.take(4)?;
+        if magic != b"CDF\x01" {
+            return Err(NcError::BadMagic);
+        }
+        let numrecs = c.u32()? as usize;
+
+        // Dimensions.
+        let ndims = c.list_header(NC_DIMENSION)?;
+        let mut dims = Vec::with_capacity(ndims.min(1024));
+        for _ in 0..ndims {
+            let name = c.name()?;
+            let len = c.u32()? as usize;
+            dims.push(NcDim { name, len });
+        }
+
+        // Global attributes.
+        let attrs = c.attr_list()?;
+
+        // At most one record (length-0) dimension.
+        let record_dim = {
+            let record_dims: Vec<usize> = dims
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.len == 0)
+                .map(|(i, _)| i)
+                .collect();
+            if record_dims.len() > 1 {
+                return Err(NcError::Malformed {
+                    offset: 8,
+                    what: "multiple record dimensions".into(),
+                });
+            }
+            record_dims.first().copied()
+        };
+
+        // Variable headers.
+        let nvars = c.list_header(NC_VARIABLE)?;
+        struct VarHeader {
+            name: String,
+            dims: Vec<usize>,
+            attrs: Vec<NcAttr>,
+            nc_type: NcType,
+            vsize: usize,
+            begin: usize,
+            record: bool,
+        }
+        let mut headers = Vec::with_capacity(nvars.min(1024));
+        for _ in 0..nvars {
+            let name = c.name()?;
+            let ndims_var = c.u32()? as usize;
+            let mut var_dims = Vec::with_capacity(ndims_var.min(64));
+            for pos in 0..ndims_var {
+                let at = c.pos;
+                let d = c.u32()? as usize;
+                if d >= dims.len() {
+                    return Err(NcError::Malformed {
+                        offset: at,
+                        what: format!("dimension id {d} out of range"),
+                    });
+                }
+                if Some(d) == record_dim && pos != 0 {
+                    return Err(NcError::Malformed {
+                        offset: at,
+                        what: format!("record dimension not leading in variable {name:?}"),
+                    });
+                }
+                var_dims.push(d);
+            }
+            let var_attrs = c.attr_list()?;
+            let at = c.pos;
+            let nc_type = NcType::from_tag(c.u32()?, at)?;
+            let vsize = c.u32()? as usize;
+            let begin = c.u32()? as usize;
+            let record = matches!((var_dims.first(), record_dim), (Some(&f), Some(r)) if f == r);
+            headers.push(VarHeader {
+                name,
+                dims: var_dims,
+                attrs: var_attrs,
+                nc_type,
+                vsize,
+                begin,
+                record,
+            });
+        }
+
+        // The record stride: sum of all record variables' slab sizes.
+        let recsize: usize = headers.iter().filter(|h| h.record).map(|h| h.vsize).sum();
+
+        // Data payloads.
+        let mut vars = Vec::with_capacity(headers.len());
+        for h in headers {
+            if h.begin > buf.len() {
+                return Err(NcError::Malformed {
+                    offset: h.begin,
+                    what: format!("variable {:?} data begins past end of file", h.name),
+                });
+            }
+            let per_record: usize = h
+                .dims
+                .iter()
+                .filter(|&&d| Some(d) != record_dim)
+                .map(|&d| dims[d].len)
+                .product();
+            let data = if h.record {
+                // numrecs slabs at stride recsize.
+                let mut data = NcValue::empty_of(h.nc_type);
+                for record in 0..numrecs {
+                    let at = h.begin + record * recsize;
+                    if at > buf.len() {
+                        return Err(NcError::Malformed {
+                            offset: at,
+                            what: format!("record {record} of {:?} past end of file", h.name),
+                        });
+                    }
+                    let mut dc = Cursor { buf, pos: at };
+                    // Slab padding (when present) is skipped by the
+                    // stride; the lone-narrow-record special case has
+                    // none, so do not validate trailing bytes here.
+                    data.append(dc.values_inner(h.nc_type, per_record, false)?);
+                }
+                data
+            } else {
+                let mut dc = Cursor { buf, pos: h.begin };
+                dc.values(h.nc_type, per_record)?
+            };
+            vars.push(NcVar {
+                name: h.name,
+                dims: h.dims,
+                attrs: h.attrs,
+                data,
+            });
+        }
+
+        Ok(NcFile {
+            dims,
+            attrs,
+            vars,
+            numrecs,
+        })
+    }
+
+    /// Parse a netCDF-3 classic file from disk.
+    pub fn read_file(path: &std::path::Path) -> NcResult<NcFile> {
+        let bytes = std::fs::read(path)?;
+        NcFile::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lead_sample() -> NcFile {
+        // Mirrors the paper's LEAD-derived data set: an int index array
+        // and a double value array over the same model dimension, with
+        // the four descriptive parameters as attributes.
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("model", 5);
+        nc.add_attr("parameters", NcValue::Char("time,y,x,height".into()));
+        nc.add_var("index", &[d], NcValue::Int(vec![1, 2, 3, 4, 5]))
+            .unwrap();
+        let v = nc
+            .add_var(
+                "values",
+                &[d],
+                NcValue::Double(vec![0.5, 1.5, -2.0, 3.25, 1e-8]),
+            )
+            .unwrap();
+        nc.vars[v].attrs.push(NcAttr {
+            name: "units".into(),
+            value: NcValue::Char("K".into()),
+        });
+        nc
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let nc = lead_sample();
+        let bytes = nc.to_bytes().unwrap();
+        let back = NcFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, nc);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            NcFile::from_bytes(b"HDF\x01\0\0\0\0"),
+            Err(NcError::BadMagic)
+        ));
+        assert!(matches!(
+            NcFile::from_bytes(b"CDF\x02\0\0\0\0"),
+            Err(NcError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = lead_sample().to_bytes().unwrap();
+        for cut in [3, 7, 11, 20, bytes.len() / 2, bytes.len() - 3] {
+            assert!(
+                NcFile::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn stray_numrecs_is_parsed_not_fatal() {
+        // numrecs > 0 without a record dimension is odd but harmless:
+        // there are no record variables to read.
+        let mut bytes = lead_sample().to_bytes().unwrap();
+        bytes[7] = 2; // numrecs = 2
+        let nc = NcFile::from_bytes(&bytes).unwrap();
+        assert_eq!(nc.numrecs, 2);
+        assert_eq!(nc.vars.len(), 2);
+    }
+
+    #[test]
+    fn record_file_roundtrip() {
+        // The shape of a real LEAD file: time is UNLIMITED, two record
+        // variables interleave per time step.
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 4).unwrap();
+        let h = nc.add_dim("height", 3);
+        nc.add_var(
+            "temp",
+            &[t, h],
+            NcValue::Double((0..12).map(f64::from).collect()),
+        )
+        .unwrap();
+        nc.add_var("flag", &[t], NcValue::Int(vec![1, 0, 1, 1]))
+            .unwrap();
+        nc.add_var("station", &[], NcValue::Char("K".into())).unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        let back = NcFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, nc);
+    }
+
+    #[test]
+    fn lone_narrow_record_var_roundtrip() {
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 5).unwrap();
+        nc.add_var("s", &[t], NcValue::Short(vec![1, -2, 3, -4, 5]))
+            .unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        let back = NcFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, nc);
+    }
+
+    #[test]
+    fn truncated_record_section_errors() {
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 4).unwrap();
+        nc.add_var("x", &[t], NcValue::Double(vec![1.0; 4])).unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        assert!(NcFile::from_bytes(&bytes[..bytes.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_dim_ids() {
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("n", 1);
+        nc.add_var("v", &[d], NcValue::Int(vec![7])).unwrap();
+        let mut bytes = nc.to_bytes().unwrap();
+        // The variable's single dim id (0) lives right after its name
+        // block and ndims field; flip it to 9. Locate it: search for the
+        // ndims field value 1 followed by dim id 0 after the var tag.
+        let var_tag_pos = bytes
+            .windows(4)
+            .position(|w| w == NC_VARIABLE.to_be_bytes())
+            .unwrap();
+        // name: len(4)+"v"+pad(3) = 8 bytes after count
+        let ndims_pos = var_tag_pos + 8 + 8;
+        assert_eq!(&bytes[ndims_pos..ndims_pos + 4], &1u32.to_be_bytes());
+        bytes[ndims_pos + 7] = 9;
+        assert!(NcFile::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn attributes_roundtrip_all_types() {
+        let mut nc = NcFile::new();
+        nc.add_attr("b", NcValue::Byte(vec![-1, 2]));
+        nc.add_attr("c", NcValue::Char("text".into()));
+        nc.add_attr("s", NcValue::Short(vec![-3]));
+        nc.add_attr("i", NcValue::Int(vec![4, 5]));
+        nc.add_attr("f", NcValue::Float(vec![0.5]));
+        nc.add_attr("d", NcValue::Double(vec![2.5, -1e300]));
+        let bytes = nc.to_bytes().unwrap();
+        assert_eq!(NcFile::from_bytes(&bytes).unwrap(), nc);
+    }
+}

@@ -1,0 +1,422 @@
+//! Serializing netCDF-3 classic files.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic 'C' 'D' 'F' 0x01
+//! numrecs          (u32; 0 without a record dimension)
+//! dim_list         tag NC_DIMENSION(0x0A)/ZERO, count, entries (len 0 = UNLIMITED)
+//! gatt_list        tag NC_ATTRIBUTE(0x0C)/ZERO, count, entries
+//! var_list         tag NC_VARIABLE(0x0B)/ZERO, count, entries
+//! data             fixed variables at their begins, then numrecs
+//!                  interleaved record slabs
+//! ```
+//!
+//! Names and value blocks are padded with zeros to 4-byte boundaries,
+//! exactly as the classic format prescribes — including the special case
+//! that a *single* record variable of a narrow type is packed without
+//! per-record padding.
+
+use std::io::Write;
+
+use crate::error::NcResult;
+use crate::model::{NcAttr, NcFile, NcType, NcValue, NcVar};
+
+pub(crate) const NC_DIMENSION: u32 = 0x0a;
+pub(crate) const NC_VARIABLE: u32 = 0x0b;
+pub(crate) const NC_ATTRIBUTE: u32 = 0x0c;
+
+pub(crate) fn pad4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+fn name_block_len(name: &str) -> usize {
+    4 + pad4(name.len())
+}
+
+fn value_block_len(v: &NcValue) -> usize {
+    pad4(v.len() * v.nc_type().width())
+}
+
+fn attr_len(a: &NcAttr) -> usize {
+    // name + nc_type + nelems + padded values
+    name_block_len(&a.name) + 4 + 4 + value_block_len(&a.value)
+}
+
+fn attr_list_len(attrs: &[NcAttr]) -> usize {
+    8 + attrs.iter().map(attr_len).sum::<usize>()
+}
+
+/// Per-variable layout facts shared by the writer and (via `vsize`) the
+/// reader.
+pub(crate) struct VarLayout {
+    /// `true` when the variable varies along the record dimension.
+    pub record: bool,
+    /// Values per record (= total values for fixed variables).
+    pub per_record: usize,
+    /// The `vsize` header field: the (padded) byte size of one record
+    /// slab for record variables, of the whole data for fixed ones.
+    pub vsize: usize,
+}
+
+/// Compute layouts for all variables, applying the classic special case:
+/// when there is exactly one record variable of a 1- or 2-byte type, its
+/// record slabs are packed without padding.
+pub(crate) fn layouts(file: &NcFile) -> Vec<VarLayout> {
+    let record_vars: Vec<&NcVar> = file
+        .vars
+        .iter()
+        .filter(|v| file.is_record_var(v))
+        .collect();
+    let lone_narrow_record = record_vars.len() == 1
+        && matches!(
+            record_vars[0].data.nc_type(),
+            NcType::Byte | NcType::Char | NcType::Short
+        );
+    file.vars
+        .iter()
+        .map(|v| {
+            let record = file.is_record_var(v);
+            let per_record = file.per_record_len(v);
+            let raw = per_record * v.data.nc_type().width();
+            let vsize = if record && lone_narrow_record {
+                raw
+            } else {
+                pad4(raw)
+            };
+            VarLayout {
+                record,
+                per_record,
+                vsize,
+            }
+        })
+        .collect()
+}
+
+impl NcFile {
+    /// Serialize to an in-memory byte buffer.
+    pub fn to_bytes(&self) -> NcResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.header_len() + 1024);
+        self.write_to(&mut out)?;
+        Ok(out)
+    }
+
+    /// Serialize to a file on disk (the separated-scheme benches use this
+    /// path so the disk round trip the paper measures is real).
+    pub fn write_file(&self, path: &std::path::Path) -> NcResult<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    fn header_len(&self) -> usize {
+        let mut n = 4 + 4; // magic + numrecs
+        // dim list
+        n += 8;
+        for d in &self.dims {
+            n += name_block_len(&d.name) + 4;
+        }
+        n += attr_list_len(&self.attrs);
+        // var list
+        n += 8;
+        for v in &self.vars {
+            n += name_block_len(&v.name) + 4 + 4 * v.dims.len();
+            n += attr_list_len(&v.attrs);
+            n += 4 + 4 + 4; // nc_type + vsize + begin (32-bit offsets)
+        }
+        n
+    }
+
+    /// Serialize into any writer.
+    pub fn write_to(&self, out: &mut impl Write) -> NcResult<()> {
+        let header_len = self.header_len();
+        let layouts = layouts(self);
+
+        out.write_all(b"CDF\x01")?;
+        out.write_all(&(self.numrecs as u32).to_be_bytes())?;
+
+        // dim_list
+        write_list_header(out, NC_DIMENSION, self.dims.len())?;
+        for d in &self.dims {
+            write_name(out, &d.name)?;
+            out.write_all(&(d.len as u32).to_be_bytes())?;
+        }
+
+        // gatt_list
+        write_attr_list(out, &self.attrs)?;
+
+        // var_list — fixed variables pack first, then record slabs.
+        let fixed_total: usize = layouts
+            .iter()
+            .filter(|l| !l.record)
+            .map(|l| l.vsize)
+            .sum();
+        let record_start = header_len + fixed_total;
+
+        write_list_header(out, NC_VARIABLE, self.vars.len())?;
+        let mut fixed_begin = header_len;
+        let mut record_offset = 0usize;
+        for (v, layout) in self.vars.iter().zip(&layouts) {
+            write_name(out, &v.name)?;
+            out.write_all(&(v.dims.len() as u32).to_be_bytes())?;
+            for &d in &v.dims {
+                out.write_all(&(d as u32).to_be_bytes())?;
+            }
+            write_attr_list(out, &v.attrs)?;
+            out.write_all(&(v.data.nc_type() as u32).to_be_bytes())?;
+            out.write_all(&(layout.vsize as u32).to_be_bytes())?;
+            let begin = if layout.record {
+                let b = record_start + record_offset;
+                record_offset += layout.vsize;
+                b
+            } else {
+                let b = fixed_begin;
+                fixed_begin += layout.vsize;
+                b
+            };
+            out.write_all(&(begin as u32).to_be_bytes())?;
+        }
+
+        // data: fixed variables in definition order...
+        for (v, layout) in self.vars.iter().zip(&layouts) {
+            if !layout.record {
+                write_value_slice(out, &v.data, 0, layout.per_record, layout.vsize)?;
+            }
+        }
+        // ...then numrecs interleaved record slabs.
+        for record in 0..self.numrecs {
+            for (v, layout) in self.vars.iter().zip(&layouts) {
+                if layout.record {
+                    write_value_slice(
+                        out,
+                        &v.data,
+                        record * layout.per_record,
+                        layout.per_record,
+                        layout.vsize,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_list_header(out: &mut impl Write, tag: u32, count: usize) -> NcResult<()> {
+    if count == 0 {
+        // ABSENT = ZERO ZERO
+        out.write_all(&[0u8; 8])?;
+    } else {
+        out.write_all(&tag.to_be_bytes())?;
+        out.write_all(&(count as u32).to_be_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_name(out: &mut impl Write, name: &str) -> NcResult<()> {
+    out.write_all(&(name.len() as u32).to_be_bytes())?;
+    out.write_all(name.as_bytes())?;
+    write_padding(out, pad4(name.len()) - name.len())?;
+    Ok(())
+}
+
+fn write_padding(out: &mut impl Write, pad: usize) -> NcResult<()> {
+    const ZEROS: [u8; 3] = [0; 3];
+    out.write_all(&ZEROS[..pad])?;
+    Ok(())
+}
+
+fn write_attr_list(out: &mut impl Write, attrs: &[NcAttr]) -> NcResult<()> {
+    write_list_header(out, NC_ATTRIBUTE, attrs.len())?;
+    for a in attrs {
+        write_name(out, &a.name)?;
+        out.write_all(&(a.value.nc_type() as u32).to_be_bytes())?;
+        out.write_all(&(a.value.len() as u32).to_be_bytes())?;
+        let byte_len = a.value.len() * a.value.nc_type().width();
+        write_value_slice(out, &a.value, 0, a.value.len(), pad4(byte_len))?;
+    }
+    Ok(())
+}
+
+/// Write `count` values of `v` starting at `start`, zero-padded to
+/// `slab_len` bytes.
+fn write_value_slice(
+    out: &mut impl Write,
+    v: &NcValue,
+    start: usize,
+    count: usize,
+    slab_len: usize,
+) -> NcResult<()> {
+    let byte_len = count * v.nc_type().width();
+    match v {
+        NcValue::Byte(items) => {
+            for &b in &items[start..start + count] {
+                out.write_all(&b.to_be_bytes())?;
+            }
+        }
+        NcValue::Char(s) => out.write_all(&s.as_bytes()[start..start + count])?,
+        NcValue::Short(items) => {
+            for &x in &items[start..start + count] {
+                out.write_all(&x.to_be_bytes())?;
+            }
+        }
+        NcValue::Int(items) => {
+            for &x in &items[start..start + count] {
+                out.write_all(&x.to_be_bytes())?;
+            }
+        }
+        NcValue::Float(items) => {
+            for &x in &items[start..start + count] {
+                out.write_all(&x.to_be_bytes())?;
+            }
+        }
+        NcValue::Double(items) => {
+            for &x in &items[start..start + count] {
+                out.write_all(&x.to_be_bytes())?;
+            }
+        }
+    }
+    // Pad to the slab size (alignment padding, and — for record slabs —
+    // the full per-record stride).
+    for _ in byte_len..slab_len {
+        out.write_all(&[0u8])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NcValue;
+
+    #[test]
+    fn magic_and_numrecs_lead() {
+        let nc = NcFile::new();
+        let bytes = nc.to_bytes().unwrap();
+        assert_eq!(&bytes[..4], b"CDF\x01");
+        assert_eq!(&bytes[4..8], &[0, 0, 0, 0]);
+        // Empty lists: three ABSENT markers (8 zero bytes each).
+        assert_eq!(bytes.len(), 8 + 24);
+        assert!(bytes[8..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn names_are_padded_to_four() {
+        let mut nc = NcFile::new();
+        nc.add_dim("abcde", 1); // 5 chars → 3 pad bytes
+        let bytes = nc.to_bytes().unwrap();
+        // dim list starts at 8: tag(4) count(4) namelen(4) name(5) pad(3) len(4)
+        assert_eq!(&bytes[8..12], &NC_DIMENSION.to_be_bytes());
+        assert_eq!(&bytes[16..20], &5u32.to_be_bytes());
+        assert_eq!(&bytes[20..25], b"abcde");
+        assert_eq!(&bytes[25..28], &[0, 0, 0]);
+        assert_eq!(&bytes[28..32], &1u32.to_be_bytes());
+    }
+
+    #[test]
+    fn encoding_overhead_matches_table1_expectation() {
+        // 1000 (f64, i32) pairs: native 12000 bytes; the netCDF overhead
+        // the paper reports is ~2%.
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("model", 1000);
+        nc.add_var("index", &[d], NcValue::Int((0..1000).collect()))
+            .unwrap();
+        nc.add_var(
+            "values",
+            &[d],
+            NcValue::Double((0..1000).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        let native = 12_000;
+        let overhead = bytes.len() - native;
+        assert!(
+            overhead * 100 / native <= 3,
+            "netCDF overhead {overhead} bytes too large"
+        );
+    }
+
+    #[test]
+    fn data_section_is_big_endian() {
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("n", 1);
+        nc.add_var("x", &[d], NcValue::Int(vec![0x01020304]))
+            .unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        // Data is the last (padded) block; an i32 occupies the final 4 bytes.
+        assert_eq!(&bytes[bytes.len() - 4..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn write_file_creates_readable_file() {
+        let dir = std::env::temp_dir().join("netcdf3_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.nc");
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("n", 2);
+        nc.add_var("x", &[d], NcValue::Double(vec![1.0, 2.0]))
+            .unwrap();
+        nc.write_file(&path).unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, nc.to_bytes().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn numrecs_written_to_header() {
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 3).unwrap();
+        let y = nc.add_dim("y", 2);
+        nc.add_var("temp", &[t, y], NcValue::Double((0..6).map(f64::from).collect()))
+            .unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        assert_eq!(&bytes[4..8], &3u32.to_be_bytes());
+    }
+
+    #[test]
+    fn record_slabs_interleave() {
+        // Two record variables over 2 records: slabs must alternate
+        // a[rec0] b[rec0] a[rec1] b[rec1].
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 2).unwrap();
+        nc.add_var("a", &[t], NcValue::Int(vec![1, 2])).unwrap();
+        nc.add_var("b", &[t], NcValue::Int(vec![10, 20])).unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        let tail = &bytes[bytes.len() - 16..];
+        assert_eq!(&tail[0..4], &1i32.to_be_bytes());
+        assert_eq!(&tail[4..8], &10i32.to_be_bytes());
+        assert_eq!(&tail[8..12], &2i32.to_be_bytes());
+        assert_eq!(&tail[12..16], &20i32.to_be_bytes());
+    }
+
+    #[test]
+    fn lone_narrow_record_var_is_packed() {
+        // One Short record variable: slabs are NOT padded to 4 (the
+        // classic special case).
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 3).unwrap();
+        nc.add_var("s", &[t], NcValue::Short(vec![1, 2, 3])).unwrap();
+        let bytes = nc.to_bytes().unwrap();
+        // Data section is 3 × 2 bytes, not 3 × 4.
+        let tail = &bytes[bytes.len() - 6..];
+        assert_eq!(tail, &[0, 1, 0, 2, 0, 3]);
+    }
+
+    #[test]
+    fn second_record_dim_rejected() {
+        let mut nc = NcFile::new();
+        nc.add_record_dim("time", 1).unwrap();
+        assert!(nc.add_record_dim("t2", 1).is_err());
+    }
+
+    #[test]
+    fn record_dim_must_lead() {
+        let mut nc = NcFile::new();
+        let t = nc.add_record_dim("time", 2).unwrap();
+        let y = nc.add_dim("y", 3);
+        assert!(nc
+            .add_var("bad", &[y, t], NcValue::Int(vec![0; 6]))
+            .is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Authentication handshake cost model.
+//!
+//! GridFTP sessions authenticate with GSI (X.509 over a TLS-style
+//! handshake) before any data moves. The paper: "The high response time by
+//! the SOAP with GridFTP data channel scheme is due to the expensive
+//! authentication and the SSL handshake protocol. This suggests GridFTP is
+//! unsuitable for the small message cases" (§6.2, Figure 4) — and
+//! conversely "the overhead of the security is amortized as the message
+//! size increases" (Figure 5).
+
+use crate::time::SimTime;
+
+/// A multi-round-trip handshake with per-side cryptographic CPU cost.
+#[derive(Debug, Clone, Copy)]
+pub struct AuthModel {
+    /// Message round trips consumed by the handshake (TLS 1.0 + GSI
+    /// delegation ≈ 5).
+    pub round_trips: u32,
+    /// Asymmetric-crypto CPU burned by the client (2006-era RSA-1024
+    /// handshake ≈ tens of milliseconds).
+    pub client_cpu: SimTime,
+    /// Asymmetric-crypto CPU burned by the server.
+    pub server_cpu: SimTime,
+}
+
+impl AuthModel {
+    /// GSI authentication as deployed with GT4 GridFTP.
+    pub fn gsi() -> AuthModel {
+        AuthModel {
+            round_trips: 5,
+            client_cpu: SimTime::from_millis(22),
+            server_cpu: SimTime::from_millis(30),
+        }
+    }
+
+    /// No authentication (plain TCP / anonymous HTTP).
+    pub fn none() -> AuthModel {
+        AuthModel {
+            round_trips: 0,
+            client_cpu: SimTime::ZERO,
+            server_cpu: SimTime::ZERO,
+        }
+    }
+
+    /// Total handshake wall time over a path with the given RTT. The two
+    /// sides' CPU work is serialized with the message exchanges.
+    pub fn handshake_duration(&self, rtt: SimTime) -> SimTime {
+        SimTime::from_nanos(rtt.as_nanos() * self.round_trips as u64)
+            + self.client_cpu
+            + self.server_cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gsi_dominates_small_lan_messages() {
+        // On the paper's 0.2 ms LAN, a bare TCP round trip is 200 µs; the
+        // GSI handshake is two orders of magnitude above it.
+        let rtt = SimTime::from_micros(200);
+        let auth = AuthModel::gsi().handshake_duration(rtt);
+        assert!(auth > SimTime::from_millis(50));
+        assert!(auth.as_nanos() > 100 * rtt.as_nanos());
+    }
+
+    #[test]
+    fn none_is_free() {
+        assert_eq!(
+            AuthModel::none().handshake_duration(SimTime::from_millis(6)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn wan_handshake_scales_with_rtt() {
+        let lan = AuthModel::gsi().handshake_duration(SimTime::from_micros(200));
+        let wan = AuthModel::gsi().handshake_duration(SimTime::from_micros(5750));
+        assert!(wan > lan);
+        assert_eq!(
+            wan.as_nanos() - lan.as_nanos(),
+            5 * (SimTime::from_micros(5750).as_nanos() - SimTime::from_micros(200).as_nanos())
+        );
+    }
+}

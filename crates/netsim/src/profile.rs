@@ -1,0 +1,120 @@
+//! Calibrated network profiles for the paper's two testbeds.
+
+use crate::disk::DiskModel;
+use crate::striped::StripedParams;
+use crate::tcp::TcpParams;
+use crate::time::SimTime;
+
+/// A named network environment: path characteristics plus the disk model
+/// used by file-staging schemes.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkProfile {
+    /// Human-readable name ("LAN", "WAN").
+    pub name: &'static str,
+    /// Round-trip time between client and server.
+    pub rtt: SimTime,
+    /// Application-visible bottleneck capacity, bytes/second.
+    pub link_bw: f64,
+    /// Background flows competing on the bottleneck.
+    pub background_flows: u32,
+    /// Effective receiver window of an untuned TCP stream.
+    pub rwnd: usize,
+    /// Receiver-side disk.
+    pub disk: DiskModel,
+}
+
+impl NetworkProfile {
+    /// The paper's local-area testbed: 0.2 ms RTT (measured, §6.2), an
+    /// idle switched 100 Mb Ethernet whose application-visible ceiling the
+    /// paper observed at ≈10 MB/s ("almost reached the maximum transfer
+    /// rate for a single untuned TCP stream"), 64 KiB default windows.
+    pub fn lan() -> NetworkProfile {
+        NetworkProfile {
+            name: "LAN",
+            rtt: SimTime::from_micros(200),
+            link_bw: 10.5e6,
+            background_flows: 0,
+            rwnd: 64 * 1024,
+            disk: DiskModel::era_default(),
+        }
+    }
+
+    /// The paper's wide-area testbed: Indiana ↔ University of Chicago,
+    /// 5.75 ms RTT (measured, §6.2). The shared path carries cross
+    /// traffic, and the effective single-stream window is small enough
+    /// that one stream cannot fill the pipe — which is what gives striped
+    /// GridFTP its advantage in Figure 6.
+    pub fn wan() -> NetworkProfile {
+        NetworkProfile {
+            name: "WAN",
+            rtt: SimTime::from_micros(5750),
+            link_bw: 24.0e6,
+            background_flows: 4,
+            rwnd: 24 * 1024,
+            disk: DiskModel::era_default(),
+        }
+    }
+
+    /// TCP parameters for one flow on this path.
+    pub fn tcp(&self) -> TcpParams {
+        TcpParams {
+            rtt: self.rtt,
+            link_bw: self.link_bw,
+            background_flows: self.background_flows,
+            rwnd: self.rwnd,
+            // ~3 era-typical 1460-byte segments.
+            init_cwnd: 4380,
+        }
+    }
+
+    /// Striped-transfer parameters with `streams` parallel data channels.
+    pub fn striped(&self, streams: u32) -> StripedParams {
+        StripedParams {
+            streams,
+            block_size: 256 * 1024,
+            tcp: self.tcp(),
+            seek: self.disk.seek,
+            disk_bw: self.disk.bw,
+            rate_skew: 0.04,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::striped::StripedTransfer;
+    use crate::tcp::TcpFlow;
+
+    #[test]
+    fn lan_single_stream_near_ten_mb_per_sec() {
+        let flow = TcpFlow::new(NetworkProfile::lan().tcp());
+        let rate = flow.steady_rate();
+        assert!((9.5e6..11.5e6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn wan_single_stream_around_four_mb_per_sec() {
+        // 24 KiB / 5.75 ms ≈ 4.3 MB/s — matching the single-stream
+        // plateau of Figure 6.
+        let flow = TcpFlow::new(NetworkProfile::wan().tcp());
+        let rate = flow.steady_rate();
+        assert!((3.0e6..5.0e6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn figure6_ordering_holds_at_steady_state() {
+        let wan = NetworkProfile::wan();
+        let r1 = StripedTransfer::new(wan.striped(1)).peak_rate();
+        let r4 = StripedTransfer::new(wan.striped(4)).peak_rate();
+        let r16 = StripedTransfer::new(wan.striped(16)).peak_rate();
+        assert!(r1 < r4 && r4 < r16, "{r1} {r4} {r16}");
+        assert!(r16 <= wan.link_bw);
+    }
+
+    #[test]
+    fn rtts_match_the_paper() {
+        assert_eq!(NetworkProfile::lan().rtt, SimTime::from_micros(200));
+        assert_eq!(NetworkProfile::wan().rtt, SimTime::from_micros(5750));
+    }
+}

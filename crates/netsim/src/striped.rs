@@ -1,0 +1,259 @@
+//! Striped (parallel-stream) transfers, GridFTP style.
+//!
+//! GridFTP's extended block mode stripes a file across `n` TCP streams;
+//! each block carries its file offset and the receiver writes it where it
+//! belongs. Two consequences, both visible in the paper's figures:
+//!
+//! * On the **WAN**, each stream is window-limited, so `n` streams move
+//!   `n` windows per RTT — striping beats any single-stream scheme
+//!   (Figure 6).
+//! * On the **LAN**, a single stream already fills the link, so striping
+//!   adds no bandwidth but *does* add out-of-order arrivals; each one
+//!   costs the receiver a disk seek. The paper (citing Allcock et al.)
+//!   observed exactly this mild degradation (Figure 5).
+//!
+//! The receiver is simulated with a discrete-event queue: block arrivals
+//! (per-stream slow start and deterministic per-stream rate skew included)
+//! are replayed in time order against a disk model that charges a seek
+//! whenever a write is not sequential.
+
+use crate::queue::EventQueue;
+use crate::tcp::{TcpFlow, TcpParams};
+use crate::time::SimTime;
+
+/// Parameters of a striped transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct StripedParams {
+    /// Number of parallel TCP data streams.
+    pub streams: u32,
+    /// Stripe block size in bytes (GridFTP default era-appropriate 256 KiB).
+    pub block_size: usize,
+    /// The shared TCP path.
+    pub tcp: TcpParams,
+    /// Receiver disk seek penalty per out-of-order block.
+    pub seek: SimTime,
+    /// Receiver disk sequential bandwidth (bytes/second).
+    pub disk_bw: f64,
+    /// Relative rate spread across streams (0.03 = slowest stream is 3%
+    /// slower than the fastest). Real stripes never run in lockstep; the
+    /// skew is deterministic so simulations are reproducible.
+    pub rate_skew: f64,
+}
+
+/// Result of simulating one striped transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripedOutcome {
+    /// Time from transfer start until the last block is on disk.
+    pub duration: SimTime,
+    /// Number of blocks that arrived out of sequential order.
+    pub out_of_order_blocks: usize,
+    /// Total number of blocks transferred.
+    pub total_blocks: usize,
+}
+
+/// A striped transfer simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct StripedTransfer {
+    params: StripedParams,
+}
+
+impl StripedTransfer {
+    /// A simulator with the given parameters.
+    pub fn new(params: StripedParams) -> StripedTransfer {
+        assert!(params.streams >= 1, "at least one stream");
+        assert!(params.block_size > 0, "block size must be positive");
+        StripedTransfer { params }
+    }
+
+    /// Per-stream steady rate, with the deterministic skew applied.
+    fn stream_rate(&self, stream: u32) -> f64 {
+        let p = &self.params;
+        let base = p.tcp.stream_rate(p.streams);
+        if p.streams == 1 {
+            return base;
+        }
+        // Linear spread: stream 0 fastest, stream n-1 slowest.
+        let frac = stream as f64 / (p.streams - 1) as f64;
+        base * (1.0 - p.rate_skew * frac)
+    }
+
+    /// Simulate moving `bytes` through the stripe set onto the receiver's
+    /// disk (connections assumed established; see the gridftp crate for
+    /// session setup costs).
+    pub fn transfer(&self, bytes: usize) -> StripedOutcome {
+        let p = &self.params;
+        if bytes == 0 {
+            return StripedOutcome {
+                duration: p.tcp.rtt,
+                out_of_order_blocks: 0,
+                total_blocks: 0,
+            };
+        }
+        let total_blocks = bytes.div_ceil(p.block_size);
+
+        // Round-robin assignment: block b goes to stream b % n. Schedule
+        // each block's arrival time from its stream's cumulative transfer
+        // curve (slow start + steady skewed rate).
+        let mut queue: EventQueue<Block> = EventQueue::new();
+        for s in 0..p.streams {
+            let flow = TcpFlow::new(p.tcp);
+            let rate = self.stream_rate(s);
+            let mut cumulative = 0usize;
+            let mut index_in_stream = 0u64;
+            let mut b = s as usize;
+            while b < total_blocks {
+                let len = p.block_size.min(bytes - b * p.block_size);
+                cumulative += len;
+                let arrival = flow.transfer_duration_at_rate(cumulative, rate);
+                let _ = index_in_stream;
+                index_in_stream += 1;
+                queue.schedule(
+                    arrival,
+                    Block {
+                        offset: b * p.block_size,
+                        len,
+                    },
+                );
+                b += p.streams as usize;
+            }
+        }
+
+        // Receiver: a disk that charges a seek for non-sequential writes.
+        let mut disk_free = SimTime::ZERO;
+        let mut next_offset = 0usize;
+        let mut out_of_order = 0usize;
+        while let Some((arrival, block)) = queue.pop() {
+            let start = arrival.max(disk_free);
+            let mut cost = SimTime::from_secs_f64(block.len as f64 / p.disk_bw);
+            if block.offset != next_offset {
+                out_of_order += 1;
+                cost += p.seek;
+            }
+            next_offset = block.offset + block.len;
+            disk_free = start + cost;
+        }
+
+        StripedOutcome {
+            duration: disk_free,
+            out_of_order_blocks: out_of_order,
+            total_blocks,
+        }
+    }
+
+    /// Aggregate steady throughput across all stripes (bytes/second),
+    /// ignoring slow start and reassembly — an upper bound used by tests
+    /// and capacity planning.
+    pub fn peak_rate(&self) -> f64 {
+        (0..self.params.streams).map(|s| self.stream_rate(s)).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    offset: usize,
+    len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan_tcp() -> TcpParams {
+        TcpParams {
+            rtt: SimTime::from_micros(200),
+            link_bw: 10.5e6,
+            background_flows: 0,
+            rwnd: 64 * 1024,
+            init_cwnd: 4380,
+        }
+    }
+
+    fn wan_tcp() -> TcpParams {
+        TcpParams {
+            rtt: SimTime::from_micros(5750),
+            link_bw: 24.0e6,
+            background_flows: 4,
+            rwnd: 24 * 1024,
+            init_cwnd: 4380,
+        }
+    }
+
+    fn striped(streams: u32, tcp: TcpParams) -> StripedTransfer {
+        StripedTransfer::new(StripedParams {
+            streams,
+            block_size: 256 * 1024,
+            tcp,
+            seek: SimTime::from_millis(8),
+            disk_bw: 60.0e6,
+            rate_skew: 0.04,
+        })
+    }
+
+    #[test]
+    fn wan_parallelism_beats_single_stream() {
+        let bytes = 32 << 20;
+        let t1 = striped(1, wan_tcp()).transfer(bytes).duration;
+        let t4 = striped(4, wan_tcp()).transfer(bytes).duration;
+        let t16 = striped(16, wan_tcp()).transfer(bytes).duration;
+        assert!(t4 < t1, "4 streams {t4} should beat 1 stream {t1} on WAN");
+        assert!(t16 < t4, "16 streams {t16} should beat 4 {t4} on WAN");
+    }
+
+    #[test]
+    fn lan_parallelism_degrades_slightly() {
+        let bytes = 32 << 20;
+        let t1 = striped(1, lan_tcp()).transfer(bytes);
+        let t4 = striped(4, lan_tcp()).transfer(bytes);
+        assert!(
+            t4.duration > t1.duration,
+            "parallel {:?} should not beat single {:?} on a LAN",
+            t4.duration,
+            t1.duration
+        );
+        // ...but only somewhat: well under 2x.
+        assert!(t4.duration.as_secs_f64() < t1.duration.as_secs_f64() * 2.0);
+        // The cause is out-of-order reassembly.
+        assert_eq!(t1.out_of_order_blocks, 0);
+        assert!(t4.out_of_order_blocks > 0);
+    }
+
+    #[test]
+    fn single_stream_is_in_order() {
+        let out = striped(1, wan_tcp()).transfer(8 << 20);
+        assert_eq!(out.out_of_order_blocks, 0);
+        assert_eq!(out.total_blocks, (8 << 20) / (256 * 1024));
+    }
+
+    #[test]
+    fn zero_bytes_is_cheap() {
+        let out = striped(4, lan_tcp()).transfer(0);
+        assert_eq!(out.total_blocks, 0);
+        assert!(out.duration <= SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn peak_rate_scales_until_capacity() {
+        let one = striped(1, wan_tcp()).peak_rate();
+        let sixteen = striped(16, wan_tcp()).peak_rate();
+        assert!(sixteen > one * 2.0);
+        assert!(sixteen <= wan_tcp().link_bw);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = striped(8, wan_tcp()).transfer(16 << 20);
+        let b = striped(8, wan_tcp()).transfer(16 << 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duration_monotone_in_bytes() {
+        let s = striped(4, wan_tcp());
+        let mut last = SimTime::ZERO;
+        for mb in [1usize, 2, 8, 32] {
+            let t = s.transfer(mb << 20).duration;
+            assert!(t > last);
+            last = t;
+        }
+    }
+}

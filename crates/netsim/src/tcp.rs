@@ -1,0 +1,234 @@
+//! An analytic TCP flow model.
+//!
+//! The model captures the three effects that drive the paper's bandwidth
+//! curves:
+//!
+//! 1. **Connection setup**: one round trip (SYN / SYN-ACK) before the
+//!    first payload byte; per-message costs dominate small messages
+//!    (Figure 4).
+//! 2. **Slow start**: the congestion window doubles once per RTT from
+//!    `init_cwnd` until it reaches the effective window, so short
+//!    transfers never see the steady-state rate.
+//! 3. **The window ceiling**: a single untuned stream cannot exceed
+//!    `rwnd / RTT` regardless of link capacity — negligible on a 0.2 ms
+//!    LAN, but the binding constraint on a 5.75 ms WAN. This is exactly
+//!    why "the parallel transport of GridFTP begins to show its benefit"
+//!    only on the WAN (paper §6.2, Figure 6).
+//!
+//! Capacity sharing with background traffic uses the standard TCP
+//! fair-share approximation: `n` local flows competing with `k` background
+//! flows on a link of capacity `C` get `C · n / (n + k)` in aggregate.
+
+use crate::time::SimTime;
+
+/// Parameters of a TCP path.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpParams {
+    /// Round-trip time.
+    pub rtt: SimTime,
+    /// Bottleneck link capacity available to application payload
+    /// (bytes/second).
+    pub link_bw: f64,
+    /// Number of background flows sharing the bottleneck (0 on an idle
+    /// LAN; > 0 on a shared WAN path).
+    pub background_flows: u32,
+    /// Receiver window in bytes (untuned 2006-era default: 64 KiB on the
+    /// LAN hosts, smaller effective windows on the WAN path).
+    pub rwnd: usize,
+    /// Initial congestion window in bytes (~3 segments).
+    pub init_cwnd: usize,
+}
+
+impl TcpParams {
+    /// Fair share of the bottleneck for `n` local flows competing with the
+    /// configured background flows.
+    pub fn fair_share(&self, n: u32) -> f64 {
+        let k = self.background_flows as f64;
+        let n = n as f64;
+        self.link_bw * n / (n + k)
+    }
+
+    /// Steady-state rate of one flow when `n` local flows are active:
+    /// the smaller of its window ceiling and its share of capacity.
+    pub fn stream_rate(&self, n: u32) -> f64 {
+        let window_rate = self.rwnd as f64 / self.rtt.as_secs_f64().max(1e-9);
+        window_rate.min(self.fair_share(n) / n as f64)
+    }
+}
+
+/// One TCP connection through a [`TcpParams`] path.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFlow {
+    params: TcpParams,
+}
+
+impl TcpFlow {
+    /// A flow over the given path.
+    pub fn new(params: TcpParams) -> TcpFlow {
+        TcpFlow { params }
+    }
+
+    /// The path parameters.
+    pub fn params(&self) -> &TcpParams {
+        &self.params
+    }
+
+    /// Three-way-handshake cost before the first payload byte can leave
+    /// (the final ACK piggybacks data).
+    pub fn connect_duration(&self) -> SimTime {
+        self.params.rtt
+    }
+
+    /// Steady-state throughput of this single flow (bytes/second).
+    pub fn steady_rate(&self) -> f64 {
+        self.params.stream_rate(1)
+    }
+
+    /// Time from the first byte entering the socket to the last byte
+    /// arriving at the receiver, for a one-way `bytes` transfer on an
+    /// established connection (slow start included).
+    pub fn transfer_duration(&self, bytes: usize) -> SimTime {
+        self.transfer_duration_at_rate(bytes, self.steady_rate())
+    }
+
+    /// As [`TcpFlow::transfer_duration`] but with an externally capped
+    /// steady rate (used by the striped model where each stripe gets a
+    /// share of capacity).
+    pub fn transfer_duration_at_rate(&self, bytes: usize, steady_rate: f64) -> SimTime {
+        let rtt = self.params.rtt.as_secs_f64();
+        let half_rtt = rtt / 2.0;
+        if bytes == 0 {
+            // An empty message still propagates (e.g. a zero-length body
+            // with headers accounted by the caller).
+            return SimTime::from_secs_f64(half_rtt);
+        }
+        let steady_rate = steady_rate.max(1.0);
+        // Bytes deliverable per round while the window is cwnd-limited.
+        let cap_per_round = steady_rate * rtt;
+        let mut cwnd = self.params.init_cwnd as f64;
+        let mut sent = 0f64;
+        let mut elapsed = 0f64;
+        let total = bytes as f64;
+        // Slow-start rounds: send cwnd bytes, wait an RTT for ACKs.
+        while cwnd < cap_per_round && sent + cwnd < total {
+            sent += cwnd;
+            elapsed += rtt;
+            cwnd = (cwnd * 2.0).min(cap_per_round);
+        }
+        // Remainder at the steady rate, plus final propagation.
+        elapsed += (total - sent) / steady_rate + half_rtt;
+        SimTime::from_secs_f64(elapsed)
+    }
+
+    /// A request/response exchange on an established connection: send
+    /// `req` bytes, the peer replies with `resp` bytes. Server processing
+    /// time is added by the caller (it is measured, not modeled).
+    pub fn request_response(&self, req: usize, resp: usize) -> SimTime {
+        self.transfer_duration(req) + self.transfer_duration(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> TcpParams {
+        TcpParams {
+            rtt: SimTime::from_micros(200),
+            link_bw: 10.5e6,
+            background_flows: 0,
+            rwnd: 64 * 1024,
+            init_cwnd: 4380,
+        }
+    }
+
+    fn wan() -> TcpParams {
+        TcpParams {
+            rtt: SimTime::from_micros(5750),
+            link_bw: 24.0e6,
+            background_flows: 4,
+            rwnd: 24 * 1024,
+            init_cwnd: 4380,
+        }
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let flow = TcpFlow::new(lan());
+        let t = flow.transfer_duration(100);
+        // ~half an RTT dominates a 100-byte message.
+        assert!(t >= SimTime::from_micros(100));
+        assert!(t < SimTime::from_micros(250), "{t}");
+    }
+
+    #[test]
+    fn large_transfers_approach_link_rate_on_lan() {
+        let flow = TcpFlow::new(lan());
+        let bytes = 64 << 20;
+        let t = flow.transfer_duration(bytes).as_secs_f64();
+        let rate = bytes as f64 / t;
+        assert!(
+            (rate - 10.5e6).abs() / 10.5e6 < 0.02,
+            "rate {rate} should be near link capacity"
+        );
+    }
+
+    #[test]
+    fn wan_single_stream_is_window_limited() {
+        let p = wan();
+        let flow = TcpFlow::new(p);
+        let window_rate = p.rwnd as f64 / p.rtt.as_secs_f64();
+        let bytes = 64 << 20;
+        let t = flow.transfer_duration(bytes).as_secs_f64();
+        let rate = bytes as f64 / t;
+        assert!(rate < p.link_bw * 0.5, "far below link capacity");
+        assert!(
+            (rate - window_rate).abs() / window_rate < 0.05,
+            "rate {rate} pinned to window ceiling {window_rate}"
+        );
+    }
+
+    #[test]
+    fn slow_start_penalizes_short_transfers() {
+        let flow = TcpFlow::new(wan());
+        // 100 KB has to climb through slow start; effective rate is far
+        // below steady state.
+        let t = flow.transfer_duration(100 * 1024).as_secs_f64();
+        let eff = 100.0 * 1024.0 / t;
+        assert!(eff < flow.steady_rate() * 0.7, "eff {eff}");
+    }
+
+    #[test]
+    fn durations_are_monotone_in_size() {
+        let flow = TcpFlow::new(wan());
+        let mut last = SimTime::ZERO;
+        for bytes in [0, 1, 100, 10_000, 1_000_000, 10_000_000] {
+            let t = flow.transfer_duration(bytes);
+            assert!(t >= last, "non-monotone at {bytes}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fair_share_splits_capacity() {
+        let p = wan();
+        assert!((p.fair_share(4) - 24.0e6 * 4.0 / 8.0).abs() < 1.0);
+        // With no background flows the full link is available.
+        assert!((lan().fair_share(1) - 10.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn connect_costs_one_rtt() {
+        assert_eq!(TcpFlow::new(lan()).connect_duration(), SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn request_response_composes() {
+        let flow = TcpFlow::new(lan());
+        let rr = flow.request_response(1000, 1000);
+        assert_eq!(
+            rr,
+            flow.transfer_duration(1000) + flow.transfer_duration(1000)
+        );
+    }
+}

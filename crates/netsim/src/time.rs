@@ -1,0 +1,169 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point (or span) of virtual time, in nanoseconds.
+///
+/// Virtual time is a plain counter: simulations are exactly reproducible
+/// and independent of the host's wall clock. `SimTime` interoperates with
+/// `std::time::Duration` so measured CPU times can be injected directly
+/// into a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// From whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From (possibly fractional) seconds. Negative input clamps to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        SimTime((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional microseconds (the unit of the paper's Figure 4).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As whole nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> SimTime {
+        SimTime(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl From<SimTime> for Duration {
+    fn from(t: SimTime) -> Duration {
+        Duration::from_nanos(t.0)
+    }
+}
+
+impl SimTime {
+    /// Convert to `std::time::Duration`.
+    pub fn as_duration(self) -> Duration {
+        self.into()
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+        assert_eq!(SimTime::from_secs_f64(0.001), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(3);
+        let b = SimTime::from_millis(1);
+        assert_eq!(a + b, SimTime::from_millis(4));
+        assert_eq!(a - b, SimTime::from_millis(2));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn duration_interop() {
+        let d = Duration::from_micros(250);
+        let t: SimTime = d.into();
+        assert_eq!(t, SimTime::from_micros(250));
+        let back: Duration = t.into();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn negative_seconds_clamp() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_micros(5).to_string(), "5.000µs");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_millis(5000).to_string(), "5.000s");
+    }
+}

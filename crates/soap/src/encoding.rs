@@ -1,0 +1,169 @@
+//! Encoding policies (paper §5.2).
+//!
+//! "The encoding policy is an object that is able to serialize and
+//! deserialize the bXDM model." Serialization runs as a visitor over the
+//! tree (inside the `xmltext`/`bxsa` crates); deserialization is the
+//! factory method producing a fresh bXDM document.
+
+use bxdm::Document;
+
+use crate::error::SoapResult;
+
+/// A policy that can serialize and deserialize bXDM documents.
+///
+/// The engine is generic over this trait, so the concrete encoder is
+/// chosen at compile time and its calls inline into the engine
+/// (the paper: "Because the binding is at compile time, compiler
+/// optimizations are not impacted, and inlining is still enabled").
+pub trait EncodingPolicy {
+    /// MIME type announced on HTTP-like bindings.
+    fn content_type(&self) -> &'static str;
+    /// Short scheme name for logging/diagnostics ("xml", "bxsa").
+    fn name(&self) -> &'static str;
+    /// Serialize a document.
+    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>>;
+    /// Deserialize a document.
+    fn decode(&self, bytes: &[u8]) -> SoapResult<Document>;
+}
+
+/// Textual XML 1.0 — SOAP's de-facto default wire format.
+#[derive(Debug, Clone, Default)]
+pub struct XmlEncoding {
+    /// Writer options (typed `xsi:type` emission on by default).
+    pub write_options: xmltext::XmlWriteOptions,
+}
+
+impl EncodingPolicy for XmlEncoding {
+    fn content_type(&self) -> &'static str {
+        "text/xml; charset=utf-8"
+    }
+
+    fn name(&self) -> &'static str {
+        "xml"
+    }
+
+    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
+        let Ok(text) = xmltext::to_string_with(doc, &self.write_options);
+        Ok(text.into_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            crate::error::SoapError::Protocol("XML payload is not valid UTF-8".into())
+        })?;
+        Ok(xmltext::parse(text)?)
+    }
+}
+
+/// BXSA binary XML — the paper's high-performance encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BxsaEncoding {
+    /// Encoder options (byte order; little-endian default).
+    pub options: bxsa::EncodeOptions,
+}
+
+impl BxsaEncoding {
+    /// Encode in the machine's native byte order, enabling zero-copy
+    /// array reads when both endpoints share an architecture.
+    pub fn native_order() -> BxsaEncoding {
+        BxsaEncoding {
+            options: bxsa::EncodeOptions {
+                byte_order: xbs::ByteOrder::native(),
+            },
+        }
+    }
+}
+
+impl EncodingPolicy for BxsaEncoding {
+    fn content_type(&self) -> &'static str {
+        "application/bxsa"
+    }
+
+    fn name(&self) -> &'static str {
+        "bxsa"
+    }
+
+    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
+        Ok(bxsa::encode_with(doc, &self.options)?)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
+        Ok(bxsa::decode(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::SoapEnvelope;
+    use bxdm::{ArrayValue, Element};
+
+    fn sample_doc() -> Document {
+        SoapEnvelope::with_body(
+            Element::component("m:Op")
+                .with_namespace("m", "http://example.org")
+                .with_child(Element::array("m:v", ArrayValue::I32(vec![1, 2, 3]))),
+        )
+        .to_document()
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let enc = XmlEncoding::default();
+        let bytes = enc.encode(&sample_doc()).unwrap();
+        assert!(std::str::from_utf8(&bytes).unwrap().starts_with("<soapenv:Envelope"));
+        assert_eq!(enc.decode(&bytes).unwrap(), sample_doc());
+    }
+
+    #[test]
+    fn bxsa_roundtrip() {
+        let enc = BxsaEncoding::default();
+        let bytes = enc.encode(&sample_doc()).unwrap();
+        assert_eq!(enc.decode(&bytes).unwrap(), sample_doc());
+    }
+
+    #[test]
+    fn bxsa_is_smaller_for_numeric_payloads() {
+        let doc = SoapEnvelope::with_body(
+            Element::component("m:Data")
+                .with_namespace("m", "http://example.org")
+                .with_child(Element::array(
+                    "m:values",
+                    ArrayValue::F64((0..1000).map(|i| i as f64 * 0.123).collect()),
+                )),
+        )
+        .to_document();
+        let xml = XmlEncoding::default().encode(&doc).unwrap();
+        let bin = BxsaEncoding::default().encode(&doc).unwrap();
+        assert!(
+            bin.len() * 2 < xml.len(),
+            "bxsa {} should be far below xml {}",
+            bin.len(),
+            xml.len()
+        );
+    }
+
+    #[test]
+    fn content_types_differ() {
+        assert_ne!(
+            XmlEncoding::default().content_type(),
+            BxsaEncoding::default().content_type()
+        );
+    }
+
+    #[test]
+    fn xml_rejects_non_utf8() {
+        let enc = XmlEncoding::default();
+        assert!(enc.decode(&[0xff, 0xfe, 0x00]).is_err());
+    }
+
+    #[test]
+    fn cross_decoding_fails_cleanly() {
+        // Feeding XML bytes to the BXSA decoder (and vice versa) must be
+        // an error, not a panic.
+        let xml_bytes = XmlEncoding::default().encode(&sample_doc()).unwrap();
+        assert!(BxsaEncoding::default().decode(&xml_bytes).is_err());
+        let bin_bytes = BxsaEncoding::default().encode(&sample_doc()).unwrap();
+        assert!(XmlEncoding::default().decode(&bin_bytes).is_err());
+    }
+}

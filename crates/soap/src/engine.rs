@@ -1,0 +1,230 @@
+//! The generic SOAP engine (paper §5, §5.1).
+
+use crate::binding::BindingPolicy;
+use crate::encoding::EncodingPolicy;
+use crate::envelope::SoapEnvelope;
+use crate::error::{SoapError, SoapResult};
+
+/// A message-level security policy: transform outgoing envelopes (e.g.
+/// attach a signature header) and check incoming ones.
+///
+/// Paper §5: "It will be straightforward to introduce more policies
+/// (e.g., a security policy) into the generic engine by just adding more
+/// template parameters" — this is that parameter. The default,
+/// [`NoSecurity`], compiles to nothing.
+pub trait SecurityPolicy {
+    /// Transform an outgoing envelope (sign, encrypt, stamp...).
+    fn apply(&self, envelope: SoapEnvelope) -> SoapResult<SoapEnvelope>;
+    /// Check an incoming envelope; an error aborts the exchange.
+    fn check(&self, envelope: &SoapEnvelope) -> SoapResult<()>;
+}
+
+/// The no-op security policy (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSecurity;
+
+impl SecurityPolicy for NoSecurity {
+    #[inline]
+    fn apply(&self, envelope: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+        Ok(envelope)
+    }
+
+    #[inline]
+    fn check(&self, _envelope: &SoapEnvelope) -> SoapResult<()> {
+        Ok(())
+    }
+}
+
+/// A SOAP client engine, generic over its encoding, binding, and
+/// (optionally) security policies.
+///
+/// The Rust rendering of the paper's
+/// `template <typename EncodingPolicy, typename BindingPolicy> class
+/// SoapEngine` — each policy combination monomorphizes into its own
+/// engine with static dispatch throughout, so the encoding/transport
+/// choice has zero runtime overhead and full inlining (paper §5: "Because
+/// the binding is at compile time, compiler optimizations are not
+/// impacted").
+///
+/// Sending a message follows §5.1 exactly: construct the message in the
+/// bXDM model, invoke the encoding policy to serialize it into the octet
+/// stream, transfer the stream via the binding policy. Receiving is the
+/// reverse.
+pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = NoSecurity> {
+    encoding: E,
+    binding: B,
+    security: S,
+}
+
+impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
+    /// Assemble an engine from its two core policies (no security).
+    pub fn new(encoding: E, binding: B) -> SoapEngine<E, B> {
+        SoapEngine {
+            encoding,
+            binding,
+            security: NoSecurity,
+        }
+    }
+}
+
+impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S> {
+    /// Assemble an engine with an explicit security policy — the paper's
+    /// "web service ... with the XML signature applied" configuration.
+    pub fn with_security(encoding: E, binding: B, security: S) -> SoapEngine<E, B, S> {
+        SoapEngine {
+            encoding,
+            binding,
+            security,
+        }
+    }
+
+    /// The encoding policy.
+    pub fn encoding(&self) -> &E {
+        &self.encoding
+    }
+
+    /// The binding policy.
+    pub fn binding(&mut self) -> &mut B {
+        &mut self.binding
+    }
+
+    /// Request/response message exchange.
+    ///
+    /// A SOAP fault in the response surfaces as
+    /// [`SoapError::Fault`], keeping the happy path a plain envelope.
+    pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+        let request = self.security.apply(request)?;
+        let doc = request.to_document();
+        let payload = self.encoding.encode(&doc)?;
+        let response_bytes = self
+            .binding
+            .exchange(&payload, self.encoding.content_type())?;
+        let response_doc = self.encoding.decode(&response_bytes)?;
+        let envelope = SoapEnvelope::from_document(&response_doc)?;
+        if let Some(fault) = envelope.as_fault() {
+            return Err(SoapError::Fault(fault));
+        }
+        self.security.check(&envelope)?;
+        Ok(envelope)
+    }
+
+    /// One-way message (no response expected).
+    pub fn send(&mut self, message: SoapEnvelope) -> SoapResult<()> {
+        let message = self.security.apply(message)?;
+        let doc = message.to_document();
+        let payload = self.encoding.encode(&doc)?;
+        self.binding
+            .send_one_way(&payload, self.encoding.content_type())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::LoopbackBinding;
+    use crate::encoding::{BxsaEncoding, EncodingPolicy, XmlEncoding};
+    use crate::fault::{FaultCode, SoapFault};
+    use bxdm::{ArrayValue, AtomicValue, Element};
+
+    /// A loopback service: sums the request's array, replies with a leaf.
+    fn sum_service<Enc: EncodingPolicy>(enc: Enc) -> impl FnMut(&[u8]) -> Vec<u8> {
+        move |bytes: &[u8]| {
+            let doc = enc.decode(bytes).unwrap();
+            let env = SoapEnvelope::from_document(&doc).unwrap();
+            let op = env.body_element().unwrap();
+            let data = op.find_child("data").unwrap().as_f64_array().unwrap();
+            let total: f64 = data.iter().sum();
+            let reply = SoapEnvelope::with_body(
+                Element::component("m:SumResponse")
+                    .with_namespace("m", "http://example.org/m")
+                    .with_child(Element::leaf("m:total", AtomicValue::F64(total))),
+            );
+            enc.encode(&reply.to_document()).unwrap()
+        }
+    }
+
+    fn sum_request() -> SoapEnvelope {
+        SoapEnvelope::with_body(
+            Element::component("m:Sum")
+                .with_namespace("m", "http://example.org/m")
+                .with_child(Element::array(
+                    "m:data",
+                    ArrayValue::F64(vec![1.0, 2.5, -0.5]),
+                )),
+        )
+    }
+
+    #[test]
+    fn call_roundtrip_xml_encoding() {
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(sum_service(XmlEncoding::default())),
+        );
+        let resp = engine.call(sum_request()).unwrap();
+        assert_eq!(
+            resp.body_element().unwrap().child_value("total"),
+            Some(&AtomicValue::F64(3.0))
+        );
+    }
+
+    #[test]
+    fn call_roundtrip_bxsa_encoding() {
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            LoopbackBinding::new(sum_service(BxsaEncoding::default())),
+        );
+        let resp = engine.call(sum_request()).unwrap();
+        assert_eq!(
+            resp.body_element().unwrap().child_value("total"),
+            Some(&AtomicValue::F64(3.0))
+        );
+    }
+
+    #[test]
+    fn fault_responses_become_errors() {
+        let enc = XmlEncoding::default();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(move |_: &[u8]| {
+                let fault = SoapFault::new(FaultCode::Client, "rejected").to_element();
+                enc.encode(&SoapEnvelope::with_body(fault).to_document())
+                    .unwrap()
+            }),
+        );
+        match engine.call(sum_request()) {
+            Err(SoapError::Fault(f)) => {
+                assert_eq!(f.code, FaultCode::Client);
+                assert_eq!(f.string, "rejected");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_way_send() {
+        let mut deliveries = 0u32;
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(|bytes: &[u8]| {
+                assert!(!bytes.is_empty());
+                deliveries += 1;
+                vec![]
+            }),
+        );
+        engine.send(sum_request()).unwrap();
+        drop(engine);
+        assert_eq!(deliveries, 1);
+    }
+
+    #[test]
+    fn garbage_response_is_decoding_error() {
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            LoopbackBinding::new(|_: &[u8]| b"not a bxsa document".to_vec()),
+        );
+        assert!(matches!(
+            engine.call(sum_request()),
+            Err(SoapError::Bxsa(_))
+        ));
+    }
+}

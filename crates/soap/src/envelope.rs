@@ -1,0 +1,237 @@
+//! The SOAP envelope, modeled in bXDM.
+
+use bxdm::{Document, Element};
+
+use crate::error::{SoapError, SoapResult};
+use crate::fault::SoapFault;
+
+/// SOAP 1.1 envelope namespace (the paper's era).
+pub const SOAP_ENV_URI: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+/// Conventional prefix for the envelope namespace.
+pub const SOAP_ENV_PREFIX: &str = "soapenv";
+
+/// A SOAP message: optional header entries plus body entries.
+///
+/// The envelope is deliberately *not* stored as a pre-built element tree:
+/// it materializes into bXDM on send ([`SoapEnvelope::to_document`]) and
+/// is recovered from bXDM on receive ([`SoapEnvelope::from_document`]),
+/// keeping the engine symmetric across encodings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SoapEnvelope {
+    /// Children of `soapenv:Header` (absent when empty).
+    pub headers: Vec<Element>,
+    /// Children of `soapenv:Body`.
+    pub body: Vec<Element>,
+}
+
+impl SoapEnvelope {
+    /// An envelope with a single body entry (the common RPC shape).
+    pub fn with_body(body: Element) -> SoapEnvelope {
+        SoapEnvelope {
+            headers: Vec::new(),
+            body: vec![body],
+        }
+    }
+
+    /// Add a header entry (chainable).
+    pub fn with_header(mut self, header: Element) -> SoapEnvelope {
+        self.headers.push(header);
+        self
+    }
+
+    /// The first body entry, if any.
+    pub fn body_element(&self) -> Option<&Element> {
+        self.body.first()
+    }
+
+    /// The local name of the first body entry — used as the operation
+    /// name by the service dispatcher.
+    pub fn operation(&self) -> Option<&str> {
+        self.body_element().map(|e| e.name.local())
+    }
+
+    /// `true` when the body is a `soapenv:Fault`.
+    pub fn is_fault(&self) -> bool {
+        self.body_element()
+            .map(|e| e.name.local() == "Fault")
+            .unwrap_or(false)
+    }
+
+    /// Parse the body as a fault, if it is one.
+    pub fn as_fault(&self) -> Option<SoapFault> {
+        if !self.is_fault() {
+            return None;
+        }
+        self.body_element().map(SoapFault::from_element)
+    }
+
+    /// Materialize the envelope as a bXDM document.
+    ///
+    /// The root declares the envelope namespace plus the `xsi`/`xsd`/`bx`
+    /// typing namespaces, so typed leaf and array payloads are
+    /// self-describing in the textual encoding too (paper §4.2).
+    pub fn to_document(&self) -> Document {
+        let mut envelope = Element::component(format!("{SOAP_ENV_PREFIX}:Envelope"))
+            .with_namespace(SOAP_ENV_PREFIX, SOAP_ENV_URI)
+            .with_namespace("xsi", bxdm::XSI_URI)
+            .with_namespace("xsd", bxdm::XSD_URI)
+            .with_namespace(xmltext::BX_PREFIX, xmltext::BX_URI);
+        if !self.headers.is_empty() {
+            let mut header = Element::component(format!("{SOAP_ENV_PREFIX}:Header"));
+            for h in &self.headers {
+                header.push_child(h.clone());
+            }
+            envelope.push_child(header);
+        }
+        let mut body = Element::component(format!("{SOAP_ENV_PREFIX}:Body"));
+        for b in &self.body {
+            body.push_child(b.clone());
+        }
+        envelope.push_child(body);
+        Document::with_root(envelope)
+    }
+
+    /// Recover an envelope from a decoded document.
+    ///
+    /// Tolerant of any prefix bound to the SOAP namespace, and of
+    /// documents that omit the namespace declarations entirely (as the
+    /// minimal encodings used in the size experiments do) by falling back
+    /// to local-name matching.
+    pub fn from_document(doc: &Document) -> SoapResult<SoapEnvelope> {
+        let root = doc
+            .root()
+            .ok_or_else(|| SoapError::Protocol("message has no root element".into()))?;
+        if root.name.local() != "Envelope" {
+            return Err(SoapError::Protocol(format!(
+                "expected Envelope, found {}",
+                root.name.local()
+            )));
+        }
+        let mut headers = Vec::new();
+        let mut body = None;
+        for child in root.child_elements() {
+            match child.name.local() {
+                "Header" => headers.extend(child.child_elements().cloned()),
+                "Body" => body = Some(child.child_elements().cloned().collect::<Vec<_>>()),
+                _ => {}
+            }
+        }
+        let body = body.ok_or_else(|| SoapError::Protocol("Envelope has no Body".into()))?;
+        Ok(SoapEnvelope { headers, body })
+    }
+
+    /// Total number of bXDM nodes in the envelope (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.headers
+            .iter()
+            .chain(&self.body)
+            .map(Element::node_count)
+            .sum()
+    }
+}
+
+/// Find a header entry by local name.
+pub fn find_header<'a>(envelope: &'a SoapEnvelope, local: &str) -> Option<&'a Element> {
+    envelope.headers.iter().find(|h| h.name.local() == local)
+}
+
+/// `true` if a header entry is flagged `soapenv:mustUnderstand="1"`.
+pub fn must_understand(header: &Element) -> bool {
+    header
+        .attributes
+        .iter()
+        .any(|a| a.name.local() == "mustUnderstand" && matches!(a.value.as_str(), Some("1" | "true")))
+}
+
+/// Strip envelope-level wrapping from a node for diagnostics: the body
+/// text of the first body entry.
+pub fn body_text(envelope: &SoapEnvelope) -> String {
+    envelope
+        .body_element()
+        .map(Element::text_content)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::{ArrayValue, AtomicValue};
+
+    fn sample() -> SoapEnvelope {
+        SoapEnvelope::with_body(
+            Element::component("m:Verify")
+                .with_namespace("m", "http://example.org/m")
+                .with_child(Element::array("m:data", ArrayValue::F64(vec![1.0, 2.0]))),
+        )
+        .with_header(
+            Element::leaf("wsa:MessageID", AtomicValue::Str("urn:uuid:1".into()))
+                .with_namespace("wsa", "http://www.w3.org/2005/08/addressing"),
+        )
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let env = sample();
+        let doc = env.to_document();
+        let back = SoapEnvelope::from_document(&doc).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn roundtrip_through_both_encodings() {
+        let env = sample();
+        let doc = env.to_document();
+
+        let xml = xmltext::to_string(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&xmltext::parse(&xml).unwrap()).unwrap();
+        assert_eq!(back, env);
+
+        let bin = bxsa::encode(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&bxsa::decode(&bin).unwrap()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn operation_name() {
+        assert_eq!(sample().operation(), Some("Verify"));
+        assert_eq!(SoapEnvelope::default().operation(), None);
+    }
+
+    #[test]
+    fn structure_errors() {
+        let doc = Document::with_root(Element::component("NotAnEnvelope"));
+        assert!(matches!(
+            SoapEnvelope::from_document(&doc),
+            Err(SoapError::Protocol(_))
+        ));
+        let doc = Document::with_root(
+            Element::component("soapenv:Envelope").with_namespace(SOAP_ENV_PREFIX, SOAP_ENV_URI),
+        );
+        assert!(matches!(
+            SoapEnvelope::from_document(&doc),
+            Err(SoapError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn header_helpers() {
+        let env = sample();
+        assert!(find_header(&env, "MessageID").is_some());
+        assert!(find_header(&env, "Nope").is_none());
+
+        let h = Element::component("x").with_attr("soapenv:mustUnderstand", "1");
+        assert!(must_understand(&h));
+        let h = Element::component("x").with_attr("soapenv:mustUnderstand", "0");
+        assert!(!must_understand(&h));
+        let h = Element::component("x");
+        assert!(!must_understand(&h));
+    }
+
+    #[test]
+    fn empty_header_not_materialized() {
+        let env = SoapEnvelope::with_body(Element::component("op"));
+        let doc = env.to_document();
+        let root = doc.root().unwrap();
+        assert_eq!(root.child_elements().count(), 1); // Body only
+    }
+}

@@ -1,0 +1,80 @@
+//! SOAP-layer errors.
+
+use std::fmt;
+
+use crate::fault::SoapFault;
+
+/// Errors surfaced by the SOAP engine and services.
+#[derive(Debug)]
+pub enum SoapError {
+    /// Binary encoding/decoding failed.
+    Bxsa(bxsa::BxsaError),
+    /// Textual encoding/decoding failed.
+    Xml(xmltext::XmlError),
+    /// The transport failed.
+    Transport(transport::TransportError),
+    /// The peer answered with a SOAP fault.
+    Fault(SoapFault),
+    /// The message violated SOAP structure (no Envelope/Body, ...).
+    Protocol(String),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Bxsa(e) => write!(f, "BXSA encoding error: {e}"),
+            SoapError::Xml(e) => write!(f, "XML encoding error: {e}"),
+            SoapError::Transport(e) => write!(f, "transport error: {e}"),
+            SoapError::Fault(fault) => write!(f, "SOAP fault: {fault}"),
+            SoapError::Protocol(what) => write!(f, "SOAP protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoapError::Bxsa(e) => Some(e),
+            SoapError::Xml(e) => Some(e),
+            SoapError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bxsa::BxsaError> for SoapError {
+    fn from(e: bxsa::BxsaError) -> SoapError {
+        SoapError::Bxsa(e)
+    }
+}
+
+impl From<xmltext::XmlError> for SoapError {
+    fn from(e: xmltext::XmlError) -> SoapError {
+        SoapError::Xml(e)
+    }
+}
+
+impl From<transport::TransportError> for SoapError {
+    fn from(e: transport::TransportError) -> SoapError {
+        SoapError::Transport(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type SoapResult<T> = Result<T, SoapError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultCode, SoapFault};
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SoapError = bxsa::BxsaError::Structure { what: "x".into() }.into();
+        assert!(e.to_string().contains("BXSA"));
+        let e: SoapError = xmltext::XmlError::Structure { what: "y".into() }.into();
+        assert!(e.to_string().contains("XML"));
+        let e = SoapError::Fault(SoapFault::new(FaultCode::Client, "bad input"));
+        assert!(e.to_string().contains("bad input"));
+    }
+}

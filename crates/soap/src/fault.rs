@@ -1,0 +1,175 @@
+//! SOAP 1.1 faults.
+
+use std::fmt;
+
+use bxdm::{AtomicValue, Element};
+
+use crate::envelope::SOAP_ENV_PREFIX;
+
+/// The four standard SOAP 1.1 fault codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// `VersionMismatch` — wrong envelope namespace.
+    VersionMismatch,
+    /// `MustUnderstand` — a mandatory header was not understood.
+    MustUnderstand,
+    /// `Client` — the message was malformed or incomplete.
+    Client,
+    /// `Server` — processing failed for reasons not the sender's fault.
+    Server,
+}
+
+impl FaultCode {
+    /// Qualified lexical form (`soapenv:Server`).
+    pub fn qualified(self) -> String {
+        format!("{SOAP_ENV_PREFIX}:{}", self.local())
+    }
+
+    /// Local form.
+    pub fn local(self) -> &'static str {
+        match self {
+            FaultCode::VersionMismatch => "VersionMismatch",
+            FaultCode::MustUnderstand => "MustUnderstand",
+            FaultCode::Client => "Client",
+            FaultCode::Server => "Server",
+        }
+    }
+
+    /// Parse from a (possibly prefixed) lexical form; unknown codes map
+    /// to `Server`, the least-specific option.
+    pub fn parse(text: &str) -> FaultCode {
+        match text.rsplit(':').next().unwrap_or(text) {
+            "VersionMismatch" => FaultCode::VersionMismatch,
+            "MustUnderstand" => FaultCode::MustUnderstand,
+            "Client" => FaultCode::Client,
+            _ => FaultCode::Server,
+        }
+    }
+}
+
+/// A SOAP 1.1 fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoapFault {
+    /// Fault code.
+    pub code: FaultCode,
+    /// Human-readable fault string.
+    pub string: String,
+    /// Optional application-specific detail text.
+    pub detail: Option<String>,
+}
+
+impl SoapFault {
+    /// A fault with code and message.
+    pub fn new(code: FaultCode, string: &str) -> SoapFault {
+        SoapFault {
+            code,
+            string: string.to_owned(),
+            detail: None,
+        }
+    }
+
+    /// Attach detail text (chainable).
+    pub fn with_detail(mut self, detail: &str) -> SoapFault {
+        self.detail = Some(detail.to_owned());
+        self
+    }
+
+    /// A server fault wrapping an internal error.
+    pub fn server(err: impl fmt::Display) -> SoapFault {
+        SoapFault::new(FaultCode::Server, &err.to_string())
+    }
+
+    /// Materialize as the `soapenv:Fault` body element.
+    ///
+    /// Per SOAP 1.1, `faultcode`/`faultstring`/`detail` are *unqualified*
+    /// children of the qualified Fault element.
+    pub fn to_element(&self) -> Element {
+        let mut fault = Element::component(format!("{SOAP_ENV_PREFIX}:Fault"))
+            .with_child(Element::leaf(
+                "faultcode",
+                AtomicValue::Str(self.code.qualified()),
+            ))
+            .with_child(Element::leaf(
+                "faultstring",
+                AtomicValue::Str(self.string.clone()),
+            ));
+        if let Some(detail) = &self.detail {
+            fault.push_child(Element::leaf("detail", AtomicValue::Str(detail.clone())));
+        }
+        fault
+    }
+
+    /// Recover a fault from a `Fault` body element (lenient: missing
+    /// children default sensibly).
+    pub fn from_element(element: &Element) -> SoapFault {
+        let code = element
+            .find_child("faultcode")
+            .map(|e| FaultCode::parse(&e.text_content()))
+            .unwrap_or(FaultCode::Server);
+        let string = element
+            .find_child("faultstring")
+            .map(|e| e.text_content())
+            .unwrap_or_default();
+        let detail = element.find_child("detail").map(|e| e.text_content());
+        SoapFault {
+            code,
+            string,
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.code.qualified(), self.string)?;
+        if let Some(d) = &self.detail {
+            write!(f, " ({d})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SoapFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_roundtrip() {
+        let fault = SoapFault::new(FaultCode::Client, "no such operation")
+            .with_detail("operation 'Frobnicate' is not registered");
+        let e = fault.to_element();
+        assert_eq!(e.name.local(), "Fault");
+        assert_eq!(SoapFault::from_element(&e), fault);
+    }
+
+    #[test]
+    fn roundtrip_without_detail() {
+        let fault = SoapFault::new(FaultCode::MustUnderstand, "header not understood");
+        assert_eq!(SoapFault::from_element(&fault.to_element()), fault);
+    }
+
+    #[test]
+    fn code_parsing() {
+        assert_eq!(FaultCode::parse("soapenv:Client"), FaultCode::Client);
+        assert_eq!(FaultCode::parse("Client"), FaultCode::Client);
+        assert_eq!(FaultCode::parse("SOAP-ENV:MustUnderstand"), FaultCode::MustUnderstand);
+        assert_eq!(FaultCode::parse("weird"), FaultCode::Server);
+    }
+
+    #[test]
+    fn display_mentions_code_and_string() {
+        let s = SoapFault::new(FaultCode::Server, "boom").to_string();
+        assert!(s.contains("Server") && s.contains("boom"));
+    }
+
+    #[test]
+    fn lenient_from_element() {
+        let empty = Element::component("soapenv:Fault");
+        let f = SoapFault::from_element(&empty);
+        assert_eq!(f.code, FaultCode::Server);
+        assert!(f.string.is_empty());
+        assert!(f.detail.is_none());
+    }
+}

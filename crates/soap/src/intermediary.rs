@@ -1,0 +1,223 @@
+//! SOAP intermediaries: hop-by-hop relaying with re-encoding.
+//!
+//! Paper §5.1: "SOAP messages are designed to be transferred in a
+//! hop-by-hop style between the SOAP nodes and the bindings between the
+//! hops can be various... the intermediary node can just simply deploy
+//! multiple generic SOAP engines with different policy configurations to
+//! serve the up-link and down-link message flows. Furthermore,
+//! transcodability enables BXSA to be the intermediate protocol over the
+//! message hops, even when the message sender and receiver are
+//! communicating via textual XML."
+//!
+//! An [`Intermediary`] listens with one (encoding, transport) pair and
+//! forwards with another; the message crosses the hop as a bXDM tree, so
+//! nothing is lost in the re-encode.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::binding::BindingPolicy;
+use crate::encoding::EncodingPolicy;
+use crate::envelope::SoapEnvelope;
+use crate::error::SoapResult;
+use crate::fault::{FaultCode, SoapFault};
+use crate::service::fault_envelope;
+
+/// A running relay node.
+pub struct Intermediary {
+    inner: transport::TcpServer,
+}
+
+impl Intermediary {
+    /// Listen on framed TCP at `addr` with down-link encoding `InE`;
+    /// forward every message through `up_encoding`/`up_binding` and relay
+    /// the response back.
+    ///
+    /// The up-link binding is shared behind a mutex: SOAP intermediaries
+    /// of the paper's era serialized on their upstream connection.
+    pub fn bind_tcp<InE, UpE, UpB>(
+        addr: &str,
+        in_encoding: InE,
+        up_encoding: UpE,
+        up_binding: UpB,
+    ) -> SoapResult<Intermediary>
+    where
+        InE: EncodingPolicy + Send + Sync + 'static,
+        UpE: EncodingPolicy + Send + Sync + 'static,
+        UpB: BindingPolicy + Send + 'static,
+    {
+        let upstream = Arc::new(Mutex::new((up_encoding, up_binding)));
+        let inner = transport::TcpServer::bind(addr, move |request| {
+            let result = relay(&in_encoding, &upstream, &request);
+            match result {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    let fault = fault_envelope(SoapFault::new(
+                        FaultCode::Server,
+                        &format!("intermediary relay failed: {e}"),
+                    ));
+                    in_encoding
+                        .encode(&fault.to_document())
+                        .unwrap_or_default()
+                }
+            }
+        })?;
+        Ok(Intermediary { inner })
+    }
+
+    /// The relay's listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Stop relaying.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+fn relay<InE, UpE, UpB>(
+    in_encoding: &InE,
+    upstream: &Mutex<(UpE, UpB)>,
+    request: &[u8],
+) -> SoapResult<Vec<u8>>
+where
+    InE: EncodingPolicy,
+    UpE: EncodingPolicy,
+    UpB: BindingPolicy,
+{
+    // Decode on the down-link encoding...
+    let doc = in_encoding.decode(request)?;
+    // (Validate it is an envelope — intermediaries are SOAP nodes, not
+    // byte pipes.)
+    let envelope = SoapEnvelope::from_document(&doc)?;
+    let doc = envelope.to_document();
+
+    // ...re-encode and forward on the up-link policies...
+    let response_doc = {
+        let mut guard = upstream.lock();
+        let (up_encoding, up_binding) = &mut *guard;
+        let payload = up_encoding.encode(&doc)?;
+        let response = up_binding.exchange(&payload, up_encoding.content_type())?;
+        up_encoding.decode(&response)?
+    };
+
+    // ...and relay the response back in the down-link encoding.
+    in_encoding.encode(&response_doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::TcpBinding;
+    use crate::encoding::{BxsaEncoding, XmlEncoding};
+    use crate::engine::SoapEngine;
+    use crate::server::TcpSoapServer;
+    use crate::service::ServiceRegistry;
+    use bxdm::{AtomicValue, Element};
+
+    fn upper_registry() -> Arc<ServiceRegistry> {
+        Arc::new(ServiceRegistry::new().with_operation("Upper", |req| {
+            let text = req
+                .body_element()
+                .expect("dispatch checked")
+                .child_value("s")
+                .and_then(AtomicValue::as_str)
+                .unwrap_or("")
+                .to_uppercase();
+            Ok(SoapEnvelope::with_body(
+                Element::component("UpperResponse")
+                    .with_child(Element::leaf("s", AtomicValue::Str(text))),
+            ))
+        }))
+    }
+
+    #[test]
+    fn xml_client_bxsa_hop_xml_server() {
+        // Terminal service speaks XML over TCP.
+        let server =
+            TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), upper_registry())
+                .unwrap();
+
+        // Intermediary: listens in BXSA, forwards in XML — the message
+        // crosses the middle hop in binary even though both ends are
+        // textual (the transcodability scenario of §5.1).
+        let relay = Intermediary::bind_tcp(
+            "127.0.0.1:0",
+            BxsaEncoding::default(),
+            XmlEncoding::default(),
+            TcpBinding::new(&server.local_addr().to_string()),
+        )
+        .unwrap();
+
+        // Client speaks BXSA to the relay.
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            TcpBinding::new(&relay.local_addr().to_string()),
+        );
+        let resp = engine
+            .call(SoapEnvelope::with_body(
+                Element::component("Upper")
+                    .with_child(Element::leaf("s", AtomicValue::Str("hello".into()))),
+            ))
+            .unwrap();
+        assert_eq!(
+            resp.body_element().unwrap().child_value("s"),
+            Some(&AtomicValue::Str("HELLO".into()))
+        );
+
+        relay.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn relay_surfaces_upstream_faults() {
+        let server =
+            TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), upper_registry())
+                .unwrap();
+        let relay = Intermediary::bind_tcp(
+            "127.0.0.1:0",
+            BxsaEncoding::default(),
+            XmlEncoding::default(),
+            TcpBinding::new(&server.local_addr().to_string()),
+        )
+        .unwrap();
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            TcpBinding::new(&relay.local_addr().to_string()),
+        );
+        match engine.call(SoapEnvelope::with_body(Element::component("Nope"))) {
+            Err(crate::error::SoapError::Fault(f)) => {
+                assert_eq!(f.code, FaultCode::Client);
+            }
+            other => panic!("expected relayed fault, got {other:?}"),
+        }
+        relay.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn relay_with_dead_upstream_faults_cleanly() {
+        let relay = Intermediary::bind_tcp(
+            "127.0.0.1:0",
+            BxsaEncoding::default(),
+            XmlEncoding::default(),
+            TcpBinding::new("127.0.0.1:1"), // nothing listening
+        )
+        .unwrap();
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            TcpBinding::new(&relay.local_addr().to_string()),
+        );
+        match engine.call(SoapEnvelope::with_body(Element::component("Upper"))) {
+            Err(crate::error::SoapError::Fault(f)) => {
+                assert_eq!(f.code, FaultCode::Server);
+                assert!(f.string.contains("relay failed"));
+            }
+            other => panic!("expected server fault, got {other:?}"),
+        }
+        relay.shutdown();
+    }
+}

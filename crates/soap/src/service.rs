@@ -1,0 +1,264 @@
+//! Service-side message processing: registry, dispatch, faults.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::encoding::EncodingPolicy;
+use crate::envelope::{must_understand, SoapEnvelope};
+use crate::error::{SoapError, SoapResult};
+use crate::fault::{FaultCode, SoapFault};
+
+/// A service operation: request envelope in, response envelope out.
+pub type ServiceHandler =
+    dyn Fn(&SoapEnvelope) -> SoapResult<SoapEnvelope> + Send + Sync + 'static;
+
+/// Maps operation names (the local name of the first body entry) to
+/// handlers, and records which header types the service understands.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    handlers: HashMap<String, Box<ServiceHandler>>,
+    understood_headers: Vec<String>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Register an operation by name (chainable).
+    pub fn with_operation<F>(mut self, name: &str, handler: F) -> ServiceRegistry
+    where
+        F: Fn(&SoapEnvelope) -> SoapResult<SoapEnvelope> + Send + Sync + 'static,
+    {
+        self.register(name, handler);
+        self
+    }
+
+    /// Register an operation by name.
+    pub fn register<F>(&mut self, name: &str, handler: F)
+    where
+        F: Fn(&SoapEnvelope) -> SoapResult<SoapEnvelope> + Send + Sync + 'static,
+    {
+        self.handlers.insert(name.to_owned(), Box::new(handler));
+    }
+
+    /// Declare a header (by local name) as understood, for
+    /// `mustUnderstand` checking (chainable).
+    pub fn with_understood_header(mut self, local: &str) -> ServiceRegistry {
+        self.understood_headers.push(local.to_owned());
+        self
+    }
+
+    /// Registered operation names (sorted, for diagnostics).
+    pub fn operations(&self) -> Vec<&str> {
+        let mut ops: Vec<&str> = self.handlers.keys().map(String::as_str).collect();
+        ops.sort_unstable();
+        ops
+    }
+
+    /// Process one request envelope into a response envelope.
+    ///
+    /// All failure modes are mapped onto SOAP faults:
+    /// * un-understood `mustUnderstand` headers → `MustUnderstand`;
+    /// * unknown operation → `Client`;
+    /// * handler errors → the fault they carry, or `Server`.
+    pub fn dispatch(&self, request: &SoapEnvelope) -> SoapEnvelope {
+        // mustUnderstand processing (SOAP 1.1 §4.2.3).
+        for header in &request.headers {
+            if must_understand(header)
+                && !self
+                    .understood_headers
+                    .iter()
+                    .any(|h| h == header.name.local())
+            {
+                return fault_envelope(SoapFault::new(
+                    FaultCode::MustUnderstand,
+                    &format!("header {:?} not understood", header.name.local()),
+                ));
+            }
+        }
+        let Some(op) = request.operation() else {
+            return fault_envelope(SoapFault::new(FaultCode::Client, "empty SOAP body"));
+        };
+        let Some(handler) = self.handlers.get(op) else {
+            return fault_envelope(
+                SoapFault::new(FaultCode::Client, &format!("unknown operation {op:?}"))
+                    .with_detail(&format!("known operations: {:?}", self.operations())),
+            );
+        };
+        match handler(request) {
+            Ok(response) => response,
+            Err(SoapError::Fault(f)) => fault_envelope(f),
+            Err(other) => fault_envelope(SoapFault::server(other)),
+        }
+    }
+}
+
+/// Wrap a fault as a response envelope.
+pub fn fault_envelope(fault: SoapFault) -> SoapEnvelope {
+    SoapEnvelope::with_body(fault.to_element())
+}
+
+/// A byte-level SOAP service: a registry plus an encoding policy.
+///
+/// This is the piece both server bindings share — "receiving the message
+/// is just the reverse procedure" (paper §5.1): decode bytes → envelope →
+/// dispatch → envelope → encode bytes. It never fails: every error
+/// becomes an encoded fault envelope.
+pub struct SoapService<E: EncodingPolicy> {
+    encoding: E,
+    registry: Arc<ServiceRegistry>,
+}
+
+impl<E: EncodingPolicy> SoapService<E> {
+    /// Assemble a service.
+    pub fn new(encoding: E, registry: Arc<ServiceRegistry>) -> SoapService<E> {
+        SoapService { encoding, registry }
+    }
+
+    /// The service's encoding policy.
+    pub fn encoding(&self) -> &E {
+        &self.encoding
+    }
+
+    /// Process one encoded request into an encoded response, plus a flag
+    /// for whether the response is a fault (HTTP bindings map faults to
+    /// status 500).
+    pub fn handle_bytes(&self, request: &[u8]) -> (Vec<u8>, bool) {
+        let response = match self.try_handle(request) {
+            Ok(envelope) => envelope,
+            Err(e) => fault_envelope(match e {
+                SoapError::Fault(f) => f,
+                other => SoapFault::new(FaultCode::Client, &other.to_string()),
+            }),
+        };
+        let is_fault = response.is_fault();
+        let bytes = self
+            .encoding
+            .encode(&response.to_document())
+            .unwrap_or_else(|e| {
+                // Encoding a fault envelope cannot realistically fail, but
+                // never panic in the server path.
+                format!("encoding failure: {e}").into_bytes()
+            });
+        (bytes, is_fault)
+    }
+
+    fn try_handle(&self, request: &[u8]) -> SoapResult<SoapEnvelope> {
+        let doc = self.encoding.decode(request)?;
+        let envelope = SoapEnvelope::from_document(&doc)?;
+        Ok(self.registry.dispatch(&envelope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::XmlEncoding;
+    use bxdm::{AtomicValue, Element};
+
+    fn echo_registry() -> Arc<ServiceRegistry> {
+        Arc::new(
+            ServiceRegistry::new()
+                .with_operation("Echo", |req| {
+                    let payload = req.body_element().expect("dispatch checked").clone();
+                    Ok(SoapEnvelope::with_body(
+                        Element::component("EchoResponse").with_child(payload),
+                    ))
+                })
+                .with_operation("Fail", |_req| {
+                    Err(SoapError::Fault(SoapFault::new(
+                        FaultCode::Server,
+                        "deliberate",
+                    )))
+                })
+                .with_understood_header("Known"),
+        )
+    }
+
+    fn env(op: &str) -> SoapEnvelope {
+        SoapEnvelope::with_body(Element::component(op))
+    }
+
+    #[test]
+    fn dispatch_routes_by_operation() {
+        let reg = echo_registry();
+        let resp = reg.dispatch(&env("Echo"));
+        assert_eq!(resp.operation(), Some("EchoResponse"));
+    }
+
+    #[test]
+    fn unknown_operation_is_client_fault() {
+        let reg = echo_registry();
+        let resp = reg.dispatch(&env("Nope"));
+        let fault = resp.as_fault().unwrap();
+        assert_eq!(fault.code, FaultCode::Client);
+        assert!(fault.detail.unwrap().contains("Echo"));
+    }
+
+    #[test]
+    fn handler_faults_propagate() {
+        let reg = echo_registry();
+        let fault = reg.dispatch(&env("Fail")).as_fault().unwrap();
+        assert_eq!(fault.code, FaultCode::Server);
+        assert_eq!(fault.string, "deliberate");
+    }
+
+    #[test]
+    fn must_understand_enforced() {
+        let reg = echo_registry();
+        let req = env("Echo").with_header(
+            Element::component("Mystery").with_attr("soapenv:mustUnderstand", "1"),
+        );
+        let fault = reg.dispatch(&req).as_fault().unwrap();
+        assert_eq!(fault.code, FaultCode::MustUnderstand);
+
+        // Understood headers pass.
+        let req = env("Echo").with_header(
+            Element::component("Known").with_attr("soapenv:mustUnderstand", "1"),
+        );
+        assert!(reg.dispatch(&req).as_fault().is_none());
+    }
+
+    #[test]
+    fn empty_body_is_client_fault() {
+        let reg = echo_registry();
+        let fault = reg.dispatch(&SoapEnvelope::default()).as_fault().unwrap();
+        assert_eq!(fault.code, FaultCode::Client);
+    }
+
+    #[test]
+    fn service_handles_bytes_end_to_end() {
+        let service = SoapService::new(XmlEncoding::default(), echo_registry());
+        let req_bytes = XmlEncoding::default()
+            .encode(&env("Echo").to_document())
+            .unwrap();
+        let (resp_bytes, is_fault) = service.handle_bytes(&req_bytes);
+        assert!(!is_fault);
+        let doc = XmlEncoding::default().decode(&resp_bytes).unwrap();
+        let resp = SoapEnvelope::from_document(&doc).unwrap();
+        assert_eq!(resp.operation(), Some("EchoResponse"));
+    }
+
+    #[test]
+    fn service_turns_garbage_into_fault_bytes() {
+        let service = SoapService::new(XmlEncoding::default(), echo_registry());
+        let (resp_bytes, is_fault) = service.handle_bytes(b"<<<not xml");
+        assert!(is_fault);
+        let doc = XmlEncoding::default().decode(&resp_bytes).unwrap();
+        assert!(SoapEnvelope::from_document(&doc).unwrap().is_fault());
+    }
+
+    #[test]
+    fn typed_payload_survives_dispatch() {
+        let reg = echo_registry();
+        let req = SoapEnvelope::with_body(
+            Element::component("Echo")
+                .with_child(Element::leaf("n", AtomicValue::F64(2.5))),
+        );
+        let resp = reg.dispatch(&req);
+        let echoed = resp.body_element().unwrap().find_child("Echo").unwrap();
+        assert_eq!(echoed.child_value("n"), Some(&AtomicValue::F64(2.5)));
+    }
+}

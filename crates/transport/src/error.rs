@@ -1,0 +1,72 @@
+//! Transport-layer errors.
+
+use std::fmt;
+
+/// Errors from the framed-TCP and HTTP transports.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket/file I/O failure.
+    Io(std::io::Error),
+    /// A frame length prefix exceeded [`crate::framed::MAX_FRAME_LEN`].
+    FrameTooLarge { declared: u64 },
+    /// The peer closed the connection mid-message.
+    ConnectionClosed,
+    /// Malformed HTTP syntax.
+    BadHttp { what: String },
+    /// An HTTP response with a non-success status, surfaced by helpers
+    /// that expect success.
+    HttpStatus { status: u16, reason: String },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "I/O error: {e}"),
+            TransportError::FrameTooLarge { declared } => {
+                write!(f, "frame of {declared} bytes exceeds the frame size limit")
+            }
+            TransportError::ConnectionClosed => write!(f, "peer closed the connection"),
+            TransportError::BadHttp { what } => write!(f, "malformed HTTP: {what}"),
+            TransportError::HttpStatus { status, reason } => {
+                write!(f, "HTTP error {status} {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type TransportResult<T> = Result<T, TransportError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TransportError::ConnectionClosed.to_string().contains("closed"));
+        assert!(TransportError::FrameTooLarge { declared: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(TransportError::HttpStatus {
+            status: 404,
+            reason: "Not Found".into()
+        }
+        .to_string()
+        .contains("404"));
+    }
+}

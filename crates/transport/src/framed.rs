@@ -1,0 +1,213 @@
+//! Length-prefixed message framing over a byte stream.
+//!
+//! The raw-TCP SOAP binding needs message boundaries; a 4-byte big-endian
+//! length prefix is the entire protocol — "the TCP binding will just dump
+//! the serialization directly to a TCP connection" (paper §5.3).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::error::{TransportError, TransportResult};
+
+/// Upper bound on a single frame (256 MiB) — large enough for the paper's
+/// 64 MB experiments with headroom, small enough to stop a hostile length
+/// prefix from driving allocation.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// A framed message stream over any `Read + Write` (usually a
+/// [`TcpStream`]).
+#[derive(Debug)]
+pub struct FramedStream<S = TcpStream> {
+    inner: S,
+}
+
+impl FramedStream<TcpStream> {
+    /// Connect to a framed-TCP peer.
+    pub fn connect(addr: &str) -> TransportResult<FramedStream<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(FramedStream { inner: stream })
+    }
+}
+
+impl<S: Read + Write> FramedStream<S> {
+    /// Wrap an existing stream.
+    pub fn new(inner: S) -> FramedStream<S> {
+        FramedStream { inner }
+    }
+
+    /// Consume the wrapper, returning the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Send one message.
+    pub fn send(&mut self, payload: &[u8]) -> TransportResult<()> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(TransportError::FrameTooLarge {
+                declared: payload.len() as u64,
+            });
+        }
+        self.inner.write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.inner.write_all(payload)?;
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Receive one message.
+    pub fn recv(&mut self) -> TransportResult<Vec<u8>> {
+        let mut len_bytes = [0u8; 4];
+        read_exact_or_closed(&mut self.inner, &mut len_bytes)?;
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(TransportError::FrameTooLarge {
+                declared: len as u64,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        read_exact_or_closed(&mut self.inner, &mut payload)?;
+        Ok(payload)
+    }
+
+    /// Try to receive; returns `None` on a clean EOF at a message
+    /// boundary (peer hung up between messages).
+    pub fn recv_optional(&mut self) -> TransportResult<Option<Vec<u8>>> {
+        let mut len_bytes = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            match self.inner.read(&mut len_bytes[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(TransportError::ConnectionClosed),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(TransportError::FrameTooLarge {
+                declared: len as u64,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        read_exact_or_closed(&mut self.inner, &mut payload)?;
+        Ok(Some(payload))
+    }
+}
+
+fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> TransportResult<()> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(TransportError::ConnectionClosed)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// An in-memory duplex pipe for exercising framing without sockets.
+    struct Pipe {
+        buf: Cursor<Vec<u8>>,
+    }
+
+    impl Pipe {
+        fn new() -> Pipe {
+            Pipe {
+                buf: Cursor::new(Vec::new()),
+            }
+        }
+        fn rewind(&mut self) {
+            self.buf.set_position(0);
+        }
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            self.buf.read(out)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.write(data)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.send(b"hello").unwrap();
+        fs.send(b"").unwrap();
+        fs.send(&[7u8; 1000]).unwrap();
+        fs.inner.rewind();
+        assert_eq!(fs.recv().unwrap(), b"hello");
+        assert_eq!(fs.recv().unwrap(), b"");
+        assert_eq!(fs.recv().unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn oversize_send_rejected_without_io() {
+        // Construct a frame-length check failure via a declared length
+        // instead of allocating 256 MiB: check the recv path.
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.inner.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        fs.inner.rewind();
+        assert!(matches!(
+            fs.recv(),
+            Err(TransportError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_connection_closed() {
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.inner.write_all(&10u32.to_be_bytes()).unwrap();
+        fs.inner.write_all(b"abc").unwrap(); // only 3 of 10 bytes
+        fs.inner.rewind();
+        assert!(matches!(fs.recv(), Err(TransportError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn recv_optional_clean_eof() {
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.send(b"x").unwrap();
+        fs.inner.rewind();
+        assert_eq!(fs.recv_optional().unwrap(), Some(b"x".to_vec()));
+        assert_eq!(fs.recv_optional().unwrap(), None);
+    }
+
+    #[test]
+    fn recv_optional_partial_prefix_is_error() {
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.inner.write_all(&[0u8, 0]).unwrap(); // half a length prefix
+        fs.inner.rewind();
+        assert!(matches!(
+            fs.recv_optional(),
+            Err(TransportError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn real_socket_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut fs = FramedStream::new(stream);
+            let msg = fs.recv().unwrap();
+            fs.send(&msg).unwrap(); // echo
+        });
+        let mut client = FramedStream::connect(&addr.to_string()).unwrap();
+        client.send(b"ping around the loopback").unwrap();
+        assert_eq!(client.recv().unwrap(), b"ping around the loopback");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! HTTP client helpers (the libcurl stand-in).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use crate::error::{TransportError, TransportResult};
+use crate::http::request::HttpRequest;
+use crate::http::response::HttpResponse;
+
+/// Send one request to `addr` and read the response (one connection per
+/// request, matching the servers' `Connection: close` behaviour).
+pub fn send_request(addr: &str, request: &HttpRequest) -> TransportResult<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    request.write_to(&mut stream)?;
+    let mut reader = BufReader::new(stream);
+    HttpResponse::read_from(&mut reader)
+}
+
+/// GET `path` from `addr`, returning the body; non-2xx is an error.
+pub fn http_get(addr: &str, path: &str) -> TransportResult<Vec<u8>> {
+    let resp = send_request(addr, &HttpRequest::get(path))?;
+    if !resp.is_success() {
+        return Err(TransportError::HttpStatus {
+            status: resp.status,
+            reason: resp.reason,
+        });
+    }
+    Ok(resp.body)
+}
+
+/// POST `body` to `path` at `addr`, returning the full response (SOAP
+/// needs to read fault bodies out of 500s, so status checking is left to
+/// the caller).
+pub fn http_post(
+    addr: &str,
+    path: &str,
+    content_type: &str,
+    body: Vec<u8>,
+) -> TransportResult<HttpResponse> {
+    send_request(addr, &HttpRequest::post(path, content_type, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::server::HttpServer;
+
+    #[test]
+    fn get_and_post_against_real_server() {
+        let server = HttpServer::bind("127.0.0.1:0", |req| match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/hello") => HttpResponse::ok("text/plain", b"world".to_vec()),
+            ("POST", "/echo") => HttpResponse::ok("application/octet-stream", req.body.clone()),
+            _ => HttpResponse::not_found(),
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        assert_eq!(http_get(&addr, "/hello").unwrap(), b"world");
+        let resp = http_post(&addr, "/echo", "text/plain", b"payload".to_vec()).unwrap();
+        assert_eq!(resp.body, b"payload");
+
+        let err = http_get(&addr, "/missing").unwrap_err();
+        assert!(matches!(err, TransportError::HttpStatus { status: 404, .. }));
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! A minimal HTTP/1.1 implementation.
+//!
+//! Covers what the paper's configurations need — SOAP POSTs and
+//! whole-file GETs — with `Content-Length` bodies and one request per
+//! connection (`Connection: close`), which is how 2006-era SOAP toolkits
+//! commonly drove HTTP. Chunked transfer encoding, pipelining and TLS are
+//! intentionally out of scope.
+
+pub mod client;
+pub mod request;
+pub mod response;
+pub mod server;
+
+pub(crate) const CRLF: &str = "\r\n";
+
+/// Read HTTP header lines (terminated by an empty line) from a buffered
+/// reader, returning (first_line, header_pairs).
+pub(crate) fn read_head(
+    reader: &mut impl std::io::BufRead,
+) -> crate::TransportResult<(String, Vec<(String, String)>)> {
+    use crate::TransportError;
+
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Err(TransportError::ConnectionClosed);
+    }
+    let first = first.trim_end().to_owned();
+    let mut headers = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(TransportError::ConnectionClosed);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':').ok_or_else(|| TransportError::BadHttp {
+            what: format!("header line without a colon: {trimmed:?}"),
+        })?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        if headers.len() > 256 {
+            return Err(TransportError::BadHttp {
+                what: "too many headers".into(),
+            });
+        }
+    }
+    Ok((first, headers))
+}
+
+/// Case-insensitive header lookup.
+pub(crate) fn find_header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Read a `Content-Length`-delimited body.
+pub(crate) fn read_body(
+    reader: &mut impl std::io::BufRead,
+    headers: &[(String, String)],
+) -> crate::TransportResult<Vec<u8>> {
+    use crate::TransportError;
+
+    let len = match find_header(headers, "Content-Length") {
+        Some(v) => v.parse::<usize>().map_err(|_| TransportError::BadHttp {
+            what: format!("bad Content-Length {v:?}"),
+        })?,
+        None => 0,
+    };
+    if len > crate::framed::MAX_FRAME_LEN {
+        return Err(TransportError::FrameTooLarge {
+            declared: len as u64,
+        });
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TransportError::ConnectionClosed,
+            _ => TransportError::Io(e),
+        })?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn read_head_parses_headers() {
+        let raw = "GET / HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc";
+        let mut r = BufReader::new(raw.as_bytes());
+        let (first, headers) = read_head(&mut r).unwrap();
+        assert_eq!(first, "GET / HTTP/1.1");
+        assert_eq!(find_header(&headers, "host"), Some("x"));
+        let body = read_body(&mut r, &headers).unwrap();
+        assert_eq!(body, b"abc");
+    }
+
+    #[test]
+    fn missing_colon_is_bad_http() {
+        let raw = "GET / HTTP/1.1\r\nBogusHeader\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        assert!(read_head(&mut r).is_err());
+    }
+
+    #[test]
+    fn eof_is_connection_closed() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(matches!(
+            read_head(&mut r),
+            Err(crate::TransportError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn body_without_length_is_empty() {
+        let mut r = BufReader::new(&b"rest"[..]);
+        assert_eq!(read_body(&mut r, &[]).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_body_is_closed() {
+        let headers = vec![("Content-Length".to_owned(), "10".to_owned())];
+        let mut r = BufReader::new(&b"abc"[..]);
+        assert!(matches!(
+            read_body(&mut r, &headers),
+            Err(crate::TransportError::ConnectionClosed)
+        ));
+    }
+}

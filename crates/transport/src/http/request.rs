@@ -1,0 +1,141 @@
+//! HTTP requests.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{TransportError, TransportResult};
+use crate::http::{find_header, read_body, read_head, CRLF};
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (origin-form path, e.g. `/data/run42.nc`).
+    pub path: String,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request for `path`.
+    pub fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST with a typed body.
+    pub fn post(path: &str, content_type: &str, body: Vec<u8>) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// Add a header (chainable).
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpRequest {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        find_header(&self.headers, name)
+    }
+
+    /// Serialize onto a stream (adds `Content-Length` and
+    /// `Connection: close`).
+    pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
+        let mut head = String::with_capacity(128);
+        head.push_str(&self.method);
+        head.push(' ');
+        head.push_str(&self.path);
+        head.push_str(" HTTP/1.1");
+        head.push_str(CRLF);
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str(CRLF);
+        }
+        head.push_str(&format!("Content-Length: {}{CRLF}", self.body.len()));
+        head.push_str("Connection: close");
+        head.push_str(CRLF);
+        head.push_str(CRLF);
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Parse a request from a buffered stream.
+    pub fn read_from(reader: &mut impl BufRead) -> TransportResult<HttpRequest> {
+        let (first, headers) = read_head(reader)?;
+        let mut parts = first.split_ascii_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m, p, v),
+            _ => {
+                return Err(TransportError::BadHttp {
+                    what: format!("bad request line {first:?}"),
+                })
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(TransportError::BadHttp {
+                what: format!("unsupported version {version:?}"),
+            });
+        }
+        let body = read_body(reader, &headers)?;
+        Ok(HttpRequest {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_post() {
+        let req = HttpRequest::post("/soap", "text/xml", b"<e/>".to_vec())
+            .with_header("SOAPAction", "\"verify\"");
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let back = HttpRequest::read_from(&mut r).unwrap();
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/soap");
+        assert_eq!(back.header("soapaction"), Some("\"verify\""));
+        assert_eq!(back.header("content-length"), Some("4"));
+        assert_eq!(back.body, b"<e/>");
+    }
+
+    #[test]
+    fn get_has_empty_body() {
+        let mut wire = Vec::new();
+        HttpRequest::get("/f.nc").write_to(&mut wire).unwrap();
+        let back = HttpRequest::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.method, "GET");
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn bad_request_line() {
+        let mut r = BufReader::new(&b"NONSENSE\r\n\r\n"[..]);
+        assert!(HttpRequest::read_from(&mut r).is_err());
+        let mut r = BufReader::new(&b"GET / SPDY/3\r\n\r\n"[..]);
+        assert!(HttpRequest::read_from(&mut r).is_err());
+    }
+}

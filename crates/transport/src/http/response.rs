@@ -1,0 +1,170 @@
+//! HTTP responses.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{TransportError, TransportResult};
+use crate::http::{find_header, read_body, read_head, CRLF};
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 500, ...).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 OK with a typed body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// A 404 Not Found.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            reason: "Not Found".into(),
+            headers: Vec::new(),
+            body: b"not found".to_vec(),
+        }
+    }
+
+    /// A 400 Bad Request with a diagnostic body.
+    pub fn bad_request(msg: &str) -> HttpResponse {
+        HttpResponse {
+            status: 400,
+            reason: "Bad Request".into(),
+            headers: Vec::new(),
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    /// A 500 Internal Server Error with a diagnostic body.
+    ///
+    /// SOAP-over-HTTP maps faults onto 500 responses, so the SOAP binding
+    /// uses this constructor for fault envelopes.
+    pub fn server_error(body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 500,
+            reason: "Internal Server Error".into(),
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Add a header (chainable).
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpResponse {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        find_header(&self.headers, name)
+    }
+
+    /// `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Serialize onto a stream (adds `Content-Length`, `Connection: close`).
+    pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
+        let mut head = String::with_capacity(128);
+        head.push_str(&format!("HTTP/1.1 {} {}{CRLF}", self.status, self.reason));
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str(CRLF);
+        }
+        head.push_str(&format!("Content-Length: {}{CRLF}", self.body.len()));
+        head.push_str("Connection: close");
+        head.push_str(CRLF);
+        head.push_str(CRLF);
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Parse a response from a buffered stream.
+    pub fn read_from(reader: &mut impl BufRead) -> TransportResult<HttpResponse> {
+        let (first, headers) = read_head(reader)?;
+        let mut parts = first.splitn(3, ' ');
+        let (version, status, reason) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(v), Some(s), reason) => (v, s, reason.unwrap_or("")),
+            _ => {
+                return Err(TransportError::BadHttp {
+                    what: format!("bad status line {first:?}"),
+                })
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(TransportError::BadHttp {
+                what: format!("unsupported version {version:?}"),
+            });
+        }
+        let status: u16 = status.parse().map_err(|_| TransportError::BadHttp {
+            what: format!("bad status code {status:?}"),
+        })?;
+        let body = read_body(reader, &headers)?;
+        Ok(HttpResponse {
+            status,
+            reason: reason.to_owned(),
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_ok() {
+        let resp = HttpResponse::ok("application/octet-stream", vec![1, 2, 3])
+            .with_header("X-Run", "42");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status, 200);
+        assert!(back.is_success());
+        assert_eq!(back.header("x-run"), Some("42"));
+        assert_eq!(back.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn error_constructors() {
+        assert_eq!(HttpResponse::not_found().status, 404);
+        assert_eq!(HttpResponse::bad_request("x").status, 400);
+        assert_eq!(HttpResponse::server_error(vec![]).status, 500);
+        assert!(!HttpResponse::not_found().is_success());
+    }
+
+    #[test]
+    fn reason_phrases_with_spaces_survive() {
+        let mut wire = Vec::new();
+        HttpResponse::not_found().write_to(&mut wire).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.reason, "Not Found");
+    }
+
+    #[test]
+    fn bad_status_line() {
+        let mut r = BufReader::new(&b"HTTP/1.1 abc Oops\r\n\r\n"[..]);
+        assert!(HttpResponse::read_from(&mut r).is_err());
+    }
+}

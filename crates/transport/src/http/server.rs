@@ -1,0 +1,172 @@
+//! A small threaded HTTP server (the Apache stand-in).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::TransportResult;
+use crate::http::request::HttpRequest;
+use crate::http::response::HttpResponse;
+
+/// A running HTTP server. One handler thread per connection; connections
+/// are single-request (`Connection: close`).
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// serving with `handler`.
+    pub fn bind<H>(addr: &str, handler: H) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+
+        let accept_thread = std::thread::Builder::new()
+            .name("http-accept".into())
+            .spawn(move || {
+                // Connection-handler threads; joined on shutdown so tests
+                // never leak work past the server's lifetime. The paired
+                // stream handle lets shutdown unblock a worker parked in
+                // read() on a connection the client never closed.
+                let mut workers: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+                for conn in listener.incoming() {
+                    if stop_accept.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let Ok(shutdown_handle) = stream.try_clone() else {
+                        continue;
+                    };
+                    let handler = Arc::clone(&handler);
+                    let worker = std::thread::Builder::new()
+                        .name("http-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &*handler);
+                        })
+                        .expect("spawn http connection thread");
+                    workers.push((worker, shutdown_handle));
+                    // Reap finished workers opportunistically.
+                    workers.retain(|(w, _)| !w.is_finished());
+                }
+                for (w, stream) in workers {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn http accept thread");
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and wait for the accept loop to finish.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Kick the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn serve_connection<H>(mut stream: TcpStream, handler: &H) -> TransportResult<()>
+where
+    H: Fn(&HttpRequest) -> HttpResponse,
+{
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let response = match HttpRequest::read_from(&mut reader) {
+        Ok(request) => handler(&request),
+        Err(crate::TransportError::ConnectionClosed) => return Ok(()), // shutdown kick
+        Err(e) => HttpResponse::bad_request(&e.to_string()),
+    };
+    response.write_to(&mut stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client::{http_get, send_request};
+
+    #[test]
+    fn serves_concurrent_requests() {
+        let server = HttpServer::bind("127.0.0.1:0", |req| {
+            HttpResponse::ok("text/plain", req.path.as_bytes().to_vec())
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        crossbeam::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for i in 0..8 {
+                let addr = addr.clone();
+                joins.push(s.spawn(move |_| {
+                    let path = format!("/req/{i}");
+                    assert_eq!(http_get(&addr, &path).unwrap(), path.as_bytes());
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        })
+        .unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req| HttpResponse::ok("text/plain", vec![])).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        stream.write_all(b"GARBAGE REQUEST LINE\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = HttpResponse::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unblocks() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req| HttpResponse::ok("text/plain", vec![])).unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(send_request(&addr, &HttpRequest::get("/")).is_ok());
+        server.shutdown();
+        // A second server can immediately rebind a fresh ephemeral port.
+        let server2 =
+            HttpServer::bind("127.0.0.1:0", |_req| HttpResponse::ok("text/plain", vec![])).unwrap();
+        drop(server2); // Drop also shuts down cleanly.
+    }
+}

@@ -1,0 +1,29 @@
+//! # transport — real byte-moving substrates
+//!
+//! The generic SOAP engine's *binding policies* need actual transports.
+//! This crate provides the two the paper uses, built over `std::net`:
+//!
+//! * **Framed TCP** ([`framed`]) — the `BXSA/TCP` binding "just dumps the
+//!   serialization directly to a TCP connection" (§5.3); a 4-byte length
+//!   prefix delimits messages.
+//! * **HTTP/1.1** ([`http`]) — a from-scratch client and threaded server
+//!   sufficient for SOAP-over-HTTP POSTs and for the separated scheme's
+//!   file staging ([`fileserver`], the Apache stand-in).
+//!
+//! Everything here moves real bytes over real (loopback) sockets; the
+//! simulated-time models live in the `netsim` crate instead.
+
+pub mod error;
+pub mod fileserver;
+pub mod framed;
+pub mod http;
+pub mod tcpserver;
+
+pub use error::{TransportError, TransportResult};
+pub use fileserver::FileServer;
+pub use framed::{FramedStream, MAX_FRAME_LEN};
+pub use http::client::{http_get, http_post};
+pub use http::request::HttpRequest;
+pub use http::response::HttpResponse;
+pub use http::server::HttpServer;
+pub use tcpserver::TcpServer;

@@ -1,0 +1,174 @@
+//! A framed-TCP message server.
+//!
+//! The server half of the raw `BXSA/TCP` binding: accepts connections,
+//! reads length-prefixed messages, and replies with the handler's output.
+//! Connections persist across messages (unlike the one-shot HTTP
+//! binding) — raw TCP has no per-request protocol overhead, which is part
+//! of why the paper's `SOAP over BXSA/TCP` wins on the LAN.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::TransportResult;
+use crate::framed::FramedStream;
+
+/// A running framed-TCP server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind and serve: `handler` maps each request message to a response
+    /// message.
+    pub fn bind<H>(addr: &str, handler: H) -> TransportResult<TcpServer>
+    where
+        H: Fn(Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+
+        let accept_thread = std::thread::Builder::new()
+            .name("tcp-accept".into())
+            .spawn(move || {
+                // Keep a shutdown handle per connection so stopping the
+                // server can unblock workers parked in recv() on
+                // still-open client connections.
+                let mut workers: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+                for conn in listener.incoming() {
+                    if stop_accept.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let Ok(shutdown_handle) = stream.try_clone() else {
+                        continue;
+                    };
+                    let handler = Arc::clone(&handler);
+                    let worker = std::thread::Builder::new()
+                        .name("tcp-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &*handler);
+                        })
+                        .expect("spawn tcp connection thread");
+                    workers.push((worker, shutdown_handle));
+                    workers.retain(|(w, _)| !w.is_finished());
+                }
+                for (w, stream) in workers {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn tcp accept thread");
+
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn serve_connection<H>(stream: TcpStream, handler: &H) -> TransportResult<()>
+where
+    H: Fn(Vec<u8>) -> Vec<u8>,
+{
+    stream.set_nodelay(true)?;
+    let mut framed = FramedStream::new(stream);
+    // Serve messages until the client hangs up cleanly.
+    while let Some(request) = framed.recv_optional()? {
+        let response = handler(request);
+        framed.send(&response)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip_multiple_messages() {
+        let server = TcpServer::bind("127.0.0.1:0", |mut req| {
+            req.reverse();
+            req
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = FramedStream::connect(&addr).unwrap();
+        // Multiple messages over one persistent connection.
+        for msg in [&b"abc"[..], b"", b"0123456789"] {
+            client.send(msg).unwrap();
+            let mut expected = msg.to_vec();
+            expected.reverse();
+            assert_eq!(client.recv().unwrap(), expected);
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = TcpServer::bind("127.0.0.1:0", |req| req).unwrap();
+        let addr = server.local_addr().to_string();
+        crossbeam::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for i in 0u8..6 {
+                let addr = addr.clone();
+                joins.push(s.spawn(move |_| {
+                    let mut c = FramedStream::connect(&addr).unwrap();
+                    let payload = vec![i; 100_000];
+                    c.send(&payload).unwrap();
+                    assert_eq!(c.recv().unwrap(), payload);
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        })
+        .unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let server = TcpServer::bind("127.0.0.1:0", |req| req).unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = FramedStream::connect(&addr).unwrap();
+        let payload: Vec<u8> = (0..2_000_000u32).map(|i| i as u8).collect();
+        client.send(&payload).unwrap();
+        assert_eq!(client.recv().unwrap(), payload);
+        server.shutdown();
+    }
+}

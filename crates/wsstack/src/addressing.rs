@@ -1,0 +1,167 @@
+//! WS-Addressing headers.
+//!
+//! Message-addressing properties travel as SOAP header entries; because
+//! they are ordinary bXDM elements they serialize through either encoding
+//! unchanged — the point of Figure 3's layering.
+
+use bxdm::{AtomicValue, Element};
+use soap::SoapEnvelope;
+
+/// WS-Addressing namespace URI (the 2005/08 recommendation).
+pub const WSA_URI: &str = "http://www.w3.org/2005/08/addressing";
+/// Conventional prefix.
+pub const WSA_PREFIX: &str = "wsa";
+
+/// Message-addressing properties.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WsAddressing {
+    /// Destination endpoint URI (`wsa:To`).
+    pub to: Option<String>,
+    /// Action URI (`wsa:Action`).
+    pub action: Option<String>,
+    /// Unique message id (`wsa:MessageID`).
+    pub message_id: Option<String>,
+    /// Reply endpoint (`wsa:ReplyTo/wsa:Address`).
+    pub reply_to: Option<String>,
+    /// Correlated request id (`wsa:RelatesTo`).
+    pub relates_to: Option<String>,
+}
+
+impl WsAddressing {
+    /// Properties for a fresh request.
+    pub fn request(to: &str, action: &str, message_id: &str) -> WsAddressing {
+        WsAddressing {
+            to: Some(to.to_owned()),
+            action: Some(action.to_owned()),
+            message_id: Some(message_id.to_owned()),
+            ..Default::default()
+        }
+    }
+
+    /// Properties for the reply to `request` (RelatesTo = its MessageID).
+    pub fn reply_to_message(request: &WsAddressing, message_id: &str) -> WsAddressing {
+        WsAddressing {
+            to: request.reply_to.clone(),
+            action: request.action.as_ref().map(|a| format!("{a}Response")),
+            message_id: Some(message_id.to_owned()),
+            relates_to: request.message_id.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn leaf(local: &str, value: &str) -> Element {
+        Element::leaf(
+            format!("{WSA_PREFIX}:{local}"),
+            AtomicValue::Str(value.to_owned()),
+        )
+        .with_namespace(WSA_PREFIX, WSA_URI)
+    }
+
+    /// Materialize as SOAP header entries.
+    pub fn to_headers(&self) -> Vec<Element> {
+        let mut out = Vec::new();
+        if let Some(v) = &self.to {
+            out.push(Self::leaf("To", v));
+        }
+        if let Some(v) = &self.action {
+            out.push(Self::leaf("Action", v));
+        }
+        if let Some(v) = &self.message_id {
+            out.push(Self::leaf("MessageID", v));
+        }
+        if let Some(v) = &self.reply_to {
+            out.push(
+                Element::component(format!("{WSA_PREFIX}:ReplyTo"))
+                    .with_namespace(WSA_PREFIX, WSA_URI)
+                    .with_child(Element::leaf(
+                        format!("{WSA_PREFIX}:Address"),
+                        AtomicValue::Str(v.clone()),
+                    )),
+            );
+        }
+        if let Some(v) = &self.relates_to {
+            out.push(Self::leaf("RelatesTo", v));
+        }
+        out
+    }
+
+    /// Attach to an envelope (chainable with envelope builders).
+    pub fn apply(&self, mut envelope: SoapEnvelope) -> SoapEnvelope {
+        envelope.headers.extend(self.to_headers());
+        envelope
+    }
+
+    /// Recover addressing properties from an envelope's headers.
+    pub fn from_envelope(envelope: &SoapEnvelope) -> WsAddressing {
+        let mut out = WsAddressing::default();
+        for h in &envelope.headers {
+            let text = h.text_content();
+            match h.name.local() {
+                "To" => out.to = Some(text),
+                "Action" => out.action = Some(text),
+                "MessageID" => out.message_id = Some(text),
+                "RelatesTo" => out.relates_to = Some(text),
+                "ReplyTo" => {
+                    out.reply_to = h.find_child("Address").map(|a| a.text_content());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WsAddressing {
+        let mut a = WsAddressing::request(
+            "tcp://127.0.0.1:9000/verify",
+            "http://example.org/Verify",
+            "urn:uuid:42",
+        );
+        a.reply_to = Some("tcp://127.0.0.1:9001/replies".into());
+        a
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let a = sample();
+        let env = a.apply(SoapEnvelope::with_body(Element::component("Op")));
+        assert_eq!(env.headers.len(), 4);
+        assert_eq!(WsAddressing::from_envelope(&env), a);
+    }
+
+    #[test]
+    fn roundtrip_survives_both_encodings() {
+        let a = sample();
+        let env = a.apply(SoapEnvelope::with_body(Element::component("Op")));
+        let doc = env.to_document();
+
+        let xml = xmltext::to_string(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&xmltext::parse(&xml).unwrap()).unwrap();
+        assert_eq!(WsAddressing::from_envelope(&back), a);
+
+        let bin = bxsa::encode(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&bxsa::decode(&bin).unwrap()).unwrap();
+        assert_eq!(WsAddressing::from_envelope(&back), a);
+    }
+
+    #[test]
+    fn reply_correlates() {
+        let req = sample();
+        let reply = WsAddressing::reply_to_message(&req, "urn:uuid:43");
+        assert_eq!(reply.relates_to.as_deref(), Some("urn:uuid:42"));
+        assert_eq!(reply.to, req.reply_to);
+        assert_eq!(reply.action.as_deref(), Some("http://example.org/VerifyResponse"));
+    }
+
+    #[test]
+    fn absent_properties_stay_absent() {
+        let env = SoapEnvelope::with_body(Element::component("Op"));
+        let a = WsAddressing::from_envelope(&env);
+        assert_eq!(a, WsAddressing::default());
+        assert!(a.to_headers().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Struct ↔ bXDM databinding.
+//!
+//! The "XML databinding" box of Figure 3: application types map onto bXDM
+//! elements, so services exchange typed Rust values while remaining
+//! agnostic about the wire encoding underneath.
+
+use bxdm::{ArrayValue, AtomicValue, Element};
+
+/// Types that can render themselves as a named bXDM element.
+pub trait ToBxdm {
+    /// Build an element with the given name holding `self`.
+    fn to_element(&self, name: &str) -> Element;
+}
+
+/// Types that can be recovered from a bXDM element.
+pub trait FromBxdm: Sized {
+    /// Parse from an element; `None` on shape/type mismatch.
+    fn from_element(element: &Element) -> Option<Self>;
+}
+
+macro_rules! impl_leaf_binding {
+    ($($t:ty => $variant:ident),+ $(,)?) => {$(
+        impl ToBxdm for $t {
+            fn to_element(&self, name: &str) -> Element {
+                Element::leaf(name, AtomicValue::$variant(self.clone()))
+            }
+        }
+
+        impl FromBxdm for $t {
+            fn from_element(element: &Element) -> Option<$t> {
+                match element.leaf_value()? {
+                    AtomicValue::$variant(v) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+        }
+    )+};
+}
+
+impl_leaf_binding! {
+    i8 => I8, u8 => U8, i16 => I16, u16 => U16,
+    i32 => I32, u32 => U32, i64 => I64, u64 => U64,
+    f32 => F32, f64 => F64, bool => Bool, String => Str,
+}
+
+macro_rules! impl_array_binding {
+    ($($t:ty => $variant:ident),+ $(,)?) => {$(
+        impl ToBxdm for Vec<$t> {
+            fn to_element(&self, name: &str) -> Element {
+                Element::array(name, ArrayValue::$variant(self.clone()))
+            }
+        }
+
+        impl FromBxdm for Vec<$t> {
+            fn from_element(element: &Element) -> Option<Vec<$t>> {
+                match element.array_value()? {
+                    ArrayValue::$variant(v) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+        }
+    )+};
+}
+
+impl_array_binding! {
+    i8 => I8, u8 => U8, i16 => I16, u16 => U16,
+    i32 => I32, u32 => U32, i64 => I64, u64 => U64,
+    f32 => F32, f64 => F64,
+}
+
+/// Define the bXDM binding for a plain named struct: each field becomes a
+/// child element bound through its own [`ToBxdm`]/[`FromBxdm`] impl.
+///
+/// ```
+/// use wsstack::{bind_struct, ToBxdm, FromBxdm};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Reading { station: String, values: Vec<f64>, valid: bool }
+/// bind_struct!(Reading { station, values, valid });
+///
+/// let r = Reading { station: "KIND".into(), values: vec![1.0], valid: true };
+/// let e = r.to_element("reading");
+/// assert_eq!(Reading::from_element(&e), Some(r));
+/// ```
+#[macro_export]
+macro_rules! bind_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToBxdm for $ty {
+            fn to_element(&self, name: &str) -> bxdm::Element {
+                let mut e = bxdm::Element::component(name);
+                $(
+                    e.push_child($crate::ToBxdm::to_element(
+                        &self.$field,
+                        stringify!($field),
+                    ));
+                )+
+                e
+            }
+        }
+
+        impl $crate::FromBxdm for $ty {
+            fn from_element(element: &bxdm::Element) -> Option<$ty> {
+                Some($ty {
+                    $(
+                        $field: $crate::FromBxdm::from_element(
+                            element.find_child(stringify!($field))?,
+                        )?,
+                    )+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bindings_roundtrip() {
+        let e = 42i32.to_element("n");
+        assert_eq!(i32::from_element(&e), Some(42));
+        assert_eq!(i64::from_element(&e), None); // wrong type
+
+        let e = "hi".to_string().to_element("s");
+        assert_eq!(String::from_element(&e), Some("hi".to_string()));
+
+        let e = true.to_element("b");
+        assert_eq!(bool::from_element(&e), Some(true));
+    }
+
+    #[test]
+    fn array_bindings_roundtrip() {
+        let v = vec![1.5f64, -2.0];
+        let e = v.to_element("values");
+        assert_eq!(Vec::<f64>::from_element(&e), Some(v));
+        assert_eq!(Vec::<f32>::from_element(&e), None);
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Observation {
+        station: String,
+        index: Vec<i32>,
+        values: Vec<f64>,
+        height: f64,
+        valid: bool,
+    }
+    bind_struct!(Observation {
+        station,
+        index,
+        values,
+        height,
+        valid
+    });
+
+    fn sample() -> Observation {
+        Observation {
+            station: "KBMG".into(),
+            index: vec![1, 2, 3],
+            values: vec![280.5, 281.0, 279.75],
+            height: 120.0,
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn struct_binding_roundtrip() {
+        let obs = sample();
+        let e = obs.to_element("obs");
+        assert_eq!(e.child_elements().count(), 5);
+        assert_eq!(Observation::from_element(&e), Some(obs));
+    }
+
+    #[test]
+    fn struct_binding_missing_field_is_none() {
+        let mut e = sample().to_element("obs");
+        let children = match &mut e.content {
+            bxdm::Content::Children(c) => c,
+            _ => unreachable!(),
+        };
+        children.remove(0);
+        assert_eq!(Observation::from_element(&e), None);
+    }
+
+    #[test]
+    fn struct_binding_survives_bxsa() {
+        let obs = sample();
+        let doc = bxdm::Document::with_root(obs.to_element("obs"));
+        let bytes = bxsa::encode(&doc).unwrap();
+        let back = bxsa::decode(&bytes).unwrap();
+        assert_eq!(
+            Observation::from_element(back.root().unwrap()),
+            Some(obs)
+        );
+    }
+
+    #[test]
+    fn struct_binding_survives_xml() {
+        let obs = sample();
+        let doc = bxdm::Document::with_root(obs.to_element("obs"));
+        let xml = xmltext::to_string(&doc).unwrap();
+        let back = xmltext::parse(&xml).unwrap();
+        assert_eq!(
+            Observation::from_element(back.root().unwrap()),
+            Some(obs)
+        );
+    }
+}

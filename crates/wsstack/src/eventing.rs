@@ -1,0 +1,266 @@
+//! A WS-Eventing-style publish/subscribe layer.
+//!
+//! One of the Figure 3 upper-stack boxes ("WS-Eventing"): subscribers
+//! register an endpoint and a topic filter; the event source pushes
+//! notification messages through an ordinary generic SOAP engine. The
+//! layer manipulates envelopes and bXDM only — switching the notification
+//! encoding from XML to BXSA is a type-parameter change at the call site,
+//! not a code change here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bxdm::{AtomicValue, Element};
+use parking_lot::Mutex;
+use soap::{
+    BindingPolicy, EncodingPolicy, ServiceRegistry, SoapEngine, SoapEnvelope, SoapResult,
+};
+
+/// A registered subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    /// Identifier returned to the subscriber.
+    pub id: u64,
+    /// Delivery endpoint (framed-TCP address).
+    pub endpoint: String,
+    /// Topic filter: exact-match on the notification topic.
+    pub topic: String,
+}
+
+/// An event source managing subscriptions and pushing notifications.
+pub struct EventSource {
+    next_id: AtomicU64,
+    subs: Mutex<Vec<Subscription>>,
+}
+
+impl Default for EventSource {
+    fn default() -> EventSource {
+        EventSource::new()
+    }
+}
+
+impl EventSource {
+    /// A source with no subscribers.
+    pub fn new() -> EventSource {
+        EventSource {
+            next_id: AtomicU64::new(1),
+            subs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register a subscriber; returns its subscription id.
+    pub fn subscribe(&self, endpoint: &str, topic: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().push(Subscription {
+            id,
+            endpoint: endpoint.to_owned(),
+            topic: topic.to_owned(),
+        });
+        id
+    }
+
+    /// Remove a subscription; `true` if it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = self.subs.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        subs.len() != before
+    }
+
+    /// Current subscriptions (snapshot).
+    pub fn subscriptions(&self) -> Vec<Subscription> {
+        self.subs.lock().clone()
+    }
+
+    /// Matching endpoints for a topic.
+    pub fn matching(&self, topic: &str) -> Vec<Subscription> {
+        self.subs
+            .lock()
+            .iter()
+            .filter(|s| s.topic == topic)
+            .cloned()
+            .collect()
+    }
+
+    /// Build the notification envelope for a topic + payload.
+    pub fn notification(topic: &str, payload: Element) -> SoapEnvelope {
+        SoapEnvelope::with_body(
+            Element::component("Notify")
+                .with_child(Element::leaf(
+                    "topic",
+                    AtomicValue::Str(topic.to_owned()),
+                ))
+                .with_child(payload),
+        )
+    }
+
+    /// Push `payload` to every subscriber of `topic`, creating one engine
+    /// per delivery with `make_engine` (the caller picks encoding and
+    /// binding — that is the whole point). Returns delivery results per
+    /// subscription.
+    pub fn notify<E, B>(
+        &self,
+        topic: &str,
+        payload: Element,
+        mut make_engine: impl FnMut(&Subscription) -> SoapEngine<E, B>,
+    ) -> Vec<(u64, SoapResult<()>)>
+    where
+        E: EncodingPolicy,
+        B: BindingPolicy,
+    {
+        let envelope = Self::notification(topic, payload);
+        self.matching(topic)
+            .into_iter()
+            .map(|sub| {
+                let mut engine = make_engine(&sub);
+                let result = engine.call(envelope.clone()).map(|_ack| ());
+                (sub.id, result)
+            })
+            .collect()
+    }
+
+    /// Register the Subscribe/Unsubscribe operations on a service
+    /// registry, so the source is manageable over SOAP itself.
+    pub fn register_operations(self: std::sync::Arc<Self>, registry: &mut ServiceRegistry) {
+        let source = std::sync::Arc::clone(&self);
+        registry.register("Subscribe", move |req| {
+            let body = req
+                .body_element()
+                .expect("dispatch guarantees a body element");
+            let endpoint = body
+                .child_value("endpoint")
+                .and_then(AtomicValue::as_str)
+                .ok_or_else(|| soap::SoapError::Protocol("missing endpoint".into()))?;
+            let topic = body
+                .child_value("topic")
+                .and_then(AtomicValue::as_str)
+                .ok_or_else(|| soap::SoapError::Protocol("missing topic".into()))?;
+            let id = source.subscribe(endpoint, topic);
+            Ok(SoapEnvelope::with_body(
+                Element::component("SubscribeResponse")
+                    .with_child(Element::leaf("id", AtomicValue::U64(id))),
+            ))
+        });
+        let source = self;
+        registry.register("Unsubscribe", move |req| {
+            let id = req
+                .body_element()
+                .expect("dispatch guarantees a body element")
+                .child_value("id")
+                .and_then(|v| match v {
+                    AtomicValue::U64(x) => Some(*x),
+                    AtomicValue::I64(x) => Some(*x as u64),
+                    _ => None,
+                })
+                .ok_or_else(|| soap::SoapError::Protocol("missing id".into()))?;
+            let removed = source.unsubscribe(id);
+            Ok(SoapEnvelope::with_body(
+                Element::component("UnsubscribeResponse")
+                    .with_child(Element::leaf("removed", AtomicValue::Bool(removed))),
+            ))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use soap::{BxsaEncoding, TcpBinding, TcpSoapServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn subscription_management() {
+        let src = EventSource::new();
+        let a = src.subscribe("127.0.0.1:9001", "temp");
+        let b = src.subscribe("127.0.0.1:9002", "temp");
+        let c = src.subscribe("127.0.0.1:9003", "pressure");
+        assert_eq!(src.subscriptions().len(), 3);
+        assert_eq!(src.matching("temp").len(), 2);
+        assert!(src.unsubscribe(b));
+        assert!(!src.unsubscribe(b));
+        assert_eq!(src.matching("temp").len(), 1);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn notify_delivers_to_matching_subscribers_over_real_soap() {
+        // A subscriber service that records received topics.
+        let seen: Arc<PMutex<Vec<String>>> = Arc::new(PMutex::new(Vec::new()));
+        let seen_server = Arc::clone(&seen);
+        let registry = Arc::new(ServiceRegistry::new().with_operation("Notify", move |req| {
+            let topic = req
+                .body_element()
+                .expect("body")
+                .child_value("topic")
+                .and_then(AtomicValue::as_str)
+                .unwrap_or("?")
+                .to_owned();
+            seen_server.lock().push(topic);
+            Ok(SoapEnvelope::with_body(Element::component("Ack")))
+        }));
+        let server =
+            TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let src = EventSource::new();
+        src.subscribe(&addr, "temp");
+        src.subscribe(&addr, "pressure");
+
+        let results = src.notify(
+            "temp",
+            Element::leaf("value", AtomicValue::F64(281.5)),
+            |sub| SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&sub.endpoint)),
+        );
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok());
+        assert_eq!(&*seen.lock(), &["temp"]);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn soap_managed_subscriptions() {
+        let src = Arc::new(EventSource::new());
+        let mut registry = ServiceRegistry::new();
+        Arc::clone(&src).register_operations(&mut registry);
+        let registry = Arc::new(registry);
+
+        // Subscribe via the registry directly (transport covered above).
+        let req = SoapEnvelope::with_body(
+            Element::component("Subscribe")
+                .with_child(Element::leaf(
+                    "endpoint",
+                    AtomicValue::Str("127.0.0.1:9009".into()),
+                ))
+                .with_child(Element::leaf("topic", AtomicValue::Str("t".into()))),
+        );
+        let resp = registry.dispatch(&req);
+        let id = match resp.body_element().unwrap().child_value("id") {
+            Some(AtomicValue::U64(x)) => *x,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(src.subscriptions().len(), 1);
+
+        let req = SoapEnvelope::with_body(
+            Element::component("Unsubscribe")
+                .with_child(Element::leaf("id", AtomicValue::U64(id))),
+        );
+        let resp = registry.dispatch(&req);
+        assert_eq!(
+            resp.body_element().unwrap().child_value("removed"),
+            Some(&AtomicValue::Bool(true))
+        );
+        assert!(src.subscriptions().is_empty());
+    }
+
+    #[test]
+    fn notify_reports_dead_endpoints() {
+        let src = EventSource::new();
+        src.subscribe("127.0.0.1:1", "x"); // nothing listening
+        let results = src.notify("x", Element::component("payload"), |sub| {
+            SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&sub.endpoint))
+        });
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # wsstack — the encoding-agnostic upper layers
+//!
+//! Figure 3 of the paper places WS-* protocols, XML databinding and XPath
+//! querying *above* the SOAP layer, all speaking bXDM and therefore
+//! "ignorant of the underlying encoding and transport layers". This crate
+//! demonstrates that claim concretely:
+//!
+//! * [`addressing`] — WS-Addressing message headers (To / Action /
+//!   MessageID / RelatesTo) that ride in any envelope regardless of
+//!   encoding;
+//! * [`eventing`] — a WS-Eventing-style subscribe/notify service built
+//!   purely on the generic engine;
+//! * [`xpath`] — a compact XPath-like query engine evaluated directly on
+//!   bXDM trees ("any XDM-based XML processing should be able to run with
+//!   binary XML", §5.1);
+//! * [`databinding`] — mapping Rust structs to and from bXDM elements,
+//!   the paper's "XML databinding" box.
+
+pub mod addressing;
+pub mod databinding;
+pub mod eventing;
+pub mod security;
+pub mod sha256;
+pub mod wsdl;
+pub mod xpath;
+
+pub use addressing::{WsAddressing, WSA_PREFIX, WSA_URI};
+pub use databinding::{FromBxdm, ToBxdm};
+pub use eventing::{EventSource, Subscription};
+pub use security::HmacSigner;
+pub use sha256::{hmac_sha256, sha256, Sha256};
+pub use wsdl::{PortDesc, ServiceDescription};
+pub use xpath::{xpath, XPathError, XPathValue};

@@ -1,0 +1,323 @@
+//! WSDL-lite: runtime service descriptions with encoding/binding
+//! extensions.
+//!
+//! Paper §2: "Users are free to specify the alternative message
+//! encoding/binding scheme in the WSDL file, though most implementations
+//! support this flexibility either poorly or not at all." This module is
+//! the supported version: a small WSDL-shaped document (itself a bXDM
+//! tree, so it travels over either encoding) listing a service's
+//! operations and its **ports**, each port carrying `bx:encoding` and
+//! `bx:transport` extension attributes. A client picks a port and asks
+//! [`ServiceDescription::connect`] for a ready [`soap::AnyEngine`].
+
+use bxdm::{AtomicValue, Document, Element};
+use soap::{AnyEngine, SoapError, SoapResult, WireConfig};
+
+/// WSDL namespace (1.1).
+pub const WSDL_URI: &str = "http://schemas.xmlsoap.org/wsdl/";
+/// Conventional prefix.
+pub const WSDL_PREFIX: &str = "wsdl";
+
+/// One operation offered by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDesc {
+    /// Operation name (the body element's local name).
+    pub name: String,
+    /// Optional human documentation.
+    pub documentation: Option<String>,
+}
+
+/// One concrete endpoint ("port") with its wire configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDesc {
+    /// Port name (e.g. "fast", "interop").
+    pub name: String,
+    /// The encoding/transport pair.
+    pub config: WireConfig,
+    /// `host:port` address.
+    pub address: String,
+    /// HTTP request path (ignored by TCP ports).
+    pub path: String,
+}
+
+/// A service description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name.
+    pub name: String,
+    /// Target namespace of the service's messages.
+    pub target_namespace: String,
+    /// Offered operations.
+    pub operations: Vec<OperationDesc>,
+    /// Concrete ports.
+    pub ports: Vec<PortDesc>,
+}
+
+impl ServiceDescription {
+    /// A description with no operations or ports yet.
+    pub fn new(name: &str, target_namespace: &str) -> ServiceDescription {
+        ServiceDescription {
+            name: name.to_owned(),
+            target_namespace: target_namespace.to_owned(),
+            operations: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Add an operation (chainable).
+    pub fn with_operation(mut self, name: &str, documentation: Option<&str>) -> ServiceDescription {
+        self.operations.push(OperationDesc {
+            name: name.to_owned(),
+            documentation: documentation.map(str::to_owned),
+        });
+        self
+    }
+
+    /// Add a port (chainable).
+    pub fn with_port(
+        mut self,
+        name: &str,
+        config: WireConfig,
+        address: &str,
+        path: &str,
+    ) -> ServiceDescription {
+        self.ports.push(PortDesc {
+            name: name.to_owned(),
+            config,
+            address: address.to_owned(),
+            path: path.to_owned(),
+        });
+        self
+    }
+
+    /// Find a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortDesc> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Build an engine for the named port.
+    pub fn connect(&self, port_name: &str) -> SoapResult<AnyEngine> {
+        let port = self.port(port_name).ok_or_else(|| {
+            SoapError::Protocol(format!(
+                "service {:?} has no port {:?}",
+                self.name, port_name
+            ))
+        })?;
+        Ok(AnyEngine::connect(port.config, &port.address, &port.path))
+    }
+
+    /// Serialize as a WSDL-shaped bXDM document.
+    pub fn to_document(&self) -> Document {
+        let mut definitions = Element::component(format!("{WSDL_PREFIX}:definitions"))
+            .with_namespace(WSDL_PREFIX, WSDL_URI)
+            .with_namespace(xmltext::BX_PREFIX, xmltext::BX_URI)
+            .with_attr("name", &self.name)
+            .with_attr("targetNamespace", &self.target_namespace);
+
+        let mut port_type = Element::component(format!("{WSDL_PREFIX}:portType"))
+            .with_attr("name", &format!("{}PortType", self.name));
+        for op in &self.operations {
+            let mut e = Element::component(format!("{WSDL_PREFIX}:operation"))
+                .with_attr("name", &op.name);
+            if let Some(doc) = &op.documentation {
+                e.push_child(Element::leaf(
+                    format!("{WSDL_PREFIX}:documentation"),
+                    AtomicValue::Str(doc.clone()),
+                ));
+            }
+            port_type.push_child(e);
+        }
+        definitions.push_child(port_type);
+
+        let mut service = Element::component(format!("{WSDL_PREFIX}:service"))
+            .with_attr("name", &self.name);
+        for port in &self.ports {
+            let (encoding, transport) = port.config.tokens();
+            service.push_child(
+                Element::component(format!("{WSDL_PREFIX}:port"))
+                    .with_attr("name", &port.name)
+                    .with_attr("bx:encoding", encoding)
+                    .with_attr("bx:transport", transport)
+                    .with_child(
+                        Element::component(format!("{WSDL_PREFIX}:address"))
+                            .with_attr("location", &port.address)
+                            .with_attr("path", &port.path),
+                    ),
+            );
+        }
+        definitions.push_child(service);
+        Document::with_root(definitions)
+    }
+
+    /// Parse a WSDL-shaped document back into a description.
+    pub fn from_document(doc: &Document) -> SoapResult<ServiceDescription> {
+        let root = doc
+            .root()
+            .filter(|r| r.name.local() == "definitions")
+            .ok_or_else(|| SoapError::Protocol("not a WSDL definitions document".into()))?;
+        let attr_str = |e: &Element, name: &str| -> Option<String> {
+            e.attribute_local(name)
+                .map(|a| a.value.lexical())
+        };
+        let name = attr_str(root, "name")
+            .ok_or_else(|| SoapError::Protocol("definitions lacks a name".into()))?;
+        let target_namespace = attr_str(root, "targetNamespace").unwrap_or_default();
+
+        let mut out = ServiceDescription::new(&name, &target_namespace);
+        if let Some(port_type) = root.find_child("portType") {
+            for op in port_type.child_elements() {
+                if op.name.local() != "operation" {
+                    continue;
+                }
+                let Some(op_name) = attr_str(op, "name") else { continue };
+                let documentation = op
+                    .find_child("documentation")
+                    .map(|d| d.text_content());
+                out.operations.push(OperationDesc {
+                    name: op_name,
+                    documentation,
+                });
+            }
+        }
+        if let Some(service) = root.find_child("service") {
+            for port in service.child_elements() {
+                if port.name.local() != "port" {
+                    continue;
+                }
+                let port_name = attr_str(port, "name")
+                    .ok_or_else(|| SoapError::Protocol("port lacks a name".into()))?;
+                let encoding = attr_str(port, "encoding").unwrap_or_else(|| "xml".into());
+                let transport = attr_str(port, "transport").unwrap_or_else(|| "http".into());
+                let config = WireConfig::parse(&encoding, &transport)?;
+                let address_el = port.find_child("address").ok_or_else(|| {
+                    SoapError::Protocol(format!("port {port_name:?} lacks an address"))
+                })?;
+                let address = attr_str(address_el, "location")
+                    .ok_or_else(|| SoapError::Protocol("address lacks a location".into()))?;
+                let path = attr_str(address_el, "path").unwrap_or_else(|| "/soap".into());
+                out.ports.push(PortDesc {
+                    name: port_name,
+                    config,
+                    address,
+                    path,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap::{BxsaEncoding, ServiceRegistry, SoapEnvelope, TcpSoapServer, XmlEncoding};
+    use soap::HttpSoapServer;
+    use std::sync::Arc;
+
+    fn sample() -> ServiceDescription {
+        ServiceDescription::new("Verifier", "http://bxsoap.example.org/lead")
+            .with_operation("Verify", Some("verify a LEAD dataset"))
+            .with_operation("Status", None)
+            .with_port(
+                "fast",
+                WireConfig::parse("bxsa", "tcp").unwrap(),
+                "127.0.0.1:9100",
+                "/",
+            )
+            .with_port(
+                "interop",
+                WireConfig::parse("xml", "http").unwrap(),
+                "127.0.0.1:9101",
+                "/soap",
+            )
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let desc = sample();
+        let doc = desc.to_document();
+        assert_eq!(ServiceDescription::from_document(&doc).unwrap(), desc);
+    }
+
+    #[test]
+    fn survives_both_wire_encodings() {
+        let desc = sample();
+        let doc = desc.to_document();
+        let bin = bxsa::encode(&doc).unwrap();
+        assert_eq!(
+            ServiceDescription::from_document(&bxsa::decode(&bin).unwrap()).unwrap(),
+            desc
+        );
+        let Ok(xml) = xmltext::to_string(&doc);
+        assert_eq!(
+            ServiceDescription::from_document(&xmltext::parse(&xml).unwrap()).unwrap(),
+            desc
+        );
+    }
+
+    #[test]
+    fn missing_pieces_error() {
+        let doc = Document::with_root(Element::component("notwsdl"));
+        assert!(ServiceDescription::from_document(&doc).is_err());
+        let doc = Document::with_root(
+            Element::component("wsdl:definitions").with_namespace(WSDL_PREFIX, WSDL_URI),
+        );
+        assert!(ServiceDescription::from_document(&doc).is_err()); // no name
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        assert!(sample().connect("nonexistent").is_err());
+    }
+
+    #[test]
+    fn discovery_to_live_call() {
+        // Server publishes two live ports; the client discovers them from
+        // the (transcoded!) WSDL and calls through each.
+        let registry = Arc::new(ServiceRegistry::new().with_operation("Echo", |req| {
+            Ok(SoapEnvelope::with_body(
+                bxdm::Element::component("EchoResponse")
+                    .with_child(req.body_element().expect("checked").clone()),
+            ))
+        }));
+        let tcp = TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry.clone())
+            .unwrap();
+        let http = HttpSoapServer::bind(
+            "127.0.0.1:0",
+            "/soap",
+            XmlEncoding::default(),
+            registry,
+        )
+        .unwrap();
+
+        let published = ServiceDescription::new("Echoer", "http://example.org/echo")
+            .with_operation("Echo", None)
+            .with_port(
+                "fast",
+                WireConfig::parse("bxsa", "tcp").unwrap(),
+                &tcp.local_addr().to_string(),
+                "/",
+            )
+            .with_port(
+                "interop",
+                WireConfig::parse("xml", "http").unwrap(),
+                &http.local_addr().to_string(),
+                "/soap",
+            );
+        // The description crosses the wire as binary XML.
+        let wire = bxsa::encode(&published.to_document()).unwrap();
+        let discovered =
+            ServiceDescription::from_document(&bxsa::decode(&wire).unwrap()).unwrap();
+
+        for port in ["fast", "interop"] {
+            let mut engine = discovered.connect(port).unwrap();
+            let resp = engine
+                .call(SoapEnvelope::with_body(bxdm::Element::component("Echo")))
+                .unwrap();
+            assert_eq!(resp.operation(), Some("EchoResponse"), "port {port}");
+        }
+
+        tcp.shutdown();
+        http.shutdown();
+    }
+}

@@ -1,0 +1,364 @@
+//! A compact XPath-like query engine over bXDM.
+//!
+//! Paper §5.1: "since bXDM is extended from XDM, any XDM-based XML
+//! processing (e.g. XPath or XSLT) should be able to run with binary XML
+//! with minor modification." This module is the proof: queries evaluate
+//! against the data model, so a document decoded from BXSA and one parsed
+//! from textual XML answer identically.
+//!
+//! Supported grammar (a practical XPath 1.0 subset):
+//!
+//! ```text
+//! path      := ('/' | '//')? step ('/' | '//') step ...
+//! step      := name | '*' | name '[' index ']' | '@' name | 'text()'
+//! ```
+//!
+//! Indexes are 1-based as in XPath. `//` selects descendants-or-self.
+
+use bxdm::Element;
+
+/// A query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathValue<'a> {
+    /// A set of matched elements (document order).
+    Nodes(Vec<&'a Element>),
+    /// A set of strings (attribute values or text()).
+    Strings(Vec<String>),
+}
+
+impl<'a> XPathValue<'a> {
+    /// The matched elements (empty for string results).
+    pub fn nodes(&self) -> &[&'a Element] {
+        match self {
+            XPathValue::Nodes(n) => n,
+            XPathValue::Strings(_) => &[],
+        }
+    }
+
+    /// First match as an element.
+    pub fn first(&self) -> Option<&'a Element> {
+        self.nodes().first().copied()
+    }
+
+    /// The result as strings: attribute/text results directly, element
+    /// results via their text content.
+    pub fn strings(&self) -> Vec<String> {
+        match self {
+            XPathValue::Strings(s) => s.clone(),
+            XPathValue::Nodes(n) => n.iter().map(|e| e.text_content()).collect(),
+        }
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        match self {
+            XPathValue::Nodes(n) => n.len(),
+            XPathValue::Strings(s) => s.len(),
+        }
+    }
+
+    /// `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Query errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPathError {
+    /// Empty path or empty step.
+    EmptyStep,
+    /// A malformed predicate (non-numeric or unclosed).
+    BadPredicate(String),
+    /// `@attr` or `text()` used in a non-final step.
+    NonFinalValueStep(String),
+}
+
+impl std::fmt::Display for XPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XPathError::EmptyStep => write!(f, "empty path step"),
+            XPathError::BadPredicate(p) => write!(f, "bad predicate {p:?}"),
+            XPathError::NonFinalValueStep(s) => {
+                write!(f, "step {s:?} is only allowed at the end of a path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+#[derive(Debug)]
+enum Axis {
+    Child,
+    Descendant,
+}
+
+#[derive(Debug)]
+enum StepKind {
+    Name(String),
+    Wildcard,
+    Attribute(String),
+    Text,
+}
+
+#[derive(Debug)]
+struct Step {
+    axis: Axis,
+    kind: StepKind,
+    index: Option<usize>,
+}
+
+fn parse(path: &str) -> Result<Vec<Step>, XPathError> {
+    let mut steps = Vec::new();
+    let mut rest = path.trim();
+    // Leading axis of the first step.
+    let mut axis = if let Some(r) = rest.strip_prefix("//") {
+        rest = r;
+        Axis::Descendant
+    } else if let Some(r) = rest.strip_prefix('/') {
+        rest = r;
+        Axis::Child
+    } else {
+        Axis::Child
+    };
+    loop {
+        let (token, next_axis, remainder) = match rest.find('/') {
+            Some(i) => {
+                let token = &rest[..i];
+                if rest[i..].starts_with("//") {
+                    (token, Some(Axis::Descendant), &rest[i + 2..])
+                } else {
+                    (token, Some(Axis::Child), &rest[i + 1..])
+                }
+            }
+            None => (rest, None, ""),
+        };
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(XPathError::EmptyStep);
+        }
+        // Predicate.
+        let (token, index) = match token.find('[') {
+            Some(open) => {
+                let close = token.rfind(']').ok_or_else(|| {
+                    XPathError::BadPredicate(token.to_owned())
+                })?;
+                let idx: usize = token[open + 1..close]
+                    .trim()
+                    .parse()
+                    .map_err(|_| XPathError::BadPredicate(token.to_owned()))?;
+                if idx == 0 {
+                    return Err(XPathError::BadPredicate(token.to_owned()));
+                }
+                (&token[..open], Some(idx))
+            }
+            None => (token, None),
+        };
+        let kind = if let Some(attr) = token.strip_prefix('@') {
+            StepKind::Attribute(attr.to_owned())
+        } else if token == "text()" {
+            StepKind::Text
+        } else if token == "*" {
+            StepKind::Wildcard
+        } else {
+            StepKind::Name(token.to_owned())
+        };
+        steps.push(Step { axis, kind, index });
+        match next_axis {
+            Some(a) => {
+                axis = a;
+                rest = remainder;
+            }
+            None => break,
+        }
+    }
+    // Value steps must be final.
+    for (i, step) in steps.iter().enumerate() {
+        if i + 1 != steps.len() {
+            match &step.kind {
+                StepKind::Attribute(a) => {
+                    return Err(XPathError::NonFinalValueStep(format!("@{a}")))
+                }
+                StepKind::Text => return Err(XPathError::NonFinalValueStep("text()".into())),
+                _ => {}
+            }
+        }
+    }
+    Ok(steps)
+}
+
+fn descendants_or_self<'a>(e: &'a Element, out: &mut Vec<&'a Element>) {
+    out.push(e);
+    for c in e.child_elements() {
+        descendants_or_self(c, out);
+    }
+}
+
+/// Evaluate `path` against `root` (the path's first step matches
+/// *children* of `root`, or any descendant with a leading `//`).
+pub fn xpath<'a>(root: &'a Element, path: &str) -> Result<XPathValue<'a>, XPathError> {
+    let steps = parse(path)?;
+    let mut current: Vec<&'a Element> = vec![root];
+    for (i, step) in steps.iter().enumerate() {
+        let is_last = i + 1 == steps.len();
+        // Candidate set per the axis.
+        let candidates: Vec<&'a Element> = match step.axis {
+            Axis::Child => current
+                .iter()
+                .flat_map(|e| e.child_elements())
+                .collect(),
+            Axis::Descendant => {
+                let mut all = Vec::new();
+                for e in &current {
+                    for c in e.child_elements() {
+                        descendants_or_self(c, &mut all);
+                    }
+                }
+                all
+            }
+        };
+        match &step.kind {
+            StepKind::Attribute(name) => {
+                // Final step (validated): collect attribute values of the
+                // *current* node set, not the candidates.
+                let values: Vec<String> = current
+                    .iter()
+                    .filter_map(|e| e.attribute_local(name))
+                    .map(|a| a.value.lexical())
+                    .collect();
+                let values = apply_index_strings(values, step.index);
+                return Ok(XPathValue::Strings(values));
+            }
+            StepKind::Text => {
+                let values: Vec<String> = current.iter().map(|e| e.text_content()).collect();
+                let values = apply_index_strings(values, step.index);
+                return Ok(XPathValue::Strings(values));
+            }
+            StepKind::Wildcard => {
+                current = apply_index(candidates, step.index);
+            }
+            StepKind::Name(name) => {
+                let matched: Vec<&Element> = candidates
+                    .into_iter()
+                    .filter(|e| e.name.local() == name)
+                    .collect();
+                current = apply_index(matched, step.index);
+            }
+        }
+        if current.is_empty() && !is_last {
+            return Ok(XPathValue::Nodes(Vec::new()));
+        }
+    }
+    Ok(XPathValue::Nodes(current))
+}
+
+fn apply_index<T>(items: Vec<T>, index: Option<usize>) -> Vec<T> {
+    match index {
+        Some(i) => items.into_iter().nth(i - 1).into_iter().collect(),
+        None => items,
+    }
+}
+
+fn apply_index_strings(items: Vec<String>, index: Option<usize>) -> Vec<String> {
+    apply_index(items, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::{ArrayValue, AtomicValue};
+
+    fn tree() -> Element {
+        Element::component("data")
+            .with_attr("run", "42")
+            .with_child(
+                Element::component("series")
+                    .with_attr("name", "temp")
+                    .with_child(Element::leaf("count", AtomicValue::I32(3)))
+                    .with_child(Element::array("v", ArrayValue::F64(vec![1.0, 2.0]))),
+            )
+            .with_child(
+                Element::component("series")
+                    .with_attr("name", "pressure")
+                    .with_child(Element::leaf("count", AtomicValue::I32(7))),
+            )
+            .with_child(Element::leaf("note", AtomicValue::Str("ok".into())))
+    }
+
+    #[test]
+    fn child_steps() {
+        let t = tree();
+        let r = xpath(&t, "series/count").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.strings(), vec!["3", "7"]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let t = tree();
+        assert_eq!(xpath(&t, "//count").unwrap().len(), 2);
+        assert_eq!(xpath(&t, "//v").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn predicates_are_one_based() {
+        let t = tree();
+        let r = xpath(&t, "series[2]/count").unwrap();
+        assert_eq!(r.strings(), vec!["7"]);
+        assert!(xpath(&t, "series[3]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn wildcard() {
+        let t = tree();
+        assert_eq!(xpath(&t, "*").unwrap().len(), 3);
+        assert_eq!(xpath(&t, "series[1]/*").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let t = tree();
+        assert_eq!(
+            xpath(&t, "series/@name").unwrap().strings(),
+            vec!["temp", "pressure"]
+        );
+        assert_eq!(xpath(&t, "note/text()").unwrap().strings(), vec!["ok"]);
+    }
+
+    #[test]
+    fn errors() {
+        let t = tree();
+        assert_eq!(xpath(&t, "a//"), Err(XPathError::EmptyStep));
+        assert!(matches!(
+            xpath(&t, "series[x]"),
+            Err(XPathError::BadPredicate(_))
+        ));
+        assert!(matches!(
+            xpath(&t, "series[0]"),
+            Err(XPathError::BadPredicate(_))
+        ));
+        assert!(matches!(
+            xpath(&t, "@run/count"),
+            Err(XPathError::NonFinalValueStep(_))
+        ));
+    }
+
+    #[test]
+    fn same_answers_after_binary_roundtrip() {
+        // The encoding-agnosticism claim: queries answer identically on a
+        // tree that has been through BXSA.
+        let t = tree();
+        let doc = bxdm::Document::with_root(t.clone());
+        let bytes = bxsa::encode(&doc).unwrap();
+        let back = bxsa::decode(&bytes).unwrap();
+        let t2 = back.root().unwrap();
+        for path in ["series/count", "//count", "series/@name", "note/text()"] {
+            assert_eq!(
+                xpath(&t, path).unwrap().strings(),
+                xpath(t2, path).unwrap().strings(),
+                "path {path}"
+            );
+        }
+    }
+}

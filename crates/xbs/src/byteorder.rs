@@ -1,0 +1,80 @@
+//! Byte-order selection.
+//!
+//! BXSA stores the byte order *per frame* (two bits in the common frame
+//! prefix) rather than per document, so that a frame can be embedded in a
+//! container of a different endianness without rewriting (paper §4.1).
+//! XBS therefore has to be able to read and write both orders.
+
+/// Endianness of the numbers in an XBS stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ByteOrder {
+    /// Least-significant byte first (x86, most modern machines).
+    #[default]
+    Little,
+    /// Most-significant byte first ("network order").
+    Big,
+}
+
+impl ByteOrder {
+    /// The byte order of the machine this code is running on.
+    #[inline]
+    pub const fn native() -> ByteOrder {
+        if cfg!(target_endian = "little") {
+            ByteOrder::Little
+        } else {
+            ByteOrder::Big
+        }
+    }
+
+    /// `true` when this is the running machine's native order, in which
+    /// case packed arrays can be read without byte swapping.
+    #[inline]
+    pub const fn is_native(self) -> bool {
+        matches!(
+            (self, ByteOrder::native()),
+            (ByteOrder::Little, ByteOrder::Little) | (ByteOrder::Big, ByteOrder::Big)
+        )
+    }
+
+    /// Two-bit code stored in the BXSA common frame prefix.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        match self {
+            ByteOrder::Little => 0,
+            ByteOrder::Big => 1,
+        }
+    }
+
+    /// Inverse of [`ByteOrder::code`]. Codes 2 and 3 are reserved.
+    #[inline]
+    pub const fn from_code(code: u8) -> Option<ByteOrder> {
+        match code {
+            0 => Some(ByteOrder::Little),
+            1 => Some(ByteOrder::Big),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for o in [ByteOrder::Little, ByteOrder::Big] {
+            assert_eq!(ByteOrder::from_code(o.code()), Some(o));
+        }
+        assert_eq!(ByteOrder::from_code(2), None);
+        assert_eq!(ByteOrder::from_code(3), None);
+    }
+
+    #[test]
+    fn native_matches_cfg() {
+        #[cfg(target_endian = "little")]
+        assert_eq!(ByteOrder::native(), ByteOrder::Little);
+        #[cfg(target_endian = "big")]
+        assert_eq!(ByteOrder::native(), ByteOrder::Big);
+        assert!(ByteOrder::native().is_native());
+    }
+}

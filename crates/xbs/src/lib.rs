@@ -1,0 +1,101 @@
+//! # XBS — a streaming binary serializer for high-performance computing
+//!
+//! XBS is the bottom layer of the BXSA binary-XML stack (Chiu, HPC
+//! Symposium 2004; used by Lu, Chiu & Gannon, HPDC 2006). It packs
+//! *fundamental types* into a byte sequence with three properties that the
+//! layers above rely on:
+//!
+//! 1. **Minimal type repertoire** — 1-, 2-, 4- and 8-byte integers, 4- and
+//!    8-byte IEEE-754 floating-point numbers, and one-dimensional packed
+//!    arrays of those.
+//! 2. **Natural alignment** — every number is written at an offset that is
+//!    a multiple of its own size (relative to the start of the stream),
+//!    padding with zero bytes as needed. Aligned packed arrays can then be
+//!    *viewed* in place without copying (see
+//!    [`XbsReader::read_f64_slice_zero_copy`](reader::XbsReader)).
+//! 3. **Explicit byte order** — both little- and big-endian encodings are
+//!    supported; the consumer (a BXSA frame) records which one is in use.
+//!
+//! On top of the fixed-width primitives, XBS provides the variable-length
+//! size integer (**VLS**) used by BXSA for frame sizes, counts and string
+//! lengths (see [`vls`]).
+//!
+//! ```
+//! use xbs::{XbsWriter, XbsReader, ByteOrder};
+//!
+//! let mut w = XbsWriter::new(ByteOrder::Little);
+//! w.put_u8(7);
+//! w.put_f64(3.25);            // padded to an 8-byte boundary first
+//! w.put_array_i32(&[1, 2, 3]);
+//!
+//! let buf = w.into_bytes();
+//! let mut r = XbsReader::new(&buf, ByteOrder::Little);
+//! assert_eq!(r.read_u8().unwrap(), 7);
+//! assert_eq!(r.read_f64().unwrap(), 3.25);
+//! assert_eq!(r.read_array_i32().unwrap(), vec![1, 2, 3]);
+//! ```
+
+pub mod byteorder;
+pub mod error;
+pub mod prim;
+pub mod reader;
+pub mod typecode;
+pub mod vls;
+pub mod writer;
+
+pub use byteorder::ByteOrder;
+pub use error::{XbsError, XbsResult};
+pub use prim::Primitive;
+pub use reader::XbsReader;
+pub use typecode::TypeCode;
+pub use writer::XbsWriter;
+
+/// Round `offset` up to the next multiple of `align`.
+///
+/// `align` must be a power of two (all XBS primitive widths are).
+#[inline]
+pub fn align_up(offset: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (offset + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 1), 0);
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(13, 4), 16);
+        assert_eq!(align_up(13, 2), 14);
+    }
+
+    #[test]
+    fn roundtrip_mixed_stream() {
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            let mut w = XbsWriter::new(order);
+            w.put_i8(-3);
+            w.put_i16(-300);
+            w.put_i32(70_000);
+            w.put_i64(-(1 << 40));
+            w.put_f32(1.5);
+            w.put_f64(-2.25);
+            w.put_u8(255);
+            let buf = w.into_bytes();
+
+            let mut r = XbsReader::new(&buf, order);
+            assert_eq!(r.read_i8().unwrap(), -3);
+            assert_eq!(r.read_i16().unwrap(), -300);
+            assert_eq!(r.read_i32().unwrap(), 70_000);
+            assert_eq!(r.read_i64().unwrap(), -(1 << 40));
+            assert_eq!(r.read_f32().unwrap(), 1.5);
+            assert_eq!(r.read_f64().unwrap(), -2.25);
+            assert_eq!(r.read_u8().unwrap(), 255);
+            assert!(r.is_at_end());
+        }
+    }
+}

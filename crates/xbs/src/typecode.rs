@@ -1,0 +1,160 @@
+//! Wire-level type codes.
+//!
+//! BXSA leaf-element, attribute and array frames carry a one-byte type
+//! code ahead of the value (the "value type code" fields in Figure 2).
+//! The repertoire mirrors what XBS can pack: 1/2/4/8-byte signed and
+//! unsigned integers and 4/8-byte floats, plus the non-numeric codes
+//! needed for attribute values and untyped content (string, boolean).
+
+use crate::error::{XbsError, XbsResult};
+
+/// One-byte code identifying the type of a typed value on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TypeCode {
+    I8 = 0x01,
+    U8 = 0x02,
+    I16 = 0x03,
+    U16 = 0x04,
+    I32 = 0x05,
+    U32 = 0x06,
+    I64 = 0x07,
+    U64 = 0x08,
+    F32 = 0x09,
+    F64 = 0x0a,
+    /// UTF-8 string: VLS byte length followed by the bytes.
+    Str = 0x0b,
+    /// Boolean stored as one byte (0 or 1).
+    Bool = 0x0c,
+}
+
+impl TypeCode {
+    /// Width in bytes of the fixed-size types; `None` for `Str`.
+    #[inline]
+    pub const fn width(self) -> Option<usize> {
+        match self {
+            TypeCode::I8 | TypeCode::U8 | TypeCode::Bool => Some(1),
+            TypeCode::I16 | TypeCode::U16 => Some(2),
+            TypeCode::I32 | TypeCode::U32 | TypeCode::F32 => Some(4),
+            TypeCode::I64 | TypeCode::U64 | TypeCode::F64 => Some(8),
+            TypeCode::Str => None,
+        }
+    }
+
+    /// Decode a raw byte, reporting `offset` on failure.
+    #[inline]
+    pub fn from_byte(code: u8, offset: usize) -> XbsResult<TypeCode> {
+        Ok(match code {
+            0x01 => TypeCode::I8,
+            0x02 => TypeCode::U8,
+            0x03 => TypeCode::I16,
+            0x04 => TypeCode::U16,
+            0x05 => TypeCode::I32,
+            0x06 => TypeCode::U32,
+            0x07 => TypeCode::I64,
+            0x08 => TypeCode::U64,
+            0x09 => TypeCode::F32,
+            0x0a => TypeCode::F64,
+            0x0b => TypeCode::Str,
+            0x0c => TypeCode::Bool,
+            _ => return Err(XbsError::BadTypeCode { offset, code }),
+        })
+    }
+
+    /// The XML Schema datatype name used when serializing the typed value
+    /// into textual XML (`xsi:type` attribute, paper §4.2).
+    pub const fn xsd_name(self) -> &'static str {
+        match self {
+            TypeCode::I8 => "xsd:byte",
+            TypeCode::U8 => "xsd:unsignedByte",
+            TypeCode::I16 => "xsd:short",
+            TypeCode::U16 => "xsd:unsignedShort",
+            TypeCode::I32 => "xsd:int",
+            TypeCode::U32 => "xsd:unsignedInt",
+            TypeCode::I64 => "xsd:long",
+            TypeCode::U64 => "xsd:unsignedLong",
+            TypeCode::F32 => "xsd:float",
+            TypeCode::F64 => "xsd:double",
+            TypeCode::Str => "xsd:string",
+            TypeCode::Bool => "xsd:boolean",
+        }
+    }
+
+    /// Inverse of [`TypeCode::xsd_name`], accepting both prefixed and
+    /// unprefixed schema type names.
+    pub fn from_xsd_name(name: &str) -> Option<TypeCode> {
+        let local = name.rsplit(':').next().unwrap_or(name);
+        Some(match local {
+            "byte" => TypeCode::I8,
+            "unsignedByte" => TypeCode::U8,
+            "short" => TypeCode::I16,
+            "unsignedShort" => TypeCode::U16,
+            "int" => TypeCode::I32,
+            "unsignedInt" => TypeCode::U32,
+            "long" => TypeCode::I64,
+            "unsignedLong" => TypeCode::U64,
+            "float" => TypeCode::F32,
+            "double" => TypeCode::F64,
+            "string" => TypeCode::Str,
+            "boolean" => TypeCode::Bool,
+            _ => return None,
+        })
+    }
+
+    /// All defined codes, in wire order. Useful for exhaustive tests.
+    pub const ALL: [TypeCode; 12] = [
+        TypeCode::I8,
+        TypeCode::U8,
+        TypeCode::I16,
+        TypeCode::U16,
+        TypeCode::I32,
+        TypeCode::U32,
+        TypeCode::I64,
+        TypeCode::U64,
+        TypeCode::F32,
+        TypeCode::F64,
+        TypeCode::Str,
+        TypeCode::Bool,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for &tc in TypeCode::ALL.iter() {
+            assert_eq!(TypeCode::from_byte(tc as u8, 0).unwrap(), tc);
+        }
+    }
+
+    #[test]
+    fn unknown_byte_is_error() {
+        for bad in [0x00u8, 0x0d, 0x7f, 0xff] {
+            let e = TypeCode::from_byte(bad, 9).unwrap_err();
+            assert_eq!(e, XbsError::BadTypeCode { offset: 9, code: bad });
+        }
+    }
+
+    #[test]
+    fn xsd_name_roundtrip() {
+        for &tc in TypeCode::ALL.iter() {
+            assert_eq!(TypeCode::from_xsd_name(tc.xsd_name()), Some(tc));
+            // Unprefixed form accepted too.
+            let local = tc.xsd_name().strip_prefix("xsd:").unwrap();
+            assert_eq!(TypeCode::from_xsd_name(local), Some(tc));
+        }
+        assert_eq!(TypeCode::from_xsd_name("xsd:decimal"), None);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(TypeCode::I8.width(), Some(1));
+        assert_eq!(TypeCode::U16.width(), Some(2));
+        assert_eq!(TypeCode::F32.width(), Some(4));
+        assert_eq!(TypeCode::F64.width(), Some(8));
+        assert_eq!(TypeCode::Str.width(), None);
+        assert_eq!(TypeCode::Bool.width(), Some(1));
+    }
+}

@@ -1,0 +1,267 @@
+//! Variable-length size integers (VLS).
+//!
+//! BXSA uses a compact variable-length encoding for frame sizes, counts
+//! and string lengths (the fields marked "(VLS)" in Figure 2 of the
+//! paper). We use the standard LEB128 scheme: seven payload bits per byte,
+//! the high bit set on every byte except the last. Small values — the
+//! overwhelmingly common case for name lengths and attribute counts —
+//! occupy a single byte.
+//!
+//! Decoding enforces **canonical form** (no redundant trailing zero
+//! groups): a given value has exactly one encoding, which makes
+//! `decode(encode(x)) == x` *and* `encode(decode(b)) == b`, a property the
+//! transcodability tests rely on.
+
+use crate::error::{XbsError, XbsResult};
+
+/// Maximum number of bytes a canonical 64-bit VLS can occupy.
+pub const MAX_VLS_LEN: usize = 10;
+
+/// Append the VLS encoding of `value` to `out`; returns the number of
+/// bytes written.
+#[inline]
+pub fn write_vls(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_vls`] would emit for `value`, without writing.
+#[inline]
+pub fn vls_len(value: u64) -> usize {
+    // 64-bit values need ceil(bits/7) bytes; `value == 0` still takes one.
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+/// Decode a VLS starting at `buf[offset]`.
+///
+/// Returns the decoded value and the number of bytes consumed. `offset` is
+/// only used for error reporting.
+#[inline]
+pub fn read_vls(buf: &[u8], offset: usize) -> XbsResult<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VLS_LEN {
+            return Err(XbsError::VlsTooLong { offset });
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute a single bit (bit 63).
+        if shift == 63 && payload > 1 {
+            return Err(XbsError::VlsTooLong { offset });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            // Canonical form: the final byte of a multi-byte encoding must
+            // be non-zero, otherwise a shorter encoding exists.
+            if i > 0 && byte == 0 {
+                return Err(XbsError::VlsNotCanonical { offset });
+            }
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(XbsError::UnexpectedEof {
+        offset: offset + buf.len(),
+        needed: 1,
+    })
+}
+
+/// Encode `value` in *exactly* `len` bytes, padding with continuation
+/// bytes (non-canonical LEB128).
+///
+/// Used for backpatched fields — a BXSA encoder reserves the frame-size
+/// field before the frame body is written, then patches the actual size in
+/// place; padding the encoding (rather than shifting the buffer) preserves
+/// the alignment of everything already written. Panics if `value` does not
+/// fit in `len` bytes (`len * 7` payload bits) — callers size the field
+/// from an upper bound, so this is a programming error, not bad input.
+pub fn write_vls_padded(out: &mut [u8], mut value: u64, len: usize) {
+    assert!((1..=MAX_VLS_LEN).contains(&len), "bad padded VLS length {len}");
+    assert!(
+        7 * len >= 64 || value >> (7 * len) == 0,
+        "value {value} does not fit in a {len}-byte VLS"
+    );
+    for slot in out.iter_mut().take(len - 1) {
+        *slot = (value & 0x7f) as u8 | 0x80;
+        value >>= 7;
+    }
+    assert!(value <= 0x7f, "value overflowed padded VLS");
+    out[len - 1] = value as u8;
+}
+
+/// Decode a possibly *padded* (non-canonical) VLS.
+///
+/// Identical to [`read_vls`] except that redundant trailing zero groups
+/// are accepted. Only the BXSA frame-size field uses this relaxation.
+#[inline]
+pub fn read_vls_padded(buf: &[u8], offset: usize) -> XbsResult<(u64, usize)> {
+    match read_vls(buf, offset) {
+        Err(XbsError::VlsNotCanonical { .. }) => {
+            // Re-run without the canonicality rejection.
+            let mut value: u64 = 0;
+            let mut shift = 0u32;
+            for (i, &byte) in buf.iter().enumerate() {
+                if i >= MAX_VLS_LEN {
+                    return Err(XbsError::VlsTooLong { offset });
+                }
+                let payload = (byte & 0x7f) as u64;
+                if shift == 63 && payload > 1 {
+                    return Err(XbsError::VlsTooLong { offset });
+                }
+                if shift < 64 {
+                    value |= payload << shift;
+                }
+                if byte & 0x80 == 0 {
+                    return Ok((value, i + 1));
+                }
+                shift += 7;
+            }
+            Err(XbsError::UnexpectedEof {
+                offset: offset + buf.len(),
+                needed: 1,
+            })
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn enc(v: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_vls(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(enc(0), vec![0x00]);
+        assert_eq!(enc(1), vec![0x01]);
+        assert_eq!(enc(127), vec![0x7f]);
+        assert_eq!(enc(128), vec![0x80, 0x01]);
+        assert_eq!(enc(300), vec![0xac, 0x02]);
+        assert_eq!(enc(u64::MAX).len(), 10);
+    }
+
+    #[test]
+    fn vls_len_matches_write() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, 1 << 35, u64::MAX] {
+            assert_eq!(vls_len(v), enc(v).len(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let e = read_vls(&[0x80], 5).unwrap_err();
+        assert!(matches!(e, XbsError::UnexpectedEof { .. }));
+        let e = read_vls(&[], 0).unwrap_err();
+        assert!(matches!(e, XbsError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn rejects_non_canonical() {
+        // 0x80 0x00 decodes to 0 but is not the canonical single byte 0x00.
+        let e = read_vls(&[0x80, 0x00], 0).unwrap_err();
+        assert_eq!(e, XbsError::VlsNotCanonical { offset: 0 });
+    }
+
+    #[test]
+    fn rejects_overlong() {
+        // Eleven continuation bytes can never be valid.
+        let buf = [0x80u8; 11];
+        let e = read_vls(&buf, 0).unwrap_err();
+        assert_eq!(e, XbsError::VlsTooLong { offset: 0 });
+        // A 10-byte encoding whose final byte overflows bit 63.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let e = read_vls(&buf, 0).unwrap_err();
+        assert_eq!(e, XbsError::VlsTooLong { offset: 0 });
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let b = enc(u64::MAX);
+        let (v, n) = read_vls(&b, 0).unwrap();
+        assert_eq!(v, u64::MAX);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn padded_exact_length() {
+        for (v, len) in [(0u64, 1usize), (0, 4), (127, 1), (127, 3), (300, 2), (300, 5)] {
+            let mut buf = vec![0u8; len];
+            write_vls_padded(&mut buf, v, len);
+            let (decoded, used) = read_vls_padded(&buf, 0).unwrap();
+            assert_eq!(decoded, v, "value {v} len {len}");
+            assert_eq!(used, len);
+        }
+    }
+
+    #[test]
+    fn padded_matches_canonical_when_minimal() {
+        let mut buf = vec![0u8; 2];
+        write_vls_padded(&mut buf, 300, 2);
+        assert_eq!(buf, enc(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_overflow_panics() {
+        let mut buf = vec![0u8; 1];
+        write_vls_padded(&mut buf, 128, 1);
+    }
+
+    #[test]
+    fn padded_reader_rejects_canonical_errors_it_should() {
+        assert!(read_vls_padded(&[0x80], 0).is_err()); // truncated
+        assert!(read_vls_padded(&[0x80u8; 11], 0).is_err()); // too long
+        // But accepts non-canonical padding.
+        assert_eq!(read_vls_padded(&[0x80, 0x00], 0).unwrap(), (0, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn padded_roundtrip(v in any::<u64>(), extra in 0usize..3) {
+            let len = (vls_len(v) + extra).min(MAX_VLS_LEN);
+            let mut buf = vec![0u8; len];
+            write_vls_padded(&mut buf, v, len);
+            let (decoded, used) = read_vls_padded(&buf, 0).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, len);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in any::<u64>()) {
+            let b = enc(v);
+            let (decoded, used) = read_vls(&b, 0).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, b.len());
+            prop_assert_eq!(vls_len(v), b.len());
+        }
+
+        #[test]
+        fn decode_ignores_trailing_bytes(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+            let mut b = enc(v);
+            let len = b.len();
+            b.extend_from_slice(&tail);
+            let (decoded, used) = read_vls(&b, 0).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, len);
+        }
+    }
+}

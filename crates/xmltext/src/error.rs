@@ -1,0 +1,74 @@
+//! XML parse/serialize errors.
+
+use std::fmt;
+
+/// An error while reading or writing textual XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Lexical-level problem (malformed markup), with byte offset.
+    Malformed { offset: usize, what: String },
+    /// A close tag did not match the open element.
+    MismatchedTag {
+        offset: usize,
+        expected: String,
+        found: String,
+    },
+    /// Input ended inside markup or with unclosed elements.
+    UnexpectedEof { what: String },
+    /// An unknown or unsupported entity reference.
+    BadEntity { offset: usize, entity: String },
+    /// Document structure violation (no root, text outside root, ...).
+    Structure { what: String },
+    /// A typed value's lexical form did not parse as its declared type.
+    BadTypedValue { what: String },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Malformed { offset, what } => {
+                write!(f, "malformed XML at byte {offset}: {what}")
+            }
+            XmlError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched close tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnexpectedEof { what } => write!(f, "unexpected end of input: {what}"),
+            XmlError::BadEntity { offset, entity } => {
+                write!(f, "unknown entity &{entity}; at byte {offset}")
+            }
+            XmlError::Structure { what } => write!(f, "document structure error: {what}"),
+            XmlError::BadTypedValue { what } => write!(f, "bad typed value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for this crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offsets() {
+        let e = XmlError::Malformed {
+            offset: 17,
+            what: "x".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        let e = XmlError::MismatchedTag {
+            offset: 1,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("</a>") && s.contains("</b>"));
+    }
+}

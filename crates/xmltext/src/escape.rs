@@ -1,0 +1,172 @@
+//! Character escaping for XML 1.0 text and attribute values.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Append `text` to `out`, escaping the characters that are markup in
+/// element content (`&`, `<`, `>`).
+///
+/// `>` is only *required* to be escaped in the `]]>` sequence, but
+/// escaping it unconditionally is what the major toolkits do and keeps
+/// output canonical.
+pub fn escape_text(text: &str, out: &mut String) {
+    // Fast path: no markup characters at all (the common case for
+    // numeric lexical forms — this matters in the XML encoding hot loop).
+    if !text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>')) {
+        out.push_str(text);
+        return;
+    }
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Append `value` to `out`, escaping for a double-quoted attribute value.
+pub fn escape_attr(value: &str, out: &mut String) {
+    if !value
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\n' | b'\t' | b'\r'))
+    {
+        out.push_str(value);
+        return;
+    }
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            // Whitespace must be character-referenced to survive
+            // attribute-value normalization.
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Decode entity and character references in `raw` (text or attribute
+/// content, already free of `<`).
+pub fn unescape(raw: &str, base_offset: usize) -> XmlResult<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut offset = base_offset;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(XmlError::BadEntity {
+            offset: offset + amp,
+            entity: after.chars().take(8).collect(),
+        })?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16).ok();
+                out.push(decode_codepoint(cp, offset + amp, name)?);
+            }
+            _ if name.starts_with('#') => {
+                let cp = name[1..].parse::<u32>().ok();
+                out.push(decode_codepoint(cp, offset + amp, name)?);
+            }
+            _ => {
+                return Err(XmlError::BadEntity {
+                    offset: offset + amp,
+                    entity: name.to_owned(),
+                })
+            }
+        }
+        offset += amp + 1 + semi + 1;
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn decode_codepoint(cp: Option<u32>, offset: usize, name: &str) -> XmlResult<char> {
+    cp.and_then(char::from_u32).ok_or(XmlError::BadEntity {
+        offset,
+        entity: name.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn esc_text(s: &str) -> String {
+        let mut out = String::new();
+        escape_text(s, &mut out);
+        out
+    }
+
+    fn esc_attr(s: &str) -> String {
+        let mut out = String::new();
+        escape_attr(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(esc_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(esc_text("plain"), "plain");
+        assert_eq!(esc_text("1.5e-3"), "1.5e-3");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(esc_attr(r#"say "hi"<&"#), "say &quot;hi&quot;&lt;&amp;");
+        assert_eq!(esc_attr("line\nbreak\tand\r"), "line&#10;break&#9;and&#13;");
+    }
+
+    #[test]
+    fn unescape_known_entities() {
+        assert_eq!(
+            unescape("a&lt;b&amp;c&gt;d&quot;e&apos;f", 0).unwrap(),
+            "a<b&c>d\"e'f"
+        );
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+        assert_eq!(unescape("&#x1F600;", 0).unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown() {
+        assert!(matches!(
+            unescape("&nbsp;", 4),
+            Err(XmlError::BadEntity { offset: 4, .. })
+        ));
+        assert!(unescape("&#xD800;", 0).is_err()); // surrogate
+        assert!(unescape("a&b", 0).is_err()); // missing semicolon
+    }
+
+    proptest! {
+        #[test]
+        fn text_escape_roundtrip(s in "\\PC*") {
+            let escaped = esc_text(&s);
+            prop_assert_eq!(unescape(&escaped, 0).unwrap(), s);
+        }
+
+        #[test]
+        fn attr_escape_roundtrip(s in "\\PC*") {
+            let escaped = esc_attr(&s);
+            prop_assert_eq!(unescape(&escaped, 0).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! A pull tokenizer for XML 1.0.
+//!
+//! Produces a flat token stream; tree building and namespace handling
+//! live in [`crate::reader`]. The subset implemented is what SOAP
+//! toolkits of the paper's era actually exchanged: elements, attributes,
+//! character data, CDATA, comments, processing instructions and the XML
+//! declaration. DTDs with internal subsets are rejected (SOAP forbids
+//! DTDs anyway).
+
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+
+/// One lexical event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token<'a> {
+    /// `<?xml version="1.0"?>` — contents are not interpreted.
+    Decl,
+    /// An opening tag with its (name, unescaped value) attributes.
+    StartTag {
+        name: &'a str,
+        attrs: Vec<(&'a str, String)>,
+        self_closing: bool,
+    },
+    /// A closing tag.
+    EndTag { name: &'a str },
+    /// Character data with entities resolved. Adjacent CDATA is merged by
+    /// the reader, not the lexer.
+    Text(String),
+    /// A `<![CDATA[...]]>` section (verbatim).
+    CData(&'a str),
+    /// A comment (without the `<!--`/`-->` markers).
+    Comment(&'a str),
+    /// A processing instruction.
+    Pi { target: &'a str, data: &'a str },
+    /// End of input.
+    Eof,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Tokenize `input` from the beginning.
+    pub fn new(input: &'a str) -> Lexer<'a> {
+        Lexer { input, pos: 0 }
+    }
+
+    /// Current byte offset (for error reporting and tests).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn eof_err(&self, what: &str) -> XmlError {
+        XmlError::UnexpectedEof { what: what.into() }
+    }
+
+    fn malformed(&self, what: impl Into<String>) -> XmlError {
+        XmlError::Malformed {
+            offset: self.pos,
+            what: what.into(),
+        }
+    }
+
+    /// Pull the next token.
+    pub fn next_token(&mut self) -> XmlResult<Token<'a>> {
+        if self.pos >= self.input.len() {
+            return Ok(Token::Eof);
+        }
+        if self.rest().starts_with('<') {
+            self.lex_markup()
+        } else {
+            self.lex_text()
+        }
+    }
+
+    fn lex_text(&mut self) -> XmlResult<Token<'a>> {
+        let start = self.pos;
+        let raw = match self.rest().find('<') {
+            Some(i) => {
+                self.pos += i;
+                &self.input[start..start + i]
+            }
+            None => {
+                self.pos = self.input.len();
+                &self.input[start..]
+            }
+        };
+        Ok(Token::Text(unescape(raw, start)?))
+    }
+
+    fn lex_markup(&mut self) -> XmlResult<Token<'a>> {
+        let rest = self.rest();
+        if let Some(r) = rest.strip_prefix("<!--") {
+            let end = r.find("-->").ok_or_else(|| self.eof_err("unterminated comment"))?;
+            let body = &self.input[self.pos + 4..self.pos + 4 + end];
+            if body.contains("--") {
+                return Err(self.malformed("'--' inside comment"));
+            }
+            self.pos += 4 + end + 3;
+            return Ok(Token::Comment(body));
+        }
+        if let Some(r) = rest.strip_prefix("<![CDATA[") {
+            let end = r.find("]]>").ok_or_else(|| self.eof_err("unterminated CDATA"))?;
+            let body = &self.input[self.pos + 9..self.pos + 9 + end];
+            self.pos += 9 + end + 3;
+            return Ok(Token::CData(body));
+        }
+        if rest.starts_with("<!DOCTYPE") {
+            return Err(self.malformed("DOCTYPE is not allowed in SOAP messages"));
+        }
+        if rest.starts_with("<?") {
+            return self.lex_pi();
+        }
+        if rest.starts_with("</") {
+            return self.lex_end_tag();
+        }
+        self.lex_start_tag()
+    }
+
+    fn lex_pi(&mut self) -> XmlResult<Token<'a>> {
+        let body_start = self.pos + 2;
+        let rest = &self.input[body_start..];
+        let end = rest.find("?>").ok_or_else(|| self.eof_err("unterminated processing instruction"))?;
+        let body = &self.input[body_start..body_start + end];
+        self.pos = body_start + end + 2;
+        let (target, data) = match body.find(|c: char| c.is_ascii_whitespace()) {
+            Some(i) => (&body[..i], body[i..].trim_start()),
+            None => (body, ""),
+        };
+        if target.is_empty() {
+            return Err(self.malformed("processing instruction with empty target"));
+        }
+        if target.eq_ignore_ascii_case("xml") {
+            Ok(Token::Decl)
+        } else {
+            Ok(Token::Pi { target, data })
+        }
+    }
+
+    fn lex_end_tag(&mut self) -> XmlResult<Token<'a>> {
+        let name_start = self.pos + 2;
+        let rest = &self.input[name_start..];
+        let end = rest.find('>').ok_or_else(|| self.eof_err("unterminated close tag"))?;
+        let name = rest[..end].trim_end();
+        if name.is_empty() || name.contains(|c: char| c.is_ascii_whitespace()) {
+            return Err(self.malformed(format!("bad close tag name {name:?}")));
+        }
+        self.pos = name_start + end + 1;
+        Ok(Token::EndTag {
+            name: &rest[..name.len()],
+        })
+    }
+
+    fn lex_start_tag(&mut self) -> XmlResult<Token<'a>> {
+        // self.input[self.pos] == '<'
+        let tag_start = self.pos;
+        self.pos += 1;
+        let name = self.lex_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if let Some(r) = rest.strip_prefix("/>") {
+                let _ = r;
+                self.pos += 2;
+                return Ok(Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing: true,
+                });
+            }
+            if rest.starts_with('>') {
+                self.pos += 1;
+                return Ok(Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing: false,
+                });
+            }
+            if rest.is_empty() {
+                self.pos = tag_start;
+                return Err(self.eof_err("unterminated start tag"));
+            }
+            let attr_name = self.lex_name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('=') {
+                return Err(self.malformed(format!("attribute {attr_name:?} missing '='")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.lex_attr_value()?;
+            attrs.push((attr_name, value));
+        }
+    }
+
+    fn lex_name(&mut self) -> XmlResult<&'a str> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| c.is_ascii_whitespace() || matches!(c, '>' | '/' | '=' | '<'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.malformed("expected a name"));
+        }
+        let name = &rest[..end];
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn lex_attr_value(&mut self) -> XmlResult<String> {
+        let rest = self.rest();
+        let quote = match rest.chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.malformed("attribute value must be quoted")),
+        };
+        let value_start = self.pos + 1;
+        let body = &self.input[value_start..];
+        let end = body
+            .find(quote)
+            .ok_or_else(|| self.eof_err("unterminated attribute value"))?;
+        let raw = &body[..end];
+        if raw.contains('<') {
+            return Err(self.malformed("'<' in attribute value"));
+        }
+        self.pos = value_start + end + 1;
+        unescape(raw, value_start)
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let n = rest.len() - rest.trim_start().len();
+        self.pos += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(input: &str) -> Vec<Token<'_>> {
+        let mut lx = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token().unwrap();
+            let done = t == Token::Eof;
+            out.push(t);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "a",
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text("hi".into()),
+                Token::EndTag { name: "a" },
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_self_closing() {
+        let toks = all_tokens(r#"<x a="1" b='two &amp; three'/>"#);
+        assert_eq!(
+            toks[0],
+            Token::StartTag {
+                name: "x",
+                attrs: vec![("a", "1".into()), ("b", "two & three".into())],
+                self_closing: true
+            }
+        );
+    }
+
+    #[test]
+    fn declaration_comment_pi_cdata() {
+        let toks = all_tokens("<?xml version=\"1.0\"?><!-- c --><?app do it?><![CDATA[<raw>]]>");
+        assert_eq!(toks[0], Token::Decl);
+        assert_eq!(toks[1], Token::Comment(" c "));
+        assert_eq!(
+            toks[2],
+            Token::Pi {
+                target: "app",
+                data: "do it"
+            }
+        );
+        assert_eq!(toks[3], Token::CData("<raw>"));
+    }
+
+    #[test]
+    fn whitespace_inside_tags() {
+        let toks = all_tokens("<a  x = \"1\"  ></a >");
+        assert_eq!(
+            toks[0],
+            Token::StartTag {
+                name: "a",
+                attrs: vec![("x", "1".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(toks[1], Token::EndTag { name: "a" });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("<a b=1>").next_token().is_err()); // unquoted
+        assert!(Lexer::new("<a b=\"x").next_token().is_err()); // unterminated value
+        assert!(Lexer::new("<!-- x -- y -->").next_token().is_err()); // -- in comment
+        assert!(Lexer::new("<!DOCTYPE html>").next_token().is_err()); // DTD
+        assert!(Lexer::new("<a b=\"<\"/>").next_token().is_err()); // < in attr
+        assert!(Lexer::new("</ >").next_token().is_err());
+        assert!(Lexer::new("<a").next_token().is_err());
+    }
+
+    #[test]
+    fn prefixed_names_pass_through() {
+        let toks = all_tokens("<soap:Envelope xmlns:soap=\"u\"></soap:Envelope>");
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(*name, "soap:Envelope");
+                assert_eq!(attrs[0].0, "xmlns:soap");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_entities_decoded() {
+        let toks = all_tokens("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+        assert_eq!(toks[1], Token::Text("1 < 2 && 3 > 2".into()));
+    }
+}

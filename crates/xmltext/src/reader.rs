@@ -1,0 +1,437 @@
+//! Textual XML 1.0 → bXDM.
+//!
+//! The reader rebuilds the *typed* tree: an element carrying `xsi:type`
+//! becomes a LeafElement with a machine-typed value, and an element
+//! carrying `bx:arrayType` becomes an ArrayElement with its items parsed
+//! out of the per-item children. This is the schema-less typed recovery
+//! the paper requires for transcodability (§4.2: without type information
+//! in the serialization "we are not able to create the typed LeafElement
+//! in the bXDM model").
+
+use bxdm::{ArrayValue, Attribute, AtomicValue, Document, Element, NamespaceDecl, Node, QName};
+use xbs::TypeCode;
+
+use crate::error::{XmlError, XmlResult};
+use crate::lexer::{Lexer, Token};
+
+/// Parsing options.
+#[derive(Debug, Clone)]
+pub struct XmlReadOptions {
+    /// Drop text nodes that consist entirely of whitespace (pretty-printed
+    /// input). Leaf/array recovery is unaffected.
+    pub trim_whitespace_text: bool,
+    /// Recognize `xsi:type` and `bx:arrayType` and rebuild typed nodes.
+    /// When off, everything parses as component elements with text.
+    pub typed_recovery: bool,
+}
+
+impl Default for XmlReadOptions {
+    fn default() -> XmlReadOptions {
+        XmlReadOptions {
+            trim_whitespace_text: true,
+            typed_recovery: true,
+        }
+    }
+}
+
+/// Parse a complete XML document with default options.
+pub fn parse(input: &str) -> XmlResult<Document> {
+    parse_with(input, &XmlReadOptions::default())
+}
+
+/// Parse a complete XML document.
+pub fn parse_with(input: &str, opts: &XmlReadOptions) -> XmlResult<Document> {
+    let mut lexer = Lexer::new(input);
+    let mut doc = Document::new();
+    // Stack of open elements being built.
+    let mut stack: Vec<Element> = Vec::new();
+    let mut saw_root = false;
+
+    loop {
+        let offset = lexer.position();
+        match lexer.next_token()? {
+            Token::Eof => break,
+            Token::Decl => {
+                if saw_root || !stack.is_empty() {
+                    return Err(XmlError::Structure {
+                        what: "XML declaration not at document start".into(),
+                    });
+                }
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                if stack.is_empty() && saw_root {
+                    return Err(XmlError::Structure {
+                        what: "multiple root elements".into(),
+                    });
+                }
+                let element = build_open_element(name, attrs);
+                if self_closing {
+                    finish_element(element, &mut stack, &mut doc, &mut saw_root, opts)?;
+                } else {
+                    stack.push(element);
+                }
+            }
+            Token::EndTag { name } => {
+                let open = stack.pop().ok_or(XmlError::Structure {
+                    what: format!("close tag </{name}> with no open element"),
+                })?;
+                if open.name.lexical() != name {
+                    return Err(XmlError::MismatchedTag {
+                        offset,
+                        expected: open.name.lexical(),
+                        found: name.to_owned(),
+                    });
+                }
+                finish_element(open, &mut stack, &mut doc, &mut saw_root, opts)?;
+            }
+            Token::Text(text) => {
+                // Whitespace-only text is dropped (pretty-printing),
+                // except inside an element that declares xsi:type — a
+                // typed string's lexical content is significant even when
+                // it is all spaces.
+                let keep = !opts.trim_whitespace_text
+                    || !text.trim().is_empty()
+                    || stack.last().is_some_and(|open| {
+                        open.attributes
+                            .iter()
+                            .any(|a| a.name.prefix() == Some("xsi") && a.name.local() == "type")
+                    });
+                match stack.last_mut() {
+                    Some(open) => {
+                        if keep {
+                            push_text(open, text);
+                        }
+                    }
+                    None => {
+                        if !text.trim().is_empty() {
+                            return Err(XmlError::Structure {
+                                what: "character data outside the root element".into(),
+                            });
+                        }
+                    }
+                }
+            }
+            Token::CData(text) => match stack.last_mut() {
+                Some(open) => push_text(open, text.to_owned()),
+                None => {
+                    return Err(XmlError::Structure {
+                        what: "CDATA outside the root element".into(),
+                    })
+                }
+            },
+            Token::Comment(c) => {
+                let node = Node::Comment(c.to_owned());
+                match stack.last_mut() {
+                    Some(open) => open.children_mut().push(node),
+                    None => doc.children.push(node),
+                }
+            }
+            Token::Pi { target, data } => {
+                let node = Node::Pi {
+                    target: target.to_owned(),
+                    data: data.to_owned(),
+                };
+                match stack.last_mut() {
+                    Some(open) => open.children_mut().push(node),
+                    None => doc.children.push(node),
+                }
+            }
+        }
+    }
+
+    if let Some(open) = stack.last() {
+        return Err(XmlError::UnexpectedEof {
+            what: format!("element <{}> never closed", open.name.lexical()),
+        });
+    }
+    if !saw_root {
+        return Err(XmlError::Structure {
+            what: "document has no root element".into(),
+        });
+    }
+    Ok(doc)
+}
+
+/// Split raw attributes into namespace declarations and ordinary
+/// attributes, producing an open (component) element.
+fn build_open_element(name: &str, attrs: Vec<(&str, String)>) -> Element {
+    let mut element = Element::component(name);
+    for (raw_name, value) in attrs {
+        if raw_name == "xmlns" {
+            element.namespaces.push(NamespaceDecl {
+                prefix: None,
+                uri: value,
+            });
+        } else if let Some(prefix) = raw_name.strip_prefix("xmlns:") {
+            element.namespaces.push(NamespaceDecl {
+                prefix: Some(prefix.to_owned()),
+                uri: value,
+            });
+        } else {
+            element.attributes.push(Attribute {
+                name: QName::parse(raw_name),
+                value: AtomicValue::Str(value),
+            });
+        }
+    }
+    element
+}
+
+fn push_text(open: &mut Element, text: String) {
+    // Merge adjacent text (CDATA next to character data).
+    if let Some(Node::Text(prev)) = open.children_mut().last_mut() {
+        prev.push_str(&text);
+        return;
+    }
+    open.children_mut().push(Node::Text(text));
+}
+
+/// Apply typed recovery and attach the finished element to its parent (or
+/// the document).
+fn finish_element(
+    mut element: Element,
+    stack: &mut [Element],
+    doc: &mut Document,
+    saw_root: &mut bool,
+    opts: &XmlReadOptions,
+) -> XmlResult<()> {
+    if opts.typed_recovery {
+        element = recover_types(element)?;
+    }
+    match stack.last_mut() {
+        Some(parent) => parent.children_mut().push(Node::Element(element)),
+        None => {
+            doc.children.push(Node::Element(element));
+            *saw_root = true;
+        }
+    }
+    Ok(())
+}
+
+/// Find and remove an attribute by (prefix, local) pair; returns its value.
+fn take_attr(element: &mut Element, prefix: &str, local: &str) -> Option<String> {
+    let idx = element
+        .attributes
+        .iter()
+        .position(|a| a.name.prefix() == Some(prefix) && a.name.local() == local)?;
+    let attr = element.attributes.remove(idx);
+    match attr.value {
+        AtomicValue::Str(s) => Some(s),
+        other => Some(other.lexical()),
+    }
+}
+
+fn recover_types(mut element: Element) -> XmlResult<Element> {
+    if let Some(type_name) = take_attr(&mut element, "xsi", "type") {
+        let code = TypeCode::from_xsd_name(&type_name).ok_or_else(|| XmlError::BadTypedValue {
+            what: format!("unknown xsi:type {type_name:?}"),
+        })?;
+        let text = element.text_content();
+        let value = AtomicValue::parse_as(code, &text).map_err(|e| XmlError::BadTypedValue {
+            what: e.to_string(),
+        })?;
+        element.content = bxdm::Content::Leaf(value);
+        return Ok(element);
+    }
+    if let Some(type_name) = take_attr(&mut element, "bx", "arrayType") {
+        let code = TypeCode::from_xsd_name(&type_name).ok_or_else(|| XmlError::BadTypedValue {
+            what: format!("unknown bx:arrayType {type_name:?}"),
+        })?;
+        let mut array = ArrayValue::empty_of(code).ok_or_else(|| XmlError::BadTypedValue {
+            what: format!("{type_name:?} is not a valid array element type"),
+        })?;
+        for child in element.children() {
+            match child {
+                Node::Element(item) => {
+                    let text = item.text_content();
+                    array
+                        .push_lexical(&text)
+                        .map_err(|e| XmlError::BadTypedValue { what: e.to_string() })?;
+                }
+                Node::Text(t) if t.trim().is_empty() => {}
+                Node::Comment(_) | Node::Pi { .. } => {}
+                Node::Text(t) => {
+                    return Err(XmlError::BadTypedValue {
+                        what: format!("unexpected text {t:?} inside array element"),
+                    })
+                }
+            }
+        }
+        element.content = bxdm::Content::Array(array);
+        return Ok(element);
+    }
+    Ok(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{to_string, to_string_with, XmlWriteOptions};
+
+    #[test]
+    fn simple_tree() {
+        let doc = parse("<a><b k=\"1\">hi</b><c/></a>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(root.name.local(), "a");
+        let b = root.find_child("b").unwrap();
+        assert_eq!(b.attribute("k").unwrap().value.as_str(), Some("1"));
+        assert_eq!(b.text_content(), "hi");
+        assert!(root.find_child("c").unwrap().children().is_empty());
+    }
+
+    #[test]
+    fn namespace_declarations_split_out() {
+        let doc =
+            parse(r#"<s:e xmlns:s="http://s" xmlns="http://d" a="1"/>"#).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(root.namespaces.len(), 2);
+        assert_eq!(root.namespaces[0].prefix.as_deref(), Some("s"));
+        assert_eq!(root.namespaces[1].prefix, None);
+        assert_eq!(root.attributes.len(), 1);
+    }
+
+    #[test]
+    fn leaf_recovery() {
+        let doc = parse(r#"<n xsi:type="xsd:double">2.5</n>"#).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(root.leaf_value(), Some(&AtomicValue::F64(2.5)));
+        // The xsi:type attribute is consumed by recovery.
+        assert!(root.attributes.is_empty());
+    }
+
+    #[test]
+    fn array_recovery() {
+        let doc = parse(
+            r#"<v bx:arrayType="xsd:int"><item>1</item><item>-2</item><item>3</item></v>"#,
+        )
+        .unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(root.as_i32_array(), Some(&[1, -2, 3][..]));
+    }
+
+    #[test]
+    fn array_recovery_tolerates_whitespace_and_comments() {
+        let doc = parse(
+            "<v bx:arrayType=\"xsd:int\">\n  <i>1</i><!-- x -->\n  <i>2</i>\n</v>",
+        )
+        .unwrap();
+        assert_eq!(doc.root().unwrap().as_i32_array(), Some(&[1, 2][..]));
+    }
+
+    #[test]
+    fn typed_recovery_can_be_disabled() {
+        let opts = XmlReadOptions {
+            typed_recovery: false,
+            ..Default::default()
+        };
+        let doc = parse_with(r#"<n xsi:type="xsd:int">5</n>"#, &opts).unwrap();
+        let root = doc.root().unwrap();
+        assert!(root.is_component());
+        assert!(root.attribute("xsi:type").is_some());
+    }
+
+    #[test]
+    fn bad_typed_values_error() {
+        assert!(matches!(
+            parse(r#"<n xsi:type="xsd:int">oops</n>"#),
+            Err(XmlError::BadTypedValue { .. })
+        ));
+        assert!(matches!(
+            parse(r#"<n xsi:type="xsd:unknown">1</n>"#),
+            Err(XmlError::BadTypedValue { .. })
+        ));
+        assert!(matches!(
+            parse(r#"<v bx:arrayType="xsd:int">loose text</v>"#),
+            Err(XmlError::BadTypedValue { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("just text").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("</a>").is_err());
+    }
+
+    #[test]
+    fn mismatched_tag_reports_names() {
+        match parse("<outer><inner></outer></inner>") {
+            Err(XmlError::MismatchedTag { expected, found, .. }) => {
+                assert_eq!(expected, "inner");
+                assert_eq!(found, "outer");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let doc = parse("<a>one <![CDATA[<two>]]> three</a>").unwrap();
+        assert_eq!(doc.root().unwrap().text_content(), "one <two> three");
+    }
+
+    #[test]
+    fn whitespace_trimming_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root().unwrap().children().len(), 1);
+        let opts = XmlReadOptions {
+            trim_whitespace_text: false,
+            ..Default::default()
+        };
+        let doc = parse_with("<a>\n  <b/>\n</a>", &opts).unwrap();
+        assert_eq!(doc.root().unwrap().children().len(), 3);
+    }
+
+    #[test]
+    fn full_roundtrip_typed_document() {
+        let original = Document::with_root(
+            Element::component("d:data")
+                .with_namespace("d", "http://example.org/d")
+                .with_attr("run", "42")
+                .with_child(Element::leaf("d:count", AtomicValue::I32(2)))
+                .with_child(Element::leaf("d:name", AtomicValue::Str("test".into())))
+                .with_child(Element::array(
+                    "d:values",
+                    ArrayValue::F64(vec![1.0, -2.5, 3.25e-8]),
+                ))
+                .with_child(Element::array("d:index", ArrayValue::I32(vec![7, 8])))
+                .with_comment("tail"),
+        );
+        let xml = to_string(&original).unwrap();
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn roundtrip_without_type_info_degrades_gracefully() {
+        let original = Document::with_root(Element::array(
+            "v",
+            ArrayValue::I32(vec![1, 2]),
+        ));
+        let opts = XmlWriteOptions {
+            emit_type_info: false,
+            ..Default::default()
+        };
+        let xml = to_string_with(&original, &opts).unwrap();
+        let back = parse(&xml).unwrap();
+        // No arrayType attribute, so items come back as plain elements.
+        let root = back.root().unwrap();
+        assert!(root.is_component());
+        assert_eq!(root.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn top_level_comments_and_pis_preserved() {
+        let doc = parse("<?xml version=\"1.0\"?><!--pre--><r/><?post done?>").unwrap();
+        assert_eq!(doc.children.len(), 3);
+        assert!(matches!(&doc.children[0], Node::Comment(c) if c == "pre"));
+        assert!(matches!(&doc.children[2], Node::Pi { target, .. } if target == "post"));
+    }
+}

@@ -1,0 +1,305 @@
+//! bXDM → textual XML 1.0.
+//!
+//! The writer is a [`bxdm::Visitor`]: the tree walk is shared with the
+//! BXSA encoder (paper §5.2), only the per-event output differs.
+
+use std::convert::Infallible;
+
+use bxdm::{walk_document, walk_node, Content, Document, Element, Node, Visitor};
+
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct XmlWriteOptions {
+    /// Emit the `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub declaration: bool,
+    /// Emit `xsi:type` on leaf elements and `bx:arrayType`/`bx:length` on
+    /// array elements so a schema-less reader can rebuild the typed tree
+    /// (the paper's §4.2 requirement). Turn off to measure the bare
+    /// "namespace free, shortest tags" encoding of Table 1.
+    pub emit_type_info: bool,
+    /// Element name used for the per-item children of an array element.
+    /// Table 1 uses the shortest possible (`"i"`); the default is `"item"`.
+    pub item_tag: String,
+}
+
+impl Default for XmlWriteOptions {
+    fn default() -> XmlWriteOptions {
+        XmlWriteOptions {
+            declaration: false,
+            emit_type_info: true,
+            item_tag: "item".to_owned(),
+        }
+    }
+}
+
+/// Serialize a document with default options.
+pub fn to_string(doc: &Document) -> Result<String, Infallible> {
+    to_string_with(doc, &XmlWriteOptions::default())
+}
+
+/// Serialize a document with explicit options.
+pub fn to_string_with(doc: &Document, opts: &XmlWriteOptions) -> Result<String, Infallible> {
+    let mut w = XmlWriter {
+        out: String::with_capacity(256),
+        opts,
+        scratch: String::new(),
+    };
+    if opts.declaration {
+        w.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    }
+    walk_document(doc, &mut w)?;
+    Ok(w.out)
+}
+
+/// Serialize a single element (used by SOAP fault paths and tests).
+pub fn element_to_string(element: &Element, opts: &XmlWriteOptions) -> String {
+    let mut w = XmlWriter {
+        out: String::with_capacity(128),
+        opts,
+        scratch: String::new(),
+    };
+    let node = Node::Element(element.clone());
+    let Ok(()) = walk_node(&node, &mut w);
+    w.out
+}
+
+struct XmlWriter<'o> {
+    out: String,
+    opts: &'o XmlWriteOptions,
+    /// Reusable lexical-form buffer (avoids one allocation per number —
+    /// this loop is the measured cost of the XML encoding).
+    scratch: String,
+}
+
+impl XmlWriter<'_> {
+    fn open_tag(&mut self, e: &Element) {
+        self.out.push('<');
+        e.name.write_lexical(&mut self.out);
+        for ns in &e.namespaces {
+            match &ns.prefix {
+                Some(p) => {
+                    self.out.push_str(" xmlns:");
+                    self.out.push_str(p);
+                }
+                None => self.out.push_str(" xmlns"),
+            }
+            self.out.push_str("=\"");
+            escape_attr(&ns.uri, &mut self.out);
+            self.out.push('"');
+        }
+        for attr in &e.attributes {
+            self.out.push(' ');
+            attr.name.write_lexical(&mut self.out);
+            self.out.push_str("=\"");
+            self.scratch.clear();
+            attr.value.write_lexical(&mut self.scratch);
+            // Split borrows: escape from scratch into out.
+            let scratch = std::mem::take(&mut self.scratch);
+            escape_attr(&scratch, &mut self.out);
+            self.scratch = scratch;
+            self.out.push('"');
+        }
+    }
+
+    fn push_attr(&mut self, name: &str, value: &str) {
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        escape_attr(value, &mut self.out);
+        self.out.push('"');
+    }
+
+    fn close_tag(&mut self, e: &Element) {
+        self.out.push_str("</");
+        e.name.write_lexical(&mut self.out);
+        self.out.push('>');
+    }
+}
+
+impl Visitor for XmlWriter<'_> {
+    type Error = Infallible;
+
+    fn visit_element_start(&mut self, e: &Element) -> Result<(), Infallible> {
+        self.open_tag(e);
+        match &e.content {
+            Content::Children(children) => {
+                if children.is_empty() {
+                    self.out.push_str("/>");
+                } else {
+                    self.out.push('>');
+                }
+                // Children are emitted by the shared walk; the close tag
+                // happens in visit_element_end.
+            }
+            Content::Leaf(value) => {
+                if self.opts.emit_type_info {
+                    self.push_attr("xsi:type", value.type_code().xsd_name());
+                }
+                self.out.push('>');
+                self.scratch.clear();
+                value.write_lexical(&mut self.scratch);
+                let scratch = std::mem::take(&mut self.scratch);
+                escape_text(&scratch, &mut self.out);
+                self.scratch = scratch;
+            }
+            Content::Array(array) => {
+                if self.opts.emit_type_info {
+                    self.push_attr("bx:arrayType", array.type_code().xsd_name());
+                }
+                self.out.push('>');
+                // One child element per item: the open/close tag pair per
+                // element is exactly the overhead Table 1 quantifies.
+                for i in 0..array.len() {
+                    self.out.push('<');
+                    self.out.push_str(&self.opts.item_tag);
+                    self.out.push('>');
+                    self.scratch.clear();
+                    array
+                        .item(i)
+                        .expect("index in range")
+                        .write_lexical(&mut self.scratch);
+                    // Numeric lexical forms never contain markup; push
+                    // directly (Str arrays are impossible in ArrayValue).
+                    self.out.push_str(&self.scratch);
+                    self.out.push_str("</");
+                    self.out.push_str(&self.opts.item_tag);
+                    self.out.push('>');
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn visit_element_end(&mut self, e: &Element) -> Result<(), Infallible> {
+        match &e.content {
+            Content::Children(children) if children.is_empty() => {} // self-closed
+            _ => self.close_tag(e),
+        }
+        Ok(())
+    }
+
+    fn visit_text(&mut self, text: &str) -> Result<(), Infallible> {
+        escape_text(text, &mut self.out);
+        Ok(())
+    }
+
+    fn visit_comment(&mut self, comment: &str) -> Result<(), Infallible> {
+        self.out.push_str("<!--");
+        self.out.push_str(comment);
+        self.out.push_str("-->");
+        Ok(())
+    }
+
+    fn visit_pi(&mut self, target: &str, data: &str) -> Result<(), Infallible> {
+        self.out.push_str("<?");
+        self.out.push_str(target);
+        if !data.is_empty() {
+            self.out.push(' ');
+            self.out.push_str(data);
+        }
+        self.out.push_str("?>");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::{ArrayValue, AtomicValue};
+
+    fn doc(root: Element) -> Document {
+        Document::with_root(root)
+    }
+
+    #[test]
+    fn component_roundtrip_markup() {
+        let d = doc(Element::component("a")
+            .with_attr("k", "v<&>")
+            .with_child(Element::component("b"))
+            .with_text("x & y"));
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"<a k="v&lt;&amp;&gt;"><b/>x &amp; y</a>"#
+        );
+    }
+
+    #[test]
+    fn leaf_with_type_info() {
+        let d = doc(Element::leaf("n", AtomicValue::I32(-5)));
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"<n xsi:type="xsd:int">-5</n>"#
+        );
+    }
+
+    #[test]
+    fn leaf_without_type_info() {
+        let d = doc(Element::leaf("n", AtomicValue::I32(-5)));
+        let opts = XmlWriteOptions {
+            emit_type_info: false,
+            ..Default::default()
+        };
+        assert_eq!(to_string_with(&d, &opts).unwrap(), "<n>-5</n>");
+    }
+
+    #[test]
+    fn array_items_and_type() {
+        let d = doc(Element::array("v", ArrayValue::F64(vec![1.5, -2.0])));
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"<v bx:arrayType="xsd:double"><item>1.5</item><item>-2</item></v>"#
+        );
+    }
+
+    #[test]
+    fn array_short_item_tag() {
+        let d = doc(Element::array("v", ArrayValue::I32(vec![1, 2, 3])));
+        let opts = XmlWriteOptions {
+            emit_type_info: false,
+            item_tag: "i".to_owned(),
+            ..Default::default()
+        };
+        assert_eq!(
+            to_string_with(&d, &opts).unwrap(),
+            "<v><i>1</i><i>2</i><i>3</i></v>"
+        );
+    }
+
+    #[test]
+    fn namespaces_emitted() {
+        let d = doc(Element::component("s:env")
+            .with_namespace("s", "http://example.org/s")
+            .with_default_namespace("http://example.org/d"));
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"<s:env xmlns:s="http://example.org/s" xmlns="http://example.org/d"/>"#
+        );
+    }
+
+    #[test]
+    fn declaration_comment_pi() {
+        let mut d = Document::new();
+        d.children.push(Node::Comment(" hello ".into()));
+        d.children.push(Node::Pi {
+            target: "app".into(),
+            data: "x=1".into(),
+        });
+        d.children.push(Node::Element(Element::component("r")));
+        let opts = XmlWriteOptions {
+            declaration: true,
+            ..Default::default()
+        };
+        assert_eq!(
+            to_string_with(&d, &opts).unwrap(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><!-- hello --><?app x=1?><r/>"
+        );
+    }
+
+    #[test]
+    fn typed_attribute_lexical_form() {
+        let d = doc(Element::component("a").with_typed_attr("n", AtomicValue::F64(0.5)));
+        assert_eq!(to_string(&d).unwrap(), r#"<a n="0.5"/>"#);
+    }
+}

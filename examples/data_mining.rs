@@ -1,0 +1,126 @@
+//! Distributed data mining scenario: *large* binary datasets, unified vs
+//! separated — with the separated scheme running for real.
+//!
+//! The unified solution ships the dataset inside the SOAP message
+//! (BXSA/TCP). The separated solution does what the paper describes
+//! (§6): the client saves a **netCDF file**, serves it over HTTP, and
+//! sends a SOAP control message containing only the URL; the server then
+//! downloads the file, parses it, and verifies the data. Both paths run
+//! over real loopback sockets and a real filesystem here, so the
+//! *structural* costs (extra exchange, disk round trip, second
+//! connection) are genuine; the paper's wide-area numbers come from the
+//! `bench` harnesses, which add the simulated network.
+//!
+//! Run with: `cargo run --release --example data_mining`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bxdm::{AtomicValue, Element};
+use netcdf3::{NcFile, NcValue};
+use soap::{
+    BxsaEncoding, ServiceRegistry, SoapEngine, SoapEnvelope, SoapError, TcpBinding, TcpSoapServer,
+};
+use transport::FileServer;
+
+fn main() {
+    let staging = std::env::temp_dir().join(format!("bxsoap_mining_{}", std::process::id()));
+    std::fs::create_dir_all(&staging).expect("staging dir");
+
+    // The client-side file server (the paper runs Apache on the client
+    // host; the transfer server pulls from it).
+    let file_server = FileServer::bind("127.0.0.1:0", &staging).expect("file server");
+    let file_addr = file_server.local_addr().to_string();
+
+    // The analysis service supports both request shapes.
+    let mut registry = ServiceRegistry::new();
+    bxsoap::register_verify(&mut registry); // unified: arrays in-message
+    registry.register("VerifyByUrl", move |req| {
+        // Separated: the body carries a URL; fetch + parse + verify.
+        let body = req.body_element().expect("dispatch checked");
+        let url = body
+            .child_value("url")
+            .and_then(AtomicValue::as_str)
+            .ok_or_else(|| SoapError::Protocol("missing url".into()))?;
+        let (addr, path) = url
+            .strip_prefix("http://")
+            .and_then(|r| r.split_once('/'))
+            .ok_or_else(|| SoapError::Protocol(format!("unparseable url {url:?}")))?;
+        let bytes = transport::http_get(addr, &format!("/{path}"))?;
+        let nc = NcFile::from_bytes(&bytes)
+            .map_err(|e| SoapError::Protocol(format!("bad netCDF file: {e}")))?;
+        let index = nc
+            .var("index")
+            .and_then(|v| v.data.as_int())
+            .ok_or_else(|| SoapError::Protocol("file lacks index variable".into()))?;
+        let values = nc
+            .var("values")
+            .and_then(|v| v.data.as_double())
+            .ok_or_else(|| SoapError::Protocol("file lacks values variable".into()))?;
+        let ok = bxsoap::verify_dataset(index, values);
+        Ok(SoapEnvelope::with_body(
+            Element::component("VerifyResponse")
+                .with_child(Element::leaf("ok", AtomicValue::Bool(ok)))
+                .with_child(Element::leaf(
+                    "count",
+                    AtomicValue::I64(values.len() as i64),
+                )),
+        ))
+    });
+    let server = TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), Arc::new(registry))
+        .expect("bind service");
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string()),
+    );
+
+    println!("model_size     unified      separated   (loopback wall time)");
+    for model_size in [1_000usize, 100_000, 1_000_000] {
+        let (index, values) = bxsoap::lead_dataset(model_size, 11);
+
+        // ---- Unified: data inside the SOAP message.
+        let request = bxsoap::verify_request_envelope(&index, &values);
+        let start = Instant::now();
+        let resp = engine.call(request).expect("unified call");
+        let unified = start.elapsed();
+        assert_verified(&resp, model_size);
+
+        // ---- Separated: netCDF file + HTTP staging + control message.
+        let start = Instant::now();
+        let mut nc = NcFile::new();
+        let d = nc.add_dim("model", model_size);
+        nc.add_var("index", &[d], NcValue::Int(index.clone()))
+            .expect("var");
+        nc.add_var("values", &[d], NcValue::Double(values.clone()))
+            .expect("var");
+        let file_name = format!("run_{model_size}.nc");
+        nc.write_file(&staging.join(&file_name)).expect("write nc");
+        let control = SoapEnvelope::with_body(
+            Element::component("VerifyByUrl").with_child(Element::leaf(
+                "url",
+                AtomicValue::Str(format!("http://{file_addr}/{file_name}")),
+            )),
+        );
+        let resp = engine.call(control).expect("separated call");
+        let separated = start.elapsed();
+        assert_verified(&resp, model_size);
+
+        println!("{model_size:>10} {unified:>12.2?} {separated:>14.2?}");
+    }
+
+    server.shutdown();
+    file_server.shutdown();
+    let _ = std::fs::remove_dir_all(&staging);
+}
+
+fn assert_verified(resp: &SoapEnvelope, expected_count: usize) {
+    let body = resp.body_element().expect("body");
+    assert_eq!(
+        body.child_value("ok").and_then(AtomicValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        body.child_value("count").and_then(AtomicValue::as_i64),
+        Some(expected_count as i64)
+    );
+}

@@ -1,0 +1,102 @@
+//! Quickstart: the whole stack in one file.
+//!
+//! 1. Build a typed document in the bXDM model.
+//! 2. Serialize it as textual XML and as BXSA; compare sizes.
+//! 3. Transcode BXSA → XML → BXSA and verify nothing changed.
+//! 4. Stand up a SOAP service and call it over BXSA/TCP *and* XML/HTTP —
+//!    same service code, different policy instantiations.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use bxdm::{ArrayValue, AtomicValue, Document, Element};
+use soap::{
+    BxsaEncoding, HttpBinding, HttpSoapServer, ServiceRegistry, SoapEngine, SoapEnvelope,
+    TcpBinding, TcpSoapServer, XmlEncoding,
+};
+
+fn main() {
+    // 1. A typed document: scientific payloads are arrays, not text.
+    let (index, values) = bxsoap::lead_dataset(1000, 42);
+    let doc = Document::with_root(
+        Element::component("d:Dataset")
+            .with_namespace("d", "http://bxsoap.example.org/lead")
+            .with_child(Element::leaf("d:station", AtomicValue::Str("KBMG".into())))
+            .with_child(Element::array("d:index", ArrayValue::I32(index.clone())))
+            .with_child(Element::array("d:values", ArrayValue::F64(values.clone()))),
+    );
+
+    // 2. Two serializations of the same logical structure.
+    let xml = xmltext::to_string(&doc).expect("infallible");
+    let bin = bxsa::encode(&doc).expect("encode");
+    let native = index.len() * 4 + values.len() * 8;
+    println!("native payload : {native:>7} bytes");
+    println!(
+        "BXSA           : {:>7} bytes  ({:+.1}% vs native)",
+        bin.len(),
+        100.0 * (bin.len() as f64 - native as f64) / native as f64
+    );
+    println!(
+        "textual XML    : {:>7} bytes  ({:+.1}% vs native)",
+        xml.len(),
+        100.0 * (xml.len() as f64 - native as f64) / native as f64
+    );
+
+    // 3. Transcodability (paper §4.2): binary → text → binary, unchanged.
+    let text = bxsa::bxsa_to_xml(&bin).expect("to xml");
+    let back = bxsa::xml_to_bxsa(&text).expect("to bxsa");
+    assert_eq!(back, bin, "transcoding must be lossless");
+    println!("transcoding    : BXSA -> XML -> BXSA is byte-identical");
+
+    // 4. One service, two engine instantiations.
+    let mut registry = ServiceRegistry::new();
+    bxsoap::register_verify(&mut registry);
+    let registry = Arc::new(registry);
+
+    let tcp_server = TcpSoapServer::bind(
+        "127.0.0.1:0",
+        BxsaEncoding::default(),
+        Arc::clone(&registry),
+    )
+    .expect("bind tcp");
+    let http_server = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        XmlEncoding::default(),
+        Arc::clone(&registry),
+    )
+    .expect("bind http");
+
+    let request = bxsoap::verify_request_envelope(&index, &values);
+
+    // SOAP over BXSA/TCP — the paper's fast path.
+    let mut bin_engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&tcp_server.local_addr().to_string()),
+    );
+    let resp = bin_engine.call(request.clone()).expect("bxsa/tcp call");
+    report("SOAP over BXSA/TCP", &resp);
+
+    // SOAP over XML/HTTP — the conventional path. Identical service.
+    let mut xml_engine = SoapEngine::new(
+        XmlEncoding::default(),
+        HttpBinding::new(&http_server.local_addr().to_string(), "/soap"),
+    );
+    let resp = xml_engine.call(request).expect("xml/http call");
+    report("SOAP over XML/HTTP", &resp);
+
+    tcp_server.shutdown();
+    http_server.shutdown();
+}
+
+fn report(scheme: &str, resp: &SoapEnvelope) {
+    let body = resp.body_element().expect("response body");
+    let ok = body.child_value("ok").and_then(AtomicValue::as_bool);
+    let count = body.child_value("count").and_then(AtomicValue::as_i64);
+    println!(
+        "{scheme:<20}: verified={} count={}",
+        ok.unwrap_or(false),
+        count.unwrap_or(0)
+    );
+}

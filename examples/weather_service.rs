@@ -1,0 +1,129 @@
+//! A LEAD-style atmospheric data service (the paper's motivating
+//! workload) exercised through **all four** engine instantiations.
+//!
+//! The service accepts a dataset (index + value arrays over the
+//! time/y/x/height parameters), verifies every value, and answers with a
+//! verification summary. The client measures wall-clock response time per
+//! (encoding, binding) combination on loopback.
+//!
+//! Run with: `cargo run --release --example weather_service`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bxdm::AtomicValue;
+use soap::{
+    BindingPolicy, BxsaEncoding, EncodingPolicy, HttpBinding, HttpSoapServer, ServiceRegistry,
+    SoapEngine, TcpBinding, TcpSoapServer, XmlEncoding,
+};
+
+fn main() {
+    let mut registry = ServiceRegistry::new();
+    bxsoap::register_verify(&mut registry);
+    let registry = Arc::new(registry);
+
+    // One server per (encoding, transport) endpoint.
+    let tcp_bxsa = TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry.clone())
+        .expect("bind");
+    let tcp_xml =
+        TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), registry.clone()).expect("bind");
+    let http_bxsa = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        BxsaEncoding::default(),
+        registry.clone(),
+    )
+    .expect("bind");
+    let http_xml = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        XmlEncoding::default(),
+        registry.clone(),
+    )
+    .expect("bind");
+
+    println!("model_size  scheme              round-trips/s   µs/call");
+    for model_size in [10usize, 1000, 100_000] {
+        let (index, values) = bxsoap::lead_dataset(model_size, 7);
+        let request = bxsoap::verify_request_envelope(&index, &values);
+        let calls = if model_size >= 100_000 { 5 } else { 50 };
+
+        run(
+            "BXSA/TCP",
+            model_size,
+            calls,
+            &request,
+            SoapEngine::new(
+                BxsaEncoding::default(),
+                TcpBinding::new(&tcp_bxsa.local_addr().to_string()),
+            ),
+        );
+        run(
+            "XML/TCP",
+            model_size,
+            calls,
+            &request,
+            SoapEngine::new(
+                XmlEncoding::default(),
+                TcpBinding::new(&tcp_xml.local_addr().to_string()),
+            ),
+        );
+        run(
+            "BXSA/HTTP",
+            model_size,
+            calls,
+            &request,
+            SoapEngine::new(
+                BxsaEncoding::default(),
+                HttpBinding::new(&http_bxsa.local_addr().to_string(), "/soap"),
+            ),
+        );
+        run(
+            "XML/HTTP",
+            model_size,
+            calls,
+            &request,
+            SoapEngine::new(
+                XmlEncoding::default(),
+                HttpBinding::new(&http_xml.local_addr().to_string(), "/soap"),
+            ),
+        );
+    }
+
+    tcp_bxsa.shutdown();
+    tcp_xml.shutdown();
+    http_bxsa.shutdown();
+    http_xml.shutdown();
+}
+
+fn run<E, B>(
+    name: &str,
+    model_size: usize,
+    calls: usize,
+    request: &soap::SoapEnvelope,
+    mut engine: SoapEngine<E, B>,
+) where
+    E: EncodingPolicy,
+    B: BindingPolicy,
+{
+    // Warm-up call establishes connections and page caches.
+    let warm = engine.call(request.clone()).expect("warmup call");
+    assert_eq!(
+        warm.body_element()
+            .and_then(|b| b.child_value("ok"))
+            .and_then(AtomicValue::as_bool),
+        Some(true),
+        "service must verify the dataset"
+    );
+
+    let start = Instant::now();
+    for _ in 0..calls {
+        engine.call(request.clone()).expect("call");
+    }
+    let elapsed = start.elapsed();
+    let per_call_us = elapsed.as_micros() as f64 / calls as f64;
+    println!(
+        "{model_size:>10}  {name:<18} {:>13.1} {per_call_us:>9.0}",
+        1e6 / per_call_us
+    );
+}

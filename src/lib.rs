@@ -1,0 +1,141 @@
+//! # bxsoap — a generic SOAP framework over binary XML
+//!
+//! Umbrella crate re-exporting the whole stack, bottom to top:
+//!
+//! | layer | crate | paper section |
+//! |-------|-------|---------------|
+//! | primitive binary serializer | [`xbs`] | §4 (XBS) |
+//! | typed data model | [`bxdm`] | §3 (bXDM) |
+//! | textual XML 1.0 codec | [`xmltext`] | §2 (baseline encoding) |
+//! | binary XML codec | [`bxsa`] | §4 (BXSA) |
+//! | netCDF-3 substrate | [`netcdf3`] | §6 (separated scheme) |
+//! | network/disk/auth simulator | [`netsim`] | §6 (testbeds) |
+//! | real TCP + HTTP transports | [`transport`] | §5.3 (bindings) |
+//! | simulated GridFTP | [`gridftp`] | §6 (separated scheme) |
+//! | generic SOAP engine | [`soap`] | §5 |
+//! | WS-* upper stack | [`wsstack`] | §5.1, Figure 3 |
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
+//! the experiment map.
+
+pub use bxdm;
+pub use bxsa;
+pub use gridftp;
+pub use netcdf3;
+pub use netsim;
+pub use soap;
+pub use transport;
+pub use wsstack;
+pub use xbs;
+pub use xmltext;
+
+/// Generate the paper's LEAD-derived workload: `model_size` pairs of a
+/// 4-byte integer index and an 8-byte double value (atmospheric readings
+/// over time/y/x/height — §6: "the data set consists of two equal-size
+/// arrays").
+///
+/// Values are quantized to realistic instrument precision (hundredths),
+/// which also keeps their ASCII lexical forms near the lengths the
+/// paper's data produced — that matters for Table 1.
+pub fn lead_dataset(model_size: usize, seed: u64) -> (Vec<i32>, Vec<f64>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let index: Vec<i32> = (0..model_size as i32).collect();
+    let values: Vec<f64> = (0..model_size)
+        .map(|_| {
+            // Atmospheric temperature-like values in Kelvin.
+            let v: f64 = rng.random_range(180.0..330.0);
+            (v * 100.0).round() / 100.0
+        })
+        .collect();
+    (index, values)
+}
+
+/// Build the unified-solution request envelope: the whole dataset inside
+/// the SOAP body as two array elements (§6 "Unified solution").
+pub fn verify_request_envelope(index: &[i32], values: &[f64]) -> soap::SoapEnvelope {
+    use bxdm::{ArrayValue, Element};
+    soap::SoapEnvelope::with_body(
+        Element::component("d:Verify")
+            .with_namespace("d", "http://bxsoap.example.org/lead")
+            .with_child(Element::array("d:index", ArrayValue::I32(index.to_vec())))
+            .with_child(Element::array(
+                "d:values",
+                ArrayValue::F64(values.to_vec()),
+            )),
+    )
+}
+
+/// The verification the paper's server performs on each value: every
+/// index is in range and every reading is physically plausible.
+pub fn verify_dataset(index: &[i32], values: &[f64]) -> bool {
+    index.len() == values.len()
+        && index.iter().enumerate().all(|(i, &x)| x == i as i32)
+        && values.iter().all(|v| v.is_finite() && (100.0..400.0).contains(v))
+}
+
+/// Register the LEAD `Verify` operation on a service registry. Shared by
+/// the examples, the integration tests and the benchmark harnesses.
+pub fn register_verify(registry: &mut soap::ServiceRegistry) {
+    use bxdm::{AtomicValue, Element};
+    registry.register("Verify", |req| {
+        let body = req
+            .body_element()
+            .expect("dispatch guarantees a body element");
+        let index = body
+            .find_child("index")
+            .and_then(|e| e.as_i32_array())
+            .ok_or_else(|| soap::SoapError::Protocol("missing index array".into()))?;
+        let values = body
+            .find_child("values")
+            .and_then(|e| e.as_f64_array())
+            .ok_or_else(|| soap::SoapError::Protocol("missing values array".into()))?;
+        let ok = verify_dataset(index, values);
+        Ok(soap::SoapEnvelope::with_body(
+            Element::component("VerifyResponse")
+                .with_child(Element::leaf("ok", AtomicValue::Bool(ok)))
+                .with_child(Element::leaf(
+                    "count",
+                    AtomicValue::I64(values.len() as i64),
+                )),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_deterministic_and_valid() {
+        let (i1, v1) = lead_dataset(100, 7);
+        let (i2, v2) = lead_dataset(100, 7);
+        assert_eq!(i1, i2);
+        assert_eq!(v1, v2);
+        assert!(verify_dataset(&i1, &v1));
+        let (i3, _) = lead_dataset(100, 8);
+        assert_eq!(i1, i3); // indexes are deterministic regardless of seed
+    }
+
+    #[test]
+    fn verify_rejects_bad_data() {
+        let (index, mut values) = lead_dataset(10, 1);
+        values[3] = f64::NAN;
+        assert!(!verify_dataset(&index, &values));
+        let (index, values) = lead_dataset(10, 1);
+        assert!(!verify_dataset(&index[..9], &values));
+    }
+
+    #[test]
+    fn verify_operation_dispatches() {
+        let (index, values) = lead_dataset(50, 3);
+        let mut registry = soap::ServiceRegistry::new();
+        register_verify(&mut registry);
+        let resp = registry.dispatch(&verify_request_envelope(&index, &values));
+        assert!(!resp.is_fault());
+        assert_eq!(
+            resp.body_element().unwrap().child_value("ok"),
+            Some(&bxdm::AtomicValue::Bool(true))
+        );
+    }
+}

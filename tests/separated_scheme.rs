@@ -1,0 +1,147 @@
+//! Integration of the *separated* scheme's real substrates: netCDF files
+//! on a real filesystem, staged through the real HTTP file server, driven
+//! by a SOAP control message — the architecture of paper §6's "Separated
+//! solution", end to end.
+
+use std::sync::Arc;
+
+use bxdm::{AtomicValue, Element};
+use netcdf3::{NcFile, NcValue};
+use soap::{
+    ServiceRegistry, SoapEngine, SoapEnvelope, SoapError, TcpBinding, TcpSoapServer, XmlEncoding,
+};
+use transport::FileServer;
+
+fn staging_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bxsoap_it_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Register the URL-based verification operation (server pulls the file).
+fn url_registry() -> Arc<ServiceRegistry> {
+    Arc::new(ServiceRegistry::new().with_operation("VerifyByUrl", |req| {
+        let url = req
+            .body_element()
+            .expect("dispatch checked")
+            .child_value("url")
+            .and_then(AtomicValue::as_str)
+            .ok_or_else(|| SoapError::Protocol("missing url".into()))?;
+        let (addr, path) = url
+            .strip_prefix("http://")
+            .and_then(|r| r.split_once('/'))
+            .ok_or_else(|| SoapError::Protocol("bad url".into()))?;
+        let bytes = transport::http_get(addr, &format!("/{path}"))?;
+        let nc = NcFile::from_bytes(&bytes)
+            .map_err(|e| SoapError::Protocol(format!("bad file: {e}")))?;
+        let index = nc.var("index").and_then(|v| v.data.as_int()).unwrap_or(&[]);
+        let values = nc
+            .var("values")
+            .and_then(|v| v.data.as_double())
+            .unwrap_or(&[]);
+        Ok(SoapEnvelope::with_body(
+            Element::component("VerifyResponse")
+                .with_child(Element::leaf(
+                    "ok",
+                    AtomicValue::Bool(bxsoap::verify_dataset(index, values)),
+                ))
+                .with_child(Element::leaf(
+                    "count",
+                    AtomicValue::I64(values.len() as i64),
+                )),
+        ))
+    }))
+}
+
+#[test]
+fn full_separated_flow_over_real_sockets_and_disk() {
+    let staging = staging_dir("flow");
+    let files = FileServer::bind("127.0.0.1:0", &staging).unwrap();
+    let service = TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), url_registry())
+        .unwrap();
+
+    // Client side: generate, save as netCDF, publish, send control msg.
+    let (index, values) = bxsoap::lead_dataset(5_000, 21);
+    let mut nc = NcFile::new();
+    let d = nc.add_dim("model", index.len());
+    nc.add_var("index", &[d], NcValue::Int(index.clone())).unwrap();
+    nc.add_var("values", &[d], NcValue::Double(values.clone()))
+        .unwrap();
+    nc.write_file(&staging.join("run1.nc")).unwrap();
+
+    let mut engine = SoapEngine::new(
+        XmlEncoding::default(),
+        TcpBinding::new(&service.local_addr().to_string()),
+    );
+    let control = SoapEnvelope::with_body(Element::component("VerifyByUrl").with_child(
+        Element::leaf(
+            "url",
+            AtomicValue::Str(format!("http://{}/run1.nc", files.local_addr())),
+        ),
+    ));
+    let resp = engine.call(control).unwrap();
+    let body = resp.body_element().unwrap();
+    assert_eq!(
+        body.child_value("ok").and_then(AtomicValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        body.child_value("count").and_then(AtomicValue::as_i64),
+        Some(5_000)
+    );
+
+    service.shutdown();
+    files.shutdown();
+    std::fs::remove_dir_all(&staging).unwrap();
+}
+
+#[test]
+fn missing_file_surfaces_as_fault() {
+    let staging = staging_dir("missing");
+    let files = FileServer::bind("127.0.0.1:0", &staging).unwrap();
+    let service = TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), url_registry())
+        .unwrap();
+    let mut engine = SoapEngine::new(
+        XmlEncoding::default(),
+        TcpBinding::new(&service.local_addr().to_string()),
+    );
+    let control = SoapEnvelope::with_body(Element::component("VerifyByUrl").with_child(
+        Element::leaf(
+            "url",
+            AtomicValue::Str(format!("http://{}/nope.nc", files.local_addr())),
+        ),
+    ));
+    match engine.call(control) {
+        Err(SoapError::Fault(f)) => assert!(f.string.contains("404")),
+        other => panic!("expected fault, got {other:?}"),
+    }
+    service.shutdown();
+    files.shutdown();
+    std::fs::remove_dir_all(&staging).unwrap();
+}
+
+#[test]
+fn corrupt_file_surfaces_as_fault() {
+    let staging = staging_dir("corrupt");
+    std::fs::write(staging.join("bad.nc"), b"HDF5 pretender").unwrap();
+    let files = FileServer::bind("127.0.0.1:0", &staging).unwrap();
+    let service = TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), url_registry())
+        .unwrap();
+    let mut engine = SoapEngine::new(
+        XmlEncoding::default(),
+        TcpBinding::new(&service.local_addr().to_string()),
+    );
+    let control = SoapEnvelope::with_body(Element::component("VerifyByUrl").with_child(
+        Element::leaf(
+            "url",
+            AtomicValue::Str(format!("http://{}/bad.nc", files.local_addr())),
+        ),
+    ));
+    match engine.call(control) {
+        Err(SoapError::Fault(f)) => assert!(f.string.contains("bad file")),
+        other => panic!("expected fault, got {other:?}"),
+    }
+    service.shutdown();
+    files.shutdown();
+    std::fs::remove_dir_all(&staging).unwrap();
+}

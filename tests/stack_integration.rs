@@ -1,0 +1,203 @@
+//! Cross-crate integration: the full stack over real loopback sockets.
+
+use std::sync::Arc;
+
+use bxdm::{AtomicValue, Element};
+use soap::{
+    BxsaEncoding, HttpBinding, HttpSoapServer, Intermediary, ServiceRegistry, SoapEngine,
+    SoapEnvelope, SoapError, TcpBinding, TcpSoapServer, XmlEncoding,
+};
+
+fn verify_registry() -> Arc<ServiceRegistry> {
+    let mut registry = ServiceRegistry::new();
+    bxsoap::register_verify(&mut registry);
+    Arc::new(registry)
+}
+
+fn assert_ok_response(resp: &SoapEnvelope, count: usize) {
+    let body = resp.body_element().expect("body element");
+    assert_eq!(
+        body.child_value("ok").and_then(AtomicValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        body.child_value("count").and_then(AtomicValue::as_i64),
+        Some(count as i64)
+    );
+}
+
+#[test]
+fn all_four_policy_combinations_serve_the_lead_workload() {
+    let registry = verify_registry();
+    let (index, values) = bxsoap::lead_dataset(2_000, 9);
+    let request = bxsoap::verify_request_envelope(&index, &values);
+
+    // BXSA over TCP.
+    let s = TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry.clone()).unwrap();
+    let mut e = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&s.local_addr().to_string()),
+    );
+    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    s.shutdown();
+
+    // XML over TCP.
+    let s = TcpSoapServer::bind("127.0.0.1:0", XmlEncoding::default(), registry.clone()).unwrap();
+    let mut e = SoapEngine::new(
+        XmlEncoding::default(),
+        TcpBinding::new(&s.local_addr().to_string()),
+    );
+    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    s.shutdown();
+
+    // BXSA over HTTP.
+    let s = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        BxsaEncoding::default(),
+        registry.clone(),
+    )
+    .unwrap();
+    let mut e = SoapEngine::new(
+        BxsaEncoding::default(),
+        HttpBinding::new(&s.local_addr().to_string(), "/soap"),
+    );
+    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    s.shutdown();
+
+    // XML over HTTP.
+    let s = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        XmlEncoding::default(),
+        registry.clone(),
+    )
+    .unwrap();
+    let mut e = SoapEngine::new(
+        XmlEncoding::default(),
+        HttpBinding::new(&s.local_addr().to_string(), "/soap"),
+    );
+    assert_ok_response(&e.call(request).unwrap(), 2_000);
+    s.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_server() {
+    let registry = verify_registry();
+    let server =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+    let addr = server.local_addr().to_string();
+
+    crossbeam::thread::scope(|s| {
+        for seed in 0..6u64 {
+            let addr = addr.clone();
+            s.spawn(move |_| {
+                let (index, values) = bxsoap::lead_dataset(500 + seed as usize * 100, seed);
+                let mut engine =
+                    SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
+                for _ in 0..5 {
+                    let resp = engine
+                        .call(bxsoap::verify_request_envelope(&index, &values))
+                        .unwrap();
+                    assert_ok_response(&resp, index.len());
+                }
+            });
+        }
+    })
+    .unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn two_hop_relay_chain_with_mixed_encodings() {
+    // client (BXSA/TCP) -> relay1 (XML/TCP) -> relay2 (BXSA/TCP) -> server
+    let registry = verify_registry();
+    let server =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+    let relay2 = Intermediary::bind_tcp(
+        "127.0.0.1:0",
+        XmlEncoding::default(),
+        BxsaEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string()),
+    )
+    .unwrap();
+    let relay1 = Intermediary::bind_tcp(
+        "127.0.0.1:0",
+        BxsaEncoding::default(),
+        XmlEncoding::default(),
+        TcpBinding::new(&relay2.local_addr().to_string()),
+    )
+    .unwrap();
+
+    let (index, values) = bxsoap::lead_dataset(800, 4);
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&relay1.local_addr().to_string()),
+    );
+    let resp = engine
+        .call(bxsoap::verify_request_envelope(&index, &values))
+        .unwrap();
+    assert_ok_response(&resp, 800);
+
+    relay1.shutdown();
+    relay2.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn corrupted_payload_produces_fault_not_hang() {
+    let registry = verify_registry();
+    let server =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+    // Speak raw framed TCP and push garbage.
+    let mut framed =
+        transport::FramedStream::connect(&server.local_addr().to_string()).unwrap();
+    framed.send(b"these are not BXSA frames").unwrap();
+    let reply = framed.recv().unwrap();
+    // The reply is a BXSA-encoded fault envelope.
+    let doc = bxsa::decode(&reply).unwrap();
+    let envelope = SoapEnvelope::from_document(&doc).unwrap();
+    assert!(envelope.is_fault());
+    server.shutdown();
+}
+
+#[test]
+fn mismatched_data_is_reported_not_faulted() {
+    // A dataset that fails verification is a *successful* exchange with
+    // ok=false — faults are for protocol failures only.
+    let registry = verify_registry();
+    let server =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string()),
+    );
+    let (index, mut values) = bxsoap::lead_dataset(100, 2);
+    values[50] = f64::INFINITY;
+    let resp = engine
+        .call(bxsoap::verify_request_envelope(&index, &values))
+        .unwrap();
+    let body = resp.body_element().unwrap();
+    assert_eq!(
+        body.child_value("ok").and_then(AtomicValue::as_bool),
+        Some(false)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn missing_arrays_fault_with_protocol_message() {
+    let registry = verify_registry();
+    let server =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), registry).unwrap();
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string()),
+    );
+    let bad = SoapEnvelope::with_body(Element::component("Verify"));
+    match engine.call(bad) {
+        Err(SoapError::Fault(f)) => assert!(f.string.contains("index")),
+        other => panic!("expected fault, got {other:?}"),
+    }
+    server.shutdown();
+}
