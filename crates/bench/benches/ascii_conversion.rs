@@ -14,6 +14,7 @@ fn dataset(n: usize) -> Vec<f64> {
 }
 
 fn bench_conversion(c: &mut Criterion) {
+    xmltext::num::warm_up();
     let mut group = c.benchmark_group("ascii_conversion");
     for &n in &[1_000usize, 100_000] {
         let values = dataset(n);
@@ -29,15 +30,16 @@ fn bench_conversion(c: &mut Criterion) {
         });
 
         // Textual path, encode: shortest-round-trip formatting (what the
-        // XML writer does per array item).
+        // XML writer does per array item), into a reused buffer.
         group.bench_with_input(BenchmarkId::new("ascii_format", n), &values, |b, v| {
+            let mut out = String::with_capacity(v.len() * 24);
             b.iter(|| {
-                let mut out = String::with_capacity(v.len() * 20);
+                out.clear();
                 for x in v {
-                    bxdm::value::write_f64_lexical(*x, &mut out);
+                    xmltext::num::write_f64(*x, &mut out);
                     out.push(' ');
                 }
-                out
+                out.len()
             })
         });
 
@@ -47,7 +49,7 @@ fn bench_conversion(c: &mut Criterion) {
             b.iter(|| {
                 let mut sum = 0.0f64;
                 for s in t {
-                    sum += s.parse::<f64>().expect("parse");
+                    sum += xmltext::num::parse_f64(s).expect("parse");
                 }
                 sum
             })

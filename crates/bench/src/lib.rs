@@ -19,6 +19,8 @@
 //! present, so who-wins/where-crossovers-fall is reproducible. Criterion
 //! micro-benches (`benches/`) cover the ablations A1–A6.
 
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter;
 pub mod cpu;
 pub mod schemes;
 pub mod workload;

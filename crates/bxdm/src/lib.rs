@@ -43,7 +43,7 @@ pub mod value;
 pub mod visitor;
 
 pub use name::QName;
-pub use namespace::{NamespaceDecl, NsContext, XMLNS_PREFIX, XSD_URI, XSI_URI};
+pub use namespace::{NamespaceDecl, NsContext, ScopeChain, XMLNS_PREFIX, XSD_URI, XSI_URI};
 pub use node::{Attribute, Content, Document, Element, Node};
 pub use value::{ArrayValue, AtomicValue, ValueParseError};
-pub use visitor::{walk_document, walk_node, Visitor};
+pub use visitor::{walk_document, walk_element, walk_node, Visitor};

@@ -58,9 +58,18 @@ pub struct NsRef {
 ///
 /// Codecs push one scope per element (even an empty one — scope depth is
 /// counted in *elements*, not in declaring elements) and pop on exit.
+///
+/// Declarations are stored in one flat arena with a parallel stack of
+/// scope start offsets, so pushing and popping scopes never allocates
+/// once the two vectors have grown to the document's high-water mark —
+/// this is what lets the pull decoder process a stream of messages with
+/// a steady-state-allocation-free namespace table.
 #[derive(Debug, Default, Clone)]
 pub struct NsContext {
-    scopes: Vec<Vec<NamespaceDecl>>,
+    /// All in-scope declarations, outermost scope first.
+    decls: Vec<NamespaceDecl>,
+    /// Offset into `decls` where each open scope begins.
+    scope_starts: Vec<usize>,
 }
 
 impl NsContext {
@@ -71,7 +80,8 @@ impl NsContext {
 
     /// Enter an element scope carrying `decls` (possibly empty).
     pub fn push_scope(&mut self, decls: &[NamespaceDecl]) {
-        self.scopes.push(decls.to_vec());
+        self.scope_starts.push(self.decls.len());
+        self.decls.extend_from_slice(decls);
     }
 
     /// Leave the innermost element scope.
@@ -79,29 +89,46 @@ impl NsContext {
     /// # Panics
     /// Panics if no scope is open — that is a codec bug, not bad input.
     pub fn pop_scope(&mut self) {
-        self.scopes
+        let start = self
+            .scope_starts
             .pop()
             .expect("NsContext::pop_scope with no open scope");
+        self.decls.truncate(start);
     }
 
     /// Number of open scopes.
     pub fn depth(&self) -> usize {
-        self.scopes.len()
+        self.scope_starts.len()
+    }
+
+    /// Drop all open scopes but keep the arena's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.decls.clear();
+        self.scope_starts.clear();
+    }
+
+    /// The half-open `decls` range covered by scope number `i` (0 = outermost).
+    fn scope_bounds(&self, i: usize) -> (usize, usize) {
+        let start = self.scope_starts[i];
+        let end = self
+            .scope_starts
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.decls.len());
+        (start, end)
     }
 
     /// Resolve a prefix to its in-scope URI, innermost declaration wins.
     /// `None` prefix resolves the default namespace.
     pub fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
-        for scope in self.scopes.iter().rev() {
-            // Within one scope, later declarations win (mirrors attribute
-            // order in the document).
-            for decl in scope.iter().rev() {
-                if decl.prefix.as_deref() == prefix {
-                    return Some(&decl.uri);
-                }
-            }
-        }
-        None
+        // The flat arena is ordered outermost-first with later declarations
+        // after earlier ones within a scope, so a single reverse scan gives
+        // exactly "innermost scope wins, later declaration wins".
+        self.decls
+            .iter()
+            .rev()
+            .find(|decl| decl.prefix.as_deref() == prefix)
+            .map(|decl| decl.uri.as_str())
     }
 
     /// Resolve the namespace URI a QName is bound to in the current scope.
@@ -112,9 +139,10 @@ impl NsContext {
     /// Find the BXSA *(scope depth, index)* reference for `prefix`:
     /// the innermost declaration of that prefix.
     pub fn find_ref(&self, prefix: Option<&str>) -> Option<NsRef> {
-        for (depth_back, scope) in self.scopes.iter().rev().enumerate() {
-            for (idx, decl) in scope.iter().enumerate().rev() {
-                if decl.prefix.as_deref() == prefix {
+        for (depth_back, scope_idx) in (0..self.scope_starts.len()).rev().enumerate() {
+            let (start, end) = self.scope_bounds(scope_idx);
+            for idx in (0..end - start).rev() {
+                if self.decls[start + idx].prefix.as_deref() == prefix {
                     return Some(NsRef {
                         scope_depth: depth_back as u32,
                         index: idx as u32,
@@ -127,9 +155,96 @@ impl NsContext {
 
     /// Look a reference back up into the declaration it points to.
     pub fn lookup_ref(&self, r: NsRef) -> Option<&NamespaceDecl> {
-        let n = self.scopes.len();
-        let scope = self.scopes.get(n.checked_sub(1 + r.scope_depth as usize)?)?;
-        scope.get(r.index as usize)
+        let n = self.scope_starts.len();
+        let scope_idx = n.checked_sub(1 + r.scope_depth as usize)?;
+        let (start, end) = self.scope_bounds(scope_idx);
+        let idx = start + r.index as usize;
+        if idx < end {
+            self.decls.get(idx)
+        } else {
+            None
+        }
+    }
+}
+
+/// A borrowed, allocation-free scope chain for recursive codecs.
+///
+/// Where [`NsContext`] owns its declarations (and therefore clones every
+/// prefix/URI string pushed into it), `ScopeChain` is a stack-allocated
+/// linked list of borrows: each recursion level of an encoder or decoder
+/// anchors one link pointing at the element's own `namespaces` slice and
+/// at the parent link one stack frame up. Resolution semantics are
+/// identical to `NsContext` — one scope per element (empty scopes
+/// included in depth counting), innermost scope wins, later declarations
+/// within a scope win.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeChain<'a> {
+    decls: &'a [NamespaceDecl],
+    parent: Option<&'a ScopeChain<'a>>,
+}
+
+impl<'a> ScopeChain<'a> {
+    /// The outermost scope (the document root element's declarations).
+    pub fn root(decls: &'a [NamespaceDecl]) -> ScopeChain<'a> {
+        ScopeChain {
+            decls,
+            parent: None,
+        }
+    }
+
+    /// A nested scope whose parent is `self`.
+    pub fn child(&'a self, decls: &'a [NamespaceDecl]) -> ScopeChain<'a> {
+        ScopeChain {
+            decls,
+            parent: Some(self),
+        }
+    }
+
+    /// Resolve a prefix to its in-scope URI, innermost declaration wins.
+    pub fn resolve(&self, prefix: Option<&str>) -> Option<&'a str> {
+        let mut link = Some(self);
+        while let Some(chain) = link {
+            if let Some(decl) = chain
+                .decls
+                .iter()
+                .rev()
+                .find(|decl| decl.prefix.as_deref() == prefix)
+            {
+                return Some(&decl.uri);
+            }
+            link = chain.parent;
+        }
+        None
+    }
+
+    /// Find the BXSA *(scope depth, index)* reference for `prefix`,
+    /// mirroring [`NsContext::find_ref`].
+    pub fn find_ref(&self, prefix: Option<&str>) -> Option<NsRef> {
+        let mut link = Some(self);
+        let mut depth_back = 0u32;
+        while let Some(chain) = link {
+            for (idx, decl) in chain.decls.iter().enumerate().rev() {
+                if decl.prefix.as_deref() == prefix {
+                    return Some(NsRef {
+                        scope_depth: depth_back,
+                        index: idx as u32,
+                    });
+                }
+            }
+            depth_back += 1;
+            link = chain.parent;
+        }
+        None
+    }
+
+    /// Look a reference back up into the declaration it points to,
+    /// mirroring [`NsContext::lookup_ref`].
+    pub fn lookup_ref(&self, r: NsRef) -> Option<&'a NamespaceDecl> {
+        let mut link = Some(self);
+        for _ in 0..r.scope_depth {
+            link = link?.parent;
+        }
+        link?.decls.get(r.index as usize)
     }
 }
 
@@ -233,5 +348,83 @@ mod tests {
     #[should_panic(expected = "no open scope")]
     fn pop_empty_panics() {
         NsContext::new().pop_scope();
+    }
+
+    #[test]
+    fn clear_resets_depth() {
+        let mut c = ctx();
+        assert_eq!(c.depth(), 3);
+        c.clear();
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.resolve(Some("d")), None);
+        // Reusable after clear.
+        c.push_scope(&[NamespaceDecl::prefixed("x", "http://example.org/x")]);
+        assert_eq!(c.resolve(Some("x")), Some("http://example.org/x"));
+    }
+
+    /// The same three-scope shape as `ctx()`, built as a borrowed chain.
+    fn chain_scopes() -> (Vec<NamespaceDecl>, Vec<NamespaceDecl>, Vec<NamespaceDecl>) {
+        (
+            vec![
+                NamespaceDecl::prefixed("soap", "http://schemas.xmlsoap.org/soap/envelope/"),
+                NamespaceDecl::prefixed("xsd", XSD_URI),
+            ],
+            vec![],
+            vec![NamespaceDecl::prefixed("d", "http://example.org/data")],
+        )
+    }
+
+    #[test]
+    fn scope_chain_matches_ns_context() {
+        let (outer, mid, inner) = chain_scopes();
+        let root = ScopeChain::root(&outer);
+        let middle = root.child(&mid);
+        let leaf = middle.child(&inner);
+
+        let c = ctx();
+        for prefix in [Some("d"), Some("soap"), Some("xsd"), Some("missing"), None] {
+            assert_eq!(leaf.resolve(prefix), c.resolve(prefix), "resolve {prefix:?}");
+            assert_eq!(
+                leaf.find_ref(prefix),
+                c.find_ref(prefix),
+                "find_ref {prefix:?}"
+            );
+        }
+        for prefix in [Some("d"), Some("soap"), Some("xsd")] {
+            let r = leaf.find_ref(prefix).unwrap();
+            assert_eq!(leaf.lookup_ref(r).unwrap().prefix.as_deref(), prefix);
+        }
+    }
+
+    #[test]
+    fn scope_chain_shadowing_and_later_decl_wins() {
+        let outer = vec![NamespaceDecl::prefixed("d", "http://example.org/old")];
+        let inner = vec![
+            NamespaceDecl::prefixed("d", "http://example.org/first"),
+            NamespaceDecl::prefixed("d", "http://example.org/second"),
+        ];
+        let root = ScopeChain::root(&outer);
+        let leaf = root.child(&inner);
+        assert_eq!(leaf.resolve(Some("d")), Some("http://example.org/second"));
+        assert_eq!(
+            leaf.find_ref(Some("d")),
+            Some(NsRef {
+                scope_depth: 0,
+                index: 1
+            })
+        );
+        // Out-of-range lookups are None, not panics.
+        assert!(leaf
+            .lookup_ref(NsRef {
+                scope_depth: 5,
+                index: 0
+            })
+            .is_none());
+        assert!(leaf
+            .lookup_ref(NsRef {
+                scope_depth: 0,
+                index: 9
+            })
+            .is_none());
     }
 }

@@ -47,17 +47,21 @@ pub trait Visitor {
 /// Drive a visitor over a single node subtree.
 pub fn walk_node<V: Visitor>(node: &Node, visitor: &mut V) -> Result<(), V::Error> {
     match node {
-        Node::Element(e) => {
-            visitor.visit_element_start(e)?;
-            for child in e.children() {
-                walk_node(child, visitor)?;
-            }
-            visitor.visit_element_end(e)
-        }
+        Node::Element(e) => walk_element(e, visitor),
         Node::Text(t) => visitor.visit_text(t),
         Node::Comment(c) => visitor.visit_comment(c),
         Node::Pi { target, data } => visitor.visit_pi(target, data),
     }
+}
+
+/// Drive a visitor over an element subtree without wrapping it in a
+/// [`Node`] first — lets callers holding `&Element` encode by reference.
+pub fn walk_element<V: Visitor>(element: &Element, visitor: &mut V) -> Result<(), V::Error> {
+    visitor.visit_element_start(element)?;
+    for child in element.children() {
+        walk_node(child, visitor)?;
+    }
+    visitor.visit_element_end(element)
 }
 
 /// Drive a visitor over a whole document.

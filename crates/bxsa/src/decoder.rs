@@ -1,8 +1,8 @@
 //! BXSA frames → bXDM.
 
 use bxdm::{
-    ArrayValue, Attribute, AtomicValue, Content, Document, Element, NamespaceDecl, Node, NsContext,
-    QName,
+    ArrayValue, Attribute, AtomicValue, Content, Document, Element, NamespaceDecl, Node, QName,
+    ScopeChain,
 };
 use bxdm::namespace::NsRef;
 use xbs::{ByteOrder, TypeCode, XbsReader};
@@ -33,7 +33,6 @@ pub fn decode(bytes: &[u8]) -> BxsaResult<Document> {
 pub fn decode_with(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Document> {
     let mut dec = Decoder {
         r: XbsReader::new(bytes, ByteOrder::Little),
-        ctx: NsContext::new(),
         opts,
     };
     let doc = dec.read_document()?;
@@ -64,11 +63,10 @@ pub fn decode_element_at(
 ) -> BxsaResult<Element> {
     let mut dec = Decoder {
         r: XbsReader::new(bytes, ByteOrder::Little),
-        ctx: NsContext::new(),
         opts,
     };
     dec.r.seek(offset)?;
-    match dec.read_frame(0)? {
+    match dec.read_frame(0, None)? {
         Node::Element(e) => Ok(e),
         other => Err(BxsaError::Structure {
             what: format!("expected an element frame, found {other:?}"),
@@ -78,7 +76,6 @@ pub fn decode_element_at(
 
 struct Decoder<'a, 'o> {
     r: XbsReader<'a>,
-    ctx: NsContext,
     opts: &'o DecodeOptions,
 }
 
@@ -97,7 +94,7 @@ impl Decoder<'_, '_> {
         let mut doc = Document::new();
         doc.children.reserve(count.min(1024));
         for _ in 0..count {
-            doc.children.push(self.read_frame(0)?);
+            doc.children.push(self.read_frame(0, None)?);
         }
         self.check_frame_end(start, size)?;
         Ok(doc)
@@ -115,7 +112,7 @@ impl Decoder<'_, '_> {
         Ok(())
     }
 
-    fn read_frame(&mut self, depth: usize) -> BxsaResult<Node> {
+    fn read_frame(&mut self, depth: usize, parent: Option<&ScopeChain<'_>>) -> BxsaResult<Node> {
         if depth > self.opts.max_depth {
             return Err(BxsaError::Structure {
                 what: format!("frame nesting exceeds max_depth {}", self.opts.max_depth),
@@ -136,7 +133,7 @@ impl Decoder<'_, '_> {
                 });
             }
             FrameType::Component | FrameType::Leaf | FrameType::Array => {
-                self.read_element_body(frame_type, depth)
+                self.read_element_body(frame_type, depth, parent)
             }
             FrameType::CharData => self.r.read_str().map(|s| Node::Text(s.to_owned())).map_err(Into::into),
             FrameType::Comment => self
@@ -156,8 +153,16 @@ impl Decoder<'_, '_> {
         Ok(node)
     }
 
-    fn read_element_body(&mut self, frame_type: FrameType, depth: usize) -> BxsaResult<Node> {
-        // Namespace symbol table.
+    fn read_element_body(
+        &mut self,
+        frame_type: FrameType,
+        depth: usize,
+        parent: Option<&ScopeChain<'_>>,
+    ) -> BxsaResult<Node> {
+        // Namespace symbol table. The declarations Vec is read once and
+        // *moved* into the finished element; during recursion the scope
+        // chain borrows it from the stack, so namespace tracking needs no
+        // side allocations and no final clone.
         let n1 = self.r.read_count(2)?;
         let mut decls = Vec::with_capacity(n1);
         for _ in 0..n1 {
@@ -168,52 +173,50 @@ impl Decoder<'_, '_> {
                 uri,
             });
         }
-        self.ctx.push_scope(&decls);
+        let chain = match parent {
+            Some(p) => p.child(&decls),
+            None => ScopeChain::root(&decls),
+        };
 
-        let result = (|| -> BxsaResult<Node> {
-            let name = self.read_qname()?;
-            let n2 = self.r.read_count(3)?;
-            let mut attributes = Vec::with_capacity(n2);
-            for _ in 0..n2 {
-                let attr_name = self.read_qname()?;
-                let value = self.read_atomic()?;
-                attributes.push(Attribute {
-                    name: attr_name,
-                    value,
-                });
-            }
+        let name = self.read_qname(&chain)?;
+        let n2 = self.r.read_count(3)?;
+        let mut attributes = Vec::with_capacity(n2);
+        for _ in 0..n2 {
+            let attr_name = self.read_qname(&chain)?;
+            let value = self.read_atomic()?;
+            attributes.push(Attribute {
+                name: attr_name,
+                value,
+            });
+        }
 
-            let content = match frame_type {
-                FrameType::Leaf => Content::Leaf(self.read_atomic()?),
-                FrameType::Array => Content::Array(self.read_array()?),
-                FrameType::Component => {
-                    let count = self.r.read_count(1)?;
-                    let mut children = Vec::with_capacity(count.min(4096));
-                    for _ in 0..count {
-                        children.push(self.read_frame(depth + 1)?);
-                    }
-                    Content::Children(children)
+        let content = match frame_type {
+            FrameType::Leaf => Content::Leaf(self.read_atomic()?),
+            FrameType::Array => Content::Array(self.read_array()?),
+            FrameType::Component => {
+                let count = self.r.read_count(1)?;
+                let mut children = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    children.push(self.read_frame(depth + 1, Some(&chain))?);
                 }
-                _ => unreachable!("caller filters to element frames"),
-            };
+                Content::Children(children)
+            }
+            _ => unreachable!("caller filters to element frames"),
+        };
 
-            Ok(Node::Element(Element {
-                name,
-                namespaces: decls.clone(),
-                attributes,
-                content,
-            }))
-        })();
-
-        self.ctx.pop_scope();
-        result
+        Ok(Node::Element(Element {
+            name,
+            namespaces: decls,
+            attributes,
+            content,
+        }))
     }
 
     /// Read a tokenized namespace reference + local name.
-    fn read_qname(&mut self) -> BxsaResult<QName> {
+    fn read_qname(&mut self, chain: &ScopeChain<'_>) -> BxsaResult<QName> {
         let at = self.r.position();
         let tag = self.r.read_vls()?;
-        let prefix: Option<String> = if tag == 0 {
+        let prefix: Option<&str> = if tag == 0 {
             None
         } else {
             let index = self.r.read_vls()?;
@@ -221,14 +224,13 @@ impl Decoder<'_, '_> {
                 scope_depth: (tag - 1).try_into().map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
                 index: index.try_into().map_err(|_| BxsaError::BadNamespaceRef { offset: at })?,
             };
-            let decl = self
-                .ctx
+            let decl = chain
                 .lookup_ref(r)
                 .ok_or(BxsaError::BadNamespaceRef { offset: at })?;
-            decl.prefix.clone()
+            decl.prefix.as_deref()
         };
         let local = self.r.read_str()?;
-        Ok(QName::new(prefix.as_deref(), local))
+        Ok(QName::new(prefix, local))
     }
 
     fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {

@@ -1,10 +1,10 @@
 //! bXDM → BXSA frames.
 
-use bxdm::{Content, Document, Element, Node, NsContext};
+use bxdm::{Content, Document, Element, Node, ScopeChain};
 use xbs::{ByteOrder, XbsWriter};
 
 use crate::error::{BxsaError, BxsaResult};
-use crate::estimate::{body_bound, document_body_bound, size_field_len};
+use crate::estimate::{body_bound, document_body_bound, element_body_bound, size_field_len};
 use crate::frame::{prefix_byte, FrameType};
 
 /// Encoding options.
@@ -28,29 +28,73 @@ pub fn encode_with(doc: &Document, opts: &EncodeOptions) -> BxsaResult<Vec<u8>> 
     let bound = document_body_bound(&doc.children);
     let mut enc = Encoder {
         w: XbsWriter::with_capacity(bound + 12, opts.byte_order),
-        ctx: NsContext::new(),
         order: opts.byte_order,
     };
     enc.write_document(doc)?;
     Ok(enc.w.into_bytes())
 }
 
+/// Encode a document into a caller-provided buffer with default options.
+///
+/// The buffer is cleared first but keeps its capacity, so cycling the same
+/// buffer through repeated calls reaches a steady state with **zero heap
+/// allocations per message** (the property the `bench` crate's counting
+/// allocator asserts). On error the buffer is left cleared.
+pub fn encode_into(doc: &Document, buf: &mut Vec<u8>) -> BxsaResult<()> {
+    encode_into_with(doc, &EncodeOptions::default(), buf)
+}
+
+/// Encode a document into a caller-provided buffer with explicit options.
+pub fn encode_into_with(
+    doc: &Document,
+    opts: &EncodeOptions,
+    buf: &mut Vec<u8>,
+) -> BxsaResult<()> {
+    let mut enc = Encoder {
+        w: XbsWriter::from_buf(std::mem::take(buf), opts.byte_order),
+        order: opts.byte_order,
+    };
+    let result = enc.write_document(doc);
+    *buf = enc.w.take_buf();
+    if result.is_err() {
+        buf.clear();
+    }
+    result
+}
+
 /// Encode a single element as a standalone frame sequence (no document
 /// frame). Used by tests and by intermediaries re-framing message parts.
 pub fn encode_element(element: &Element, opts: &EncodeOptions) -> BxsaResult<Vec<u8>> {
-    let node = Node::Element(element.clone());
+    let body = element_body_bound(element);
     let mut enc = Encoder {
-        w: XbsWriter::with_capacity(crate::estimate::frame_bound(&node), opts.byte_order),
-        ctx: NsContext::new(),
+        w: XbsWriter::with_capacity(1 + size_field_len(body) + body, opts.byte_order),
         order: opts.byte_order,
     };
-    enc.write_frame(&node)?;
+    enc.write_element_frame(element, None)?;
     Ok(enc.w.into_bytes())
+}
+
+/// [`encode_element`] into a caller-provided buffer (cleared first,
+/// capacity kept).
+pub fn encode_element_into(
+    element: &Element,
+    opts: &EncodeOptions,
+    buf: &mut Vec<u8>,
+) -> BxsaResult<()> {
+    let mut enc = Encoder {
+        w: XbsWriter::from_buf(std::mem::take(buf), opts.byte_order),
+        order: opts.byte_order,
+    };
+    let result = enc.write_element_frame(element, None);
+    *buf = enc.w.take_buf();
+    if result.is_err() {
+        buf.clear();
+    }
+    result
 }
 
 struct Encoder {
     w: XbsWriter,
-    ctx: NsContext,
     order: ByteOrder,
 }
 
@@ -60,7 +104,7 @@ impl Encoder {
         let (start, field_len) = self.open_frame(FrameType::Document, bound);
         self.w.put_vls(doc.children.len() as u64);
         for child in &doc.children {
-            self.write_frame(child)?;
+            self.write_frame(child, None)?;
         }
         self.close_frame(start, field_len);
         Ok(())
@@ -82,9 +126,9 @@ impl Encoder {
         self.w.patch_vls_padded(start + 1, total, field_len);
     }
 
-    fn write_frame(&mut self, node: &Node) -> BxsaResult<()> {
+    fn write_frame(&mut self, node: &Node, parent: Option<&ScopeChain<'_>>) -> BxsaResult<()> {
         match node {
-            Node::Element(e) => self.write_element_frame(e),
+            Node::Element(e) => self.write_element_frame(e, parent),
             Node::Text(t) => {
                 self.write_text_like(FrameType::CharData, t);
                 Ok(())
@@ -111,8 +155,12 @@ impl Encoder {
         self.close_frame(start, field_len);
     }
 
-    fn write_element_frame(&mut self, e: &Element) -> BxsaResult<()> {
-        let node_bound = crate::estimate::element_body_bound(e);
+    fn write_element_frame(
+        &mut self,
+        e: &Element,
+        parent: Option<&ScopeChain<'_>>,
+    ) -> BxsaResult<()> {
+        let node_bound = element_body_bound(e);
         let frame_type = match &e.content {
             Content::Children(_) => FrameType::Component,
             Content::Leaf(_) => FrameType::Leaf,
@@ -129,34 +177,34 @@ impl Encoder {
             self.w.put_str(&decl.uri);
         }
         // The element's own declarations are in scope for its own name.
-        self.ctx.push_scope(&e.namespaces);
+        // The scope chain lives on the recursion stack and borrows the
+        // element's declaration slice, so namespace tracking costs no heap.
+        let chain = match parent {
+            Some(p) => p.child(&e.namespaces),
+            None => ScopeChain::root(&e.namespaces),
+        };
 
-        let result = (|| -> BxsaResult<()> {
-            self.write_ns_ref(e.name.prefix(), false)?;
-            self.w.put_str(e.name.local());
+        self.write_ns_ref(&chain, e.name.prefix(), false)?;
+        self.w.put_str(e.name.local());
 
-            self.w.put_vls(e.attributes.len() as u64);
-            for attr in &e.attributes {
-                self.write_ns_ref(attr.name.prefix(), true)?;
-                self.w.put_str(attr.name.local());
-                self.write_atomic(&attr.value);
-            }
+        self.w.put_vls(e.attributes.len() as u64);
+        for attr in &e.attributes {
+            self.write_ns_ref(&chain, attr.name.prefix(), true)?;
+            self.w.put_str(attr.name.local());
+            self.write_atomic(&attr.value);
+        }
 
-            match &e.content {
-                Content::Children(children) => {
-                    self.w.put_vls(children.len() as u64);
-                    for child in children {
-                        self.write_frame(child)?;
-                    }
+        match &e.content {
+            Content::Children(children) => {
+                self.w.put_vls(children.len() as u64);
+                for child in children {
+                    self.write_frame(child, Some(&chain))?;
                 }
-                Content::Leaf(value) => self.write_atomic(value),
-                Content::Array(array) => self.write_array(array),
             }
-            Ok(())
-        })();
+            Content::Leaf(value) => self.write_atomic(value),
+            Content::Array(array) => self.write_array(array),
+        }
 
-        self.ctx.pop_scope();
-        result?;
         self.close_frame(start, field_len);
         Ok(())
     }
@@ -166,13 +214,18 @@ impl Encoder {
     /// §4.1 ("a namespace reference also includes the namespace scope
     /// depth ... a count backwards to indicate where the namespace was
     /// declared").
-    fn write_ns_ref(&mut self, prefix: Option<&str>, is_attr: bool) -> BxsaResult<()> {
+    fn write_ns_ref(
+        &mut self,
+        chain: &ScopeChain<'_>,
+        prefix: Option<&str>,
+        is_attr: bool,
+    ) -> BxsaResult<()> {
         // Per the XML namespaces rules, unprefixed attributes are never in
         // the default namespace, so they always encode "no namespace".
         let r = if is_attr && prefix.is_none() {
             None
         } else {
-            self.ctx.find_ref(prefix)
+            chain.find_ref(prefix)
         };
         match r {
             Some(r) => {
@@ -299,5 +352,38 @@ mod tests {
         let bytes = encode_element(&e, &EncodeOptions::default()).unwrap();
         let (_, ft) = crate::frame::parse_prefix(bytes[0], 0).unwrap();
         assert_eq!(ft, FrameType::Component);
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer() {
+        let doc = Document::with_root(Element::array(
+            "v",
+            ArrayValue::F64((0..256).map(f64::from).collect()),
+        ));
+        let mut buf = Vec::new();
+        encode_into(&doc, &mut buf).unwrap();
+        assert_eq!(buf, encode(&doc).unwrap());
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_into(&doc, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap, "steady-state encode must not grow");
+        assert_eq!(buf.as_ptr(), ptr, "steady-state encode must not reallocate");
+    }
+
+    #[test]
+    fn encode_into_clears_the_buffer_on_error() {
+        let doc = Document::with_root(Element::component("nope:root"));
+        let mut buf = vec![1, 2, 3];
+        assert!(encode_into(&doc, &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn encode_element_into_matches_encode_element() {
+        let e = Element::leaf("p:n", AtomicValue::I32(9)).with_namespace("p", "http://p");
+        let owned = encode_element(&e, &EncodeOptions::default()).unwrap();
+        let mut buf = vec![0xaa; 4];
+        encode_element_into(&e, &EncodeOptions::default(), &mut buf).unwrap();
+        assert_eq!(buf, owned);
     }
 }

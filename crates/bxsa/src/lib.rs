@@ -46,8 +46,11 @@ pub mod pull;
 pub mod scan;
 pub mod transcode;
 
-pub use decoder::{decode, decode_with, DecodeOptions};
-pub use encoder::{encode, encode_with, EncodeOptions};
+pub use decoder::{decode, decode_element, decode_element_at, decode_with, DecodeOptions};
+pub use encoder::{
+    encode, encode_element, encode_element_into, encode_into, encode_into_with, encode_with,
+    EncodeOptions,
+};
 pub use error::{BxsaError, BxsaResult};
 pub use frame::FrameType;
 pub use pull::{PullEvent, PullReader};
@@ -60,7 +63,7 @@ mod roundtrip_tests {
     use proptest::prelude::*;
     use xbs::ByteOrder;
 
-    use crate::{decode, encode, encode_with, EncodeOptions};
+    use crate::{decode, encode, encode_into, encode_with, EncodeOptions};
 
     /// Strategy producing arbitrary (namespace-well-formed) bXDM trees.
     fn arb_leaf_value() -> impl Strategy<Value = AtomicValue> {
@@ -139,6 +142,19 @@ mod roundtrip_tests {
             let bytes = encode_with(&doc, &opts).unwrap();
             let back = decode(&bytes).unwrap();
             prop_assert_eq!(back, doc);
+        }
+
+        #[test]
+        fn encode_into_matches_encode(root in arb_element(3)) {
+            let doc = Document::with_root(root);
+            let owned = encode(&doc).unwrap();
+            // A dirty, pre-grown buffer must produce identical bytes.
+            let mut buf = vec![0xee; 32];
+            encode_into(&doc, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &owned);
+            // And again, reusing the now-larger buffer.
+            encode_into(&doc, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &owned);
         }
 
         #[test]

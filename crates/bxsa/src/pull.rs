@@ -349,7 +349,7 @@ impl<'a> PullReader<'a> {
     fn read_qname(&mut self) -> BxsaResult<QName> {
         let at = self.r.position();
         let tag = self.r.read_vls()?;
-        let prefix: Option<String> = if tag == 0 {
+        let prefix: Option<&str> = if tag == 0 {
             None
         } else {
             let index = self.r.read_vls()?;
@@ -365,10 +365,10 @@ impl<'a> PullReader<'a> {
                 .lookup_ref(r)
                 .ok_or(BxsaError::BadNamespaceRef { offset: at })?
                 .prefix
-                .clone()
+                .as_deref()
         };
         let local = self.r.read_str()?;
-        Ok(QName::new(prefix.as_deref(), local))
+        Ok(QName::new(prefix, local))
     }
 
     fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {

@@ -22,6 +22,14 @@ pub trait EncodingPolicy {
     fn name(&self) -> &'static str;
     /// Serialize a document.
     fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>>;
+    /// Serialize a document into a reusable buffer (replacing its
+    /// contents, keeping its capacity). Policies that can serialize
+    /// in place override this; the default just delegates to
+    /// [`encode`](EncodingPolicy::encode).
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
+        *out = self.encode(doc)?;
+        Ok(())
+    }
     /// Deserialize a document.
     fn decode(&self, bytes: &[u8]) -> SoapResult<Document>;
 }
@@ -45,6 +53,17 @@ impl EncodingPolicy for XmlEncoding {
     fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
         let Ok(text) = xmltext::to_string_with(doc, &self.write_options);
         Ok(text.into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
+        // Reuse the byte buffer's capacity as the writer's String; the
+        // round trip through from_utf8 is free (the buffer's prior
+        // contents don't matter — write_into clears the string first,
+        // so a non-UTF-8 residue just falls back to a fresh String).
+        let mut text = String::from_utf8(std::mem::take(out)).unwrap_or_default();
+        let Ok(()) = xmltext::write_into(doc, &self.write_options, &mut text);
+        *out = text.into_bytes();
+        Ok(())
     }
 
     fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
@@ -85,6 +104,10 @@ impl EncodingPolicy for BxsaEncoding {
 
     fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
         Ok(bxsa::encode_with(doc, &self.options)?)
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
+        Ok(bxsa::encode_into_with(doc, &self.options, out)?)
     }
 
     fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
@@ -141,6 +164,22 @@ mod tests {
             bin.len(),
             xml.len()
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_both_policies() {
+        let doc = sample_doc();
+        // Dirty, non-UTF-8 residue in the reused buffer must not leak
+        // into the output of either policy.
+        let mut buf = vec![0xff; 64];
+        let xml = XmlEncoding::default();
+        xml.encode_into(&doc, &mut buf).unwrap();
+        assert_eq!(buf, xml.encode(&doc).unwrap());
+        xml.encode_into(&doc, &mut buf).unwrap();
+        assert_eq!(buf, xml.encode(&doc).unwrap());
+        let bin = BxsaEncoding::default();
+        bin.encode_into(&doc, &mut buf).unwrap();
+        assert_eq!(buf, bin.encode(&doc).unwrap());
     }
 
     #[test]

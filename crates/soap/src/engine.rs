@@ -54,6 +54,9 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     encoding: E,
     binding: B,
     security: S,
+    /// Request-serialization scratch, reused across calls so a client
+    /// issuing many similarly-sized requests serializes allocation-free.
+    encode_buf: Vec<u8>,
 }
 
 impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
@@ -63,6 +66,7 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             encoding,
             binding,
             security: NoSecurity,
+            encode_buf: Vec::new(),
         }
     }
 }
@@ -75,6 +79,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             encoding,
             binding,
             security,
+            encode_buf: Vec::new(),
         }
     }
 
@@ -95,10 +100,10 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
         let request = self.security.apply(request)?;
         let doc = request.to_document();
-        let payload = self.encoding.encode(&doc)?;
+        self.encoding.encode_into(&doc, &mut self.encode_buf)?;
         let response_bytes = self
             .binding
-            .exchange(&payload, self.encoding.content_type())?;
+            .exchange(&self.encode_buf, self.encoding.content_type())?;
         let response_doc = self.encoding.decode(&response_bytes)?;
         let envelope = SoapEnvelope::from_document(&response_doc)?;
         if let Some(fault) = envelope.as_fault() {
@@ -112,9 +117,9 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     pub fn send(&mut self, message: SoapEnvelope) -> SoapResult<()> {
         let message = self.security.apply(message)?;
         let doc = message.to_document();
-        let payload = self.encoding.encode(&doc)?;
+        self.encoding.encode_into(&doc, &mut self.encode_buf)?;
         self.binding
-            .send_one_way(&payload, self.encoding.content_type())
+            .send_one_way(&self.encode_buf, self.encoding.content_type())
     }
 }
 

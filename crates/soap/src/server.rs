@@ -19,9 +19,12 @@ impl TcpSoapServer {
         E: EncodingPolicy + Send + Sync + 'static,
     {
         let service = SoapService::new(encoding, registry);
-        let inner = transport::TcpServer::bind(addr, move |request| {
-            // Faults travel in-band on raw TCP: the envelope itself says so.
-            service.handle_bytes(&request).0
+        // Faults travel in-band on raw TCP: the envelope itself says so.
+        // The buffered handler keeps each connection's request/response
+        // buffers alive across messages, so steady-state service does no
+        // per-message payload allocation.
+        let inner = transport::TcpServer::bind_buffered(addr, move |request, out| {
+            service.handle_bytes_into(request, out);
         })?;
         Ok(TcpSoapServer { inner })
     }

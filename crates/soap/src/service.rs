@@ -126,6 +126,15 @@ impl<E: EncodingPolicy> SoapService<E> {
     /// for whether the response is a fault (HTTP bindings map faults to
     /// status 500).
     pub fn handle_bytes(&self, request: &[u8]) -> (Vec<u8>, bool) {
+        let mut out = Vec::new();
+        let is_fault = self.handle_bytes_into(request, &mut out);
+        (out, is_fault)
+    }
+
+    /// [`handle_bytes`](SoapService::handle_bytes) into a reusable
+    /// response buffer (replaced, capacity kept) — the allocation-free
+    /// path for server bindings cycling one buffer per connection.
+    pub fn handle_bytes_into(&self, request: &[u8], out: &mut Vec<u8>) -> bool {
         let response = match self.try_handle(request) {
             Ok(envelope) => envelope,
             Err(e) => fault_envelope(match e {
@@ -134,15 +143,13 @@ impl<E: EncodingPolicy> SoapService<E> {
             }),
         };
         let is_fault = response.is_fault();
-        let bytes = self
-            .encoding
-            .encode(&response.to_document())
-            .unwrap_or_else(|e| {
-                // Encoding a fault envelope cannot realistically fail, but
-                // never panic in the server path.
-                format!("encoding failure: {e}").into_bytes()
-            });
-        (bytes, is_fault)
+        if let Err(e) = self.encoding.encode_into(&response.to_document(), out) {
+            // Encoding a fault envelope cannot realistically fail, but
+            // never panic in the server path.
+            out.clear();
+            out.extend_from_slice(format!("encoding failure: {e}").as_bytes());
+        }
+        is_fault
     }
 
     fn try_handle(&self, request: &[u8]) -> SoapResult<SoapEnvelope> {

@@ -4,10 +4,11 @@
 //! length prefix is the entire protocol — "the TCP binding will just dump
 //! the serialization directly to a TCP connection" (paper §5.3).
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 
 use crate::error::{TransportError, TransportResult};
+use crate::iovec::write_all_vectored;
 
 /// Upper bound on a single frame (256 MiB) — large enough for the paper's
 /// 64 MB experiments with headroom, small enough to stop a hostile length
@@ -42,56 +43,78 @@ impl<S: Read + Write> FramedStream<S> {
     }
 
     /// Send one message.
+    ///
+    /// Length prefix and payload go out in a single vectored write, so a
+    /// message costs one syscall and the payload buffer is never copied
+    /// into a frame-assembly buffer.
     pub fn send(&mut self, payload: &[u8]) -> TransportResult<()> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(TransportError::FrameTooLarge {
                 declared: payload.len() as u64,
             });
         }
-        self.inner.write_all(&(payload.len() as u32).to_be_bytes())?;
-        self.inner.write_all(payload)?;
+        let prefix = (payload.len() as u32).to_be_bytes();
+        let mut bufs = [IoSlice::new(&prefix), IoSlice::new(payload)];
+        write_all_vectored(&mut self.inner, &mut bufs)?;
         self.inner.flush()?;
         Ok(())
     }
 
     /// Receive one message.
     pub fn recv(&mut self) -> TransportResult<Vec<u8>> {
+        let mut payload = Vec::new();
+        self.recv_into(&mut payload)?;
+        Ok(payload)
+    }
+
+    /// Receive one message into a caller-provided buffer (cleared first,
+    /// capacity kept) — the allocation-free path for servers cycling one
+    /// buffer per connection.
+    pub fn recv_into(&mut self, payload: &mut Vec<u8>) -> TransportResult<()> {
         let mut len_bytes = [0u8; 4];
         read_exact_or_closed(&mut self.inner, &mut len_bytes)?;
-        let len = u32::from_be_bytes(len_bytes) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(TransportError::FrameTooLarge {
-                declared: len as u64,
-            });
-        }
-        let mut payload = vec![0u8; len];
-        read_exact_or_closed(&mut self.inner, &mut payload)?;
-        Ok(payload)
+        self.recv_payload(u32::from_be_bytes(len_bytes), payload)
     }
 
     /// Try to receive; returns `None` on a clean EOF at a message
     /// boundary (peer hung up between messages).
     pub fn recv_optional(&mut self) -> TransportResult<Option<Vec<u8>>> {
+        let mut payload = Vec::new();
+        Ok(self.recv_optional_into(&mut payload)?.then_some(payload))
+    }
+
+    /// [`recv_into`](FramedStream::recv_into) with clean-EOF detection:
+    /// `Ok(false)` (buffer cleared) when the peer hung up between
+    /// messages, `Ok(true)` when a message was read into `payload`.
+    pub fn recv_optional_into(&mut self, payload: &mut Vec<u8>) -> TransportResult<bool> {
         let mut len_bytes = [0u8; 4];
         let mut filled = 0;
         while filled < 4 {
             match self.inner.read(&mut len_bytes[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) if filled == 0 => {
+                    payload.clear();
+                    return Ok(false);
+                }
                 Ok(0) => return Err(TransportError::ConnectionClosed),
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e.into()),
             }
         }
-        let len = u32::from_be_bytes(len_bytes) as usize;
+        self.recv_payload(u32::from_be_bytes(len_bytes), payload)?;
+        Ok(true)
+    }
+
+    fn recv_payload(&mut self, len: u32, payload: &mut Vec<u8>) -> TransportResult<()> {
+        let len = len as usize;
         if len > MAX_FRAME_LEN {
             return Err(TransportError::FrameTooLarge {
                 declared: len as u64,
             });
         }
-        let mut payload = vec![0u8; len];
-        read_exact_or_closed(&mut self.inner, &mut payload)?;
-        Ok(Some(payload))
+        payload.clear();
+        payload.resize(len, 0);
+        read_exact_or_closed(&mut self.inner, payload)
     }
 }
 

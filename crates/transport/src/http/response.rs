@@ -79,21 +79,27 @@ impl HttpResponse {
     }
 
     /// Serialize onto a stream (adds `Content-Length`, `Connection: close`).
+    ///
+    /// Head and body go out in one vectored write — the body (which may be
+    /// a large BXSA payload) is never copied into the head buffer.
     pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
+        use std::fmt::Write as _;
+        use std::io::IoSlice;
+
         let mut head = String::with_capacity(128);
-        head.push_str(&format!("HTTP/1.1 {} {}{CRLF}", self.status, self.reason));
+        let _ = write!(head, "HTTP/1.1 {} {}{CRLF}", self.status, self.reason);
         for (name, value) in &self.headers {
             head.push_str(name);
             head.push_str(": ");
             head.push_str(value);
             head.push_str(CRLF);
         }
-        head.push_str(&format!("Content-Length: {}{CRLF}", self.body.len()));
+        let _ = write!(head, "Content-Length: {}{CRLF}", self.body.len());
         head.push_str("Connection: close");
         head.push_str(CRLF);
         head.push_str(CRLF);
-        out.write_all(head.as_bytes())?;
-        out.write_all(&self.body)?;
+        let mut bufs = [IoSlice::new(head.as_bytes()), IoSlice::new(&self.body)];
+        crate::iovec::write_all_vectored(out, &mut bufs)?;
         out.flush()?;
         Ok(())
     }

@@ -17,6 +17,7 @@ pub mod error;
 pub mod fileserver;
 pub mod framed;
 pub mod http;
+pub mod iovec;
 pub mod tcpserver;
 
 pub use error::{TransportError, TransportResult};

@@ -28,6 +28,20 @@ impl TcpServer {
     where
         H: Fn(Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
     {
+        TcpServer::bind_buffered(addr, move |request, out| {
+            *out = handler(request.to_vec());
+        })
+    }
+
+    /// Bind and serve with caller-managed buffers: `handler` reads the
+    /// request slice and writes the response into `out` (handed over
+    /// cleared). Each connection cycles one request and one response
+    /// buffer for its whole lifetime, so steady-state service of
+    /// similarly-sized messages does no per-message allocation.
+    pub fn bind_buffered<H>(addr: &str, handler: H) -> TransportResult<TcpServer>
+    where
+        H: Fn(&[u8], &mut Vec<u8>) + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -102,13 +116,17 @@ impl Drop for TcpServer {
 
 fn serve_connection<H>(stream: TcpStream, handler: &H) -> TransportResult<()>
 where
-    H: Fn(Vec<u8>) -> Vec<u8>,
+    H: Fn(&[u8], &mut Vec<u8>),
 {
     stream.set_nodelay(true)?;
     let mut framed = FramedStream::new(stream);
-    // Serve messages until the client hangs up cleanly.
-    while let Some(request) = framed.recv_optional()? {
-        let response = handler(request);
+    let mut request = Vec::new();
+    let mut response = Vec::new();
+    // Serve messages until the client hangs up cleanly, reusing the two
+    // buffers across messages.
+    while framed.recv_optional_into(&mut request)? {
+        response.clear();
+        handler(&request, &mut response);
         framed.send(&response)?;
     }
     Ok(())
@@ -128,6 +146,26 @@ mod tests {
         let addr = server.local_addr().to_string();
         let mut client = FramedStream::connect(&addr).unwrap();
         // Multiple messages over one persistent connection.
+        for msg in [&b"abc"[..], b"", b"0123456789"] {
+            client.send(msg).unwrap();
+            let mut expected = msg.to_vec();
+            expected.reverse();
+            assert_eq!(client.recv().unwrap(), expected);
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn buffered_handler_roundtrip() {
+        let server = TcpServer::bind_buffered("127.0.0.1:0", |req, out| {
+            assert!(out.is_empty());
+            out.extend_from_slice(req);
+            out.reverse();
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = FramedStream::connect(&addr).unwrap();
         for msg in [&b"abc"[..], b"", b"0123456789"] {
             client.send(msg).unwrap();
             let mut expected = msg.to_vec();

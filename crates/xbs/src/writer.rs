@@ -33,6 +33,33 @@ impl XbsWriter {
         }
     }
 
+    /// A new stream writing into a caller-provided buffer.
+    ///
+    /// The buffer is cleared but keeps its capacity, so a buffer recovered
+    /// with [`into_bytes`](XbsWriter::into_bytes) or
+    /// [`take_buf`](XbsWriter::take_buf) can be cycled through encode
+    /// calls without reallocating once it has grown to the working-set
+    /// size. This is the reusable-buffer mode `bxsa::encode_into` and the
+    /// SOAP engine's per-connection pools are built on.
+    pub fn from_buf(mut buf: Vec<u8>, order: ByteOrder) -> XbsWriter {
+        buf.clear();
+        XbsWriter { buf, order }
+    }
+
+    /// Take the encoded bytes out of the writer, leaving it empty but
+    /// usable (unlike [`into_bytes`](XbsWriter::into_bytes), the writer
+    /// itself survives and can keep encoding into a fresh buffer).
+    #[inline]
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Discard everything written so far, keeping the buffer's capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Byte order this writer encodes numbers in.
     #[inline]
     pub fn order(&self) -> ByteOrder {
@@ -260,5 +287,41 @@ mod tests {
         w.put_raw_u8(0xaa);
         assert_eq!(w.align(8), 7);
         assert_eq!(w.align(8), 0);
+    }
+
+    #[test]
+    fn from_buf_reuses_capacity_and_clears() {
+        let mut stale = Vec::with_capacity(1024);
+        stale.extend_from_slice(b"leftover");
+        let cap = stale.capacity();
+        let ptr = stale.as_ptr();
+        let mut w = XbsWriter::from_buf(stale, ByteOrder::Little);
+        assert!(w.is_empty());
+        w.put_u32(0xdeadbeef);
+        let out = w.take_buf();
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr);
+        assert_eq!(out, 0xdeadbeefu32.to_le_bytes());
+    }
+
+    #[test]
+    fn take_buf_leaves_writer_usable() {
+        let mut w = XbsWriter::new(ByteOrder::Little);
+        w.put_u8(1);
+        let first = w.take_buf();
+        assert_eq!(first, [1]);
+        assert!(w.is_empty());
+        w.put_u8(2);
+        assert_eq!(w.as_bytes(), [2]);
+    }
+
+    #[test]
+    fn clear_keeps_writing_from_offset_zero() {
+        let mut w = XbsWriter::with_capacity(64, ByteOrder::Little);
+        w.put_u64(7);
+        w.clear();
+        assert_eq!(w.offset(), 0);
+        w.put_u8(3);
+        assert_eq!(w.as_bytes(), [3]);
     }
 }

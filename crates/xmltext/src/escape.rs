@@ -1,5 +1,7 @@
 //! Character escaping for XML 1.0 text and attribute values.
 
+use std::borrow::Cow;
+
 use crate::error::{XmlError, XmlResult};
 
 /// Append `text` to `out`, escaping the characters that are markup in
@@ -52,9 +54,13 @@ pub fn escape_attr(value: &str, out: &mut String) {
 
 /// Decode entity and character references in `raw` (text or attribute
 /// content, already free of `<`).
-pub fn unescape(raw: &str, base_offset: usize) -> XmlResult<String> {
+///
+/// Borrows the input when it contains no references at all — the common
+/// case for machine-generated markup — so tokenizing plain text costs no
+/// allocation.
+pub fn unescape(raw: &str, base_offset: usize) -> XmlResult<Cow<'_, str>> {
     if !raw.contains('&') {
-        return Ok(raw.to_owned());
+        return Ok(Cow::Borrowed(raw));
     }
     let mut out = String::with_capacity(raw.len());
     let mut rest = raw;
@@ -92,7 +98,7 @@ pub fn unescape(raw: &str, base_offset: usize) -> XmlResult<String> {
         rest = &after[semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 fn decode_codepoint(cp: Option<u32>, offset: usize, name: &str) -> XmlResult<char> {

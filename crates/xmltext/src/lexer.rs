@@ -7,10 +7,16 @@
 //! declaration. DTDs with internal subsets are rejected (SOAP forbids
 //! DTDs anyway).
 
+use std::borrow::Cow;
+
 use crate::error::{XmlError, XmlResult};
 use crate::escape::unescape;
 
 /// One lexical event.
+///
+/// Text and attribute values borrow from the input unless they contained
+/// entity references that had to be decoded, so tokenizing typical
+/// machine-generated markup allocates only for the attribute `Vec`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token<'a> {
     /// `<?xml version="1.0"?>` — contents are not interpreted.
@@ -18,14 +24,14 @@ pub enum Token<'a> {
     /// An opening tag with its (name, unescaped value) attributes.
     StartTag {
         name: &'a str,
-        attrs: Vec<(&'a str, String)>,
+        attrs: Vec<(&'a str, Cow<'a, str>)>,
         self_closing: bool,
     },
     /// A closing tag.
     EndTag { name: &'a str },
     /// Character data with entities resolved. Adjacent CDATA is merged by
     /// the reader, not the lexer.
-    Text(String),
+    Text(Cow<'a, str>),
     /// A `<![CDATA[...]]>` section (verbatim).
     CData(&'a str),
     /// A comment (without the `<!--`/`-->` markers).
@@ -213,7 +219,7 @@ impl<'a> Lexer<'a> {
         Ok(name)
     }
 
-    fn lex_attr_value(&mut self) -> XmlResult<String> {
+    fn lex_attr_value(&mut self) -> XmlResult<Cow<'a, str>> {
         let rest = self.rest();
         let quote = match rest.chars().next() {
             Some(q @ ('"' | '\'')) => q,

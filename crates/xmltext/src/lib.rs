@@ -34,12 +34,13 @@
 pub mod error;
 pub mod escape;
 pub mod lexer;
+pub mod num;
 pub mod reader;
 pub mod writer;
 
 pub use error::{XmlError, XmlResult};
 pub use reader::{parse, parse_with, XmlReadOptions};
-pub use writer::{to_string, to_string_with, XmlWriteOptions};
+pub use writer::{element_to_string, to_string, to_string_with, write_into, XmlWriteOptions};
 
 /// Prefix conventionally bound to the bXDM extension namespace (array
 /// typing attributes).

@@ -1,0 +1,1025 @@
+//! Fast numeric text kernels for the XML hot path.
+//!
+//! The paper's central measurement (§6, Table 2) is that SOAP spends its
+//! time converting doubles to and from ASCII, not in XML structure. The
+//! seed codebase leaned on `format!` and `str::parse` for that inner
+//! loop; this module replaces both with from-scratch kernels:
+//!
+//! * [`write_u64`] / [`write_i64`] — branch-light integer itoa using a
+//!   two-digits-at-a-time lookup table.
+//! * [`write_f64`] — a Grisu2 shortest-round-trip binary-to-decimal
+//!   conversion. Every emitted string is verified to parse back to the
+//!   identical bits before being committed; the rare case Grisu2 cannot
+//!   settle falls back to the standard formatter, so round-trip fidelity
+//!   (the paper's "transcodability" requirement) is unconditional.
+//! * [`parse_u64`] / [`parse_i64`] — digit parsing that consumes eight
+//!   ASCII digits per step with SWAR arithmetic instead of one per
+//!   branchy loop iteration.
+//! * [`parse_f64`] — decimal-to-binary conversion with the Clinger fast
+//!   path (exact double arithmetic when the mantissa fits in 53 bits and
+//!   the power of ten is exactly representable), deferring to the
+//!   standard library outside that window.
+//!
+//! The Grisu2 cached powers of ten are computed exactly at first use
+//! with a tiny big-integer (no baked-in table of magic constants), then
+//! cached in a `OnceLock` — after warmup the kernels allocate nothing.
+
+use std::sync::OnceLock;
+
+/// Powers of ten exactly representable in an `f64` (up to `1e22`).
+const POW10_F64: [f64; 23] = [
+    1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+    1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+];
+
+/// Powers of ten that fit in a `u64`.
+const POW10_U64: [u64; 20] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+    100_000_000_000_000,
+    1_000_000_000_000_000,
+    10_000_000_000_000_000,
+    100_000_000_000_000_000,
+    1_000_000_000_000_000_000,
+    10_000_000_000_000_000_000,
+];
+
+/// All two-digit decimal pairs, "00" through "99".
+const DEC_PAIRS: &[u8; 200] = b"0001020304050607080910111213141516171819\
+2021222324252627282930313233343536373839\
+4041424344454647484950515253545556575859\
+6061626364656667686970717273747576777879\
+8081828384858687888990919293949596979899";
+
+// ---------------------------------------------------------------------------
+// Integer formatting
+// ---------------------------------------------------------------------------
+
+/// Append the decimal form of `v` to `out`.
+#[inline]
+pub fn write_u64(mut v: u64, out: &mut String) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    while v >= 100 {
+        let pair = (v % 100) as usize * 2;
+        v /= 100;
+        i -= 2;
+        buf[i] = DEC_PAIRS[pair];
+        buf[i + 1] = DEC_PAIRS[pair + 1];
+    }
+    if v >= 10 {
+        let pair = v as usize * 2;
+        i -= 2;
+        buf[i] = DEC_PAIRS[pair];
+        buf[i + 1] = DEC_PAIRS[pair + 1];
+    } else {
+        i -= 1;
+        buf[i] = b'0' + v as u8;
+    }
+    // The buffer holds only ASCII digits, so this cannot fail.
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+}
+
+/// Append the decimal form of `v` to `out`.
+#[inline]
+pub fn write_i64(v: i64, out: &mut String) {
+    if v < 0 {
+        out.push('-');
+    }
+    write_u64(v.unsigned_abs(), out);
+}
+
+// ---------------------------------------------------------------------------
+// Integer parsing (SWAR)
+// ---------------------------------------------------------------------------
+
+/// `true` if all eight bytes of the little-endian word are ASCII digits.
+#[inline]
+fn is_8_digits(chunk: u64) -> bool {
+    // Per byte: adding 0x46 carries into bit 7 only for bytes > 0x39, and
+    // subtracting 0x30 borrows bit 7 only for bytes < 0x30.
+    let over = chunk.wrapping_add(0x4646_4646_4646_4646);
+    let under = chunk.wrapping_sub(0x3030_3030_3030_3030);
+    (over | under) & 0x8080_8080_8080_8080 == 0
+}
+
+/// Combine eight ASCII digits (little-endian word, most significant digit
+/// in the lowest byte) into their numeric value without per-digit loops.
+#[inline]
+fn fold_8_digits(chunk: u64) -> u64 {
+    let digits = chunk.wrapping_sub(0x3030_3030_3030_3030);
+    // Pairwise combine: each byte pair a,b becomes 10a+b in the second
+    // byte, then pairs of pairs, then the two four-digit halves.
+    let pairs = digits.wrapping_mul(10).wrapping_add(digits >> 8);
+    const MASK: u64 = 0x0000_00ff_0000_00ff;
+    let quads = (pairs & MASK).wrapping_mul(100 + ((1_000_000u64) << 32));
+    let halves = ((pairs >> 16) & MASK).wrapping_mul(1 + ((10_000u64) << 32));
+    (quads.wrapping_add(halves) >> 32) as u32 as u64
+}
+
+/// Parse a run of ASCII digits at the front of `bytes`, eating eight at a
+/// time. Returns the accumulated value and the number of bytes consumed,
+/// or `None` if the run overflows a `u64`.
+#[inline]
+fn eat_digits(bytes: &[u8], mut acc: u64) -> Option<(u64, usize)> {
+    let mut i = 0;
+    while bytes.len() - i >= 8 {
+        let chunk = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        if !is_8_digits(chunk) {
+            break;
+        }
+        acc = acc
+            .checked_mul(100_000_000)?
+            .checked_add(fold_8_digits(chunk))?;
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        acc = acc
+            .checked_mul(10)?
+            .checked_add((bytes[i] - b'0') as u64)?;
+        i += 1;
+    }
+    Some((acc, i))
+}
+
+/// Parse an unsigned decimal integer; the whole string must be digits.
+#[inline]
+pub fn parse_u64(s: &str) -> Option<u64> {
+    let b = s.as_bytes();
+    if b.is_empty() {
+        return None;
+    }
+    let (v, used) = eat_digits(b, 0)?;
+    if used == b.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Parse a signed decimal integer with optional `+`/`-` sign.
+#[inline]
+pub fn parse_i64(s: &str) -> Option<i64> {
+    let b = s.as_bytes();
+    let (neg, rest) = match b.first()? {
+        b'-' => (true, &b[1..]),
+        b'+' => (false, &b[1..]),
+        _ => (false, b),
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    let (mag, used) = eat_digits(rest, 0)?;
+    if used != rest.len() {
+        return None;
+    }
+    if neg {
+        if mag > i64::MIN.unsigned_abs() {
+            return None;
+        }
+        Some((mag as i64).wrapping_neg())
+    } else {
+        i64::try_from(mag).ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float parsing
+// ---------------------------------------------------------------------------
+
+/// Parse a plain decimal float (`[+-]?digits[.digits][eE[+-]digits]`).
+///
+/// Correctly-rounded on the Clinger fast path (mantissa ≤ 19 digits with
+/// value below 2^53, decimal exponent within ±22: the float product of
+/// two exactly-representable operands rounds once). Anything outside the
+/// window is delegated to `str::parse`, so the result always matches the
+/// standard library bit for bit. Returns `None` for any other syntax
+/// (including `INF`/`NaN` spellings — see [`parse_f64_lexical`]).
+pub fn parse_f64(s: &str) -> Option<f64> {
+    let b = s.as_bytes();
+    let (neg, mut i) = match b.first()? {
+        b'-' => (true, 1),
+        b'+' => (false, 1),
+        _ => (false, 0),
+    };
+
+    let mut mantissa: u64 = 0;
+    let mut ndigits = 0usize;
+    let mut truncated = false;
+    let mut exp10: i32 = 0;
+
+    // Integer part.
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        let d = b[i] - b'0';
+        if mantissa == 0 && d == 0 {
+            // Leading zeros carry no significance.
+        } else if ndigits < 19 {
+            if ndigits == 0 && b.len() - i >= 8 {
+                // Bulk path for long digit runs.
+                if let Some((v, used)) = eat_digits(&b[i..], 0) {
+                    if used <= 19 {
+                        mantissa = v;
+                        ndigits = used;
+                        i += used;
+                        continue;
+                    }
+                }
+            }
+            mantissa = mantissa * 10 + d as u64;
+            ndigits += 1;
+        } else {
+            // Digits beyond the 19 we keep shift the exponent; a dropped
+            // non-zero digit means the fast path would mis-round.
+            exp10 += 1;
+            truncated |= d != 0;
+        }
+        i += 1;
+    }
+    let had_int_digits = i > int_start;
+
+    // Fraction part.
+    let mut had_frac_digits = false;
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            let d = b[i] - b'0';
+            had_frac_digits = true;
+            if mantissa == 0 && d == 0 {
+                exp10 -= 1;
+            } else if ndigits < 19 {
+                mantissa = mantissa * 10 + d as u64;
+                ndigits += 1;
+                exp10 -= 1;
+            } else {
+                truncated |= d != 0;
+            }
+            i += 1;
+        }
+    }
+    if !had_int_digits && !had_frac_digits {
+        return None;
+    }
+
+    // Exponent part.
+    if i < b.len() && (b[i] | 0x20) == b'e' {
+        i += 1;
+        let (eneg, mut j) = match b.get(i)? {
+            b'-' => (true, i + 1),
+            b'+' => (false, i + 1),
+            _ => (false, i),
+        };
+        if j >= b.len() || !b[j].is_ascii_digit() {
+            return None;
+        }
+        let mut e: i32 = 0;
+        while j < b.len() && b[j].is_ascii_digit() {
+            e = (e.saturating_mul(10)).saturating_add((b[j] - b'0') as i32);
+            j += 1;
+        }
+        exp10 = exp10.saturating_add(if eneg { -e } else { e });
+        i = j;
+    }
+    if i != b.len() {
+        return None;
+    }
+
+    if !truncated && mantissa < (1u64 << 53) && (-22..=22).contains(&exp10) {
+        let mut v = mantissa as f64;
+        v = if exp10 < 0 {
+            v / POW10_F64[(-exp10) as usize]
+        } else {
+            v * POW10_F64[exp10 as usize]
+        };
+        return Some(if neg { -v } else { v });
+    }
+    // Out of the exact window (huge exponents, > 19 significant digits):
+    // the standard parser is correctly rounded everywhere.
+    s.parse().ok()
+}
+
+/// XSD `double` lexical parsing: `INF`/`+INF`/`-INF`/`NaN` plus decimal
+/// forms, with the kernel fast path first. Accepts exactly the inputs
+/// `bxdm::value::parse_f64_lexical` accepts.
+#[inline]
+pub fn parse_f64_lexical(t: &str) -> Option<f64> {
+    if let Some(v) = parse_f64(t) {
+        return Some(v);
+    }
+    bxdm::value::parse_f64_lexical(t)
+}
+
+// ---------------------------------------------------------------------------
+// Float formatting (Grisu2)
+// ---------------------------------------------------------------------------
+
+/// A floating-point number as an unpacked `f * 2^e` pair.
+#[derive(Debug, Clone, Copy)]
+struct Fp {
+    f: u64,
+    e: i32,
+}
+
+impl Fp {
+    /// Shift the significand so its top bit is set.
+    #[inline]
+    fn normalize(self) -> Fp {
+        let s = self.f.leading_zeros() as i32;
+        Fp {
+            f: self.f << s,
+            e: self.e - s,
+        }
+    }
+
+    /// Rounded 64x64 -> top-64 multiply.
+    #[inline]
+    fn mul(self, o: Fp) -> Fp {
+        let p = (self.f as u128) * (o.f as u128);
+        let mut h = (p >> 64) as u64;
+        if p as u64 & (1 << 63) != 0 {
+            h += 1;
+        }
+        Fp {
+            f: h,
+            e: self.e + o.e + 64,
+        }
+    }
+}
+
+// --- exact cached powers of ten, computed once at first use -----------------
+
+/// Little-endian multi-limb unsigned integer helpers (only what the
+/// cached-power computation needs; runs once per process).
+mod bigint {
+    /// `big *= m` in place.
+    pub fn mul_small(big: &mut Vec<u64>, m: u64) {
+        let mut carry: u128 = 0;
+        for limb in big.iter_mut() {
+            let p = (*limb as u128) * (m as u128) + carry;
+            *limb = p as u64;
+            carry = p >> 64;
+        }
+        if carry != 0 {
+            big.push(carry as u64);
+        }
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(big: &[u64]) -> u32 {
+        let top = *big.last().expect("empty bigint");
+        (big.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+    }
+
+    /// Bit `i` (little-endian numbering).
+    pub fn bit(big: &[u64], i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        limb < big.len() && (big[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// `a >= b` for equal-purpose comparisons (treats missing limbs as 0).
+    pub fn ge(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().max(b.len());
+        for i in (0..n).rev() {
+            let x = a.get(i).copied().unwrap_or(0);
+            let y = b.get(i).copied().unwrap_or(0);
+            if x != y {
+                return x > y;
+            }
+        }
+        true
+    }
+
+    /// `a -= b` in place; caller guarantees `a >= b`.
+    pub fn sub(a: &mut [u64], b: &[u64]) {
+        let mut borrow = 0u64;
+        for (i, limb) in a.iter_mut().enumerate() {
+            let y = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(y);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0, "bigint subtraction underflow");
+    }
+
+    /// `a <<= 1` in place (fixed width; caller sizes `a` generously).
+    pub fn shl1(a: &mut [u64]) {
+        let mut carry = 0u64;
+        for limb in a.iter_mut() {
+            let next_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = next_carry;
+        }
+        debug_assert_eq!(carry, 0, "bigint shift overflow");
+    }
+}
+
+/// Top 64 bits of a big integer, rounded to nearest: `big ≈ f * 2^e`.
+fn big_top64(big: &[u64]) -> (u64, i32) {
+    let bits = bigint::bit_len(big);
+    if bits <= 64 {
+        let v = big[0];
+        let shift = 64 - bits;
+        return (v << shift, -(shift as i32));
+    }
+    let shift = bits - 64;
+    let mut f: u64 = 0;
+    for i in 0..64 {
+        if bigint::bit(big, shift + i) {
+            f |= 1 << i;
+        }
+    }
+    let mut e = shift as i32;
+    if bigint::bit(big, shift - 1) {
+        // Round up (half-up keeps the error within the half-ulp Grisu2
+        // accounts for).
+        let (nf, overflow) = f.overflowing_add(1);
+        if overflow {
+            f = 1 << 63;
+            e += 1;
+        } else {
+            f = nf;
+        }
+    }
+    (f, e)
+}
+
+/// `floor(2^n / d)` with a round-to-nearest flag, for `d` sized so the
+/// quotient fits a `u64` with its top bit set.
+fn div_pow2(n: u32, d: &[u64]) -> (u64, bool) {
+    let mut rem = vec![0u64; d.len() + 1];
+    let mut q: u64 = 0;
+    for pos in (0..=n).rev() {
+        bigint::shl1(&mut rem);
+        if pos == n {
+            rem[0] |= 1;
+        }
+        let bit = if bigint::ge(&rem, d) {
+            bigint::sub(&mut rem, d);
+            1
+        } else {
+            0
+        };
+        q = (q << 1) | bit;
+    }
+    bigint::shl1(&mut rem);
+    (q, bigint::ge(&rem, d))
+}
+
+/// Exact normalized binary representation of `10^k`.
+fn compute_power10(k: i32) -> Fp {
+    if k >= 0 {
+        // 10^k = 5^k * 2^k.
+        let mut big = vec![1u64];
+        for _ in 0..k {
+            bigint::mul_small(&mut big, 5);
+        }
+        let (f, e) = big_top64(&big);
+        Fp { f, e: e + k }
+    } else {
+        // 10^k = 2^(b+63) / 5^m / 2^(b+63+m), with b the bit length of
+        // 5^m chosen so the quotient lands in [2^63, 2^64).
+        let m = -k;
+        let mut big = vec![1u64];
+        for _ in 0..m {
+            bigint::mul_small(&mut big, 5);
+        }
+        let b = bigint::bit_len(&big);
+        let (q, round_up) = div_pow2(b + 63, &big);
+        let mut f = q;
+        let mut e = -((b + 63) as i32) - m;
+        if round_up {
+            let (nf, overflow) = f.overflowing_add(1);
+            if overflow {
+                f = 1 << 63;
+                e += 1;
+            } else {
+                f = nf;
+            }
+        }
+        Fp { f, e }
+    }
+}
+
+/// Decimal exponent of the first cached power and the spacing between
+/// entries. Entry `i` is `10^(CACHE_FIRST + i * CACHE_STEP)`.
+const CACHE_FIRST: i32 = -348;
+const CACHE_STEP: i32 = 8;
+const CACHE_LEN: usize = 87;
+
+fn cached_powers() -> &'static [Fp; CACHE_LEN] {
+    static POWERS: OnceLock<[Fp; CACHE_LEN]> = OnceLock::new();
+    POWERS.get_or_init(|| {
+        let mut table = [Fp { f: 0, e: 0 }; CACHE_LEN];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = compute_power10(CACHE_FIRST + i as i32 * CACHE_STEP);
+        }
+        table
+    })
+}
+
+/// Pick the cached power of ten that scales a binary exponent `e` into
+/// Grisu2's digit-generation window; returns the power and the initial
+/// decimal exponent bookkeeping value.
+#[inline]
+fn cached_power_for(e: i32) -> (Fp, i32) {
+    // ceil((alpha - e - 64) * log10(2)) mapped onto the table's stride.
+    let dk = (-61 - e) as f64 * 0.301_029_995_663_981_14 + 347.0;
+    let mut k = dk as i32;
+    if dk - k as f64 > 0.0 {
+        k += 1;
+    }
+    let index = ((k >> 3) + 1) as usize;
+    let dec_exp = CACHE_FIRST + index as i32 * CACHE_STEP;
+    (cached_powers()[index], -dec_exp)
+}
+
+/// Number of decimal digits in a `u32` (1..=10).
+#[inline]
+fn decimal_len_u32(v: u32) -> i32 {
+    let mut n = 1;
+    let mut t = v;
+    while t >= 10 {
+        t /= 10;
+        n += 1;
+    }
+    n
+}
+
+/// Nudge the last generated digit toward the scaled target `w`.
+#[inline]
+fn grisu_round(buf: &mut [u8], len: usize, delta: u128, mut rest: u128, ten_kappa: u128, wp_w: u128) {
+    if len == 0 {
+        return;
+    }
+    while buf[len - 1] > b'0'
+        && rest < wp_w
+        && delta - rest >= ten_kappa
+        && (rest + ten_kappa < wp_w || wp_w - rest > rest + ten_kappa - wp_w)
+    {
+        buf[len - 1] -= 1;
+        rest += ten_kappa;
+    }
+}
+
+/// Generate the shortest digit string for the scaled interval
+/// `[w - delta, w]`; returns digit count, adding the implied decimal
+/// exponent into `k`. `None` means the safe-guards tripped and the
+/// caller should use the fallback formatter.
+fn digit_gen(w: Fp, mp: Fp, mut delta: u64, buf: &mut [u8; 20], k: &mut i32) -> Option<usize> {
+    let shift = -mp.e;
+    if !(32..=60).contains(&shift) {
+        return None;
+    }
+    let one_f = 1u64 << shift;
+    let wp_w = mp.f - w.f;
+    let mut p1 = (mp.f >> shift) as u32;
+    let mut p2 = mp.f & (one_f - 1);
+    let mut kappa = decimal_len_u32(p1);
+    let mut len = 0usize;
+
+    // Integral digits of the scaled value.
+    while kappa > 0 {
+        let pow = POW10_U64[(kappa - 1) as usize] as u32;
+        let d = p1 / pow;
+        p1 %= pow;
+        if d != 0 || len != 0 {
+            if len >= buf.len() {
+                return None;
+            }
+            buf[len] = b'0' + d as u8;
+            len += 1;
+        }
+        kappa -= 1;
+        let rest = ((p1 as u64) << shift) + p2;
+        if rest <= delta {
+            *k += kappa;
+            let ten_kappa = (POW10_U64[kappa as usize] as u128) << shift;
+            grisu_round(buf, len, delta as u128, rest as u128, ten_kappa, wp_w as u128);
+            return Some(len);
+        }
+    }
+
+    // Fractional digits: multiply the remainder up one decimal place at
+    // a time until it fits the interval.
+    loop {
+        p2 = p2.checked_mul(10)?;
+        delta = delta.saturating_mul(10);
+        let d = (p2 >> shift) as u8;
+        if d != 0 || len != 0 {
+            if len >= buf.len() {
+                return None;
+            }
+            buf[len] = b'0' + d;
+            len += 1;
+        }
+        p2 &= one_f - 1;
+        kappa -= 1;
+        if p2 < delta {
+            *k += kappa;
+            let scale = *POW10_U64.get((-kappa) as usize)? as u128;
+            grisu_round(
+                buf,
+                len,
+                delta as u128,
+                p2 as u128,
+                one_f as u128,
+                wp_w as u128 * scale,
+            );
+            return Some(len);
+        }
+    }
+}
+
+/// Grisu2: shortest-ish digits and decimal exponent for a positive,
+/// finite, non-zero `v`, such that `value = digits * 10^k`.
+fn grisu2(v: f64, digits: &mut [u8; 20]) -> Option<(usize, i32)> {
+    let bits = v.to_bits();
+    let frac = bits & ((1u64 << 52) - 1);
+    let biased = (bits >> 52) & 0x7ff;
+    let (wf, we) = if biased == 0 {
+        (frac, -1074i32)
+    } else {
+        (frac | (1 << 52), biased as i32 - 1075)
+    };
+
+    // Normalized boundaries of v's rounding interval.
+    let plus = Fp {
+        f: (wf << 1) + 1,
+        e: we - 1,
+    }
+    .normalize();
+    let minus_raw = if wf == (1 << 52) && biased > 1 {
+        // Power of two: the interval below is half as wide.
+        Fp {
+            f: (wf << 2) - 1,
+            e: we - 2,
+        }
+    } else {
+        Fp {
+            f: (wf << 1) - 1,
+            e: we - 1,
+        }
+    };
+    let minus = Fp {
+        f: minus_raw.f << (minus_raw.e - plus.e),
+        e: plus.e,
+    };
+    let w = Fp { f: wf, e: we }.normalize();
+
+    let (c, mut k) = cached_power_for(plus.e);
+    let w_scaled = w.mul(c);
+    let mut wp = plus.mul(c);
+    let mut wm = minus.mul(c);
+    // Shrink the interval by one unit each side to absorb the cached
+    // power's rounding error.
+    wm.f += 1;
+    wp.f -= 1;
+    let delta = wp.f - wm.f;
+    digit_gen(w_scaled, wp, delta, digits, &mut k).map(|len| (len, k))
+}
+
+/// Render `digits * 10^k` into `out`, choosing fixed or scientific
+/// notation; returns the byte length.
+fn render_decimal(digits: &[u8], k: i32, out: &mut [u8; 40]) -> usize {
+    let len = digits.len();
+    let dp = len as i32 + k; // position of the decimal point
+    let mut n;
+    if k >= 0 && dp <= 17 {
+        // Pure integer: digits then k zeros.
+        out[..len].copy_from_slice(digits);
+        n = len;
+        for _ in 0..k {
+            out[n] = b'0';
+            n += 1;
+        }
+    } else if 0 < dp && dp < len as i32 {
+        // Point inside the digit run.
+        let dp = dp as usize;
+        out[..dp].copy_from_slice(&digits[..dp]);
+        out[dp] = b'.';
+        out[dp + 1..len + 1].copy_from_slice(&digits[dp..]);
+        n = len + 1;
+    } else if (-3..=0).contains(&dp) {
+        // Small magnitude: leading "0." and up to three zeros.
+        out[0] = b'0';
+        out[1] = b'.';
+        n = 2;
+        for _ in 0..-dp {
+            out[n] = b'0';
+            n += 1;
+        }
+        out[n..n + len].copy_from_slice(digits);
+        n += len;
+    } else {
+        // Scientific: d[.ddd]e±x.
+        out[0] = digits[0];
+        n = 1;
+        if len > 1 {
+            out[1] = b'.';
+            out[2..len + 1].copy_from_slice(&digits[1..]);
+            n = len + 1;
+        }
+        out[n] = b'e';
+        n += 1;
+        let e = dp - 1;
+        if e < 0 {
+            out[n] = b'-';
+            n += 1;
+        }
+        let mut tmp = [0u8; 3];
+        let mut t = tmp.len();
+        let mut ev = e.unsigned_abs();
+        loop {
+            t -= 1;
+            tmp[t] = b'0' + (ev % 10) as u8;
+            ev /= 10;
+            if ev == 0 {
+                break;
+            }
+        }
+        for &byte in &tmp[t..] {
+            out[n] = byte;
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Append the shortest-round-trip decimal form of `v` to `out`, using
+/// the XSD spellings `INF`/`-INF`/`NaN` for non-finite values (the same
+/// contract as `bxdm::value::write_f64_lexical`, several times faster).
+pub fn write_f64(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if v.is_nan() {
+        out.push_str("NaN");
+        return;
+    }
+    if v.is_infinite() {
+        out.push_str(if v > 0.0 { "INF" } else { "-INF" });
+        return;
+    }
+    if v == 0.0 {
+        out.push_str(if v.is_sign_negative() { "-0" } else { "0" });
+        return;
+    }
+    let abs = v.abs();
+    let mut digits = [0u8; 20];
+    let mut text = [0u8; 40];
+    if let Some((len, k)) = grisu2(abs, &mut digits) {
+        let n = render_decimal(&digits[..len], k, &mut text);
+        let s = std::str::from_utf8(&text[..n]).unwrap();
+        // Commit only output proven to parse back bit-identically; this
+        // turns Grisu2's "almost always shortest and correct" into an
+        // unconditional guarantee.
+        if parse_f64(s) == Some(abs) {
+            if v.is_sign_negative() {
+                out.push('-');
+            }
+            out.push_str(s);
+            return;
+        }
+    }
+    let _ = write!(out, "{v}");
+}
+
+/// Pre-compute the cached powers table so later calls never allocate.
+/// Idempotent; buffer-pooling callers invoke this once at startup.
+pub fn warm_up() {
+    let _ = cached_powers();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fmt(v: f64) -> String {
+        let mut s = String::new();
+        write_f64(v, &mut s);
+        s
+    }
+
+    #[test]
+    fn itoa_matches_std() {
+        let cases: [u64; 12] = [
+            0,
+            1,
+            9,
+            10,
+            99,
+            100,
+            12345,
+            4_294_967_295,
+            4_294_967_296,
+            999_999_999_999_999_999,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut s = String::new();
+            write_u64(v, &mut s);
+            assert_eq!(s, v.to_string());
+        }
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX, -42_000] {
+            let mut s = String::new();
+            write_i64(v, &mut s);
+            assert_eq!(s, v.to_string());
+        }
+    }
+
+    #[test]
+    fn swar_digit_helpers() {
+        assert!(is_8_digits(u64::from_le_bytes(*b"12345678")));
+        assert!(!is_8_digits(u64::from_le_bytes(*b"1234567a")));
+        assert!(!is_8_digits(u64::from_le_bytes(*b"1234 678")));
+        assert_eq!(fold_8_digits(u64::from_le_bytes(*b"12345678")), 12_345_678);
+        assert_eq!(fold_8_digits(u64::from_le_bytes(*b"00000000")), 0);
+        assert_eq!(fold_8_digits(u64::from_le_bytes(*b"99999999")), 99_999_999);
+    }
+
+    #[test]
+    fn parse_integers_match_std() {
+        for s in [
+            "0",
+            "7",
+            "42",
+            "12345678",
+            "123456789012345",
+            "18446744073709551615",
+        ] {
+            assert_eq!(parse_u64(s), s.parse::<u64>().ok(), "u64 {s}");
+        }
+        assert_eq!(parse_u64("18446744073709551616"), None); // overflow
+        assert_eq!(parse_u64(""), None);
+        assert_eq!(parse_u64("12a"), None);
+        assert_eq!(parse_u64("-1"), None);
+
+        for s in [
+            "0",
+            "-1",
+            "+5",
+            "9223372036854775807",
+            "-9223372036854775808",
+        ] {
+            assert_eq!(parse_i64(s), s.parse::<i64>().ok(), "i64 {s}");
+        }
+        assert_eq!(parse_i64("9223372036854775808"), None);
+        assert_eq!(parse_i64("-9223372036854775809"), None);
+        assert_eq!(parse_i64("-"), None);
+    }
+
+    #[test]
+    fn f64_format_pinned_forms() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(-0.0), "-0");
+        assert_eq!(fmt(1.0), "1");
+        assert_eq!(fmt(-2.0), "-2");
+        assert_eq!(fmt(1.5), "1.5");
+        assert_eq!(fmt(0.5), "0.5");
+        assert_eq!(fmt(3.25), "3.25");
+        assert_eq!(fmt(12345.0), "12345");
+        assert_eq!(fmt(0.001), "0.001");
+        assert_eq!(fmt(f64::INFINITY), "INF");
+        assert_eq!(fmt(f64::NEG_INFINITY), "-INF");
+        assert_eq!(fmt(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn f64_format_roundtrips_edge_values() {
+        for v in [
+            1.0,
+            -1.0,
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            2.2250738585072014e-308, // smallest normal
+            5e-324,                  // smallest subnormal
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1e300,
+            -1e-300,
+            9007199254740993.0, // 2^53 + 1 rounds; still must round-trip
+            1.7976931348623157e308,
+            #[allow(clippy::excessive_precision)] // denormal min, spelled out
+            4.9406564584124654e-324,
+            #[allow(clippy::excessive_precision)] // deliberately over-precise
+            123456789.123456789,
+        ] {
+            let s = fmt(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} -> {s:?} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn f64_parse_matches_std() {
+        for s in [
+            "0",
+            "-0",
+            "1.5",
+            "3.25e-8",
+            "1e300",
+            "-1e-300",
+            "0.000001",
+            "9007199254740993",
+            "1.7976931348623157e308",
+            "5e-324",
+            "123456789012345678901234567890",
+            "0.00000000000000000000000000001",
+            "+1.25",
+            "1e999",
+            "-1e999",
+            "1e-999",
+        ] {
+            assert_eq!(
+                parse_f64(s).map(f64::to_bits),
+                s.parse::<f64>().ok().map(f64::to_bits),
+                "parse {s}"
+            );
+        }
+        for s in ["", ".", "e5", "1e", "1e+", "1.5x", "--1", "1..2", "INF", "NaN"] {
+            assert_eq!(parse_f64(s), None, "reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn lexical_wrapper_handles_xsd_specials() {
+        assert_eq!(parse_f64_lexical("INF"), Some(f64::INFINITY));
+        assert_eq!(parse_f64_lexical("+INF"), Some(f64::INFINITY));
+        assert_eq!(parse_f64_lexical("-INF"), Some(f64::NEG_INFINITY));
+        assert!(parse_f64_lexical("NaN").unwrap().is_nan());
+        assert_eq!(parse_f64_lexical("2.5"), Some(2.5));
+    }
+
+    #[test]
+    fn cached_powers_are_accurate() {
+        warm_up();
+        for i in 0..CACHE_LEN {
+            let k = CACHE_FIRST + i as i32 * CACHE_STEP;
+            let p = cached_powers()[i];
+            assert!(p.f >= 1 << 63, "10^{k} not normalized");
+            // ln(f * 2^e) should equal k * ln(10) to high precision.
+            let lhs = (p.f as f64).ln() + p.e as f64 * std::f64::consts::LN_2;
+            let rhs = k as f64 * std::f64::consts::LN_10;
+            assert!((lhs - rhs).abs() < 1e-9, "10^{k}: {lhs} vs {rhs}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2048))]
+
+        #[test]
+        fn prop_f64_format_roundtrips(v in any::<f64>()) {
+            let s = fmt(v);
+            let back = parse_f64_lexical(&s).unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn prop_f64_format_roundtrips_normal(v in proptest::num::f64::NORMAL) {
+            let s = fmt(v);
+            let back: f64 = s.parse().unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn prop_parse_agrees_with_std(v in any::<f64>()) {
+            // Std's shortest form and std's debug form both reparse
+            // identically through the kernel (finite values; the kernel
+            // leaves inf/nan spellings to the XSD lexical wrapper).
+            if v.is_finite() {
+                let shortest = format!("{v}");
+                prop_assert_eq!(
+                    parse_f64(&shortest).map(f64::to_bits),
+                    shortest.parse::<f64>().ok().map(f64::to_bits)
+                );
+                let sci = format!("{v:e}");
+                prop_assert_eq!(
+                    parse_f64(&sci).map(f64::to_bits),
+                    sci.parse::<f64>().ok().map(f64::to_bits)
+                );
+            }
+        }
+
+        #[test]
+        fn prop_itoa_roundtrips(v in any::<i64>()) {
+            let mut s = String::new();
+            write_i64(v, &mut s);
+            prop_assert_eq!(s.parse::<i64>().ok(), Some(v));
+            prop_assert_eq!(parse_i64(&s), Some(v));
+        }
+    }
+}

@@ -8,11 +8,14 @@
 //! in the serialization "we are not able to create the typed LeafElement
 //! in the bXDM model").
 
+use std::borrow::Cow;
+
 use bxdm::{ArrayValue, Attribute, AtomicValue, Document, Element, NamespaceDecl, Node, QName};
 use xbs::TypeCode;
 
 use crate::error::{XmlError, XmlResult};
 use crate::lexer::{Lexer, Token};
+use crate::num;
 
 /// Parsing options.
 #[derive(Debug, Clone)]
@@ -116,7 +119,7 @@ pub fn parse_with(input: &str, opts: &XmlReadOptions) -> XmlResult<Document> {
                 }
             }
             Token::CData(text) => match stack.last_mut() {
-                Some(open) => push_text(open, text.to_owned()),
+                Some(open) => push_text(open, Cow::Borrowed(text)),
                 None => {
                     return Err(XmlError::Structure {
                         what: "CDATA outside the root element".into(),
@@ -158,36 +161,36 @@ pub fn parse_with(input: &str, opts: &XmlReadOptions) -> XmlResult<Document> {
 
 /// Split raw attributes into namespace declarations and ordinary
 /// attributes, producing an open (component) element.
-fn build_open_element(name: &str, attrs: Vec<(&str, String)>) -> Element {
+fn build_open_element(name: &str, attrs: Vec<(&str, Cow<'_, str>)>) -> Element {
     let mut element = Element::component(name);
     for (raw_name, value) in attrs {
         if raw_name == "xmlns" {
             element.namespaces.push(NamespaceDecl {
                 prefix: None,
-                uri: value,
+                uri: value.into_owned(),
             });
         } else if let Some(prefix) = raw_name.strip_prefix("xmlns:") {
             element.namespaces.push(NamespaceDecl {
                 prefix: Some(prefix.to_owned()),
-                uri: value,
+                uri: value.into_owned(),
             });
         } else {
             element.attributes.push(Attribute {
                 name: QName::parse(raw_name),
-                value: AtomicValue::Str(value),
+                value: AtomicValue::Str(value.into_owned()),
             });
         }
     }
     element
 }
 
-fn push_text(open: &mut Element, text: String) {
+fn push_text(open: &mut Element, text: Cow<'_, str>) {
     // Merge adjacent text (CDATA next to character data).
     if let Some(Node::Text(prev)) = open.children_mut().last_mut() {
         prev.push_str(&text);
         return;
     }
-    open.children_mut().push(Node::Text(text));
+    open.children_mut().push(Node::Text(text.into_owned()));
 }
 
 /// Apply typed recovery and attach the finished element to its parent (or
@@ -225,13 +228,68 @@ fn take_attr(element: &mut Element, prefix: &str, local: &str) -> Option<String>
     }
 }
 
+/// The full text content of `element` when it is a single text node (or
+/// empty), borrowed — the common shape for leaf and array-item elements.
+/// Mixed or multi-node content falls back to the allocating
+/// [`Element::text_content`] join.
+fn single_text(element: &Element) -> Option<&str> {
+    match element.children() {
+        [] => Some(""),
+        [Node::Text(t)] => Some(t),
+        _ => None,
+    }
+}
+
+/// Append one array item given its lexical text.
+///
+/// Numeric variants go through the from-scratch kernels in [`crate::num`]
+/// first; anything the kernels decline (overflow, unusual spellings such
+/// as a `+` sign on an unsigned value) falls back to
+/// [`ArrayValue::push_lexical`], which also produces the canonical
+/// [`XmlError::BadTypedValue`] for genuinely bad items.
+fn push_array_item(array: &mut ArrayValue, text: &str) -> XmlResult<()> {
+    fn via<T>(parsed: Option<T>, out: &mut Vec<T>) -> bool {
+        match parsed {
+            Some(v) => {
+                out.push(v);
+                true
+            }
+            None => false,
+        }
+    }
+    let t = text.trim();
+    let fast = match array {
+        ArrayValue::I8(v) => via(num::parse_i64(t).and_then(|x| i8::try_from(x).ok()), v),
+        ArrayValue::U8(v) => via(num::parse_u64(t).and_then(|x| u8::try_from(x).ok()), v),
+        ArrayValue::I16(v) => via(num::parse_i64(t).and_then(|x| i16::try_from(x).ok()), v),
+        ArrayValue::U16(v) => via(num::parse_u64(t).and_then(|x| u16::try_from(x).ok()), v),
+        ArrayValue::I32(v) => via(num::parse_i64(t).and_then(|x| i32::try_from(x).ok()), v),
+        ArrayValue::U32(v) => via(num::parse_u64(t).and_then(|x| u32::try_from(x).ok()), v),
+        ArrayValue::I64(v) => via(num::parse_i64(t), v),
+        ArrayValue::U64(v) => via(num::parse_u64(t), v),
+        ArrayValue::F64(v) => via(num::parse_f64_lexical(t), v),
+        // f32 must round exactly once from the decimal string; routing it
+        // through the f64 kernel would double-round, so it stays on std.
+        ArrayValue::F32(_) => false,
+    };
+    if !fast {
+        array
+            .push_lexical(text)
+            .map_err(|e| XmlError::BadTypedValue { what: e.to_string() })?;
+    }
+    Ok(())
+}
+
 fn recover_types(mut element: Element) -> XmlResult<Element> {
     if let Some(type_name) = take_attr(&mut element, "xsi", "type") {
         let code = TypeCode::from_xsd_name(&type_name).ok_or_else(|| XmlError::BadTypedValue {
             what: format!("unknown xsi:type {type_name:?}"),
         })?;
-        let text = element.text_content();
-        let value = AtomicValue::parse_as(code, &text).map_err(|e| XmlError::BadTypedValue {
+        let value = match single_text(&element) {
+            Some(text) => AtomicValue::parse_as(code, text),
+            None => AtomicValue::parse_as(code, &element.text_content()),
+        }
+        .map_err(|e| XmlError::BadTypedValue {
             what: e.to_string(),
         })?;
         element.content = bxdm::Content::Leaf(value);
@@ -246,12 +304,10 @@ fn recover_types(mut element: Element) -> XmlResult<Element> {
         })?;
         for child in element.children() {
             match child {
-                Node::Element(item) => {
-                    let text = item.text_content();
-                    array
-                        .push_lexical(&text)
-                        .map_err(|e| XmlError::BadTypedValue { what: e.to_string() })?;
-                }
+                Node::Element(item) => match single_text(item) {
+                    Some(text) => push_array_item(&mut array, text)?,
+                    None => push_array_item(&mut array, &item.text_content())?,
+                },
                 Node::Text(t) if t.trim().is_empty() => {}
                 Node::Comment(_) | Node::Pi { .. } => {}
                 Node::Text(t) => {

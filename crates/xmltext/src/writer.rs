@@ -5,9 +5,11 @@
 
 use std::convert::Infallible;
 
-use bxdm::{walk_document, walk_node, Content, Document, Element, Node, Visitor};
+use bxdm::value::write_f32_lexical;
+use bxdm::{walk_document, walk_element, ArrayValue, AtomicValue, Content, Document, Element, Visitor};
 
 use crate::escape::{escape_attr, escape_text};
+use crate::num;
 
 /// Serialization options.
 #[derive(Debug, Clone)]
@@ -41,42 +43,78 @@ pub fn to_string(doc: &Document) -> Result<String, Infallible> {
 
 /// Serialize a document with explicit options.
 pub fn to_string_with(doc: &Document, opts: &XmlWriteOptions) -> Result<String, Infallible> {
-    let mut w = XmlWriter {
-        out: String::with_capacity(256),
-        opts,
-        scratch: String::new(),
-    };
+    let mut out = String::with_capacity(256);
+    write_into(doc, opts, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize a document into a caller-provided buffer.
+///
+/// The buffer is cleared first but keeps its capacity, so cycling one
+/// `String` through repeated calls reaches a steady state with no heap
+/// allocation at all (the per-value numeric formatting goes through the
+/// [`crate::num`] kernels, which write in place).
+pub fn write_into(
+    doc: &Document,
+    opts: &XmlWriteOptions,
+    out: &mut String,
+) -> Result<(), Infallible> {
+    out.clear();
+    let mut w = XmlWriter { out, opts };
     if opts.declaration {
         w.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     }
-    walk_document(doc, &mut w)?;
-    Ok(w.out)
+    walk_document(doc, &mut w)
 }
 
 /// Serialize a single element (used by SOAP fault paths and tests).
 pub fn element_to_string(element: &Element, opts: &XmlWriteOptions) -> String {
+    let mut out = String::with_capacity(128);
     let mut w = XmlWriter {
-        out: String::with_capacity(128),
+        out: &mut out,
         opts,
-        scratch: String::new(),
     };
-    let node = Node::Element(element.clone());
-    let Ok(()) = walk_node(&node, &mut w);
-    w.out
+    let Ok(()) = walk_element(element, &mut w);
+    out
 }
 
 struct XmlWriter<'o> {
-    out: String,
+    out: &'o mut String,
     opts: &'o XmlWriteOptions,
-    /// Reusable lexical-form buffer (avoids one allocation per number —
-    /// this loop is the measured cost of the XML encoding).
-    scratch: String,
+}
+
+/// Append an atomic value's lexical form in text-node position (strings
+/// need markup escaping; numeric and boolean lexical forms never do, so
+/// they go straight through the fast kernels with no scratch buffer).
+fn push_atomic_text(value: &AtomicValue, out: &mut String) {
+    match value {
+        AtomicValue::I8(v) => num::write_i64(*v as i64, out),
+        AtomicValue::U8(v) => num::write_u64(*v as u64, out),
+        AtomicValue::I16(v) => num::write_i64(*v as i64, out),
+        AtomicValue::U16(v) => num::write_u64(*v as u64, out),
+        AtomicValue::I32(v) => num::write_i64(*v as i64, out),
+        AtomicValue::U32(v) => num::write_u64(*v as u64, out),
+        AtomicValue::I64(v) => num::write_i64(*v, out),
+        AtomicValue::U64(v) => num::write_u64(*v, out),
+        AtomicValue::F32(v) => write_f32_lexical(*v, out),
+        AtomicValue::F64(v) => num::write_f64(*v, out),
+        AtomicValue::Str(s) => escape_text(s, out),
+        AtomicValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Same as [`push_atomic_text`] but in attribute-value position.
+fn push_atomic_attr(value: &AtomicValue, out: &mut String) {
+    match value {
+        AtomicValue::Str(s) => escape_attr(s, out),
+        other => push_atomic_text(other, out),
+    }
 }
 
 impl XmlWriter<'_> {
     fn open_tag(&mut self, e: &Element) {
         self.out.push('<');
-        e.name.write_lexical(&mut self.out);
+        e.name.write_lexical(self.out);
         for ns in &e.namespaces {
             match &ns.prefix {
                 Some(p) => {
@@ -86,20 +124,28 @@ impl XmlWriter<'_> {
                 None => self.out.push_str(" xmlns"),
             }
             self.out.push_str("=\"");
-            escape_attr(&ns.uri, &mut self.out);
+            escape_attr(&ns.uri, self.out);
             self.out.push('"');
         }
         for attr in &e.attributes {
             self.out.push(' ');
-            attr.name.write_lexical(&mut self.out);
+            attr.name.write_lexical(self.out);
             self.out.push_str("=\"");
-            self.scratch.clear();
-            attr.value.write_lexical(&mut self.scratch);
-            // Split borrows: escape from scratch into out.
-            let scratch = std::mem::take(&mut self.scratch);
-            escape_attr(&scratch, &mut self.out);
-            self.scratch = scratch;
+            push_atomic_attr(&attr.value, self.out);
             self.out.push('"');
+        }
+    }
+
+    /// Emit `<item>value</item>` children for one array's payload.
+    fn write_items<T: Copy>(&mut self, values: &[T], write: impl Fn(T, &mut String)) {
+        for &v in values {
+            self.out.push('<');
+            self.out.push_str(&self.opts.item_tag);
+            self.out.push('>');
+            write(v, self.out);
+            self.out.push_str("</");
+            self.out.push_str(&self.opts.item_tag);
+            self.out.push('>');
         }
     }
 
@@ -107,13 +153,13 @@ impl XmlWriter<'_> {
         self.out.push(' ');
         self.out.push_str(name);
         self.out.push_str("=\"");
-        escape_attr(value, &mut self.out);
+        escape_attr(value, self.out);
         self.out.push('"');
     }
 
     fn close_tag(&mut self, e: &Element) {
         self.out.push_str("</");
-        e.name.write_lexical(&mut self.out);
+        e.name.write_lexical(self.out);
         self.out.push('>');
     }
 }
@@ -138,11 +184,7 @@ impl Visitor for XmlWriter<'_> {
                     self.push_attr("xsi:type", value.type_code().xsd_name());
                 }
                 self.out.push('>');
-                self.scratch.clear();
-                value.write_lexical(&mut self.scratch);
-                let scratch = std::mem::take(&mut self.scratch);
-                escape_text(&scratch, &mut self.out);
-                self.scratch = scratch;
+                push_atomic_text(value, self.out);
             }
             Content::Array(array) => {
                 if self.opts.emit_type_info {
@@ -150,22 +192,20 @@ impl Visitor for XmlWriter<'_> {
                 }
                 self.out.push('>');
                 // One child element per item: the open/close tag pair per
-                // element is exactly the overhead Table 1 quantifies.
-                for i in 0..array.len() {
-                    self.out.push('<');
-                    self.out.push_str(&self.opts.item_tag);
-                    self.out.push('>');
-                    self.scratch.clear();
-                    array
-                        .item(i)
-                        .expect("index in range")
-                        .write_lexical(&mut self.scratch);
-                    // Numeric lexical forms never contain markup; push
-                    // directly (Str arrays are impossible in ArrayValue).
-                    self.out.push_str(&self.scratch);
-                    self.out.push_str("</");
-                    self.out.push_str(&self.opts.item_tag);
-                    self.out.push('>');
+                // element is exactly the overhead Table 1 quantifies. The
+                // item values go straight through the numeric kernels —
+                // this loop is the measured cost of the XML encoding.
+                match array {
+                    ArrayValue::I8(vs) => self.write_items(vs, |v, o| num::write_i64(v as i64, o)),
+                    ArrayValue::U8(vs) => self.write_items(vs, |v, o| num::write_u64(v as u64, o)),
+                    ArrayValue::I16(vs) => self.write_items(vs, |v, o| num::write_i64(v as i64, o)),
+                    ArrayValue::U16(vs) => self.write_items(vs, |v, o| num::write_u64(v as u64, o)),
+                    ArrayValue::I32(vs) => self.write_items(vs, |v, o| num::write_i64(v as i64, o)),
+                    ArrayValue::U32(vs) => self.write_items(vs, |v, o| num::write_u64(v as u64, o)),
+                    ArrayValue::I64(vs) => self.write_items(vs, num::write_i64),
+                    ArrayValue::U64(vs) => self.write_items(vs, num::write_u64),
+                    ArrayValue::F32(vs) => self.write_items(vs, write_f32_lexical),
+                    ArrayValue::F64(vs) => self.write_items(vs, num::write_f64),
                 }
             }
         }
@@ -181,7 +221,7 @@ impl Visitor for XmlWriter<'_> {
     }
 
     fn visit_text(&mut self, text: &str) -> Result<(), Infallible> {
-        escape_text(text, &mut self.out);
+        escape_text(text, self.out);
         Ok(())
     }
 
@@ -207,7 +247,7 @@ impl Visitor for XmlWriter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bxdm::{ArrayValue, AtomicValue};
+    use bxdm::Node;
 
     fn doc(root: Element) -> Document {
         Document::with_root(root)
@@ -301,5 +341,31 @@ mod tests {
     fn typed_attribute_lexical_form() {
         let d = doc(Element::component("a").with_typed_attr("n", AtomicValue::F64(0.5)));
         assert_eq!(to_string(&d).unwrap(), r#"<a n="0.5"/>"#);
+    }
+
+    #[test]
+    fn write_into_reuses_buffer() {
+        let d1 = doc(Element::array("v", ArrayValue::F64(vec![1.5, -2.0])));
+        let d2 = doc(Element::leaf("n", AtomicValue::I32(-5)));
+        let mut buf = String::new();
+        write_into(&d1, &XmlWriteOptions::default(), &mut buf).unwrap();
+        assert_eq!(
+            buf,
+            r#"<v bx:arrayType="xsd:double"><item>1.5</item><item>-2</item></v>"#
+        );
+        let cap = buf.capacity();
+        // Second document is smaller: same capacity, content replaced.
+        write_into(&d2, &XmlWriteOptions::default(), &mut buf).unwrap();
+        assert_eq!(buf, r#"<n xsi:type="xsd:int">-5</n>"#);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn element_to_string_matches_document_form() {
+        let e = Element::array("v", ArrayValue::I32(vec![7, 8]));
+        let opts = XmlWriteOptions::default();
+        let alone = element_to_string(&e, &opts);
+        let in_doc = to_string_with(&doc(e), &opts).unwrap();
+        assert_eq!(alone, in_doc);
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite (including the zero-allocation
+# steady-state check behind the bench crate's alloc-counter feature), and
+# warning-free clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo test -q -p bench --features alloc-counter --lib
+cargo clippy --workspace --all-targets -- -D warnings
