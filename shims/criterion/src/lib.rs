@@ -1,0 +1,276 @@
+//! Shim for the `criterion` crate.
+//!
+//! Real wall-clock measurement with criterion's call shape: a warmup
+//! phase sizes the batch, then `sample_size` batches are timed and the
+//! median ns/iter is reported. Each benchmark prints a human-readable
+//! line plus a machine-readable `BENCH {json}` line so results can be
+//! collected into a JSON report with `grep '^BENCH '`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure a routine: warm up while counting iterations to size a
+    /// batch, then time `sample_size` batches and keep the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget elapses, counting iters.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed();
+        let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Batch size: aim for measurement budget split across samples.
+        let budget_ns = self.measure.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / est_ns).round() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id, &b);
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Finish the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            sample_size: self.criterion.sample_size,
+            ns_per_iter: 0.0,
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let ns = b.ns_per_iter;
+        let full = format!("{}/{}", self.name, id);
+        let (tp_field, tp_human) = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibps = n as f64 / ns * 1e9 / (1024.0 * 1024.0);
+                (
+                    format!(",\"throughput_bytes\":{n}"),
+                    format!("  {mibps:.1} MiB/s"),
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / ns * 1e9 / 1e6;
+                (
+                    format!(",\"throughput_elems\":{n}"),
+                    format!("  {meps:.1} Melem/s"),
+                )
+            }
+            None => (String::new(), String::new()),
+        };
+        println!("{full:<60} {ns:>14.1} ns/iter{tp_human}");
+        println!("BENCH {{\"id\":\"{full}\",\"ns_per_iter\":{ns:.1}{tp_field}}}");
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let ns = b.ns_per_iter;
+        println!("{name:<60} {ns:>14.1} ns/iter");
+        println!("BENCH {{\"id\":\"{name}\",\"ns_per_iter\":{ns:.1}}}");
+    }
+}
+
+/// Define a benchmark group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(30))
+            .sample_size(5);
+        let mut group = c.benchmark_group("shim_self_test");
+        group.throughput(Throughput::Bytes(8));
+        let input = vec![1u64, 2, 3, 4];
+        group.bench_with_input(BenchmarkId::new("sum", 4), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("encode", 1365).to_string(), "encode/1365");
+    }
+}

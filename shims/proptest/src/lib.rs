@@ -1,0 +1,859 @@
+//! Shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the `proptest!`, `prop_assert*!` and `prop_oneof!` macros, `any::<T>()`
+//! for the primitive types, range and regex-pattern string strategies,
+//! `Just`, tuples, `prop_map`, `prop_recursive`, `collection::vec`,
+//! `option::of` and `num::f64::NORMAL`.
+//!
+//! Semantics: each test runs `cases` random samples drawn from a
+//! deterministic per-test-name seed (reproducible across runs and
+//! machines). Failing cases are reported with their case index; there is
+//! no shrinking.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// --------------------------------------------------------------------------
+// Deterministic generator
+// --------------------------------------------------------------------------
+
+/// SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a raw value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a).
+    pub fn for_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// --------------------------------------------------------------------------
+// Config and failure type
+// --------------------------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property, carried out of the test body by `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Strategy core
+// --------------------------------------------------------------------------
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// inner (smaller) structure and returns a strategy for one level
+    /// above it; `depth` bounds the nesting. The `_desired_size` and
+    /// `_expected_branch` tuning knobs of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // Bias toward deeper structures, keeping leaves reachable so
+            // generated sizes stay bounded.
+            current = Union {
+                arms: vec![(1, base.clone()), (2, deeper)],
+            }
+            .boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.next_u64() % total.max(1);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms[0].1.sample(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --------------------------------------------------------------------------
+// any::<T>() for primitives
+// --------------------------------------------------------------------------
+
+/// Marker strategy for `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform-with-edge-cases generation for a primitive type.
+pub trait ArbitraryValue {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for a primitive type.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {
+        $(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // 1-in-8: pinned edge case; else uniform bits.
+                    if rng.below(8) == 0 {
+                        match rng.below(4) {
+                            0 => 0 as $t,
+                            1 => 1 as $t,
+                            2 => <$t>::MIN,
+                            _ => <$t>::MAX,
+                        }
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Like proptest's default float Arbitrary: positives, negatives,
+        // normals, subnormals, zeros and infinities — but never NaN.
+        if rng.below(8) == 0 {
+            const EDGES: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::MIN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            EDGES[rng.below(EDGES.len())]
+        } else {
+            // Arbitrary bit patterns cover subnormals and both tails;
+            // NaN patterns are folded to a same-signed infinity.
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_nan() {
+                f64::INFINITY.copysign(v)
+            } else {
+                v
+            }
+        }
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        if rng.below(8) == 0 {
+            const EDGES: [f32; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                f32::MIN_POSITIVE,
+                f32::MAX,
+                f32::MIN,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+            ];
+            EDGES[rng.below(EDGES.len())]
+        } else {
+            let v = f32::from_bits(rng.next_u64() as u32);
+            if v.is_nan() {
+                f32::INFINITY.copysign(v)
+            } else {
+                v
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Range strategies
+// --------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+// --------------------------------------------------------------------------
+// Tuple strategies
+// --------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+// --------------------------------------------------------------------------
+// Pattern string strategies
+// --------------------------------------------------------------------------
+
+/// A `&'static str` is interpreted as a simplified regex generator
+/// supporting the patterns the workspace uses: character classes
+/// (`[a-z0-9 .,;:/-]`), the printable-class escape `\PC`, literal
+/// characters, and the quantifiers `*`, `+`, `{n}`, `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Printable characters (`\PC`): ASCII printable plus a few multibyte
+    /// code points to exercise UTF-8 handling.
+    Printable,
+    /// Explicit inclusive ranges from a `[...]` class.
+    Ranges(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Printable => {
+                const EXOTIC: [char; 6] = ['é', 'Ω', '→', '日', '𝄞', 'ß'];
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len())]
+                } else {
+                    (0x20 + rng.below(0x7f - 0x20) as u8) as char
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: usize = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+                    .sum();
+                let mut pick = rng.below(total.max(1));
+                for (lo, hi) in ranges {
+                    let n = (*hi as usize) - (*lo as usize) + 1;
+                    if pick < n {
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                    }
+                    pick -= n;
+                }
+                ranges[0].0
+            }
+            CharSet::Literal(c) => *c,
+        }
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pattern);
+    let mut out = String::new();
+    for (set, min, max) in &atoms {
+        let n = if min == max {
+            *min
+        } else {
+            min + rng.below(max - min + 1)
+        };
+        for _ in 0..n {
+            out.push(set.sample(rng));
+        }
+    }
+    out
+}
+
+/// Parse into `(charset, min_repeat, max_repeat)` atoms.
+fn parse_pattern(pattern: &str) -> Vec<(CharSet, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '\\' => {
+                // Only `\PC` (printable) and escaped literals appear in
+                // the workspace's patterns.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    CharSet::Printable
+                } else {
+                    let c = chars.get(i + 1).copied().unwrap_or('\\');
+                    i += 2;
+                    CharSet::Literal(c)
+                }
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .expect("unclosed [class] in pattern");
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                CharSet::Ranges(parse_class(body))
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .expect("unclosed {quantifier} in pattern");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push((set, min, max));
+    }
+    atoms
+}
+
+fn parse_class(body: &[char]) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let lo = match body[i] {
+            '\\' => {
+                i += 1;
+                body.get(i).copied().unwrap_or('\\')
+            }
+            c => c,
+        };
+        // `a-z` range when a dash sits between two chars.
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let hi = body[i + 2];
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    ranges
+}
+
+// --------------------------------------------------------------------------
+// Collections, option, numeric sub-strategies
+// --------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>` (3-in-4 `Some`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over normal (finite, non-subnormal) `f64` values.
+        pub struct NormalStrategy;
+
+        /// `proptest::num::f64::NORMAL`.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                let sign = rng.next_u64() & (1 << 63);
+                // Biased exponent 1..=2046: normal, finite.
+                let exp = 1 + (rng.next_u64() % 2046);
+                let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                f64::from_bits(sign | (exp << 52) | mantissa)
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Macros
+// --------------------------------------------------------------------------
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg), $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()), $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr),) => {};
+    (cfg = ($cfg:expr), $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || { $body ::std::result::Result::Ok(()) })()
+                };
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), __case, __config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg), $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`", __a, __b
+            )));
+        }
+    }};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+// --------------------------------------------------------------------------
+// Self-tests
+// --------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::sample(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "bad len: {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "bad first char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star_is_bounded() {
+        let mut rng = crate::TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = crate::Strategy::sample(&"\\PC*", &mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn class_with_punctuation() {
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = crate::Strategy::sample(&"[a-z:/.]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || ":/.".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, w in 1u8..=3) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((1..=3).contains(&w));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_weighted_hits_all_arms(v in prop_oneof![2 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(v in crate::num::f64::NORMAL) {
+            prop_assert!(v.is_normal(), "{} not normal", v);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..100 {
+            let t = crate::Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 4, "tree too deep: {t:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut a = crate::TestRng::for_name("x::y");
+        let mut b = crate::TestRng::for_name("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-41e4f58a9cf27e5a.d: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-41e4f58a9cf27e5a.rlib: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-41e4f58a9cf27e5a.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_counter.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-7bd462726b074e68.d: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/bench-7bd462726b074e68: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_counter.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-806f801e445a5450.d: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-806f801e445a5450.rlib: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-806f801e445a5450.rmeta: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-aca33008b4da385d.d: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/bench-aca33008b4da385d: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_counter.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bxdm-035b993ede390857.d: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbxdm-035b993ede390857.rmeta: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs Cargo.toml
+
+crates/bxdm/src/lib.rs:
+crates/bxdm/src/builder.rs:
+crates/bxdm/src/name.rs:
+crates/bxdm/src/namespace.rs:
+crates/bxdm/src/navigate.rs:
+crates/bxdm/src/node.rs:
+crates/bxdm/src/value.rs:
+crates/bxdm/src/visitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

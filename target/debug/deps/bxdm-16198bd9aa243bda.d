@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bxdm-16198bd9aa243bda.d: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+/root/repo/target/debug/deps/libbxdm-16198bd9aa243bda.rlib: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+/root/repo/target/debug/deps/libbxdm-16198bd9aa243bda.rmeta: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+crates/bxdm/src/lib.rs:
+crates/bxdm/src/builder.rs:
+crates/bxdm/src/name.rs:
+crates/bxdm/src/namespace.rs:
+crates/bxdm/src/navigate.rs:
+crates/bxdm/src/node.rs:
+crates/bxdm/src/value.rs:
+crates/bxdm/src/visitor.rs:

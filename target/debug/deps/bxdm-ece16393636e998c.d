@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bxdm-ece16393636e998c.d: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+/root/repo/target/debug/deps/bxdm-ece16393636e998c: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+crates/bxdm/src/lib.rs:
+crates/bxdm/src/builder.rs:
+crates/bxdm/src/name.rs:
+crates/bxdm/src/namespace.rs:
+crates/bxdm/src/navigate.rs:
+crates/bxdm/src/node.rs:
+crates/bxdm/src/value.rs:
+crates/bxdm/src/visitor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bxsa-17be788f40c3e682.d: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+/root/repo/target/debug/deps/libbxsa-17be788f40c3e682.rlib: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+/root/repo/target/debug/deps/libbxsa-17be788f40c3e682.rmeta: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+crates/bxsa/src/lib.rs:
+crates/bxsa/src/decoder.rs:
+crates/bxsa/src/encoder.rs:
+crates/bxsa/src/error.rs:
+crates/bxsa/src/estimate.rs:
+crates/bxsa/src/frame.rs:
+crates/bxsa/src/pull.rs:
+crates/bxsa/src/scan.rs:
+crates/bxsa/src/transcode.rs:

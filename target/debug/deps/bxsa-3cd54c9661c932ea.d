@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bxsa-3cd54c9661c932ea.d: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbxsa-3cd54c9661c932ea.rmeta: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs Cargo.toml
+
+crates/bxsa/src/lib.rs:
+crates/bxsa/src/decoder.rs:
+crates/bxsa/src/encoder.rs:
+crates/bxsa/src/error.rs:
+crates/bxsa/src/estimate.rs:
+crates/bxsa/src/frame.rs:
+crates/bxsa/src/pull.rs:
+crates/bxsa/src/scan.rs:
+crates/bxsa/src/transcode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bxsa-a78ba7ae74d0578a.d: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+/root/repo/target/debug/deps/bxsa-a78ba7ae74d0578a: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+crates/bxsa/src/lib.rs:
+crates/bxsa/src/decoder.rs:
+crates/bxsa/src/encoder.rs:
+crates/bxsa/src/error.rs:
+crates/bxsa/src/estimate.rs:
+crates/bxsa/src/frame.rs:
+crates/bxsa/src/pull.rs:
+crates/bxsa/src/scan.rs:
+crates/bxsa/src/transcode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bxsoap-26de934cc2d7f2d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/bxsoap-26de934cc2d7f2d4: src/lib.rs
+
+src/lib.rs:

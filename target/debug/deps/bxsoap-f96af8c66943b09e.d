@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bxsoap-f96af8c66943b09e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbxsoap-f96af8c66943b09e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbxsoap-f96af8c66943b09e.rmeta: src/lib.rs
+
+src/lib.rs:

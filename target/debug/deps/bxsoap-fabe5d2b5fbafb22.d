@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bxsoap-fabe5d2b5fbafb22.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbxsoap-fabe5d2b5fbafb22.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_throughput-b3efabe24ded4203.d: crates/bench/benches/codec_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_throughput-b3efabe24ded4203.rmeta: crates/bench/benches/codec_throughput.rs Cargo.toml
+
+crates/bench/benches/codec_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_small_lan-3d70474dfa180521.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/debug/deps/fig4_small_lan-3d70474dfa180521: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_small_lan-8669bf872c4f9ba3.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/debug/deps/fig4_small_lan-8669bf872c4f9ba3: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

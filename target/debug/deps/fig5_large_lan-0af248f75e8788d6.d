@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_large_lan-0af248f75e8788d6.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/debug/deps/fig5_large_lan-0af248f75e8788d6: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_large_lan-7083f6f2be7ad060.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/debug/deps/fig5_large_lan-7083f6f2be7ad060: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_large_wan-346792748cfb0bd5.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/debug/deps/fig6_large_wan-346792748cfb0bd5: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_large_wan-af86670ccd48f7a0.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/debug/deps/fig6_large_wan-af86670ccd48f7a0: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gridftp-40ae731133101755.d: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/libgridftp-40ae731133101755.rlib: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/libgridftp-40ae731133101755.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/session.rs:

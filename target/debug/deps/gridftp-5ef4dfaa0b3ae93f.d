@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridftp-5ef4dfaa0b3ae93f.d: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridftp-5ef4dfaa0b3ae93f.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs Cargo.toml
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/gridftp-898650aed4fa541c.d: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/gridftp-898650aed4fa541c: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netcdf3-0074601c3507f000.d: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+/root/repo/target/debug/deps/netcdf3-0074601c3507f000: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+crates/netcdf3/src/lib.rs:
+crates/netcdf3/src/error.rs:
+crates/netcdf3/src/model.rs:
+crates/netcdf3/src/read.rs:
+crates/netcdf3/src/write.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netcdf3-57eee292d6f48898.d: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+/root/repo/target/debug/deps/libnetcdf3-57eee292d6f48898.rlib: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+/root/repo/target/debug/deps/libnetcdf3-57eee292d6f48898.rmeta: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+crates/netcdf3/src/lib.rs:
+crates/netcdf3/src/error.rs:
+crates/netcdf3/src/model.rs:
+crates/netcdf3/src/read.rs:
+crates/netcdf3/src/write.rs:

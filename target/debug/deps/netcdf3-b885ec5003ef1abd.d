@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netcdf3-b885ec5003ef1abd.d: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetcdf3-b885ec5003ef1abd.rmeta: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs Cargo.toml
+
+crates/netcdf3/src/lib.rs:
+crates/netcdf3/src/error.rs:
+crates/netcdf3/src/model.rs:
+crates/netcdf3/src/read.rs:
+crates/netcdf3/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/netsim-8c116387265356b0.d: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-8c116387265356b0.rmeta: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/auth.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/disk.rs:
+crates/netsim/src/profile.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/striped.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netsim-8d2921ac355d3641.d: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/netsim-8d2921ac355d3641: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/auth.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/disk.rs:
+crates/netsim/src/profile.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/striped.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:

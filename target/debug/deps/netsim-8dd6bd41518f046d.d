@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netsim-8dd6bd41518f046d.d: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rlib: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/auth.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/disk.rs:
+crates/netsim/src/profile.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/striped.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:

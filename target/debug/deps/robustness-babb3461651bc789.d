@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-babb3461651bc789.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-babb3461651bc789: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/separated_scheme-5a7ce93625309e0d.d: tests/separated_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseparated_scheme-5a7ce93625309e0d.rmeta: tests/separated_scheme.rs Cargo.toml
+
+tests/separated_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

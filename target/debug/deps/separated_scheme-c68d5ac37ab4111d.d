@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separated_scheme-c68d5ac37ab4111d.d: tests/separated_scheme.rs
+
+/root/repo/target/debug/deps/separated_scheme-c68d5ac37ab4111d: tests/separated_scheme.rs
+
+tests/separated_scheme.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skip_scan-9e178b3f4939b5bc.d: crates/bench/benches/skip_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskip_scan-9e178b3f4939b5bc.rmeta: crates/bench/benches/skip_scan.rs Cargo.toml
+
+crates/bench/benches/skip_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

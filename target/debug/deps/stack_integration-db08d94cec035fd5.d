@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-db08d94cec035fd5.d: tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-db08d94cec035fd5: tests/stack_integration.rs
+
+tests/stack_integration.rs:

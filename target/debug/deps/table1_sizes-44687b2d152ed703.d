@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-44687b2d152ed703.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-44687b2d152ed703: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

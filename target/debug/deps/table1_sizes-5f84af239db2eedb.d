@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-5f84af239db2eedb.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-5f84af239db2eedb: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transcode_matrix-0aa8e10e374593c1.d: tests/transcode_matrix.rs
+
+/root/repo/target/debug/deps/transcode_matrix-0aa8e10e374593c1: tests/transcode_matrix.rs
+
+tests/transcode_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transcode_matrix-53d2c8a9d5f389ec.d: tests/transcode_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranscode_matrix-53d2c8a9d5f389ec.rmeta: tests/transcode_matrix.rs Cargo.toml
+
+tests/transcode_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/transport-40d10ca1b0a13d2c.d: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-40d10ca1b0a13d2c.rmeta: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/error.rs:
+crates/transport/src/fileserver.rs:
+crates/transport/src/framed.rs:
+crates/transport/src/http/mod.rs:
+crates/transport/src/http/client.rs:
+crates/transport/src/http/request.rs:
+crates/transport/src/http/response.rs:
+crates/transport/src/http/server.rs:
+crates/transport/src/iovec.rs:
+crates/transport/src/tcpserver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/transport-8506ac3fcbaeee35.d: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+/root/repo/target/debug/deps/libtransport-8506ac3fcbaeee35.rlib: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+/root/repo/target/debug/deps/libtransport-8506ac3fcbaeee35.rmeta: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/error.rs:
+crates/transport/src/fileserver.rs:
+crates/transport/src/framed.rs:
+crates/transport/src/http/mod.rs:
+crates/transport/src/http/client.rs:
+crates/transport/src/http/request.rs:
+crates/transport/src/http/response.rs:
+crates/transport/src/http/server.rs:
+crates/transport/src/iovec.rs:
+crates/transport/src/tcpserver.rs:

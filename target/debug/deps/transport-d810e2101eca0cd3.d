@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/transport-d810e2101eca0cd3.d: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-d810e2101eca0cd3.rmeta: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/error.rs:
+crates/transport/src/fileserver.rs:
+crates/transport/src/framed.rs:
+crates/transport/src/http/mod.rs:
+crates/transport/src/http/client.rs:
+crates/transport/src/http/request.rs:
+crates/transport/src/http/response.rs:
+crates/transport/src/http/server.rs:
+crates/transport/src/iovec.rs:
+crates/transport/src/tcpserver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

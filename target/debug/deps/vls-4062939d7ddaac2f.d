@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vls-4062939d7ddaac2f.d: crates/bench/benches/vls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvls-4062939d7ddaac2f.rmeta: crates/bench/benches/vls.rs Cargo.toml
+
+crates/bench/benches/vls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

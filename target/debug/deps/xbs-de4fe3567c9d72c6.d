@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xbs-de4fe3567c9d72c6.d: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxbs-de4fe3567c9d72c6.rmeta: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs Cargo.toml
+
+crates/xbs/src/lib.rs:
+crates/xbs/src/byteorder.rs:
+crates/xbs/src/error.rs:
+crates/xbs/src/prim.rs:
+crates/xbs/src/reader.rs:
+crates/xbs/src/typecode.rs:
+crates/xbs/src/vls.rs:
+crates/xbs/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

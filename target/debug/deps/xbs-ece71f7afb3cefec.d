@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xbs-ece71f7afb3cefec.d: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+/root/repo/target/debug/deps/libxbs-ece71f7afb3cefec.rlib: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+/root/repo/target/debug/deps/libxbs-ece71f7afb3cefec.rmeta: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+crates/xbs/src/lib.rs:
+crates/xbs/src/byteorder.rs:
+crates/xbs/src/error.rs:
+crates/xbs/src/prim.rs:
+crates/xbs/src/reader.rs:
+crates/xbs/src/typecode.rs:
+crates/xbs/src/vls.rs:
+crates/xbs/src/writer.rs:

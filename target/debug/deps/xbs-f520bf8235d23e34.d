@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xbs-f520bf8235d23e34.d: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+/root/repo/target/debug/deps/xbs-f520bf8235d23e34: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+crates/xbs/src/lib.rs:
+crates/xbs/src/byteorder.rs:
+crates/xbs/src/error.rs:
+crates/xbs/src/prim.rs:
+crates/xbs/src/reader.rs:
+crates/xbs/src/typecode.rs:
+crates/xbs/src/vls.rs:
+crates/xbs/src/writer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xmltext-aecfc4702f0cf76d.d: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+/root/repo/target/debug/deps/libxmltext-aecfc4702f0cf76d.rlib: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+/root/repo/target/debug/deps/libxmltext-aecfc4702f0cf76d.rmeta: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+crates/xmltext/src/lib.rs:
+crates/xmltext/src/error.rs:
+crates/xmltext/src/escape.rs:
+crates/xmltext/src/lexer.rs:
+crates/xmltext/src/num.rs:
+crates/xmltext/src/reader.rs:
+crates/xmltext/src/writer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xmltext-bcfe3341733099e7.d: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxmltext-bcfe3341733099e7.rmeta: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs Cargo.toml
+
+crates/xmltext/src/lib.rs:
+crates/xmltext/src/error.rs:
+crates/xmltext/src/escape.rs:
+crates/xmltext/src/lexer.rs:
+crates/xmltext/src/num.rs:
+crates/xmltext/src/reader.rs:
+crates/xmltext/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

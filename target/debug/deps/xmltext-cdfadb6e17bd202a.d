@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xmltext-cdfadb6e17bd202a.d: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+/root/repo/target/debug/deps/xmltext-cdfadb6e17bd202a: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+crates/xmltext/src/lib.rs:
+crates/xmltext/src/error.rs:
+crates/xmltext/src/escape.rs:
+crates/xmltext/src/lexer.rs:
+crates/xmltext/src/num.rs:
+crates/xmltext/src/reader.rs:
+crates/xmltext/src/writer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy-4be6961cb278884b.d: crates/bench/benches/zero_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy-4be6961cb278884b.rmeta: crates/bench/benches/zero_copy.rs Cargo.toml
+
+crates/bench/benches/zero_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

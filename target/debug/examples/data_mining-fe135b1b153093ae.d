@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_mining-fe135b1b153093ae.d: examples/data_mining.rs
+
+/root/repo/target/debug/examples/data_mining-fe135b1b153093ae: examples/data_mining.rs
+
+examples/data_mining.rs:

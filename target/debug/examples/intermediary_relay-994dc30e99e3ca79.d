@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intermediary_relay-994dc30e99e3ca79.d: examples/intermediary_relay.rs
+
+/root/repo/target/debug/examples/intermediary_relay-994dc30e99e3ca79: examples/intermediary_relay.rs
+
+examples/intermediary_relay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5d680eb6a81ee5bf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5d680eb6a81ee5bf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-6b2cf98f5a880f96.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-6b2cf98f5a880f96: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_discovery-93451c3caf6a450a.d: examples/service_discovery.rs
+
+/root/repo/target/debug/examples/service_discovery-93451c3caf6a450a: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_service-6c907ea494e967fb.d: examples/weather_service.rs
+
+/root/repo/target/debug/examples/weather_service-6c907ea494e967fb: examples/weather_service.rs
+
+examples/weather_service.rs:

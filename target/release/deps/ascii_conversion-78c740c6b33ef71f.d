@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ascii_conversion-78c740c6b33ef71f.d: crates/bench/benches/ascii_conversion.rs
+
+/root/repo/target/release/deps/ascii_conversion-78c740c6b33ef71f: crates/bench/benches/ascii_conversion.rs
+
+crates/bench/benches/ascii_conversion.rs:

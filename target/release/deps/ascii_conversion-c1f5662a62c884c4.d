@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ascii_conversion-c1f5662a62c884c4.d: crates/bench/benches/ascii_conversion.rs
+
+/root/repo/target/release/deps/ascii_conversion-c1f5662a62c884c4: crates/bench/benches/ascii_conversion.rs
+
+crates/bench/benches/ascii_conversion.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bench-cbcf68bc94dc9fa5.d: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-cbcf68bc94dc9fa5.rlib: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-cbcf68bc94dc9fa5.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_counter.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_counter.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bxdm-7775fa7d05b8cc37.d: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+/root/repo/target/release/deps/libbxdm-7775fa7d05b8cc37.rlib: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+/root/repo/target/release/deps/libbxdm-7775fa7d05b8cc37.rmeta: crates/bxdm/src/lib.rs crates/bxdm/src/builder.rs crates/bxdm/src/name.rs crates/bxdm/src/namespace.rs crates/bxdm/src/navigate.rs crates/bxdm/src/node.rs crates/bxdm/src/value.rs crates/bxdm/src/visitor.rs
+
+crates/bxdm/src/lib.rs:
+crates/bxdm/src/builder.rs:
+crates/bxdm/src/name.rs:
+crates/bxdm/src/namespace.rs:
+crates/bxdm/src/navigate.rs:
+crates/bxdm/src/node.rs:
+crates/bxdm/src/value.rs:
+crates/bxdm/src/visitor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bxsa-8ee5aaf95cf895f0.d: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+/root/repo/target/release/deps/libbxsa-8ee5aaf95cf895f0.rlib: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+/root/repo/target/release/deps/libbxsa-8ee5aaf95cf895f0.rmeta: crates/bxsa/src/lib.rs crates/bxsa/src/decoder.rs crates/bxsa/src/encoder.rs crates/bxsa/src/error.rs crates/bxsa/src/estimate.rs crates/bxsa/src/frame.rs crates/bxsa/src/pull.rs crates/bxsa/src/scan.rs crates/bxsa/src/transcode.rs
+
+crates/bxsa/src/lib.rs:
+crates/bxsa/src/decoder.rs:
+crates/bxsa/src/encoder.rs:
+crates/bxsa/src/error.rs:
+crates/bxsa/src/estimate.rs:
+crates/bxsa/src/frame.rs:
+crates/bxsa/src/pull.rs:
+crates/bxsa/src/scan.rs:
+crates/bxsa/src/transcode.rs:

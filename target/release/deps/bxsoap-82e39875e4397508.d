@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bxsoap-82e39875e4397508.d: src/lib.rs
+
+/root/repo/target/release/deps/libbxsoap-82e39875e4397508.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbxsoap-82e39875e4397508.rmeta: src/lib.rs
+
+src/lib.rs:

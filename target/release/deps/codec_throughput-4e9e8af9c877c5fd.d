@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_throughput-4e9e8af9c877c5fd.d: crates/bench/benches/codec_throughput.rs
+
+/root/repo/target/release/deps/codec_throughput-4e9e8af9c877c5fd: crates/bench/benches/codec_throughput.rs
+
+crates/bench/benches/codec_throughput.rs:

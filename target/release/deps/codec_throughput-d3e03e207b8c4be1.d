@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_throughput-d3e03e207b8c4be1.d: crates/bench/benches/codec_throughput.rs
+
+/root/repo/target/release/deps/codec_throughput-d3e03e207b8c4be1: crates/bench/benches/codec_throughput.rs
+
+crates/bench/benches/codec_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_small_lan-3a871c12de681ef8.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/release/deps/fig4_small_lan-3a871c12de681ef8: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_small_lan-8cf59936106edbdf.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/release/deps/fig4_small_lan-8cf59936106edbdf: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

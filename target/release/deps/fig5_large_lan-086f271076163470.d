@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_large_lan-086f271076163470.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/release/deps/fig5_large_lan-086f271076163470: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

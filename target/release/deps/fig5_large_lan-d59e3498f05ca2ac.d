@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_large_lan-d59e3498f05ca2ac.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/release/deps/fig5_large_lan-d59e3498f05ca2ac: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

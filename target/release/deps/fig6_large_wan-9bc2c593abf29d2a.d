@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_large_wan-9bc2c593abf29d2a.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/release/deps/fig6_large_wan-9bc2c593abf29d2a: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

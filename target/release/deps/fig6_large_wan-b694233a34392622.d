@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_large_wan-b694233a34392622.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/release/deps/fig6_large_wan-b694233a34392622: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gridftp-5e12aef42aff5de9.d: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+/root/repo/target/release/deps/libgridftp-5e12aef42aff5de9.rlib: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+/root/repo/target/release/deps/libgridftp-5e12aef42aff5de9.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/session.rs:

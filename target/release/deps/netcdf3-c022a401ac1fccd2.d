@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netcdf3-c022a401ac1fccd2.d: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+/root/repo/target/release/deps/libnetcdf3-c022a401ac1fccd2.rlib: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+/root/repo/target/release/deps/libnetcdf3-c022a401ac1fccd2.rmeta: crates/netcdf3/src/lib.rs crates/netcdf3/src/error.rs crates/netcdf3/src/model.rs crates/netcdf3/src/read.rs crates/netcdf3/src/write.rs
+
+crates/netcdf3/src/lib.rs:
+crates/netcdf3/src/error.rs:
+crates/netcdf3/src/model.rs:
+crates/netcdf3/src/read.rs:
+crates/netcdf3/src/write.rs:

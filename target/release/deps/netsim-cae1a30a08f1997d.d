@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/netsim-cae1a30a08f1997d.d: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libnetsim-cae1a30a08f1997d.rlib: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libnetsim-cae1a30a08f1997d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/auth.rs crates/netsim/src/clock.rs crates/netsim/src/disk.rs crates/netsim/src/profile.rs crates/netsim/src/queue.rs crates/netsim/src/striped.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/auth.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/disk.rs:
+crates/netsim/src/profile.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/striped.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:

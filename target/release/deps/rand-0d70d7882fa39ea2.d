@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-0d70d7882fa39ea2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0d70d7882fa39ea2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0d70d7882fa39ea2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

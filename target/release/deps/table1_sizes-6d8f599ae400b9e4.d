@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_sizes-6d8f599ae400b9e4.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/release/deps/table1_sizes-6d8f599ae400b9e4: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

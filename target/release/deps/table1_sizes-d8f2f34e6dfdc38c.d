@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_sizes-d8f2f34e6dfdc38c.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/release/deps/table1_sizes-d8f2f34e6dfdc38c: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/transport-1f7e75dfbe0fd3eb.d: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+/root/repo/target/release/deps/libtransport-1f7e75dfbe0fd3eb.rlib: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+/root/repo/target/release/deps/libtransport-1f7e75dfbe0fd3eb.rmeta: crates/transport/src/lib.rs crates/transport/src/error.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/tcpserver.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/error.rs:
+crates/transport/src/fileserver.rs:
+crates/transport/src/framed.rs:
+crates/transport/src/http/mod.rs:
+crates/transport/src/http/client.rs:
+crates/transport/src/http/request.rs:
+crates/transport/src/http/response.rs:
+crates/transport/src/http/server.rs:
+crates/transport/src/iovec.rs:
+crates/transport/src/tcpserver.rs:

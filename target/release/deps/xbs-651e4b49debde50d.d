@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xbs-651e4b49debde50d.d: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+/root/repo/target/release/deps/libxbs-651e4b49debde50d.rlib: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+/root/repo/target/release/deps/libxbs-651e4b49debde50d.rmeta: crates/xbs/src/lib.rs crates/xbs/src/byteorder.rs crates/xbs/src/error.rs crates/xbs/src/prim.rs crates/xbs/src/reader.rs crates/xbs/src/typecode.rs crates/xbs/src/vls.rs crates/xbs/src/writer.rs
+
+crates/xbs/src/lib.rs:
+crates/xbs/src/byteorder.rs:
+crates/xbs/src/error.rs:
+crates/xbs/src/prim.rs:
+crates/xbs/src/reader.rs:
+crates/xbs/src/typecode.rs:
+crates/xbs/src/vls.rs:
+crates/xbs/src/writer.rs:

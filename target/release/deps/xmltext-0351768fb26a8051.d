@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xmltext-0351768fb26a8051.d: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+/root/repo/target/release/deps/libxmltext-0351768fb26a8051.rlib: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+/root/repo/target/release/deps/libxmltext-0351768fb26a8051.rmeta: crates/xmltext/src/lib.rs crates/xmltext/src/error.rs crates/xmltext/src/escape.rs crates/xmltext/src/lexer.rs crates/xmltext/src/num.rs crates/xmltext/src/reader.rs crates/xmltext/src/writer.rs
+
+crates/xmltext/src/lib.rs:
+crates/xmltext/src/error.rs:
+crates/xmltext/src/escape.rs:
+crates/xmltext/src/lexer.rs:
+crates/xmltext/src/num.rs:
+crates/xmltext/src/reader.rs:
+crates/xmltext/src/writer.rs:

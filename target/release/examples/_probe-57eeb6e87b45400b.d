@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-57eeb6e87b45400b.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-57eeb6e87b45400b: examples/_probe.rs
+
+examples/_probe.rs:

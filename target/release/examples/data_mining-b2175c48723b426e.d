@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_mining-b2175c48723b426e.d: examples/data_mining.rs
+
+/root/repo/target/release/examples/data_mining-b2175c48723b426e: examples/data_mining.rs
+
+examples/data_mining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/intermediary_relay-ba7bfdaf16681b09.d: examples/intermediary_relay.rs
+
+/root/repo/target/release/examples/intermediary_relay-ba7bfdaf16681b09: examples/intermediary_relay.rs
+
+examples/intermediary_relay.rs:

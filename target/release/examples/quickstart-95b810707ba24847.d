@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-95b810707ba24847.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-95b810707ba24847: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-2d20ff61abffe0ba.d: examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-2d20ff61abffe0ba: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/service_discovery-46cbda85b6547fe0.d: examples/service_discovery.rs
+
+/root/repo/target/release/examples/service_discovery-46cbda85b6547fe0: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weather_service-ba9ce87423fefb51.d: examples/weather_service.rs
+
+/root/repo/target/release/examples/weather_service-ba9ce87423fefb51: examples/weather_service.rs
+
+examples/weather_service.rs:
