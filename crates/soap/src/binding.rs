@@ -7,7 +7,8 @@
 //! `receive_request`/`send_response`, live in [`crate::server`] where the
 //! accept loop owns the connection.)
 
-use transport::{FramedStream, HttpResponse};
+use transport::faulty::FaultAction;
+use transport::{FramedStream, HttpResponse, SharedInjector, Timeouts, TransportError};
 
 use crate::error::{SoapError, SoapResult};
 use crate::fault::SoapFault;
@@ -41,6 +42,8 @@ pub struct HttpBinding {
     path: String,
     /// SOAPAction header value, if the service wants one.
     pub soap_action: Option<String>,
+    /// Per-phase time budgets for each exchange (default: unlimited).
+    pub timeouts: Timeouts,
     pending: Option<HttpResponse>,
 }
 
@@ -51,8 +54,15 @@ impl HttpBinding {
             addr: addr.to_owned(),
             path: path.to_owned(),
             soap_action: None,
+            timeouts: Timeouts::none(),
             pending: None,
         }
+    }
+
+    /// Set per-phase time budgets (chainable).
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> HttpBinding {
+        self.timeouts = timeouts;
+        self
     }
 
     /// The endpoint address.
@@ -68,16 +78,13 @@ impl BindingPolicy for HttpBinding {
         if let Some(action) = &self.soap_action {
             request = request.with_header("SOAPAction", action);
         }
-        let response = transport::http::client::send_request(&self.addr, &request)?;
+        let response =
+            transport::http::client::send_request_with(&self.addr, &request, &self.timeouts)?;
         // SOAP-over-HTTP delivers faults in 500 responses with a SOAP
-        // body; anything else non-2xx is a transport-level error.
+        // body; anything else non-2xx is a transport-level error carrying
+        // the status, a body prefix, and any Retry-After.
         if !response.is_success() && response.status != 500 {
-            return Err(SoapError::Transport(
-                transport::TransportError::HttpStatus {
-                    status: response.status,
-                    reason: response.reason,
-                },
-            ));
+            return Err(SoapError::Transport(response.status_error()));
         }
         self.pending = Some(response);
         Ok(())
@@ -99,6 +106,8 @@ impl BindingPolicy for HttpBinding {
 #[derive(Debug)]
 pub struct TcpBinding {
     addr: String,
+    /// Per-phase time budgets applied on (re)connect (default: unlimited).
+    pub timeouts: Timeouts,
     stream: Option<FramedStream>,
 }
 
@@ -107,8 +116,16 @@ impl TcpBinding {
     pub fn new(addr: &str) -> TcpBinding {
         TcpBinding {
             addr: addr.to_owned(),
+            timeouts: Timeouts::none(),
             stream: None,
         }
+    }
+
+    /// Set per-phase time budgets (chainable); applied on next connect.
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> TcpBinding {
+        self.timeouts = timeouts;
+        self.stream = None; // reconnect with the new budgets
+        self
     }
 
     /// The endpoint address.
@@ -118,7 +135,7 @@ impl TcpBinding {
 
     fn stream(&mut self) -> SoapResult<&mut FramedStream> {
         if self.stream.is_none() {
-            self.stream = Some(FramedStream::connect(&self.addr)?);
+            self.stream = Some(FramedStream::connect_with(&self.addr, &self.timeouts)?);
         }
         Ok(self.stream.as_mut().expect("just ensured"))
     }
@@ -181,6 +198,79 @@ where
         self.pending
             .take()
             .ok_or_else(|| SoapError::Protocol("receive_response before send_request".into()))
+    }
+}
+
+/// A fault-injecting decorator over any [`BindingPolicy`].
+///
+/// Consults a shared, seeded [`transport::FaultInjector`] at each
+/// message-level event and surfaces its decisions as the same typed
+/// transport errors a real flaky network would produce:
+///
+/// * refused connect → [`TransportError::ConnectFailed`] (retry-safe —
+///   the request never left the client),
+/// * drop mid-exchange → [`TransportError::ConnectionClosed`],
+/// * stall → [`TransportError::TimedOut`],
+/// * truncate/corrupt → the mutated bytes are passed through for the
+///   decoders downstream to reject.
+///
+/// Sharing one [`SharedInjector`] between a `FaultingBinding` and any
+/// [`transport::FaultingTransport`] streams keeps the whole test run on a
+/// single deterministic fault schedule.
+pub struct FaultingBinding<B: BindingPolicy> {
+    inner: B,
+    injector: SharedInjector,
+}
+
+impl<B: BindingPolicy> FaultingBinding<B> {
+    /// Decorate `inner` with faults drawn from `injector`.
+    pub fn new(inner: B, injector: SharedInjector) -> FaultingBinding<B> {
+        FaultingBinding { inner, injector }
+    }
+
+    /// The decorated binding.
+    pub fn inner(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    fn surface(&self, action: FaultAction) -> SoapResult<()> {
+        match action {
+            FaultAction::Drop => Err(SoapError::Transport(TransportError::ConnectionClosed)),
+            FaultAction::Stall => Err(SoapError::Transport(TransportError::TimedOut {
+                elapsed: std::time::Duration::ZERO,
+                budget: std::time::Duration::ZERO,
+            })),
+            // Deliver / Delay (virtual time) / Truncate / Corrupt: the
+            // (possibly mutated) bytes still flow.
+            _ => Ok(()),
+        }
+    }
+}
+
+impl<B: BindingPolicy> BindingPolicy for FaultingBinding<B> {
+    fn send_request(&mut self, payload: &[u8], content_type: &str) -> SoapResult<()> {
+        // Connect-level refusals happen before any bytes leave the
+        // client, so they are the retry-safe failure class.
+        if !self.injector.lock().connect_allowed() {
+            return Err(SoapError::Transport(TransportError::ConnectFailed {
+                addr: "<fault-injector>".into(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "injected connect refusal",
+                ),
+            }));
+        }
+        let mut message = payload.to_vec();
+        let action = self.injector.lock().mutate_message(&mut message);
+        self.surface(action)?;
+        self.inner.send_request(&message, content_type)
+    }
+
+    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
+        let mut response = self.inner.receive_response()?;
+        let action = self.injector.lock().mutate_message(&mut response);
+        self.surface(action)?;
+        Ok(response)
     }
 }
 

@@ -1,5 +1,7 @@
 //! The generic SOAP engine (paper §5, §5.1).
 
+use transport::RetryPolicy;
+
 use crate::binding::BindingPolicy;
 use crate::encoding::EncodingPolicy;
 use crate::envelope::SoapEnvelope;
@@ -54,6 +56,11 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     encoding: E,
     binding: B,
     security: S,
+    /// Retry failed exchanges whose failure class proves the server
+    /// cannot have processed the request (`None` = fail fast).
+    retry: Option<RetryPolicy>,
+    /// Exchanges attempted by the most recent `call`/`call_non_idempotent`.
+    last_attempts: u32,
     /// Request-serialization scratch, reused across calls so a client
     /// issuing many similarly-sized requests serializes allocation-free.
     encode_buf: Vec<u8>,
@@ -66,6 +73,8 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             encoding,
             binding,
             security: NoSecurity,
+            retry: None,
+            last_attempts: 0,
             encode_buf: Vec::new(),
         }
     }
@@ -79,8 +88,26 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             encoding,
             binding,
             security,
+            retry: None,
+            last_attempts: 0,
             encode_buf: Vec::new(),
         }
+    }
+
+    /// Enable retries for retry-safe transport failures (chainable).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> SoapEngine<E, B, S> {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Enable or disable retries in place.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Exchanges attempted by the most recent call (1 = no retries).
+    pub fn last_call_attempts(&self) -> u32 {
+        self.last_attempts
     }
 
     /// The encoding policy.
@@ -97,14 +124,70 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     ///
     /// A SOAP fault in the response surfaces as
     /// [`SoapError::Fault`], keeping the happy path a plain envelope.
+    ///
+    /// With a [`RetryPolicy`] installed (see
+    /// [`with_retry`](SoapEngine::with_retry)), failed exchanges are
+    /// replayed — but **only** when the failure class proves the server
+    /// cannot have processed the request (connect refused; 503 with the
+    /// server declining up front — see
+    /// [`transport::TransportError::retry_safe`]). A timeout or reset
+    /// after bytes went out is ambiguous, and a SOAP fault is an answer;
+    /// neither is ever retried. For requests that must not be replayed
+    /// even on safe failures, use
+    /// [`call_non_idempotent`](SoapEngine::call_non_idempotent).
     pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
         let request = self.security.apply(request)?;
         let doc = request.to_document();
         self.encoding.encode_into(&doc, &mut self.encode_buf)?;
-        let response_bytes = self
-            .binding
-            .exchange(&self.encode_buf, self.encoding.content_type())?;
-        let response_doc = self.encoding.decode(&response_bytes)?;
+        self.last_attempts = 0;
+        let mut schedule = self.retry.as_ref().map(|p| p.schedule());
+        loop {
+            self.last_attempts += 1;
+            let error = match self
+                .binding
+                .exchange(&self.encode_buf, self.encoding.content_type())
+            {
+                Ok(bytes) => return self.finish_call(&bytes),
+                Err(e) => e,
+            };
+            let retry_safe =
+                matches!(&error, SoapError::Transport(t) if t.retry_safe());
+            let delay = if retry_safe {
+                schedule.as_mut().and_then(|s| s.next_delay())
+            } else {
+                None
+            };
+            let Some(mut delay) = delay else {
+                return Err(error);
+            };
+            // A server-provided Retry-After hint stretches the backoff,
+            // bounded by the policy's cap so a hostile hint cannot park
+            // the client.
+            if let SoapError::Transport(transport::TransportError::HttpStatus {
+                retry_after_secs: Some(secs),
+                ..
+            }) = &error
+            {
+                let cap = self.retry.as_ref().expect("retrying implies policy").cap;
+                delay = delay.max(std::time::Duration::from_secs(*secs).min(cap));
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+
+    /// [`call`](SoapEngine::call) for requests with side effects that
+    /// must not be replayed: never retries, whatever policy is installed.
+    pub fn call_non_idempotent(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+        let policy = self.retry.take();
+        let result = self.call(request);
+        self.retry = policy;
+        result
+    }
+
+    fn finish_call(&mut self, response_bytes: &[u8]) -> SoapResult<SoapEnvelope> {
+        let response_doc = self.encoding.decode(response_bytes)?;
         let envelope = SoapEnvelope::from_document(&response_doc)?;
         if let Some(fault) = envelope.as_fault() {
             return Err(SoapError::Fault(fault));
@@ -130,6 +213,7 @@ mod tests {
     use crate::encoding::{BxsaEncoding, EncodingPolicy, XmlEncoding};
     use crate::fault::{FaultCode, SoapFault};
     use bxdm::{ArrayValue, AtomicValue, Element};
+    use std::sync::Arc;
 
     /// A loopback service: sums the request's array, replies with a leaf.
     fn sum_service<Enc: EncodingPolicy>(enc: Enc) -> impl FnMut(&[u8]) -> Vec<u8> {
@@ -231,5 +315,78 @@ mod tests {
             engine.call(sum_request()),
             Err(SoapError::Bxsa(_))
         ));
+    }
+
+    #[test]
+    fn retry_recovers_from_connect_refusals() {
+        use crate::binding::FaultingBinding;
+        use transport::faulty::{FaultInjector, FaultProfile};
+        use transport::RetryPolicy;
+
+        let injector = FaultInjector::new(FaultProfile::flaky_connect(7, 0.3)).shared();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            FaultingBinding::new(
+                LoopbackBinding::new(sum_service(XmlEncoding::default())),
+                Arc::clone(&injector),
+            ),
+        )
+        .with_retry(RetryPolicy::no_delay(10));
+        let mut retried_calls = 0u32;
+        for _ in 0..50 {
+            let resp = engine.call(sum_request()).expect("retry must recover");
+            assert_eq!(
+                resp.body_element().unwrap().child_value("total"),
+                Some(&AtomicValue::F64(3.0))
+            );
+            if engine.last_call_attempts() > 1 {
+                retried_calls += 1;
+            }
+        }
+        assert!(retried_calls > 0, "a 30% refusal rate must trigger retries");
+        assert!(injector.lock().connects_refused() > 0);
+    }
+
+    #[test]
+    fn faults_are_never_retried() {
+        use transport::RetryPolicy;
+
+        let enc = XmlEncoding::default();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(move |_: &[u8]| {
+                let fault = SoapFault::new(FaultCode::Client, "rejected").to_element();
+                enc.encode(&SoapEnvelope::with_body(fault).to_document())
+                    .unwrap()
+            }),
+        )
+        .with_retry(RetryPolicy::no_delay(10));
+        assert!(matches!(engine.call(sum_request()), Err(SoapError::Fault(_))));
+        assert_eq!(engine.last_call_attempts(), 1, "faults are answers");
+    }
+
+    #[test]
+    fn call_non_idempotent_never_retries() {
+        use crate::binding::FaultingBinding;
+        use transport::faulty::{FaultInjector, FaultProfile};
+        use transport::RetryPolicy;
+
+        // Every connect refused: a retrying call would burn all attempts.
+        let injector = FaultInjector::new(FaultProfile::flaky_connect(3, 1.0)).shared();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            FaultingBinding::new(
+                LoopbackBinding::new(sum_service(XmlEncoding::default())),
+                injector,
+            ),
+        )
+        .with_retry(RetryPolicy::no_delay(10));
+        let err = engine.call_non_idempotent(sum_request()).unwrap_err();
+        assert!(matches!(err, SoapError::Transport(_)));
+        assert_eq!(engine.last_call_attempts(), 1, "must not be replayed");
+        // The installed policy survives for subsequent idempotent calls.
+        let err = engine.call(sum_request()).unwrap_err();
+        assert!(matches!(err, SoapError::Transport(_)));
+        assert_eq!(engine.last_call_attempts(), 10, "policy still installed");
     }
 }

@@ -20,6 +20,14 @@ pub enum FaultCode {
 }
 
 impl FaultCode {
+    /// All standard codes, for exhaustive tests and diagnostics.
+    pub const ALL: [FaultCode; 4] = [
+        FaultCode::VersionMismatch,
+        FaultCode::MustUnderstand,
+        FaultCode::Client,
+        FaultCode::Server,
+    ];
+
     /// Qualified lexical form (`soapenv:Server`).
     pub fn qualified(self) -> String {
         format!("{SOAP_ENV_PREFIX}:{}", self.local())
@@ -156,6 +164,21 @@ mod tests {
         assert_eq!(FaultCode::parse("Client"), FaultCode::Client);
         assert_eq!(FaultCode::parse("SOAP-ENV:MustUnderstand"), FaultCode::MustUnderstand);
         assert_eq!(FaultCode::parse("weird"), FaultCode::Server);
+    }
+
+    #[test]
+    fn every_code_roundtrips_through_its_lexical_forms() {
+        for code in FaultCode::ALL {
+            // The qualified form a conforming peer writes.
+            assert_eq!(FaultCode::parse(&code.qualified()), code);
+            // The unprefixed form a lenient peer might write.
+            assert_eq!(FaultCode::parse(code.local()), code);
+            // An unknown prefix must not change the meaning.
+            assert_eq!(
+                FaultCode::parse(&format!("their-env:{}", code.local())),
+                code
+            );
+        }
     }
 
     #[test]

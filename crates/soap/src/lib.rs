@@ -53,7 +53,7 @@ pub mod server;
 pub mod service;
 
 pub use anyengine::{AnyEngine, WireConfig, WireEncoding, WireTransport};
-pub use binding::{BindingPolicy, HttpBinding, TcpBinding};
+pub use binding::{BindingPolicy, FaultingBinding, HttpBinding, TcpBinding};
 pub use encoding::{BxsaEncoding, EncodingPolicy, XmlEncoding};
 pub use engine::{NoSecurity, SecurityPolicy, SoapEngine};
 pub use envelope::{SoapEnvelope, SOAP_ENV_PREFIX, SOAP_ENV_URI};
@@ -61,7 +61,7 @@ pub use error::{SoapError, SoapResult};
 pub use fault::{FaultCode, SoapFault};
 pub use intermediary::Intermediary;
 pub use server::{HttpSoapServer, TcpSoapServer};
-pub use service::{ServiceHandler, ServiceRegistry, SoapService};
+pub use service::{fault_for_error, ServiceHandler, ServiceRegistry, SoapService};
 
 /// The four canonical engine instantiations (paper §5: "obviously we can
 /// have two more combinations").

@@ -1,7 +1,15 @@
 //! Server bindings: expose a [`SoapService`] over TCP or HTTP.
+//!
+//! Both servers inherit the transport layer's resilience: a connection
+//! that stalls past its read budget, trips the frame limit, or dies
+//! mid-message takes a typed, logged, *counted* error path and never
+//! takes the listener down — see
+//! [`connection_errors`](TcpSoapServer::connection_errors).
 
 use std::net::SocketAddr;
 use std::sync::Arc;
+
+use transport::{HttpServerConfig, TcpServerConfig};
 
 use crate::encoding::EncodingPolicy;
 use crate::error::SoapResult;
@@ -18,12 +26,25 @@ impl TcpSoapServer {
     where
         E: EncodingPolicy + Send + Sync + 'static,
     {
+        TcpSoapServer::bind_with(addr, TcpServerConfig::default(), encoding, registry)
+    }
+
+    /// [`bind`](TcpSoapServer::bind) with explicit per-connection limits.
+    pub fn bind_with<E>(
+        addr: &str,
+        config: TcpServerConfig,
+        encoding: E,
+        registry: Arc<ServiceRegistry>,
+    ) -> SoapResult<TcpSoapServer>
+    where
+        E: EncodingPolicy + Send + Sync + 'static,
+    {
         let service = SoapService::new(encoding, registry);
         // Faults travel in-band on raw TCP: the envelope itself says so.
         // The buffered handler keeps each connection's request/response
         // buffers alive across messages, so steady-state service does no
         // per-message payload allocation.
-        let inner = transport::TcpServer::bind_buffered(addr, move |request, out| {
+        let inner = transport::TcpServer::bind_buffered_with(addr, config, move |request, out| {
             service.handle_bytes_into(request, out);
         })?;
         Ok(TcpSoapServer { inner })
@@ -32,6 +53,13 @@ impl TcpSoapServer {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr()
+    }
+
+    /// Connections that ended with a transport error (half-written
+    /// frame, oversize prefix, mid-read stall) without harming the
+    /// listener.
+    pub fn connection_errors(&self) -> u64 {
+        self.inner.error_count()
     }
 
     /// Stop serving.
@@ -56,10 +84,24 @@ impl HttpSoapServer {
     where
         E: EncodingPolicy + Send + Sync + 'static,
     {
+        HttpSoapServer::bind_with(addr, path, HttpServerConfig::default(), encoding, registry)
+    }
+
+    /// [`bind`](HttpSoapServer::bind) with explicit per-connection limits.
+    pub fn bind_with<E>(
+        addr: &str,
+        path: &str,
+        config: HttpServerConfig,
+        encoding: E,
+        registry: Arc<ServiceRegistry>,
+    ) -> SoapResult<HttpSoapServer>
+    where
+        E: EncodingPolicy + Send + Sync + 'static,
+    {
         let service = SoapService::new(encoding, registry);
         let content_type = service.encoding().content_type();
         let path = path.to_owned();
-        let inner = transport::HttpServer::bind(addr, move |request| {
+        let inner = transport::HttpServer::bind_with(addr, config, move |request| {
             if request.method != "POST" || request.path != path {
                 return transport::HttpResponse::not_found();
             }
@@ -78,6 +120,12 @@ impl HttpSoapServer {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr()
+    }
+
+    /// Connections that ended with a transport error without harming the
+    /// listener.
+    pub fn connection_errors(&self) -> u64 {
+        self.inner.error_count()
     }
 
     /// Stop serving.
@@ -225,6 +273,49 @@ mod tests {
             Err(SoapError::Fault(f)) => assert_eq!(f.code, FaultCode::Client),
             other => panic!("expected fault, got {other:?}"),
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_written_frame_leaves_soap_listener_alive() {
+        use std::io::Write;
+        use std::time::Duration;
+
+        let server = TcpSoapServer::bind_with(
+            "127.0.0.1:0",
+            TcpServerConfig {
+                read_timeout: Some(Duration::from_millis(50)),
+                write_timeout: Some(Duration::from_secs(5)),
+            },
+            BxsaEncoding::default(),
+            verify_registry(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // A client that declares a 4 KiB frame, writes half a message,
+        // and disconnects.
+        {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.write_all(&4096u32.to_be_bytes()).unwrap();
+            raw.write_all(&[0xBB; 100]).unwrap();
+        }
+        // The failure is counted (poll: the worker races the assertion)...
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.connection_errors() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.connection_errors() >= 1, "truncation must be counted");
+        // ...and the listener still serves real SOAP traffic.
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            TcpBinding::new(&addr.to_string()),
+        );
+        let resp = engine.call(verify_request(10)).unwrap();
+        assert_eq!(
+            resp.body_element().unwrap().child_value("ok"),
+            Some(&AtomicValue::Bool(true))
+        );
         server.shutdown();
     }
 

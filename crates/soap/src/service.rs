@@ -100,6 +100,23 @@ pub fn fault_envelope(fault: SoapFault) -> SoapEnvelope {
     SoapEnvelope::with_body(fault.to_element())
 }
 
+/// Map a processing error onto the SOAP 1.1 fault class it deserves
+/// (SOAP 1.1 §4.4.1): failures *of the sender's message* — undecodable
+/// bytes, malformed envelopes — are `Client` faults ("the message ...
+/// should not be resent without change"); failures *of the service* —
+/// transport trouble behind the server, internal errors — are `Server`
+/// faults (the same message may later succeed). A carried [`SoapFault`]
+/// keeps its own code.
+pub fn fault_for_error(err: SoapError) -> SoapFault {
+    match err {
+        SoapError::Fault(f) => f,
+        e @ (SoapError::Bxsa(_) | SoapError::Xml(_) | SoapError::Protocol(_)) => {
+            SoapFault::new(FaultCode::Client, &e.to_string())
+        }
+        e @ SoapError::Transport(_) => SoapFault::new(FaultCode::Server, &e.to_string()),
+    }
+}
+
 /// A byte-level SOAP service: a registry plus an encoding policy.
 ///
 /// This is the piece both server bindings share — "receiving the message
@@ -137,10 +154,7 @@ impl<E: EncodingPolicy> SoapService<E> {
     pub fn handle_bytes_into(&self, request: &[u8], out: &mut Vec<u8>) -> bool {
         let response = match self.try_handle(request) {
             Ok(envelope) => envelope,
-            Err(e) => fault_envelope(match e {
-                SoapError::Fault(f) => f,
-                other => SoapFault::new(FaultCode::Client, &other.to_string()),
-            }),
+            Err(e) => fault_envelope(fault_for_error(e)),
         };
         let is_fault = response.is_fault();
         if let Err(e) = self.encoding.encode_into(&response.to_document(), out) {
@@ -255,6 +269,39 @@ mod tests {
         assert!(is_fault);
         let doc = XmlEncoding::default().decode(&resp_bytes).unwrap();
         assert!(SoapEnvelope::from_document(&doc).unwrap().is_fault());
+    }
+
+    #[test]
+    fn error_classes_map_to_the_right_fault_codes() {
+        // Sender's problem: bad bytes, bad structure.
+        let bxsa_err = bxsa::decode(b"junk").unwrap_err();
+        assert_eq!(
+            fault_for_error(SoapError::Bxsa(bxsa_err)).code,
+            FaultCode::Client
+        );
+        let xml_err = xmltext::parse("<open").unwrap_err();
+        assert_eq!(
+            fault_for_error(SoapError::Xml(xml_err)).code,
+            FaultCode::Client
+        );
+        assert_eq!(
+            fault_for_error(SoapError::Protocol("no Envelope".into())).code,
+            FaultCode::Client
+        );
+        // Service's problem: transport trouble behind the server.
+        assert_eq!(
+            fault_for_error(SoapError::Transport(
+                transport::TransportError::ConnectionClosed
+            ))
+            .code,
+            FaultCode::Server
+        );
+        // A carried fault keeps its own code.
+        let f = SoapFault::new(FaultCode::MustUnderstand, "hdr");
+        assert_eq!(
+            fault_for_error(SoapError::Fault(f)).code,
+            FaultCode::MustUnderstand
+        );
     }
 
     #[test]

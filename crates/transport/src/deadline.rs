@@ -1,0 +1,186 @@
+//! Deadlines and timeout budgets.
+//!
+//! A [`Deadline`] is an absolute point in time by which an operation must
+//! finish; [`Timeouts`] is the per-phase (connect/read/write) budget
+//! configuration the transports accept. The two compose: a deadline can
+//! be narrowed into the socket timeouts for each blocking call along the
+//! way, so one end-to-end budget propagates through connect → send →
+//! receive instead of each phase getting a full, independent allowance.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{TransportError, TransportResult};
+
+/// An absolute time budget for a multi-step operation.
+///
+/// `Deadline::within(budget)` starts the clock; each blocking phase asks
+/// [`Deadline::remaining`] for what is left and uses that as its socket
+/// timeout. Once the budget is spent, `remaining` returns the typed
+/// [`TransportError::TimedOut`] so callers at any depth fail with the
+/// elapsed/budget pair instead of a bare I/O error.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// No deadline: `remaining()` always yields `None` (block forever).
+    pub fn none() -> Deadline {
+        Deadline {
+            started: Instant::now(),
+            budget: None,
+        }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            started: Instant::now(),
+            budget: Some(budget),
+        }
+    }
+
+    /// Time since the deadline started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The configured total budget, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// Has the budget been spent?
+    pub fn expired(&self) -> bool {
+        match self.budget {
+            Some(b) => self.elapsed() >= b,
+            None => false,
+        }
+    }
+
+    /// Budget left for the next blocking phase: `Ok(None)` when
+    /// unbounded, `Ok(Some(d))` with `d > 0` otherwise, and the typed
+    /// timeout error once expired.
+    pub fn remaining(&self) -> TransportResult<Option<Duration>> {
+        let Some(budget) = self.budget else {
+            return Ok(None);
+        };
+        let elapsed = self.elapsed();
+        if elapsed >= budget {
+            return Err(TransportError::TimedOut { elapsed, budget });
+        }
+        Ok(Some(budget - elapsed))
+    }
+
+    /// The typed error for this deadline, for callers that detected the
+    /// expiry through a socket timeout rather than [`Deadline::remaining`].
+    pub fn timed_out(&self) -> TransportError {
+        TransportError::TimedOut {
+            elapsed: self.elapsed(),
+            budget: self.budget.unwrap_or_default(),
+        }
+    }
+}
+
+/// Per-phase timeout budgets for a transport endpoint.
+///
+/// `None` means block indefinitely (the pre-resilience behaviour, and the
+/// default). These map directly onto `TcpStream::connect_timeout`,
+/// `set_read_timeout`, and `set_write_timeout`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeouts {
+    /// Budget for establishing the connection.
+    pub connect: Option<Duration>,
+    /// Budget for each blocking read.
+    pub read: Option<Duration>,
+    /// Budget for each blocking write.
+    pub write: Option<Duration>,
+}
+
+impl Timeouts {
+    /// No timeouts anywhere (block forever).
+    pub fn none() -> Timeouts {
+        Timeouts::default()
+    }
+
+    /// One budget applied to all three phases.
+    pub fn all(budget: Duration) -> Timeouts {
+        Timeouts {
+            connect: Some(budget),
+            read: Some(budget),
+            write: Some(budget),
+        }
+    }
+
+    /// Narrow every phase budget to what a deadline has left; an expired
+    /// deadline surfaces as the typed timeout error.
+    pub fn clamped_to(&self, deadline: &Deadline) -> TransportResult<Timeouts> {
+        let Some(left) = deadline.remaining()? else {
+            return Ok(*self);
+        };
+        let clamp = |phase: Option<Duration>| Some(phase.map_or(left, |p| p.min(left)));
+        Ok(Timeouts {
+            connect: clamp(self.connect),
+            read: clamp(self.read),
+            write: clamp(self.write),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining().unwrap(), None);
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_error() {
+        let d = Deadline::within(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        match d.remaining() {
+            Err(TransportError::TimedOut { elapsed, budget }) => {
+                assert!(elapsed >= budget);
+                assert_eq!(budget, Duration::from_millis(1));
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remaining_shrinks() {
+        let d = Deadline::within(Duration::from_secs(60));
+        let r1 = d.remaining().unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let r2 = d.remaining().unwrap().unwrap();
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    fn timeouts_clamp_to_deadline() {
+        let t = Timeouts {
+            connect: Some(Duration::from_secs(100)),
+            read: None,
+            write: Some(Duration::from_millis(1)),
+        };
+        let d = Deadline::within(Duration::from_secs(10));
+        let clamped = t.clamped_to(&d).unwrap();
+        // Longer-than-deadline budgets shrink, unbounded ones are capped,
+        // shorter ones survive.
+        assert!(clamped.connect.unwrap() <= Duration::from_secs(10));
+        assert!(clamped.read.unwrap() <= Duration::from_secs(10));
+        assert_eq!(clamped.write, Some(Duration::from_millis(1)));
+
+        let spent = Deadline::within(Duration::ZERO);
+        assert!(matches!(
+            t.clamped_to(&spent),
+            Err(TransportError::TimedOut { .. })
+        ));
+    }
+}

@@ -1,6 +1,12 @@
 //! Transport-layer errors.
 
 use std::fmt;
+use std::time::Duration;
+
+/// How many body bytes [`TransportError::HttpStatus`] preserves for
+/// diagnostics. 503 pages and SOAP fault bodies fit their useful prefix
+/// in this much; anything longer is truncated, never allocated through.
+pub const HTTP_STATUS_BODY_PREFIX: usize = 256;
 
 /// Errors from the framed-TCP and HTTP transports.
 #[derive(Debug)]
@@ -11,11 +17,83 @@ pub enum TransportError {
     FrameTooLarge { declared: u64 },
     /// The peer closed the connection mid-message.
     ConnectionClosed,
+    /// Establishing the connection failed — refused, unreachable, or
+    /// timed out during the handshake. Distinct from [`TransportError::Io`]
+    /// because no request bytes can have reached the peer, which makes
+    /// this class safe to retry even for non-idempotent operations.
+    ConnectFailed {
+        /// The address we tried to reach.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// A read or write exceeded its configured time budget.
+    TimedOut {
+        /// How long the operation ran before giving up.
+        elapsed: Duration,
+        /// The configured budget it exceeded.
+        budget: Duration,
+    },
     /// Malformed HTTP syntax.
     BadHttp { what: String },
     /// An HTTP response with a non-success status, surfaced by helpers
     /// that expect success.
-    HttpStatus { status: u16, reason: String },
+    HttpStatus {
+        status: u16,
+        reason: String,
+        /// The first [`HTTP_STATUS_BODY_PREFIX`] bytes of the response
+        /// body — enough to make a 503 page or fault body actionable.
+        body_prefix: Vec<u8>,
+        /// A parsed `Retry-After: <seconds>` header, when the server sent
+        /// one (503 throttling responses do).
+        retry_after_secs: Option<u64>,
+    },
+}
+
+impl TransportError {
+    /// Build an [`TransportError::HttpStatus`], truncating the body to its
+    /// diagnostic prefix.
+    pub fn http_status(
+        status: u16,
+        reason: &str,
+        body: &[u8],
+        retry_after_secs: Option<u64>,
+    ) -> TransportError {
+        TransportError::HttpStatus {
+            status,
+            reason: reason.to_owned(),
+            body_prefix: body[..body.len().min(HTTP_STATUS_BODY_PREFIX)].to_vec(),
+            retry_after_secs,
+        }
+    }
+
+    /// Does this `io::Error` mean a socket timeout fired? Both kinds
+    /// appear in the wild: Unix sockets report `WouldBlock`, Windows
+    /// `TimedOut`.
+    pub fn io_is_timeout(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Is it safe to retry the request that produced this error even when
+    /// the operation is not idempotent?
+    ///
+    /// True exactly for the failure classes where the server cannot have
+    /// processed the request: the connection was never established
+    /// ([`TransportError::ConnectFailed`] — refused, unreachable, or
+    /// handshake timeout, i.e. a timeout before any bytes were written),
+    /// or the server explicitly declined it with `503 Service
+    /// Unavailable`. A mid-exchange timeout, reset, or close is *not*
+    /// retry-safe: the request may have been executed.
+    pub fn retry_safe(&self) -> bool {
+        matches!(
+            self,
+            TransportError::ConnectFailed { .. }
+                | TransportError::HttpStatus { status: 503, .. }
+        )
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -26,9 +104,30 @@ impl fmt::Display for TransportError {
                 write!(f, "frame of {declared} bytes exceeds the frame size limit")
             }
             TransportError::ConnectionClosed => write!(f, "peer closed the connection"),
+            TransportError::ConnectFailed { addr, source } => {
+                write!(f, "connect to {addr} failed: {source}")
+            }
+            TransportError::TimedOut { elapsed, budget } => write!(
+                f,
+                "timed out after {:.3}s (budget {:.3}s)",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64()
+            ),
             TransportError::BadHttp { what } => write!(f, "malformed HTTP: {what}"),
-            TransportError::HttpStatus { status, reason } => {
-                write!(f, "HTTP error {status} {reason}")
+            TransportError::HttpStatus {
+                status,
+                reason,
+                body_prefix,
+                retry_after_secs,
+            } => {
+                write!(f, "HTTP error {status} {reason}")?;
+                if let Some(secs) = retry_after_secs {
+                    write!(f, " (Retry-After: {secs}s)")?;
+                }
+                if !body_prefix.is_empty() {
+                    write!(f, ": {}", String::from_utf8_lossy(body_prefix))?;
+                }
+                Ok(())
             }
         }
     }
@@ -38,6 +137,7 @@ impl std::error::Error for TransportError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransportError::Io(e) => Some(e),
+            TransportError::ConnectFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -62,11 +162,64 @@ mod tests {
         assert!(TransportError::FrameTooLarge { declared: 99 }
             .to_string()
             .contains("99"));
-        assert!(TransportError::HttpStatus {
-            status: 404,
-            reason: "Not Found".into()
+        assert!(TransportError::http_status(404, "Not Found", b"", None)
+            .to_string()
+            .contains("404"));
+        let s = TransportError::TimedOut {
+            elapsed: Duration::from_millis(120),
+            budget: Duration::from_millis(100),
         }
-        .to_string()
-        .contains("404"));
+        .to_string();
+        assert!(s.contains("0.120") && s.contains("0.100"), "{s}");
+    }
+
+    #[test]
+    fn http_status_carries_and_truncates_body() {
+        let long = vec![b'x'; 1000];
+        let e = TransportError::http_status(503, "Service Unavailable", &long, Some(2));
+        match &e {
+            TransportError::HttpStatus {
+                body_prefix,
+                retry_after_secs,
+                ..
+            } => {
+                assert_eq!(body_prefix.len(), HTTP_STATUS_BODY_PREFIX);
+                assert_eq!(*retry_after_secs, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = e.to_string();
+        assert!(s.contains("503") && s.contains("xxx") && s.contains("Retry-After: 2s"));
+    }
+
+    #[test]
+    fn retry_safety_classification() {
+        let refused = TransportError::ConnectFailed {
+            addr: "10.0.0.1:80".into(),
+            source: std::io::ErrorKind::ConnectionRefused.into(),
+        };
+        assert!(refused.retry_safe());
+        assert!(TransportError::http_status(503, "Service Unavailable", b"", None).retry_safe());
+        assert!(!TransportError::http_status(500, "Internal Server Error", b"", None).retry_safe());
+        assert!(!TransportError::ConnectionClosed.retry_safe());
+        assert!(!TransportError::TimedOut {
+            elapsed: Duration::ZERO,
+            budget: Duration::ZERO
+        }
+        .retry_safe());
+        assert!(!TransportError::Io(std::io::ErrorKind::BrokenPipe.into()).retry_safe());
+    }
+
+    #[test]
+    fn io_timeout_detection() {
+        assert!(TransportError::io_is_timeout(
+            &std::io::ErrorKind::WouldBlock.into()
+        ));
+        assert!(TransportError::io_is_timeout(
+            &std::io::ErrorKind::TimedOut.into()
+        ));
+        assert!(!TransportError::io_is_timeout(
+            &std::io::ErrorKind::BrokenPipe.into()
+        ));
     }
 }

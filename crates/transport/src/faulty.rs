@@ -1,0 +1,456 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A production-scale SOAP node has to survive stalled peers, truncated
+//! frames, corrupt bytes, and transient connect failures. This module
+//! makes every one of those paths *testable on demand*: a seeded
+//! [`FaultInjector`] decides, per I/O event, whether to deliver, drop,
+//! truncate, corrupt, delay, or stall — and [`FaultingTransport`] applies
+//! those decisions to any `Read + Write` stream, so a
+//! `FramedStream<FaultingTransport<TcpStream>>` (or an in-memory pipe)
+//! exercises the exact code paths a hostile network would.
+//!
+//! Delays do not sleep: they advance a `netsim` [`VirtualClock`] by the
+//! transfer duration the configured [`NetworkProfile`]'s TCP model
+//! assigns to the payload, so a fault schedule is reproducible and a test
+//! can assert on the virtual time a lossy exchange consumed.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use netsim::{NetworkProfile, SimTime, TcpFlow, VirtualClock};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Per-event fault probabilities (each in `[0, 1]`; evaluated in the
+/// order drop → stall → truncate → corrupt → delay, first match wins).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// RNG seed — same seed, same fault schedule.
+    pub seed: u64,
+    /// Probability a connect attempt is refused.
+    pub connect_fail: f64,
+    /// Probability an I/O event kills the connection (reset).
+    pub drop: f64,
+    /// Probability an I/O event stalls past the peer's patience
+    /// (surfaces as a socket timeout).
+    pub stall: f64,
+    /// Probability the stream is cut short mid-payload.
+    pub truncate: f64,
+    /// Probability one delivered byte is flipped.
+    pub corrupt: f64,
+    /// Probability the event is delayed (virtual time only).
+    pub delay: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all — the decorator becomes a transparent wrapper.
+    pub fn clean(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            connect_fail: 0.0,
+            drop: 0.0,
+            stall: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+        }
+    }
+
+    /// Connect failures only, at probability `p` — the retry-layer
+    /// workout: every established exchange is clean.
+    pub fn flaky_connect(seed: u64, p: f64) -> FaultProfile {
+        FaultProfile {
+            connect_fail: p,
+            ..FaultProfile::clean(seed)
+        }
+    }
+
+    /// A hostile mix exercising every decoder/transport error path.
+    pub fn hostile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            connect_fail: 0.1,
+            drop: 0.1,
+            stall: 0.05,
+            truncate: 0.15,
+            corrupt: 0.15,
+            delay: 0.2,
+        }
+    }
+}
+
+/// What the injector decided to do with one I/O event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the bytes through untouched.
+    Deliver,
+    /// Kill the connection (connection reset).
+    Drop,
+    /// Block past the peer's patience (socket timeout).
+    Stall,
+    /// Deliver only the first `n` bytes, then end the stream.
+    Truncate(usize),
+    /// Deliver all bytes with byte `at` XORed with `xor` (never 0).
+    Corrupt { at: usize, xor: u8 },
+    /// Deliver after a simulated delay.
+    Delay(SimTime),
+}
+
+/// The seeded fault oracle: one per simulated network, shared (behind
+/// `Arc<Mutex<_>>` via [`SharedInjector`]) by every decorated stream so
+/// the whole test run draws from a single deterministic schedule.
+#[derive(Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: StdRng,
+    clock: VirtualClock,
+    flow: TcpFlow,
+    connects_refused: u64,
+    faults_injected: u64,
+    events: u64,
+}
+
+impl FaultInjector {
+    /// An injector over the paper's LAN profile.
+    pub fn new(profile: FaultProfile) -> FaultInjector {
+        FaultInjector::with_network(profile, NetworkProfile::lan())
+    }
+
+    /// An injector whose delay model comes from a specific network.
+    pub fn with_network(profile: FaultProfile, net: NetworkProfile) -> FaultInjector {
+        FaultInjector {
+            profile,
+            rng: StdRng::seed_from_u64(profile.seed),
+            clock: VirtualClock::new(),
+            flow: TcpFlow::new(net.tcp()),
+            connects_refused: 0,
+            faults_injected: 0,
+            events: 0,
+        }
+    }
+
+    /// Wrap into the shareable handle the decorators take.
+    pub fn shared(self) -> SharedInjector {
+        Arc::new(Mutex::new(self))
+    }
+
+    /// Decide whether a connect attempt succeeds.
+    pub fn connect_allowed(&mut self) -> bool {
+        self.events += 1;
+        if self.rng.random_unit_f64() < self.profile.connect_fail {
+            self.connects_refused += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Decide the fate of an I/O event moving `len` bytes.
+    pub fn decide(&mut self, len: usize) -> FaultAction {
+        self.events += 1;
+        let roll = self.rng.random_unit_f64();
+        let p = &self.profile;
+        let mut edge = p.drop;
+        if roll < edge {
+            self.faults_injected += 1;
+            return FaultAction::Drop;
+        }
+        edge += p.stall;
+        if roll < edge {
+            self.faults_injected += 1;
+            return FaultAction::Stall;
+        }
+        edge += p.truncate;
+        if roll < edge && len > 0 {
+            self.faults_injected += 1;
+            return FaultAction::Truncate(self.rng.random_range(0..len));
+        }
+        edge += p.corrupt;
+        if roll < edge && len > 0 {
+            self.faults_injected += 1;
+            return FaultAction::Corrupt {
+                at: self.rng.random_range(0..len),
+                xor: self.rng.random_range(1u16..256) as u8,
+            };
+        }
+        edge += p.delay;
+        if roll < edge {
+            self.faults_injected += 1;
+            let dt = self.flow.transfer_duration(len.max(1));
+            self.clock.advance(dt);
+            return FaultAction::Delay(dt);
+        }
+        FaultAction::Deliver
+    }
+
+    /// Apply a message-level decision in place: mutates/truncates `buf`
+    /// for data faults and reports connection-level faults back for the
+    /// caller to surface as errors.
+    pub fn mutate_message(&mut self, buf: &mut Vec<u8>) -> FaultAction {
+        let action = self.decide(buf.len());
+        match action {
+            FaultAction::Truncate(n) => buf.truncate(n),
+            FaultAction::Corrupt { at, xor } => buf[at] ^= xor,
+            _ => {}
+        }
+        action
+    }
+
+    /// Connect attempts the injector refused.
+    pub fn connects_refused(&self) -> u64 {
+        self.connects_refused
+    }
+
+    /// Total faults injected (any kind, connect refusals excluded).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Total I/O events consulted.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Virtual time consumed by injected delays.
+    pub fn virtual_elapsed(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+/// The handle decorated streams share.
+pub type SharedInjector = Arc<Mutex<FaultInjector>>;
+
+/// A fault-injecting decorator over any byte stream.
+///
+/// Reads and writes consult the shared [`FaultInjector`] once per
+/// syscall-shaped event; injected faults surface as the `io::Error`s a
+/// real hostile network would produce (`ConnectionReset`, `WouldBlock`,
+/// early EOF), so the layers above exercise their genuine error paths.
+#[derive(Debug)]
+pub struct FaultingTransport<S> {
+    inner: S,
+    injector: SharedInjector,
+    /// Bytes still deliverable after a `Truncate` decision (`None` =
+    /// unlimited). Once it reaches zero, reads yield EOF and writes
+    /// report a reset peer.
+    quota: Option<usize>,
+}
+
+impl<S> FaultingTransport<S> {
+    /// Decorate `inner`, drawing fault decisions from `injector`.
+    pub fn new(inner: S, injector: SharedInjector) -> FaultingTransport<S> {
+        FaultingTransport {
+            inner,
+            injector,
+            quota: None,
+        }
+    }
+
+    /// Unwrap the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn apply_quota(&mut self, wanted: usize) -> Option<usize> {
+        self.quota.map(|q| wanted.min(q))
+    }
+}
+
+fn reset_err() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected fault: reset")
+}
+
+fn stall_err() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::WouldBlock, "injected fault: stall")
+}
+
+impl<S: Read> Read for FaultingTransport<S> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.quota == Some(0) {
+            return Ok(0); // truncated: stream ends early
+        }
+        let action = self.injector.lock().decide(out.len());
+        match action {
+            FaultAction::Drop => return Err(reset_err()),
+            FaultAction::Stall => return Err(stall_err()),
+            FaultAction::Truncate(n) => {
+                self.quota = Some(self.quota.map_or(n, |q| q.min(n)));
+                if self.quota == Some(0) {
+                    return Ok(0);
+                }
+            }
+            FaultAction::Deliver | FaultAction::Corrupt { .. } | FaultAction::Delay(_) => {}
+        }
+        let cap = self.apply_quota(out.len()).unwrap_or(out.len());
+        let n = self.inner.read(&mut out[..cap])?;
+        if let Some(q) = &mut self.quota {
+            *q -= n.min(*q);
+        }
+        if let FaultAction::Corrupt { at, xor } = action {
+            if n > 0 {
+                out[at.min(n - 1)] ^= xor;
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultingTransport<S> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.quota == Some(0) {
+            return Err(reset_err()); // peer "gone" after the cut
+        }
+        let action = self.injector.lock().decide(data.len());
+        match action {
+            FaultAction::Drop => return Err(reset_err()),
+            FaultAction::Stall => return Err(stall_err()),
+            FaultAction::Truncate(n) => {
+                // Accept a prefix, then the connection is dead.
+                self.quota = Some(0);
+                if n == 0 {
+                    return Err(reset_err());
+                }
+                return self.inner.write(&data[..n.min(data.len())]);
+            }
+            FaultAction::Corrupt { at, xor } => {
+                let mut copy = data.to_vec();
+                if !copy.is_empty() {
+                    let idx = at.min(copy.len() - 1);
+                    copy[idx] ^= xor;
+                }
+                return self.inner.write(&copy).map(|n| n.min(data.len()));
+            }
+            FaultAction::Deliver | FaultAction::Delay(_) => {}
+        }
+        self.inner.write(data)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn injector(profile: FaultProfile) -> SharedInjector {
+        FaultInjector::new(profile).shared()
+    }
+
+    #[test]
+    fn clean_profile_is_transparent() {
+        let inj = injector(FaultProfile::clean(1));
+        let mut t = FaultingTransport::new(Cursor::new(Vec::new()), Arc::clone(&inj));
+        t.write_all(b"hello world").unwrap();
+        t.inner.set_position(0);
+        let mut back = String::new();
+        t.read_to_string(&mut back).unwrap();
+        assert_eq!(back, "hello world");
+        assert_eq!(inj.lock().faults_injected(), 0);
+        assert!(inj.lock().events() > 0);
+    }
+
+    #[test]
+    fn deterministic_schedule_for_same_seed() {
+        let mk = || {
+            let mut i = FaultInjector::new(FaultProfile::hostile(42));
+            (0..64).map(|_| i.decide(100)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn connect_failure_rate_tracks_probability() {
+        let mut i = FaultInjector::new(FaultProfile::flaky_connect(7, 0.3));
+        let mut refused = 0;
+        for _ in 0..1000 {
+            if !i.connect_allowed() {
+                refused += 1;
+            }
+        }
+        assert_eq!(refused, i.connects_refused());
+        assert!((200..400).contains(&refused), "refused={refused}");
+    }
+
+    #[test]
+    fn drop_surfaces_as_reset_and_stall_as_wouldblock() {
+        let drop_only = FaultProfile {
+            drop: 1.0,
+            ..FaultProfile::clean(1)
+        };
+        let mut t = FaultingTransport::new(Cursor::new(vec![0u8; 16]), injector(drop_only));
+        let e = t.read(&mut [0u8; 8]).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset);
+
+        let stall_only = FaultProfile {
+            stall: 1.0,
+            ..FaultProfile::clean(1)
+        };
+        let mut t = FaultingTransport::new(Cursor::new(vec![0u8; 16]), injector(stall_only));
+        let e = t.read(&mut [0u8; 8]).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn truncate_ends_the_read_stream_early() {
+        let trunc = FaultProfile {
+            truncate: 1.0,
+            ..FaultProfile::clean(5)
+        };
+        let mut t = FaultingTransport::new(Cursor::new(vec![7u8; 1000]), injector(trunc));
+        let mut got = Vec::new();
+        let n = t.read_to_end(&mut got).unwrap();
+        assert!(n < 1000, "stream should be cut short, got {n}");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let corrupt = FaultProfile {
+            corrupt: 1.0,
+            ..FaultProfile::clean(3)
+        };
+        let data = vec![0u8; 64];
+        let mut t = FaultingTransport::new(Cursor::new(data.clone()), injector(corrupt));
+        let mut got = vec![0u8; 64];
+        t.read_exact(&mut got).unwrap();
+        let flipped = got.iter().filter(|&&b| b != 0).count();
+        // One flip per read event; read_exact may issue one read here.
+        assert!(flipped >= 1, "at least one byte must differ");
+    }
+
+    #[test]
+    fn delay_advances_virtual_clock_only() {
+        let delayed = FaultProfile {
+            delay: 1.0,
+            ..FaultProfile::clean(9)
+        };
+        let inj = injector(delayed);
+        let mut t = FaultingTransport::new(Cursor::new(vec![1u8; 4096]), Arc::clone(&inj));
+        let wall = std::time::Instant::now();
+        let mut sink = Vec::new();
+        t.read_to_end(&mut sink).unwrap();
+        assert!(inj.lock().virtual_elapsed() > SimTime::ZERO);
+        assert!(wall.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn mutate_message_truncates_and_corrupts_in_place() {
+        let mut i = FaultInjector::new(FaultProfile {
+            truncate: 0.5,
+            corrupt: 0.5,
+            ..FaultProfile::clean(11)
+        });
+        let golden = vec![0xabu8; 256];
+        let mut mutated = 0;
+        for _ in 0..200 {
+            let mut m = golden.clone();
+            i.mutate_message(&mut m);
+            if m != golden {
+                mutated += 1;
+            }
+        }
+        assert!(mutated > 150, "most messages should be mutated: {mutated}");
+    }
+}

@@ -5,8 +5,10 @@
 //! the serialization directly to a TCP connection" (paper §5.3).
 
 use std::io::{IoSlice, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use crate::deadline::Timeouts;
 use crate::error::{TransportError, TransportResult};
 use crate::iovec::write_all_vectored;
 
@@ -15,31 +17,115 @@ use crate::iovec::write_all_vectored;
 /// prefix from driving allocation.
 pub const MAX_FRAME_LEN: usize = 256 << 20;
 
+/// Receive-side allocation step: the payload buffer grows by at most this
+/// much per read, so a hostile length prefix claiming gigabytes costs at
+/// most one chunk of memory before the truncated stream is detected.
+const RECV_CHUNK: usize = 1 << 20;
+
 /// A framed message stream over any `Read + Write` (usually a
 /// [`TcpStream`]).
 #[derive(Debug)]
 pub struct FramedStream<S = TcpStream> {
     inner: S,
+    /// Configured read budget, reported in [`TransportError::TimedOut`]
+    /// when the underlying stream signals a timeout.
+    read_budget: Option<Duration>,
+    /// Configured write budget, likewise.
+    write_budget: Option<Duration>,
 }
 
 impl FramedStream<TcpStream> {
-    /// Connect to a framed-TCP peer.
+    /// Connect to a framed-TCP peer (no timeouts: block indefinitely).
     pub fn connect(addr: &str) -> TransportResult<FramedStream<TcpStream>> {
-        let stream = TcpStream::connect(addr)?;
+        FramedStream::connect_with(addr, &Timeouts::none())
+    }
+
+    /// Connect with per-phase time budgets. Connection-establishment
+    /// failures (refused, unreachable, handshake timeout) surface as
+    /// [`TransportError::ConnectFailed`] — the retry-safe class, since no
+    /// request bytes can have been written yet.
+    pub fn connect_with(addr: &str, timeouts: &Timeouts) -> TransportResult<FramedStream<TcpStream>> {
+        let stream = connect_stream(addr, timeouts.connect)?;
         stream.set_nodelay(true)?;
-        Ok(FramedStream { inner: stream })
+        let mut fs = FramedStream::new(stream);
+        fs.set_read_timeout(timeouts.read)?;
+        fs.set_write_timeout(timeouts.write)?;
+        Ok(fs)
+    }
+
+    /// Set (or clear) the per-read time budget on the underlying socket.
+    pub fn set_read_timeout(&mut self, budget: Option<Duration>) -> TransportResult<()> {
+        self.inner.set_read_timeout(budget)?;
+        self.read_budget = budget;
+        Ok(())
+    }
+
+    /// Set (or clear) the per-write time budget on the underlying socket.
+    pub fn set_write_timeout(&mut self, budget: Option<Duration>) -> TransportResult<()> {
+        self.inner.set_write_timeout(budget)?;
+        self.write_budget = budget;
+        Ok(())
+    }
+}
+
+/// `TcpStream::connect` with an optional budget, resolving `addr` and
+/// classifying every failure as [`TransportError::ConnectFailed`].
+pub(crate) fn connect_stream(addr: &str, budget: Option<Duration>) -> TransportResult<TcpStream> {
+    let fail = |source: std::io::Error| TransportError::ConnectFailed {
+        addr: addr.to_owned(),
+        source,
+    };
+    match budget {
+        None => TcpStream::connect(addr).map_err(fail),
+        Some(budget) => {
+            let mut last = None;
+            for sock_addr in addr.to_socket_addrs().map_err(fail)? {
+                match TcpStream::connect_timeout(&sock_addr, budget) {
+                    Ok(s) => return Ok(s),
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(fail(last.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+            })))
+        }
     }
 }
 
 impl<S: Read + Write> FramedStream<S> {
     /// Wrap an existing stream.
     pub fn new(inner: S) -> FramedStream<S> {
-        FramedStream { inner }
+        FramedStream {
+            inner,
+            read_budget: None,
+            write_budget: None,
+        }
     }
 
     /// Consume the wrapper, returning the underlying stream.
     pub fn into_inner(self) -> S {
         self.inner
+    }
+
+    /// Note the budgets a caller configured on the stream itself (for
+    /// non-`TcpStream` transports whose timeouts are set out of band), so
+    /// timeout errors report them.
+    pub fn assume_budgets(&mut self, read: Option<Duration>, write: Option<Duration>) {
+        self.read_budget = read;
+        self.write_budget = write;
+    }
+
+    /// Translate a raw I/O error: socket-timeout kinds become the typed
+    /// [`TransportError::TimedOut`] with the elapsed/budget pair.
+    fn io_err(e: std::io::Error, started: Instant, budget: Option<Duration>) -> TransportError {
+        if TransportError::io_is_timeout(&e) {
+            TransportError::TimedOut {
+                elapsed: started.elapsed(),
+                budget: budget.unwrap_or_default(),
+            }
+        } else {
+            TransportError::Io(e)
+        }
     }
 
     /// Send one message.
@@ -53,11 +139,12 @@ impl<S: Read + Write> FramedStream<S> {
                 declared: payload.len() as u64,
             });
         }
+        let started = Instant::now();
         let prefix = (payload.len() as u32).to_be_bytes();
         let mut bufs = [IoSlice::new(&prefix), IoSlice::new(payload)];
-        write_all_vectored(&mut self.inner, &mut bufs)?;
-        self.inner.flush()?;
-        Ok(())
+        write_all_vectored(&mut self.inner, &mut bufs)
+            .and_then(|()| self.inner.flush())
+            .map_err(|e| Self::io_err(e, started, self.write_budget))
     }
 
     /// Receive one message.
@@ -71,9 +158,10 @@ impl<S: Read + Write> FramedStream<S> {
     /// capacity kept) — the allocation-free path for servers cycling one
     /// buffer per connection.
     pub fn recv_into(&mut self, payload: &mut Vec<u8>) -> TransportResult<()> {
+        let started = Instant::now();
         let mut len_bytes = [0u8; 4];
-        read_exact_or_closed(&mut self.inner, &mut len_bytes)?;
-        self.recv_payload(u32::from_be_bytes(len_bytes), payload)
+        self.read_exact_or_closed(started, &mut len_bytes)?;
+        self.recv_payload(started, u32::from_be_bytes(len_bytes), payload)
     }
 
     /// Try to receive; returns `None` on a clean EOF at a message
@@ -87,6 +175,7 @@ impl<S: Read + Write> FramedStream<S> {
     /// `Ok(false)` (buffer cleared) when the peer hung up between
     /// messages, `Ok(true)` when a message was read into `payload`.
     pub fn recv_optional_into(&mut self, payload: &mut Vec<u8>) -> TransportResult<bool> {
+        let started = Instant::now();
         let mut len_bytes = [0u8; 4];
         let mut filled = 0;
         while filled < 4 {
@@ -98,14 +187,23 @@ impl<S: Read + Write> FramedStream<S> {
                 Ok(0) => return Err(TransportError::ConnectionClosed),
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => return Err(Self::io_err(e, started, self.read_budget)),
             }
         }
-        self.recv_payload(u32::from_be_bytes(len_bytes), payload)?;
+        self.recv_payload(started, u32::from_be_bytes(len_bytes), payload)?;
         Ok(true)
     }
 
-    fn recv_payload(&mut self, len: u32, payload: &mut Vec<u8>) -> TransportResult<()> {
+    /// Read a declared-length payload in bounded chunks: the buffer never
+    /// grows more than [`RECV_CHUNK`] past the bytes actually received, so
+    /// a declared length far larger than the stream costs one chunk of
+    /// allocation before the truncation error, not the declared amount.
+    fn recv_payload(
+        &mut self,
+        started: Instant,
+        len: u32,
+        payload: &mut Vec<u8>,
+    ) -> TransportResult<()> {
         let len = len as usize;
         if len > MAX_FRAME_LEN {
             return Err(TransportError::FrameTooLarge {
@@ -113,18 +211,26 @@ impl<S: Read + Write> FramedStream<S> {
             });
         }
         payload.clear();
-        payload.resize(len, 0);
-        read_exact_or_closed(&mut self.inner, payload)
-    }
-}
-
-fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> TransportResult<()> {
-    match r.read_exact(buf) {
-        Ok(()) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            Err(TransportError::ConnectionClosed)
+        while payload.len() < len {
+            let chunk = (len - payload.len()).min(RECV_CHUNK);
+            let filled = payload.len();
+            payload.resize(filled + chunk, 0);
+            if let Err(e) = self.read_exact_or_closed(started, &mut payload[filled..]) {
+                payload.truncate(filled);
+                return Err(e);
+            }
         }
-        Err(e) => Err(e.into()),
+        Ok(())
+    }
+
+    fn read_exact_or_closed(&mut self, started: Instant, buf: &mut [u8]) -> TransportResult<()> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(TransportError::ConnectionClosed)
+            }
+            Err(e) => Err(Self::io_err(e, started, self.read_budget)),
+        }
     }
 }
 
@@ -177,9 +283,9 @@ mod tests {
     }
 
     #[test]
-    fn oversize_send_rejected_without_io() {
-        // Construct a frame-length check failure via a declared length
-        // instead of allocating 256 MiB: check the recv path.
+    fn oversize_recv_rejected_without_io() {
+        // A declared length beyond MAX_FRAME_LEN fails before any payload
+        // byte is read or allocated.
         let mut fs = FramedStream::new(Pipe::new());
         fs.inner.write_all(&u32::MAX.to_be_bytes()).unwrap();
         fs.inner.rewind();
@@ -190,12 +296,62 @@ mod tests {
     }
 
     #[test]
+    fn oversize_send_rejected_without_io() {
+        // The send side enforces the same cap before writing anything.
+        // (A zeroed Vec this size is cheap: pages are committed lazily.)
+        let mut fs = FramedStream::new(Pipe::new());
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            fs.send(&huge),
+            Err(TransportError::FrameTooLarge { declared }) if declared == (MAX_FRAME_LEN + 1) as u64
+        ));
+        assert!(
+            fs.inner.buf.get_ref().is_empty(),
+            "nothing may reach the stream"
+        );
+    }
+
+    #[test]
+    fn max_len_boundary_is_accepted_not_rejected() {
+        // Boundary: a declared length of exactly MAX_FRAME_LEN passes the
+        // size check (the truncated stream then reads as a clean
+        // ConnectionClosed, NOT FrameTooLarge) — and thanks to chunked
+        // reads this doesn't commit 256 MiB to find out.
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.inner
+            .write_all(&(MAX_FRAME_LEN as u32).to_be_bytes())
+            .unwrap();
+        fs.inner.rewind();
+        assert!(matches!(fs.recv(), Err(TransportError::ConnectionClosed)));
+    }
+
+    #[test]
     fn truncated_payload_is_connection_closed() {
         let mut fs = FramedStream::new(Pipe::new());
         fs.inner.write_all(&10u32.to_be_bytes()).unwrap();
         fs.inner.write_all(b"abc").unwrap(); // only 3 of 10 bytes
         fs.inner.rewind();
         assert!(matches!(fs.recv(), Err(TransportError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn huge_declared_length_with_tiny_stream_stays_cheap() {
+        // Declared 64 MiB, 3 bytes present: must fail as a truncation
+        // without allocating anywhere near the declared length.
+        let mut fs = FramedStream::new(Pipe::new());
+        fs.inner.write_all(&(64u32 << 20).to_be_bytes()).unwrap();
+        fs.inner.write_all(b"abc").unwrap();
+        fs.inner.rewind();
+        let mut payload = Vec::new();
+        assert!(matches!(
+            fs.recv_into(&mut payload),
+            Err(TransportError::ConnectionClosed)
+        ));
+        assert!(
+            payload.capacity() <= 2 * RECV_CHUNK,
+            "allocation {} must stay chunk-bounded, not follow the declared 64 MiB",
+            payload.capacity()
+        );
     }
 
     #[test]
@@ -232,5 +388,44 @@ mod tests {
         client.send(b"ping around the loopback").unwrap();
         assert_eq!(client.recv().unwrap(), b"ping around the loopback");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_refused_is_typed() {
+        // Port 1 is essentially never listening.
+        match FramedStream::connect_with("127.0.0.1:1", &Timeouts::none()) {
+            Err(TransportError::ConnectFailed { addr, .. }) => {
+                assert_eq!(addr, "127.0.0.1:1");
+            }
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_timed_out() {
+        // A server that accepts and then goes silent.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let budget = Duration::from_millis(40);
+        let mut client = FramedStream::connect_with(
+            &addr.to_string(),
+            &Timeouts {
+                connect: Some(Duration::from_secs(5)),
+                read: Some(budget),
+                write: Some(Duration::from_secs(5)),
+            },
+        )
+        .unwrap();
+        client.send(b"anyone there?").unwrap();
+        match client.recv() {
+            Err(TransportError::TimedOut { elapsed, budget: b }) => {
+                assert_eq!(b, budget);
+                assert!(elapsed >= budget, "elapsed {elapsed:?} < budget {budget:?}");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        drop(client);
+        let _ = hold.join();
     }
 }

@@ -1,30 +1,58 @@
 //! HTTP client helpers (the libcurl stand-in).
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::time::Instant;
 
+use crate::deadline::Timeouts;
 use crate::error::{TransportError, TransportResult};
+use crate::framed::connect_stream;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
 
 /// Send one request to `addr` and read the response (one connection per
-/// request, matching the servers' `Connection: close` behaviour).
+/// request, matching the servers' `Connection: close` behaviour), with no
+/// time budgets.
 pub fn send_request(addr: &str, request: &HttpRequest) -> TransportResult<HttpResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    request.write_to(&mut stream)?;
-    let mut reader = BufReader::new(stream);
-    HttpResponse::read_from(&mut reader)
+    send_request_with(addr, request, &Timeouts::none())
 }
 
-/// GET `path` from `addr`, returning the body; non-2xx is an error.
+/// [`send_request`] with per-phase time budgets: connect failures surface
+/// as [`TransportError::ConnectFailed`], read/write expiries as
+/// [`TransportError::TimedOut`].
+pub fn send_request_with(
+    addr: &str,
+    request: &HttpRequest,
+    timeouts: &Timeouts,
+) -> TransportResult<HttpResponse> {
+    let mut stream = connect_stream(addr, timeouts.connect)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(timeouts.read)?;
+    stream.set_write_timeout(timeouts.write)?;
+    let started = Instant::now();
+    request.write_to(&mut stream).map_err(|e| match e {
+        TransportError::Io(io) if TransportError::io_is_timeout(&io) => TransportError::TimedOut {
+            elapsed: started.elapsed(),
+            budget: timeouts.write.unwrap_or_default(),
+        },
+        other => other,
+    })?;
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    HttpResponse::read_from(&mut reader).map_err(|e| match e {
+        TransportError::Io(io) if TransportError::io_is_timeout(&io) => TransportError::TimedOut {
+            elapsed: started.elapsed(),
+            budget: timeouts.read.unwrap_or_default(),
+        },
+        other => other,
+    })
+}
+
+/// GET `path` from `addr`, returning the body; non-2xx is an error
+/// carrying the status, a diagnostic body prefix, and any `Retry-After`.
 pub fn http_get(addr: &str, path: &str) -> TransportResult<Vec<u8>> {
     let resp = send_request(addr, &HttpRequest::get(path))?;
     if !resp.is_success() {
-        return Err(TransportError::HttpStatus {
-            status: resp.status,
-            reason: resp.reason,
-        });
+        return Err(resp.status_error());
     }
     Ok(resp.body)
 }
@@ -45,6 +73,7 @@ pub fn http_post(
 mod tests {
     use super::*;
     use crate::http::server::HttpServer;
+    use std::time::Duration;
 
     #[test]
     fn get_and_post_against_real_server() {
@@ -61,8 +90,40 @@ mod tests {
         assert_eq!(resp.body, b"payload");
 
         let err = http_get(&addr, "/missing").unwrap_err();
-        assert!(matches!(err, TransportError::HttpStatus { status: 404, .. }));
+        match err {
+            TransportError::HttpStatus {
+                status: 404,
+                body_prefix,
+                ..
+            } => assert_eq!(body_prefix, b"not found"),
+            other => panic!("expected 404 with body, got {other:?}"),
+        }
 
         server.shutdown();
+    }
+
+    #[test]
+    fn connect_failure_is_typed() {
+        let err = send_request("127.0.0.1:1", &HttpRequest::get("/")).unwrap_err();
+        assert!(matches!(err, TransportError::ConnectFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn silent_server_times_out() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let err = send_request_with(
+            &addr,
+            &HttpRequest::get("/"),
+            &Timeouts {
+                connect: Some(Duration::from_secs(5)),
+                read: Some(Duration::from_millis(40)),
+                write: Some(Duration::from_secs(5)),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::TimedOut { .. }), "{err:?}");
+        let _ = hold.join();
     }
 }

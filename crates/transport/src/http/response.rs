@@ -78,6 +78,16 @@ impl HttpResponse {
         (200..300).contains(&self.status)
     }
 
+    /// This response as a typed status error, preserving a diagnostic
+    /// body prefix and any `Retry-After: <seconds>` header (the
+    /// delta-seconds form; HTTP-date values are ignored).
+    pub fn status_error(&self) -> TransportError {
+        let retry_after = self
+            .header("Retry-After")
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        TransportError::http_status(self.status, &self.reason, &self.body, retry_after)
+    }
+
     /// Serialize onto a stream (adds `Content-Length`, `Connection: close`).
     ///
     /// Head and body go out in one vectored write — the body (which may be
@@ -166,6 +176,29 @@ mod tests {
         HttpResponse::not_found().write_to(&mut wire).unwrap();
         let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(back.reason, "Not Found");
+    }
+
+    #[test]
+    fn status_error_carries_body_and_retry_after() {
+        let resp = HttpResponse {
+            status: 503,
+            reason: "Service Unavailable".into(),
+            headers: vec![("Retry-After".into(), "3".into())],
+            body: b"overloaded, come back later".to_vec(),
+        };
+        match resp.status_error() {
+            TransportError::HttpStatus {
+                status,
+                body_prefix,
+                retry_after_secs,
+                ..
+            } => {
+                assert_eq!(status, 503);
+                assert_eq!(body_prefix, b"overloaded, come back later");
+                assert_eq!(retry_after_secs, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

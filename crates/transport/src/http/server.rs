@@ -2,26 +2,50 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::error::TransportResult;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
+
+/// Per-connection limits for an [`HttpServer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpServerConfig {
+    /// Budget for reading the request (headers + body). A client that
+    /// stalls mid-request is disconnected when this expires.
+    pub read_timeout: Option<Duration>,
+    /// Budget for writing the response.
+    pub write_timeout: Option<Duration>,
+}
 
 /// A running HTTP server. One handler thread per connection; connections
 /// are single-request (`Connection: close`).
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
-    /// serving with `handler`.
+    /// serving with `handler`, with no per-connection time limits.
     pub fn bind<H>(addr: &str, handler: H) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        HttpServer::bind_with(addr, HttpServerConfig::default(), handler)
+    }
+
+    /// [`bind`](HttpServer::bind) with explicit per-connection limits.
+    pub fn bind_with<H>(
+        addr: &str,
+        config: HttpServerConfig,
+        handler: H,
+    ) -> TransportResult<HttpServer>
     where
         H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     {
@@ -29,6 +53,8 @@ impl HttpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
+        let errors = Arc::new(AtomicU64::new(0));
+        let errors_accept = Arc::clone(&errors);
         let handler = Arc::new(handler);
 
         let accept_thread = std::thread::Builder::new()
@@ -48,10 +74,21 @@ impl HttpServer {
                         continue;
                     };
                     let handler = Arc::clone(&handler);
+                    let errors = Arc::clone(&errors_accept);
+                    let stopping = Arc::clone(&stop_accept);
                     let worker = std::thread::Builder::new()
                         .name("http-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, &*handler);
+                            let peer = stream
+                                .peer_addr()
+                                .map(|a| a.to_string())
+                                .unwrap_or_else(|_| "<unknown>".into());
+                            if let Err(e) = serve_connection(stream, config, &*handler) {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                if !stopping.load(Ordering::Acquire) {
+                                    eprintln!("http-conn {peer}: {e}");
+                                }
+                            }
                         })
                         .expect("spawn http connection thread");
                     workers.push((worker, shutdown_handle));
@@ -68,6 +105,7 @@ impl HttpServer {
         Ok(HttpServer {
             addr: local,
             stop,
+            errors,
             accept_thread: Some(accept_thread),
         })
     }
@@ -75,6 +113,12 @@ impl HttpServer {
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections that ended with a transport error (malformed beyond
+    /// reply, stalled past the read budget, reset mid-response).
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
     }
 
     /// Stop accepting and wait for the accept loop to finish.
@@ -100,15 +144,30 @@ impl Drop for HttpServer {
     }
 }
 
-fn serve_connection<H>(mut stream: TcpStream, handler: &H) -> TransportResult<()>
+fn serve_connection<H>(
+    mut stream: TcpStream,
+    config: HttpServerConfig,
+    handler: &H,
+) -> TransportResult<()>
 where
     H: Fn(&HttpRequest) -> HttpResponse,
 {
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
     let response = match HttpRequest::read_from(&mut reader) {
         Ok(request) => handler(&request),
         Err(crate::TransportError::ConnectionClosed) => return Ok(()), // shutdown kick
+        Err(crate::TransportError::Io(e)) if crate::TransportError::io_is_timeout(&e) => {
+            // Stalled mid-request: typed error for the accounting layer;
+            // no response is owed to a peer that never finished asking.
+            return Err(crate::TransportError::TimedOut {
+                elapsed: started.elapsed(),
+                budget: config.read_timeout.unwrap_or_default(),
+            });
+        }
         Err(e) => HttpResponse::bad_request(&e.to_string()),
     };
     response.write_to(&mut stream)

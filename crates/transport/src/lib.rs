@@ -12,19 +12,32 @@
 //!
 //! Everything here moves real bytes over real (loopback) sockets; the
 //! simulated-time models live in the `netsim` crate instead.
+//!
+//! The resilience layer threads through all of it: [`deadline`] turns an
+//! absolute time budget into per-phase socket timeouts, [`retry`] decides
+//! when a failed exchange may be replayed, and [`faulty`] wraps any
+//! stream in a deterministic fault injector for torture testing.
 
+pub mod deadline;
 pub mod error;
+pub mod faulty;
 pub mod fileserver;
 pub mod framed;
 pub mod http;
 pub mod iovec;
+pub mod retry;
 pub mod tcpserver;
 
-pub use error::{TransportError, TransportResult};
+pub use deadline::{Deadline, Timeouts};
+pub use error::{TransportError, TransportResult, HTTP_STATUS_BODY_PREFIX};
+pub use faulty::{
+    FaultAction, FaultInjector, FaultProfile, FaultingTransport, SharedInjector,
+};
 pub use fileserver::FileServer;
 pub use framed::{FramedStream, MAX_FRAME_LEN};
-pub use http::client::{http_get, http_post};
+pub use http::client::{http_get, http_post, send_request, send_request_with};
 pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
-pub use http::server::HttpServer;
-pub use tcpserver::TcpServer;
+pub use http::server::{HttpServer, HttpServerConfig};
+pub use retry::{RetryPolicy, RetrySchedule};
+pub use tcpserver::{TcpServer, TcpServerConfig};

@@ -1,0 +1,182 @@
+//! Retry policies: exponential backoff with decorrelated jitter.
+//!
+//! The schedule is deterministic for a given seed (the workspace `rand`
+//! shim is a seeded SplitMix64), so tests can assert exact retry
+//! behaviour, and a fleet of clients started with distinct seeds will not
+//! synchronize their retries into thundering herds.
+//!
+//! Which *failures* are worth retrying is not this module's business —
+//! that classification lives in
+//! [`TransportError::retry_safe`](crate::TransportError::retry_safe) and
+//! the SOAP engine applies it; this module only answers "how long until
+//! the next attempt, if any".
+
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A bounded retry policy.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (so `1` = no retries).
+    pub max_attempts: u32,
+    /// Floor for each backoff delay (also the first delay's scale).
+    pub base: Duration,
+    /// Cap for any single backoff delay.
+    pub cap: Duration,
+    /// Cumulative sleep budget across all retries of one operation.
+    pub total_budget: Duration,
+    /// Seed for the jitter generator.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sensible default: `max_attempts` tries, 25 ms base, 2 s cap,
+    /// 10 s total sleep budget.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            total_budget: Duration::from_secs(10),
+            seed: 0x5eed_5eed,
+        }
+    }
+
+    /// A policy that retries immediately (zero backoff) — for tests and
+    /// in-process loopback transports where sleeping buys nothing.
+    pub fn no_delay(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            total_budget: Duration::ZERO,
+            seed: 0x5eed_5eed,
+        }
+    }
+
+    /// Override the jitter seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Start a fresh schedule for one operation.
+    pub fn schedule(&self) -> RetrySchedule {
+        RetrySchedule {
+            policy: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            prev: self.base,
+            attempts_made: 1, // the caller is about to make the first attempt
+            slept: Duration::ZERO,
+        }
+    }
+}
+
+/// The per-operation state of a [`RetryPolicy`]: hands out backoff delays
+/// until attempts or budget run out.
+#[derive(Debug)]
+pub struct RetrySchedule {
+    policy: RetryPolicy,
+    rng: StdRng,
+    prev: Duration,
+    attempts_made: u32,
+    slept: Duration,
+}
+
+impl RetrySchedule {
+    /// The delay before the next retry, or `None` when the policy is
+    /// exhausted (attempt cap or total sleep budget reached). Each call
+    /// accounts for one more attempt.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempts_made >= self.policy.max_attempts {
+            return None;
+        }
+        // Decorrelated jitter (Brooker): delay ~ U(base, 3·prev), capped.
+        let lo = self.policy.base.as_secs_f64();
+        let hi = (self.prev.as_secs_f64() * 3.0).max(lo);
+        let raw = if hi > lo {
+            self.rng.random_range(lo..hi)
+        } else {
+            lo
+        };
+        let delay = Duration::from_secs_f64(raw).min(self.policy.cap);
+        if self.slept + delay > self.policy.total_budget {
+            return None;
+        }
+        self.attempts_made += 1;
+        self.slept += delay;
+        self.prev = delay.max(self.policy.base);
+        Some(delay)
+    }
+
+    /// Attempts accounted for so far (≥ 1: the initial try counts).
+    pub fn attempts_made(&self) -> u32 {
+        self.attempts_made
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_cap_enforced() {
+        let mut s = RetryPolicy::no_delay(3).schedule();
+        assert!(s.next_delay().is_some()); // retry #1 (attempt 2)
+        assert!(s.next_delay().is_some()); // retry #2 (attempt 3)
+        assert!(s.next_delay().is_none()); // attempt 4 would exceed the cap
+        assert_eq!(s.attempts_made(), 3);
+    }
+
+    #[test]
+    fn single_attempt_never_retries() {
+        let mut s = RetryPolicy::no_delay(1).schedule();
+        assert!(s.next_delay().is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = RetryPolicy::new(8).with_seed(17);
+        let mut s1 = p.schedule();
+        let mut s2 = p.schedule();
+        for _ in 0..7 {
+            assert_eq!(s1.next_delay(), s2.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_bounded_by_base_and_cap() {
+        let p = RetryPolicy {
+            max_attempts: 50,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            total_budget: Duration::from_secs(3600),
+            seed: 3,
+        };
+        let mut s = p.schedule();
+        while let Some(d) = s.next_delay() {
+            assert!(d >= Duration::from_millis(10), "below base: {d:?}");
+            assert!(d <= Duration::from_millis(200), "above cap: {d:?}");
+        }
+        assert_eq!(s.attempts_made(), 50);
+    }
+
+    #[test]
+    fn total_budget_stops_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 1000,
+            base: Duration::from_millis(40),
+            cap: Duration::from_millis(40),
+            total_budget: Duration::from_millis(100),
+            seed: 1,
+        };
+        let mut s = p.schedule();
+        let mut total = Duration::ZERO;
+        while let Some(d) = s.next_delay() {
+            total += d;
+        }
+        assert!(total <= Duration::from_millis(100));
+        assert!(s.attempts_made() < 1000, "budget should bind before attempts");
+    }
+}

@@ -1,11 +1,25 @@
 #!/usr/bin/env bash
 # CI gate: release build, full test suite (including the zero-allocation
-# steady-state check behind the bench crate's alloc-counter feature), and
-# warning-free clippy.
+# steady-state check behind the bench crate's alloc-counter feature), the
+# fault-injection resilience job, and warning-free clippy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
 cargo test -q -p bench --features alloc-counter --lib
+
+# Resilience job: drive the seeded torture corpus (mutated/truncated
+# messages, flaky connects) through the decoders and both live servers,
+# and assert nothing anywhere panicked — a panicking worker thread can
+# hide behind a green test binary, so the log is grepped explicitly.
+resilience_log="$(mktemp)"
+trap 'rm -f "$resilience_log"' EXIT
+RESILIENCE_SEED=${RESILIENCE_SEED:-1} cargo test -q --test resilience -- --nocapture \
+    2>&1 | tee "$resilience_log"
+if grep -q "panicked at" "$resilience_log"; then
+    echo "resilience: panic detected in fault-injection run" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings

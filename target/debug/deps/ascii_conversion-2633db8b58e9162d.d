@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ascii_conversion-2633db8b58e9162d.d: crates/bench/benches/ascii_conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libascii_conversion-2633db8b58e9162d.rmeta: crates/bench/benches/ascii_conversion.rs Cargo.toml
+
+crates/bench/benches/ascii_conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-a969155657f36f11.d: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/bench-a969155657f36f11: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-cdbb86c4304e0c8f.d: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-cdbb86c4304e0c8f.rmeta: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bxsoap-0872a013a3deb9de.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbxsoap-0872a013a3deb9de.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bxsoap-141e4f09f6d053ee.d: src/lib.rs
+
+/root/repo/target/debug/deps/bxsoap-141e4f09f6d053ee: src/lib.rs
+
+src/lib.rs:

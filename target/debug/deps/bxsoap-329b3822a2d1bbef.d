@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bxsoap-329b3822a2d1bbef.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbxsoap-329b3822a2d1bbef.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbxsoap-329b3822a2d1bbef.rmeta: src/lib.rs
+
+src/lib.rs:

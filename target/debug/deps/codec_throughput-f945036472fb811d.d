@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_throughput-f945036472fb811d.d: crates/bench/benches/codec_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_throughput-f945036472fb811d.rmeta: crates/bench/benches/codec_throughput.rs Cargo.toml
+
+crates/bench/benches/codec_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

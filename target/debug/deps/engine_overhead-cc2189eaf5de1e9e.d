@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_overhead-cc2189eaf5de1e9e.d: crates/bench/benches/engine_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_overhead-cc2189eaf5de1e9e.rmeta: crates/bench/benches/engine_overhead.rs Cargo.toml
+
+crates/bench/benches/engine_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_small_lan-23b1de8168ce23d0.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/debug/deps/fig4_small_lan-23b1de8168ce23d0: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

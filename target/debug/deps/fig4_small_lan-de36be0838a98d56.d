@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_small_lan-de36be0838a98d56.d: crates/bench/src/bin/fig4_small_lan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_small_lan-de36be0838a98d56.rmeta: crates/bench/src/bin/fig4_small_lan.rs Cargo.toml
+
+crates/bench/src/bin/fig4_small_lan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_large_lan-97eb2658fd712280.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/debug/deps/fig5_large_lan-97eb2658fd712280: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

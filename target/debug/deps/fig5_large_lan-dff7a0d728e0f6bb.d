@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_large_lan-dff7a0d728e0f6bb.d: crates/bench/src/bin/fig5_large_lan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_large_lan-dff7a0d728e0f6bb.rmeta: crates/bench/src/bin/fig5_large_lan.rs Cargo.toml
+
+crates/bench/src/bin/fig5_large_lan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_large_wan-07123f0925a1b6f9.d: crates/bench/src/bin/fig6_large_wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_large_wan-07123f0925a1b6f9.rmeta: crates/bench/src/bin/fig6_large_wan.rs Cargo.toml
+
+crates/bench/src/bin/fig6_large_wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

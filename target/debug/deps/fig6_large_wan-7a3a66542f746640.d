@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_large_wan-7a3a66542f746640.d: crates/bench/src/bin/fig6_large_wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_large_wan-7a3a66542f746640.rmeta: crates/bench/src/bin/fig6_large_wan.rs Cargo.toml
+
+crates/bench/src/bin/fig6_large_wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_large_wan-c1e3ec7de06f0dd2.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/debug/deps/fig6_large_wan-c1e3ec7de06f0dd2: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-0a9c96bd905b4de7.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-0a9c96bd905b4de7.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

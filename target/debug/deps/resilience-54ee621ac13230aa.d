@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-54ee621ac13230aa.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-54ee621ac13230aa: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-598086b40bf27886.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-598086b40bf27886.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

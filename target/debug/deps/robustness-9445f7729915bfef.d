@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-9445f7729915bfef.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-9445f7729915bfef: tests/robustness.rs
+
+tests/robustness.rs:

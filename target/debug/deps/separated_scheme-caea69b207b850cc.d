@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separated_scheme-caea69b207b850cc.d: tests/separated_scheme.rs
+
+/root/repo/target/debug/deps/separated_scheme-caea69b207b850cc: tests/separated_scheme.rs
+
+tests/separated_scheme.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/separated_scheme-f0da426e77bc1308.d: tests/separated_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseparated_scheme-f0da426e77bc1308.rmeta: tests/separated_scheme.rs Cargo.toml
+
+tests/separated_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

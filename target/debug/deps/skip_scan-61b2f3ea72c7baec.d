@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skip_scan-61b2f3ea72c7baec.d: crates/bench/benches/skip_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskip_scan-61b2f3ea72c7baec.rmeta: crates/bench/benches/skip_scan.rs Cargo.toml
+
+crates/bench/benches/skip_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/soap-1c8b928aa8d0e08b.d: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs
+
+/root/repo/target/debug/deps/soap-1c8b928aa8d0e08b: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs
+
+crates/soap/src/lib.rs:
+crates/soap/src/anyengine.rs:
+crates/soap/src/binding.rs:
+crates/soap/src/encoding.rs:
+crates/soap/src/engine.rs:
+crates/soap/src/envelope.rs:
+crates/soap/src/error.rs:
+crates/soap/src/fault.rs:
+crates/soap/src/intermediary.rs:
+crates/soap/src/server.rs:
+crates/soap/src/service.rs:

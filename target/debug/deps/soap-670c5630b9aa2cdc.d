@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/soap-670c5630b9aa2cdc.d: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoap-670c5630b9aa2cdc.rmeta: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs Cargo.toml
+
+crates/soap/src/lib.rs:
+crates/soap/src/anyengine.rs:
+crates/soap/src/binding.rs:
+crates/soap/src/encoding.rs:
+crates/soap/src/engine.rs:
+crates/soap/src/envelope.rs:
+crates/soap/src/error.rs:
+crates/soap/src/fault.rs:
+crates/soap/src/intermediary.rs:
+crates/soap/src/server.rs:
+crates/soap/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

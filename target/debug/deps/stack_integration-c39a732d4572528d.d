@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-c39a732d4572528d.d: tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-c39a732d4572528d: tests/stack_integration.rs
+
+tests/stack_integration.rs:

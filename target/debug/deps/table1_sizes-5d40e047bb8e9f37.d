@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_sizes-5d40e047bb8e9f37.d: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_sizes-5d40e047bb8e9f37.rmeta: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+crates/bench/src/bin/table1_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-f651cb3d1cb73d0d.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-f651cb3d1cb73d0d: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

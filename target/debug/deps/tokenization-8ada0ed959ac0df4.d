@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tokenization-8ada0ed959ac0df4.d: crates/bench/benches/tokenization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtokenization-8ada0ed959ac0df4.rmeta: crates/bench/benches/tokenization.rs Cargo.toml
+
+crates/bench/benches/tokenization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

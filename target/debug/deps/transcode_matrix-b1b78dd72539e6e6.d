@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transcode_matrix-b1b78dd72539e6e6.d: tests/transcode_matrix.rs
+
+/root/repo/target/debug/deps/transcode_matrix-b1b78dd72539e6e6: tests/transcode_matrix.rs
+
+tests/transcode_matrix.rs:

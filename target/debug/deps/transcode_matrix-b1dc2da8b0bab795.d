@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transcode_matrix-b1dc2da8b0bab795.d: tests/transcode_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranscode_matrix-b1dc2da8b0bab795.rmeta: tests/transcode_matrix.rs Cargo.toml
+
+tests/transcode_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vls-1feee5ae9f6a8bff.d: crates/bench/benches/vls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvls-1feee5ae9f6a8bff.rmeta: crates/bench/benches/vls.rs Cargo.toml
+
+crates/bench/benches/vls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsstack-16729993cb2e6e84.d: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+/root/repo/target/debug/deps/wsstack-16729993cb2e6e84: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+crates/wsstack/src/lib.rs:
+crates/wsstack/src/addressing.rs:
+crates/wsstack/src/databinding.rs:
+crates/wsstack/src/eventing.rs:
+crates/wsstack/src/security.rs:
+crates/wsstack/src/sha256.rs:
+crates/wsstack/src/wsdl.rs:
+crates/wsstack/src/xpath.rs:

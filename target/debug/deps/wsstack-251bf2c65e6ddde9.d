@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsstack-251bf2c65e6ddde9.d: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+/root/repo/target/debug/deps/libwsstack-251bf2c65e6ddde9.rlib: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+/root/repo/target/debug/deps/libwsstack-251bf2c65e6ddde9.rmeta: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+crates/wsstack/src/lib.rs:
+crates/wsstack/src/addressing.rs:
+crates/wsstack/src/databinding.rs:
+crates/wsstack/src/eventing.rs:
+crates/wsstack/src/security.rs:
+crates/wsstack/src/sha256.rs:
+crates/wsstack/src/wsdl.rs:
+crates/wsstack/src/xpath.rs:

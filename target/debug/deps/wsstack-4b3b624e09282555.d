@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/wsstack-4b3b624e09282555.d: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsstack-4b3b624e09282555.rmeta: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs Cargo.toml
+
+crates/wsstack/src/lib.rs:
+crates/wsstack/src/addressing.rs:
+crates/wsstack/src/databinding.rs:
+crates/wsstack/src/eventing.rs:
+crates/wsstack/src/security.rs:
+crates/wsstack/src/sha256.rs:
+crates/wsstack/src/wsdl.rs:
+crates/wsstack/src/xpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

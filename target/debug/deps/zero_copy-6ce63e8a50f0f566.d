@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy-6ce63e8a50f0f566.d: crates/bench/benches/zero_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy-6ce63e8a50f0f566.rmeta: crates/bench/benches/zero_copy.rs Cargo.toml
+
+crates/bench/benches/zero_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

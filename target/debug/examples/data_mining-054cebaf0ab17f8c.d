@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_mining-054cebaf0ab17f8c.d: examples/data_mining.rs
+
+/root/repo/target/debug/examples/data_mining-054cebaf0ab17f8c: examples/data_mining.rs
+
+examples/data_mining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_mining-4a85f51515181f2d.d: examples/data_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_mining-4a85f51515181f2d.rmeta: examples/data_mining.rs Cargo.toml
+
+examples/data_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

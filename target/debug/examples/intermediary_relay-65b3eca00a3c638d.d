@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intermediary_relay-65b3eca00a3c638d.d: examples/intermediary_relay.rs
+
+/root/repo/target/debug/examples/intermediary_relay-65b3eca00a3c638d: examples/intermediary_relay.rs
+
+examples/intermediary_relay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intermediary_relay-a00cce041a56171c.d: examples/intermediary_relay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintermediary_relay-a00cce041a56171c.rmeta: examples/intermediary_relay.rs Cargo.toml
+
+examples/intermediary_relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

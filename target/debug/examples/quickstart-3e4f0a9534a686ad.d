@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-3e4f0a9534a686ad.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-3e4f0a9534a686ad.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

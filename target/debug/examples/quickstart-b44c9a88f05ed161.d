@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b44c9a88f05ed161.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b44c9a88f05ed161: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-2eea42d1a2f1f92b.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-2eea42d1a2f1f92b: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/service_discovery-4d497118561feb6b.d: examples/service_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libservice_discovery-4d497118561feb6b.rmeta: examples/service_discovery.rs Cargo.toml
+
+examples/service_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_discovery-9eb5b63c05ea242b.d: examples/service_discovery.rs
+
+/root/repo/target/debug/examples/service_discovery-9eb5b63c05ea242b: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_service-2172ca1c2e8fc38f.d: examples/weather_service.rs
+
+/root/repo/target/debug/examples/weather_service-2172ca1c2e8fc38f: examples/weather_service.rs
+
+examples/weather_service.rs:

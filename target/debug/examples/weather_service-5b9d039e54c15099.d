@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weather_service-5b9d039e54c15099.d: examples/weather_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweather_service-5b9d039e54c15099.rmeta: examples/weather_service.rs Cargo.toml
+
+examples/weather_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

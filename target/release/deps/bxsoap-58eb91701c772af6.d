@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bxsoap-58eb91701c772af6.d: src/lib.rs
+
+/root/repo/target/release/deps/libbxsoap-58eb91701c772af6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbxsoap-58eb91701c772af6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/soap-22fb190740b1d516.d: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs
+
+/root/repo/target/release/deps/libsoap-22fb190740b1d516.rlib: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs
+
+/root/repo/target/release/deps/libsoap-22fb190740b1d516.rmeta: crates/soap/src/lib.rs crates/soap/src/anyengine.rs crates/soap/src/binding.rs crates/soap/src/encoding.rs crates/soap/src/engine.rs crates/soap/src/envelope.rs crates/soap/src/error.rs crates/soap/src/fault.rs crates/soap/src/intermediary.rs crates/soap/src/server.rs crates/soap/src/service.rs
+
+crates/soap/src/lib.rs:
+crates/soap/src/anyengine.rs:
+crates/soap/src/binding.rs:
+crates/soap/src/encoding.rs:
+crates/soap/src/engine.rs:
+crates/soap/src/envelope.rs:
+crates/soap/src/error.rs:
+crates/soap/src/fault.rs:
+crates/soap/src/intermediary.rs:
+crates/soap/src/server.rs:
+crates/soap/src/service.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wsstack-3d16dd2ea9dcbc5c.d: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+/root/repo/target/release/deps/libwsstack-3d16dd2ea9dcbc5c.rlib: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+/root/repo/target/release/deps/libwsstack-3d16dd2ea9dcbc5c.rmeta: crates/wsstack/src/lib.rs crates/wsstack/src/addressing.rs crates/wsstack/src/databinding.rs crates/wsstack/src/eventing.rs crates/wsstack/src/security.rs crates/wsstack/src/sha256.rs crates/wsstack/src/wsdl.rs crates/wsstack/src/xpath.rs
+
+crates/wsstack/src/lib.rs:
+crates/wsstack/src/addressing.rs:
+crates/wsstack/src/databinding.rs:
+crates/wsstack/src/eventing.rs:
+crates/wsstack/src/security.rs:
+crates/wsstack/src/sha256.rs:
+crates/wsstack/src/wsdl.rs:
+crates/wsstack/src/xpath.rs:

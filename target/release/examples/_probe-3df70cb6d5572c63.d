@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-3df70cb6d5572c63.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-3df70cb6d5572c63: examples/_probe.rs
+
+examples/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_mining-aac88ee65683d4b4.d: examples/data_mining.rs
+
+/root/repo/target/release/examples/data_mining-aac88ee65683d4b4: examples/data_mining.rs
+
+examples/data_mining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/intermediary_relay-5bf4417335242648.d: examples/intermediary_relay.rs
+
+/root/repo/target/release/examples/intermediary_relay-5bf4417335242648: examples/intermediary_relay.rs
+
+examples/intermediary_relay.rs:

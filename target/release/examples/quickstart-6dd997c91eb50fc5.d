@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6dd997c91eb50fc5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6dd997c91eb50fc5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-b13b91fb65f0ef74.d: examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-b13b91fb65f0ef74: examples/sensor_network.rs
+
+examples/sensor_network.rs:

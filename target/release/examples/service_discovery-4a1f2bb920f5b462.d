@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/service_discovery-4a1f2bb920f5b462.d: examples/service_discovery.rs
+
+/root/repo/target/release/examples/service_discovery-4a1f2bb920f5b462: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weather_service-86354eb640fca478.d: examples/weather_service.rs
+
+/root/repo/target/release/examples/weather_service-86354eb640fca478: examples/weather_service.rs
+
+examples/weather_service.rs:
