@@ -26,6 +26,16 @@ fn bench_codecs(c: &mut Criterion) {
             |b, w| b.iter(|| bxsa::decode(&w.bxsa_bytes).expect("decode")),
         );
         group.bench_with_input(
+            BenchmarkId::new("bxsa_decode_into", model_size),
+            &w,
+            |b, w| {
+                // The steady-state server path: one document refilled in
+                // place for every message, zero decode-side allocation.
+                let mut doc = bxdm::Document::new();
+                b.iter(|| bxsa::decode_into(&w.bxsa_bytes, &mut doc).expect("decode"))
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("xml_encode", model_size),
             &w,
             |b, w| {
@@ -40,6 +50,14 @@ fn bench_codecs(c: &mut Criterion) {
             BenchmarkId::new("xml_decode", model_size),
             &xml_text,
             |b, xml| b.iter(|| xmltext::parse(xml).expect("parse")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xml_decode_into", model_size),
+            &xml_text,
+            |b, xml| {
+                let mut doc = bxdm::Document::new();
+                b.iter(|| xmltext::parse_into(xml, &mut doc).expect("parse"))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("netcdf_encode", model_size),

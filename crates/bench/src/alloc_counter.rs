@@ -114,4 +114,38 @@ mod tests {
         });
         assert_eq!(n, 0, "xmltext::write_into allocated {n}x in steady state");
     }
+
+    /// This PR's acceptance invariant, the decode mirror: after warmup,
+    /// decoding the same wire message into a reused document — node
+    /// slots overwritten in place, strings and array buffers refilled —
+    /// performs **zero** heap allocations, on the binary pull-decode
+    /// path *and* the streaming textual-XML path.
+    #[test]
+    fn steady_state_decode_is_allocation_free() {
+        let (index, values) = bxsoap::lead_dataset(1000, 42);
+        let doc = bxsoap::verify_request_envelope(&index, &values).to_document();
+        xmltext::num::warm_up();
+
+        // BXSA pull-decode into a reused document.
+        let bytes = bxsa::encode(&doc).unwrap();
+        let mut reused = bxdm::Document::new();
+        for _ in 0..3 {
+            bxsa::decode_into(&bytes, &mut reused).unwrap();
+        }
+        let (result, n) = measure(|| bxsa::decode_into(&bytes, &mut reused));
+        result.unwrap();
+        assert_eq!(n, 0, "bxsa::decode_into allocated {n}x in steady state");
+        assert_eq!(reused, doc, "reuse must not change the decoded value");
+
+        // Streaming textual-XML decode into a reused document.
+        let Ok(text) = xmltext::to_string(&doc);
+        let mut reused = bxdm::Document::new();
+        for _ in 0..3 {
+            xmltext::parse_into(&text, &mut reused).unwrap();
+        }
+        let (result, n) = measure(|| xmltext::parse_into(&text, &mut reused));
+        result.unwrap();
+        assert_eq!(n, 0, "xmltext::parse_into allocated {n}x in steady state");
+        assert_eq!(reused, doc, "reuse must not change the parsed value");
+    }
 }

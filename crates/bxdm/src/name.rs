@@ -24,6 +24,26 @@ impl QName {
         }
     }
 
+    /// Overwrite this name in place, reusing the existing string storage.
+    ///
+    /// The decode-into path refills a recycled tree without reallocating
+    /// its names; `set` keeps each part's `String` capacity alive across
+    /// messages. An empty prefix means "no prefix".
+    pub fn set(&mut self, prefix: Option<&str>, local: &str) {
+        match prefix.filter(|p| !p.is_empty()) {
+            Some(p) => match &mut self.prefix {
+                Some(slot) => {
+                    slot.clear();
+                    slot.push_str(p);
+                }
+                None => self.prefix = Some(p.to_owned()),
+            },
+            None => self.prefix = None,
+        }
+        self.local.clear();
+        self.local.push_str(local);
+    }
+
     /// Parse a `prefix:local` lexical form.
     pub fn parse(qname: &str) -> QName {
         match qname.split_once(':') {

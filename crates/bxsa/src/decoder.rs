@@ -31,17 +31,44 @@ pub fn decode(bytes: &[u8]) -> BxsaResult<Document> {
 
 /// Decode a complete BXSA document.
 pub fn decode_with(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Document> {
+    let mut doc = Document::new();
+    decode_into_with(bytes, &mut doc, opts)?;
+    Ok(doc)
+}
+
+/// Decode a complete BXSA document *into* `doc`, reusing its storage.
+///
+/// Where [`decode`] builds every node, string, and array from scratch,
+/// `decode_into` walks the existing tree in lockstep with the frame
+/// stream and refills it: node slots are overwritten in place, `String`
+/// and `Vec` capacity (names, namespace tables, attribute lists, child
+/// lists, packed arrays) survives across messages, and packed-array
+/// payloads land in reused `Vec<T>` capacity via one endian-aware bulk
+/// copy. When the incoming message has the same shape as the previous
+/// one — the steady state of a request/response service — the refill
+/// performs zero heap allocations. Where shapes diverge, the decoder
+/// falls back to fresh allocation for the divergent subtree only.
+///
+/// On error the contents of `doc` are unspecified (but memory-safe);
+/// callers must treat the document as garbage until the next successful
+/// decode.
+pub fn decode_into(bytes: &[u8], doc: &mut Document) -> BxsaResult<()> {
+    decode_into_with(bytes, doc, &DecodeOptions::default())
+}
+
+/// [`decode_into`] with explicit options.
+pub fn decode_into_with(bytes: &[u8], doc: &mut Document, opts: &DecodeOptions) -> BxsaResult<()> {
     let mut dec = Decoder {
         r: XbsReader::new(bytes, ByteOrder::Little),
         opts,
     };
-    let doc = dec.read_document()?;
+    dec.fill_document(doc)?;
     if !dec.r.is_at_end() {
         return Err(BxsaError::Structure {
             what: format!("{} trailing byte(s) after the document frame", dec.r.remaining()),
         });
     }
-    Ok(doc)
+    Ok(())
 }
 
 /// Decode a standalone element frame (the output of
@@ -79,8 +106,35 @@ struct Decoder<'a, 'o> {
     opts: &'o DecodeOptions,
 }
 
+/// A placeholder node for growing a recycled child list; allocation-free
+/// (`String::new` does not allocate) and immediately overwritten by
+/// [`Decoder::fill_frame`].
+fn blank_node() -> Node {
+    Node::Text(String::new())
+}
+
+/// Overwrite an `Option<String>` slot, reusing the existing capacity.
+fn set_opt_string(slot: &mut Option<String>, value: Option<&str>) {
+    match value {
+        Some(v) => match slot {
+            Some(s) => {
+                s.clear();
+                s.push_str(v);
+            }
+            None => *slot = Some(v.to_owned()),
+        },
+        None => *slot = None,
+    }
+}
+
+/// Overwrite a `String` slot, reusing the existing capacity.
+fn set_string(slot: &mut String, value: &str) {
+    slot.clear();
+    slot.push_str(value);
+}
+
 impl Decoder<'_, '_> {
-    fn read_document(&mut self) -> BxsaResult<Document> {
+    fn fill_document(&mut self, doc: &mut Document) -> BxsaResult<()> {
         let start = self.r.position();
         let (order, frame_type) = parse_prefix(self.r.read_raw_u8()?, start)?;
         if frame_type != FrameType::Document {
@@ -91,13 +145,18 @@ impl Decoder<'_, '_> {
         self.r.set_order(order);
         let size = self.r.read_vls_padded()?;
         let count = self.r.read_count(1)?;
-        let mut doc = Document::new();
-        doc.children.reserve(count.min(1024));
-        for _ in 0..count {
-            doc.children.push(self.read_frame(0, None)?);
+        doc.children.truncate(count);
+        if count > doc.children.len() {
+            doc.children.reserve(count.min(1024) - doc.children.len());
+        }
+        for i in 0..count {
+            if i == doc.children.len() {
+                doc.children.push(blank_node());
+            }
+            self.fill_frame(0, None, &mut doc.children[i])?;
         }
         self.check_frame_end(start, size)?;
-        Ok(doc)
+        Ok(())
     }
 
     fn check_frame_end(&mut self, start: usize, declared: u64) -> BxsaResult<()> {
@@ -112,7 +171,20 @@ impl Decoder<'_, '_> {
         Ok(())
     }
 
+    /// Read one frame into a fresh node (the standalone-element entry
+    /// point; document decoding goes through [`Decoder::fill_frame`]).
     fn read_frame(&mut self, depth: usize, parent: Option<&ScopeChain<'_>>) -> BxsaResult<Node> {
+        let mut node = blank_node();
+        self.fill_frame(depth, parent, &mut node)?;
+        Ok(node)
+    }
+
+    fn fill_frame(
+        &mut self,
+        depth: usize,
+        parent: Option<&ScopeChain<'_>>,
+        slot: &mut Node,
+    ) -> BxsaResult<()> {
         if depth > self.opts.max_depth {
             return Err(BxsaError::Structure {
                 what: format!("frame nesting exceeds max_depth {}", self.opts.max_depth),
@@ -125,95 +197,166 @@ impl Decoder<'_, '_> {
         let outer_order = self.r.order();
         self.r.set_order(order);
         let size = self.r.read_vls_padded()?;
-        let node = match frame_type {
-            FrameType::Document => {
-                self.r.set_order(outer_order);
-                return Err(BxsaError::Structure {
-                    what: "nested document frame".into(),
-                });
-            }
+        let result = match frame_type {
+            FrameType::Document => Err(BxsaError::Structure {
+                what: "nested document frame".into(),
+            }),
             FrameType::Component | FrameType::Leaf | FrameType::Array => {
-                self.read_element_body(frame_type, depth, parent)
+                let el = match slot {
+                    Node::Element(e) => e,
+                    other => {
+                        *other = Node::Element(Element::component(""));
+                        match other {
+                            Node::Element(e) => e,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                self.fill_element_body(frame_type, depth, parent, el)
             }
-            FrameType::CharData => self.r.read_str().map(|s| Node::Text(s.to_owned())).map_err(Into::into),
-            FrameType::Comment => self
-                .r
-                .read_str()
-                .map(|s| Node::Comment(s.to_owned()))
-                .map_err(Into::into),
+            FrameType::CharData => self.r.read_str().map_err(Into::into).map(|s| match slot {
+                Node::Text(t) => set_string(t, s),
+                other => *other = Node::Text(s.to_owned()),
+            }),
+            FrameType::Comment => self.r.read_str().map_err(Into::into).map(|s| match slot {
+                Node::Comment(t) => set_string(t, s),
+                other => *other = Node::Comment(s.to_owned()),
+            }),
             FrameType::Pi => (|| {
-                let target = self.r.read_str()?.to_owned();
-                let data = self.r.read_str()?.to_owned();
-                Ok(Node::Pi { target, data })
+                let t = self.r.read_str()?;
+                let d = self.r.read_str()?;
+                match slot {
+                    Node::Pi { target, data } => {
+                        set_string(target, t);
+                        set_string(data, d);
+                    }
+                    other => {
+                        *other = Node::Pi {
+                            target: t.to_owned(),
+                            data: d.to_owned(),
+                        }
+                    }
+                }
+                Ok(())
             })(),
         };
         self.r.set_order(outer_order);
-        let node = node?;
-        self.check_frame_end(start, size)?;
-        Ok(node)
+        result?;
+        self.check_frame_end(start, size)
     }
 
-    fn read_element_body(
+    fn fill_element_body(
         &mut self,
         frame_type: FrameType,
         depth: usize,
         parent: Option<&ScopeChain<'_>>,
-    ) -> BxsaResult<Node> {
-        // Namespace symbol table. The declarations Vec is read once and
-        // *moved* into the finished element; during recursion the scope
-        // chain borrows it from the stack, so namespace tracking needs no
-        // side allocations and no final clone.
+        el: &mut Element,
+    ) -> BxsaResult<()> {
+        // Namespace symbol table, refilled slot-by-slot into the
+        // element's own `namespaces` Vec; during recursion the scope
+        // chain borrows it from the element being filled, so namespace
+        // tracking needs no side allocations and no final clone.
         let n1 = self.r.read_count(2)?;
-        let mut decls = Vec::with_capacity(n1);
-        for _ in 0..n1 {
+        el.namespaces.truncate(n1);
+        for i in 0..n1 {
             let prefix = self.r.read_str()?;
-            let uri = self.r.read_str()?.to_owned();
-            decls.push(NamespaceDecl {
-                prefix: (!prefix.is_empty()).then(|| prefix.to_owned()),
-                uri,
-            });
-        }
-        let chain = match parent {
-            Some(p) => p.child(&decls),
-            None => ScopeChain::root(&decls),
-        };
-
-        let name = self.read_qname(&chain)?;
-        let n2 = self.r.read_count(3)?;
-        let mut attributes = Vec::with_capacity(n2);
-        for _ in 0..n2 {
-            let attr_name = self.read_qname(&chain)?;
-            let value = self.read_atomic()?;
-            attributes.push(Attribute {
-                name: attr_name,
-                value,
-            });
-        }
-
-        let content = match frame_type {
-            FrameType::Leaf => Content::Leaf(self.read_atomic()?),
-            FrameType::Array => Content::Array(self.read_array()?),
-            FrameType::Component => {
-                let count = self.r.read_count(1)?;
-                let mut children = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    children.push(self.read_frame(depth + 1, Some(&chain))?);
+            let uri = self.r.read_str()?;
+            match el.namespaces.get_mut(i) {
+                Some(decl) => {
+                    set_opt_string(&mut decl.prefix, (!prefix.is_empty()).then_some(prefix));
+                    set_string(&mut decl.uri, uri);
                 }
-                Content::Children(children)
+                None => el.namespaces.push(NamespaceDecl {
+                    prefix: (!prefix.is_empty()).then(|| prefix.to_owned()),
+                    uri: uri.to_owned(),
+                }),
             }
-            _ => unreachable!("caller filters to element frames"),
-        };
-
-        Ok(Node::Element(Element {
+        }
+        // Disjoint-field split: the chain immutably borrows `namespaces`
+        // while the name, attributes, and content slots are refilled.
+        let Element {
             name,
-            namespaces: decls,
+            namespaces,
             attributes,
             content,
-        }))
+        } = el;
+        let chain = match parent {
+            Some(p) => p.child(namespaces),
+            None => ScopeChain::root(namespaces),
+        };
+
+        self.fill_qname(&chain, name)?;
+        let n2 = self.r.read_count(3)?;
+        attributes.truncate(n2);
+        for i in 0..n2 {
+            if i == attributes.len() {
+                attributes.push(Attribute {
+                    name: QName::new(None, ""),
+                    value: AtomicValue::Bool(false),
+                });
+            }
+            let attr = &mut attributes[i];
+            self.fill_qname(&chain, &mut attr.name)?;
+            self.fill_atomic(&mut attr.value)?;
+        }
+
+        match frame_type {
+            FrameType::Leaf => {
+                let value = match content {
+                    Content::Leaf(v) => v,
+                    other => {
+                        *other = Content::Leaf(AtomicValue::Bool(false));
+                        match other {
+                            Content::Leaf(v) => v,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                self.fill_atomic(value)?;
+            }
+            FrameType::Array => {
+                let value = match content {
+                    Content::Array(v) => v,
+                    other => {
+                        *other = Content::Array(ArrayValue::U8(Vec::new()));
+                        match other {
+                            Content::Array(v) => v,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                self.fill_array(value)?;
+            }
+            FrameType::Component => {
+                let count = self.r.read_count(1)?;
+                let children = match content {
+                    Content::Children(c) => c,
+                    other => {
+                        *other = Content::Children(Vec::new());
+                        match other {
+                            Content::Children(c) => c,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                children.truncate(count);
+                if count > children.len() {
+                    children.reserve(count.min(4096) - children.len());
+                }
+                for i in 0..count {
+                    if i == children.len() {
+                        children.push(blank_node());
+                    }
+                    self.fill_frame(depth + 1, Some(&chain), &mut children[i])?;
+                }
+            }
+            _ => unreachable!("caller filters to element frames"),
+        }
+        Ok(())
     }
 
-    /// Read a tokenized namespace reference + local name.
-    fn read_qname(&mut self, chain: &ScopeChain<'_>) -> BxsaResult<QName> {
+    /// Read a tokenized namespace reference + local name into `name`.
+    fn fill_qname(&mut self, chain: &ScopeChain<'_>, name: &mut QName) -> BxsaResult<()> {
         let at = self.r.position();
         let tag = self.r.read_vls()?;
         let prefix: Option<&str> = if tag == 0 {
@@ -230,13 +373,14 @@ impl Decoder<'_, '_> {
             decl.prefix.as_deref()
         };
         let local = self.r.read_str()?;
-        Ok(QName::new(prefix, local))
+        name.set(prefix, local);
+        Ok(())
     }
 
-    fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {
+    fn fill_atomic(&mut self, slot: &mut AtomicValue) -> BxsaResult<()> {
         let at = self.r.position();
         let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
-        Ok(match code {
+        *slot = match code {
             TypeCode::I8 => AtomicValue::I8(self.r.read_i8()?),
             TypeCode::U8 => AtomicValue::U8(self.r.read_u8()?),
             TypeCode::I16 => AtomicValue::I16(self.r.read_i16()?),
@@ -247,7 +391,14 @@ impl Decoder<'_, '_> {
             TypeCode::U64 => AtomicValue::U64(self.r.read_u64()?),
             TypeCode::F32 => AtomicValue::F32(self.r.read_f32()?),
             TypeCode::F64 => AtomicValue::F64(self.r.read_f64()?),
-            TypeCode::Str => AtomicValue::Str(self.r.read_str()?.to_owned()),
+            TypeCode::Str => {
+                let s = self.r.read_str()?;
+                if let AtomicValue::Str(t) = slot {
+                    set_string(t, s);
+                    return Ok(());
+                }
+                AtomicValue::Str(s.to_owned())
+            }
             TypeCode::Bool => {
                 let b = self.r.read_raw_u8()?;
                 if b > 1 {
@@ -258,10 +409,11 @@ impl Decoder<'_, '_> {
                 }
                 AtomicValue::Bool(b == 1)
             }
-        })
+        };
+        Ok(())
     }
 
-    fn read_array(&mut self) -> BxsaResult<ArrayValue> {
+    fn fill_array(&mut self, slot: &mut ArrayValue) -> BxsaResult<()> {
         let at = self.r.position();
         let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
         let width = code.width().filter(|_| code != TypeCode::Bool && code != TypeCode::Str);
@@ -272,19 +424,32 @@ impl Decoder<'_, '_> {
             });
         };
         let count = self.r.read_count(width)?;
-        Ok(match code {
-            TypeCode::I8 => ArrayValue::I8(self.r.read_packed(count)?),
-            TypeCode::U8 => ArrayValue::U8(self.r.read_packed(count)?),
-            TypeCode::I16 => ArrayValue::I16(self.r.read_packed(count)?),
-            TypeCode::U16 => ArrayValue::U16(self.r.read_packed(count)?),
-            TypeCode::I32 => ArrayValue::I32(self.r.read_packed(count)?),
-            TypeCode::U32 => ArrayValue::U32(self.r.read_packed(count)?),
-            TypeCode::I64 => ArrayValue::I64(self.r.read_packed(count)?),
-            TypeCode::U64 => ArrayValue::U64(self.r.read_packed(count)?),
-            TypeCode::F32 => ArrayValue::F32(self.r.read_packed(count)?),
-            TypeCode::F64 => ArrayValue::F64(self.r.read_packed(count)?),
+        // Same-variant slots refill their payload Vec in place (one
+        // bounds-checked bulk copy on native byte order); a variant
+        // change allocates a fresh payload for this array only.
+        macro_rules! fill_variant {
+            ($variant:ident) => {{
+                if let ArrayValue::$variant(v) = slot {
+                    self.r.read_packed_into(count, v)?;
+                } else {
+                    *slot = ArrayValue::$variant(self.r.read_packed(count)?);
+                }
+            }};
+        }
+        match code {
+            TypeCode::I8 => fill_variant!(I8),
+            TypeCode::U8 => fill_variant!(U8),
+            TypeCode::I16 => fill_variant!(I16),
+            TypeCode::U16 => fill_variant!(U16),
+            TypeCode::I32 => fill_variant!(I32),
+            TypeCode::U32 => fill_variant!(U32),
+            TypeCode::I64 => fill_variant!(I64),
+            TypeCode::U64 => fill_variant!(U64),
+            TypeCode::F32 => fill_variant!(F32),
+            TypeCode::F64 => fill_variant!(F64),
             TypeCode::Str | TypeCode::Bool => unreachable!("filtered above"),
-        })
+        }
+        Ok(())
     }
 }
 
@@ -434,6 +599,118 @@ mod tests {
             let bytes = encode(&doc).unwrap();
             assert_eq!(decode(&bytes).unwrap(), doc);
         }
+    }
+
+    /// The transcode-matrix corpus: every content kind, atomic type,
+    /// array type, byte order, and namespace shape the codec supports.
+    fn corpus() -> Vec<Vec<u8>> {
+        let mut docs = vec![Document::new(), sample_doc()];
+        docs.push(Document::with_root(
+            Element::component("d:set")
+                .with_namespace("d", "http://example.org/data")
+                .with_attr("run", "9")
+                .with_child(Element::leaf("d:count", AtomicValue::I32(3)))
+                .with_child(Element::leaf("d:mean", AtomicValue::F64(0.1 + 0.2)))
+                .with_child(Element::array(
+                    "d:values",
+                    ArrayValue::F64(vec![1.5, -2.25, 3.0e-9]),
+                ))
+                .with_child(Element::array("d:index", ArrayValue::I32(vec![0, 1, 2]))),
+        ));
+        for a in [
+            ArrayValue::I8(vec![-1, 2]),
+            ArrayValue::U8(vec![3, 4]),
+            ArrayValue::I16(vec![-5]),
+            ArrayValue::U16(vec![6]),
+            ArrayValue::I32(vec![-7, 8, 9]),
+            ArrayValue::U32(vec![10]),
+            ArrayValue::I64(vec![i64::MIN]),
+            ArrayValue::U64(vec![u64::MAX]),
+            ArrayValue::F32(vec![0.5]),
+            ArrayValue::F64(vec![]),
+        ] {
+            docs.push(Document::with_root(Element::array("v", a)));
+        }
+        for v in [
+            AtomicValue::Str("héllo <xml>".into()),
+            AtomicValue::Bool(true),
+            AtomicValue::F64(-0.0),
+            AtomicValue::I64(-(1 << 50)),
+        ] {
+            docs.push(Document::with_root(Element::leaf("n", v)));
+        }
+        docs.push(Document::with_root(
+            Element::component("a:r")
+                .with_namespace("a", "http://a")
+                .with_child(
+                    Element::component("b:mid")
+                        .with_namespace("b", "http://b")
+                        .with_child(Element::leaf("a:deep", AtomicValue::Bool(false))),
+                ),
+        ));
+        let mut out = Vec::new();
+        for doc in &docs {
+            for order in [ByteOrder::Little, ByteOrder::Big] {
+                out.push(encode_with(doc, &EncodeOptions { byte_order: order }).unwrap());
+            }
+        }
+        out
+    }
+
+    /// `decode_into` must be observationally identical to `decode`, both
+    /// on a fresh document and on one still holding any *other* corpus
+    /// document's tree (the dirty-slot case where shapes diverge).
+    #[test]
+    fn decode_into_matches_decode_on_corpus() {
+        let corpus = corpus();
+        let mut recycled = Document::new();
+        for (i, bytes) in corpus.iter().enumerate() {
+            let fresh = decode(bytes).unwrap();
+            let mut target = Document::new();
+            decode_into(bytes, &mut target).unwrap();
+            assert_eq!(target, fresh, "fresh-target mismatch on corpus[{i}]");
+            // The recycled document carries whatever the previous
+            // iteration left in it.
+            decode_into(bytes, &mut recycled).unwrap();
+            assert_eq!(recycled, fresh, "dirty-target mismatch on corpus[{i}]");
+        }
+    }
+
+    /// Same-shape refill must not reallocate the payload of a large
+    /// packed array: the array Vec's address is stable across messages.
+    #[test]
+    fn decode_into_reuses_array_storage() {
+        let doc = Document::with_root(Element::array(
+            "v",
+            ArrayValue::F64((0..512).map(|i| i as f64).collect()),
+        ));
+        let bytes = encode(&doc).unwrap();
+        let mut target = Document::new();
+        decode_into(&bytes, &mut target).unwrap();
+        let ptr = match target.root().unwrap().array_value().unwrap() {
+            ArrayValue::F64(v) => v.as_ptr(),
+            other => panic!("expected F64 array, got {other:?}"),
+        };
+        decode_into(&bytes, &mut target).unwrap();
+        assert_eq!(target, doc);
+        let ptr2 = match target.root().unwrap().array_value().unwrap() {
+            ArrayValue::F64(v) => v.as_ptr(),
+            other => panic!("expected F64 array, got {other:?}"),
+        };
+        assert_eq!(ptr, ptr2, "same-shape refill must reuse the array buffer");
+    }
+
+    /// A failed refill leaves the document in an unspecified-but-valid
+    /// state and the next successful decode repairs it completely.
+    #[test]
+    fn decode_into_recovers_after_error() {
+        let doc = sample_doc();
+        let bytes = encode(&doc).unwrap();
+        let mut target = Document::new();
+        decode_into(&bytes, &mut target).unwrap();
+        assert!(decode_into(&bytes[..bytes.len() / 2], &mut target).is_err());
+        decode_into(&bytes, &mut target).unwrap();
+        assert_eq!(target, doc);
     }
 
     #[test]

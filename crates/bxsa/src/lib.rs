@@ -46,14 +46,17 @@ pub mod pull;
 pub mod scan;
 pub mod transcode;
 
-pub use decoder::{decode, decode_element, decode_element_at, decode_with, DecodeOptions};
+pub use decoder::{
+    decode, decode_element, decode_element_at, decode_into, decode_into_with, decode_with,
+    DecodeOptions,
+};
 pub use encoder::{
     encode, encode_element, encode_element_into, encode_into, encode_into_with, encode_with,
     EncodeOptions,
 };
 pub use error::{BxsaError, BxsaResult};
 pub use frame::FrameType;
-pub use pull::{PullEvent, PullReader};
+pub use pull::{ArrayHandle, ElementStart, LeafValue, PullEvent, PullReader};
 pub use scan::FrameScanner;
 pub use transcode::{bxsa_to_xml, xml_to_bxsa};
 

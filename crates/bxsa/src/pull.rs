@@ -100,27 +100,90 @@ impl<'a> ArrayHandle<'a> {
     }
 }
 
+/// A leaf element's typed value, borrowed from the stream.
+///
+/// Numeric variants are decoded scalars; the string variant points into
+/// the receive buffer — the aliasing contract of all borrowed pull data
+/// (see [`PullEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LeafValue<'a> {
+    /// `xsd:byte`.
+    I8(i8),
+    /// `xsd:unsignedByte`.
+    U8(u8),
+    /// `xsd:short`.
+    I16(i16),
+    /// `xsd:unsignedShort`.
+    U16(u16),
+    /// `xsd:int`.
+    I32(i32),
+    /// `xsd:unsignedInt`.
+    U32(u32),
+    /// `xsd:long`.
+    I64(i64),
+    /// `xsd:unsignedLong`.
+    U64(u64),
+    /// `xsd:float`.
+    F32(f32),
+    /// `xsd:double`.
+    F64(f64),
+    /// `xsd:boolean`.
+    Bool(bool),
+    /// `xsd:string`, borrowed zero-copy from the buffer.
+    Str(&'a str),
+}
+
+impl LeafValue<'_> {
+    /// Copy into an owned [`AtomicValue`] (allocates for strings only).
+    pub fn to_atomic(self) -> AtomicValue {
+        match self {
+            LeafValue::I8(v) => AtomicValue::I8(v),
+            LeafValue::U8(v) => AtomicValue::U8(v),
+            LeafValue::I16(v) => AtomicValue::I16(v),
+            LeafValue::U16(v) => AtomicValue::U16(v),
+            LeafValue::I32(v) => AtomicValue::I32(v),
+            LeafValue::U32(v) => AtomicValue::U32(v),
+            LeafValue::I64(v) => AtomicValue::I64(v),
+            LeafValue::U64(v) => AtomicValue::U64(v),
+            LeafValue::F32(v) => AtomicValue::F32(v),
+            LeafValue::F64(v) => AtomicValue::F64(v),
+            LeafValue::Bool(v) => AtomicValue::Bool(v),
+            LeafValue::Str(v) => AtomicValue::Str(v.to_owned()),
+        }
+    }
+}
+
 /// One streaming event.
+///
+/// Events are zero-copy: text, comment, PI, and leaf-string payloads are
+/// `&str` slices *aliasing the receive buffer*, and [`ArrayHandle`] /
+/// [`ArrayHandle::view`] borrow the packed payload in place. The borrow
+/// checker enforces the aliasing rule — the buffer the reader was opened
+/// over cannot be mutated or freed while any event (or array view) from
+/// it is alive, so a connection loop must finish consuming a message's
+/// events before reusing its receive buffer for the next message. Copy
+/// out (`to_owned`, [`LeafValue::to_atomic`], [`ArrayHandle::read`])
+/// anything that must outlive the buffer.
 #[derive(Debug, Clone)]
 pub enum PullEvent<'a> {
     /// An element frame opened (any kind; see the following events).
     ElementStart(ElementStart),
     /// The typed value of a leaf element (between its start and end).
-    LeafValue(AtomicValue),
+    LeafValue(LeafValue<'a>),
     /// The payload handle of an array element (between start and end).
     Array(ArrayHandle<'a>),
     /// An element frame closed (emitted for leaf/array elements too).
     ElementEnd,
-    /// Character data.
-    Text(String),
-    /// A comment.
-    Comment(String),
-    /// A processing instruction.
+    /// Character data, borrowed from the buffer.
+    Text(&'a str),
+    /// A comment, borrowed from the buffer.
+    Comment(&'a str),
+    /// A processing instruction, borrowed from the buffer.
     Pi {
         /// PI target.
-        target: String,
+        target: &'a str,
         /// PI data.
-        data: String,
+        data: &'a str,
     },
 }
 
@@ -189,7 +252,7 @@ impl<'a> PullReader<'a> {
                 self.read_frame().map(Some)
             }
             Some(Pending::LeafValue { end }) => {
-                let value = self.read_atomic()?;
+                let value = self.read_leaf()?;
                 self.stack.push(Pending::End { end });
                 Ok(Some(PullEvent::LeafValue(value)))
             }
@@ -274,18 +337,18 @@ impl<'a> PullReader<'a> {
                 what: "nested document frame".into(),
             }),
             FrameType::CharData => {
-                let text = self.r.read_str()?.to_owned();
+                let text = self.r.read_str()?;
                 self.expect_end(start, end)?;
                 Ok(PullEvent::Text(text))
             }
             FrameType::Comment => {
-                let text = self.r.read_str()?.to_owned();
+                let text = self.r.read_str()?;
                 self.expect_end(start, end)?;
                 Ok(PullEvent::Comment(text))
             }
             FrameType::Pi => {
-                let target = self.r.read_str()?.to_owned();
-                let data = self.r.read_str()?.to_owned();
+                let target = self.r.read_str()?;
+                let data = self.r.read_str()?;
                 self.expect_end(start, end)?;
                 Ok(PullEvent::Pi { target, data })
             }
@@ -371,21 +434,21 @@ impl<'a> PullReader<'a> {
         Ok(QName::new(prefix, local))
     }
 
-    fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {
+    fn read_leaf(&mut self) -> BxsaResult<LeafValue<'a>> {
         let at = self.r.position();
         let code = TypeCode::from_byte(self.r.read_raw_u8()?, at)?;
         Ok(match code {
-            TypeCode::I8 => AtomicValue::I8(self.r.read_i8()?),
-            TypeCode::U8 => AtomicValue::U8(self.r.read_u8()?),
-            TypeCode::I16 => AtomicValue::I16(self.r.read_i16()?),
-            TypeCode::U16 => AtomicValue::U16(self.r.read_u16()?),
-            TypeCode::I32 => AtomicValue::I32(self.r.read_i32()?),
-            TypeCode::U32 => AtomicValue::U32(self.r.read_u32()?),
-            TypeCode::I64 => AtomicValue::I64(self.r.read_i64()?),
-            TypeCode::U64 => AtomicValue::U64(self.r.read_u64()?),
-            TypeCode::F32 => AtomicValue::F32(self.r.read_f32()?),
-            TypeCode::F64 => AtomicValue::F64(self.r.read_f64()?),
-            TypeCode::Str => AtomicValue::Str(self.r.read_str()?.to_owned()),
+            TypeCode::I8 => LeafValue::I8(self.r.read_i8()?),
+            TypeCode::U8 => LeafValue::U8(self.r.read_u8()?),
+            TypeCode::I16 => LeafValue::I16(self.r.read_i16()?),
+            TypeCode::U16 => LeafValue::U16(self.r.read_u16()?),
+            TypeCode::I32 => LeafValue::I32(self.r.read_i32()?),
+            TypeCode::U32 => LeafValue::U32(self.r.read_u32()?),
+            TypeCode::I64 => LeafValue::I64(self.r.read_i64()?),
+            TypeCode::U64 => LeafValue::U64(self.r.read_u64()?),
+            TypeCode::F32 => LeafValue::F32(self.r.read_f32()?),
+            TypeCode::F64 => LeafValue::F64(self.r.read_f64()?),
+            TypeCode::Str => LeafValue::Str(self.r.read_str()?),
             TypeCode::Bool => {
                 let b = self.r.read_raw_u8()?;
                 if b > 1 {
@@ -394,9 +457,13 @@ impl<'a> PullReader<'a> {
                         what: format!("boolean byte {b:#04x}"),
                     });
                 }
-                AtomicValue::Bool(b == 1)
+                LeafValue::Bool(b == 1)
             }
         })
+    }
+
+    fn read_atomic(&mut self) -> BxsaResult<AtomicValue> {
+        self.read_leaf().map(LeafValue::to_atomic)
     }
 
     fn read_array_handle(&mut self, end: usize) -> BxsaResult<ArrayHandle<'a>> {
@@ -461,7 +528,7 @@ mod tests {
                     stack.push(e);
                 }
                 PullEvent::LeafValue(v) => {
-                    stack.last_mut().unwrap().content = bxdm::Content::Leaf(v);
+                    stack.last_mut().unwrap().content = bxdm::Content::Leaf(v.to_atomic());
                 }
                 PullEvent::Array(h) => {
                     stack.last_mut().unwrap().content = bxdm::Content::Array(h.read().unwrap());
@@ -474,15 +541,18 @@ mod tests {
                     }
                 }
                 PullEvent::Text(t) => match stack.last_mut() {
-                    Some(p) => p.push_node(Node::Text(t)),
-                    None => doc.children.push(Node::Text(t)),
+                    Some(p) => p.push_node(Node::Text(t.to_owned())),
+                    None => doc.children.push(Node::Text(t.to_owned())),
                 },
                 PullEvent::Comment(c) => match stack.last_mut() {
-                    Some(p) => p.push_node(Node::Comment(c)),
-                    None => doc.children.push(Node::Comment(c)),
+                    Some(p) => p.push_node(Node::Comment(c.to_owned())),
+                    None => doc.children.push(Node::Comment(c.to_owned())),
                 },
                 PullEvent::Pi { target, data } => {
-                    let node = Node::Pi { target, data };
+                    let node = Node::Pi {
+                        target: target.to_owned(),
+                        data: data.to_owned(),
+                    };
                     match stack.last_mut() {
                         Some(p) => p.push_node(node),
                         None => doc.children.push(node),
@@ -575,6 +645,44 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Text, comment, PI, and leaf-string events alias the input buffer
+    /// (no copies): each borrowed slice's address range lies inside it.
+    #[test]
+    fn events_borrow_payload_from_buffer() {
+        let mut root = Element::component("r")
+            .with_child(Element::leaf("s", AtomicValue::Str("payload".into())))
+            .with_text("note")
+            .with_comment("c");
+        root.push_node(Node::Pi {
+            target: "t".into(),
+            data: "d".into(),
+        });
+        let doc = Document::with_root(root);
+        let bytes = encode(&doc).unwrap();
+        let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        let in_buf = |s: &str| range.contains(&(s.as_ptr() as usize));
+        let mut reader = PullReader::new(&bytes).unwrap();
+        let mut borrowed = 0;
+        while let Some(event) = reader.next_event().unwrap() {
+            match event {
+                PullEvent::Text(t) | PullEvent::Comment(t) => {
+                    assert!(in_buf(t), "text/comment must alias the buffer");
+                    borrowed += 1;
+                }
+                PullEvent::LeafValue(LeafValue::Str(s)) => {
+                    assert!(in_buf(s), "leaf string must alias the buffer");
+                    borrowed += 1;
+                }
+                PullEvent::Pi { target, data } => {
+                    assert!(in_buf(target) && in_buf(data), "pi must alias the buffer");
+                    borrowed += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(borrowed, 4);
     }
 
     #[test]

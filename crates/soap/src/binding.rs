@@ -20,10 +20,31 @@ pub trait BindingPolicy {
     /// Receive the matching response payload.
     fn receive_response(&mut self) -> SoapResult<Vec<u8>>;
 
-    /// Request/response convenience (the engine calls this).
+    /// Receive the matching response payload into a reusable buffer
+    /// (contents replaced, capacity kept). Bindings that can land the
+    /// bytes directly in the caller's buffer override this; the default
+    /// delegates to [`receive_response`](BindingPolicy::receive_response).
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
+        *out = self.receive_response()?;
+        Ok(())
+    }
+
+    /// Request/response convenience.
     fn exchange(&mut self, payload: &[u8], content_type: &str) -> SoapResult<Vec<u8>> {
         self.send_request(payload, content_type)?;
         self.receive_response()
+    }
+
+    /// Request/response into a reusable response buffer — the engine's
+    /// steady-state path.
+    fn exchange_into(
+        &mut self,
+        payload: &[u8],
+        content_type: &str,
+        out: &mut Vec<u8>,
+    ) -> SoapResult<()> {
+        self.send_request(payload, content_type)?;
+        self.receive_response_into(out)
     }
 
     /// One-way send (no response expected).
@@ -39,12 +60,16 @@ pub trait BindingPolicy {
 #[derive(Debug, Clone)]
 pub struct HttpBinding {
     addr: String,
-    path: String,
     /// SOAPAction header value, if the service wants one.
     pub soap_action: Option<String>,
     /// Per-phase time budgets for each exchange (default: unlimited).
     pub timeouts: Timeouts,
-    pending: Option<HttpResponse>,
+    /// Reusable request scaffold: the path is fixed at construction and
+    /// the body buffer's capacity survives across calls.
+    request: transport::HttpRequest,
+    /// Reusable response parse target (body capacity survives).
+    response: HttpResponse,
+    pending: bool,
 }
 
 impl HttpBinding {
@@ -52,10 +77,11 @@ impl HttpBinding {
     pub fn new(addr: &str, path: &str) -> HttpBinding {
         HttpBinding {
             addr: addr.to_owned(),
-            path: path.to_owned(),
             soap_action: None,
             timeouts: Timeouts::none(),
-            pending: None,
+            request: transport::HttpRequest::post(path, "", Vec::new()),
+            response: HttpResponse::empty(),
+            pending: false,
         }
     }
 
@@ -73,28 +99,56 @@ impl HttpBinding {
 
 impl BindingPolicy for HttpBinding {
     fn send_request(&mut self, payload: &[u8], content_type: &str) -> SoapResult<()> {
-        let mut request =
-            transport::HttpRequest::post(&self.path, content_type, payload.to_vec());
+        self.pending = false;
+        // Refill the reusable request in place: same path, rebuilt
+        // headers, body capacity kept.
+        self.request.body.clear();
+        self.request.body.extend_from_slice(payload);
+        self.request.headers.clear();
+        self.request
+            .headers
+            .push(("Content-Type".into(), content_type.into()));
         if let Some(action) = &self.soap_action {
-            request = request.with_header("SOAPAction", action);
+            self.request
+                .headers
+                .push(("SOAPAction".into(), action.clone()));
         }
-        let response =
-            transport::http::client::send_request_with(&self.addr, &request, &self.timeouts)?;
+        transport::send_request_with_into(
+            &self.addr,
+            &self.request,
+            &self.timeouts,
+            &mut self.response,
+        )?;
         // SOAP-over-HTTP delivers faults in 500 responses with a SOAP
         // body; anything else non-2xx is a transport-level error carrying
         // the status, a body prefix, and any Retry-After.
-        if !response.is_success() && response.status != 500 {
-            return Err(SoapError::Transport(response.status_error()));
+        if !self.response.is_success() && self.response.status != 500 {
+            return Err(SoapError::Transport(self.response.status_error()));
         }
-        self.pending = Some(response);
+        self.pending = true;
         Ok(())
     }
 
     fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
-        self.pending
-            .take()
-            .map(|r| r.body)
-            .ok_or_else(|| SoapError::Protocol("receive_response before send_request".into()))
+        if !std::mem::take(&mut self.pending) {
+            return Err(SoapError::Protocol(
+                "receive_response before send_request".into(),
+            ));
+        }
+        Ok(std::mem::take(&mut self.response.body))
+    }
+
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
+        if !std::mem::take(&mut self.pending) {
+            return Err(SoapError::Protocol(
+                "receive_response before send_request".into(),
+            ));
+        }
+        // Swap keeps both buffers in the reuse cycle: the caller gets
+        // the response bytes, the binding gets a capacity-bearing buffer
+        // for the next response.
+        std::mem::swap(out, &mut self.response.body);
+        Ok(())
     }
 }
 
@@ -155,6 +209,14 @@ impl BindingPolicy for TcpBinding {
 
     fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
         let result = self.stream()?.recv();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result.map_err(Into::into)
+    }
+
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
+        let result = self.stream()?.recv_into(out);
         if result.is_err() {
             self.stream = None;
         }

@@ -32,6 +32,17 @@ pub trait EncodingPolicy {
     }
     /// Deserialize a document.
     fn decode(&self, bytes: &[u8]) -> SoapResult<Document>;
+    /// Deserialize into a reusable document: contents are replaced, but
+    /// node slots, strings, and array buffers from the previous message
+    /// are refilled in place, so decoding a stream of similarly-shaped
+    /// messages is allocation-free at steady state. On error the
+    /// document holds unspecified but valid contents. Policies with an
+    /// in-place decode path override this; the default delegates to
+    /// [`decode`](EncodingPolicy::decode).
+    fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {
+        *doc = self.decode(bytes)?;
+        Ok(())
+    }
 }
 
 /// Textual XML 1.0 — SOAP's de-facto default wire format.
@@ -71,6 +82,13 @@ impl EncodingPolicy for XmlEncoding {
             crate::error::SoapError::Protocol("XML payload is not valid UTF-8".into())
         })?;
         Ok(xmltext::parse(text)?)
+    }
+
+    fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            crate::error::SoapError::Protocol("XML payload is not valid UTF-8".into())
+        })?;
+        Ok(xmltext::parse_into(text, doc)?)
     }
 }
 
@@ -112,6 +130,10 @@ impl EncodingPolicy for BxsaEncoding {
 
     fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
         Ok(bxsa::decode(bytes)?)
+    }
+
+    fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {
+        Ok(bxsa::decode_into(bytes, doc)?)
     }
 }
 
@@ -180,6 +202,32 @@ mod tests {
         let bin = BxsaEncoding::default();
         bin.encode_into(&doc, &mut buf).unwrap();
         assert_eq!(buf, bin.encode(&doc).unwrap());
+    }
+
+    #[test]
+    fn decode_into_matches_decode_for_both_policies() {
+        let doc = sample_doc();
+        // The reused document starts dirty (a different prior message);
+        // decode_into must fully replace it for both policies.
+        let stale = SoapEnvelope::with_body(
+            Element::component("m:Other")
+                .with_namespace("m", "http://example.org")
+                .with_child(Element::array("m:w", ArrayValue::F64(vec![9.9; 64]))),
+        )
+        .to_document();
+        let xml = XmlEncoding::default();
+        let bytes = xml.encode(&doc).unwrap();
+        let mut reused = stale.clone();
+        xml.decode_into(&bytes, &mut reused).unwrap();
+        assert_eq!(reused, xml.decode(&bytes).unwrap());
+        xml.decode_into(&bytes, &mut reused).unwrap();
+        assert_eq!(reused, doc);
+        let bin = BxsaEncoding::default();
+        let bytes = bin.encode(&doc).unwrap();
+        let mut reused = stale;
+        bin.decode_into(&bytes, &mut reused).unwrap();
+        assert_eq!(reused, bin.decode(&bytes).unwrap());
+        assert_eq!(reused, doc);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The generic SOAP engine (paper §5, §5.1).
 
+use bxdm::Document;
 use transport::RetryPolicy;
 
 use crate::binding::BindingPolicy;
@@ -64,6 +65,13 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     /// Request-serialization scratch, reused across calls so a client
     /// issuing many similarly-sized requests serializes allocation-free.
     encode_buf: Vec<u8>,
+    /// Response-byte scratch: the binding lands each reply's payload
+    /// here, reusing the buffer's capacity call over call.
+    response_buf: Vec<u8>,
+    /// Response-document scratch: each reply is decoded into this
+    /// document in place, so steady-state decoding of similarly-shaped
+    /// responses allocates nothing.
+    decode_buf: Document,
 }
 
 impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
@@ -76,6 +84,8 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             retry: None,
             last_attempts: 0,
             encode_buf: Vec::new(),
+            response_buf: Vec::new(),
+            decode_buf: Document::new(),
         }
     }
 }
@@ -91,6 +101,8 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             retry: None,
             last_attempts: 0,
             encode_buf: Vec::new(),
+            response_buf: Vec::new(),
+            decode_buf: Document::new(),
         }
     }
 
@@ -143,11 +155,12 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         let mut schedule = self.retry.as_ref().map(|p| p.schedule());
         loop {
             self.last_attempts += 1;
-            let error = match self
-                .binding
-                .exchange(&self.encode_buf, self.encoding.content_type())
-            {
-                Ok(bytes) => return self.finish_call(&bytes),
+            let error = match self.binding.exchange_into(
+                &self.encode_buf,
+                self.encoding.content_type(),
+                &mut self.response_buf,
+            ) {
+                Ok(()) => return self.finish_call(),
                 Err(e) => e,
             };
             let retry_safe =
@@ -186,9 +199,10 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         result
     }
 
-    fn finish_call(&mut self, response_bytes: &[u8]) -> SoapResult<SoapEnvelope> {
-        let response_doc = self.encoding.decode(response_bytes)?;
-        let envelope = SoapEnvelope::from_document(&response_doc)?;
+    fn finish_call(&mut self) -> SoapResult<SoapEnvelope> {
+        self.encoding
+            .decode_into(&self.response_buf, &mut self.decode_buf)?;
+        let envelope = SoapEnvelope::from_document(&self.decode_buf)?;
         if let Some(fault) = envelope.as_fault() {
             return Err(SoapError::Fault(fault));
         }

@@ -61,7 +61,7 @@ pub use error::{SoapError, SoapResult};
 pub use fault::{FaultCode, SoapFault};
 pub use intermediary::Intermediary;
 pub use server::{HttpSoapServer, TcpSoapServer};
-pub use service::{fault_for_error, ServiceHandler, ServiceRegistry, SoapService};
+pub use service::{fault_for_error, DecodeScratch, ServiceHandler, ServiceRegistry, SoapService};
 
 /// The four canonical engine instantiations (paper §5: "obviously we can
 /// have two more combinations").

@@ -13,7 +13,7 @@ use transport::{HttpServerConfig, TcpServerConfig};
 
 use crate::encoding::EncodingPolicy;
 use crate::error::SoapResult;
-use crate::service::{ServiceRegistry, SoapService};
+use crate::service::{DecodeScratch, ServiceRegistry, SoapService};
 
 /// A SOAP service listening on framed TCP.
 pub struct TcpSoapServer {
@@ -41,12 +41,18 @@ impl TcpSoapServer {
     {
         let service = SoapService::new(encoding, registry);
         // Faults travel in-band on raw TCP: the envelope itself says so.
-        // The buffered handler keeps each connection's request/response
-        // buffers alive across messages, so steady-state service does no
-        // per-message payload allocation.
-        let inner = transport::TcpServer::bind_buffered_with(addr, config, move |request, out| {
-            service.handle_bytes_into(request, out);
-        })?;
+        // The scoped handler keeps each connection's request/response
+        // buffers AND its decode document alive across messages, so
+        // steady-state service does no per-message payload or decode
+        // allocation.
+        let inner = transport::TcpServer::bind_scoped_with(
+            addr,
+            config,
+            DecodeScratch::default,
+            move |scratch, request, out| {
+                service.handle_bytes_scratch(scratch, request, out);
+            },
+        )?;
         Ok(TcpSoapServer { inner })
     }
 
@@ -101,11 +107,22 @@ impl HttpSoapServer {
         let service = SoapService::new(encoding, registry);
         let content_type = service.encoding().content_type();
         let path = path.to_owned();
-        let inner = transport::HttpServer::bind_with(addr, config, move |request| {
+        // HTTP connections are one-shot, so reuse must span connections:
+        // one shared pool carries body buffers (request reads, response
+        // encodes, recycled by the transport after each reply) and a
+        // second carries decode scratch documents between handler runs.
+        let pool = Arc::new(transport::BufferPool::default());
+        let handler_pool = Arc::clone(&pool);
+        let scratch_pool: Arc<transport::Pool<DecodeScratch>> =
+            Arc::new(transport::Pool::default());
+        let inner = transport::HttpServer::bind_pooled(addr, config, pool, move |request| {
             if request.method != "POST" || request.path != path {
                 return transport::HttpResponse::not_found();
             }
-            let (body, is_fault) = service.handle_bytes(&request.body);
+            let mut body = handler_pool.take();
+            let mut scratch = scratch_pool.take();
+            let is_fault = service.handle_bytes_scratch(&mut scratch, &request.body, &mut body);
+            scratch_pool.put(scratch);
             // SOAP 1.1 over HTTP: faults ride in 500 responses.
             if is_fault {
                 transport::HttpResponse::server_error(body)

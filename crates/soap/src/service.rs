@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bxdm::Document;
+
 use crate::encoding::EncodingPolicy;
 use crate::envelope::{must_understand, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
@@ -117,6 +119,16 @@ pub fn fault_for_error(err: SoapError) -> SoapFault {
     }
 }
 
+/// Reusable server-side decode state: the request document each message
+/// is decoded into, refilled in place by
+/// [`EncodingPolicy::decode_into`]. Keep one per connection (or pool
+/// them across one-shot connections) and steady-state dispatch of
+/// similarly-shaped requests does no decode-side allocation.
+#[derive(Default)]
+pub struct DecodeScratch {
+    doc: Document,
+}
+
 /// A byte-level SOAP service: a registry plus an encoding policy.
 ///
 /// This is the piece both server bindings share — "receiving the message
@@ -150,9 +162,24 @@ impl<E: EncodingPolicy> SoapService<E> {
 
     /// [`handle_bytes`](SoapService::handle_bytes) into a reusable
     /// response buffer (replaced, capacity kept) — the allocation-free
-    /// path for server bindings cycling one buffer per connection.
+    /// encode path for server bindings cycling one buffer per
+    /// connection.
     pub fn handle_bytes_into(&self, request: &[u8], out: &mut Vec<u8>) -> bool {
-        let response = match self.try_handle(request) {
+        self.handle_bytes_scratch(&mut DecodeScratch::default(), request, out)
+    }
+
+    /// [`handle_bytes_into`](SoapService::handle_bytes_into) with
+    /// caller-owned decode scratch — the fully reusing path: the request
+    /// is decoded into `scratch`'s document in place, so a server
+    /// keeping one scratch per connection serves same-shape request
+    /// streams without decode-side allocation either.
+    pub fn handle_bytes_scratch(
+        &self,
+        scratch: &mut DecodeScratch,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let response = match self.try_handle(scratch, request) {
             Ok(envelope) => envelope,
             Err(e) => fault_envelope(fault_for_error(e)),
         };
@@ -166,9 +193,9 @@ impl<E: EncodingPolicy> SoapService<E> {
         is_fault
     }
 
-    fn try_handle(&self, request: &[u8]) -> SoapResult<SoapEnvelope> {
-        let doc = self.encoding.decode(request)?;
-        let envelope = SoapEnvelope::from_document(&doc)?;
+    fn try_handle(&self, scratch: &mut DecodeScratch, request: &[u8]) -> SoapResult<SoapEnvelope> {
+        self.encoding.decode_into(request, &mut scratch.doc)?;
+        let envelope = SoapEnvelope::from_document(&scratch.doc)?;
         Ok(self.registry.dispatch(&envelope))
     }
 }

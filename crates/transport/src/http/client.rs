@@ -24,6 +24,20 @@ pub fn send_request_with(
     request: &HttpRequest,
     timeouts: &Timeouts,
 ) -> TransportResult<HttpResponse> {
+    let mut response = HttpResponse::empty();
+    send_request_with_into(addr, request, timeouts, &mut response)?;
+    Ok(response)
+}
+
+/// [`send_request_with`], parsing the response into a reusable value
+/// whose body buffer's capacity survives across calls — a client issuing
+/// many similarly-sized requests receives allocation-free (bar headers).
+pub fn send_request_with_into(
+    addr: &str,
+    request: &HttpRequest,
+    timeouts: &Timeouts,
+    response: &mut HttpResponse,
+) -> TransportResult<()> {
     let mut stream = connect_stream(addr, timeouts.connect)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(timeouts.read)?;
@@ -38,7 +52,7 @@ pub fn send_request_with(
     })?;
     let started = Instant::now();
     let mut reader = BufReader::new(stream);
-    HttpResponse::read_from(&mut reader).map_err(|e| match e {
+    HttpResponse::read_from_into(&mut reader, response).map_err(|e| match e {
         TransportError::Io(io) if TransportError::io_is_timeout(&io) => TransportError::TimedOut {
             elapsed: started.elapsed(),
             budget: timeouts.read.unwrap_or_default(),

@@ -57,11 +57,13 @@ pub(crate) fn find_header<'a>(headers: &'a [(String, String)], name: &str) -> Op
         .map(|(_, v)| v.as_str())
 }
 
-/// Read a `Content-Length`-delimited body.
-pub(crate) fn read_body(
+/// Read a `Content-Length`-delimited body into a reusable buffer
+/// (contents replaced, capacity kept).
+pub(crate) fn read_body_into(
     reader: &mut impl std::io::BufRead,
     headers: &[(String, String)],
-) -> crate::TransportResult<Vec<u8>> {
+    body: &mut Vec<u8>,
+) -> crate::TransportResult<()> {
     use crate::TransportError;
 
     let len = match find_header(headers, "Content-Length") {
@@ -75,20 +77,30 @@ pub(crate) fn read_body(
             declared: len as u64,
         });
     }
-    let mut body = vec![0u8; len];
+    body.clear();
+    body.resize(len, 0);
     reader
-        .read_exact(&mut body)
+        .read_exact(body)
         .map_err(|e| match e.kind() {
             std::io::ErrorKind::UnexpectedEof => TransportError::ConnectionClosed,
             _ => TransportError::Io(e),
         })?;
-    Ok(body)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::BufReader;
+
+    fn read_body(
+        reader: &mut impl std::io::BufRead,
+        headers: &[(String, String)],
+    ) -> crate::TransportResult<Vec<u8>> {
+        let mut body = Vec::new();
+        read_body_into(reader, headers, &mut body)?;
+        Ok(body)
+    }
 
     #[test]
     fn read_head_parses_headers() {
@@ -99,6 +111,18 @@ mod tests {
         assert_eq!(find_header(&headers, "host"), Some("x"));
         let body = read_body(&mut r, &headers).unwrap();
         assert_eq!(body, b"abc");
+    }
+
+    #[test]
+    fn read_body_into_reuses_capacity() {
+        let headers = vec![("Content-Length".to_owned(), "5".to_owned())];
+        let mut body = Vec::with_capacity(64);
+        body.extend_from_slice(b"stale contents that must vanish");
+        let ptr = body.as_ptr();
+        let mut r = BufReader::new(&b"hello"[..]);
+        read_body_into(&mut r, &headers, &mut body).unwrap();
+        assert_eq!(body, b"hello");
+        assert_eq!(body.as_ptr(), ptr, "capacity must be reused");
     }
 
     #[test]

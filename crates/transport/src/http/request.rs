@@ -3,7 +3,7 @@
 use std::io::{BufRead, Write};
 
 use crate::error::{TransportError, TransportResult};
-use crate::http::{find_header, read_body, read_head, CRLF};
+use crate::http::{find_header, read_body_into, read_head, CRLF};
 
 /// An HTTP/1.1 request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +77,16 @@ impl HttpRequest {
 
     /// Parse a request from a buffered stream.
     pub fn read_from(reader: &mut impl BufRead) -> TransportResult<HttpRequest> {
+        HttpRequest::read_from_with_body(reader, Vec::new())
+    }
+
+    /// [`read_from`](HttpRequest::read_from), adopting `body` as the body
+    /// buffer (contents replaced, capacity kept) — the server side of the
+    /// pooled-body discipline.
+    pub fn read_from_with_body(
+        reader: &mut impl BufRead,
+        mut body: Vec<u8>,
+    ) -> TransportResult<HttpRequest> {
         let (first, headers) = read_head(reader)?;
         let mut parts = first.split_ascii_whitespace();
         let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
@@ -92,7 +102,7 @@ impl HttpRequest {
                 what: format!("unsupported version {version:?}"),
             });
         }
-        let body = read_body(reader, &headers)?;
+        read_body_into(reader, &headers, &mut body)?;
         Ok(HttpRequest {
             method: method.to_owned(),
             path: path.to_owned(),

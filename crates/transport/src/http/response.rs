@@ -3,7 +3,7 @@
 use std::io::{BufRead, Write};
 
 use crate::error::{TransportError, TransportResult};
-use crate::http::{find_header, read_body, read_head, CRLF};
+use crate::http::{find_header, read_body_into, read_head, CRLF};
 
 /// An HTTP/1.1 response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,8 +114,33 @@ impl HttpResponse {
         Ok(())
     }
 
+    /// An empty placeholder (status 0, no headers, no body) — the
+    /// reusable parse target for
+    /// [`read_from_into`](HttpResponse::read_from_into).
+    pub fn empty() -> HttpResponse {
+        HttpResponse {
+            status: 0,
+            reason: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
     /// Parse a response from a buffered stream.
     pub fn read_from(reader: &mut impl BufRead) -> TransportResult<HttpResponse> {
+        let mut response = HttpResponse::empty();
+        HttpResponse::read_from_into(reader, &mut response)?;
+        Ok(response)
+    }
+
+    /// [`read_from`](HttpResponse::read_from) into an existing value,
+    /// reusing its body buffer's capacity — the client side of the
+    /// pooled-body discipline. On error, `into` holds unspecified but
+    /// valid contents.
+    pub fn read_from_into(
+        reader: &mut impl BufRead,
+        into: &mut HttpResponse,
+    ) -> TransportResult<()> {
         let (first, headers) = read_head(reader)?;
         let mut parts = first.splitn(3, ' ');
         let (version, status, reason) = match (parts.next(), parts.next(), parts.next()) {
@@ -134,13 +159,12 @@ impl HttpResponse {
         let status: u16 = status.parse().map_err(|_| TransportError::BadHttp {
             what: format!("bad status code {status:?}"),
         })?;
-        let body = read_body(reader, &headers)?;
-        Ok(HttpResponse {
-            status,
-            reason: reason.to_owned(),
-            headers,
-            body,
-        })
+        into.status = status;
+        into.reason.clear();
+        into.reason.push_str(reason);
+        into.headers.clear();
+        into.headers.extend(headers);
+        read_body_into(reader, &into.headers, &mut into.body)
     }
 }
 

@@ -10,6 +10,7 @@ use std::time::Duration;
 use crate::error::TransportResult;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
+use crate::pool::BufferPool;
 
 /// Per-connection limits for an [`HttpServer`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,6 +50,25 @@ impl HttpServer {
     where
         H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     {
+        HttpServer::bind_pooled(addr, config, Arc::new(BufferPool::default()), handler)
+    }
+
+    /// [`bind_with`](HttpServer::bind_with) sharing an explicit buffer
+    /// pool. Request bodies are read into pooled buffers and every body
+    /// (request and response) is recycled into `pool` once the response
+    /// is on the wire — HTTP's one-shot connections get the same
+    /// steady-state buffer reuse the framed-TCP server's persistent
+    /// connections enjoy. Handlers that want their response bodies to
+    /// come from the same cycle take buffers from the shared pool.
+    pub fn bind_pooled<H>(
+        addr: &str,
+        config: HttpServerConfig,
+        pool: Arc<BufferPool>,
+        handler: H,
+    ) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -56,6 +76,7 @@ impl HttpServer {
         let errors = Arc::new(AtomicU64::new(0));
         let errors_accept = Arc::clone(&errors);
         let handler = Arc::new(handler);
+        let pool_accept = pool;
 
         let accept_thread = std::thread::Builder::new()
             .name("http-accept".into())
@@ -76,6 +97,7 @@ impl HttpServer {
                     let handler = Arc::clone(&handler);
                     let errors = Arc::clone(&errors_accept);
                     let stopping = Arc::clone(&stop_accept);
+                    let pool = Arc::clone(&pool_accept);
                     let worker = std::thread::Builder::new()
                         .name("http-conn".into())
                         .spawn(move || {
@@ -83,7 +105,7 @@ impl HttpServer {
                                 .peer_addr()
                                 .map(|a| a.to_string())
                                 .unwrap_or_else(|_| "<unknown>".into());
-                            if let Err(e) = serve_connection(stream, config, &*handler) {
+                            if let Err(e) = serve_connection(stream, config, &*handler, &pool) {
                                 errors.fetch_add(1, Ordering::Relaxed);
                                 if !stopping.load(Ordering::Acquire) {
                                     eprintln!("http-conn {peer}: {e}");
@@ -148,6 +170,7 @@ fn serve_connection<H>(
     mut stream: TcpStream,
     config: HttpServerConfig,
     handler: &H,
+    pool: &BufferPool,
 ) -> TransportResult<()>
 where
     H: Fn(&HttpRequest) -> HttpResponse,
@@ -157,8 +180,12 @@ where
     stream.set_write_timeout(config.write_timeout)?;
     let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let response = match HttpRequest::read_from(&mut reader) {
-        Ok(request) => handler(&request),
+    let response = match HttpRequest::read_from_with_body(&mut reader, pool.take()) {
+        Ok(mut request) => {
+            let response = handler(&request);
+            pool.put(std::mem::take(&mut request.body));
+            response
+        }
         Err(crate::TransportError::ConnectionClosed) => return Ok(()), // shutdown kick
         Err(crate::TransportError::Io(e)) if crate::TransportError::io_is_timeout(&e) => {
             // Stalled mid-request: typed error for the accounting layer;
@@ -170,7 +197,12 @@ where
         }
         Err(e) => HttpResponse::bad_request(&e.to_string()),
     };
-    response.write_to(&mut stream)
+    let result = response.write_to(&mut stream);
+    // The response body rejoins the cycle whoever allocated it — the
+    // next connection's request read (or a pool-aware handler) picks
+    // its capacity back up.
+    pool.put(response.body);
+    result
 }
 
 #[cfg(test)]

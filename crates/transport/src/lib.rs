@@ -25,6 +25,7 @@ pub mod fileserver;
 pub mod framed;
 pub mod http;
 pub mod iovec;
+pub mod pool;
 pub mod retry;
 pub mod tcpserver;
 
@@ -35,9 +36,10 @@ pub use faulty::{
 };
 pub use fileserver::FileServer;
 pub use framed::{FramedStream, MAX_FRAME_LEN};
-pub use http::client::{http_get, http_post, send_request, send_request_with};
+pub use http::client::{http_get, http_post, send_request, send_request_with, send_request_with_into};
 pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
 pub use http::server::{HttpServer, HttpServerConfig};
+pub use pool::{BufferPool, Pool};
 pub use retry::{RetryPolicy, RetrySchedule};
 pub use tcpserver::{TcpServer, TcpServerConfig};

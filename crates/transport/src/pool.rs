@@ -1,0 +1,129 @@
+//! A shared free list carrying reusable values across threads.
+//!
+//! The framed-TCP server gets buffer reuse for free: connections persist,
+//! so each connection thread cycles its own request/response buffers for
+//! its whole lifetime. HTTP connections are one-shot
+//! (`Connection: close`), so reuse has to span connections — this pool is
+//! the free list that hands a buffer's capacity from one connection
+//! thread to the next.
+//!
+//! The pool is deliberately value-agnostic: items come back exactly as
+//! they were put in, so a taken value must be treated as holding
+//! arbitrary leftover contents. Every consumer in this stack already
+//! does (body reads clear-and-resize, encoders replace).
+
+use std::sync::Mutex;
+
+/// A bounded, thread-safe free list of reusable values.
+///
+/// `take`/`put` never block beyond the internal lock, and the idle list
+/// is capped so a burst of concurrent connections cannot pin an
+/// unbounded amount of retained capacity.
+pub struct Pool<T> {
+    idle: Mutex<Vec<T>>,
+    max_idle: usize,
+}
+
+/// The common case: pooled byte buffers for HTTP bodies.
+pub type BufferPool = Pool<Vec<u8>>;
+
+impl<T> Pool<T> {
+    /// A pool retaining at most `max_idle` idle values.
+    pub fn new(max_idle: usize) -> Pool<T> {
+        Pool {
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// Take an idle value, or build a fresh one with `make`.
+    pub fn take_or(&self, make: impl FnOnce() -> T) -> T {
+        let recycled = self.idle.lock().expect("pool lock").pop();
+        recycled.unwrap_or_else(make)
+    }
+
+    /// Return a value to the pool (dropped if the idle list is full).
+    pub fn put(&self, value: T) {
+        let mut idle = self.idle.lock().expect("pool lock");
+        if idle.len() < self.max_idle {
+            idle.push(value);
+        }
+    }
+
+    /// Values currently parked in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("pool lock").len()
+    }
+}
+
+impl<T: Default> Pool<T> {
+    /// Take an idle value, or a `Default` one.
+    pub fn take(&self) -> T {
+        self.take_or(T::default)
+    }
+}
+
+impl<T> Default for Pool<T> {
+    /// A pool sized for a busy threaded server (32 idle values — two
+    /// buffers per connection across more simultaneous connections than
+    /// the test servers ever spawn).
+    fn default() -> Pool<T> {
+        Pool::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_capacity() {
+        let pool = BufferPool::new(4);
+        let mut buf = pool.take();
+        buf.reserve(4096);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        pool.put(buf);
+        let back = pool.take();
+        assert_eq!(back.capacity(), cap);
+        assert_eq!(back.as_ptr(), ptr, "same allocation must come back");
+    }
+
+    #[test]
+    fn idle_list_is_bounded() {
+        let pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle_count(), 2);
+    }
+
+    #[test]
+    fn contents_are_callers_problem() {
+        // The pool hands values back verbatim; consumers overwrite.
+        let pool = BufferPool::new(1);
+        pool.put(vec![1, 2, 3]);
+        assert_eq!(pool.take(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new(8));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        let mut b = pool.take();
+                        b.clear();
+                        b.extend_from_slice(b"payload");
+                        pool.put(b);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(pool.idle_count() <= 8);
+    }
+}

@@ -74,6 +74,32 @@ impl TcpServer {
     where
         H: Fn(&[u8], &mut Vec<u8>) + Send + Sync + 'static,
     {
+        TcpServer::bind_scoped_with(addr, config, || (), move |_: &mut (), request, out| {
+            handler(request, out)
+        })
+    }
+
+    /// [`bind_buffered_with`](TcpServer::bind_buffered_with) plus
+    /// per-connection handler state: `init` runs once per accepted
+    /// connection, and the value it returns is threaded through every
+    /// message on that connection. This is where connection-scoped
+    /// scratch lives — decode documents refilled in place, session
+    /// counters — extending the buffer-reuse discipline from the two
+    /// payload buffers to whatever the handler needs to keep warm.
+    ///
+    /// The state never leaves its connection's thread, so it needs no
+    /// `Send`/`Sync`; only the `init` factory is shared.
+    pub fn bind_scoped_with<S, I, H>(
+        addr: &str,
+        config: TcpServerConfig,
+        init: I,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>) + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -81,6 +107,7 @@ impl TcpServer {
         let errors = Arc::new(AtomicU64::new(0));
         let errors_accept = Arc::clone(&errors);
         let handler = Arc::new(handler);
+        let init = Arc::new(init);
 
         let accept_thread = std::thread::Builder::new()
             .name("tcp-accept".into())
@@ -98,6 +125,7 @@ impl TcpServer {
                         continue;
                     };
                     let handler = Arc::clone(&handler);
+                    let init = Arc::clone(&init);
                     let errors = Arc::clone(&errors_accept);
                     let stopping = Arc::clone(&stop_accept);
                     let worker = std::thread::Builder::new()
@@ -107,7 +135,11 @@ impl TcpServer {
                                 .peer_addr()
                                 .map(|a| a.to_string())
                                 .unwrap_or_else(|_| "<unknown>".into());
-                            if let Err(e) = serve_connection(stream, config, &*handler) {
+                            // Connection-scoped state, born and dying
+                            // with this thread.
+                            let mut state = init();
+                            if let Err(e) = serve_connection(stream, config, &mut state, &*handler)
+                            {
                                 // A connection-level failure is logged and
                                 // counted; it never takes the listener down.
                                 errors.fetch_add(1, Ordering::Relaxed);
@@ -168,13 +200,14 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection<H>(
+fn serve_connection<S, H>(
     stream: TcpStream,
     config: TcpServerConfig,
+    state: &mut S,
     handler: &H,
 ) -> TransportResult<()>
 where
-    H: Fn(&[u8], &mut Vec<u8>),
+    H: Fn(&mut S, &[u8], &mut Vec<u8>),
 {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(config.read_timeout)?;
@@ -184,12 +217,13 @@ where
     let mut request = Vec::new();
     let mut response = Vec::new();
     // Serve messages until the client hangs up cleanly, reusing the two
-    // buffers across messages. Any transport error (half-written frame,
-    // oversize prefix, stall past the read budget) propagates to the
-    // caller, which logs and counts it — the typed error path.
+    // buffers (and the handler's state) across messages. Any transport
+    // error (half-written frame, oversize prefix, stall past the read
+    // budget) propagates to the caller, which logs and counts it — the
+    // typed error path.
     while framed.recv_optional_into(&mut request)? {
         response.clear();
-        handler(&request, &mut response);
+        handler(state, &request, &mut response);
         framed.send(&response)?;
     }
     Ok(())

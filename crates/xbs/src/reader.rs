@@ -172,6 +172,24 @@ impl<'a> XbsReader<'a> {
 
     /// Read `count` aligned packed values into a fresh `Vec`.
     pub fn read_packed<T: Primitive>(&mut self, count: usize) -> XbsResult<Vec<T>> {
+        let mut out = Vec::new();
+        self.read_packed_into(count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read `count` aligned packed values into `out`, reusing its
+    /// capacity (clear-and-refill). The decode-direction counterpart of
+    /// the writer's buffer reuse: steady-state array decode performs no
+    /// heap allocation once `out` has grown to the working-set size.
+    ///
+    /// When the stream's byte order matches the machine's, the payload is
+    /// moved with one bounds-checked bulk copy instead of a per-element
+    /// conversion loop.
+    pub fn read_packed_into<T: Primitive>(
+        &mut self,
+        count: usize,
+        out: &mut Vec<T>,
+    ) -> XbsResult<()> {
         self.align(T::WIDTH)?;
         let total = count
             .checked_mul(T::WIDTH)
@@ -182,13 +200,28 @@ impl<'a> XbsReader<'a> {
             })?;
         self.need(total)?;
         let src = &self.buf[self.pos..self.pos + total];
-        let mut out = Vec::with_capacity(count);
-        out.extend(
-            src.chunks_exact(T::WIDTH)
-                .map(|chunk| T::read_bytes(self.order, chunk)),
-        );
+        out.clear();
+        out.reserve(count);
+        if self.order.is_native() {
+            // SAFETY ARGUMENT: `T` is a sealed plain-numeric `Primitive`
+            // (no padding bytes, every bit pattern valid), `reserve`
+            // guarantees capacity for `count` elements, and `need`
+            // bounds-checked that `src` holds exactly `count * T::WIDTH`
+            // payload bytes in native byte order. The byte-wise copy
+            // therefore fully initializes the first `count` elements, and
+            // `set_len` publishes only those.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), out.as_mut_ptr().cast::<u8>(), total);
+                out.set_len(count);
+            }
+        } else {
+            out.extend(
+                src.chunks_exact(T::WIDTH)
+                    .map(|chunk| T::read_bytes(self.order, chunk)),
+            );
+        }
         self.pos += total;
-        Ok(out)
+        Ok(())
     }
 
     /// Borrow `count` packed values in place, without copying.
@@ -237,6 +270,12 @@ impl<'a> XbsReader<'a> {
     pub fn read_array<T: Primitive>(&mut self) -> XbsResult<Vec<T>> {
         let count = self.read_count(T::WIDTH)?;
         self.read_packed(count)
+    }
+
+    /// Read a counted packed array into `out`, reusing its capacity.
+    pub fn read_array_into<T: Primitive>(&mut self, out: &mut Vec<T>) -> XbsResult<()> {
+        let count = self.read_count(T::WIDTH)?;
+        self.read_packed_into(count, out)
     }
 }
 
@@ -348,6 +387,39 @@ mod tests {
         assert_eq!(r.read_packed_zero_copy::<f64>(2).unwrap(), None);
         // Fallback still decodes correctly.
         assert_eq!(r.read_packed::<f64>(2).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn packed_into_reuses_capacity_both_orders() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64 * 1.25).collect();
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            let mut w = XbsWriter::new(order);
+            w.put_packed(&data);
+            w.put_packed(&data);
+            let buf = w.into_bytes();
+            let mut r = XbsReader::new(&buf, order);
+            let mut out: Vec<f64> = Vec::new();
+            r.read_packed_into(data.len(), &mut out).unwrap();
+            assert_eq!(out, data);
+            let ptr = out.as_ptr();
+            // Second fill of the same size must not reallocate.
+            r.read_packed_into(data.len(), &mut out).unwrap();
+            assert_eq!(out, data);
+            assert_eq!(out.as_ptr(), ptr, "refill of equal size must reuse the buffer");
+        }
+    }
+
+    #[test]
+    fn packed_into_error_leaves_out_untouched() {
+        let mut w = XbsWriter::new(ByteOrder::Little);
+        w.put_packed(&[1.0f64, 2.0]);
+        let buf = w.into_bytes();
+        let mut r = XbsReader::new(&buf[..buf.len() - 1], ByteOrder::Little);
+        let mut out = vec![9.0f64; 4];
+        assert!(r.read_packed_into(2, &mut out).is_err());
+        // The error path must not leave stale values visible.
+        assert_eq!(r.position(), 0);
+        assert_eq!(out, vec![9.0f64; 4]);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use crate::escape::unescape;
 /// Text and attribute values borrow from the input unless they contained
 /// entity references that had to be decoded, so tokenizing typical
 /// machine-generated markup allocates only for the attribute `Vec`.
+/// (The streaming reader avoids even that by pulling [`Event`]s and
+/// draining attributes one at a time with [`Lexer::next_attr`].)
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token<'a> {
     /// `<?xml version="1.0"?>` — contents are not interpreted.
@@ -40,6 +42,43 @@ pub enum Token<'a> {
     Pi { target: &'a str, data: &'a str },
     /// End of input.
     Eof,
+}
+
+/// One *incremental* lexical event, pulled with [`Lexer::next_event`].
+///
+/// Identical to [`Token`] except that a start tag stops after the tag
+/// name: the caller must then drain the attributes with
+/// [`Lexer::next_attr`] until it returns [`AttrEvent::TagEnd`] before
+/// pulling the next event. Splitting the tag this way lets the streaming
+/// reader consume attributes without ever materializing a `Vec` for
+/// them — the allocation-free half of the decode fast path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// `<?xml version="1.0"?>` — contents are not interpreted.
+    Decl,
+    /// An opening tag name; attributes follow via [`Lexer::next_attr`].
+    StartTagOpen { name: &'a str },
+    /// A closing tag.
+    EndTag { name: &'a str },
+    /// Character data with entities resolved.
+    Text(Cow<'a, str>),
+    /// A `<![CDATA[...]]>` section (verbatim).
+    CData(&'a str),
+    /// A comment (without the `<!--`/`-->` markers).
+    Comment(&'a str),
+    /// A processing instruction.
+    Pi { target: &'a str, data: &'a str },
+    /// End of input.
+    Eof,
+}
+
+/// One step of incremental attribute lexing (see [`Event::StartTagOpen`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrEvent<'a> {
+    /// An attribute: raw name (possibly prefixed), unescaped value.
+    Attr(&'a str, Cow<'a, str>),
+    /// The tag closed with `>` (or `/>` when `self_closing`).
+    TagEnd { self_closing: bool },
 }
 
 /// The tokenizer.
@@ -74,10 +113,40 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Pull the next token.
+    /// Pull the next token (start tags arrive with all attributes
+    /// collected into a `Vec`).
     pub fn next_token(&mut self) -> XmlResult<Token<'a>> {
+        Ok(match self.next_event()? {
+            Event::Decl => Token::Decl,
+            Event::StartTagOpen { name } => {
+                let mut attrs = Vec::new();
+                loop {
+                    match self.next_attr()? {
+                        AttrEvent::Attr(n, v) => attrs.push((n, v)),
+                        AttrEvent::TagEnd { self_closing } => {
+                            return Ok(Token::StartTag {
+                                name,
+                                attrs,
+                                self_closing,
+                            })
+                        }
+                    }
+                }
+            }
+            Event::EndTag { name } => Token::EndTag { name },
+            Event::Text(t) => Token::Text(t),
+            Event::CData(t) => Token::CData(t),
+            Event::Comment(c) => Token::Comment(c),
+            Event::Pi { target, data } => Token::Pi { target, data },
+            Event::Eof => Token::Eof,
+        })
+    }
+
+    /// Pull the next incremental event (see [`Event`] for the contract
+    /// around start tags and [`Lexer::next_attr`]).
+    pub fn next_event(&mut self) -> XmlResult<Event<'a>> {
         if self.pos >= self.input.len() {
-            return Ok(Token::Eof);
+            return Ok(Event::Eof);
         }
         if self.rest().starts_with('<') {
             self.lex_markup()
@@ -86,7 +155,36 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_text(&mut self) -> XmlResult<Token<'a>> {
+    /// Lex one attribute (or the closing `>`/`/>`) of the start tag
+    /// opened by the last [`Event::StartTagOpen`].
+    pub fn next_attr(&mut self) -> XmlResult<AttrEvent<'a>> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with("/>") {
+            self.pos += 2;
+            return Ok(AttrEvent::TagEnd { self_closing: true });
+        }
+        if rest.starts_with('>') {
+            self.pos += 1;
+            return Ok(AttrEvent::TagEnd {
+                self_closing: false,
+            });
+        }
+        if rest.is_empty() {
+            return Err(self.eof_err("unterminated start tag"));
+        }
+        let attr_name = self.lex_name()?;
+        self.skip_ws();
+        if !self.rest().starts_with('=') {
+            return Err(self.malformed(format!("attribute {attr_name:?} missing '='")));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let value = self.lex_attr_value()?;
+        Ok(AttrEvent::Attr(attr_name, value))
+    }
+
+    fn lex_text(&mut self) -> XmlResult<Event<'a>> {
         let start = self.pos;
         let raw = match self.rest().find('<') {
             Some(i) => {
@@ -98,10 +196,10 @@ impl<'a> Lexer<'a> {
                 &self.input[start..]
             }
         };
-        Ok(Token::Text(unescape(raw, start)?))
+        Ok(Event::Text(unescape(raw, start)?))
     }
 
-    fn lex_markup(&mut self) -> XmlResult<Token<'a>> {
+    fn lex_markup(&mut self) -> XmlResult<Event<'a>> {
         let rest = self.rest();
         if let Some(r) = rest.strip_prefix("<!--") {
             let end = r.find("-->").ok_or_else(|| self.eof_err("unterminated comment"))?;
@@ -110,13 +208,13 @@ impl<'a> Lexer<'a> {
                 return Err(self.malformed("'--' inside comment"));
             }
             self.pos += 4 + end + 3;
-            return Ok(Token::Comment(body));
+            return Ok(Event::Comment(body));
         }
         if let Some(r) = rest.strip_prefix("<![CDATA[") {
             let end = r.find("]]>").ok_or_else(|| self.eof_err("unterminated CDATA"))?;
             let body = &self.input[self.pos + 9..self.pos + 9 + end];
             self.pos += 9 + end + 3;
-            return Ok(Token::CData(body));
+            return Ok(Event::CData(body));
         }
         if rest.starts_with("<!DOCTYPE") {
             return Err(self.malformed("DOCTYPE is not allowed in SOAP messages"));
@@ -127,10 +225,14 @@ impl<'a> Lexer<'a> {
         if rest.starts_with("</") {
             return self.lex_end_tag();
         }
-        self.lex_start_tag()
+        // self.input[self.pos] == '<': open the start tag, leaving the
+        // attributes for next_attr.
+        self.pos += 1;
+        let name = self.lex_name()?;
+        Ok(Event::StartTagOpen { name })
     }
 
-    fn lex_pi(&mut self) -> XmlResult<Token<'a>> {
+    fn lex_pi(&mut self) -> XmlResult<Event<'a>> {
         let body_start = self.pos + 2;
         let rest = &self.input[body_start..];
         let end = rest.find("?>").ok_or_else(|| self.eof_err("unterminated processing instruction"))?;
@@ -144,13 +246,13 @@ impl<'a> Lexer<'a> {
             return Err(self.malformed("processing instruction with empty target"));
         }
         if target.eq_ignore_ascii_case("xml") {
-            Ok(Token::Decl)
+            Ok(Event::Decl)
         } else {
-            Ok(Token::Pi { target, data })
+            Ok(Event::Pi { target, data })
         }
     }
 
-    fn lex_end_tag(&mut self) -> XmlResult<Token<'a>> {
+    fn lex_end_tag(&mut self) -> XmlResult<Event<'a>> {
         let name_start = self.pos + 2;
         let rest = &self.input[name_start..];
         let end = rest.find('>').ok_or_else(|| self.eof_err("unterminated close tag"))?;
@@ -159,51 +261,9 @@ impl<'a> Lexer<'a> {
             return Err(self.malformed(format!("bad close tag name {name:?}")));
         }
         self.pos = name_start + end + 1;
-        Ok(Token::EndTag {
+        Ok(Event::EndTag {
             name: &rest[..name.len()],
         })
-    }
-
-    fn lex_start_tag(&mut self) -> XmlResult<Token<'a>> {
-        // self.input[self.pos] == '<'
-        let tag_start = self.pos;
-        self.pos += 1;
-        let name = self.lex_name()?;
-        let mut attrs = Vec::new();
-        loop {
-            self.skip_ws();
-            let rest = self.rest();
-            if let Some(r) = rest.strip_prefix("/>") {
-                let _ = r;
-                self.pos += 2;
-                return Ok(Token::StartTag {
-                    name,
-                    attrs,
-                    self_closing: true,
-                });
-            }
-            if rest.starts_with('>') {
-                self.pos += 1;
-                return Ok(Token::StartTag {
-                    name,
-                    attrs,
-                    self_closing: false,
-                });
-            }
-            if rest.is_empty() {
-                self.pos = tag_start;
-                return Err(self.eof_err("unterminated start tag"));
-            }
-            let attr_name = self.lex_name()?;
-            self.skip_ws();
-            if !self.rest().starts_with('=') {
-                return Err(self.malformed(format!("attribute {attr_name:?} missing '='")));
-            }
-            self.pos += 1;
-            self.skip_ws();
-            let value = self.lex_attr_value()?;
-            attrs.push((attr_name, value));
-        }
     }
 
     fn lex_name(&mut self) -> XmlResult<&'a str> {

@@ -39,7 +39,7 @@ pub mod reader;
 pub mod writer;
 
 pub use error::{XmlError, XmlResult};
-pub use reader::{parse, parse_with, XmlReadOptions};
+pub use reader::{parse, parse_into, parse_into_with, parse_with, XmlReadOptions};
 pub use writer::{element_to_string, to_string, to_string_with, write_into, XmlWriteOptions};
 
 /// Prefix conventionally bound to the bXDM extension namespace (array

@@ -201,12 +201,15 @@ pub fn parse_i64(s: &str) -> Option<i64> {
 
 /// Parse a plain decimal float (`[+-]?digits[.digits][eE[+-]digits]`).
 ///
-/// Correctly-rounded on the Clinger fast path (mantissa ≤ 19 digits with
-/// value below 2^53, decimal exponent within ±22: the float product of
-/// two exactly-representable operands rounds once). Anything outside the
-/// window is delegated to `str::parse`, so the result always matches the
-/// standard library bit for bit. Returns `None` for any other syntax
-/// (including `INF`/`NaN` spellings — see [`parse_f64_lexical`]).
+/// Correctly-rounded everywhere, never slower than `str::parse`:
+/// the Clinger fast path handles small exact cases (mantissa below 2^53,
+/// decimal exponent within ±22: one float multiply), the Eisel–Lemire
+/// wide window covers everything up to 19 significant digits — including
+/// the 17-digit shortest-round-trip forms [`write_f64`] emits — and only
+/// the rare ambiguous remainder (rounding ties under digit truncation)
+/// is delegated to `str::parse`. The result always matches the standard
+/// library bit for bit. Returns `None` for any other syntax (including
+/// `INF`/`NaN` spellings — see [`parse_f64_lexical`]).
 pub fn parse_f64(s: &str) -> Option<f64> {
     let b = s.as_bytes();
     let (neg, mut i) = match b.first()? {
@@ -305,9 +308,215 @@ pub fn parse_f64(s: &str) -> Option<f64> {
         };
         return Some(if neg { -v } else { v });
     }
-    // Out of the exact window (huge exponents, > 19 significant digits):
-    // the standard parser is correctly rounded everywhere.
+    // Wide window: the Eisel–Lemire 128-bit product is correctly rounded
+    // for any mantissa that fit in the 19 digits we kept. A truncated
+    // mantissa brackets the true value between w and w+1; when both
+    // bounds round to the same float that float is exact, otherwise the
+    // (rare) ambiguous case falls through.
+    if !truncated {
+        if let Some(v) = eisel_lemire(mantissa, exp10) {
+            return Some(if neg { -v } else { v });
+        }
+    } else if let (Some(lo), Some(hi)) =
+        (eisel_lemire(mantissa, exp10), eisel_lemire(mantissa + 1, exp10))
+    {
+        if lo.to_bits() == hi.to_bits() {
+            return Some(if neg { -lo } else { lo });
+        }
+    }
+    // Ambiguous remainder (half-ulp ties under truncation, products too
+    // close to a rounding boundary for 128 bits): the standard parser is
+    // correctly rounded everywhere.
     s.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Eisel–Lemire wide-window binary conversion
+// ---------------------------------------------------------------------------
+
+/// Decimal exponent range covered by the 128-bit powers-of-five table:
+/// below `EL_MIN_EXP10` every ≤ 2^64 mantissa rounds to zero, above
+/// `EL_MAX_EXP10` every non-zero one overflows to infinity.
+const EL_MIN_EXP10: i32 = -342;
+const EL_MAX_EXP10: i32 = 308;
+
+/// Truncated 128-bit significands of `5^q` for `q` in
+/// [`EL_MIN_EXP10`, `EL_MAX_EXP10`], normalized so bit 127 is set and
+/// stored `(hi, lo)`. Negative powers are rounded *up* (their binary
+/// expansion is infinite; the ceiling keeps the stored value ≥ the true
+/// one, which the product-precision check accounts for), positive powers
+/// are rounded down. Like the Grisu2 cache, the table is computed from
+/// the exact bigint once per process instead of baked in as constants.
+fn el_powers() -> &'static [(u64, u64)] {
+    static POWERS: OnceLock<Vec<(u64, u64)>> = OnceLock::new();
+    POWERS.get_or_init(|| {
+        let len = (EL_MAX_EXP10 - EL_MIN_EXP10 + 1) as usize;
+        let mut table = vec![(0u64, 0u64); len];
+        // Negative powers: ceil(2^(b+127) / 5^m) has exactly 128 bits
+        // when b is the bit length of 5^m.
+        for q in EL_MIN_EXP10..0 {
+            let five_m = bigint_pow5((-q) as u32);
+            let b = bigint::bit_len(&five_m);
+            let v = div_pow2_128(b + 127, &five_m) + 1;
+            table[(q - EL_MIN_EXP10) as usize] = ((v >> 64) as u64, v as u64);
+        }
+        // Non-negative powers: top 128 bits of the exact 5^q, built
+        // incrementally.
+        let mut big = vec![1u64];
+        for q in 0..=EL_MAX_EXP10 {
+            if q > 0 {
+                bigint::mul_small(&mut big, 5);
+            }
+            let v = big_top128(&big);
+            table[(q - EL_MIN_EXP10) as usize] = ((v >> 64) as u64, v as u64);
+        }
+        table
+    })
+}
+
+/// `5^m` as an exact bigint.
+fn bigint_pow5(m: u32) -> Vec<u64> {
+    let mut big = vec![1u64];
+    for _ in 0..m {
+        bigint::mul_small(&mut big, 5);
+    }
+    big
+}
+
+/// Top 128 bits of a big integer, truncated, left-normalized.
+fn big_top128(big: &[u64]) -> u128 {
+    let bits = bigint::bit_len(big);
+    let mut v: u128 = 0;
+    if bits <= 128 {
+        for i in 0..bits {
+            if bigint::bit(big, i) {
+                v |= 1 << i;
+            }
+        }
+        v << (128 - bits)
+    } else {
+        let shift = bits - 128;
+        for i in 0..128 {
+            if bigint::bit(big, shift + i) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// `floor(2^n / d)` where `n` is sized so the quotient has ≤ 128 bits.
+fn div_pow2_128(n: u32, d: &[u64]) -> u128 {
+    let mut rem = vec![0u64; d.len() + 1];
+    let mut q: u128 = 0;
+    for pos in (0..=n).rev() {
+        bigint::shl1(&mut rem);
+        if pos == n {
+            rem[0] |= 1;
+        }
+        let bit = if bigint::ge(&rem, d) {
+            bigint::sub(&mut rem, d);
+            1
+        } else {
+            0
+        };
+        q = (q << 1) | bit;
+    }
+    q
+}
+
+/// Binary exponent of the normalized 128-bit approximation of `10^q`
+/// (the classic `(217706 * q) >> 16 + 63` linear fit, exact over the
+/// table's range).
+#[inline]
+fn el_power2(q: i32) -> i32 {
+    (q.wrapping_mul(152_170 + 65_536) >> 16) + 63
+}
+
+/// 64×64 → 128 multiply split into `(hi, lo)`.
+#[inline]
+fn umul128(a: u64, b: u64) -> (u64, u64) {
+    let p = (a as u128) * (b as u128);
+    ((p >> 64) as u64, p as u64)
+}
+
+/// Eisel–Lemire: convert an exact decimal `w × 10^q` (`w` the full
+/// mantissa, up to 19 digits) to the nearest `f64`, or `None` when the
+/// 128-bit product cannot prove the rounding direction. Returns the
+/// magnitude only; the caller applies the sign (so `-0.0` works out).
+///
+/// Normal/subnormal/overflow/underflow handling follows the reference
+/// algorithm ("Number Parsing at a Gigabyte per Second", Lemire 2021):
+/// one (rarely two) 64×64 multiplies against the 128-bit power-of-five
+/// table, a 9-bit precision check, and an explicit round-to-even fixup
+/// on exact halfway products.
+fn eisel_lemire(w: u64, q: i32) -> Option<f64> {
+    if w == 0 || q < EL_MIN_EXP10 {
+        // Even 2^64 × 10^-343 is below half the smallest subnormal.
+        return Some(0.0);
+    }
+    if q > EL_MAX_EXP10 {
+        return Some(f64::INFINITY);
+    }
+    let lz = w.leading_zeros();
+    let w_norm = w << lz;
+
+    // Product of the normalized mantissa with the 128-bit power. The
+    // precision check needs 52 mantissa bits + 3 (hidden bit, rounding
+    // bit, table-truncation error margin); if the top multiply's low 9
+    // bits are all ones the result may be off, so refine with the low
+    // table word before giving up.
+    let (p_hi, p_lo) = el_powers()[(q - EL_MIN_EXP10) as usize];
+    let (mut hi, mut lo) = umul128(w_norm, p_hi);
+    if hi & 0x1FF == 0x1FF {
+        let (second_hi, _) = umul128(w_norm, p_lo);
+        lo = lo.wrapping_add(second_hi);
+        if second_hi > lo {
+            hi += 1;
+        }
+    }
+    if lo == u64::MAX && !(-27..=55).contains(&q) {
+        // A saturated low word means the truncated table's error could
+        // still flip the rounding; only exponents whose 5^q fits the
+        // 128-bit entry exactly are immune.
+        return None;
+    }
+
+    let upperbit = (hi >> 63) as i32;
+    let mut mantissa = hi >> (upperbit + 64 - 52 - 3);
+    let mut power2 = el_power2(q) + upperbit - lz as i32 + 1023;
+    if power2 <= 0 {
+        // Subnormal (or complete underflow) territory.
+        if -power2 + 1 >= 64 {
+            return Some(0.0);
+        }
+        mantissa >>= -power2 + 1;
+        mantissa += mantissa & 1;
+        mantissa >>= 1;
+        let e = u64::from(mantissa >= (1u64 << 52));
+        return Some(f64::from_bits((e << 52) | (mantissa & !(1u64 << 52))));
+    }
+    // An exact halfway product must round to even, not up; the window
+    // where `w × 5^q` can be a power of two is q ∈ [-4, 23].
+    if lo <= 1
+        && (-4..=23).contains(&q)
+        && mantissa & 3 == 1
+        && (mantissa << (upperbit + 64 - 52 - 3)) == hi
+    {
+        mantissa &= !1u64;
+    }
+    mantissa += mantissa & 1;
+    mantissa >>= 1;
+    if mantissa >= (2u64 << 52) {
+        mantissa = 1u64 << 52;
+        power2 += 1;
+    }
+    if power2 >= 0x7FF {
+        return Some(f64::INFINITY);
+    }
+    Some(f64::from_bits(
+        ((power2 as u64) << 52) | (mantissa & !(1u64 << 52)),
+    ))
 }
 
 /// XSD `double` lexical parsing: `INF`/`+INF`/`-INF`/`NaN` plus decimal
@@ -795,10 +1004,12 @@ pub fn write_f64(v: f64, out: &mut String) {
     let _ = write!(out, "{v}");
 }
 
-/// Pre-compute the cached powers table so later calls never allocate.
-/// Idempotent; buffer-pooling callers invoke this once at startup.
+/// Pre-compute the cached powers tables (Grisu2 formatting and the
+/// Eisel–Lemire parse table) so later calls never allocate. Idempotent;
+/// buffer-pooling callers invoke this once at startup.
 pub fn warm_up() {
     let _ = cached_powers();
+    let _ = el_powers();
 }
 
 #[cfg(test)]
@@ -978,8 +1189,105 @@ mod tests {
         }
     }
 
+    #[test]
+    fn el_powers_are_accurate() {
+        warm_up();
+        let table = el_powers();
+        assert_eq!(table.len(), (EL_MAX_EXP10 - EL_MIN_EXP10 + 1) as usize);
+        for (i, &(hi, lo)) in table.iter().enumerate() {
+            let q = EL_MIN_EXP10 + i as i32;
+            assert!(hi >= 1 << 63, "5^{q} table entry not normalized");
+            // The 128-bit significand times 2^el_power2(q) must approximate
+            // 10^q: compare logs to high precision.
+            let sig = (hi as f64) * 2f64.powi(64) + lo as f64;
+            let lhs = sig.ln() + (el_power2(q) - 63 - 127) as f64 * std::f64::consts::LN_2;
+            let rhs = q as f64 * std::f64::consts::LN_10;
+            assert!((lhs - rhs).abs() < 1e-9, "10^{q}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn el_clinger_boundary_cases() {
+        // Strings straddling the Clinger fast-path window (|exp10| ≤ 22,
+        // mantissa < 2^53): one step inside, on, and outside each edge, plus
+        // mantissas at and just past 2^53 that force the wide-window path.
+        for s in [
+            "1e22",
+            "1e23",
+            "1e-22",
+            "1e-23",
+            "9007199254740991e22",  // 2^53 - 1, fast-path mantissa limit
+            "9007199254740992e22",  // 2^53, first EL-only mantissa
+            "9007199254740993e-23", // odd 54-bit mantissa, negative edge
+            "8e22",
+            "8.1e-23",
+            "4503599627370496e24",
+            "18014398509481984e-24",
+            // Known hard cases for float parsers (halfway values).
+            "2.2250738585072011e-308", // near smallest normal
+            "2.2250738585072014e-308",
+            "7.2057594037927933e16", // halfway between two floats
+            "5.0e-324",
+            "4.9e-324",
+            "2.47032822920623272e-324", // below half the smallest subnormal
+        ] {
+            assert_eq!(
+                parse_f64(s).map(f64::to_bits),
+                s.parse::<f64>().ok().map(f64::to_bits),
+                "boundary {s}"
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(2048))]
+
+        #[test]
+        fn prop_el_random_bit_patterns(bits in any::<u64>()) {
+            // Reinterpret raw bits: exercises the full exponent range,
+            // subnormals, and both signs. Shortest form plus the 17-digit
+            // scientific form (maximum digits write_f64 ever emits).
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                for s in [format!("{v}"), format!("{v:.16e}")] {
+                    prop_assert_eq!(
+                        parse_f64(&s).map(f64::to_bits),
+                        s.parse::<f64>().ok().map(f64::to_bits),
+                        "bits {bits:#018x} as {}", s
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_el_subnormals(mantissa in 1u64..(1 << 52), neg in any::<bool>()) {
+            // Exponent field zero: every value is subnormal. The EL power2
+            // underflows and the shift-based subnormal branch must round
+            // exactly as std does.
+            let bits = mantissa | if neg { 1 << 63 } else { 0 };
+            let v = f64::from_bits(bits);
+            let s = format!("{v:e}");
+            prop_assert_eq!(
+                parse_f64(&s).map(f64::to_bits),
+                Some(bits),
+                "subnormal {}", s
+            );
+        }
+
+        #[test]
+        fn prop_el_clinger_window_edges(
+            m in 0u64..=(1 << 54),
+            e in -25i32..=25,
+        ) {
+            // Mantissa/exponent pairs clustered around the fast-path
+            // cutoffs (2^53 and ±22): both paths must agree with std.
+            let s = format!("{m}e{e}");
+            prop_assert_eq!(
+                parse_f64(&s).map(f64::to_bits),
+                s.parse::<f64>().ok().map(f64::to_bits),
+                "window {}", s
+            );
+        }
 
         #[test]
         fn prop_f64_format_roundtrips(v in any::<f64>()) {

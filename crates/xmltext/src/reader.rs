@@ -7,14 +7,24 @@
 //! the paper requires for transcodability (§4.2: without type information
 //! in the serialization "we are not able to create the typed LeafElement
 //! in the bXDM model").
+//!
+//! The parser is a *streaming* one: it pulls incremental events from the
+//! lexer and constructs typed bXDM nodes directly — array items are
+//! parsed straight from the borrowed item text into the packed
+//! `ArrayValue`, and typed leaves straight into their `AtomicValue`,
+//! without ever materializing the generic per-item element tree that a
+//! build-then-recover design would allocate and immediately discard.
+//! Combined with [`parse_into`]'s clear-and-refill storage reuse, a
+//! steady-state decode of a same-shape message performs zero heap
+//! allocations.
 
 use std::borrow::Cow;
 
-use bxdm::{ArrayValue, Attribute, AtomicValue, Document, Element, NamespaceDecl, Node, QName};
+use bxdm::{ArrayValue, Attribute, AtomicValue, Content, Document, Element, NamespaceDecl, Node, QName};
 use xbs::TypeCode;
 
 use crate::error::{XmlError, XmlResult};
-use crate::lexer::{Lexer, Token};
+use crate::lexer::{AttrEvent, Event, Lexer};
 use crate::num;
 
 /// Parsing options.
@@ -26,6 +36,9 @@ pub struct XmlReadOptions {
     /// Recognize `xsi:type` and `bx:arrayType` and rebuild typed nodes.
     /// When off, everything parses as component elements with text.
     pub typed_recovery: bool,
+    /// Maximum element nesting depth accepted. Guards the recursive
+    /// parser against stack exhaustion on adversarial input.
+    pub max_depth: usize,
 }
 
 impl Default for XmlReadOptions {
@@ -33,6 +46,7 @@ impl Default for XmlReadOptions {
         XmlReadOptions {
             trim_whitespace_text: true,
             typed_recovery: true,
+            max_depth: 512,
         }
     }
 }
@@ -44,199 +58,643 @@ pub fn parse(input: &str) -> XmlResult<Document> {
 
 /// Parse a complete XML document.
 pub fn parse_with(input: &str, opts: &XmlReadOptions) -> XmlResult<Document> {
-    let mut lexer = Lexer::new(input);
     let mut doc = Document::new();
-    // Stack of open elements being built.
-    let mut stack: Vec<Element> = Vec::new();
-    let mut saw_root = false;
+    parse_into_with(input, &mut doc, opts)?;
+    Ok(doc)
+}
 
-    loop {
-        let offset = lexer.position();
-        match lexer.next_token()? {
-            Token::Eof => break,
-            Token::Decl => {
-                if saw_root || !stack.is_empty() {
+/// Parse a complete XML document *into* `doc`, reusing its storage.
+///
+/// Where [`parse`] builds every node, string, and array from scratch,
+/// `parse_into` walks the existing tree in lockstep with the event
+/// stream and refills it: node slots are overwritten in place, `String`
+/// and `Vec` capacity (names, namespace tables, attribute lists, child
+/// lists, array payloads) survives across messages. When the incoming
+/// message has the same shape as the previous one — the steady state of
+/// a request/response service — the refill performs zero heap
+/// allocations. Where shapes diverge, the parser falls back to fresh
+/// allocation for the divergent subtree only.
+///
+/// On error the contents of `doc` are unspecified (but memory-safe);
+/// callers must treat the document as garbage until the next successful
+/// parse.
+pub fn parse_into(input: &str, doc: &mut Document) -> XmlResult<()> {
+    parse_into_with(input, doc, &XmlReadOptions::default())
+}
+
+/// [`parse_into`] with explicit options.
+pub fn parse_into_with(input: &str, doc: &mut Document, opts: &XmlReadOptions) -> XmlResult<()> {
+    let mut reader = Reader {
+        lexer: Lexer::new(input),
+        opts,
+    };
+    reader.fill_document(doc)
+}
+
+struct Reader<'a, 'o> {
+    lexer: Lexer<'a>,
+    opts: &'o XmlReadOptions,
+}
+
+/// A placeholder node for growing a recycled child list; allocation-free
+/// (`String::new` does not allocate) and immediately overwritten.
+fn blank_node() -> Node {
+    Node::Text(String::new())
+}
+
+/// Overwrite a `String` slot, reusing the existing capacity.
+fn set_string(slot: &mut String, value: &str) {
+    slot.clear();
+    slot.push_str(value);
+}
+
+/// Overwrite a `QName` slot from its lexical `prefix:local` form,
+/// reusing the existing string storage (same split as [`QName::parse`]).
+fn set_qname_lexical(name: &mut QName, raw: &str) {
+    match raw.split_once(':') {
+        Some((p, l)) => name.set(Some(p), l),
+        None => name.set(None, raw),
+    }
+}
+
+/// Reuse `slot`'s payload `Vec` when it already holds arrays of `code`'s
+/// type (clearing it but keeping capacity); otherwise replace it with an
+/// empty array of that type. Returns `false` for non-array codes.
+fn clear_array_for(code: TypeCode, slot: &mut ArrayValue) -> bool {
+    macro_rules! reuse {
+        ($variant:ident) => {{
+            if let ArrayValue::$variant(v) = slot {
+                v.clear();
+            } else if let Some(fresh) = ArrayValue::empty_of(code) {
+                *slot = fresh;
+            } else {
+                unreachable!("numeric codes always have an array form");
+            }
+            true
+        }};
+    }
+    match code {
+        TypeCode::I8 => reuse!(I8),
+        TypeCode::U8 => reuse!(U8),
+        TypeCode::I16 => reuse!(I16),
+        TypeCode::U16 => reuse!(U16),
+        TypeCode::I32 => reuse!(I32),
+        TypeCode::U32 => reuse!(U32),
+        TypeCode::I64 => reuse!(I64),
+        TypeCode::U64 => reuse!(U64),
+        TypeCode::F32 => reuse!(F32),
+        TypeCode::F64 => reuse!(F64),
+        TypeCode::Str | TypeCode::Bool => false,
+    }
+}
+
+/// Take the next refill slot out of a recycled child list, growing it
+/// with a blank placeholder when the new shape is larger.
+fn next_slot<'v>(children: &'v mut Vec<Node>, filled: &mut usize) -> &'v mut Node {
+    if *filled == children.len() {
+        children.push(blank_node());
+    }
+    *filled += 1;
+    &mut children[*filled - 1]
+}
+
+/// What an element's start tag told us about its content model.
+enum Mode {
+    Component,
+    Leaf(TypeCode),
+    Array(TypeCode),
+}
+
+/// Text content accumulated while streaming a leaf or array item:
+/// borrowed from the input while it is a single run, promoted to an
+/// owned buffer only for multi-part content (CDATA joins, nested
+/// elements) — a shape the writer never emits.
+enum TextAcc<'a> {
+    Empty,
+    Single(Cow<'a, str>),
+    Joined(String),
+}
+
+impl<'a> TextAcc<'a> {
+    fn push(&mut self, piece: Cow<'a, str>) {
+        match self {
+            TextAcc::Empty => *self = TextAcc::Single(piece),
+            TextAcc::Single(first) => {
+                let mut joined = String::with_capacity(first.len() + piece.len());
+                joined.push_str(first);
+                joined.push_str(&piece);
+                *self = TextAcc::Joined(joined);
+            }
+            TextAcc::Joined(buf) => buf.push_str(&piece),
+        }
+    }
+
+    /// Force the owned representation (needed before recursing into a
+    /// nested element, whose text lands in the owned buffer).
+    fn owned(&mut self) -> &mut String {
+        match self {
+            TextAcc::Joined(buf) => buf,
+            TextAcc::Empty => {
+                *self = TextAcc::Joined(String::new());
+                match self {
+                    TextAcc::Joined(buf) => buf,
+                    _ => unreachable!("just assigned"),
+                }
+            }
+            TextAcc::Single(first) => {
+                *self = TextAcc::Joined(first.to_string());
+                match self {
+                    TextAcc::Joined(buf) => buf,
+                    _ => unreachable!("just assigned"),
+                }
+            }
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            TextAcc::Empty => "",
+            TextAcc::Single(s) => s,
+            TextAcc::Joined(s) => s,
+        }
+    }
+}
+
+impl<'a> Reader<'a, '_> {
+    fn fill_document(&mut self, doc: &mut Document) -> XmlResult<()> {
+        let mut filled = 0usize;
+        let mut saw_root = false;
+        loop {
+            match self.lexer.next_event()? {
+                Event::Eof => break,
+                Event::Decl => {
+                    if saw_root {
+                        return Err(XmlError::Structure {
+                            what: "XML declaration not at document start".into(),
+                        });
+                    }
+                }
+                Event::StartTagOpen { name } => {
+                    if saw_root {
+                        return Err(XmlError::Structure {
+                            what: "multiple root elements".into(),
+                        });
+                    }
+                    let slot = next_slot(&mut doc.children, &mut filled);
+                    self.fill_element(name, 0, slot)?;
+                    saw_root = true;
+                }
+                Event::EndTag { name } => {
+                    return Err(XmlError::Structure {
+                        what: format!("close tag </{name}> with no open element"),
+                    });
+                }
+                Event::Text(text) => {
+                    if !text.trim().is_empty() {
+                        return Err(XmlError::Structure {
+                            what: "character data outside the root element".into(),
+                        });
+                    }
+                }
+                Event::CData(_) => {
+                    return Err(XmlError::Structure {
+                        what: "CDATA outside the root element".into(),
+                    });
+                }
+                Event::Comment(c) => match next_slot(&mut doc.children, &mut filled) {
+                    Node::Comment(slot) => set_string(slot, c),
+                    other => *other = Node::Comment(c.to_owned()),
+                },
+                Event::Pi { target, data } => match next_slot(&mut doc.children, &mut filled) {
+                    Node::Pi { target: t, data: d } => {
+                        set_string(t, target);
+                        set_string(d, data);
+                    }
+                    other => {
+                        *other = Node::Pi {
+                            target: target.to_owned(),
+                            data: data.to_owned(),
+                        }
+                    }
+                },
+            }
+        }
+        doc.children.truncate(filled);
+        if !saw_root {
+            return Err(XmlError::Structure {
+                what: "document has no root element".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fill one element into `slot`: tag name just lexed, attributes and
+    /// body still pending in the lexer.
+    fn fill_element(&mut self, name: &'a str, depth: usize, slot: &mut Node) -> XmlResult<()> {
+        if depth >= self.opts.max_depth {
+            return Err(XmlError::Structure {
+                what: format!("element nesting exceeds max_depth {}", self.opts.max_depth),
+            });
+        }
+        let el = match slot {
+            Node::Element(e) => e,
+            other => {
+                *other = Node::Element(Element::component(""));
+                match other {
+                    Node::Element(e) => e,
+                    _ => unreachable!("just assigned"),
+                }
+            }
+        };
+        set_qname_lexical(&mut el.name, name);
+
+        // Drain the attributes: namespace declarations and ordinary
+        // attributes refill their recycled slots; the type annotations
+        // (first xsi:type, first bx:arrayType) are consumed — they pick
+        // the content model instead of becoming attributes. xsi:type
+        // wins when both are present, in which case the arrayType
+        // annotation reverts to an ordinary attribute at its original
+        // position.
+        let mut ns_filled = 0usize;
+        let mut attr_filled = 0usize;
+        let mut has_xsi_type_attr = false;
+        let mut xsi_type: Option<Cow<'a, str>> = None;
+        let mut array_type: Option<(Cow<'a, str>, usize)> = None;
+        let self_closing = loop {
+            match self.lexer.next_attr()? {
+                AttrEvent::TagEnd { self_closing } => break self_closing,
+                AttrEvent::Attr(raw, value) => {
+                    if raw == "xmlns" || raw.starts_with("xmlns:") {
+                        let prefix = raw.strip_prefix("xmlns:");
+                        match el.namespaces.get_mut(ns_filled) {
+                            Some(decl) => {
+                                match (prefix, &mut decl.prefix) {
+                                    (Some(p), Some(slot)) => set_string(slot, p),
+                                    (Some(p), none) => *none = Some(p.to_owned()),
+                                    (None, some) => *some = None,
+                                }
+                                set_string(&mut decl.uri, &value);
+                            }
+                            None => el.namespaces.push(NamespaceDecl {
+                                prefix: prefix.map(str::to_owned),
+                                uri: value.into_owned(),
+                            }),
+                        }
+                        ns_filled += 1;
+                        continue;
+                    }
+                    if raw == "xsi:type" {
+                        has_xsi_type_attr = true;
+                        if self.opts.typed_recovery && xsi_type.is_none() {
+                            xsi_type = Some(value);
+                            // A provisionally consumed arrayType loses to
+                            // xsi:type: restore it as a plain attribute.
+                            if let Some((v, index)) = array_type.take() {
+                                el.attributes.insert(
+                                    index,
+                                    Attribute {
+                                        name: QName::parse("bx:arrayType"),
+                                        value: AtomicValue::Str(v.into_owned()),
+                                    },
+                                );
+                                attr_filled += 1;
+                            }
+                            continue;
+                        }
+                    } else if raw == "bx:arrayType"
+                        && self.opts.typed_recovery
+                        && xsi_type.is_none()
+                        && array_type.is_none()
+                    {
+                        array_type = Some((value, attr_filled));
+                        continue;
+                    }
+                    match el.attributes.get_mut(attr_filled) {
+                        Some(attr) => {
+                            set_qname_lexical(&mut attr.name, raw);
+                            match &mut attr.value {
+                                AtomicValue::Str(s) => set_string(s, &value),
+                                other => *other = AtomicValue::Str(value.into_owned()),
+                            }
+                        }
+                        None => el.attributes.push(Attribute {
+                            name: QName::parse(raw),
+                            value: AtomicValue::Str(value.into_owned()),
+                        }),
+                    }
+                    attr_filled += 1;
+                }
+            }
+        };
+        el.namespaces.truncate(ns_filled);
+        el.attributes.truncate(attr_filled);
+
+        let mode = match (&xsi_type, &array_type) {
+            (Some(type_name), _) => {
+                let code =
+                    TypeCode::from_xsd_name(type_name).ok_or_else(|| XmlError::BadTypedValue {
+                        what: format!("unknown xsi:type {type_name:?}"),
+                    })?;
+                Mode::Leaf(code)
+            }
+            (None, Some((type_name, _))) => {
+                let code =
+                    TypeCode::from_xsd_name(type_name).ok_or_else(|| XmlError::BadTypedValue {
+                        what: format!("unknown bx:arrayType {type_name:?}"),
+                    })?;
+                if !matches!(code, TypeCode::Str | TypeCode::Bool) {
+                    Mode::Array(code)
+                } else {
+                    return Err(XmlError::BadTypedValue {
+                        what: format!("{type_name:?} is not a valid array element type"),
+                    });
+                }
+            }
+            (None, None) => Mode::Component,
+        };
+
+        match mode {
+            Mode::Leaf(code) => {
+                let mut text = TextAcc::Empty;
+                if !self_closing {
+                    self.stream_text_body(name, depth, &mut text)?;
+                }
+                self.fill_leaf_value(code, &text, &mut el.content)?;
+            }
+            Mode::Array(code) => {
+                let array = match &mut el.content {
+                    Content::Array(a) => a,
+                    other => {
+                        *other = Content::Array(ArrayValue::U8(Vec::new()));
+                        match other {
+                            Content::Array(a) => a,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                if !clear_array_for(code, array) {
+                    unreachable!("non-array codes rejected above");
+                }
+                if !self_closing {
+                    self.stream_array_body(name, depth, array)?;
+                }
+            }
+            Mode::Component => {
+                let children = match &mut el.content {
+                    Content::Children(c) => c,
+                    other => {
+                        *other = Content::Children(Vec::new());
+                        match other {
+                            Content::Children(c) => c,
+                            _ => unreachable!("just assigned"),
+                        }
+                    }
+                };
+                let filled = if self_closing {
+                    0
+                } else {
+                    self.stream_component_body(name, depth, has_xsi_type_attr, children)?
+                };
+                children.truncate(filled);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stream a component element's body into its recycled child list;
+    /// returns the number of slots filled.
+    fn stream_component_body(
+        &mut self,
+        open_name: &'a str,
+        depth: usize,
+        has_xsi_type_attr: bool,
+        children: &mut Vec<Node>,
+    ) -> XmlResult<usize> {
+        let mut filled = 0usize;
+        let mut last_was_text = false;
+        loop {
+            let offset = self.lexer.position();
+            match self.lexer.next_event()? {
+                Event::EndTag { name } => {
+                    self.check_close(open_name, name, offset)?;
+                    return Ok(filled);
+                }
+                Event::StartTagOpen { name } => {
+                    let slot = next_slot(children, &mut filled);
+                    self.fill_element(name, depth + 1, slot)?;
+                    last_was_text = false;
+                }
+                Event::Text(text) => {
+                    // Whitespace-only text is dropped (pretty-printing),
+                    // except inside an element that declares xsi:type — a
+                    // typed string's lexical content is significant even
+                    // when it is all spaces.
+                    let keep = !self.opts.trim_whitespace_text
+                        || !text.trim().is_empty()
+                        || has_xsi_type_attr;
+                    if keep {
+                        self.push_text(children, &mut filled, &mut last_was_text, &text);
+                    }
+                }
+                Event::CData(text) => {
+                    self.push_text(children, &mut filled, &mut last_was_text, text);
+                }
+                Event::Comment(c) => {
+                    match next_slot(children, &mut filled) {
+                        Node::Comment(slot) => set_string(slot, c),
+                        other => *other = Node::Comment(c.to_owned()),
+                    }
+                    last_was_text = false;
+                }
+                Event::Pi { target, data } => {
+                    match next_slot(children, &mut filled) {
+                        Node::Pi { target: t, data: d } => {
+                            set_string(t, target);
+                            set_string(d, data);
+                        }
+                        other => {
+                            *other = Node::Pi {
+                                target: target.to_owned(),
+                                data: data.to_owned(),
+                            }
+                        }
+                    }
+                    last_was_text = false;
+                }
+                Event::Decl => {
                     return Err(XmlError::Structure {
                         what: "XML declaration not at document start".into(),
                     });
                 }
-            }
-            Token::StartTag {
-                name,
-                attrs,
-                self_closing,
-            } => {
-                if stack.is_empty() && saw_root {
-                    return Err(XmlError::Structure {
-                        what: "multiple root elements".into(),
-                    });
-                }
-                let element = build_open_element(name, attrs);
-                if self_closing {
-                    finish_element(element, &mut stack, &mut doc, &mut saw_root, opts)?;
-                } else {
-                    stack.push(element);
-                }
-            }
-            Token::EndTag { name } => {
-                let open = stack.pop().ok_or(XmlError::Structure {
-                    what: format!("close tag </{name}> with no open element"),
-                })?;
-                if open.name.lexical() != name {
-                    return Err(XmlError::MismatchedTag {
-                        offset,
-                        expected: open.name.lexical(),
-                        found: name.to_owned(),
-                    });
-                }
-                finish_element(open, &mut stack, &mut doc, &mut saw_root, opts)?;
-            }
-            Token::Text(text) => {
-                // Whitespace-only text is dropped (pretty-printing),
-                // except inside an element that declares xsi:type — a
-                // typed string's lexical content is significant even when
-                // it is all spaces.
-                let keep = !opts.trim_whitespace_text
-                    || !text.trim().is_empty()
-                    || stack.last().is_some_and(|open| {
-                        open.attributes
-                            .iter()
-                            .any(|a| a.name.prefix() == Some("xsi") && a.name.local() == "type")
-                    });
-                match stack.last_mut() {
-                    Some(open) => {
-                        if keep {
-                            push_text(open, text);
-                        }
-                    }
-                    None => {
-                        if !text.trim().is_empty() {
-                            return Err(XmlError::Structure {
-                                what: "character data outside the root element".into(),
-                            });
-                        }
-                    }
-                }
-            }
-            Token::CData(text) => match stack.last_mut() {
-                Some(open) => push_text(open, Cow::Borrowed(text)),
-                None => {
-                    return Err(XmlError::Structure {
-                        what: "CDATA outside the root element".into(),
-                    })
-                }
-            },
-            Token::Comment(c) => {
-                let node = Node::Comment(c.to_owned());
-                match stack.last_mut() {
-                    Some(open) => open.children_mut().push(node),
-                    None => doc.children.push(node),
-                }
-            }
-            Token::Pi { target, data } => {
-                let node = Node::Pi {
-                    target: target.to_owned(),
-                    data: data.to_owned(),
-                };
-                match stack.last_mut() {
-                    Some(open) => open.children_mut().push(node),
-                    None => doc.children.push(node),
-                }
+                Event::Eof => return Err(self.never_closed(open_name)),
             }
         }
     }
 
-    if let Some(open) = stack.last() {
-        return Err(XmlError::UnexpectedEof {
-            what: format!("element <{}> never closed", open.name.lexical()),
-        });
+    /// Append character data, merging with an adjacent text node (CDATA
+    /// next to character data).
+    fn push_text(
+        &mut self,
+        children: &mut Vec<Node>,
+        filled: &mut usize,
+        last_was_text: &mut bool,
+        text: &str,
+    ) {
+        if *last_was_text {
+            if let Some(Node::Text(prev)) = children.get_mut(*filled - 1) {
+                prev.push_str(text);
+                return;
+            }
+        }
+        match next_slot(children, filled) {
+            Node::Text(slot) => set_string(slot, text),
+            other => *other = Node::Text(text.to_owned()),
+        }
+        *last_was_text = true;
     }
-    if !saw_root {
-        return Err(XmlError::Structure {
-            what: "document has no root element".into(),
-        });
-    }
-    Ok(doc)
-}
 
-/// Split raw attributes into namespace declarations and ordinary
-/// attributes, producing an open (component) element.
-fn build_open_element(name: &str, attrs: Vec<(&str, Cow<'_, str>)>) -> Element {
-    let mut element = Element::component(name);
-    for (raw_name, value) in attrs {
-        if raw_name == "xmlns" {
-            element.namespaces.push(NamespaceDecl {
-                prefix: None,
-                uri: value.into_owned(),
+    /// Stream a typed array element's body, parsing each `<item>` child's
+    /// text straight into the packed array.
+    fn stream_array_body(
+        &mut self,
+        open_name: &'a str,
+        depth: usize,
+        array: &mut ArrayValue,
+    ) -> XmlResult<()> {
+        loop {
+            let offset = self.lexer.position();
+            match self.lexer.next_event()? {
+                Event::EndTag { name } => {
+                    return self.check_close(open_name, name, offset);
+                }
+                Event::StartTagOpen { name } => {
+                    // An item element: its attributes are ignored, its
+                    // text is the lexical item value.
+                    let self_closing = self.skip_attrs()?;
+                    let mut text = TextAcc::Empty;
+                    if !self_closing {
+                        self.stream_text_body(name, depth, &mut text)?;
+                    }
+                    push_array_item(array, text.as_str())?;
+                }
+                Event::Text(text) => {
+                    if !text.trim().is_empty() {
+                        return Err(XmlError::BadTypedValue {
+                            what: format!("unexpected text {text:?} inside array element"),
+                        });
+                    }
+                }
+                Event::CData(text) => {
+                    if !text.trim().is_empty() {
+                        return Err(XmlError::BadTypedValue {
+                            what: format!("unexpected text {text:?} inside array element"),
+                        });
+                    }
+                }
+                Event::Comment(_) | Event::Pi { .. } => {}
+                Event::Decl => {
+                    return Err(XmlError::Structure {
+                        what: "XML declaration not at document start".into(),
+                    });
+                }
+                Event::Eof => return Err(self.never_closed(open_name)),
+            }
+        }
+    }
+
+    /// Stream an element body collecting only its character data (XPath
+    /// `string()` semantics: nested elements contribute their text,
+    /// comments and processing instructions are skipped). Used for typed
+    /// leaves and array items, whose markup structure is discarded.
+    fn stream_text_body(
+        &mut self,
+        open_name: &'a str,
+        depth: usize,
+        text: &mut TextAcc<'a>,
+    ) -> XmlResult<()> {
+        if depth >= self.opts.max_depth {
+            return Err(XmlError::Structure {
+                what: format!("element nesting exceeds max_depth {}", self.opts.max_depth),
             });
-        } else if let Some(prefix) = raw_name.strip_prefix("xmlns:") {
-            element.namespaces.push(NamespaceDecl {
-                prefix: Some(prefix.to_owned()),
-                uri: value.into_owned(),
-            });
+        }
+        loop {
+            let offset = self.lexer.position();
+            match self.lexer.next_event()? {
+                Event::EndTag { name } => {
+                    return self.check_close(open_name, name, offset);
+                }
+                Event::StartTagOpen { name } => {
+                    let self_closing = self.skip_attrs()?;
+                    if !self_closing {
+                        // Nested markup inside a typed value: collect its
+                        // text into the owned buffer.
+                        let mut inner = TextAcc::Joined(std::mem::take(text.owned()));
+                        let result = self.stream_text_body(name, depth + 1, &mut inner);
+                        *text = inner;
+                        result?;
+                    }
+                }
+                Event::Text(t) => text.push(t),
+                Event::CData(t) => text.push(Cow::Borrowed(t)),
+                Event::Comment(_) | Event::Pi { .. } => {}
+                Event::Decl => {
+                    return Err(XmlError::Structure {
+                        what: "XML declaration not at document start".into(),
+                    });
+                }
+                Event::Eof => return Err(self.never_closed(open_name)),
+            }
+        }
+    }
+
+    /// Drain and discard a start tag's attributes; returns `self_closing`.
+    fn skip_attrs(&mut self) -> XmlResult<bool> {
+        loop {
+            match self.lexer.next_attr()? {
+                AttrEvent::Attr(..) => {}
+                AttrEvent::TagEnd { self_closing } => return Ok(self_closing),
+            }
+        }
+    }
+
+    /// Parse a typed leaf's lexical content into its content slot,
+    /// reusing an existing string value's storage.
+    fn fill_leaf_value(
+        &mut self,
+        code: TypeCode,
+        text: &TextAcc<'_>,
+        content: &mut Content,
+    ) -> XmlResult<()> {
+        if code == TypeCode::Str {
+            // Strings keep their full (untrimmed) lexical form; refill
+            // the existing String in place.
+            if let Content::Leaf(AtomicValue::Str(slot)) = content {
+                set_string(slot, text.as_str());
+                return Ok(());
+            }
+        }
+        let value = AtomicValue::parse_as(code, text.as_str())
+            .map_err(|e| XmlError::BadTypedValue { what: e.to_string() })?;
+        *content = Content::Leaf(value);
+        Ok(())
+    }
+
+    fn check_close(&self, expected: &str, found: &str, offset: usize) -> XmlResult<()> {
+        if expected == found {
+            Ok(())
         } else {
-            element.attributes.push(Attribute {
-                name: QName::parse(raw_name),
-                value: AtomicValue::Str(value.into_owned()),
-            });
+            Err(XmlError::MismatchedTag {
+                offset,
+                expected: expected.to_owned(),
+                found: found.to_owned(),
+            })
         }
     }
-    element
-}
 
-fn push_text(open: &mut Element, text: Cow<'_, str>) {
-    // Merge adjacent text (CDATA next to character data).
-    if let Some(Node::Text(prev)) = open.children_mut().last_mut() {
-        prev.push_str(&text);
-        return;
-    }
-    open.children_mut().push(Node::Text(text.into_owned()));
-}
-
-/// Apply typed recovery and attach the finished element to its parent (or
-/// the document).
-fn finish_element(
-    mut element: Element,
-    stack: &mut [Element],
-    doc: &mut Document,
-    saw_root: &mut bool,
-    opts: &XmlReadOptions,
-) -> XmlResult<()> {
-    if opts.typed_recovery {
-        element = recover_types(element)?;
-    }
-    match stack.last_mut() {
-        Some(parent) => parent.children_mut().push(Node::Element(element)),
-        None => {
-            doc.children.push(Node::Element(element));
-            *saw_root = true;
+    fn never_closed(&self, name: &str) -> XmlError {
+        XmlError::UnexpectedEof {
+            what: format!("element <{name}> never closed"),
         }
-    }
-    Ok(())
-}
-
-/// Find and remove an attribute by (prefix, local) pair; returns its value.
-fn take_attr(element: &mut Element, prefix: &str, local: &str) -> Option<String> {
-    let idx = element
-        .attributes
-        .iter()
-        .position(|a| a.name.prefix() == Some(prefix) && a.name.local() == local)?;
-    let attr = element.attributes.remove(idx);
-    match attr.value {
-        AtomicValue::Str(s) => Some(s),
-        other => Some(other.lexical()),
-    }
-}
-
-/// The full text content of `element` when it is a single text node (or
-/// empty), borrowed — the common shape for leaf and array-item elements.
-/// Mixed or multi-node content falls back to the allocating
-/// [`Element::text_content`] join.
-fn single_text(element: &Element) -> Option<&str> {
-    match element.children() {
-        [] => Some(""),
-        [Node::Text(t)] => Some(t),
-        _ => None,
     }
 }
 
@@ -278,49 +736,6 @@ fn push_array_item(array: &mut ArrayValue, text: &str) -> XmlResult<()> {
             .map_err(|e| XmlError::BadTypedValue { what: e.to_string() })?;
     }
     Ok(())
-}
-
-fn recover_types(mut element: Element) -> XmlResult<Element> {
-    if let Some(type_name) = take_attr(&mut element, "xsi", "type") {
-        let code = TypeCode::from_xsd_name(&type_name).ok_or_else(|| XmlError::BadTypedValue {
-            what: format!("unknown xsi:type {type_name:?}"),
-        })?;
-        let value = match single_text(&element) {
-            Some(text) => AtomicValue::parse_as(code, text),
-            None => AtomicValue::parse_as(code, &element.text_content()),
-        }
-        .map_err(|e| XmlError::BadTypedValue {
-            what: e.to_string(),
-        })?;
-        element.content = bxdm::Content::Leaf(value);
-        return Ok(element);
-    }
-    if let Some(type_name) = take_attr(&mut element, "bx", "arrayType") {
-        let code = TypeCode::from_xsd_name(&type_name).ok_or_else(|| XmlError::BadTypedValue {
-            what: format!("unknown bx:arrayType {type_name:?}"),
-        })?;
-        let mut array = ArrayValue::empty_of(code).ok_or_else(|| XmlError::BadTypedValue {
-            what: format!("{type_name:?} is not a valid array element type"),
-        })?;
-        for child in element.children() {
-            match child {
-                Node::Element(item) => match single_text(item) {
-                    Some(text) => push_array_item(&mut array, text)?,
-                    None => push_array_item(&mut array, &item.text_content())?,
-                },
-                Node::Text(t) if t.trim().is_empty() => {}
-                Node::Comment(_) | Node::Pi { .. } => {}
-                Node::Text(t) => {
-                    return Err(XmlError::BadTypedValue {
-                        what: format!("unexpected text {t:?} inside array element"),
-                    })
-                }
-            }
-        }
-        element.content = bxdm::Content::Array(array);
-        return Ok(element);
-    }
-    Ok(element)
 }
 
 #[cfg(test)]
@@ -407,6 +822,25 @@ mod tests {
     }
 
     #[test]
+    fn leaf_beats_array_annotation() {
+        // When both annotations appear, xsi:type wins and bx:arrayType
+        // reverts to an ordinary attribute — in either attribute order.
+        for xml in [
+            r#"<n bx:arrayType="xsd:int" xsi:type="xsd:int">5</n>"#,
+            r#"<n xsi:type="xsd:int" bx:arrayType="xsd:int">5</n>"#,
+        ] {
+            let doc = parse(xml).unwrap();
+            let root = doc.root().unwrap();
+            assert_eq!(root.leaf_value(), Some(&AtomicValue::I32(5)), "{xml}");
+            assert_eq!(
+                root.attribute("bx:arrayType").unwrap().value.as_str(),
+                Some("xsd:int"),
+                "{xml}"
+            );
+        }
+    }
+
+    #[test]
     fn structure_errors() {
         assert!(parse("").is_err());
         assert!(parse("just text").is_err());
@@ -414,6 +848,21 @@ mod tests {
         assert!(parse("<a>").is_err());
         assert!(parse("<a/><b/>").is_err());
         assert!(parse("</a>").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let opts = XmlReadOptions {
+            max_depth: 8,
+            ..Default::default()
+        };
+        let deep = format!("{}x{}", "<d>".repeat(16), "</d>".repeat(16));
+        assert!(matches!(
+            parse_with(&deep, &opts),
+            Err(XmlError::Structure { .. })
+        ));
+        let shallow = format!("{}x{}", "<d>".repeat(4), "</d>".repeat(4));
+        assert!(parse_with(&shallow, &opts).is_ok());
     }
 
     #[test]
@@ -489,5 +938,106 @@ mod tests {
         assert_eq!(doc.children.len(), 3);
         assert!(matches!(&doc.children[0], Node::Comment(c) if c == "pre"));
         assert!(matches!(&doc.children[2], Node::Pi { target, .. } if target == "post"));
+    }
+
+    /// A corpus of XML documents spanning every content kind the reader
+    /// distinguishes: typed leaves and arrays, plain components, mixed
+    /// content, namespaces, comments and PIs, CDATA.
+    fn corpus() -> Vec<String> {
+        let mut docs: Vec<String> = Vec::new();
+        for doc in [
+            Document::with_root(
+                Element::component("d:data")
+                    .with_namespace("d", "http://example.org/d")
+                    .with_attr("run", "42")
+                    .with_child(Element::leaf("d:count", AtomicValue::I32(2)))
+                    .with_child(Element::leaf("d:name", AtomicValue::Str("test".into())))
+                    .with_child(Element::array(
+                        "d:values",
+                        ArrayValue::F64(vec![1.0, -2.5, 3.25e-8]),
+                    ))
+                    .with_child(Element::array("d:index", ArrayValue::I32(vec![7, 8])))
+                    .with_comment("tail"),
+            ),
+            Document::with_root(Element::leaf("b", AtomicValue::Bool(true))),
+            Document::with_root(Element::array("v", ArrayValue::U8(vec![1, 255]))),
+            Document::with_root(Element::array("v", ArrayValue::F32(vec![0.5, -1.5]))),
+            Document::with_root(Element::array("e", ArrayValue::I64(vec![]))),
+            Document::with_root(
+                Element::component("a:r")
+                    .with_namespace("a", "http://a")
+                    .with_child(
+                        Element::component("b:mid")
+                            .with_namespace("b", "http://b")
+                            .with_child(Element::leaf("a:deep", AtomicValue::Bool(false))),
+                    ),
+            ),
+        ] {
+            docs.push(to_string(&doc).unwrap());
+        }
+        // Hand-written shapes the writer does not emit.
+        docs.push("<a>one <![CDATA[<two>]]> three<!--c--><?p d?></a>".into());
+        docs.push("<?xml version=\"1.0\"?><!--pre--><r k=\"v\"><s/> tail</r><?post done?>".into());
+        docs.push("<v bx:arrayType=\"xsd:int\">\n  <i>1</i><!-- x -->\n  <i>2</i>\n</v>".into());
+        docs.push(r#"<n xsi:type="xsd:string">  spaced  </n>"#.into());
+        docs
+    }
+
+    /// `parse_into` must be observationally identical to `parse`, both on
+    /// a fresh document and on one still holding any *other* corpus
+    /// document's tree (the dirty-slot case where shapes diverge).
+    #[test]
+    fn parse_into_matches_parse_on_corpus() {
+        let corpus = corpus();
+        let mut recycled = Document::new();
+        for (i, xml) in corpus.iter().enumerate() {
+            let fresh = parse(xml).unwrap();
+            let mut target = Document::new();
+            parse_into(xml, &mut target).unwrap();
+            assert_eq!(target, fresh, "fresh-target mismatch on corpus[{i}]");
+            parse_into(xml, &mut recycled).unwrap();
+            assert_eq!(recycled, fresh, "dirty-target mismatch on corpus[{i}]");
+        }
+    }
+
+    /// Same-shape refill must not reallocate a large array payload: the
+    /// array Vec's address is stable across messages.
+    #[test]
+    fn parse_into_reuses_array_storage() {
+        let doc = Document::with_root(Element::array(
+            "v",
+            ArrayValue::F64((0..512).map(|i| i as f64).collect()),
+        ));
+        let xml = to_string(&doc).unwrap();
+        let mut target = Document::new();
+        parse_into(&xml, &mut target).unwrap();
+        let ptr = match target.root().unwrap().array_value().unwrap() {
+            ArrayValue::F64(v) => v.as_ptr(),
+            other => panic!("expected F64 array, got {other:?}"),
+        };
+        parse_into(&xml, &mut target).unwrap();
+        assert_eq!(target, doc);
+        let ptr2 = match target.root().unwrap().array_value().unwrap() {
+            ArrayValue::F64(v) => v.as_ptr(),
+            other => panic!("expected F64 array, got {other:?}"),
+        };
+        assert_eq!(ptr, ptr2, "same-shape refill must reuse the array buffer");
+    }
+
+    /// A failed refill leaves the document in an unspecified-but-valid
+    /// state and the next successful parse repairs it completely.
+    #[test]
+    fn parse_into_recovers_after_error() {
+        let doc = Document::with_root(
+            Element::component("r")
+                .with_child(Element::leaf("n", AtomicValue::I32(7)))
+                .with_child(Element::array("v", ArrayValue::F64(vec![1.5, -2.0]))),
+        );
+        let xml = to_string(&doc).unwrap();
+        let mut target = Document::new();
+        parse_into(&xml, &mut target).unwrap();
+        assert!(parse_into(&xml[..xml.len() / 2], &mut target).is_err());
+        parse_into(&xml, &mut target).unwrap();
+        assert_eq!(target, doc);
     }
 }

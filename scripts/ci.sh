@@ -7,7 +7,24 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
+# Zero-allocation steady-state gates: encode (PR 1) and decode (PR 3).
+# `steady_state_decode_is_allocation_free` fails this step — and the
+# build — if a change reintroduces per-message decode allocation.
 cargo test -q -p bench --features alloc-counter --lib
+
+# Decode benches: run the codec-throughput ablation and require that the
+# decode-path benchmarks (including the reused-document `*_into`
+# variants) actually execute and report. Medians across runs are
+# recorded per-PR in BENCH_PR*.json; this step keeps the benches alive.
+codec_log="$(mktemp)"
+cargo bench -p bench --bench codec_throughput 2>&1 | tee "$codec_log"
+for id in bxsa_decode bxsa_decode_into xml_decode xml_decode_into; do
+    if ! grep -q "^BENCH {\"id\":\"codec_throughput/${id}/" "$codec_log"; then
+        echo "bench: missing decode benchmark ${id}" >&2
+        exit 1
+    fi
+done
+rm -f "$codec_log"
 
 # Resilience job: drive the seeded torture corpus (mutated/truncated
 # messages, flaky connects) through the decoders and both live servers,

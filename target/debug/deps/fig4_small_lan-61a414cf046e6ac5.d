@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_small_lan-61a414cf046e6ac5.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/debug/deps/fig4_small_lan-61a414cf046e6ac5: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_large_lan-9ae4286ad4e2f219.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/debug/deps/fig5_large_lan-9ae4286ad4e2f219: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

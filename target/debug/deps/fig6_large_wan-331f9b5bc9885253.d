@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_large_wan-331f9b5bc9885253.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/debug/deps/fig6_large_wan-331f9b5bc9885253: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-46f49b4120c69da6.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-46f49b4120c69da6: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/transport-2df321ca9657a499.d: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs Cargo.toml
+/root/repo/target/debug/deps/transport-2df321ca9657a499.d: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/pool.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtransport-2df321ca9657a499.rmeta: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs Cargo.toml
+/root/repo/target/debug/deps/libtransport-2df321ca9657a499.rmeta: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/pool.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs Cargo.toml
 
 crates/transport/src/lib.rs:
 crates/transport/src/deadline.rs:
@@ -14,6 +14,7 @@ crates/transport/src/http/request.rs:
 crates/transport/src/http/response.rs:
 crates/transport/src/http/server.rs:
 crates/transport/src/iovec.rs:
+crates/transport/src/pool.rs:
 crates/transport/src/retry.rs:
 crates/transport/src/tcpserver.rs:
 Cargo.toml:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/transport-a944859b7d93c2e8.d: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
+/root/repo/target/debug/deps/transport-a944859b7d93c2e8.d: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/pool.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
 
-/root/repo/target/debug/deps/libtransport-a944859b7d93c2e8.rlib: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
+/root/repo/target/debug/deps/libtransport-a944859b7d93c2e8.rlib: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/pool.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
 
-/root/repo/target/debug/deps/libtransport-a944859b7d93c2e8.rmeta: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
+/root/repo/target/debug/deps/libtransport-a944859b7d93c2e8.rmeta: crates/transport/src/lib.rs crates/transport/src/deadline.rs crates/transport/src/error.rs crates/transport/src/faulty.rs crates/transport/src/fileserver.rs crates/transport/src/framed.rs crates/transport/src/http/mod.rs crates/transport/src/http/client.rs crates/transport/src/http/request.rs crates/transport/src/http/response.rs crates/transport/src/http/server.rs crates/transport/src/iovec.rs crates/transport/src/pool.rs crates/transport/src/retry.rs crates/transport/src/tcpserver.rs
 
 crates/transport/src/lib.rs:
 crates/transport/src/deadline.rs:
@@ -16,5 +16,6 @@ crates/transport/src/http/request.rs:
 crates/transport/src/http/response.rs:
 crates/transport/src/http/server.rs:
 crates/transport/src/iovec.rs:
+crates/transport/src/pool.rs:
 crates/transport/src/retry.rs:
 crates/transport/src/tcpserver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ascii_conversion-dae9ecd1d859a516.d: crates/bench/benches/ascii_conversion.rs
+
+/root/repo/target/release/deps/ascii_conversion-dae9ecd1d859a516: crates/bench/benches/ascii_conversion.rs
+
+crates/bench/benches/ascii_conversion.rs:

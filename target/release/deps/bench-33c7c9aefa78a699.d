@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bench-33c7c9aefa78a699.d: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-33c7c9aefa78a699.rlib: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-33c7c9aefa78a699.rmeta: crates/bench/src/lib.rs crates/bench/src/cpu.rs crates/bench/src/schemes.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/schemes.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_throughput-bae2b2a2e8b6c5c9.d: crates/bench/benches/codec_throughput.rs
+
+/root/repo/target/release/deps/codec_throughput-bae2b2a2e8b6c5c9: crates/bench/benches/codec_throughput.rs
+
+crates/bench/benches/codec_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_small_lan-3203814c2a7aae28.d: crates/bench/src/bin/fig4_small_lan.rs
+
+/root/repo/target/release/deps/fig4_small_lan-3203814c2a7aae28: crates/bench/src/bin/fig4_small_lan.rs
+
+crates/bench/src/bin/fig4_small_lan.rs:

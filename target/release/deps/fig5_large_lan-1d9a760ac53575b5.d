@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_large_lan-1d9a760ac53575b5.d: crates/bench/src/bin/fig5_large_lan.rs
+
+/root/repo/target/release/deps/fig5_large_lan-1d9a760ac53575b5: crates/bench/src/bin/fig5_large_lan.rs
+
+crates/bench/src/bin/fig5_large_lan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_large_wan-321731c3db105c51.d: crates/bench/src/bin/fig6_large_wan.rs
+
+/root/repo/target/release/deps/fig6_large_wan-321731c3db105c51: crates/bench/src/bin/fig6_large_wan.rs
+
+crates/bench/src/bin/fig6_large_wan.rs:

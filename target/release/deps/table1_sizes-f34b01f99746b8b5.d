@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_sizes-f34b01f99746b8b5.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/release/deps/table1_sizes-f34b01f99746b8b5: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:
