@@ -10,7 +10,7 @@
 
 use crate::binding::{HttpBinding, TcpBinding};
 use crate::encoding::{BxsaEncoding, XmlEncoding};
-use crate::engine::SoapEngine;
+use crate::engine::{CallOptions, SoapEngine};
 use crate::envelope::SoapEnvelope;
 use crate::error::{SoapError, SoapResult};
 
@@ -120,14 +120,25 @@ impl AnyEngine {
         }
     }
 
-    /// Request/response exchange (dispatches to the inner engine).
-    pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+    /// Request/response exchange with per-call options (dispatches to
+    /// the inner engine's [`SoapEngine::call_with`]).
+    pub fn call_with(
+        &mut self,
+        request: SoapEnvelope,
+        options: &CallOptions,
+    ) -> SoapResult<SoapEnvelope> {
         match self {
-            AnyEngine::XmlHttp(e) => e.call(request),
-            AnyEngine::XmlTcp(e) => e.call(request),
-            AnyEngine::BxsaHttp(e) => e.call(request),
-            AnyEngine::BxsaTcp(e) => e.call(request),
+            AnyEngine::XmlHttp(e) => e.call_with(request, options),
+            AnyEngine::XmlTcp(e) => e.call_with(request, options),
+            AnyEngine::BxsaHttp(e) => e.call_with(request, options),
+            AnyEngine::BxsaTcp(e) => e.call_with(request, options),
         }
+    }
+
+    /// Request/response exchange with the default options (dispatches to
+    /// the inner engine). Prefer [`AnyEngine::call_with`] in new code.
+    pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+        self.call_with(request, &CallOptions::new())
     }
 
     /// One-way send.

@@ -8,31 +8,39 @@
 //! accept loop owns the connection.)
 
 use transport::faulty::FaultAction;
-use transport::{FramedStream, HttpResponse, SharedInjector, Timeouts, TransportError};
+use transport::{Deadline, FramedStream, HttpResponse, SharedInjector, Timeouts, TransportError};
 
 use crate::error::{SoapError, SoapResult};
 use crate::fault::SoapFault;
 
 /// Client-side transport binding.
+///
+/// The buffer-reusing form is the *required* receive method: every
+/// binding must be able to land response bytes in caller-owned storage
+/// (the engine's steady-state path). The allocating `receive_response`
+/// and the exchange conveniences are defaults on top.
 pub trait BindingPolicy {
     /// Transmit one request payload.
     fn send_request(&mut self, payload: &[u8], content_type: &str) -> SoapResult<()>;
-    /// Receive the matching response payload.
-    fn receive_response(&mut self) -> SoapResult<Vec<u8>>;
-
     /// Receive the matching response payload into a reusable buffer
-    /// (contents replaced, capacity kept). Bindings that can land the
-    /// bytes directly in the caller's buffer override this; the default
-    /// delegates to [`receive_response`](BindingPolicy::receive_response).
-    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
-        *out = self.receive_response()?;
-        Ok(())
+    /// (contents replaced, capacity kept).
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()>;
+
+    /// Receive the matching response payload into fresh storage. Default:
+    /// delegates to
+    /// [`receive_response_into`](BindingPolicy::receive_response_into).
+    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.receive_response_into(&mut out)?;
+        Ok(out)
     }
 
-    /// Request/response convenience.
+    /// Request/response convenience. Default: delegates through
+    /// [`exchange_into`](BindingPolicy::exchange_into).
     fn exchange(&mut self, payload: &[u8], content_type: &str) -> SoapResult<Vec<u8>> {
-        self.send_request(payload, content_type)?;
-        self.receive_response()
+        let mut out = Vec::new();
+        self.exchange_into(payload, content_type, &mut out)?;
+        Ok(out)
     }
 
     /// Request/response into a reusable response buffer — the engine's
@@ -50,6 +58,15 @@ pub trait BindingPolicy {
     /// One-way send (no response expected).
     fn send_one_way(&mut self, payload: &[u8], content_type: &str) -> SoapResult<()> {
         self.send_request(payload, content_type)
+    }
+
+    /// Bound the *next* exchanges by a caller's end-to-end deadline:
+    /// network-capable bindings narrow their per-phase socket budgets to
+    /// what the deadline has left (and fail with the typed timeout once
+    /// it is spent). `None` restores the binding's static timeouts.
+    /// Default: ignored (in-process bindings have no sockets to bound).
+    fn set_call_deadline(&mut self, deadline: Option<Deadline>) {
+        let _ = deadline;
     }
 }
 
@@ -70,6 +87,8 @@ pub struct HttpBinding {
     /// Reusable response parse target (body capacity survives).
     response: HttpResponse,
     pending: bool,
+    /// Live call deadline narrowing `timeouts` for the current call.
+    call_deadline: Option<Deadline>,
 }
 
 impl HttpBinding {
@@ -82,6 +101,7 @@ impl HttpBinding {
             request: transport::HttpRequest::post(path, "", Vec::new()),
             response: HttpResponse::empty(),
             pending: false,
+            call_deadline: None,
         }
     }
 
@@ -113,12 +133,14 @@ impl BindingPolicy for HttpBinding {
                 .headers
                 .push(("SOAPAction".into(), action.clone()));
         }
-        transport::send_request_with_into(
-            &self.addr,
-            &self.request,
-            &self.timeouts,
-            &mut self.response,
-        )?;
+        // One HTTP exchange = connect + write + read; under a call
+        // deadline every phase budget narrows to what's left (and an
+        // already-spent deadline fails here, before any connect).
+        let timeouts = match &self.call_deadline {
+            Some(d) => self.timeouts.clamped_to(d).map_err(SoapError::Transport)?,
+            None => self.timeouts,
+        };
+        transport::send_request_with_into(&self.addr, &self.request, &timeouts, &mut self.response)?;
         // SOAP-over-HTTP delivers faults in 500 responses with a SOAP
         // body; anything else non-2xx is a transport-level error carrying
         // the status, a body prefix, and any Retry-After.
@@ -127,15 +149,6 @@ impl BindingPolicy for HttpBinding {
         }
         self.pending = true;
         Ok(())
-    }
-
-    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
-        if !std::mem::take(&mut self.pending) {
-            return Err(SoapError::Protocol(
-                "receive_response before send_request".into(),
-            ));
-        }
-        Ok(std::mem::take(&mut self.response.body))
     }
 
     fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
@@ -150,6 +163,10 @@ impl BindingPolicy for HttpBinding {
         std::mem::swap(out, &mut self.response.body);
         Ok(())
     }
+
+    fn set_call_deadline(&mut self, deadline: Option<Deadline>) {
+        self.call_deadline = deadline;
+    }
 }
 
 /// SOAP over raw TCP with length-prefixed framing: "the TCP binding will
@@ -163,6 +180,11 @@ pub struct TcpBinding {
     /// Per-phase time budgets applied on (re)connect (default: unlimited).
     pub timeouts: Timeouts,
     stream: Option<FramedStream>,
+    /// Live call deadline narrowing `timeouts` for the current call.
+    call_deadline: Option<Deadline>,
+    /// The persistent socket currently carries deadline-narrowed budgets
+    /// (they must be restored once the deadline is cleared).
+    deadline_applied: bool,
 }
 
 impl TcpBinding {
@@ -172,6 +194,8 @@ impl TcpBinding {
             addr: addr.to_owned(),
             timeouts: Timeouts::none(),
             stream: None,
+            call_deadline: None,
+            deadline_applied: false,
         }
     }
 
@@ -188,8 +212,28 @@ impl TcpBinding {
     }
 
     fn stream(&mut self) -> SoapResult<&mut FramedStream> {
-        if self.stream.is_none() {
-            self.stream = Some(FramedStream::connect_with(&self.addr, &self.timeouts)?);
+        // Under a call deadline every phase narrows to what's left; an
+        // already-spent deadline fails here, before any socket work. The
+        // connection persists across calls, so deadline budgets are
+        // (re)applied per use and the static ones restored afterwards —
+        // tracked by `deadline_applied` so deadline-free traffic on a
+        // warm connection costs no timeout syscalls.
+        let timeouts = match &self.call_deadline {
+            Some(d) => self.timeouts.clamped_to(d).map_err(SoapError::Transport)?,
+            None => self.timeouts,
+        };
+        match &mut self.stream {
+            None => {
+                self.stream = Some(FramedStream::connect_with(&self.addr, &timeouts)?);
+                self.deadline_applied = self.call_deadline.is_some();
+            }
+            Some(stream) => {
+                if self.call_deadline.is_some() || self.deadline_applied {
+                    stream.set_read_timeout(timeouts.read)?;
+                    stream.set_write_timeout(timeouts.write)?;
+                    self.deadline_applied = self.call_deadline.is_some();
+                }
+            }
         }
         Ok(self.stream.as_mut().expect("just ensured"))
     }
@@ -207,20 +251,16 @@ impl BindingPolicy for TcpBinding {
         result.map_err(Into::into)
     }
 
-    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
-        let result = self.stream()?.recv();
-        if result.is_err() {
-            self.stream = None;
-        }
-        result.map_err(Into::into)
-    }
-
     fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
         let result = self.stream()?.recv_into(out);
         if result.is_err() {
             self.stream = None;
         }
         result.map_err(Into::into)
+    }
+
+    fn set_call_deadline(&mut self, deadline: Option<Deadline>) {
+        self.call_deadline = deadline;
     }
 }
 
@@ -256,10 +296,13 @@ where
         Ok(())
     }
 
-    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
-        self.pending
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
+        let response = self
+            .pending
             .take()
-            .ok_or_else(|| SoapError::Protocol("receive_response before send_request".into()))
+            .ok_or_else(|| SoapError::Protocol("receive_response before send_request".into()))?;
+        *out = response;
+        Ok(())
     }
 }
 
@@ -328,11 +371,14 @@ impl<B: BindingPolicy> BindingPolicy for FaultingBinding<B> {
         self.inner.send_request(&message, content_type)
     }
 
-    fn receive_response(&mut self) -> SoapResult<Vec<u8>> {
-        let mut response = self.inner.receive_response()?;
-        let action = self.injector.lock().mutate_message(&mut response);
-        self.surface(action)?;
-        Ok(response)
+    fn receive_response_into(&mut self, out: &mut Vec<u8>) -> SoapResult<()> {
+        self.inner.receive_response_into(out)?;
+        let action = self.injector.lock().mutate_message(out);
+        self.surface(action)
+    }
+
+    fn set_call_deadline(&mut self, deadline: Option<Deadline>) {
+        self.inner.set_call_deadline(deadline);
     }
 }
 

@@ -15,33 +15,39 @@ use crate::error::SoapResult;
 /// chosen at compile time and its calls inline into the engine
 /// (the paper: "Because the binding is at compile time, compiler
 /// optimizations are not impacted, and inlining is still enabled").
+///
+/// The buffer-reusing `_into` forms are the *required* methods: every
+/// policy must be able to serialize into — and deserialize into — storage
+/// the caller owns, because that is the shape the engine's and servers'
+/// steady-state (allocation-free) paths use. The allocating `encode`/
+/// `decode` are conveniences with default implementations on top.
 pub trait EncodingPolicy {
     /// MIME type announced on HTTP-like bindings.
     fn content_type(&self) -> &'static str;
     /// Short scheme name for logging/diagnostics ("xml", "bxsa").
     fn name(&self) -> &'static str;
-    /// Serialize a document.
-    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>>;
     /// Serialize a document into a reusable buffer (replacing its
-    /// contents, keeping its capacity). Policies that can serialize
-    /// in place override this; the default just delegates to
-    /// [`encode`](EncodingPolicy::encode).
-    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
-        *out = self.encode(doc)?;
-        Ok(())
-    }
-    /// Deserialize a document.
-    fn decode(&self, bytes: &[u8]) -> SoapResult<Document>;
+    /// contents, keeping its capacity).
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()>;
     /// Deserialize into a reusable document: contents are replaced, but
     /// node slots, strings, and array buffers from the previous message
     /// are refilled in place, so decoding a stream of similarly-shaped
     /// messages is allocation-free at steady state. On error the
-    /// document holds unspecified but valid contents. Policies with an
-    /// in-place decode path override this; the default delegates to
-    /// [`decode`](EncodingPolicy::decode).
-    fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {
-        *doc = self.decode(bytes)?;
-        Ok(())
+    /// document holds unspecified but valid contents.
+    fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()>;
+    /// Serialize a document into fresh storage. Default: delegates to
+    /// [`encode_into`](EncodingPolicy::encode_into).
+    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.encode_into(doc, &mut out)?;
+        Ok(out)
+    }
+    /// Deserialize a fresh document. Default: delegates to
+    /// [`decode_into`](EncodingPolicy::decode_into).
+    fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
+        let mut doc = Document::new();
+        self.decode_into(bytes, &mut doc)?;
+        Ok(doc)
     }
 }
 
@@ -61,11 +67,6 @@ impl EncodingPolicy for XmlEncoding {
         "xml"
     }
 
-    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
-        let Ok(text) = xmltext::to_string_with(doc, &self.write_options);
-        Ok(text.into_bytes())
-    }
-
     fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
         // Reuse the byte buffer's capacity as the writer's String; the
         // round trip through from_utf8 is free (the buffer's prior
@@ -75,13 +76,6 @@ impl EncodingPolicy for XmlEncoding {
         let Ok(()) = xmltext::write_into(doc, &self.write_options, &mut text);
         *out = text.into_bytes();
         Ok(())
-    }
-
-    fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
-        let text = std::str::from_utf8(bytes).map_err(|_| {
-            crate::error::SoapError::Protocol("XML payload is not valid UTF-8".into())
-        })?;
-        Ok(xmltext::parse(text)?)
     }
 
     fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {
@@ -120,16 +114,8 @@ impl EncodingPolicy for BxsaEncoding {
         "bxsa"
     }
 
-    fn encode(&self, doc: &Document) -> SoapResult<Vec<u8>> {
-        Ok(bxsa::encode_with(doc, &self.options)?)
-    }
-
     fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> SoapResult<()> {
         Ok(bxsa::encode_into_with(doc, &self.options, out)?)
-    }
-
-    fn decode(&self, bytes: &[u8]) -> SoapResult<Document> {
-        Ok(bxsa::decode(bytes)?)
     }
 
     fn decode_into(&self, bytes: &[u8], doc: &mut Document) -> SoapResult<()> {

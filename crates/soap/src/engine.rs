@@ -1,12 +1,91 @@
 //! The generic SOAP engine (paper §5, §5.1).
 
+use std::time::Duration;
+
 use bxdm::Document;
-use transport::RetryPolicy;
+use transport::{BreakerHandle, Deadline, Permit, RetryPolicy};
 
 use crate::binding::BindingPolicy;
 use crate::encoding::EncodingPolicy;
-use crate::envelope::SoapEnvelope;
+use crate::envelope::{DeadlineHeader, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
+
+/// Per-call knobs for [`SoapEngine::call_with`] — the one place where
+/// idempotency, deadline, retry, and circuit-breaker decisions meet.
+///
+/// The default (`CallOptions::new()`) reproduces the classic
+/// `call` behaviour: idempotent, no deadline, the engine's installed
+/// retry policy and breaker. Each knob overrides one dimension:
+///
+/// ```
+/// use soap::CallOptions;
+/// use std::time::Duration;
+///
+/// let opts = CallOptions::new()
+///     .within(Duration::from_millis(250))
+///     .non_idempotent();
+/// assert!(!opts.idempotent);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CallOptions {
+    /// May the exchange be replayed on retry-safe failures? `false`
+    /// suppresses all retries regardless of installed policy (the old
+    /// `call_non_idempotent`). Note `Default` derives `false`; use
+    /// [`CallOptions::new`] for the idempotent default.
+    pub idempotent: bool,
+    /// End-to-end budget for the whole call (all attempts and backoff
+    /// delays included). When set, the engine stamps a `bx:Deadline`
+    /// header with the *remaining* budget on every attempt and narrows
+    /// the binding's socket timeouts to what is left.
+    pub deadline: Option<Deadline>,
+    /// Retry policy for this call only, overriding the engine's.
+    pub retry_override: Option<RetryPolicy>,
+    /// Circuit breaker for this call only, overriding the engine's.
+    pub breaker: Option<BreakerHandle>,
+}
+
+impl CallOptions {
+    /// The defaults: idempotent, no deadline, engine-level retry/breaker.
+    pub fn new() -> CallOptions {
+        CallOptions {
+            idempotent: true,
+            deadline: None,
+            retry_override: None,
+            breaker: None,
+        }
+    }
+
+    /// Forbid replays: the request has side effects that must happen at
+    /// most once (chainable).
+    pub fn non_idempotent(mut self) -> CallOptions {
+        self.idempotent = false;
+        self
+    }
+
+    /// Attach an end-to-end deadline (chainable).
+    pub fn with_deadline(mut self, deadline: Deadline) -> CallOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Start a deadline `budget` from now (chainable shorthand for
+    /// [`with_deadline`](CallOptions::with_deadline)`(Deadline::within(budget))`).
+    pub fn within(self, budget: Duration) -> CallOptions {
+        self.with_deadline(Deadline::within(budget))
+    }
+
+    /// Use this retry policy instead of the engine's (chainable).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> CallOptions {
+        self.retry_override = Some(policy);
+        self
+    }
+
+    /// Use this circuit breaker instead of the engine's (chainable).
+    pub fn with_breaker(mut self, breaker: BreakerHandle) -> CallOptions {
+        self.breaker = Some(breaker);
+        self
+    }
+}
 
 /// A message-level security policy: transform outgoing envelopes (e.g.
 /// attach a signature header) and check incoming ones.
@@ -60,7 +139,10 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     /// Retry failed exchanges whose failure class proves the server
     /// cannot have processed the request (`None` = fail fast).
     retry: Option<RetryPolicy>,
-    /// Exchanges attempted by the most recent `call`/`call_non_idempotent`.
+    /// Shared circuit breaker consulted before every connect attempt
+    /// (`None` = always try). Per-call [`CallOptions::breaker`] wins.
+    breaker: Option<BreakerHandle>,
+    /// Exchanges attempted by the most recent call.
     last_attempts: u32,
     /// Request-serialization scratch, reused across calls so a client
     /// issuing many similarly-sized requests serializes allocation-free.
@@ -82,6 +164,7 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             binding,
             security: NoSecurity,
             retry: None,
+            breaker: None,
             last_attempts: 0,
             encode_buf: Vec::new(),
             response_buf: Vec::new(),
@@ -99,6 +182,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             binding,
             security,
             retry: None,
+            breaker: None,
             last_attempts: 0,
             encode_buf: Vec::new(),
             response_buf: Vec::new(),
@@ -117,6 +201,20 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         self.retry = policy;
     }
 
+    /// Route every call through a shared circuit breaker (chainable).
+    /// Typically a [`transport::BreakerRegistry`] handle for the
+    /// endpoint, so all engines talking to it share one view of its
+    /// health.
+    pub fn with_breaker(mut self, breaker: BreakerHandle) -> SoapEngine<E, B, S> {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Install or remove the circuit breaker in place.
+    pub fn set_breaker(&mut self, breaker: Option<BreakerHandle>) {
+        self.breaker = breaker;
+    }
+
     /// Exchanges attempted by the most recent call (1 = no retries).
     pub fn last_call_attempts(&self) -> u32 {
         self.last_attempts
@@ -132,37 +230,105 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         &mut self.binding
     }
 
-    /// Request/response message exchange.
+    /// Request/response message exchange with per-call options — the
+    /// consolidated call surface; [`call`](SoapEngine::call) and
+    /// [`call_non_idempotent`](SoapEngine::call_non_idempotent) are thin
+    /// wrappers over it.
     ///
-    /// A SOAP fault in the response surfaces as
-    /// [`SoapError::Fault`], keeping the happy path a plain envelope.
+    /// A SOAP fault in the response surfaces as [`SoapError::Fault`],
+    /// keeping the happy path a plain envelope.
     ///
-    /// With a [`RetryPolicy`] installed (see
-    /// [`with_retry`](SoapEngine::with_retry)), failed exchanges are
-    /// replayed — but **only** when the failure class proves the server
-    /// cannot have processed the request (connect refused; 503 with the
-    /// server declining up front — see
+    /// **Retries.** With a [`RetryPolicy`] installed (engine-level via
+    /// [`with_retry`](SoapEngine::with_retry), or per-call via
+    /// [`CallOptions::with_retry`]), failed exchanges are replayed — but
+    /// **only** when `options.idempotent` holds *and* the failure class
+    /// proves the server cannot have processed the request (connect
+    /// refused; 503 with the server declining up front — see
     /// [`transport::TransportError::retry_safe`]). A timeout or reset
     /// after bytes went out is ambiguous, and a SOAP fault is an answer;
-    /// neither is ever retried. For requests that must not be replayed
-    /// even on safe failures, use
-    /// [`call_non_idempotent`](SoapEngine::call_non_idempotent).
-    pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
-        let request = self.security.apply(request)?;
-        let doc = request.to_document();
-        self.encoding.encode_into(&doc, &mut self.encode_buf)?;
+    /// neither is ever retried.
+    ///
+    /// **Deadline.** With [`CallOptions::deadline`] set, the whole call —
+    /// every attempt and every backoff delay — shares one budget. Each
+    /// attempt stamps a `bx:Deadline` header carrying the *remaining*
+    /// milliseconds, so servers and intermediaries downstream inherit
+    /// the caller's clock; the binding's socket timeouts are narrowed
+    /// the same way. An exhausted budget surfaces as the typed
+    /// [`transport::TransportError::TimedOut`].
+    ///
+    /// **Circuit breaker.** With a [`BreakerHandle`] installed, each
+    /// attempt asks the breaker for admission first. While the circuit
+    /// is open the call fails fast with [`SoapError::CircuitOpen`] —
+    /// zero connect attempts, the retry-after hint attached. Outcomes
+    /// feed back: transport-level failures count against the endpoint;
+    /// an answer of any kind (including a fault) counts as proof of
+    /// life.
+    pub fn call_with(
+        &mut self,
+        request: SoapEnvelope,
+        options: &CallOptions,
+    ) -> SoapResult<SoapEnvelope> {
+        let mut request = self.security.apply(request)?;
+        // `Deadline::none()` is unbounded: treat it as no deadline so the
+        // single-encode fast path below still applies.
+        let deadline = options.deadline.filter(|d| d.budget().is_some());
+        let breaker = options.breaker.as_ref().or(self.breaker.as_ref()).cloned();
+        let retry = if options.idempotent {
+            options.retry_override.as_ref().or(self.retry.as_ref()).cloned()
+        } else {
+            None
+        };
+        if deadline.is_none() {
+            // No deadline: the bytes are identical across attempts, so
+            // serialize exactly once, outside the loop.
+            let doc = request.to_document();
+            self.encoding.encode_into(&doc, &mut self.encode_buf)?;
+        }
+        self.binding.set_call_deadline(deadline);
         self.last_attempts = 0;
-        let mut schedule = self.retry.as_ref().map(|p| p.schedule());
-        loop {
+        let mut schedule = retry.as_ref().map(|p| p.schedule());
+        let result = loop {
+            if let Some(d) = &deadline {
+                // Gate the attempt on budget left, and re-stamp/re-encode
+                // so the wire header carries the *remaining* budget.
+                if let Err(e) = d.remaining() {
+                    break Err(SoapError::Transport(e));
+                }
+                if let Some(header) = DeadlineHeader::from_deadline(d) {
+                    header.stamp(&mut request);
+                }
+                let doc = request.to_document();
+                if let Err(e) = self.encoding.encode_into(&doc, &mut self.encode_buf) {
+                    break Err(e);
+                }
+            }
+            if let Some(b) = &breaker {
+                if let Permit::Rejected { retry_after } = b.preflight() {
+                    break Err(SoapError::CircuitOpen {
+                        endpoint: b.endpoint().to_owned(),
+                        retry_after,
+                    });
+                }
+            }
             self.last_attempts += 1;
             let error = match self.binding.exchange_into(
                 &self.encode_buf,
                 self.encoding.content_type(),
                 &mut self.response_buf,
             ) {
-                Ok(()) => return self.finish_call(),
+                Ok(()) => {
+                    if let Some(b) = &breaker {
+                        b.record(true);
+                    }
+                    break self.finish_call();
+                }
                 Err(e) => e,
             };
+            if let Some(b) = &breaker {
+                // Only transport-level failures indict the endpoint; any
+                // decoded answer (even a fault) proves it is alive.
+                b.record(!matches!(&error, SoapError::Transport(_)));
+            }
             let retry_safe =
                 matches!(&error, SoapError::Transport(t) if t.retry_safe());
             let delay = if retry_safe {
@@ -171,7 +337,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
                 None
             };
             let Some(mut delay) = delay else {
-                return Err(error);
+                break Err(error);
             };
             // A server-provided Retry-After hint stretches the backoff,
             // bounded by the policy's cap so a hostile hint cannot park
@@ -181,22 +347,42 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
                 ..
             }) = &error
             {
-                let cap = self.retry.as_ref().expect("retrying implies policy").cap;
-                delay = delay.max(std::time::Duration::from_secs(*secs).min(cap));
+                let cap = retry.as_ref().expect("retrying implies policy").cap;
+                delay = delay.max(Duration::from_secs(*secs).min(cap));
+            }
+            if let Some(d) = &deadline {
+                // Sleeping past the deadline cannot help: the budget
+                // would expire mid-backoff, so surface the real error.
+                match d.remaining() {
+                    Ok(Some(left)) if delay < left => {}
+                    _ => break Err(error),
+                }
             }
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
-        }
+        };
+        self.binding.set_call_deadline(None);
+        result
+    }
+
+    /// Request/response message exchange with the default options
+    /// (idempotent; engine-level retry and breaker; no deadline).
+    ///
+    /// Prefer [`call_with`](SoapEngine::call_with) in new code — this is
+    /// the legacy surface, kept as a thin wrapper.
+    pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
+        self.call_with(request, &CallOptions::new())
     }
 
     /// [`call`](SoapEngine::call) for requests with side effects that
     /// must not be replayed: never retries, whatever policy is installed.
+    ///
+    /// Prefer [`call_with`](SoapEngine::call_with) with
+    /// [`CallOptions::non_idempotent`] in new code — this is the legacy
+    /// surface, kept as a thin wrapper.
     pub fn call_non_idempotent(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
-        let policy = self.retry.take();
-        let result = self.call(request);
-        self.retry = policy;
-        result
+        self.call_with(request, &CallOptions::new().non_idempotent())
     }
 
     fn finish_call(&mut self) -> SoapResult<SoapEnvelope> {
@@ -377,6 +563,154 @@ mod tests {
         .with_retry(RetryPolicy::no_delay(10));
         assert!(matches!(engine.call(sum_request()), Err(SoapError::Fault(_))));
         assert_eq!(engine.last_call_attempts(), 1, "faults are answers");
+    }
+
+    #[test]
+    fn call_with_deadline_stamps_remaining_budget() {
+        use crate::envelope::DeadlineHeader;
+        use std::time::Duration;
+
+        // The service inspects the header the engine stamped and echoes
+        // the observed budget back, so the test sees the wire value.
+        let enc = XmlEncoding::default();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(move |bytes: &[u8]| {
+                let doc = enc.decode(bytes).unwrap();
+                let env = SoapEnvelope::from_document(&doc).unwrap();
+                let header = DeadlineHeader::from_envelope(&env)
+                    .unwrap()
+                    .expect("deadline header must be stamped");
+                let reply = SoapEnvelope::with_body(
+                    Element::component("m:Echo")
+                        .with_namespace("m", "http://example.org/m")
+                        .with_child(Element::leaf(
+                            "m:budget",
+                            AtomicValue::I64(header.budget_millis as i64),
+                        )),
+                );
+                enc.encode(&reply.to_document()).unwrap()
+            }),
+        );
+        let opts = CallOptions::new().within(Duration::from_secs(5));
+        let resp = engine.call_with(sum_request(), &opts).unwrap();
+        let Some(AtomicValue::I64(budget)) = resp.body_element().unwrap().child_value("budget")
+        else {
+            panic!("echoed budget missing");
+        };
+        assert!(*budget > 0 && *budget <= 5000, "stamped {budget} ms");
+        // Plain `call` must not stamp anything.
+        let enc = XmlEncoding::default();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(move |bytes: &[u8]| {
+                let doc = enc.decode(bytes).unwrap();
+                let env = SoapEnvelope::from_document(&doc).unwrap();
+                assert_eq!(DeadlineHeader::from_envelope(&env).unwrap(), None);
+                enc.encode(
+                    &SoapEnvelope::with_body(Element::component("m:Ok").with_namespace(
+                        "m",
+                        "http://example.org/m",
+                    ))
+                    .to_document(),
+                )
+                .unwrap()
+            }),
+        );
+        engine.call(sum_request()).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_any_exchange() {
+        use std::time::Duration;
+
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(|_: &[u8]| panic!("must not reach the service")),
+        );
+        let opts = CallOptions::new().with_deadline(transport::Deadline::within(Duration::ZERO));
+        let err = engine.call_with(sum_request(), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            SoapError::Transport(transport::TransportError::TimedOut { .. })
+        ));
+        assert_eq!(engine.last_call_attempts(), 0);
+    }
+
+    #[test]
+    fn open_circuit_fast_fails_without_connecting() {
+        use crate::binding::FaultingBinding;
+        use std::time::Duration;
+        use transport::faulty::{FaultInjector, FaultProfile};
+        use transport::{BreakerConfig, BreakerHandle, BreakerState};
+
+        // Every connect refused: each call records one breaker failure.
+        let injector = FaultInjector::new(FaultProfile::flaky_connect(3, 1.0)).shared();
+        let breaker = BreakerHandle::standalone(
+            "loopback",
+            BreakerConfig {
+                window: Duration::from_secs(10),
+                failure_threshold: 0.5,
+                min_samples: 4,
+                cooldown: Duration::from_secs(60),
+                cooldown_cap: Duration::from_secs(120),
+                half_open_successes: 1,
+                seed: 11,
+            },
+        );
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            FaultingBinding::new(
+                LoopbackBinding::new(sum_service(XmlEncoding::default())),
+                Arc::clone(&injector),
+            ),
+        )
+        .with_breaker(breaker.clone());
+        for _ in 0..4 {
+            let err = engine.call(sum_request()).unwrap_err();
+            assert!(matches!(err, SoapError::Transport(_)));
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let refused_so_far = injector.lock().connects_refused();
+        // While open: typed fast-fail, zero exchanges attempted.
+        let err = engine.call(sum_request()).unwrap_err();
+        match err {
+            SoapError::CircuitOpen {
+                endpoint,
+                retry_after,
+            } => {
+                assert_eq!(endpoint, "loopback");
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert_eq!(engine.last_call_attempts(), 0);
+        assert_eq!(injector.lock().connects_refused(), refused_so_far);
+    }
+
+    #[test]
+    fn per_call_options_override_engine_policies() {
+        use crate::binding::FaultingBinding;
+        use transport::faulty::{FaultInjector, FaultProfile};
+        use transport::RetryPolicy;
+
+        let injector = FaultInjector::new(FaultProfile::flaky_connect(3, 1.0)).shared();
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            FaultingBinding::new(
+                LoopbackBinding::new(sum_service(XmlEncoding::default())),
+                injector,
+            ),
+        )
+        .with_retry(RetryPolicy::no_delay(10));
+        // Per-call override narrows the engine's 10 attempts to 3.
+        let opts = CallOptions::new().with_retry(RetryPolicy::no_delay(3));
+        assert!(engine.call_with(sum_request(), &opts).is_err());
+        assert_eq!(engine.last_call_attempts(), 3);
+        // Non-idempotent wins over any retry configuration.
+        let opts = opts.non_idempotent();
+        assert!(engine.call_with(sum_request(), &opts).is_err());
+        assert_eq!(engine.last_call_attempts(), 1);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The SOAP envelope, modeled in bXDM.
 
-use bxdm::{Document, Element};
+use std::time::Duration;
+
+use bxdm::{AtomicValue, Document, Element};
+use transport::Deadline;
 
 use crate::error::{SoapError, SoapResult};
 use crate::fault::SoapFault;
@@ -135,6 +138,143 @@ pub fn find_header<'a>(envelope: &'a SoapEnvelope, local: &str) -> Option<&'a El
     envelope.headers.iter().find(|h| h.name.local() == local)
 }
 
+/// Local name of the deadline header block (`bx:Deadline`).
+pub const DEADLINE_HEADER_LOCAL: &str = "Deadline";
+
+/// Default hop allowance stamped by a client that doesn't choose one.
+pub const DEFAULT_HOPS: u32 = 8;
+
+/// The `bx:Deadline` header block: gRPC-style end-to-end deadline
+/// propagation for SOAP.
+///
+/// The header carries a *relative* budget — "you have this many
+/// milliseconds of my time left" — plus a hop count. Each node that
+/// receives it restarts a local clock ([`DeadlineHeader::start`]), does
+/// its work, and forwards a header decremented by its own elapsed time
+/// and one hop ([`DeadlineHeader::decremented`]). Relative budgets avoid
+/// clock synchronization between hops; time on the wire is invisible to
+/// the scheme, which is the standard trade for deadline propagation
+/// without synchronized clocks.
+///
+/// Wire shape (self-describing in both encodings, since the envelope root
+/// declares the `bx` namespace):
+///
+/// ```xml
+/// <bx:Deadline>
+///   <bx:budgetMillis xsi:type="xsd:long">250</bx:budgetMillis>
+///   <bx:hops xsi:type="xsd:long">8</bx:hops>
+/// </bx:Deadline>
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineHeader {
+    /// Remaining time budget, in milliseconds. `0` means "already
+    /// expired" — a receiver faults without doing any work.
+    pub budget_millis: u64,
+    /// Hops this request may still traverse; an intermediary that sees
+    /// `0` refuses to forward.
+    pub hops: u32,
+}
+
+impl DeadlineHeader {
+    /// A header with an explicit budget and hop allowance.
+    pub fn new(budget_millis: u64, hops: u32) -> DeadlineHeader {
+        DeadlineHeader { budget_millis, hops }
+    }
+
+    /// Capture what's left of a live [`Deadline`] (with the default hop
+    /// allowance). `None` when the deadline is unbounded — unbounded
+    /// calls stamp no header.
+    pub fn from_deadline(deadline: &Deadline) -> Option<DeadlineHeader> {
+        let budget = deadline.budget()?;
+        let left = budget.saturating_sub(deadline.elapsed());
+        Some(DeadlineHeader::new(left.as_millis() as u64, DEFAULT_HOPS))
+    }
+
+    /// Already spent on arrival?
+    pub fn expired(&self) -> bool {
+        self.budget_millis == 0
+    }
+
+    /// Restart the budget as a local clock: the receiver's view of "how
+    /// long may I work on this request".
+    pub fn start(&self) -> Deadline {
+        Deadline::within(Duration::from_millis(self.budget_millis))
+    }
+
+    /// The header to forward after spending `elapsed` locally: budget
+    /// down by the time spent, hop count down by one (both saturating).
+    pub fn decremented(&self, elapsed: Duration) -> DeadlineHeader {
+        DeadlineHeader {
+            budget_millis: self
+                .budget_millis
+                .saturating_sub(elapsed.as_millis() as u64),
+            hops: self.hops.saturating_sub(1),
+        }
+    }
+
+    /// Materialize as the `bx:Deadline` header element.
+    pub fn to_element(&self) -> Element {
+        let bx = xmltext::BX_PREFIX;
+        Element::component(format!("{bx}:{DEADLINE_HEADER_LOCAL}"))
+            .with_child(Element::leaf(
+                format!("{bx}:budgetMillis"),
+                AtomicValue::I64(self.budget_millis.min(i64::MAX as u64) as i64),
+            ))
+            .with_child(Element::leaf(
+                format!("{bx}:hops"),
+                AtomicValue::I64(self.hops as i64),
+            ))
+    }
+
+    /// Parse a header element (lenient: local names only, numeric leaves
+    /// accepted as any integer type or as text).
+    pub fn from_element(header: &Element) -> SoapResult<DeadlineHeader> {
+        let budget_millis = leaf_u64(header, "budgetMillis").ok_or_else(|| {
+            SoapError::Protocol("bx:Deadline header lacks a budgetMillis value".into())
+        })?;
+        let hops = leaf_u64(header, "hops")
+            .ok_or_else(|| SoapError::Protocol("bx:Deadline header lacks a hops value".into()))?;
+        Ok(DeadlineHeader {
+            budget_millis,
+            hops: hops.min(u32::MAX as u64) as u32,
+        })
+    }
+
+    /// The deadline header of an envelope, if present. A present but
+    /// malformed header is an error — a node must not silently ignore a
+    /// budget it failed to read.
+    pub fn from_envelope(envelope: &SoapEnvelope) -> SoapResult<Option<DeadlineHeader>> {
+        match find_header(envelope, DEADLINE_HEADER_LOCAL) {
+            Some(h) => DeadlineHeader::from_element(h).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Stamp this header onto an envelope, replacing any previous
+    /// deadline header (re-stamping per retry attempt must not stack).
+    pub fn stamp(&self, envelope: &mut SoapEnvelope) {
+        envelope
+            .headers
+            .retain(|h| h.name.local() != DEADLINE_HEADER_LOCAL);
+        envelope.headers.push(self.to_element());
+    }
+}
+
+/// A non-negative integer leaf by local name, tolerating `Str`-typed
+/// values (an encoding that dropped type info) via text parsing.
+fn leaf_u64(parent: &Element, local: &str) -> Option<u64> {
+    let child = parent.find_child(local)?;
+    if let Some(v) = child.leaf_value() {
+        if let Some(n) = v.as_i64() {
+            return u64::try_from(n).ok();
+        }
+        if let Some(s) = v.as_str() {
+            return s.trim().parse().ok();
+        }
+    }
+    child.text_content().trim().parse().ok()
+}
+
 /// `true` if a header entry is flagged `soapenv:mustUnderstand="1"`.
 pub fn must_understand(header: &Element) -> bool {
     header
@@ -233,5 +373,72 @@ mod tests {
         let doc = env.to_document();
         let root = doc.root().unwrap();
         assert_eq!(root.child_elements().count(), 1); // Body only
+    }
+
+    #[test]
+    fn deadline_header_roundtrips_through_both_encodings() {
+        let header = DeadlineHeader::new(250, 3);
+        let mut env = sample();
+        header.stamp(&mut env);
+        let doc = env.to_document();
+
+        let xml = xmltext::to_string(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&xmltext::parse(&xml).unwrap()).unwrap();
+        assert_eq!(DeadlineHeader::from_envelope(&back).unwrap(), Some(header));
+
+        let bin = bxsa::encode(&doc).unwrap();
+        let back = SoapEnvelope::from_document(&bxsa::decode(&bin).unwrap()).unwrap();
+        assert_eq!(DeadlineHeader::from_envelope(&back).unwrap(), Some(header));
+    }
+
+    #[test]
+    fn deadline_header_stamp_replaces_not_stacks() {
+        let mut env = sample();
+        DeadlineHeader::new(500, 8).stamp(&mut env);
+        DeadlineHeader::new(300, 8).stamp(&mut env);
+        let stamped: Vec<_> = env
+            .headers
+            .iter()
+            .filter(|h| h.name.local() == DEADLINE_HEADER_LOCAL)
+            .collect();
+        assert_eq!(stamped.len(), 1);
+        assert_eq!(
+            DeadlineHeader::from_envelope(&env).unwrap(),
+            Some(DeadlineHeader::new(300, 8))
+        );
+        // The unrelated header survives re-stamping.
+        assert!(find_header(&env, "MessageID").is_some());
+    }
+
+    #[test]
+    fn deadline_header_arithmetic() {
+        let h = DeadlineHeader::new(100, 2);
+        assert!(!h.expired());
+        let spent = h.decremented(Duration::from_millis(30));
+        assert_eq!(spent, DeadlineHeader::new(70, 1));
+        // Overspending saturates to an expired header, not a wrap.
+        let drained = h.decremented(Duration::from_millis(250));
+        assert_eq!(drained.budget_millis, 0);
+        assert!(drained.expired());
+        assert_eq!(drained.decremented(Duration::ZERO).hops, 0);
+    }
+
+    #[test]
+    fn deadline_header_from_live_deadline() {
+        assert_eq!(DeadlineHeader::from_deadline(&Deadline::none()), None);
+        let h = DeadlineHeader::from_deadline(&Deadline::within(Duration::from_secs(2))).unwrap();
+        assert!(h.budget_millis <= 2000 && h.budget_millis > 1500, "{h:?}");
+        assert_eq!(h.hops, DEFAULT_HOPS);
+    }
+
+    #[test]
+    fn malformed_deadline_header_is_an_error_not_ignored() {
+        let mut env = sample();
+        env.headers
+            .push(Element::component("bx:Deadline").with_child(Element::leaf(
+                "bx:budgetMillis",
+                AtomicValue::Str("soon".into()),
+            )));
+        assert!(DeadlineHeader::from_envelope(&env).is_err());
     }
 }

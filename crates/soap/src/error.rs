@@ -17,6 +17,14 @@ pub enum SoapError {
     Fault(SoapFault),
     /// The message violated SOAP structure (no Envelope/Body, ...).
     Protocol(String),
+    /// The endpoint's shared circuit breaker is open: the call failed
+    /// fast *locally*, without a connect attempt.
+    CircuitOpen {
+        /// The endpoint whose breaker rejected the call.
+        endpoint: String,
+        /// Time until the breaker will admit a probe.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for SoapError {
@@ -27,6 +35,13 @@ impl fmt::Display for SoapError {
             SoapError::Transport(e) => write!(f, "transport error: {e}"),
             SoapError::Fault(fault) => write!(f, "SOAP fault: {fault}"),
             SoapError::Protocol(what) => write!(f, "SOAP protocol error: {what}"),
+            SoapError::CircuitOpen {
+                endpoint,
+                retry_after,
+            } => write!(
+                f,
+                "circuit open for {endpoint}: failing fast, retry after {retry_after:?}"
+            ),
         }
     }
 }

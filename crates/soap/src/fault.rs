@@ -6,6 +6,9 @@ use bxdm::{AtomicValue, Element};
 
 use crate::envelope::SOAP_ENV_PREFIX;
 
+/// Detail key carrying the retry-after hint on deadline-expired faults.
+const RETRY_AFTER_KEY: &str = "retry-after-ms";
+
 /// The four standard SOAP 1.1 fault codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultCode {
@@ -85,6 +88,29 @@ impl SoapFault {
     /// A server fault wrapping an internal error.
     pub fn server(err: impl fmt::Display) -> SoapFault {
         SoapFault::new(FaultCode::Server, &err.to_string())
+    }
+
+    /// The fault a node sends when a request's `bx:Deadline` budget was
+    /// already spent on arrival: `Server` class (the *sender's* message
+    /// was fine; time ran out in transit or in upstream queues), with a
+    /// machine-readable retry hint in the detail. The hint rides the
+    /// fault so it crosses raw-TCP bindings too, where there is no
+    /// `Retry-After` header to carry it.
+    pub fn deadline_expired(retry_after: std::time::Duration) -> SoapFault {
+        SoapFault::new(FaultCode::Server, "deadline expired before processing began")
+            .with_detail(&format!("{RETRY_AFTER_KEY}={}", retry_after.as_millis()))
+    }
+
+    /// The retry hint from a [`deadline_expired`](SoapFault::deadline_expired)-style
+    /// detail (`retry-after-ms=N`, possibly amid `;`-separated pairs).
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        self.detail.as_deref()?.split(';').find_map(|kv| {
+            let (k, v) = kv.trim().split_once('=')?;
+            if k.trim() != RETRY_AFTER_KEY {
+                return None;
+            }
+            v.trim().parse().ok().map(std::time::Duration::from_millis)
+        })
     }
 
     /// Materialize as the `soapenv:Fault` body element.
@@ -185,6 +211,23 @@ mod tests {
     fn display_mentions_code_and_string() {
         let s = SoapFault::new(FaultCode::Server, "boom").to_string();
         assert!(s.contains("Server") && s.contains("boom"));
+    }
+
+    #[test]
+    fn deadline_expired_fault_carries_a_parseable_retry_hint() {
+        use std::time::Duration;
+        let f = SoapFault::deadline_expired(Duration::from_millis(750));
+        assert_eq!(f.code, FaultCode::Server);
+        assert_eq!(f.retry_after(), Some(Duration::from_millis(750)));
+        // The hint survives the wire element round trip.
+        let back = SoapFault::from_element(&f.to_element());
+        assert_eq!(back.retry_after(), Some(Duration::from_millis(750)));
+        // Faults without the hint answer None.
+        assert_eq!(SoapFault::server("boom").retry_after(), None);
+        assert_eq!(
+            SoapFault::server("boom").with_detail("cause=disk").retry_after(),
+            None
+        );
     }
 
     #[test]

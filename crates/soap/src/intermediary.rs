@@ -20,10 +20,10 @@ use parking_lot::Mutex;
 
 use crate::binding::BindingPolicy;
 use crate::encoding::EncodingPolicy;
-use crate::envelope::SoapEnvelope;
+use crate::envelope::{DeadlineHeader, SoapEnvelope};
 use crate::error::SoapResult;
 use crate::fault::{FaultCode, SoapFault};
-use crate::service::fault_envelope;
+use crate::service::{fault_envelope, EXPIRED_RETRY_AFTER};
 
 /// A running relay node.
 pub struct Intermediary {
@@ -92,16 +92,46 @@ where
     let doc = in_encoding.decode(request)?;
     // (Validate it is an envelope — intermediaries are SOAP nodes, not
     // byte pipes.)
-    let envelope = SoapEnvelope::from_document(&doc)?;
-    let doc = envelope.to_document();
+    let mut envelope = SoapEnvelope::from_document(&doc)?;
+
+    // A `bx:Deadline` header makes this hop budget- and hop-aware: an
+    // already-spent budget is refused without touching the upstream, an
+    // exhausted hop count is the *sender's* mistake (likely a routing
+    // loop), and otherwise the remaining budget becomes this hop's local
+    // clock, clamping the up-link exchange.
+    let budget = match DeadlineHeader::from_envelope(&envelope)? {
+        Some(h) if h.expired() => {
+            let fault = fault_envelope(SoapFault::deadline_expired(EXPIRED_RETRY_AFTER));
+            return in_encoding.encode(&fault.to_document());
+        }
+        Some(h) if h.hops == 0 => {
+            let fault = fault_envelope(SoapFault::new(
+                FaultCode::Client,
+                "bx:Deadline hop count exhausted at intermediary",
+            ));
+            return in_encoding.encode(&fault.to_document());
+        }
+        Some(h) => Some((h, h.start())),
+        None => None,
+    };
 
     // ...re-encode and forward on the up-link policies...
     let response_doc = {
         let mut guard = upstream.lock();
         let (up_encoding, up_binding) = &mut *guard;
-        let payload = up_encoding.encode(&doc)?;
-        let response = up_binding.exchange(&payload, up_encoding.content_type())?;
-        up_encoding.decode(&response)?
+        if let Some((header, local)) = &budget {
+            // Forward what is left of the budget (transit and transcode
+            // time already spent here comes off the top) with one hop
+            // consumed, and cap the upstream socket work the same way.
+            header.decremented(local.elapsed()).stamp(&mut envelope);
+            up_binding.set_call_deadline(Some(*local));
+        }
+        let payload = up_encoding.encode(&envelope.to_document())?;
+        let exchanged = up_binding.exchange(&payload, up_encoding.content_type());
+        if budget.is_some() {
+            up_binding.set_call_deadline(None);
+        }
+        up_encoding.decode(&exchanged?)?
     };
 
     // ...and relay the response back in the down-link encoding.

@@ -53,15 +53,27 @@ pub mod server;
 pub mod service;
 
 pub use anyengine::{AnyEngine, WireConfig, WireEncoding, WireTransport};
-pub use binding::{BindingPolicy, FaultingBinding, HttpBinding, TcpBinding};
+pub use binding::{BindingPolicy, FaultingBinding, HttpBinding, LoopbackBinding, TcpBinding};
 pub use encoding::{BxsaEncoding, EncodingPolicy, XmlEncoding};
-pub use engine::{NoSecurity, SecurityPolicy, SoapEngine};
-pub use envelope::{SoapEnvelope, SOAP_ENV_PREFIX, SOAP_ENV_URI};
+pub use engine::{CallOptions, NoSecurity, SecurityPolicy, SoapEngine};
+pub use envelope::{
+    DeadlineHeader, SoapEnvelope, DEADLINE_HEADER_LOCAL, DEFAULT_HOPS, SOAP_ENV_PREFIX,
+    SOAP_ENV_URI,
+};
 pub use error::{SoapError, SoapResult};
 pub use fault::{FaultCode, SoapFault};
 pub use intermediary::Intermediary;
 pub use server::{HttpSoapServer, TcpSoapServer};
-pub use service::{fault_for_error, DecodeScratch, ServiceHandler, ServiceRegistry, SoapService};
+pub use service::{
+    fault_for_error, DecodeScratch, HandleOutcome, ServiceHandler, ServiceRegistry, SoapService,
+    EXPIRED_RETRY_AFTER,
+};
+
+// Re-exported so `soap` users reach the resilience vocabulary without a
+// direct `transport` dependency.
+pub use transport::{
+    BreakerConfig, BreakerHandle, BreakerRegistry, BreakerState, Deadline, RetryPolicy, Timeouts,
+};
 
 /// The four canonical engine instantiations (paper §5: "obviously we can
 /// have two more combinations").

@@ -44,13 +44,48 @@ impl TcpSoapServer {
         // The scoped handler keeps each connection's request/response
         // buffers AND its decode document alive across messages, so
         // steady-state service does no per-message payload or decode
-        // allocation.
-        let inner = transport::TcpServer::bind_scoped_with(
+        // allocation. Requests carrying a bx:Deadline are honored:
+        // expired ones fault without dispatch, and the reply write is
+        // capped to what's left of the caller's budget.
+        let inner = transport::TcpServer::bind_scoped_ctl_with(
             addr,
             config,
             DecodeScratch::default,
-            move |scratch, request, out| {
-                service.handle_bytes_scratch(scratch, request, out);
+            move |scratch, request, out, ctl| {
+                let outcome = service.handle_bytes_deadline(scratch, request, out);
+                if let Some(budget) = outcome.reply_budget {
+                    ctl.cap_write(budget);
+                }
+            },
+        )?;
+        Ok(TcpSoapServer { inner })
+    }
+
+    /// [`bind_with`](TcpSoapServer::bind_with) with every accepted
+    /// stream wrapped in a fault-injecting transport drawing from
+    /// `injector` — byte-level torture of the server's own read *and
+    /// write* paths under a live accept loop.
+    pub fn bind_faulty<E>(
+        addr: &str,
+        config: TcpServerConfig,
+        injector: transport::SharedInjector,
+        encoding: E,
+        registry: Arc<ServiceRegistry>,
+    ) -> SoapResult<TcpSoapServer>
+    where
+        E: EncodingPolicy + Send + Sync + 'static,
+    {
+        let service = SoapService::new(encoding, registry);
+        let inner = transport::TcpServer::bind_scoped_faulty_with(
+            addr,
+            config,
+            injector,
+            DecodeScratch::default,
+            move |scratch, request, out, ctl| {
+                let outcome = service.handle_bytes_deadline(scratch, request, out);
+                if let Some(budget) = outcome.reply_budget {
+                    ctl.cap_write(budget);
+                }
             },
         )?;
         Ok(TcpSoapServer { inner })
@@ -115,18 +150,30 @@ impl HttpSoapServer {
         let handler_pool = Arc::clone(&pool);
         let scratch_pool: Arc<transport::Pool<DecodeScratch>> =
             Arc::new(transport::Pool::default());
-        let inner = transport::HttpServer::bind_pooled(addr, config, pool, move |request| {
+        let inner = transport::HttpServer::bind_pooled_ctl(addr, config, pool, move |request, ctl| {
             if request.method != "POST" || request.path != path {
                 return transport::HttpResponse::not_found();
             }
             let mut body = handler_pool.take();
             let mut scratch = scratch_pool.take();
-            let is_fault = service.handle_bytes_scratch(&mut scratch, &request.body, &mut body);
+            let outcome = service.handle_bytes_deadline(&mut scratch, &request.body, &mut body);
             scratch_pool.put(scratch);
-            // SOAP 1.1 over HTTP: faults ride in 500 responses.
-            if is_fault {
-                transport::HttpResponse::server_error(body)
-                    .with_header("Content-Type", content_type)
+            // The caller's remaining deadline bounds the response write.
+            if let Some(budget) = outcome.reply_budget {
+                ctl.cap_write(budget);
+            }
+            // SOAP 1.1 over HTTP: faults ride in 500 responses; an
+            // expired-on-arrival rejection additionally gets the hint as
+            // a real Retry-After header (the in-band fault detail carries
+            // it for raw TCP, where no such header exists).
+            if outcome.is_fault {
+                let response = transport::HttpResponse::server_error(body)
+                    .with_header("Content-Type", content_type);
+                match outcome.retry_after {
+                    Some(hint) => response
+                        .with_header("Retry-After", &hint.as_secs().max(1).to_string()),
+                    None => response,
+                }
             } else {
                 transport::HttpResponse::ok(content_type, body)
             }

@@ -2,13 +2,19 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bxdm::Document;
 
 use crate::encoding::EncodingPolicy;
-use crate::envelope::{must_understand, SoapEnvelope};
+use crate::envelope::{must_understand, DeadlineHeader, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
 use crate::fault::{FaultCode, SoapFault};
+
+/// The retry hint a node attaches when it rejects a request whose
+/// `bx:Deadline` budget was already spent on arrival: the fixed backoff
+/// suggested to a caller whose own clock has clearly run out.
+pub const EXPIRED_RETRY_AFTER: Duration = Duration::from_secs(1);
 
 /// A service operation: request envelope in, response envelope out.
 pub type ServiceHandler =
@@ -115,7 +121,12 @@ pub fn fault_for_error(err: SoapError) -> SoapFault {
         e @ (SoapError::Bxsa(_) | SoapError::Xml(_) | SoapError::Protocol(_)) => {
             SoapFault::new(FaultCode::Client, &e.to_string())
         }
-        e @ SoapError::Transport(_) => SoapFault::new(FaultCode::Server, &e.to_string()),
+        // Transport trouble behind this node — and a tripped breaker on
+        // an upstream it relays to — are the service's problem, not the
+        // sender's: `Server` class, the same message may later succeed.
+        e @ (SoapError::Transport(_) | SoapError::CircuitOpen { .. }) => {
+            SoapFault::new(FaultCode::Server, &e.to_string())
+        }
     }
 }
 
@@ -198,6 +209,84 @@ impl<E: EncodingPolicy> SoapService<E> {
         let envelope = SoapEnvelope::from_document(&scratch.doc)?;
         Ok(self.registry.dispatch(&envelope))
     }
+
+    /// [`handle_bytes_scratch`](SoapService::handle_bytes_scratch) with
+    /// `bx:Deadline` honoring — the entry point the deadline-aware
+    /// servers use:
+    ///
+    /// * a request whose budget is already spent is rejected with a
+    ///   `Server` fault carrying a retry hint, **without dispatching**
+    ///   (the caller is gone; running the handler would be pure waste);
+    /// * otherwise the budget restarts as a local clock, and the time
+    ///   left after the handler ran comes back as
+    ///   [`HandleOutcome::reply_budget`] so the transport can cap the
+    ///   reply write to the caller's remaining patience.
+    pub fn handle_bytes_deadline(
+        &self,
+        scratch: &mut DecodeScratch,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> HandleOutcome {
+        let mut outcome = HandleOutcome::default();
+        let response = match self.try_handle_deadline(scratch, request, &mut outcome) {
+            Ok(envelope) => envelope,
+            Err(e) => fault_envelope(fault_for_error(e)),
+        };
+        outcome.is_fault = response.is_fault();
+        if let Err(e) = self.encoding.encode_into(&response.to_document(), out) {
+            out.clear();
+            out.extend_from_slice(format!("encoding failure: {e}").as_bytes());
+        }
+        outcome
+    }
+
+    fn try_handle_deadline(
+        &self,
+        scratch: &mut DecodeScratch,
+        request: &[u8],
+        outcome: &mut HandleOutcome,
+    ) -> SoapResult<SoapEnvelope> {
+        self.encoding.decode_into(request, &mut scratch.doc)?;
+        let envelope = SoapEnvelope::from_document(&scratch.doc)?;
+        // A malformed deadline header errors out of `?` into a Client
+        // fault — a budget we failed to read must not be silently waived.
+        let Some(header) = DeadlineHeader::from_envelope(&envelope)? else {
+            return Ok(self.registry.dispatch(&envelope));
+        };
+        if header.expired() {
+            outcome.retry_after = Some(EXPIRED_RETRY_AFTER);
+            return Ok(fault_envelope(SoapFault::deadline_expired(
+                EXPIRED_RETRY_AFTER,
+            )));
+        }
+        // Relative-budget scheme: the stamped milliseconds restart as a
+        // local clock; whatever the handler leaves bounds the reply.
+        let local = header.start();
+        let response = self.registry.dispatch(&envelope);
+        outcome.reply_budget = Some(
+            local
+                .budget()
+                .unwrap_or_default()
+                .saturating_sub(local.elapsed()),
+        );
+        Ok(response)
+    }
+}
+
+/// What [`SoapService::handle_bytes_deadline`] decided, beyond the
+/// response bytes themselves.
+#[derive(Debug, Default)]
+pub struct HandleOutcome {
+    /// The response is a fault (HTTP bindings map this to status 500).
+    pub is_fault: bool,
+    /// Time left on the request's deadline after handling — the cap for
+    /// writing the reply. `None` when the request carried no deadline.
+    /// May be zero: the budget ran out *during* handling, and the
+    /// transport clamps the write budget to its minimum.
+    pub reply_budget: Option<Duration>,
+    /// Retry hint for expired-on-arrival rejections, for transports with
+    /// an out-of-band place to put it (HTTP `Retry-After`).
+    pub retry_after: Option<Duration>,
 }
 
 #[cfg(test)]

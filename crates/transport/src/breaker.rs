@@ -1,0 +1,539 @@
+//! Endpoint-scoped circuit breakers (Nygard, *Release It!*).
+//!
+//! Retry ([`crate::retry`]) protects one *call*; a breaker protects the
+//! *endpoint*. When an endpoint fails persistently, every engine holding
+//! a handle to its breaker stops dialing it — failing fast locally
+//! instead of burning connect timeouts — until a jittered cooldown
+//! elapses and a half-open probe is allowed through to test recovery.
+//!
+//! The state machine is the classic three-state one:
+//!
+//! ```text
+//!            failure rate over window ≥ threshold
+//!   Closed ────────────────────────────────────────▶ Open
+//!     ▲                                               │ cooldown elapses
+//!     │  N probe successes                            ▼
+//!     └───────────────────────────────────────── Half-open
+//!                     (any probe failure re-opens, cooldown grows)
+//! ```
+//!
+//! Probe scheduling reuses the retry module's decorrelated-jitter shape
+//! (delay ~ U(base, 3·prev), capped) with a per-endpoint seed, so a fleet
+//! of processes tripping on the same outage does not re-probe in
+//! lockstep.
+//!
+//! The core type is clock-free: every method takes `now` as a [`Duration`]
+//! since an arbitrary epoch, so tests drive it with a virtual clock and
+//! never sleep. [`BreakerRegistry`] / [`BreakerHandle`] wrap the core
+//! with a real [`Instant`] epoch for production use.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Tuning knobs for one [`CircuitBreaker`] (and, via the registry, for
+/// every breaker it creates).
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding window over which the failure rate is measured.
+    pub window: Duration,
+    /// Failure fraction within the window that trips the breaker
+    /// (`0.5` = half the recent calls failed).
+    pub failure_threshold: f64,
+    /// Minimum outcomes inside the window before the rate is meaningful;
+    /// below this the breaker never trips.
+    pub min_samples: u32,
+    /// Base cooldown before the first half-open probe.
+    pub cooldown: Duration,
+    /// Cap on the (growing, jittered) cooldown between probes.
+    pub cooldown_cap: Duration,
+    /// Consecutive probe successes required to close again.
+    pub half_open_successes: u32,
+    /// Seed for probe-delay jitter. The registry derives a distinct
+    /// per-endpoint seed from this.
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: Duration::from_secs(10),
+            failure_threshold: 0.5,
+            min_samples: 5,
+            cooldown: Duration::from_millis(250),
+            cooldown_cap: Duration::from_secs(30),
+            half_open_successes: 2,
+            seed: 0x0b1e_a2e5,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Override the jitter seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> BreakerConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Where the breaker is in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes are tallied.
+    Closed,
+    /// Fail fast; no traffic until the cooldown elapses.
+    Open,
+    /// One probe at a time is admitted to test recovery.
+    HalfOpen,
+}
+
+/// The answer to "may I dial this endpoint right now?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Permit {
+    /// Breaker closed — go ahead.
+    Allowed,
+    /// Breaker half-open — you are *the* probe; your outcome decides.
+    Probe,
+    /// Breaker open — do not dial. `retry_after` is the time until the
+    /// next probe slot.
+    Rejected {
+        /// Remaining cooldown before a probe will be admitted.
+        retry_after: Duration,
+    },
+}
+
+impl Permit {
+    /// True for [`Permit::Allowed`] and [`Permit::Probe`].
+    pub fn admitted(&self) -> bool {
+        !matches!(self, Permit::Rejected { .. })
+    }
+}
+
+/// The clock-free breaker core. All methods take `now` as time since an
+/// arbitrary epoch chosen by the caller (a virtual clock in tests, an
+/// [`Instant`] origin in [`BreakerHandle`]).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Recent outcomes as (when, ok), oldest first; pruned to `window`.
+    outcomes: VecDeque<(Duration, bool)>,
+    /// When the next half-open probe may start (meaningful while Open).
+    probe_at: Duration,
+    /// Previous cooldown, feeding the decorrelated-jitter growth.
+    prev_cooldown: Duration,
+    /// A probe is in flight (meaningful while HalfOpen).
+    probe_outstanding: bool,
+    /// Consecutive probe successes so far (meaningful while HalfOpen).
+    probe_successes: u32,
+    rng: StdRng,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A fresh, closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        let seed = config.seed;
+        let base = config.cooldown;
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            outcomes: VecDeque::new(),
+            probe_at: Duration::ZERO,
+            prev_cooldown: base,
+            probe_outstanding: false,
+            probe_successes: 0,
+            rng: StdRng::seed_from_u64(seed),
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing Open → Half-open if the cooldown has
+    /// elapsed by `now` (state is lazily evaluated, so a quiescent open
+    /// breaker "becomes" half-open only when someone looks).
+    pub fn state(&mut self, now: Duration) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.probe_at {
+            self.state = BreakerState::HalfOpen;
+            self.probe_outstanding = false;
+            self.probe_successes = 0;
+        }
+        self.state
+    }
+
+    /// Ask permission to dial. Never blocks; open breakers answer
+    /// [`Permit::Rejected`] immediately.
+    pub fn preflight(&mut self, now: Duration) -> Permit {
+        match self.state(now) {
+            BreakerState::Closed => Permit::Allowed,
+            BreakerState::Open => Permit::Rejected {
+                retry_after: self.probe_at.saturating_sub(now),
+            },
+            BreakerState::HalfOpen => {
+                if self.probe_outstanding {
+                    // One probe at a time; others wait a base cooldown.
+                    Permit::Rejected {
+                        retry_after: self.config.cooldown,
+                    }
+                } else {
+                    self.probe_outstanding = true;
+                    Permit::Probe
+                }
+            }
+        }
+    }
+
+    /// Record a successful exchange.
+    pub fn record_success(&mut self, now: Duration) {
+        match self.state {
+            BreakerState::Closed => self.push_outcome(now, true),
+            BreakerState::HalfOpen => {
+                self.probe_outstanding = false;
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_successes {
+                    self.state = BreakerState::Closed;
+                    self.outcomes.clear();
+                    self.prev_cooldown = self.config.cooldown;
+                }
+            }
+            // A success from a call that was in flight when we tripped:
+            // stale evidence, ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed exchange (endpoint-level: connect refused, timed
+    /// out, connection died — *not* an application fault).
+    pub fn record_failure(&mut self, now: Duration) {
+        match self.state {
+            BreakerState::Closed => {
+                self.push_outcome(now, false);
+                let (total, failed) = self.window_counts(now);
+                if total >= self.config.min_samples
+                    && failed as f64 >= self.config.failure_threshold * total as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_outstanding = false;
+                self.trip(now);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Time until the next probe slot, if the breaker is open at `now`.
+    pub fn retry_after(&mut self, now: Duration) -> Option<Duration> {
+        match self.state(now) {
+            BreakerState::Open => Some(self.probe_at.saturating_sub(now)),
+            _ => None,
+        }
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    fn trip(&mut self, now: Duration) {
+        // Decorrelated jitter, same shape as RetrySchedule::next_delay:
+        // cooldown ~ U(base, 3·prev), capped. Repeated trips grow the
+        // cooldown; a close resets it.
+        let lo = self.config.cooldown.as_secs_f64();
+        let hi = (self.prev_cooldown.as_secs_f64() * 3.0).max(lo);
+        let raw = if hi > lo { self.rng.random_range(lo..hi) } else { lo };
+        let cooldown = Duration::from_secs_f64(raw).min(self.config.cooldown_cap);
+        self.state = BreakerState::Open;
+        self.probe_at = now + cooldown;
+        self.prev_cooldown = cooldown.max(self.config.cooldown);
+        self.outcomes.clear();
+        self.trips += 1;
+    }
+
+    fn push_outcome(&mut self, now: Duration, ok: bool) {
+        self.outcomes.push_back((now, ok));
+        self.prune(now);
+    }
+
+    fn prune(&mut self, now: Duration) {
+        let horizon = now.saturating_sub(self.config.window);
+        while let Some(&(t, _)) = self.outcomes.front() {
+            if t < horizon {
+                self.outcomes.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn window_counts(&mut self, now: Duration) -> (u32, u32) {
+        self.prune(now);
+        let total = self.outcomes.len() as u32;
+        let failed = self.outcomes.iter().filter(|&&(_, ok)| !ok).count() as u32;
+        (total, failed)
+    }
+}
+
+/// A process-wide registry of breakers keyed by endpoint address, so
+/// every engine dialing `"10.0.0.7:9000"` shares one breaker and one
+/// view of that endpoint's health.
+pub struct BreakerRegistry {
+    config: BreakerConfig,
+    epoch: Instant,
+    breakers: Mutex<HashMap<String, Arc<Mutex<CircuitBreaker>>>>,
+}
+
+impl BreakerRegistry {
+    /// A registry whose breakers all use `config` (with per-endpoint
+    /// jitter seeds derived from `config.seed`).
+    pub fn new(config: BreakerConfig) -> BreakerRegistry {
+        BreakerRegistry {
+            config,
+            epoch: Instant::now(),
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared breaker for `endpoint`, created on first use. Handles
+    /// are cheap clones; give one to every engine that dials the
+    /// endpoint.
+    pub fn handle(&self, endpoint: &str) -> BreakerHandle {
+        let mut map = self.breakers.lock().expect("breaker registry poisoned");
+        let breaker = map
+            .entry(endpoint.to_owned())
+            .or_insert_with(|| {
+                let config = self
+                    .config
+                    .clone()
+                    .with_seed(self.config.seed ^ fnv1a(endpoint.as_bytes()));
+                Arc::new(Mutex::new(CircuitBreaker::new(config)))
+            })
+            .clone();
+        BreakerHandle {
+            endpoint: Arc::from(endpoint),
+            epoch: self.epoch,
+            breaker,
+        }
+    }
+
+    /// Number of endpoints with a live breaker.
+    pub fn len(&self) -> usize {
+        self.breakers.lock().expect("breaker registry poisoned").len()
+    }
+
+    /// True when no endpoint has been dialed through this registry yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for BreakerRegistry {
+    fn default() -> BreakerRegistry {
+        BreakerRegistry::new(BreakerConfig::default())
+    }
+}
+
+/// A clonable, real-clock view of one endpoint's shared breaker.
+#[derive(Clone)]
+pub struct BreakerHandle {
+    endpoint: Arc<str>,
+    epoch: Instant,
+    breaker: Arc<Mutex<CircuitBreaker>>,
+}
+
+impl BreakerHandle {
+    /// A standalone handle not backed by a registry — for single-engine
+    /// use or tests.
+    pub fn standalone(endpoint: &str, config: BreakerConfig) -> BreakerHandle {
+        BreakerHandle {
+            endpoint: Arc::from(endpoint),
+            epoch: Instant::now(),
+            breaker: Arc::new(Mutex::new(CircuitBreaker::new(config))),
+        }
+    }
+
+    /// The endpoint this breaker guards.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Ask permission to dial now.
+    pub fn preflight(&self) -> Permit {
+        let now = self.epoch.elapsed();
+        self.breaker.lock().expect("breaker poisoned").preflight(now)
+    }
+
+    /// Record the outcome of an admitted exchange.
+    pub fn record(&self, ok: bool) {
+        let now = self.epoch.elapsed();
+        let mut b = self.breaker.lock().expect("breaker poisoned");
+        if ok {
+            b.record_success(now);
+        } else {
+            b.record_failure(now);
+        }
+    }
+
+    /// Current state (advancing open → half-open if the cooldown is up).
+    pub fn state(&self) -> BreakerState {
+        let now = self.epoch.elapsed();
+        self.breaker.lock().expect("breaker poisoned").state(now)
+    }
+
+    /// How many times the underlying breaker has tripped.
+    pub fn trips(&self) -> u64 {
+        self.breaker.lock().expect("breaker poisoned").trips()
+    }
+}
+
+impl std::fmt::Debug for BreakerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BreakerHandle")
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a, for deriving per-endpoint jitter seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn test_config() -> BreakerConfig {
+        BreakerConfig {
+            window: ms(1000),
+            failure_threshold: 0.5,
+            min_samples: 4,
+            cooldown: ms(100),
+            cooldown_cap: ms(2000),
+            half_open_successes: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_min_samples() {
+        let mut b = CircuitBreaker::new(test_config());
+        for i in 0..3 {
+            b.record_failure(ms(i * 10));
+        }
+        assert_eq!(b.state(ms(30)), BreakerState::Closed);
+        assert_eq!(b.preflight(ms(31)), Permit::Allowed);
+    }
+
+    #[test]
+    fn trips_at_failure_threshold_and_fast_fails() {
+        let mut b = CircuitBreaker::new(test_config());
+        b.record_success(ms(0));
+        b.record_success(ms(10));
+        b.record_failure(ms(20));
+        assert_eq!(b.state(ms(20)), BreakerState::Closed);
+        // 4th sample makes 2/4 = 50% ≥ threshold.
+        b.record_failure(ms(30));
+        assert_eq!(b.state(ms(30)), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        match b.preflight(ms(31)) {
+            Permit::Rejected { retry_after } => {
+                assert!(retry_after >= ms(90), "cooldown at least near base: {retry_after:?}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_outcomes_age_out_of_the_window() {
+        let mut b = CircuitBreaker::new(test_config());
+        // Two old failures, far outside the 1 s window by the time the
+        // later samples land.
+        b.record_failure(ms(0));
+        b.record_failure(ms(10));
+        b.record_success(ms(2000));
+        b.record_success(ms(2010));
+        b.record_success(ms(2020));
+        // This failure is 1/4 in-window — under the 50% threshold.
+        b.record_failure(ms(2030));
+        assert_eq!(b.state(ms(2030)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_then_recovery() {
+        let mut b = CircuitBreaker::new(test_config());
+        for i in 0..4 {
+            b.record_failure(ms(i * 10));
+        }
+        assert_eq!(b.state(ms(40)), BreakerState::Open);
+        let retry_after = b.retry_after(ms(40)).unwrap();
+        let probe_time = ms(40) + retry_after;
+        // Cooldown elapses → half-open, exactly one probe admitted.
+        assert_eq!(b.preflight(probe_time), Permit::Probe);
+        assert!(matches!(b.preflight(probe_time), Permit::Rejected { .. }));
+        // Two probe successes close it.
+        b.record_success(probe_time + ms(1));
+        assert_eq!(b.preflight(probe_time + ms(2)), Permit::Probe);
+        b.record_success(probe_time + ms(3));
+        assert_eq!(b.state(probe_time + ms(3)), BreakerState::Closed);
+        assert_eq!(b.preflight(probe_time + ms(4)), Permit::Allowed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_growing_cooldown() {
+        let mut b = CircuitBreaker::new(test_config());
+        for i in 0..4 {
+            b.record_failure(ms(i * 10));
+        }
+        let first_cooldown = b.retry_after(ms(40)).unwrap();
+        let probe_time = ms(40) + first_cooldown;
+        assert_eq!(b.preflight(probe_time), Permit::Probe);
+        b.record_failure(probe_time + ms(1));
+        assert_eq!(b.state(probe_time + ms(1)), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Jittered growth: the new cooldown stays within [base, 3·prev],
+        // capped.
+        let second_cooldown = b.retry_after(probe_time + ms(1)).unwrap();
+        assert!(second_cooldown >= ms(100));
+        assert!(second_cooldown <= ms(2000));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = CircuitBreaker::new(test_config());
+        let mut b = CircuitBreaker::new(test_config());
+        for i in 0..4 {
+            a.record_failure(ms(i * 10));
+            b.record_failure(ms(i * 10));
+        }
+        assert_eq!(a.retry_after(ms(40)), b.retry_after(ms(40)));
+    }
+
+    #[test]
+    fn registry_shares_one_breaker_per_endpoint() {
+        let registry = BreakerRegistry::new(test_config());
+        let h1 = registry.handle("10.0.0.7:9000");
+        let h2 = registry.handle("10.0.0.7:9000");
+        let other = registry.handle("10.0.0.8:9000");
+        assert_eq!(registry.len(), 2);
+        // Failures recorded through one handle are visible to the other.
+        for _ in 0..4 {
+            h1.record(false);
+        }
+        assert_eq!(h2.state(), BreakerState::Open);
+        assert!(matches!(h2.preflight(), Permit::Rejected { .. }));
+        // ...but not to a different endpoint.
+        assert_eq!(other.state(), BreakerState::Closed);
+    }
+}

@@ -11,6 +11,7 @@ use crate::error::TransportResult;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
 use crate::pool::BufferPool;
+use crate::tcpserver::ReplyControl;
 
 /// Per-connection limits for an [`HttpServer`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,6 +69,21 @@ impl HttpServer {
     ) -> TransportResult<HttpServer>
     where
         H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        HttpServer::bind_pooled_ctl(addr, config, pool, move |request, _ctl| handler(request))
+    }
+
+    /// [`bind_pooled`](HttpServer::bind_pooled) plus a [`ReplyControl`]
+    /// the handler may use to cap the response's write budget to the
+    /// caller's remaining deadline instead of the static config.
+    pub fn bind_pooled_ctl<H>(
+        addr: &str,
+        config: HttpServerConfig,
+        pool: Arc<BufferPool>,
+        handler: H,
+    ) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -173,16 +189,17 @@ fn serve_connection<H>(
     pool: &BufferPool,
 ) -> TransportResult<()>
 where
-    H: Fn(&HttpRequest) -> HttpResponse,
+    H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse,
 {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(config.read_timeout)?;
     stream.set_write_timeout(config.write_timeout)?;
     let started = std::time::Instant::now();
+    let mut ctl = ReplyControl::default();
     let mut reader = BufReader::new(stream.try_clone()?);
     let response = match HttpRequest::read_from_with_body(&mut reader, pool.take()) {
         Ok(mut request) => {
-            let response = handler(&request);
+            let response = handler(&request, &mut ctl);
             pool.put(std::mem::take(&mut request.body));
             response
         }
@@ -197,6 +214,15 @@ where
         }
         Err(e) => HttpResponse::bad_request(&e.to_string()),
     };
+    if let Some(budget) = ctl.write_budget() {
+        // Tighten only (the static budget still bounds the reply);
+        // clamp to ≥ 1 ms because std rejects a zero socket timeout.
+        let cap = config
+            .write_timeout
+            .map_or(budget, |w| w.min(budget))
+            .max(Duration::from_millis(1));
+        stream.set_write_timeout(Some(cap))?;
+    }
     let result = response.write_to(&mut stream);
     // The response body rejoins the cycle whoever allocated it — the
     // next connection's request read (or a pool-aware handler) picks

@@ -15,9 +15,12 @@
 //!
 //! The resilience layer threads through all of it: [`deadline`] turns an
 //! absolute time budget into per-phase socket timeouts, [`retry`] decides
-//! when a failed exchange may be replayed, and [`faulty`] wraps any
-//! stream in a deterministic fault injector for torture testing.
+//! when a failed exchange may be replayed, [`breaker`] shares endpoint
+//! health across engines so persistent outages fail fast, and [`faulty`]
+//! wraps any stream in a deterministic fault injector for torture
+//! testing.
 
+pub mod breaker;
 pub mod deadline;
 pub mod error;
 pub mod faulty;
@@ -29,6 +32,9 @@ pub mod pool;
 pub mod retry;
 pub mod tcpserver;
 
+pub use breaker::{
+    BreakerConfig, BreakerHandle, BreakerRegistry, BreakerState, CircuitBreaker, Permit,
+};
 pub use deadline::{Deadline, Timeouts};
 pub use error::{TransportError, TransportResult, HTTP_STATUS_BODY_PREFIX};
 pub use faulty::{
@@ -42,4 +48,4 @@ pub use http::response::HttpResponse;
 pub use http::server::{HttpServer, HttpServerConfig};
 pub use pool::{BufferPool, Pool};
 pub use retry::{RetryPolicy, RetrySchedule};
-pub use tcpserver::{TcpServer, TcpServerConfig};
+pub use tcpserver::{ReplyControl, TcpServer, TcpServerConfig};

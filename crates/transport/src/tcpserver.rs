@@ -11,6 +11,7 @@
 //! connection is dropped, the error is counted, and the listener stays
 //! alive for everyone else.
 
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,6 +19,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::TransportResult;
+use crate::faulty::{FaultingTransport, SharedInjector};
 use crate::framed::FramedStream;
 
 /// Per-connection service limits for a [`TcpServer`].
@@ -30,6 +32,32 @@ pub struct TcpServerConfig {
     /// Budget for each blocking write (a client that stops draining its
     /// receive window).
     pub write_timeout: Option<Duration>,
+}
+
+/// Per-reply knobs a handler may set — most importantly, capping the
+/// reply's write budget to the *caller's* remaining deadline instead of
+/// the server's static [`TcpServerConfig`]. Reset before each message.
+#[derive(Debug, Default)]
+pub struct ReplyControl {
+    write_budget: Option<Duration>,
+}
+
+impl ReplyControl {
+    /// Cap the budget for writing this reply (combined with the static
+    /// config by taking the minimum). A handler that knows the caller
+    /// only has 80 ms left should not spend 5 s pushing bytes at it.
+    pub fn cap_write(&mut self, budget: Duration) {
+        self.write_budget = Some(self.write_budget.map_or(budget, |b| b.min(budget)));
+    }
+
+    /// The cap set for this reply, if any.
+    pub fn write_budget(&self) -> Option<Duration> {
+        self.write_budget
+    }
+
+    fn reset(&mut self) {
+        self.write_budget = None;
+    }
 }
 
 /// A running framed-TCP server.
@@ -100,6 +128,61 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>) + Send + Sync + 'static,
     {
+        TcpServer::bind_scoped_ctl_with(addr, config, init, move |state, request, out, _ctl| {
+            handler(state, request, out)
+        })
+    }
+
+    /// [`bind_scoped_with`](TcpServer::bind_scoped_with) plus a
+    /// [`ReplyControl`] the handler may use to cap this reply's write
+    /// budget — the hook deadline-aware services use to bound the reply
+    /// write by the caller's remaining time instead of the static config.
+    pub fn bind_scoped_ctl_with<S, I, H>(
+        addr: &str,
+        config: TcpServerConfig,
+        init: I,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+    {
+        TcpServer::bind_inner(addr, config, None, init, handler)
+    }
+
+    /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) with
+    /// every *accepted* stream wrapped in a [`FaultingTransport`] drawing
+    /// from `injector` — byte-level fault injection on the server's own
+    /// read *and write* paths, so torture tests exercise partial-write
+    /// handling under a live accept loop, not just unit-level decode.
+    pub fn bind_scoped_faulty_with<S, I, H>(
+        addr: &str,
+        config: TcpServerConfig,
+        injector: SharedInjector,
+        init: I,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+    {
+        TcpServer::bind_inner(addr, config, Some(injector), init, handler)
+    }
+
+    fn bind_inner<S, I, H>(
+        addr: &str,
+        config: TcpServerConfig,
+        injector: Option<SharedInjector>,
+        init: I,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -128,6 +211,7 @@ impl TcpServer {
                     let init = Arc::clone(&init);
                     let errors = Arc::clone(&errors_accept);
                     let stopping = Arc::clone(&stop_accept);
+                    let injector = injector.clone();
                     let worker = std::thread::Builder::new()
                         .name("tcp-conn".into())
                         .spawn(move || {
@@ -138,7 +222,8 @@ impl TcpServer {
                             // Connection-scoped state, born and dying
                             // with this thread.
                             let mut state = init();
-                            if let Err(e) = serve_connection(stream, config, &mut state, &*handler)
+                            if let Err(e) =
+                                serve_connection(stream, config, injector, &mut state, &*handler)
                             {
                                 // A connection-level failure is logged and
                                 // counted; it never takes the listener down.
@@ -203,19 +288,53 @@ impl Drop for TcpServer {
 fn serve_connection<S, H>(
     stream: TcpStream,
     config: TcpServerConfig,
+    injector: Option<SharedInjector>,
     state: &mut S,
     handler: &H,
 ) -> TransportResult<()>
 where
-    H: Fn(&mut S, &[u8], &mut Vec<u8>),
+    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
 {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(config.read_timeout)?;
     stream.set_write_timeout(config.write_timeout)?;
-    let mut framed = FramedStream::new(stream);
-    framed.assume_budgets(config.read_timeout, config.write_timeout);
+    // A cloned handle onto the same socket, kept outside any decorator,
+    // so per-reply write budgets can be applied even when the data path
+    // is wrapped in a FaultingTransport.
+    let timeout_ctl = stream.try_clone()?;
+    match injector {
+        Some(inj) => {
+            let mut framed = FramedStream::new(FaultingTransport::new(stream, inj));
+            framed.assume_budgets(config.read_timeout, config.write_timeout);
+            serve_messages(&mut framed, &timeout_ctl, config, state, handler)
+        }
+        None => {
+            let mut framed = FramedStream::new(stream);
+            framed.assume_budgets(config.read_timeout, config.write_timeout);
+            serve_messages(&mut framed, &timeout_ctl, config, state, handler)
+        }
+    }
+}
+
+fn serve_messages<T, S, H>(
+    framed: &mut FramedStream<T>,
+    timeout_ctl: &TcpStream,
+    config: TcpServerConfig,
+    state: &mut S,
+    handler: &H,
+) -> TransportResult<()>
+where
+    T: Read + Write,
+    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
+{
     let mut request = Vec::new();
     let mut response = Vec::new();
+    let mut ctl = ReplyControl::default();
+    // Tracks whether a per-reply write cap is currently applied to the
+    // socket, so the static budget is restored (one syscall) only when a
+    // capped reply was actually sent — handlers that never cap cost no
+    // extra syscalls.
+    let mut capped = false;
     // Serve messages until the client hangs up cleanly, reusing the two
     // buffers (and the handler's state) across messages. Any transport
     // error (half-written frame, oversize prefix, stall past the read
@@ -223,7 +342,29 @@ where
     // typed error path.
     while framed.recv_optional_into(&mut request)? {
         response.clear();
-        handler(state, &request, &mut response);
+        ctl.reset();
+        handler(state, &request, &mut response, &mut ctl);
+        match ctl.write_budget() {
+            Some(budget) => {
+                // Tighten only: the static write budget still bounds the
+                // reply. std rejects a zero socket timeout, so clamp the
+                // cap to ≥ 1 ms (an already-expired caller was faulted by
+                // the handler; this write is the fault going out).
+                let cap = config
+                    .write_timeout
+                    .map_or(budget, |w| w.min(budget))
+                    .max(Duration::from_millis(1));
+                timeout_ctl.set_write_timeout(Some(cap))?;
+                framed.assume_budgets(config.read_timeout, Some(cap));
+                capped = true;
+            }
+            None if capped => {
+                timeout_ctl.set_write_timeout(config.write_timeout)?;
+                framed.assume_budgets(config.read_timeout, config.write_timeout);
+                capped = false;
+            }
+            None => {}
+        }
         framed.send(&response)?;
     }
     Ok(())

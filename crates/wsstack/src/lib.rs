@@ -10,7 +10,7 @@
 //!   encoding;
 //! * [`eventing`] — a WS-Eventing-style subscribe/notify service built
 //!   purely on the generic engine;
-//! * [`xpath`] — a compact XPath-like query engine evaluated directly on
+//! * [`mod@xpath`] — a compact XPath-like query engine evaluated directly on
 //!   bXDM trees ("any XDM-based XML processing should be able to run with
 //!   binary XML", §5.1);
 //! * [`databinding`] — mapping Rust structs to and from bXDM elements,

@@ -39,4 +39,15 @@ if grep -q "panicked at" "$resilience_log"; then
     exit 1
 fi
 
+# Failure-model job: end-to-end deadline propagation (3-hop budget,
+# expired-on-arrival rejection, hop decrement) and circuit-breaker
+# open/fast-fail/recover against real sockets, plus the seeded-clock
+# breaker state-machine tests in the transport crate.
+cargo test -q --test deadlines
+cargo test -q -p transport breaker::
+
 cargo clippy --workspace --all-targets -- -D warnings
+
+# The API is the product: rustdoc must build clean (broken intra-doc
+# links and malformed HTML fail the gate).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

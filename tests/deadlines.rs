@@ -1,0 +1,320 @@
+//! End-to-end deadline propagation and circuit-breaker acceptance tests.
+//!
+//! The scenarios here are the ISSUE's acceptance criteria: a client
+//! budget observed across a 3-hop chain under stalls, expired-on-arrival
+//! rejection with zero handler executions on both transports, hop
+//! decrement through a live intermediary, and a breaker opening /
+//! fast-failing / recovering against real sockets.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bxdm::{AtomicValue, Element};
+use soap::{
+    BreakerConfig, BreakerHandle, BreakerState, BxsaEncoding, CallOptions, DeadlineHeader,
+    EncodingPolicy, HttpBinding, HttpSoapServer, Intermediary, ServiceRegistry, SoapEngine,
+    SoapEnvelope, SoapError, TcpBinding, TcpSoapServer, XmlEncoding, EXPIRED_RETRY_AFTER,
+};
+use transport::{TcpServerConfig, Timeouts};
+
+/// A service whose single operation parks the worker for `nap`, counting
+/// executions — ground truth for both "did the handler run at all" and
+/// "did the client wait for it".
+fn slow_registry(nap: Duration, hits: Arc<AtomicU32>) -> Arc<ServiceRegistry> {
+    Arc::new(ServiceRegistry::new().with_operation("Slow", move |_req| {
+        hits.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(nap);
+        Ok(SoapEnvelope::with_body(Element::component("SlowResponse")))
+    }))
+}
+
+/// A service that reports the `bx:Deadline` header it observed.
+fn echo_deadline_registry() -> Arc<ServiceRegistry> {
+    Arc::new(
+        ServiceRegistry::new().with_operation("EchoDeadline", |req| {
+            let header = DeadlineHeader::from_envelope(req)?;
+            let mut reply = Element::component("EchoDeadlineResponse");
+            if let Some(h) = header {
+                reply.push_child(Element::leaf(
+                    "budgetMillis",
+                    AtomicValue::I64(h.budget_millis as i64),
+                ));
+                reply.push_child(Element::leaf("hops", AtomicValue::I64(i64::from(h.hops))));
+            }
+            Ok(SoapEnvelope::with_body(reply))
+        }),
+    )
+}
+
+fn slow_request() -> SoapEnvelope {
+    SoapEnvelope::with_body(Element::component("Slow"))
+}
+
+#[test]
+fn three_hop_chain_observes_the_client_budget_end_to_end() {
+    // Terminal server: XML over TCP, handler parks for 2 s, static
+    // timeouts a generous 10 s — without deadline propagation the client
+    // would sit out the full nap.
+    let hits = Arc::new(AtomicU32::new(0));
+    let server = TcpSoapServer::bind_with(
+        "127.0.0.1:0",
+        TcpServerConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+        },
+        XmlEncoding::default(),
+        slow_registry(Duration::from_secs(2), Arc::clone(&hits)),
+    )
+    .unwrap();
+
+    // Middle hop: listens in BXSA, forwards in XML, again with generous
+    // static budgets on its up-link.
+    let relay = Intermediary::bind_tcp(
+        "127.0.0.1:0",
+        BxsaEncoding::default(),
+        XmlEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string())
+            .with_timeouts(Timeouts::all(Duration::from_secs(10))),
+    )
+    .unwrap();
+
+    // Client: 350 ms end-to-end budget through the relay.
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&relay.local_addr().to_string())
+            .with_timeouts(Timeouts::all(Duration::from_secs(10))),
+    );
+    let started = Instant::now();
+    let err = engine
+        .call_with(
+            slow_request(),
+            &CallOptions::new().within(Duration::from_millis(350)),
+        )
+        .unwrap_err();
+    let waited = started.elapsed();
+    // Two valid outcomes race: the client's own clamped socket budget
+    // fires, or the relay's clamped up-link fires first and a Server
+    // fault beats the client's timeout home. Both prove propagation;
+    // anything else (success, a Client fault) would not.
+    match &err {
+        SoapError::Transport(_) => {}
+        SoapError::Fault(f) => {
+            assert_eq!(f.code, soap::FaultCode::Server, "{f:?}");
+            assert!(f.string.contains("timed out"), "{f:?}");
+        }
+        other => panic!("expected a timeout either hop, got {other:?}"),
+    }
+    // The client must give up on *its* clock: far sooner than the 2 s
+    // nap or any 10 s static allowance. The margin below the nap proves
+    // the deadline, not a static timeout, cut the wait.
+    assert!(
+        waited < Duration::from_millis(1500),
+        "client waited {waited:?} against a 350 ms budget"
+    );
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "request did reach the service");
+
+    relay.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn expired_on_arrival_is_rejected_without_dispatch_on_both_transports() {
+    let hits = Arc::new(AtomicU32::new(0));
+    let registry = slow_registry(Duration::ZERO, Arc::clone(&hits));
+    let tcp =
+        TcpSoapServer::bind("127.0.0.1:0", BxsaEncoding::default(), Arc::clone(&registry))
+            .unwrap();
+    let http = HttpSoapServer::bind(
+        "127.0.0.1:0",
+        "/soap",
+        XmlEncoding::default(),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+
+    // A request whose budget was already spent when it left the client:
+    // stamped by hand so no re-stamping path can refresh it.
+    let mut dead = slow_request();
+    DeadlineHeader::new(0, 4).stamp(&mut dead);
+
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&tcp.local_addr().to_string()),
+    );
+    match engine.call(dead.clone()) {
+        Err(SoapError::Fault(f)) => {
+            assert_eq!(f.code, soap::FaultCode::Server);
+            assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
+        }
+        other => panic!("expected deadline-expired fault, got {other:?}"),
+    }
+
+    let mut engine = SoapEngine::new(
+        XmlEncoding::default(),
+        HttpBinding::new(&http.local_addr().to_string(), "/soap"),
+    );
+    match engine.call(dead.clone()) {
+        Err(SoapError::Fault(f)) => {
+            assert_eq!(f.code, soap::FaultCode::Server);
+            assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
+        }
+        other => panic!("expected deadline-expired fault, got {other:?}"),
+    }
+
+    // On HTTP the hint is *also* a real Retry-After header on the 500.
+    let body = XmlEncoding::default()
+        .encode(&dead.to_document())
+        .unwrap();
+    let resp = transport::http_post(
+        &http.local_addr().to_string(),
+        "/soap",
+        "text/xml; charset=utf-8",
+        body,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 500);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        0,
+        "expired requests must never reach the handler"
+    );
+    tcp.shutdown();
+    http.shutdown();
+}
+
+#[test]
+fn intermediary_decrements_hops_and_forwards_remaining_budget() {
+    let server = TcpSoapServer::bind(
+        "127.0.0.1:0",
+        XmlEncoding::default(),
+        echo_deadline_registry(),
+    )
+    .unwrap();
+    let relay = Intermediary::bind_tcp(
+        "127.0.0.1:0",
+        BxsaEncoding::default(),
+        XmlEncoding::default(),
+        TcpBinding::new(&server.local_addr().to_string()),
+    )
+    .unwrap();
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&relay.local_addr().to_string()),
+    );
+
+    // Hand-stamped header with a known hop count crosses one relay hop.
+    let mut request = SoapEnvelope::with_body(Element::component("EchoDeadline"));
+    DeadlineHeader::new(5_000, 3).stamp(&mut request);
+    let resp = engine.call(request).unwrap();
+    let body = resp.body_element().unwrap();
+    let Some(AtomicValue::I64(hops)) = body.child_value("hops") else {
+        panic!("server saw no deadline header");
+    };
+    assert_eq!(*hops, 2, "one hop must be consumed at the relay");
+    let Some(AtomicValue::I64(budget)) = body.child_value("budgetMillis") else {
+        panic!("budget missing");
+    };
+    assert!(
+        (0..=5_000).contains(budget),
+        "forwarded budget {budget} must not exceed the original"
+    );
+
+    // A header that arrives with no hops left cannot be forwarded: the
+    // relay answers a Client fault itself (a routing loop is the
+    // sender's problem, not the upstream's).
+    let mut exhausted = SoapEnvelope::with_body(Element::component("EchoDeadline"));
+    DeadlineHeader::new(5_000, 0).stamp(&mut exhausted);
+    match engine.call(exhausted) {
+        Err(SoapError::Fault(f)) => {
+            assert_eq!(f.code, soap::FaultCode::Client);
+            assert!(f.string.contains("hop"), "{}", f.string);
+        }
+        other => panic!("expected hop-exhaustion fault, got {other:?}"),
+    }
+
+    // An expired header is refused at the relay with the standard
+    // deadline fault (and its retry hint), never reaching the upstream.
+    let mut expired = SoapEnvelope::with_body(Element::component("EchoDeadline"));
+    DeadlineHeader::new(0, 3).stamp(&mut expired);
+    match engine.call(expired) {
+        Err(SoapError::Fault(f)) => {
+            assert_eq!(f.code, soap::FaultCode::Server);
+            assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
+        }
+        other => panic!("expected deadline-expired fault, got {other:?}"),
+    }
+
+    relay.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn breaker_opens_fast_fails_and_recovers_against_real_sockets() {
+    // Claim a port, then free it: connects will be refused until the
+    // server comes back on the same address.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = placeholder.local_addr().unwrap().to_string();
+    drop(placeholder);
+
+    let breaker = BreakerHandle::standalone(
+        &addr,
+        BreakerConfig {
+            window: Duration::from_secs(10),
+            failure_threshold: 0.5,
+            min_samples: 3,
+            cooldown: Duration::from_millis(50),
+            cooldown_cap: Duration::from_millis(150),
+            half_open_successes: 1,
+            seed: 9,
+        },
+    );
+    let mut engine = SoapEngine::new(
+        BxsaEncoding::default(),
+        TcpBinding::new(&addr).with_timeouts(Timeouts::all(Duration::from_secs(2))),
+    )
+    .with_breaker(breaker.clone());
+
+    // Three refused connects trip the breaker...
+    for _ in 0..3 {
+        let err = engine.call(slow_request()).unwrap_err();
+        assert!(matches!(err, SoapError::Transport(_)), "{err:?}");
+        assert_eq!(engine.last_call_attempts(), 1);
+    }
+    assert_eq!(breaker.state(), BreakerState::Open);
+
+    // ...and while open the engine fails fast: typed error, zero
+    // exchange attempts, no socket work at all.
+    match engine.call(slow_request()) {
+        Err(SoapError::CircuitOpen {
+            endpoint,
+            retry_after,
+        }) => {
+            assert_eq!(endpoint, addr);
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    assert_eq!(engine.last_call_attempts(), 0);
+
+    // The endpoint comes back on the same address; once the cooldown
+    // passes, a half-open probe is admitted and recovery closes the
+    // circuit.
+    let hits = Arc::new(AtomicU32::new(0));
+    let server = TcpSoapServer::bind(
+        &addr,
+        BxsaEncoding::default(),
+        slow_registry(Duration::ZERO, hits),
+    )
+    .expect("freed port must be rebindable");
+    std::thread::sleep(Duration::from_millis(200)); // > cooldown_cap
+    let resp = engine.call(slow_request()).expect("probe must go through");
+    assert_eq!(resp.operation(), Some("SlowResponse"));
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    assert!(engine.call(slow_request()).is_ok(), "closed circuit serves normally");
+    assert_eq!(breaker.trips(), 1);
+
+    server.shutdown();
+}

@@ -353,6 +353,71 @@ fn retry_honors_503_with_retry_after_from_live_http_server() {
 }
 
 #[test]
+fn live_server_survives_fault_injection_on_its_own_sockets() {
+    // The server-side mirror of FaultingBinding: every accepted stream
+    // is wrapped in a FaultingTransport, so the server's *own* read and
+    // write paths — partial writes included — take injected resets,
+    // stalls, truncations, and corruption under a live accept loop.
+    let mut registry = soap::ServiceRegistry::new();
+    register_verify(&mut registry);
+    let injector = FaultInjector::new(FaultProfile {
+        drop: 0.08,
+        stall: 0.05,
+        truncate: 0.12,
+        corrupt: 0.12,
+        ..FaultProfile::clean(seed())
+    })
+    .shared();
+    let server = TcpSoapServer::bind_faulty(
+        "127.0.0.1:0",
+        TcpServerConfig {
+            read_timeout: Some(Duration::from_millis(500)),
+            write_timeout: Some(Duration::from_millis(500)),
+        },
+        Arc::clone(&injector),
+        BxsaEncoding::default(),
+        Arc::new(registry),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let (index, values) = lead_dataset(50, seed());
+    let request = verify_request_envelope(&index, &values);
+    let mut successes = 0u32;
+    let mut failures = 0u32;
+    for _ in 0..60 {
+        // Fresh connection per call: a fault killed the previous one.
+        // The client must carry its own read budget — a server-side
+        // truncated write otherwise leaves it parked mid-frame forever.
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            TcpBinding::new(&addr)
+                .with_timeouts(transport::Timeouts::all(Duration::from_millis(500))),
+        );
+        match engine.call(request.clone()) {
+            Ok(resp) => {
+                assert_eq!(
+                    resp.body_element().unwrap().child_value("ok"),
+                    Some(&bxdm::AtomicValue::Bool(true))
+                );
+                successes += 1;
+            }
+            // Any structured error is acceptable; panics are not, and a
+            // hung test (listener death) would time the suite out.
+            Err(_) => failures += 1,
+        }
+    }
+    assert!(successes > 0, "some exchanges must survive the injector");
+    assert!(failures > 0, "this profile must break some exchanges");
+    assert!(injector.lock().faults_injected() > 0);
+    assert!(
+        server.connection_errors() > 0,
+        "server-side faults must be counted, not fatal"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn mid_exchange_drops_are_not_retried() {
     // Connects succeed; the first I/O event on every exchange is a drop.
     // A reset after the request may have left the client is ambiguous —
