@@ -148,4 +148,36 @@ mod tests {
         assert_eq!(n, 0, "xmltext::parse_into allocated {n}x in steady state");
         assert_eq!(reused, doc, "reuse must not change the parsed value");
     }
+
+    /// The observability layer's discipline: once a metric is registered,
+    /// updating it — counters on every message, gauges on every breaker
+    /// transition, histogram observations on every call — is pure atomic
+    /// arithmetic. Zero heap traffic, so instrumentation can sit directly
+    /// on the paths the two gates above protect.
+    #[test]
+    fn metrics_instrumentation_is_allocation_free() {
+        use std::time::Duration;
+
+        static COUNTER: obs::Counter = obs::Counter::new();
+        static GAUGE: obs::Gauge = obs::Gauge::new();
+        static HISTOGRAM: obs::Histogram = obs::Histogram::new();
+        // Registration may allocate (names, label strings) — that is
+        // paid once, before the steady state being measured.
+        let registry = obs::global();
+        registry.register_counter("bench_events_total", "", &[], &COUNTER);
+        registry.register_gauge("bench_level", "", &[], &GAUGE);
+        registry.register_histogram("bench_latency_nanoseconds", "", &[], &HISTOGRAM);
+
+        let ((), n) = measure(|| {
+            for i in 0..1000u64 {
+                COUNTER.inc();
+                COUNTER.add(2);
+                GAUGE.set(i as f64);
+                GAUGE.add(0.5);
+                HISTOGRAM.observe(i * 17);
+                HISTOGRAM.observe_duration(Duration::from_micros(i));
+            }
+        });
+        assert_eq!(n, 0, "metric updates allocated {n}x in steady state");
+    }
 }

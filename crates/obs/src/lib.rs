@@ -1,0 +1,47 @@
+//! # obs — lock-free metrics and Prometheus-style exposition
+//!
+//! The paper's whole argument is quantitative: Figs. 4–6 and Table 1
+//! exist because every layer of the stack was measurable. This crate
+//! gives the reproduction the same property at runtime. Three primitives
+//! — [`Counter`], [`Gauge`], and a log-bucketed [`Histogram`] — are
+//! plain atomics, safe to hammer from any thread, and cheap enough to
+//! sit on the per-message hot path (one relaxed atomic RMW per event,
+//! zero heap traffic; the `bench` crate's alloc-counter gate checks
+//! this).
+//!
+//! A [`MetricsRegistry`] names the primitives for exposition. It is
+//! *static-friendly*: every constructor is `const`, so metrics live in
+//! `static` items and instrumented code pays no registry lookup — the
+//! registry only holds references for the scrape path. Dynamic,
+//! per-label-set metrics (e.g. one breaker gauge per endpoint) are
+//! created through the registry's get-or-create accessors and shared
+//! via [`Arc`](std::sync::Arc).
+//!
+//! Exposition is Prometheus text format ([`MetricsRegistry::render`])
+//! for the HTTP `/metrics` handler, plus a typed
+//! [`MetricsRegistry::snapshot`] and a [`MetricsRegistry::dump`] string
+//! for TCP-only deployments and the bench binaries, which have no
+//! scrape port.
+//!
+//! One process-wide default registry is available via [`global()`]; the
+//! transport and soap crates register their instrumentation there.
+
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricsRegistry, Sample, SampleValue};
+
+/// The process-wide default registry. The stack's built-in
+/// instrumentation (engine, breaker, servers, pools) registers here, so
+/// one scrape of `global().render()` sees every layer.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+    &GLOBAL
+}
+
+/// Shorthand for `global().dump()` — the snapshot string for deployments
+/// without a scrape port.
+pub fn dump() -> String {
+    global().dump()
+}

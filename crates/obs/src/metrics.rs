@@ -1,0 +1,299 @@
+//! The three metric primitives: all plain atomics, all `const`
+//! constructible, all safe to share by reference from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+///
+/// `inc`/`add` are single relaxed fetch-adds — no locks, no allocation —
+/// so counters can sit directly on per-message hot paths.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in `static` items).
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+/// A value that can go up and down (breaker state, queue depth, rates).
+///
+/// Stored as `f64` bits in an atomic word; `set` is a store, `add` a CAS
+/// loop. Still lock-free and allocation-free.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0` (usable in `static` items).
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` counts values whose bit length is `i` — value `0` lands in
+/// bucket 0, values in `[2^(i-1), 2^i)` in bucket `i`, and everything
+/// with 63 or more significant bits in the final bucket. One relaxed
+/// fetch-add per observation (plus one for the running sum): the bucket
+/// index is a `leading_zeros`, so observing costs no division, no float
+/// math, no allocation.
+///
+/// Durations are recorded in nanoseconds via
+/// [`observe_duration`](Histogram::observe_duration); metric names carry
+/// a `_nanoseconds` suffix to say so.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `static` items).
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let index = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in nanoseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The inclusive upper bound of bucket `index` (`u64::MAX` stands in
+    /// for `+Inf` on the final bucket).
+    pub fn upper_bound(index: usize) -> u64 {
+        if index >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// A point-in-time copy. Buckets are read in order with relaxed
+    /// loads, so under concurrent writers the snapshot is a *consistent
+    /// lower bound*: every cumulative count is ≤ the true count at the
+    /// moment the snapshot finished, and cumulative counts are monotone
+    /// across buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                cumulative += n;
+                buckets.push((Histogram::upper_bound(i), cumulative));
+            }
+        }
+        HistogramSnapshot {
+            count: cumulative,
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], in cumulative
+/// (Prometheus-`le`) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `(upper_bound, cumulative_count)` for each non-empty bucket, in
+    /// ascending bound order (`u64::MAX` = `+Inf`).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_exactly_across_threads() {
+        static HAMMERED: Counter = Counter::new();
+        let threads = 8;
+        let per_thread = 100_000u64;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for _ in 0..per_thread {
+                        HAMMERED.inc();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(HAMMERED.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn counter_add_and_get() {
+        let c = Counter::new();
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_across_threads() {
+        let g = Gauge::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..10_000 {
+                        g.add(1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(g.get(), 40_000.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new();
+        // 0 → bucket 0 (le 0); 1 → bucket 1 (le 1); 2,3 → bucket 2
+        // (le 3); 1024 → bucket 11 (le 2047).
+        for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 0u64.wrapping_add(1 + 2 + 3 + 1024).wrapping_add(u64::MAX));
+        let bounds: Vec<u64> = snap.buckets.iter().map(|&(le, _)| le).collect();
+        assert_eq!(bounds, vec![0, 1, 3, 2047, u64::MAX]);
+        // Cumulative counts are monotone and end at the total.
+        let counts: Vec<u64> = snap.buckets.iter().map(|&(_, n)| n).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 6);
+    }
+
+    #[test]
+    fn histogram_exact_totals_across_threads() {
+        static HAMMERED: Histogram = Histogram::new();
+        let threads = 8u64;
+        let per_thread = 50_000u64;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for i in 0..per_thread {
+                        HAMMERED.observe(i % 1000);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(HAMMERED.count(), threads * per_thread);
+        let per_thread_sum: u64 = (0..per_thread).map(|i| i % 1000).sum();
+        assert_eq!(HAMMERED.sum(), threads * per_thread_sum);
+    }
+
+    #[test]
+    fn duration_observation_lands_in_a_plausible_bucket() {
+        let h = Histogram::new();
+        h.observe_duration(Duration::from_micros(10)); // 10_000 ns → bucket 14
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets[0].0, (1 << 14) - 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! Naming, registration, and exposition.
+//!
+//! The registry is the *read* side of the metrics system: instrumented
+//! code updates its atomics directly (no lookup, no lock), and the
+//! registry holds `{name, labels} → metric` references so a scrape can
+//! walk everything. Two registration styles cover the two lifetimes:
+//!
+//! * `register_*` takes a `&'static` metric — the zero-overhead form
+//!   for instrumentation that lives in `static` items;
+//! * `counter`/`gauge`/`histogram` get-or-create an [`Arc`]-owned
+//!   metric keyed by `(name, labels)` — for per-endpoint families whose
+//!   label sets are only known at runtime. Repeated calls with the same
+//!   key return the same metric.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A reference to a registered metric: borrowed from a `static`, or
+/// shared via `Arc` for dynamically created label sets.
+enum MetricRef<T: 'static> {
+    Static(&'static T),
+    Shared(Arc<T>),
+}
+
+impl<T> MetricRef<T> {
+    fn get(&self) -> &T {
+        match self {
+            MetricRef::Static(m) => m,
+            MetricRef::Shared(m) => m,
+        }
+    }
+}
+
+enum Instrument {
+    Counter(MetricRef<Counter>),
+    Gauge(MetricRef<Gauge>),
+    Histogram(MetricRef<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One `(labels, metric)` row of a family.
+struct Row {
+    /// Rendered label block, `{a="b",c="d"}` or `""`.
+    labels: String,
+    instrument: Instrument,
+}
+
+/// All rows sharing one metric name (one `# TYPE` block).
+struct Family {
+    name: String,
+    help: String,
+    rows: Vec<Row>,
+}
+
+/// A named collection of metrics with Prometheus text exposition.
+///
+/// `const`-constructible, so it can live in a `static` (see
+/// [`crate::global`]). All methods take `&self`; the interior mutex
+/// guards only the registration table, never the hot-path atomics. A
+/// panic while the table lock is held poisons nothing observable:
+/// the registry recovers the inner state and keeps serving.
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (usable in `static` items).
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn table(&self) -> MutexGuard<'_, Vec<Family>> {
+        // A panicked registrant must not take exposition down with it.
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        instrument: Instrument,
+    ) {
+        let labels = render_labels(labels);
+        let mut families = self.table();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    rows: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        debug_assert!(
+            family
+                .rows
+                .first()
+                .is_none_or(|r| r.instrument.kind() == instrument.kind()),
+            "metric {name} registered with two kinds"
+        );
+        match family.rows.iter_mut().find(|r| r.labels == labels) {
+            // Same (name, labels) twice: last registration wins, so a
+            // re-created dynamic family replaces its row instead of
+            // duplicating it.
+            Some(row) => row.instrument = instrument,
+            None => family.rows.push(Row { labels, instrument }),
+        }
+    }
+
+    fn get_or_create<T: 'static, F>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        find: F,
+        make: impl FnOnce() -> (Arc<T>, Instrument),
+        help: &str,
+    ) -> Arc<T>
+    where
+        F: Fn(&Instrument) -> Option<&MetricRef<T>>,
+    {
+        let rendered = render_labels(labels);
+        {
+            let families = self.table();
+            if let Some(family) = families.iter().find(|f| f.name == name) {
+                if let Some(row) = family.rows.iter().find(|r| r.labels == rendered) {
+                    if let Some(MetricRef::Shared(existing)) = find(&row.instrument) {
+                        return Arc::clone(existing);
+                    }
+                }
+            }
+        }
+        let (metric, instrument) = make();
+        self.insert(name, help, labels, instrument);
+        metric
+    }
+
+    /// Register a `static` counter under `name` with a fixed label set.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &'static Counter,
+    ) {
+        self.insert(name, help, labels, Instrument::Counter(MetricRef::Static(counter)));
+    }
+
+    /// Register a `static` gauge.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        gauge: &'static Gauge,
+    ) {
+        self.insert(name, help, labels, Instrument::Gauge(MetricRef::Static(gauge)));
+    }
+
+    /// Register a `static` histogram.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: &'static Histogram,
+    ) {
+        self.insert(
+            name,
+            help,
+            labels,
+            Instrument::Histogram(MetricRef::Static(histogram)),
+        );
+    }
+
+    /// The shared counter for `(name, labels)`, created on first use.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_create(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(r) => Some(r),
+                _ => None,
+            },
+            || {
+                let metric = Arc::new(Counter::new());
+                let instrument = Instrument::Counter(MetricRef::Shared(Arc::clone(&metric)));
+                (metric, instrument)
+            },
+            help,
+        )
+    }
+
+    /// The shared gauge for `(name, labels)`, created on first use.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_create(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(r) => Some(r),
+                _ => None,
+            },
+            || {
+                let metric = Arc::new(Gauge::new());
+                let instrument = Instrument::Gauge(MetricRef::Shared(Arc::clone(&metric)));
+                (metric, instrument)
+            },
+            help,
+        )
+    }
+
+    /// The shared histogram for `(name, labels)`, created on first use.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_create(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(r) => Some(r),
+                _ => None,
+            },
+            || {
+                let metric = Arc::new(Histogram::new());
+                let instrument = Instrument::Histogram(MetricRef::Shared(Arc::clone(&metric)));
+                (metric, instrument)
+            },
+            help,
+        )
+    }
+
+    /// Render everything in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// [`render`](MetricsRegistry::render) into a caller-owned buffer.
+    pub fn render_into(&self, out: &mut String) {
+        let families = self.table();
+        for family in families.iter() {
+            let Some(kind) = family.rows.first().map(|r| r.instrument.kind()) else {
+                continue;
+            };
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+            for row in &family.rows {
+                match &row.instrument {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, row.labels, c.get().get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, row.labels, g.get().get());
+                    }
+                    Instrument::Histogram(h) => {
+                        render_histogram(out, &family.name, &row.labels, &h.get().snapshot());
+                    }
+                }
+            }
+        }
+    }
+
+    /// A typed point-in-time copy of every registered metric — the
+    /// snapshot API for deployments without a scrape port.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let families = self.table();
+        let mut samples = Vec::new();
+        for family in families.iter() {
+            for row in &family.rows {
+                let value = match &row.instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get().get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get().get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(h.get().snapshot()),
+                };
+                samples.push(Sample {
+                    name: family.name.clone(),
+                    labels: row.labels.clone(),
+                    value,
+                });
+            }
+        }
+        samples
+    }
+
+    /// The exposition text as an owned string — `render` under the name
+    /// the TCP-only deployments and bench binaries use.
+    pub fn dump(&self) -> String {
+        self.render()
+    }
+
+    /// Number of registered metric names.
+    pub fn len(&self) -> usize {
+        self.table().len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+/// One metric value in a [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Rendered label block (`{a="b"}` or empty).
+    pub labels: String,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// The typed value of a [`Sample`].
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(f64),
+    /// A histogram in cumulative-bucket form.
+    Histogram(HistogramSnapshot),
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"");
+        // Prometheus label-value escaping.
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Append `{labels, le="..."}` histogram rows: non-empty cumulative
+/// buckets, a closing `+Inf`, then `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    // Splice `le` into the existing block: `{a="b"` + `,` + `le="…"}`.
+    let open = if labels.is_empty() {
+        String::from("{")
+    } else {
+        format!("{},", &labels[..labels.len() - 1])
+    };
+    let close = "}";
+    let mut wrote_inf = false;
+    for &(le, cumulative) in &snap.buckets {
+        if le == u64::MAX {
+            let _ = writeln!(out, "{name}_bucket{open}le=\"+Inf\"{close} {cumulative}");
+            wrote_inf = true;
+        } else {
+            let _ = writeln!(out, "{name}_bucket{open}le=\"{le}\"{close} {cumulative}");
+        }
+    }
+    if !wrote_inf {
+        let _ = writeln!(out, "{name}_bucket{open}le=\"+Inf\"{close} {}", snap.count);
+    }
+    let _ = writeln!(out, "{name}_sum{labels} {}", snap.sum);
+    let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_registration_renders() {
+        static REQUESTS: Counter = Counter::new();
+        static DEPTH: Gauge = Gauge::new();
+        let registry = MetricsRegistry::new();
+        registry.register_counter("requests_total", "Requests served.", &[], &REQUESTS);
+        registry.register_gauge("queue_depth", "", &[("shard", "0")], &DEPTH);
+        REQUESTS.add(3);
+        DEPTH.set(7.0);
+        let text = registry.render();
+        assert!(text.contains("# HELP requests_total Requests served."), "{text}");
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total 3"), "{text}");
+        assert!(text.contains("queue_depth{shard=\"0\"} 7"), "{text}");
+    }
+
+    #[test]
+    fn get_or_create_dedupes_by_name_and_labels() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("hits_total", "h", &[("endpoint", "a")]);
+        let a2 = registry.counter("hits_total", "h", &[("endpoint", "a")]);
+        let b = registry.counter("hits_total", "h", &[("endpoint", "b")]);
+        assert!(Arc::ptr_eq(&a, &a2), "same key must share one counter");
+        assert!(!Arc::ptr_eq(&a, &b));
+        a.inc();
+        a2.inc();
+        b.inc();
+        let text = registry.render();
+        assert!(text.contains("hits_total{endpoint=\"a\"} 2"), "{text}");
+        assert!(text.contains("hits_total{endpoint=\"b\"} 1"), "{text}");
+        // One TYPE line for the whole family.
+        assert_eq!(text.matches("# TYPE hits_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_exposition_shape() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("latency_nanoseconds", "", &[("transport", "tcp")]);
+        h.observe(5); // bucket le=7
+        h.observe(5);
+        h.observe(1000); // bucket le=1023
+        let text = registry.render();
+        assert!(
+            text.contains("latency_nanoseconds_bucket{transport=\"tcp\",le=\"7\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_nanoseconds_bucket{transport=\"tcp\",le=\"1023\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_nanoseconds_bucket{transport=\"tcp\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("latency_nanoseconds_sum{transport=\"tcp\"} 1010"), "{text}");
+        assert!(text.contains("latency_nanoseconds_count{transport=\"tcp\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn unlabeled_histogram_buckets_still_carry_le() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("latency_nanoseconds", "", &[]);
+        h.observe(1);
+        let text = registry.render();
+        assert!(text.contains("latency_nanoseconds_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("latency_nanoseconds_count 1"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("odd_total", "", &[("path", "a\"b\\c\nd")]);
+        c.inc();
+        let text = registry.render();
+        assert!(text.contains(r#"odd_total{path="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn snapshot_carries_typed_values() {
+        static EVENTS: Counter = Counter::new();
+        let registry = MetricsRegistry::new();
+        registry.register_counter("events_total", "", &[], &EVENTS);
+        let g = registry.gauge("level", "", &[]);
+        let h = registry.histogram("sizes", "", &[]);
+        EVENTS.add(2);
+        g.set(-1.5);
+        h.observe(100);
+        let samples = registry.snapshot();
+        assert_eq!(samples.len(), 3);
+        assert!(matches!(
+            samples.iter().find(|s| s.name == "events_total").unwrap().value,
+            SampleValue::Counter(2)
+        ));
+        assert!(matches!(
+            samples.iter().find(|s| s.name == "level").unwrap().value,
+            SampleValue::Gauge(v) if v == -1.5
+        ));
+        match &samples.iter().find(|s| s.name == "sizes").unwrap().value {
+            SampleValue::Histogram(snap) => assert_eq!(snap.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exposition_is_consistent_under_concurrent_writers() {
+        // Writers hammer a counter and a histogram while a reader
+        // renders repeatedly; every parsed value must be monotone
+        // nondecreasing, and the final render must see exact totals.
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("writes_total", "", &[]);
+        let h = registry.histogram("write_sizes", "", &[]);
+        let writers = 4u64;
+        let per_writer = 20_000u64;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..writers {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move |_| {
+                    for i in 0..per_writer {
+                        c.inc();
+                        h.observe(i % 64);
+                    }
+                });
+            }
+            s.spawn(|_| {
+                let mut last_counter = 0u64;
+                let mut last_count = 0u64;
+                for _ in 0..200 {
+                    let text = registry.render();
+                    let counter = parse_value(&text, "writes_total ");
+                    let count = parse_value(&text, "write_sizes_count ");
+                    assert!(counter >= last_counter, "counter went backwards");
+                    assert!(count >= last_count, "histogram count went backwards");
+                    last_counter = counter;
+                    last_count = count;
+                }
+            });
+        })
+        .unwrap();
+        let text = registry.render();
+        assert_eq!(parse_value(&text, "writes_total "), writers * per_writer);
+        assert_eq!(parse_value(&text, "write_sizes_count "), writers * per_writer);
+    }
+
+    fn parse_value(text: &str, prefix: &str) -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(prefix))
+            .and_then(|l| l[prefix.len()..].trim().parse().ok())
+            .unwrap_or(0)
+    }
+}

@@ -1,6 +1,6 @@
 //! The generic SOAP engine (paper §5, §5.1).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bxdm::Document;
 use transport::{BreakerHandle, Deadline, Permit, RetryPolicy};
@@ -9,6 +9,7 @@ use crate::binding::BindingPolicy;
 use crate::encoding::EncodingPolicy;
 use crate::envelope::{DeadlineHeader, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
+use crate::metrics;
 
 /// Per-call knobs for [`SoapEngine::call_with`] — the one place where
 /// idempotency, deadline, retry, and circuit-breaker decisions meet.
@@ -258,11 +259,16 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     ///
     /// **Circuit breaker.** With a [`BreakerHandle`] installed, each
     /// attempt asks the breaker for admission first. While the circuit
-    /// is open the call fails fast with [`SoapError::CircuitOpen`] —
-    /// zero connect attempts, the retry-after hint attached. Outcomes
-    /// feed back: transport-level failures count against the endpoint;
-    /// an answer of any kind (including a fault) counts as proof of
-    /// life.
+    /// is open and no retry budget remains, the call fails fast with
+    /// [`SoapError::CircuitOpen`] — zero connect attempts, the
+    /// retry-after hint attached. A rejection is generated locally (no
+    /// bytes were sent), so when a retry policy *is* installed it counts
+    /// as a retry-safe failure: the engine waits out
+    /// `max(backoff, retry_after)` — clamped to the policy's delay cap
+    /// and the remaining deadline — and tries again, riding through the
+    /// breaker's cooldown instead of aborting. Outcomes feed back:
+    /// transport-level failures count against the endpoint; an answer of
+    /// any kind (including a fault) counts as proof of life.
     pub fn call_with(
         &mut self,
         request: SoapEnvelope,
@@ -286,51 +292,85 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         }
         self.binding.set_call_deadline(deadline);
         self.last_attempts = 0;
+        let m = metrics::engine();
+        m.calls.inc();
+        let call_start = Instant::now();
         let mut schedule = retry.as_ref().map(|p| p.schedule());
-        let result = loop {
-            if let Some(d) = &deadline {
-                // Gate the attempt on budget left, and re-stamp/re-encode
-                // so the wire header carries the *remaining* budget.
-                if let Err(e) = d.remaining() {
-                    break Err(SoapError::Transport(e));
-                }
-                if let Some(header) = DeadlineHeader::from_deadline(d) {
-                    header.stamp(&mut request);
-                }
-                let doc = request.to_document();
-                if let Err(e) = self.encoding.encode_into(&doc, &mut self.encode_buf) {
-                    break Err(e);
-                }
-            }
-            if let Some(b) = &breaker {
-                if let Permit::Rejected { retry_after } = b.preflight() {
-                    break Err(SoapError::CircuitOpen {
-                        endpoint: b.endpoint().to_owned(),
-                        retry_after,
-                    });
-                }
-            }
-            self.last_attempts += 1;
-            let error = match self.binding.exchange_into(
-                &self.encode_buf,
-                self.encoding.content_type(),
-                &mut self.response_buf,
-            ) {
-                Ok(()) => {
-                    if let Some(b) = &breaker {
-                        b.record(true);
+        let result = 'call: loop {
+            let error = 'attempt: {
+                if let Some(d) = &deadline {
+                    // Gate the attempt on budget left, and re-stamp/
+                    // re-encode so the wire header carries the
+                    // *remaining* budget.
+                    if let Err(e) = d.remaining() {
+                        m.deadline_expired.inc();
+                        break 'call Err(SoapError::Transport(e));
                     }
-                    break self.finish_call();
+                    if let Some(header) = DeadlineHeader::from_deadline(d) {
+                        header.stamp(&mut request);
+                    }
+                    let doc = request.to_document();
+                    if let Err(e) = self.encoding.encode_into(&doc, &mut self.encode_buf) {
+                        break 'call Err(e);
+                    }
                 }
-                Err(e) => e,
+                if let Some(b) = &breaker {
+                    if let Permit::Rejected { retry_after } = b.preflight() {
+                        // A rejection is an ordinary retry-safe failure:
+                        // nothing was sent, so a call with retry budget
+                        // may wait out the cooldown below instead of
+                        // aborting outright. Without a retry policy it
+                        // still fails fast.
+                        m.circuit_open.inc();
+                        break 'attempt SoapError::CircuitOpen {
+                            endpoint: b.endpoint().to_owned(),
+                            retry_after,
+                        };
+                    }
+                }
+                self.last_attempts += 1;
+                m.attempts.inc();
+                match self.binding.exchange_into(
+                    &self.encode_buf,
+                    self.encoding.content_type(),
+                    &mut self.response_buf,
+                ) {
+                    Ok(()) => {
+                        if let Some(b) = &breaker {
+                            b.record(true);
+                        }
+                        break 'call self.finish_call();
+                    }
+                    Err(e) => {
+                        if let Some(b) = &breaker {
+                            // Only transport-level failures indict the
+                            // endpoint; any decoded answer (even a
+                            // fault) proves it is alive.
+                            b.record(!matches!(&e, SoapError::Transport(_)));
+                        }
+                        break 'attempt e;
+                    }
+                }
             };
-            if let Some(b) = &breaker {
-                // Only transport-level failures indict the endpoint; any
-                // decoded answer (even a fault) proves it is alive.
-                b.record(!matches!(&error, SoapError::Transport(_)));
-            }
-            let retry_safe =
-                matches!(&error, SoapError::Transport(t) if t.retry_safe());
+            // May this failure be replayed, and did the other side name a
+            // wait? A breaker rejection is generated locally — no bytes
+            // reached the endpoint — so it is definitively retry-safe,
+            // and its remaining cooldown is the wait hint. A 503 carries
+            // its Retry-After the same way.
+            let (retry_safe, hint) = match &error {
+                SoapError::CircuitOpen { retry_after, .. } => (true, Some(*retry_after)),
+                SoapError::Transport(t) => (
+                    t.retry_safe(),
+                    match t {
+                        transport::TransportError::HttpStatus {
+                            retry_after_secs: Some(secs),
+                            ..
+                        } => Some(Duration::from_secs(*secs)),
+                        _ => None,
+                    },
+                ),
+                _ => (false, None),
+            };
             let delay = if retry_safe {
                 schedule.as_mut().and_then(|s| s.next_delay())
             } else {
@@ -339,16 +379,17 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             let Some(mut delay) = delay else {
                 break Err(error);
             };
-            // A server-provided Retry-After hint stretches the backoff,
-            // bounded by the policy's cap so a hostile hint cannot park
-            // the client.
-            if let SoapError::Transport(transport::TransportError::HttpStatus {
-                retry_after_secs: Some(secs),
-                ..
-            }) = &error
-            {
+            if let Some(hint) = hint {
+                // The backpressure hint stretches the backoff, bounded by
+                // the policy's delay cap so a hostile hint cannot park
+                // the client; the stretch is charged against the total
+                // sleep budget like any other wait.
                 let cap = retry.as_ref().expect("retrying implies policy").cap;
-                delay = delay.max(Duration::from_secs(*secs).min(cap));
+                let stretched = delay.max(hint.min(cap));
+                if let Some(s) = schedule.as_mut() {
+                    s.absorb(stretched - delay);
+                }
+                delay = stretched;
             }
             if let Some(d) = &deadline {
                 // Sleeping past the deadline cannot help: the budget
@@ -358,11 +399,13 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
                     _ => break Err(error),
                 }
             }
+            m.retries.inc();
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
         };
         self.binding.set_call_deadline(None);
+        m.call_latency.observe_duration(call_start.elapsed());
         result
     }
 
@@ -686,6 +729,53 @@ mod tests {
         }
         assert_eq!(engine.last_call_attempts(), 0);
         assert_eq!(injector.lock().connects_refused(), refused_so_far);
+    }
+
+    #[test]
+    fn retry_waits_out_open_circuit_and_recovers() {
+        use transport::{BreakerConfig, BreakerHandle, BreakerState, RetryPolicy};
+
+        let breaker = BreakerHandle::standalone(
+            "loopback-recovery",
+            BreakerConfig {
+                window: Duration::from_secs(10),
+                failure_threshold: 0.5,
+                min_samples: 4,
+                cooldown: Duration::from_millis(80),
+                cooldown_cap: Duration::from_millis(160),
+                half_open_successes: 1,
+                seed: 5,
+            },
+        );
+        // The endpoint was failing before this call: trip the breaker.
+        for _ in 0..4 {
+            breaker.record(false);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // The service itself is healthy — only the breaker stands in the
+        // way. A retrying call must wait out the cooldown (the rejection
+        // carries the hint), win the half-open probe, and succeed.
+        let mut engine = SoapEngine::new(
+            XmlEncoding::default(),
+            LoopbackBinding::new(sum_service(XmlEncoding::default())),
+        )
+        .with_breaker(breaker.clone())
+        .with_retry(RetryPolicy::new(4));
+        let started = std::time::Instant::now();
+        let resp = engine
+            .call(sum_request())
+            .expect("retry must ride out the breaker cooldown");
+        assert_eq!(
+            resp.body_element().unwrap().child_value("total"),
+            Some(&AtomicValue::F64(3.0))
+        );
+        let waited = started.elapsed();
+        assert!(
+            waited >= Duration::from_millis(60),
+            "must have slept out the hinted cooldown, waited only {waited:?}"
+        );
+        assert_eq!(engine.last_call_attempts(), 1, "only the admitted probe exchanged");
+        assert_eq!(breaker.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod envelope;
 pub mod error;
 pub mod fault;
 pub mod intermediary;
+pub mod metrics;
 pub mod server;
 pub mod service;
 

@@ -1,0 +1,90 @@
+//! Engine-side instrumentation, registered in [`obs::global`].
+//!
+//! All metrics are `static` atomics registered once behind a [`Once`]:
+//! after the first call every update is a relaxed fetch-add, so the
+//! per-call accounting adds no locks and no allocation to
+//! `SoapEngine::call_with`.
+
+use std::sync::Once;
+
+use obs::{Counter, Histogram};
+
+/// Counters and latency for `SoapEngine::call_with`.
+pub struct EngineMetrics {
+    /// `bx_engine_calls_total` — calls started.
+    pub calls: Counter,
+    /// `bx_engine_attempts_total` — exchanges attempted (a call with two
+    /// retries contributes three).
+    pub attempts: Counter,
+    /// `bx_engine_retries_total` — backoff sleeps taken before another
+    /// attempt.
+    pub retries: Counter,
+    /// `bx_engine_deadline_expired_total` — calls aborted at the
+    /// deadline gate before an attempt.
+    pub deadline_expired: Counter,
+    /// `bx_engine_circuit_open_total` — attempts rejected by an open
+    /// circuit breaker.
+    pub circuit_open: Counter,
+    /// `bx_engine_call_latency_nanoseconds` — wall time of the whole
+    /// call, every attempt and backoff included.
+    pub call_latency: Histogram,
+}
+
+impl EngineMetrics {
+    const fn new() -> EngineMetrics {
+        EngineMetrics {
+            calls: Counter::new(),
+            attempts: Counter::new(),
+            retries: Counter::new(),
+            deadline_expired: Counter::new(),
+            circuit_open: Counter::new(),
+            call_latency: Histogram::new(),
+        }
+    }
+}
+
+/// The engine's metrics (registered on first use).
+pub fn engine() -> &'static EngineMetrics {
+    static METRICS: EngineMetrics = EngineMetrics::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        let r = obs::global();
+        r.register_counter(
+            "bx_engine_calls_total",
+            "SOAP calls started.",
+            &[],
+            &METRICS.calls,
+        );
+        r.register_counter(
+            "bx_engine_attempts_total",
+            "Exchanges attempted across all calls (retries included).",
+            &[],
+            &METRICS.attempts,
+        );
+        r.register_counter(
+            "bx_engine_retries_total",
+            "Backoff waits taken before re-attempting a call.",
+            &[],
+            &METRICS.retries,
+        );
+        r.register_counter(
+            "bx_engine_deadline_expired_total",
+            "Calls aborted because the end-to-end deadline expired.",
+            &[],
+            &METRICS.deadline_expired,
+        );
+        r.register_counter(
+            "bx_engine_circuit_open_total",
+            "Attempts rejected by an open circuit breaker.",
+            &[],
+            &METRICS.circuit_open,
+        );
+        r.register_histogram(
+            "bx_engine_call_latency_nanoseconds",
+            "Wall time of a whole call, attempts and backoff included.",
+            &[],
+            &METRICS.call_latency,
+        );
+    });
+    &METRICS
+}

@@ -2,9 +2,10 @@
 //!
 //! Both servers inherit the transport layer's resilience: a connection
 //! that stalls past its read budget, trips the frame limit, or dies
-//! mid-message takes a typed, logged, *counted* error path and never
-//! takes the listener down — see
-//! [`connection_errors`](TcpSoapServer::connection_errors).
+//! mid-message takes a typed, *counted* error path (per-kind in
+//! `bx_server_connection_errors_total`, in aggregate via
+//! [`connection_errors`](TcpSoapServer::connection_errors)) and never
+//! takes the listener down.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -115,7 +116,12 @@ pub struct HttpSoapServer {
 }
 
 impl HttpSoapServer {
-    /// Serve `registry` with encoding `E` on `addr` at `path`.
+    /// Serve `registry` with encoding `E` on `addr` at `path`. Also
+    /// answers `GET /metrics` with the process-wide metrics in
+    /// Prometheus text format; use
+    /// [`bind_with`](HttpSoapServer::bind_with) and
+    /// [`HttpServerConfig::metrics_path`] to move or disable the scrape
+    /// endpoint.
     pub fn bind<E>(
         addr: &str,
         path: &str,
@@ -125,7 +131,11 @@ impl HttpSoapServer {
     where
         E: EncodingPolicy + Send + Sync + 'static,
     {
-        HttpSoapServer::bind_with(addr, path, HttpServerConfig::default(), encoding, registry)
+        let config = HttpServerConfig {
+            metrics_path: Some("/metrics"),
+            ..HttpServerConfig::default()
+        };
+        HttpSoapServer::bind_with(addr, path, config, encoding, registry)
     }
 
     /// [`bind`](HttpSoapServer::bind) with explicit per-connection limits.

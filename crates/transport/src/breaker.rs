@@ -28,10 +28,25 @@
 //! with a real [`Instant`] epoch for production use.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::metrics::{self, BreakerMetrics};
+
+/// Lock `m`, recovering from poisoning instead of propagating it. A
+/// breaker guards *endpoint health bookkeeping* — a panicked holder must
+/// not cascade into every engine sharing the endpoint. The breaker state
+/// machine tolerates a torn update (worst case: one outcome miscounted),
+/// so recovery is safe; the event is counted in
+/// `bx_breaker_lock_poisoned_total`.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| {
+        metrics::lock_poisonings().inc();
+        e.into_inner()
+    })
+}
 
 /// Tuning knobs for one [`CircuitBreaker`] (and, via the registry, for
 /// every breaker it creates).
@@ -237,6 +252,17 @@ impl CircuitBreaker {
         self.trips
     }
 
+    /// Failed fraction of the outcomes inside the sliding window at
+    /// `now` (`0.0` when the window is empty).
+    pub fn failure_rate(&mut self, now: Duration) -> f64 {
+        let (total, failed) = self.window_counts(now);
+        if total == 0 {
+            0.0
+        } else {
+            failed as f64 / total as f64
+        }
+    }
+
     fn trip(&mut self, now: Duration) {
         // Decorrelated jitter, same shape as RetrySchedule::next_delay:
         // cooldown ~ U(base, 3·prev), capped. Repeated trips grow the
@@ -300,7 +326,7 @@ impl BreakerRegistry {
     /// are cheap clones; give one to every engine that dials the
     /// endpoint.
     pub fn handle(&self, endpoint: &str) -> BreakerHandle {
-        let mut map = self.breakers.lock().expect("breaker registry poisoned");
+        let mut map = lock_recover(&self.breakers);
         let breaker = map
             .entry(endpoint.to_owned())
             .or_insert_with(|| {
@@ -315,12 +341,13 @@ impl BreakerRegistry {
             endpoint: Arc::from(endpoint),
             epoch: self.epoch,
             breaker,
+            metrics: BreakerMetrics::for_endpoint(endpoint),
         }
     }
 
     /// Number of endpoints with a live breaker.
     pub fn len(&self) -> usize {
-        self.breakers.lock().expect("breaker registry poisoned").len()
+        lock_recover(&self.breakers).len()
     }
 
     /// True when no endpoint has been dialed through this registry yet.
@@ -341,6 +368,7 @@ pub struct BreakerHandle {
     endpoint: Arc<str>,
     epoch: Instant,
     breaker: Arc<Mutex<CircuitBreaker>>,
+    metrics: Arc<BreakerMetrics>,
 }
 
 impl BreakerHandle {
@@ -351,6 +379,7 @@ impl BreakerHandle {
             endpoint: Arc::from(endpoint),
             epoch: Instant::now(),
             breaker: Arc::new(Mutex::new(CircuitBreaker::new(config))),
+            metrics: BreakerMetrics::for_endpoint(endpoint),
         }
     }
 
@@ -362,29 +391,48 @@ impl BreakerHandle {
     /// Ask permission to dial now.
     pub fn preflight(&self) -> Permit {
         let now = self.epoch.elapsed();
-        self.breaker.lock().expect("breaker poisoned").preflight(now)
+        let mut b = lock_recover(&self.breaker);
+        let permit = b.preflight(now);
+        self.observe(&mut b, now);
+        permit
     }
 
     /// Record the outcome of an admitted exchange.
     pub fn record(&self, ok: bool) {
         let now = self.epoch.elapsed();
-        let mut b = self.breaker.lock().expect("breaker poisoned");
+        let mut b = lock_recover(&self.breaker);
+        let trips_before = b.trips();
         if ok {
             b.record_success(now);
         } else {
             b.record_failure(now);
         }
+        self.metrics.trips.add(b.trips() - trips_before);
+        self.observe(&mut b, now);
     }
 
     /// Current state (advancing open → half-open if the cooldown is up).
     pub fn state(&self) -> BreakerState {
         let now = self.epoch.elapsed();
-        self.breaker.lock().expect("breaker poisoned").state(now)
+        let mut b = lock_recover(&self.breaker);
+        let state = b.state(now);
+        self.observe(&mut b, now);
+        state
     }
 
     /// How many times the underlying breaker has tripped.
     pub fn trips(&self) -> u64 {
-        self.breaker.lock().expect("breaker poisoned").trips()
+        lock_recover(&self.breaker).trips()
+    }
+
+    /// Refresh the exported gauges from the state under the lock.
+    fn observe(&self, b: &mut CircuitBreaker, now: Duration) {
+        self.metrics.state.set(match b.state(now) {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        });
+        self.metrics.failure_rate.set(b.failure_rate(now));
     }
 }
 
@@ -518,6 +566,56 @@ mod tests {
             b.record_failure(ms(i * 10));
         }
         assert_eq!(a.retry_after(ms(40)), b.retry_after(ms(40)));
+    }
+
+    #[test]
+    fn handle_exports_state_and_trip_metrics() {
+        let handle = BreakerHandle::standalone("metrics-test:9", test_config());
+        assert_eq!(handle.state(), BreakerState::Closed);
+        assert_eq!(handle.metrics.state.get(), 0.0);
+        for _ in 0..4 {
+            handle.record(false);
+        }
+        assert_eq!(handle.metrics.state.get(), 2.0);
+        assert_eq!(handle.metrics.trips.get(), 1);
+        assert_eq!(handle.metrics.failure_rate.get(), 0.0, "window clears on trip");
+    }
+
+    #[test]
+    fn poisoned_handle_recovers_instead_of_panicking() {
+        let handle = BreakerHandle::standalone("poison-test:1", test_config());
+        let clone = handle.clone();
+        let poisoned_before = metrics::lock_poisonings().get();
+        std::thread::spawn(move || {
+            let _guard = clone.breaker.lock().unwrap();
+            panic!("poison the breaker lock");
+        })
+        .join()
+        .unwrap_err();
+        // Every accessor keeps working against the poisoned lock.
+        assert_eq!(handle.preflight(), Permit::Allowed);
+        handle.record(true);
+        assert_eq!(handle.state(), BreakerState::Closed);
+        assert_eq!(handle.trips(), 0);
+        assert!(
+            metrics::lock_poisonings().get() > poisoned_before,
+            "recovery must be counted"
+        );
+    }
+
+    #[test]
+    fn poisoned_registry_recovers_instead_of_panicking() {
+        let registry = std::sync::Arc::new(BreakerRegistry::new(test_config()));
+        let for_thread = std::sync::Arc::clone(&registry);
+        std::thread::spawn(move || {
+            let _guard = for_thread.breakers.lock().unwrap();
+            panic!("poison the registry lock");
+        })
+        .join()
+        .unwrap_err();
+        let handle = registry.handle("poison-test:2");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(handle.preflight(), Permit::Allowed);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub const MAX_FRAME_LEN: usize = 256 << 20;
 /// Receive-side allocation step: the payload buffer grows by at most this
 /// much per read, so a hostile length prefix claiming gigabytes costs at
 /// most one chunk of memory before the truncated stream is detected.
-const RECV_CHUNK: usize = 1 << 20;
+pub(crate) const RECV_CHUNK: usize = 1 << 20;
 
 /// A framed message stream over any `Read + Write` (usually a
 /// [`TcpStream`]).

@@ -78,13 +78,22 @@ pub(crate) fn read_body_into(
         });
     }
     body.clear();
-    body.resize(len, 0);
-    reader
-        .read_exact(body)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => TransportError::ConnectionClosed,
-            _ => TransportError::Io(e),
-        })?;
+    // Grow in bounded chunks, like the framed transport's payload read:
+    // the declared length is capped above, but memory is still only
+    // committed as bytes actually arrive, so a hostile Content-Length
+    // paired with a trickle (or nothing) never pins more than one chunk
+    // beyond what was received.
+    while body.len() < len {
+        let chunk = (len - body.len()).min(crate::framed::RECV_CHUNK);
+        let start = body.len();
+        body.resize(start + chunk, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => TransportError::ConnectionClosed,
+                _ => TransportError::Io(e),
+            })?;
+    }
     Ok(())
 }
 

@@ -49,6 +49,17 @@ impl HttpResponse {
         }
     }
 
+    /// A 413 Payload Too Large — the typed rejection for a declared
+    /// `Content-Length` beyond the server's frame limit.
+    pub fn payload_too_large() -> HttpResponse {
+        HttpResponse {
+            status: 413,
+            reason: "Payload Too Large".into(),
+            headers: Vec::new(),
+            body: b"declared body length exceeds the frame size limit".to_vec(),
+        }
+    }
+
     /// A 500 Internal Server Error with a diagnostic body.
     ///
     /// SOAP-over-HTTP maps faults onto 500 responses, so the SOAP binding

@@ -5,11 +5,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::TransportResult;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
+use crate::metrics;
 use crate::pool::BufferPool;
 use crate::tcpserver::ReplyControl;
 
@@ -21,6 +22,20 @@ pub struct HttpServerConfig {
     pub read_timeout: Option<Duration>,
     /// Budget for writing the response.
     pub write_timeout: Option<Duration>,
+    /// When set, `GET <metrics_path>` is answered by the server itself
+    /// with the process-wide metrics in Prometheus text format
+    /// ([`metrics_response`]), before the application handler sees the
+    /// request.
+    pub metrics_path: Option<&'static str>,
+}
+
+/// The `/metrics` scrape response: everything registered in
+/// [`obs::global`], rendered as Prometheus text exposition.
+pub fn metrics_response() -> HttpResponse {
+    HttpResponse::ok(
+        "text/plain; version=0.0.4",
+        obs::global().render().into_bytes(),
+    )
 }
 
 /// A running HTTP server. One handler thread per connection; connections
@@ -110,22 +125,18 @@ impl HttpServer {
                     let Ok(shutdown_handle) = stream.try_clone() else {
                         continue;
                     };
+                    metrics::http_server().connections.inc();
                     let handler = Arc::clone(&handler);
                     let errors = Arc::clone(&errors_accept);
-                    let stopping = Arc::clone(&stop_accept);
                     let pool = Arc::clone(&pool_accept);
                     let worker = std::thread::Builder::new()
                         .name("http-conn".into())
                         .spawn(move || {
-                            let peer = stream
-                                .peer_addr()
-                                .map(|a| a.to_string())
-                                .unwrap_or_else(|_| "<unknown>".into());
                             if let Err(e) = serve_connection(stream, config, &*handler, &pool) {
+                                // Counted by kind; never takes the
+                                // listener down.
                                 errors.fetch_add(1, Ordering::Relaxed);
-                                if !stopping.load(Ordering::Acquire) {
-                                    eprintln!("http-conn {peer}: {e}");
-                                }
+                                metrics::count_server_error("http", metrics::error_kind(&e));
                             }
                         })
                         .expect("spawn http connection thread");
@@ -194,12 +205,23 @@ where
     stream.set_nodelay(true)?;
     stream.set_read_timeout(config.read_timeout)?;
     stream.set_write_timeout(config.write_timeout)?;
-    let started = std::time::Instant::now();
+    let started = Instant::now();
+    let m = metrics::http_server();
     let mut ctl = ReplyControl::default();
     let mut reader = BufReader::new(stream.try_clone()?);
     let response = match HttpRequest::read_from_with_body(&mut reader, pool.take()) {
         Ok(mut request) => {
-            let response = handler(&request, &mut ctl);
+            m.bytes_in.add(request.body.len() as u64);
+            let response = if config.metrics_path == Some(request.path.as_str())
+                && request.method == "GET"
+            {
+                metrics_response()
+            } else {
+                let handler_start = Instant::now();
+                let response = handler(&request, &mut ctl);
+                m.handler_latency.observe_duration(handler_start.elapsed());
+                response
+            };
             pool.put(std::mem::take(&mut request.body));
             response
         }
@@ -211,6 +233,13 @@ where
                 elapsed: started.elapsed(),
                 budget: config.read_timeout.unwrap_or_default(),
             });
+        }
+        // A declared body length beyond the frame limit is the one
+        // malformed-request class with its own status: 413, so clients
+        // can tell "you asked for too much" from "you asked wrong".
+        Err(e @ crate::TransportError::FrameTooLarge { .. }) => {
+            metrics::count_server_error("http", metrics::error_kind(&e));
+            HttpResponse::payload_too_large()
         }
         Err(e) => HttpResponse::bad_request(&e.to_string()),
     };
@@ -224,6 +253,9 @@ where
         stream.set_write_timeout(Some(cap))?;
     }
     let result = response.write_to(&mut stream);
+    if result.is_ok() {
+        m.bytes_out.add(response.body.len() as u64);
+    }
     // The response body rejoins the cycle whoever allocated it — the
     // next connection's request read (or a pool-aware handler) picks
     // its capacity back up.

@@ -28,6 +28,7 @@ pub mod fileserver;
 pub mod framed;
 pub mod http;
 pub mod iovec;
+pub mod metrics;
 pub mod pool;
 pub mod retry;
 pub mod tcpserver;
@@ -45,7 +46,7 @@ pub use framed::{FramedStream, MAX_FRAME_LEN};
 pub use http::client::{http_get, http_post, send_request, send_request_with, send_request_with_into};
 pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
-pub use http::server::{HttpServer, HttpServerConfig};
+pub use http::server::{metrics_response, HttpServer, HttpServerConfig};
 pub use pool::{BufferPool, Pool};
 pub use retry::{RetryPolicy, RetrySchedule};
 pub use tcpserver::{ReplyControl, TcpServer, TcpServerConfig};

@@ -1,0 +1,196 @@
+//! Transport-layer instrumentation, registered in [`obs::global`].
+//!
+//! The steady-state hot path (pool take/put, per-message byte counts,
+//! handler latency) touches only `static` atomics: registration happens
+//! once behind a [`Once`], after which every update is a relaxed
+//! fetch-add — no locks, no allocation, so the bench crate's
+//! alloc-counter gates stay green with instrumentation compiled in.
+//! Error paths and per-endpoint breaker metrics go through the
+//! registry's get-or-create accessors instead; those paths are already
+//! off the fast path, so the label rendering they pay is fine.
+
+use std::sync::{Arc, Once};
+
+use obs::{Counter, Gauge, Histogram};
+
+use crate::error::TransportError;
+
+/// Per-transport server-side instrumentation
+/// (`{transport="tcp"}` / `{transport="http"}`).
+pub struct ServerMetrics {
+    /// `bx_server_connections_total` — connections accepted.
+    pub connections: Counter,
+    /// `bx_server_bytes_in_total` — request payload bytes read.
+    pub bytes_in: Counter,
+    /// `bx_server_bytes_out_total` — response payload bytes written.
+    pub bytes_out: Counter,
+    /// `bx_server_handler_latency_nanoseconds` — time spent in the
+    /// application handler per message.
+    pub handler_latency: Histogram,
+}
+
+impl ServerMetrics {
+    const fn new() -> ServerMetrics {
+        ServerMetrics {
+            connections: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            handler_latency: Histogram::new(),
+        }
+    }
+
+    fn register(&'static self, transport: &'static str) {
+        let labels = &[("transport", transport)];
+        let r = obs::global();
+        r.register_counter(
+            "bx_server_connections_total",
+            "Connections accepted by a server.",
+            labels,
+            &self.connections,
+        );
+        r.register_counter(
+            "bx_server_bytes_in_total",
+            "Request payload bytes read by a server.",
+            labels,
+            &self.bytes_in,
+        );
+        r.register_counter(
+            "bx_server_bytes_out_total",
+            "Response payload bytes written by a server.",
+            labels,
+            &self.bytes_out,
+        );
+        r.register_histogram(
+            "bx_server_handler_latency_nanoseconds",
+            "Time spent in the application handler per message.",
+            labels,
+            &self.handler_latency,
+        );
+    }
+}
+
+/// The framed-TCP server's metrics (registered on first use).
+pub fn tcp_server() -> &'static ServerMetrics {
+    static METRICS: ServerMetrics = ServerMetrics::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| METRICS.register("tcp"));
+    &METRICS
+}
+
+/// The HTTP server's metrics (registered on first use).
+pub fn http_server() -> &'static ServerMetrics {
+    static METRICS: ServerMetrics = ServerMetrics::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| METRICS.register("http"));
+    &METRICS
+}
+
+/// Count one server-side connection error, typed by
+/// [`error_kind`]. Replaces the old `eprintln!` tallies; error paths are
+/// off the hot path, so the registry lookup here is acceptable.
+pub fn count_server_error(transport: &'static str, kind: &'static str) {
+    obs::global()
+        .counter(
+            "bx_server_connection_errors_total",
+            "Connection-handling errors, by transport and error kind.",
+            &[("transport", transport), ("kind", kind)],
+        )
+        .inc();
+}
+
+/// A stable label value for a [`TransportError`] class.
+pub fn error_kind(e: &TransportError) -> &'static str {
+    match e {
+        TransportError::Io(_) => "io",
+        TransportError::FrameTooLarge { .. } => "frame_too_large",
+        TransportError::ConnectionClosed => "closed",
+        TransportError::ConnectFailed { .. } => "connect_failed",
+        TransportError::TimedOut { .. } => "timed_out",
+        TransportError::BadHttp { .. } => "bad_http",
+        TransportError::HttpStatus { .. } => "http_status",
+    }
+}
+
+/// Buffer-pool free-list hits (`bx_pool_hits_total`).
+pub fn pool_hits() -> &'static Counter {
+    static HITS: Counter = Counter::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        obs::global().register_counter(
+            "bx_pool_hits_total",
+            "Pool takes satisfied from the free list.",
+            &[],
+            &HITS,
+        );
+    });
+    &HITS
+}
+
+/// Buffer-pool free-list misses (`bx_pool_misses_total`).
+pub fn pool_misses() -> &'static Counter {
+    static MISSES: Counter = Counter::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        obs::global().register_counter(
+            "bx_pool_misses_total",
+            "Pool takes that had to build a fresh value.",
+            &[],
+            &MISSES,
+        );
+    });
+    &MISSES
+}
+
+/// Count of recovered lock poisonings
+/// (`bx_breaker_lock_poisoned_total`). A panicked lock holder no longer
+/// cascades — the inner state is recovered and the event lands here.
+pub fn lock_poisonings() -> &'static Counter {
+    static POISONED: Counter = Counter::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        obs::global().register_counter(
+            "bx_breaker_lock_poisoned_total",
+            "Mutex poisonings recovered instead of propagated.",
+            &[],
+            &POISONED,
+        );
+    });
+    &POISONED
+}
+
+/// Per-endpoint breaker instrumentation, shared by every clone of a
+/// [`crate::BreakerHandle`].
+pub struct BreakerMetrics {
+    /// `bx_breaker_state{endpoint=}` — 0 closed, 1 half-open, 2 open.
+    pub state: Arc<Gauge>,
+    /// `bx_breaker_trips_total{endpoint=}`.
+    pub trips: Arc<Counter>,
+    /// `bx_breaker_window_failure_rate{endpoint=}` — failed fraction of
+    /// the sliding window at last observation.
+    pub failure_rate: Arc<Gauge>,
+}
+
+impl BreakerMetrics {
+    /// The shared metrics for `endpoint`, created on first use.
+    pub fn for_endpoint(endpoint: &str) -> Arc<BreakerMetrics> {
+        let labels = &[("endpoint", endpoint)];
+        let r = obs::global();
+        Arc::new(BreakerMetrics {
+            state: r.gauge(
+                "bx_breaker_state",
+                "Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+                labels,
+            ),
+            trips: r.counter(
+                "bx_breaker_trips_total",
+                "Times the circuit breaker tripped open.",
+                labels,
+            ),
+            failure_rate: r.gauge(
+                "bx_breaker_window_failure_rate",
+                "Failure fraction of the breaker's sliding window.",
+                labels,
+            ),
+        })
+    }
+}

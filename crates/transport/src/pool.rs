@@ -38,13 +38,22 @@ impl<T> Pool<T> {
 
     /// Take an idle value, or build a fresh one with `make`.
     pub fn take_or(&self, make: impl FnOnce() -> T) -> T {
-        let recycled = self.idle.lock().expect("pool lock").pop();
-        recycled.unwrap_or_else(make)
+        let recycled = self.lock().pop();
+        match recycled {
+            Some(value) => {
+                crate::metrics::pool_hits().inc();
+                value
+            }
+            None => {
+                crate::metrics::pool_misses().inc();
+                make()
+            }
+        }
     }
 
     /// Return a value to the pool (dropped if the idle list is full).
     pub fn put(&self, value: T) {
-        let mut idle = self.idle.lock().expect("pool lock");
+        let mut idle = self.lock();
         if idle.len() < self.max_idle {
             idle.push(value);
         }
@@ -52,7 +61,14 @@ impl<T> Pool<T> {
 
     /// Values currently parked in the pool.
     pub fn idle_count(&self) -> usize {
-        self.idle.lock().expect("pool lock").len()
+        self.lock().len()
+    }
+
+    /// A free list is reusable capacity, never correctness: recover from
+    /// a poisoned lock rather than cascade the panic into every
+    /// connection thread sharing the pool.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

@@ -114,6 +114,22 @@ impl RetrySchedule {
     pub fn attempts_made(&self) -> u32 {
         self.attempts_made
     }
+
+    /// Charge extra sleep against the total budget — for callers that
+    /// stretch a delay beyond what [`next_delay`](Self::next_delay)
+    /// handed out (a server's `Retry-After` hint, a breaker's cooldown).
+    /// Without this, hint-stretched waits would not count toward
+    /// `total_budget` and a throttling server could keep the schedule
+    /// alive far past its sleep cap.
+    pub fn absorb(&mut self, extra: Duration) {
+        self.slept += extra;
+    }
+
+    /// Sleep budget remaining before the schedule refuses further
+    /// retries.
+    pub fn budget_left(&self) -> Duration {
+        self.policy.total_budget.saturating_sub(self.slept)
+    }
 }
 
 #[cfg(test)]

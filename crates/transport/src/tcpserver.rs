@@ -7,18 +7,20 @@
 //! of why the paper's `SOAP over BXSA/TCP` wins on the LAN.
 //!
 //! Resilience: a connection that times out mid-read, trips the frame
-//! limit, or dies mid-message takes a typed, logged error path — the
-//! connection is dropped, the error is counted, and the listener stays
-//! alive for everyone else.
+//! limit, or dies mid-message takes a typed error path — the connection
+//! is dropped, the error is counted by kind in
+//! `bx_server_connection_errors_total{transport="tcp"}`, and the
+//! listener stays alive for everyone else.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::TransportResult;
+use crate::metrics;
 use crate::faulty::{FaultingTransport, SharedInjector};
 use crate::framed::FramedStream;
 
@@ -207,30 +209,25 @@ impl TcpServer {
                     let Ok(shutdown_handle) = stream.try_clone() else {
                         continue;
                     };
+                    metrics::tcp_server().connections.inc();
                     let handler = Arc::clone(&handler);
                     let init = Arc::clone(&init);
                     let errors = Arc::clone(&errors_accept);
-                    let stopping = Arc::clone(&stop_accept);
                     let injector = injector.clone();
                     let worker = std::thread::Builder::new()
                         .name("tcp-conn".into())
                         .spawn(move || {
-                            let peer = stream
-                                .peer_addr()
-                                .map(|a| a.to_string())
-                                .unwrap_or_else(|_| "<unknown>".into());
                             // Connection-scoped state, born and dying
                             // with this thread.
                             let mut state = init();
                             if let Err(e) =
                                 serve_connection(stream, config, injector, &mut state, &*handler)
                             {
-                                // A connection-level failure is logged and
-                                // counted; it never takes the listener down.
+                                // A connection-level failure is counted by
+                                // error kind; it never takes the listener
+                                // down.
                                 errors.fetch_add(1, Ordering::Relaxed);
-                                if !stopping.load(Ordering::Acquire) {
-                                    eprintln!("tcp-conn {peer}: {e}");
-                                }
+                                metrics::count_server_error("tcp", metrics::error_kind(&e));
                             }
                         })
                         .expect("spawn tcp connection thread");
@@ -340,10 +337,14 @@ where
     // error (half-written frame, oversize prefix, stall past the read
     // budget) propagates to the caller, which logs and counts it — the
     // typed error path.
+    let m = metrics::tcp_server();
     while framed.recv_optional_into(&mut request)? {
+        m.bytes_in.add(request.len() as u64);
         response.clear();
         ctl.reset();
+        let handler_start = Instant::now();
         handler(state, &request, &mut response, &mut ctl);
+        m.handler_latency.observe_duration(handler_start.elapsed());
         match ctl.write_budget() {
             Some(budget) => {
                 // Tighten only: the static write budget still bounds the
@@ -366,6 +367,7 @@ where
             None => {}
         }
         framed.send(&response)?;
+        m.bytes_out.add(response.len() as u64);
     }
     Ok(())
 }

@@ -46,6 +46,21 @@ fi
 cargo test -q --test deadlines
 cargo test -q -p transport breaker::
 
+# Metrics job: the obs crate's primitives (multithreaded exactness,
+# exposition shape), the live /metrics scrape + dump()-snapshot e2e
+# tests, and the zero-allocation instrumentation gate (covered by the
+# alloc-counter step above). Server diagnostics must flow through the
+# typed error counters, not stderr — grep keeps eprintln! out of the
+# server accept/serve paths for good.
+cargo test -q -p obs
+cargo test -q --test metrics
+for f in crates/transport/src/tcpserver.rs crates/transport/src/http/server.rs; do
+    if grep -n 'eprintln!' "$f"; then
+        echo "metrics: $f writes to stderr; use the obs error counters" >&2
+        exit 1
+    fi
+done
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The API is the product: rustdoc must build clean (broken intra-doc
