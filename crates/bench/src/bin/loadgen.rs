@@ -1,0 +1,770 @@
+//! Open-loop load harness for the evented server core (PR 6).
+//!
+//! Measures the things the reactor port was built for:
+//!
+//! 1. **10k sustain** — ≥10,000 concurrent keep-alive HTTP connections
+//!    against one evented server, all exchanging requests at once.
+//! 2. **Evented vs threaded** — the same echo workload against the
+//!    reactor servers and against classic thread-per-connection baselines
+//!    (implemented *here*, so the transport crate itself stays free of
+//!    per-connection threads).
+//! 3. **Keep-alive vs one-shot** — requests-per-second with connection
+//!    reuse vs a fresh connection per request, across the Table 1 payload
+//!    grid (§6: 12 B/value × model sizes 10/100/1000/4000).
+//!
+//! The client is itself an epoll readiness loop (reusing
+//! [`transport::Poller`]): a thread-per-connection client cannot drive
+//! 10k sockets from the one-core container this runs in. Each connection
+//! runs a closed loop (next request issued as soon as the response
+//! lands); across the population the offered load is open — no
+//! connection waits for any other. Latency is recorded per exchange into
+//! an [`obs::Histogram`] (log₂ buckets, so percentiles are power-of-two
+//! resolution) from first request byte written to last response byte
+//! read.
+//!
+//! The server under test runs in a **subprocess** (`--serve <mode>`) so
+//! client and server each get the container's full fd budget, and a
+//! server panic is an observable crash rather than a silent wedge.
+//!
+//! Run with: `cargo run --release -p bench --bin loadgen` (full grid,
+//! prints the BENCH_PR6 JSON on stdout) or `-- --smoke` (1k connections,
+//! one grid cell, asserts sanity bounds; the CI job).
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use obs::Histogram;
+use transport::{Events, HttpRequest, HttpResponse, HttpServer, Interest, Poller, TcpServer};
+use transport::HttpServerConfig;
+
+/// Table 1 payload grid: 12 B per array value at model sizes
+/// 10 / 100 / 1000 / 4000.
+const PAYLOAD_GRID: [usize; 4] = [120, 1_200, 12_000, 48_000];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => serve(args.get(1).map(String::as_str).unwrap_or("")),
+        Some("--smoke") => smoke(),
+        _ => full_grid(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server subprocess
+// ---------------------------------------------------------------------
+
+/// Child-process entry: bind the requested server flavor on an ephemeral
+/// port, print `ADDR <addr>` for the parent, then park until killed.
+fn serve(mode: &str) {
+    let addr = match mode {
+        "http-evented" => {
+            let server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                HttpServerConfig {
+                    read_timeout: Some(Duration::from_secs(60)),
+                    write_timeout: Some(Duration::from_secs(60)),
+                    metrics_path: None,
+                },
+                |req| HttpResponse::ok("application/octet-stream", req.body.clone()),
+            )
+            .expect("bind http-evented");
+            let addr = server.local_addr();
+            std::mem::forget(server); // lives until the process is killed
+            addr
+        }
+        "tcp-evented" => {
+            let server = TcpServer::bind("127.0.0.1:0", |req| req).expect("bind tcp-evented");
+            let addr = server.local_addr();
+            std::mem::forget(server);
+            addr
+        }
+        "http-threaded" => threaded_http_server(),
+        "tcp-threaded" => threaded_tcp_server(),
+        other => panic!("unknown serve mode {other:?}"),
+    };
+    println!("ADDR {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush addr line");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The pre-reactor baseline, preserved here for comparison: one OS
+/// thread per accepted connection, blocking reads and writes, keep-alive
+/// honored by looping until the client says close.
+fn threaded_http_server() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind http-threaded");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let _ = stream.set_nodelay(true);
+                let mut reader = BufReader::new(stream);
+                while let Ok(req) = HttpRequest::read_from(&mut reader) {
+                    let keep_alive = !req
+                        .header("connection")
+                        .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+                    let resp = HttpResponse::ok("application/octet-stream", req.body);
+                    if resp.write_to_with(&mut reader.get_mut(), keep_alive).is_err()
+                        || !keep_alive
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Thread-per-connection framed-TCP echo baseline.
+fn threaded_tcp_server() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind tcp-threaded");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let _ = stream.set_nodelay(true);
+                let mut payload = Vec::new();
+                loop {
+                    let mut prefix = [0u8; 4];
+                    if stream.read_exact(&mut prefix).is_err() {
+                        break;
+                    }
+                    let len = u32::from_be_bytes(prefix) as usize;
+                    payload.resize(len, 0);
+                    if stream.read_exact(&mut payload).is_err() {
+                        break;
+                    }
+                    if stream.write_all(&prefix).is_err() || stream.write_all(&payload).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Spawn `--serve <mode>` as a subprocess and wait for its `ADDR` line.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(mode: &str) -> ServerProc {
+        let exe = std::env::current_exe().expect("current exe");
+        let mut child = Command::new(exe)
+            .arg("--serve")
+            .arg(mode)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn server subprocess");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read ADDR line");
+        let addr = line
+            .strip_prefix("ADDR ")
+            .unwrap_or_else(|| panic!("bad server banner {line:?}"))
+            .trim()
+            .to_owned();
+        ServerProc { child, addr }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoll client
+// ---------------------------------------------------------------------
+
+/// How one exchange's response is delimited.
+#[derive(Clone, Copy, PartialEq)]
+enum Protocol {
+    /// 4-byte big-endian length prefix.
+    Framed,
+    /// HTTP/1.1 head + `Content-Length` body.
+    Http,
+}
+
+/// Connection lifecycle across exchanges.
+#[derive(Clone, Copy, PartialEq)]
+enum Reuse {
+    /// One socket, many exchanges (framed TCP, HTTP keep-alive).
+    KeepAlive,
+    /// Fresh socket per exchange (`Connection: close`).
+    PerRequest,
+}
+
+/// One load-generator connection: a write-then-read exchange loop.
+struct LoadConn {
+    stream: TcpStream,
+    written: usize,
+    inbuf: Vec<u8>,
+    /// Response head length once delimited (HTTP) — body offset.
+    head_len: Option<usize>,
+    /// Total response length once known.
+    expected: Option<usize>,
+    started: Instant,
+    reading: bool,
+}
+
+impl LoadConn {
+    fn connect(addr: &str) -> std::io::Result<LoadConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(LoadConn {
+            stream,
+            written: 0,
+            inbuf: Vec::with_capacity(256),
+            head_len: None,
+            expected: None,
+            started: Instant::now(),
+            reading: false,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.written = 0;
+        self.inbuf.clear();
+        self.head_len = None;
+        self.expected = None;
+        self.started = Instant::now();
+        self.reading = false;
+    }
+
+    /// Push request bytes; true when the request is fully written.
+    fn step_write(&mut self, request: &[u8]) -> std::io::Result<bool> {
+        while self.written < request.len() {
+            match self.stream.write(&request[self.written..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.reading = true;
+        Ok(true)
+    }
+
+    /// Pull response bytes; true when the response is complete.
+    fn step_read(&mut self, protocol: Protocol) -> std::io::Result<bool> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if self.complete(protocol)? {
+                return Ok(true);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::other(format!(
+                        "server closed mid-response ({} bytes in)",
+                        self.inbuf.len()
+                    )))
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn complete(&mut self, protocol: Protocol) -> std::io::Result<bool> {
+        match protocol {
+            Protocol::Framed => {
+                if self.expected.is_none() && self.inbuf.len() >= 4 {
+                    let len =
+                        u32::from_be_bytes([self.inbuf[0], self.inbuf[1], self.inbuf[2], self.inbuf[3]]);
+                    self.expected = Some(4 + len as usize);
+                }
+                Ok(self.expected.is_some_and(|e| self.inbuf.len() >= e))
+            }
+            Protocol::Http => {
+                if self.head_len.is_none() {
+                    if let Some(pos) = self.inbuf.windows(4).position(|w| w == b"\r\n\r\n") {
+                        let head = &self.inbuf[..pos];
+                        let body_len = head
+                            .split(|&b| b == b'\n')
+                            .filter_map(|line| {
+                                let line = std::str::from_utf8(line).ok()?;
+                                let (name, value) = line.split_once(':')?;
+                                name.eq_ignore_ascii_case("content-length")
+                                    .then(|| value.trim().parse::<usize>().ok())?
+                            })
+                            .next()
+                            .ok_or_else(|| std::io::Error::other("response without Content-Length"))?;
+                        self.head_len = Some(pos + 4);
+                        self.expected = Some(pos + 4 + body_len);
+                    }
+                }
+                Ok(self.expected.is_some_and(|e| self.inbuf.len() >= e))
+            }
+        }
+    }
+}
+
+/// Outcome of one load cell.
+struct CellResult {
+    exchanges: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Fresh sockets opened (per-request mode churns these).
+    connects: u64,
+    /// Time to get the whole population connected.
+    connect_time: Duration,
+    latency: Histogram,
+}
+
+impl CellResult {
+    fn rps(&self) -> f64 {
+        self.exchanges as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn quantile_us(&self, q: f64) -> f64 {
+        self.latency.snapshot().quantile(q) as f64 / 1_000.0
+    }
+}
+
+/// Drive `concurrency` connections against `addr` for `duration`.
+///
+/// Every connection issues its next request the instant the previous
+/// response completes (or, in per-request mode, over a fresh socket), so
+/// concurrency — not client pacing — is the offered load.
+fn run_cell(
+    addr: &str,
+    protocol: Protocol,
+    reuse: Reuse,
+    request: &[u8],
+    concurrency: usize,
+    duration: Duration,
+    max_exchanges: u64,
+) -> CellResult {
+    let poller = Poller::new().expect("client epoll");
+    let mut events = Events::with_capacity(4096);
+    let mut conns: Vec<Option<LoadConn>> = Vec::with_capacity(concurrency);
+    let latency = Histogram::new();
+    let mut exchanges = 0u64;
+    let mut errors = 0u64;
+    let mut connects = 0u64;
+
+    let connect_started = Instant::now();
+    for token in 0..concurrency {
+        match LoadConn::connect(addr) {
+            Ok(conn) => {
+                poller
+                    .add(conn.stream.as_raw_fd(), token as u64, Interest::Writable)
+                    .expect("register");
+                conns.push(Some(conn));
+                connects += 1;
+            }
+            Err(e) => panic!("connect {} of {concurrency} failed: {e}", token + 1),
+        }
+    }
+    let connect_time = connect_started.elapsed();
+
+    let cell_started = Instant::now();
+    let deadline = cell_started + duration;
+    let mut live = concurrency;
+    // Tokens whose socket died or finished and should reconnect (bounded
+    // by the deadline check below so the cell always terminates).
+    let mut reconnect: VecDeque<usize> = VecDeque::new();
+
+    while live > 0 {
+        let now = Instant::now();
+        let finished = now >= deadline || exchanges >= max_exchanges;
+        if finished && reconnect.len() == live {
+            break; // everything remaining is waiting on a reconnect we won't do
+        }
+        while let Some(token) = reconnect.pop_front() {
+            if finished {
+                live -= 1;
+                continue;
+            }
+            match LoadConn::connect(addr) {
+                Ok(conn) => {
+                    poller
+                        .add(conn.stream.as_raw_fd(), token as u64, Interest::Writable)
+                        .expect("register");
+                    conns[token] = Some(conn);
+                    connects += 1;
+                }
+                Err(_) => {
+                    errors += 1;
+                    reconnect.push_back(token); // retry next tick
+                    break;
+                }
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("epoll wait");
+        if n == 0 && Instant::now() >= deadline {
+            // Stragglers past the deadline: stop waiting for them.
+            for slot in conns.iter_mut() {
+                if let Some(conn) = slot.take() {
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                }
+            }
+            break;
+        }
+        for event in events.iter() {
+            let token = event.token as usize;
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            let step = drive_conn(conn, protocol, request, event.writable);
+            match step {
+                Ok(None) => {
+                    // Mid-exchange: make sure the interest matches phase.
+                    let want = if conn.reading {
+                        Interest::Readable
+                    } else {
+                        Interest::Writable
+                    };
+                    let _ = poller.modify(conn.stream.as_raw_fd(), event.token, want);
+                }
+                Ok(Some(elapsed)) => {
+                    latency.observe_duration(elapsed);
+                    exchanges += 1;
+                    let done = Instant::now() >= deadline || exchanges >= max_exchanges;
+                    match (reuse, done) {
+                        (Reuse::KeepAlive, false) => {
+                            conn.reset();
+                            let _ = poller.modify(
+                                conn.stream.as_raw_fd(),
+                                event.token,
+                                Interest::Writable,
+                            );
+                        }
+                        (Reuse::PerRequest, false) => {
+                            let conn = conns[token].take().expect("just drove it");
+                            let _ = poller.delete(conn.stream.as_raw_fd());
+                            drop(conn);
+                            reconnect.push_back(token);
+                        }
+                        (_, true) => {
+                            let conn = conns[token].take().expect("just drove it");
+                            let _ = poller.delete(conn.stream.as_raw_fd());
+                            live -= 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    errors += 1;
+                    let conn = conns[token].take().expect("just drove it");
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    if Instant::now() >= deadline {
+                        live -= 1;
+                    } else {
+                        reconnect.push_back(token);
+                    }
+                }
+            }
+        }
+    }
+
+    CellResult {
+        exchanges,
+        errors,
+        // Actual wall time, not the nominal duration: a cell capped by
+        // `max_exchanges` finishes early and must not under-report.
+        elapsed: cell_started.elapsed(),
+        connects,
+        connect_time,
+        latency,
+    }
+}
+
+/// Advance one connection as far as readiness allows; `Some(latency)`
+/// when an exchange completed.
+fn drive_conn(
+    conn: &mut LoadConn,
+    protocol: Protocol,
+    request: &[u8],
+    writable: bool,
+) -> std::io::Result<Option<Duration>> {
+    if !conn.reading && (writable || conn.written > 0) && !conn.step_write(request)? {
+        return Ok(None);
+    }
+    if conn.reading && conn.step_read(protocol)? {
+        return Ok(Some(conn.started.elapsed()));
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------
+// Request builders
+// ---------------------------------------------------------------------
+
+fn framed_request(payload: usize) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(4 + payload);
+    wire.extend_from_slice(&(payload as u32).to_be_bytes());
+    wire.resize(4 + payload, 0x42);
+    wire
+}
+
+fn http_request(payload: usize, keep_alive: bool) -> Vec<u8> {
+    let req = HttpRequest::post("/echo", "application/octet-stream", vec![0x42; payload]);
+    let mut wire = Vec::new();
+    req.write_to_with(&mut wire, keep_alive).expect("serialize");
+    wire
+}
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+fn sustain(connections: usize, duration: Duration) -> (CellResult, f64) {
+    let server = ServerProc::start("http-evented");
+    let result = run_cell(
+        &server.addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &http_request(PAYLOAD_GRID[0], true),
+        connections,
+        duration,
+        u64::MAX,
+    );
+    let conn_rate = result.connects as f64 / result.connect_time.as_secs_f64().max(1e-9);
+    (result, conn_rate)
+}
+
+struct Comparison {
+    mode: &'static str,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    errors: u64,
+}
+
+fn compare_servers(concurrency: usize, duration: Duration) -> Vec<Comparison> {
+    let cells: [(&str, Protocol); 4] = [
+        ("http-evented", Protocol::Http),
+        ("http-threaded", Protocol::Http),
+        ("tcp-evented", Protocol::Framed),
+        ("tcp-threaded", Protocol::Framed),
+    ];
+    cells
+        .iter()
+        .map(|&(mode, protocol)| {
+            let server = ServerProc::start(mode);
+            let request = match protocol {
+                Protocol::Http => http_request(PAYLOAD_GRID[1], true),
+                Protocol::Framed => framed_request(PAYLOAD_GRID[1]),
+            };
+            let r = run_cell(
+                &server.addr,
+                protocol,
+                Reuse::KeepAlive,
+                &request,
+                concurrency,
+                duration,
+                u64::MAX,
+            );
+            eprintln!(
+                "  {mode:>13}: {:.0} req/s, p99 {:.0} µs, {} errors",
+                r.rps(),
+                r.quantile_us(0.99),
+                r.errors
+            );
+            Comparison {
+                mode,
+                rps: r.rps(),
+                p50_us: r.quantile_us(0.5),
+                p99_us: r.quantile_us(0.99),
+                p999_us: r.quantile_us(0.999),
+                errors: r.errors,
+            }
+        })
+        .collect()
+}
+
+struct GridRow {
+    payload: usize,
+    keepalive_rps: f64,
+    close_rps: f64,
+    keepalive_p99_us: f64,
+    close_p99_us: f64,
+}
+
+fn keepalive_vs_close(
+    payloads: &[usize],
+    concurrency: usize,
+    duration: Duration,
+    close_cap: u64,
+) -> Vec<GridRow> {
+    let server = ServerProc::start("http-evented");
+    payloads
+        .iter()
+        .map(|&payload| {
+            let ka = run_cell(
+                &server.addr,
+                Protocol::Http,
+                Reuse::KeepAlive,
+                &http_request(payload, true),
+                concurrency,
+                duration,
+                u64::MAX,
+            );
+            // One-shot churns ephemeral ports, so it is additionally
+            // capped by exchange count to stay inside the port range.
+            let close = run_cell(
+                &server.addr,
+                Protocol::Http,
+                Reuse::PerRequest,
+                &http_request(payload, false),
+                concurrency,
+                duration,
+                close_cap,
+            );
+            eprintln!(
+                "  {payload:>6} B: keep-alive {:.0} req/s vs close {:.0} req/s",
+                ka.rps(),
+                close.rps()
+            );
+            GridRow {
+                payload,
+                keepalive_rps: ka.rps(),
+                close_rps: close.rps(),
+                keepalive_p99_us: ka.quantile_us(0.99),
+                close_p99_us: close.quantile_us(0.99),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+fn smoke() {
+    eprintln!("loadgen smoke: 1k-connection sustain");
+    let (sustain, conn_rate) = sustain(1_000, Duration::from_secs(2));
+    eprintln!(
+        "  1000 conns in {:.0} ms ({conn_rate:.0} conn/s), {} exchanges, {} errors, p99 {:.0} µs",
+        sustain.connect_time.as_secs_f64() * 1e3,
+        sustain.exchanges,
+        sustain.errors,
+        sustain.quantile_us(0.99),
+    );
+    assert_eq!(sustain.errors, 0, "smoke run must be error free");
+    assert!(
+        sustain.exchanges >= 1_000,
+        "every connection must complete at least one exchange"
+    );
+    // Generous: catches only order-of-magnitude regressions (seconds of
+    // tail latency at 1k connections), not scheduler noise.
+    assert!(
+        sustain.quantile_us(0.99) < 5_000_000.0,
+        "p99 {} µs exceeds the 5 s smoke bound",
+        sustain.quantile_us(0.99)
+    );
+
+    eprintln!("loadgen smoke: keep-alive vs one-shot (1.2 KB)");
+    let grid = keepalive_vs_close(&PAYLOAD_GRID[1..2], 32, Duration::from_secs(1), 2_000);
+    assert!(
+        grid[0].keepalive_rps > grid[0].close_rps,
+        "keep-alive ({:.0} req/s) must beat one-shot ({:.0} req/s)",
+        grid[0].keepalive_rps,
+        grid[0].close_rps
+    );
+    eprintln!("loadgen smoke: PASS");
+}
+
+fn full_grid() {
+    eprintln!("loadgen: 10k-connection sustain");
+    let (sustain, conn_rate) = sustain(10_000, Duration::from_secs(5));
+    eprintln!(
+        "  10000 conns in {:.1} s ({conn_rate:.0} conn/s), {} exchanges ({:.0} req/s), {} errors",
+        sustain.connect_time.as_secs_f64(),
+        sustain.exchanges,
+        sustain.rps(),
+        sustain.errors,
+    );
+
+    eprintln!("loadgen: evented vs threaded (256 conns, 1.2 KB)");
+    let comparisons = compare_servers(256, Duration::from_secs(3));
+
+    eprintln!("loadgen: keep-alive vs one-shot across the payload grid");
+    let grid = keepalive_vs_close(&PAYLOAD_GRID, 64, Duration::from_secs(2), 4_000);
+
+    // ---- JSON report (stdout) ----
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"title\": \"Event-driven server core: readiness loop, HTTP keep-alive, 10k-connection load harness\",\n");
+    out.push_str("  \"harness\": \"loadgen (epoll client, server in subprocess)\",\n");
+    out.push_str("  \"machine_note\": \"1-core container; latencies from obs log2 histograms, so percentiles are power-of-two upper bounds\",\n");
+    out.push_str(&format!(
+        "  \"sustain_10k\": {{\"connections\": 10000, \"connect_secs\": {:.3}, \"connections_per_sec\": {:.0}, \"exchanges\": {}, \"req_per_sec\": {:.0}, \"errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}},\n",
+        sustain.connect_time.as_secs_f64(),
+        conn_rate,
+        sustain.exchanges,
+        sustain.rps(),
+        sustain.errors,
+        sustain.quantile_us(0.5),
+        sustain.quantile_us(0.99),
+        sustain.quantile_us(0.999),
+    ));
+    out.push_str("  \"evented_vs_threaded_256conn_1200B\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"server\": \"{}\", \"req_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"errors\": {}}}{}\n",
+            c.mode,
+            c.rps,
+            c.p50_us,
+            c.p99_us,
+            c.p999_us,
+            c.errors,
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"keepalive_vs_close_64conn\": [\n");
+    for (i, row) in grid.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {}, \"keepalive_req_per_sec\": {:.0}, \"close_req_per_sec\": {:.0}, \"keepalive_p99_us\": {:.1}, \"close_p99_us\": {:.1}, \"keepalive_beats_close\": {}}}{}\n",
+            row.payload,
+            row.keepalive_rps,
+            row.close_rps,
+            row.keepalive_p99_us,
+            row.close_p99_us,
+            row.keepalive_rps > row.close_rps,
+            if i + 1 < grid.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    print!("{out}");
+
+    let all_beat = grid.iter().all(|r| r.keepalive_rps > r.close_rps);
+    eprintln!(
+        "loadgen: keep-alive beats one-shot at every payload size: {}",
+        if all_beat { "yes" } else { "NO" }
+    );
+    if sustain.errors > 0 || !all_beat {
+        std::process::exit(1);
+    }
+}

@@ -193,6 +193,28 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The value at quantile `q` (`0.0..=1.0`), as the upper bound of the
+    /// first bucket whose cumulative count reaches rank `ceil(q·count)`.
+    ///
+    /// With log₂ buckets this over-reports by at most 2× — the right
+    /// resolution for latency tails, where the question is "which power
+    /// of two", not "which microsecond". Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        for &(bound, cumulative) in &self.buckets {
+            if cumulative >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +308,25 @@ mod tests {
         assert_eq!(HAMMERED.count(), threads * per_thread);
         let per_thread_sum: u64 = (0..per_thread).map(|i| i % 1000).sum();
         assert_eq!(HAMMERED.sum(), threads * per_thread_sum);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let h = Histogram::new();
+        // 90 fast observations and 10 slow ones: p50 is in the fast
+        // bucket, p99 in the slow one.
+        for _ in 0..90 {
+            h.observe(100); // bucket le 127
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000); // bucket le 2^20 - 1
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.9), 127);
+        assert_eq!(snap.quantile(0.99), (1 << 20) - 1);
+        assert_eq!(snap.quantile(1.0), (1 << 20) - 1);
+        assert_eq!(HistogramSnapshot { count: 0, sum: 0, buckets: vec![] }.quantile(0.5), 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! accept loop owns the connection.)
 
 use transport::faulty::FaultAction;
-use transport::{Deadline, FramedStream, HttpResponse, SharedInjector, Timeouts, TransportError};
+use transport::{
+    Deadline, FramedStream, HttpConnection, HttpResponse, SharedInjector, Timeouts, TransportError,
+};
 
 use crate::error::{SoapError, SoapResult};
 use crate::fault::SoapFault;
@@ -70,11 +72,16 @@ pub trait BindingPolicy {
     }
 }
 
-/// SOAP over HTTP POST: each request is one HTTP exchange.
+/// SOAP over HTTP POST: each request is one HTTP exchange, carried over a
+/// persistent keep-alive connection.
 ///
 /// "The HTTP binding will create a HTTP request message with the
-/// serialized SOAP message as payload" (§5.3).
-#[derive(Debug, Clone)]
+/// serialized SOAP message as payload" (§5.3). The connection is cached
+/// across calls ([`HttpConnection`]) so the steady-state cost per call is
+/// one write and one read, not a TCP handshake; a server that answers
+/// `Connection: close` simply reverts the binding to one exchange per
+/// connect.
+#[derive(Debug)]
 pub struct HttpBinding {
     addr: String,
     /// SOAPAction header value, if the service wants one.
@@ -86,6 +93,8 @@ pub struct HttpBinding {
     request: transport::HttpRequest,
     /// Reusable response parse target (body capacity survives).
     response: HttpResponse,
+    /// The cached keep-alive connection (reconnects lazily).
+    conn: HttpConnection,
     pending: bool,
     /// Live call deadline narrowing `timeouts` for the current call.
     call_deadline: Option<Deadline>,
@@ -100,6 +109,7 @@ impl HttpBinding {
             timeouts: Timeouts::none(),
             request: transport::HttpRequest::post(path, "", Vec::new()),
             response: HttpResponse::empty(),
+            conn: HttpConnection::new(addr),
             pending: false,
             call_deadline: None,
         }
@@ -114,6 +124,28 @@ impl HttpBinding {
     /// The endpoint address.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Exchanges that reused the cached connection (diagnostics).
+    pub fn connection_reuses(&self) -> u64 {
+        self.conn.reuse_count()
+    }
+}
+
+impl Clone for HttpBinding {
+    fn clone(&self) -> HttpBinding {
+        // A clone is a fresh client to the same endpoint: sockets are not
+        // shareable, so it starts disconnected and dials on first use.
+        HttpBinding {
+            addr: self.addr.clone(),
+            soap_action: self.soap_action.clone(),
+            timeouts: self.timeouts,
+            request: self.request.clone(),
+            response: HttpResponse::empty(),
+            conn: HttpConnection::new(&self.addr),
+            pending: false,
+            call_deadline: self.call_deadline,
+        }
     }
 }
 
@@ -133,14 +165,16 @@ impl BindingPolicy for HttpBinding {
                 .headers
                 .push(("SOAPAction".into(), action.clone()));
         }
-        // One HTTP exchange = connect + write + read; under a call
+        // One HTTP exchange = write + read on the cached connection
+        // (connect only when cold or the kept socket died); under a call
         // deadline every phase budget narrows to what's left (and an
-        // already-spent deadline fails here, before any connect).
+        // already-spent deadline fails here, before any socket work).
         let timeouts = match &self.call_deadline {
             Some(d) => self.timeouts.clamped_to(d).map_err(SoapError::Transport)?,
             None => self.timeouts,
         };
-        transport::send_request_with_into(&self.addr, &self.request, &timeouts, &mut self.response)?;
+        self.conn
+            .exchange_with_into(&self.request, &timeouts, &mut self.response)?;
         // SOAP-over-HTTP delivers faults in 500 responses with a SOAP
         // body; anything else non-2xx is a transport-level error carrying
         // the status, a body prefix, and any Retry-After.
@@ -453,6 +487,25 @@ mod tests {
         binding.soap_action = Some("\"op\"".into());
         let out = binding.exchange(b"<x/>", "text/xml").unwrap();
         assert_eq!(out, b"<x/>");
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_binding_reuses_its_connection() {
+        let server = transport::HttpServer::bind("127.0.0.1:0", |req| {
+            transport::HttpResponse::ok("text/xml", req.body.clone())
+        })
+        .unwrap();
+        let mut binding = HttpBinding::new(&server.local_addr().to_string(), "/soap");
+        for i in 0..5u8 {
+            let out = binding.exchange(&[i], "text/xml").unwrap();
+            assert_eq!(out, [i]);
+        }
+        // Calls 2..5 all rode the socket call 1 opened.
+        assert_eq!(binding.connection_reuses(), 4);
+        // A clone is an independent client: it starts disconnected.
+        let clone = binding.clone();
+        assert_eq!(clone.connection_reuses(), 0);
         server.shutdown();
     }
 }

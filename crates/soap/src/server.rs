@@ -104,9 +104,18 @@ impl TcpSoapServer {
         self.inner.error_count()
     }
 
-    /// Stop serving.
+    /// Stop serving: in-flight messages get a short grace period, idle
+    /// connections close immediately.
     pub fn shutdown(self) {
         self.inner.shutdown();
+    }
+
+    /// [`shutdown`](TcpSoapServer::shutdown) with an explicit drain
+    /// deadline; connections still mid-message when it expires are
+    /// dropped and counted as
+    /// `bx_server_connection_errors_total{kind="shutdown_drop"}`.
+    pub fn shutdown_within(self, drain: std::time::Duration) {
+        self.inner.shutdown_within(drain);
     }
 }
 
@@ -202,9 +211,18 @@ impl HttpSoapServer {
         self.inner.error_count()
     }
 
-    /// Stop serving.
+    /// Stop serving: in-flight requests get a short grace period, idle
+    /// keep-alive connections close immediately.
     pub fn shutdown(self) {
         self.inner.shutdown();
+    }
+
+    /// [`shutdown`](HttpSoapServer::shutdown) with an explicit drain
+    /// deadline; connections still mid-request when it expires are
+    /// dropped and counted as
+    /// `bx_server_connection_errors_total{kind="shutdown_drop"}`.
+    pub fn shutdown_within(self, drain: std::time::Duration) {
+        self.inner.shutdown_within(drain);
     }
 }
 

@@ -251,6 +251,11 @@ impl<S> FaultingTransport<S> {
         self.inner
     }
 
+    /// The wrapped stream (the reactor needs its file descriptor).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
     fn apply_quota(&mut self, wanted: usize) -> Option<usize> {
         self.quota.map(|q| wanted.min(q))
     }

@@ -1,6 +1,8 @@
-//! HTTP client helpers (the libcurl stand-in).
+//! HTTP client helpers (the libcurl stand-in) and the keep-alive
+//! [`HttpConnection`].
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
 use std::time::Instant;
 
 use crate::deadline::Timeouts;
@@ -8,6 +10,202 @@ use crate::error::{TransportError, TransportResult};
 use crate::framed::connect_stream;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
+
+/// A persistent HTTP/1.1 client connection with keep-alive reuse.
+///
+/// Requests go out with `Connection: keep-alive`; the socket is kept for
+/// the next exchange whenever the server's response promises reuse
+/// (explicit `Connection: keep-alive` — a server that says nothing, or
+/// `close`, gets a fresh connection next time). Connects are lazy, so
+/// constructing one costs nothing until the first exchange.
+///
+/// **Stale-connection handling.** A kept socket can die between
+/// exchanges (server restarted, idle timeout fired). If that surfaces
+/// before any response byte arrives — a write-side pipe error or EOF at
+/// byte zero — the request provably never reached a handler, so it is
+/// resent once on a fresh connection. Errors after the first response
+/// byte, and timeouts, are never resent here: whether the exchange is
+/// replayable at all is the retry layer's call, not the socket cache's.
+#[derive(Debug)]
+pub struct HttpConnection {
+    addr: String,
+    timeouts: Timeouts,
+    stream: Option<BufReader<TcpStream>>,
+    reuses: u64,
+}
+
+/// Why one wire attempt failed: a provably-unstarted exchange on a stale
+/// kept socket (safe to resend), or a real error.
+enum Attempt {
+    Stale,
+    Fatal(TransportError),
+}
+
+impl HttpConnection {
+    /// A lazily-connected keep-alive client for `addr` (no timeouts).
+    pub fn new(addr: &str) -> HttpConnection {
+        HttpConnection {
+            addr: addr.to_owned(),
+            timeouts: Timeouts::none(),
+            stream: None,
+            reuses: 0,
+        }
+    }
+
+    /// Set the per-phase budgets applied to every exchange (chainable).
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> HttpConnection {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Is a socket currently kept for reuse?
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Exchanges that reused a kept socket (diagnostics).
+    pub fn reuse_count(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Drop the kept socket (the next exchange reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Send `request` and return the response.
+    pub fn exchange(&mut self, request: &HttpRequest) -> TransportResult<HttpResponse> {
+        let mut response = HttpResponse::empty();
+        self.exchange_into(request, &mut response)?;
+        Ok(response)
+    }
+
+    /// [`exchange`](HttpConnection::exchange) into a reusable response
+    /// value (body capacity kept across calls).
+    pub fn exchange_into(
+        &mut self,
+        request: &HttpRequest,
+        response: &mut HttpResponse,
+    ) -> TransportResult<()> {
+        let timeouts = self.timeouts;
+        self.exchange_with_into(request, &timeouts, response)
+    }
+
+    /// [`exchange_into`](HttpConnection::exchange_into) with per-call
+    /// budgets — the hook deadline-aware callers use to clamp each
+    /// exchange to the remaining end-to-end budget.
+    pub fn exchange_with_into(
+        &mut self,
+        request: &HttpRequest,
+        timeouts: &Timeouts,
+        response: &mut HttpResponse,
+    ) -> TransportResult<()> {
+        let mut resent = false;
+        loop {
+            let reused = self.stream.is_some();
+            let reader = self.connected(timeouts)?;
+            match try_exchange(reader, request, timeouts, response) {
+                Ok(()) => {
+                    if crate::http::response_keeps_alive(&response.headers) {
+                        if reused {
+                            self.reuses += 1;
+                        }
+                    } else {
+                        self.stream = None;
+                    }
+                    return Ok(());
+                }
+                Err(Attempt::Stale) if reused && !resent => {
+                    // The kept socket had died; nothing reached a
+                    // handler, so one resend on a fresh connection.
+                    self.stream = None;
+                    resent = true;
+                }
+                Err(Attempt::Stale) => {
+                    self.stream = None;
+                    return Err(TransportError::ConnectionClosed);
+                }
+                Err(Attempt::Fatal(e)) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// The kept socket, or a fresh connection; per-call budgets are
+    /// (re)applied either way.
+    fn connected(&mut self, timeouts: &Timeouts) -> TransportResult<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = connect_stream(&self.addr, timeouts.connect)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("just connected");
+        let socket = reader.get_ref();
+        socket.set_read_timeout(timeouts.read)?;
+        socket.set_write_timeout(timeouts.write)?;
+        Ok(reader)
+    }
+}
+
+/// One wire attempt on an established connection.
+fn try_exchange(
+    reader: &mut BufReader<TcpStream>,
+    request: &HttpRequest,
+    timeouts: &Timeouts,
+    response: &mut HttpResponse,
+) -> Result<(), Attempt> {
+    let started = Instant::now();
+    if let Err(e) = request.write_to_with(&mut reader.get_ref(), true) {
+        return Err(match e {
+            TransportError::Io(io) if TransportError::io_is_timeout(&io) => {
+                Attempt::Fatal(TransportError::TimedOut {
+                    elapsed: started.elapsed(),
+                    budget: timeouts.write.unwrap_or_default(),
+                })
+            }
+            TransportError::Io(io) if is_stale_pipe(&io) => Attempt::Stale,
+            TransportError::ConnectionClosed => Attempt::Stale,
+            other => Attempt::Fatal(other),
+        });
+    }
+    // Peek before parsing: EOF (or a reset) at response byte zero means
+    // the peer closed without seeing the request — the stale-socket case.
+    let started = Instant::now();
+    match reader.fill_buf() {
+        Ok([]) => return Err(Attempt::Stale),
+        Ok(_) => {}
+        Err(io) if TransportError::io_is_timeout(&io) => {
+            return Err(Attempt::Fatal(TransportError::TimedOut {
+                elapsed: started.elapsed(),
+                budget: timeouts.read.unwrap_or_default(),
+            }))
+        }
+        Err(io) if is_stale_pipe(&io) => return Err(Attempt::Stale),
+        Err(io) => return Err(Attempt::Fatal(TransportError::Io(io))),
+    }
+    HttpResponse::read_from_into(reader, response).map_err(|e| match e {
+        TransportError::Io(io) if TransportError::io_is_timeout(&io) => {
+            Attempt::Fatal(TransportError::TimedOut {
+                elapsed: started.elapsed(),
+                budget: timeouts.read.unwrap_or_default(),
+            })
+        }
+        other => Attempt::Fatal(other),
+    })
+}
+
+/// Error kinds that mean "the kept peer was already gone".
+fn is_stale_pipe(io: &std::io::Error) -> bool {
+    matches!(
+        io.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
 
 /// Send one request to `addr` and read the response (one connection per
 /// request, matching the servers' `Connection: close` behaviour), with no

@@ -57,6 +57,51 @@ pub(crate) fn find_header<'a>(headers: &'a [(String, String)], name: &str) -> Op
         .map(|(_, v)| v.as_str())
 }
 
+/// Does any `Connection:` header carry a `close` token? Checked across
+/// every header of that name, so duplicate/conflicting headers err on the
+/// side of closing.
+pub(crate) fn wants_close(headers: &[(String, String)]) -> bool {
+    connection_tokens(headers).any(|t| t.eq_ignore_ascii_case("close"))
+}
+
+/// The RFC 7230 §6 connection disposition for a *request*: any `close`
+/// token wins; an explicit `keep-alive` token opts in; any other
+/// `Connection:` option (malformed or unknown) closes conservatively;
+/// with no `Connection:` header at all, HTTP/1.1 defaults to keep-alive
+/// and HTTP/1.0 to close.
+pub(crate) fn keep_alive_disposition(http11: bool, headers: &[(String, String)]) -> bool {
+    let mut saw_option = false;
+    let mut saw_keep_alive = false;
+    for token in connection_tokens(headers) {
+        saw_option = true;
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        if token.eq_ignore_ascii_case("keep-alive") {
+            saw_keep_alive = true;
+        }
+    }
+    saw_keep_alive || (!saw_option && http11)
+}
+
+/// The disposition a *response* promises: reuse only on an explicit
+/// `keep-alive` with no `close` token. A server that says nothing gets a
+/// fresh connection next time — our own servers always state it.
+pub(crate) fn response_keeps_alive(headers: &[(String, String)]) -> bool {
+    !wants_close(headers)
+        && connection_tokens(headers).any(|t| t.eq_ignore_ascii_case("keep-alive"))
+}
+
+/// All comma-separated tokens across every `Connection:` header.
+fn connection_tokens(headers: &[(String, String)]) -> impl Iterator<Item = &str> {
+    headers
+        .iter()
+        .filter(|(n, _)| n.eq_ignore_ascii_case("connection"))
+        .flat_map(|(_, v)| v.split(','))
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+}
+
 /// Read a `Content-Length`-delimited body into a reusable buffer
 /// (contents replaced, capacity kept).
 pub(crate) fn read_body_into(
@@ -109,6 +154,31 @@ mod tests {
         let mut body = Vec::new();
         read_body_into(reader, headers, &mut body)?;
         Ok(body)
+    }
+
+    #[test]
+    fn connection_disposition_follows_rfc7230() {
+        let h = |v: &[(&str, &str)]| -> Vec<(String, String)> {
+            v.iter().map(|(n, s)| (n.to_string(), s.to_string())).collect()
+        };
+        // Version defaults with no Connection header.
+        assert!(keep_alive_disposition(true, &h(&[])));
+        assert!(!keep_alive_disposition(false, &h(&[])));
+        // Explicit tokens override the version default either way.
+        assert!(!keep_alive_disposition(true, &h(&[("Connection", "close")])));
+        assert!(keep_alive_disposition(false, &h(&[("connection", "Keep-Alive")])));
+        // Duplicate conflicting headers and token lists close.
+        assert!(!keep_alive_disposition(
+            true,
+            &h(&[("Connection", "keep-alive"), ("Connection", "close")])
+        ));
+        assert!(!keep_alive_disposition(true, &h(&[("Connection", "keep-alive, close")])));
+        // Unknown options close conservatively.
+        assert!(!keep_alive_disposition(true, &h(&[("Connection", "upgrade")])));
+        // Responses must promise reuse explicitly.
+        assert!(response_keeps_alive(&h(&[("Connection", "keep-alive")])));
+        assert!(!response_keeps_alive(&h(&[])));
+        assert!(!response_keeps_alive(&h(&[("Connection", "close")])));
     }
 
     #[test]

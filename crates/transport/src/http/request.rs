@@ -50,9 +50,18 @@ impl HttpRequest {
         find_header(&self.headers, name)
     }
 
-    /// Serialize onto a stream (adds `Content-Length` and
-    /// `Connection: close`).
+    /// Serialize onto a stream for a one-shot exchange
+    /// (`Connection: close`).
     pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
+        self.write_to_with(out, false)
+    }
+
+    /// Serialize onto a stream, stating the actual connection
+    /// disposition (`Connection: keep-alive` when the sender intends to
+    /// reuse the connection, `close` otherwise). Adds `Content-Length`;
+    /// caller-set `Connection`/`Content-Length` headers are dropped so
+    /// exactly one of each goes out, and truthfully.
+    pub fn write_to_with(&self, out: &mut impl Write, keep_alive: bool) -> TransportResult<()> {
         let mut head = String::with_capacity(128);
         head.push_str(&self.method);
         head.push(' ');
@@ -60,13 +69,22 @@ impl HttpRequest {
         head.push_str(" HTTP/1.1");
         head.push_str(CRLF);
         for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("connection")
+                || name.eq_ignore_ascii_case("content-length")
+            {
+                continue;
+            }
             head.push_str(name);
             head.push_str(": ");
             head.push_str(value);
             head.push_str(CRLF);
         }
         head.push_str(&format!("Content-Length: {}{CRLF}", self.body.len()));
-        head.push_str("Connection: close");
+        head.push_str(if keep_alive {
+            "Connection: keep-alive"
+        } else {
+            "Connection: close"
+        });
         head.push_str(CRLF);
         head.push_str(CRLF);
         out.write_all(head.as_bytes())?;

@@ -99,30 +99,55 @@ impl HttpResponse {
         TransportError::http_status(self.status, &self.reason, &self.body, retry_after)
     }
 
-    /// Serialize onto a stream (adds `Content-Length`, `Connection: close`).
+    /// Serialize onto a stream for a one-shot exchange
+    /// (`Connection: close`).
+    pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
+        self.write_to_with(out, false)
+    }
+
+    /// Serialize onto a stream, stating the actual connection
+    /// disposition: `Connection: keep-alive` when the sender will serve
+    /// another request on this connection, `Connection: close` when it
+    /// won't — so clients can trust the header.
     ///
     /// Head and body go out in one vectored write — the body (which may be
     /// a large BXSA payload) is never copied into the head buffer.
-    pub fn write_to(&self, out: &mut impl Write) -> TransportResult<()> {
-        use std::fmt::Write as _;
+    pub fn write_to_with(&self, out: &mut impl Write, keep_alive: bool) -> TransportResult<()> {
         use std::io::IoSlice;
 
-        let mut head = String::with_capacity(128);
-        let _ = write!(head, "HTTP/1.1 {} {}{CRLF}", self.status, self.reason);
-        for (name, value) in &self.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str(CRLF);
-        }
-        let _ = write!(head, "Content-Length: {}{CRLF}", self.body.len());
-        head.push_str("Connection: close");
-        head.push_str(CRLF);
-        head.push_str(CRLF);
-        let mut bufs = [IoSlice::new(head.as_bytes()), IoSlice::new(&self.body)];
+        let mut head = Vec::with_capacity(128);
+        self.serialize_head(keep_alive, &mut head);
+        let mut bufs = [IoSlice::new(&head), IoSlice::new(&self.body)];
         crate::iovec::write_all_vectored(out, &mut bufs)?;
         out.flush()?;
         Ok(())
+    }
+
+    /// Build the wire head (status line through blank line) into a
+    /// reusable buffer, adding `Content-Length` and exactly one
+    /// `Connection:` header reflecting `keep_alive`. Caller-set
+    /// `Connection`/`Content-Length` headers are dropped: the message on
+    /// the wire must describe what the connection will actually do.
+    pub(crate) fn serialize_head(&self, keep_alive: bool, head: &mut Vec<u8>) {
+        use std::io::Write as _;
+
+        head.clear();
+        let _ = write!(head, "HTTP/1.1 {} {}{CRLF}", self.status, self.reason);
+        for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("connection")
+                || name.eq_ignore_ascii_case("content-length")
+            {
+                continue;
+            }
+            let _ = write!(head, "{name}: {value}{CRLF}");
+        }
+        let _ = write!(head, "Content-Length: {}{CRLF}", self.body.len());
+        let disposition: &[u8] = if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        };
+        head.extend_from_slice(disposition);
     }
 
     /// An empty placeholder (status 0, no headers, no body) — the
@@ -234,6 +259,34 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn connection_header_reflects_disposition() {
+        let resp = HttpResponse::ok("text/plain", b"x".to_vec());
+        let mut wire = Vec::new();
+        resp.write_to_with(&mut wire, true).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.header("connection"), Some("keep-alive"));
+
+        wire.clear();
+        resp.write_to(&mut wire).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.header("connection"), Some("close"));
+
+        // A handler-set Connection header cannot contradict the wire:
+        // exactly one header goes out, stating the actual disposition.
+        let lying = resp.clone().with_header("Connection", "keep-alive");
+        wire.clear();
+        lying.write_to(&mut wire).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        let count = back
+            .headers
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case("connection"))
+            .count();
+        assert_eq!(count, 1);
+        assert_eq!(back.header("connection"), Some("close"));
     }
 
     #[test]

@@ -1,24 +1,33 @@
-//! A small threaded HTTP server (the Apache stand-in).
+//! The HTTP/1.1 server (the Apache stand-in).
+//!
+//! Since the reactor port this is an evented server with keep-alive and
+//! pipelining: connections are parked on a fixed pool of event-loop
+//! workers ([`crate::reactor`]), each serving as many requests as the
+//! peer cares to send before `Connection: close` (from either side) or
+//! the idle budget ends it. The `bind_*` surface is unchanged from the
+//! one-thread-per-request era.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::error::TransportResult;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
 use crate::metrics;
 use crate::pool::BufferPool;
+use crate::reactor::conn::HttpDriver;
+use crate::reactor::server::{EventServer, ReactorConfig, DEFAULT_DRAIN};
 use crate::tcpserver::ReplyControl;
 
 /// Per-connection limits for an [`HttpServer`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HttpServerConfig {
-    /// Budget for reading the request (headers + body). A client that
-    /// stalls mid-request is disconnected when this expires.
+    /// Budget for making read progress on a request (headers + body) —
+    /// and the idle allowance for a keep-alive connection between
+    /// requests. A client that stalls mid-request is disconnected (and
+    /// counted) when this expires; a connection that is merely idle
+    /// closes quietly.
     pub read_timeout: Option<Duration>,
     /// Budget for writing the response.
     pub write_timeout: Option<Duration>,
@@ -38,13 +47,9 @@ pub fn metrics_response() -> HttpResponse {
     )
 }
 
-/// A running HTTP server. One handler thread per connection; connections
-/// are single-request (`Connection: close`).
+/// A running HTTP server with keep-alive connections.
 pub struct HttpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    errors: Arc<AtomicU64>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: EventServer,
 }
 
 impl HttpServer {
@@ -70,12 +75,11 @@ impl HttpServer {
     }
 
     /// [`bind_with`](HttpServer::bind_with) sharing an explicit buffer
-    /// pool. Request bodies are read into pooled buffers and every body
-    /// (request and response) is recycled into `pool` once the response
-    /// is on the wire — HTTP's one-shot connections get the same
-    /// steady-state buffer reuse the framed-TCP server's persistent
-    /// connections enjoy. Handlers that want their response bodies to
-    /// come from the same cycle take buffers from the shared pool.
+    /// pool. Each connection takes a request-body buffer from `pool` for
+    /// its lifetime (cycled across its keep-alive requests) and returns
+    /// it on close; response bodies are recycled into `pool` once on the
+    /// wire. Handlers that want their response bodies to come from the
+    /// same cycle take buffers from the shared pool.
     pub fn bind_pooled<H>(
         addr: &str,
         config: HttpServerConfig,
@@ -100,173 +104,63 @@ impl HttpServer {
     where
         H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse + Send + Sync + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = Arc::clone(&stop);
-        let errors = Arc::new(AtomicU64::new(0));
-        let errors_accept = Arc::clone(&errors);
+        let m = metrics::http_server();
         let handler = Arc::new(handler);
-        let pool_accept = pool;
-
-        let accept_thread = std::thread::Builder::new()
-            .name("http-accept".into())
-            .spawn(move || {
-                // Connection-handler threads; joined on shutdown so tests
-                // never leak work past the server's lifetime. The paired
-                // stream handle lets shutdown unblock a worker parked in
-                // read() on a connection the client never closed.
-                let mut workers: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
-                for conn in listener.incoming() {
-                    if stop_accept.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let Ok(shutdown_handle) = stream.try_clone() else {
-                        continue;
-                    };
-                    metrics::http_server().connections.inc();
-                    let handler = Arc::clone(&handler);
-                    let errors = Arc::clone(&errors_accept);
-                    let pool = Arc::clone(&pool_accept);
-                    let worker = std::thread::Builder::new()
-                        .name("http-conn".into())
-                        .spawn(move || {
-                            if let Err(e) = serve_connection(stream, config, &*handler, &pool) {
-                                // Counted by kind; never takes the
-                                // listener down.
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                metrics::count_server_error("http", metrics::error_kind(&e));
-                            }
-                        })
-                        .expect("spawn http connection thread");
-                    workers.push((worker, shutdown_handle));
-                    // Reap finished workers opportunistically.
-                    workers.retain(|(w, _)| !w.is_finished());
-                }
-                for (w, stream) in workers {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    let _ = w.join();
-                }
-            })
-            .expect("spawn http accept thread");
-
-        Ok(HttpServer {
-            addr: local,
-            stop,
-            errors,
-            accept_thread: Some(accept_thread),
-        })
+        let metrics_path = config.metrics_path;
+        let inner = EventServer::bind(
+            addr,
+            ReactorConfig {
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+                transport: "http",
+                metrics: m,
+                injector: None,
+            },
+            Arc::new(move || {
+                Box::new(HttpDriver::new(
+                    Arc::clone(&handler),
+                    m,
+                    metrics_path,
+                    Arc::clone(&pool),
+                )) as Box<dyn crate::reactor::conn::ConnDriver>
+            }),
+        )?;
+        Ok(HttpServer { inner })
     }
 
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Connections that ended with a transport error (malformed beyond
     /// reply, stalled past the read budget, reset mid-response).
     pub fn error_count(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.inner.error_count()
     }
 
-    /// Stop accepting and wait for the accept loop to finish.
-    pub fn shutdown(mut self) {
-        self.do_shutdown();
+    /// Stop accepting and drain: in-flight requests get up to a short
+    /// grace period to finish, idle keep-alive connections close
+    /// immediately.
+    pub fn shutdown(self) {
+        self.shutdown_within(DEFAULT_DRAIN);
     }
 
-    fn do_shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        // Kick the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+    /// [`shutdown`](HttpServer::shutdown) with an explicit drain
+    /// deadline. Connections still mid-request when it expires are
+    /// dropped and counted as
+    /// `bx_server_connection_errors_total{kind="shutdown_drop"}`.
+    pub fn shutdown_within(mut self, drain: Duration) {
+        self.inner.shutdown_within(drain);
     }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.do_shutdown();
-    }
-}
-
-fn serve_connection<H>(
-    mut stream: TcpStream,
-    config: HttpServerConfig,
-    handler: &H,
-    pool: &BufferPool,
-) -> TransportResult<()>
-where
-    H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse,
-{
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(config.read_timeout)?;
-    stream.set_write_timeout(config.write_timeout)?;
-    let started = Instant::now();
-    let m = metrics::http_server();
-    let mut ctl = ReplyControl::default();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let response = match HttpRequest::read_from_with_body(&mut reader, pool.take()) {
-        Ok(mut request) => {
-            m.bytes_in.add(request.body.len() as u64);
-            let response = if config.metrics_path == Some(request.path.as_str())
-                && request.method == "GET"
-            {
-                metrics_response()
-            } else {
-                let handler_start = Instant::now();
-                let response = handler(&request, &mut ctl);
-                m.handler_latency.observe_duration(handler_start.elapsed());
-                response
-            };
-            pool.put(std::mem::take(&mut request.body));
-            response
-        }
-        Err(crate::TransportError::ConnectionClosed) => return Ok(()), // shutdown kick
-        Err(crate::TransportError::Io(e)) if crate::TransportError::io_is_timeout(&e) => {
-            // Stalled mid-request: typed error for the accounting layer;
-            // no response is owed to a peer that never finished asking.
-            return Err(crate::TransportError::TimedOut {
-                elapsed: started.elapsed(),
-                budget: config.read_timeout.unwrap_or_default(),
-            });
-        }
-        // A declared body length beyond the frame limit is the one
-        // malformed-request class with its own status: 413, so clients
-        // can tell "you asked for too much" from "you asked wrong".
-        Err(e @ crate::TransportError::FrameTooLarge { .. }) => {
-            metrics::count_server_error("http", metrics::error_kind(&e));
-            HttpResponse::payload_too_large()
-        }
-        Err(e) => HttpResponse::bad_request(&e.to_string()),
-    };
-    if let Some(budget) = ctl.write_budget() {
-        // Tighten only (the static budget still bounds the reply);
-        // clamp to ≥ 1 ms because std rejects a zero socket timeout.
-        let cap = config
-            .write_timeout
-            .map_or(budget, |w| w.min(budget))
-            .max(Duration::from_millis(1));
-        stream.set_write_timeout(Some(cap))?;
-    }
-    let result = response.write_to(&mut stream);
-    if result.is_ok() {
-        m.bytes_out.add(response.body.len() as u64);
-    }
-    // The response body rejoins the cycle whoever allocated it — the
-    // next connection's request read (or a pool-aware handler) picks
-    // its capacity back up.
-    pool.put(response.body);
-    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::http::client::{http_get, send_request};
+    use std::io::BufReader;
+    use std::net::TcpStream;
 
     #[test]
     fn serves_concurrent_requests() {
@@ -317,5 +211,18 @@ mod tests {
         let server2 =
             HttpServer::bind("127.0.0.1:0", |_req| HttpResponse::ok("text/plain", vec![])).unwrap();
         drop(server2); // Drop also shuts down cleanly.
+    }
+
+    #[test]
+    fn one_shot_clients_still_get_connection_close() {
+        // The stock client helpers say `Connection: close`; the server
+        // must honor it and say so in its own response header.
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req| HttpResponse::ok("text/plain", b"x".to_vec()))
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let resp = send_request(&addr, &HttpRequest::get("/")).unwrap();
+        assert_eq!(resp.header("connection"), Some("close"));
+        server.shutdown();
     }
 }

@@ -30,6 +30,7 @@ pub mod http;
 pub mod iovec;
 pub mod metrics;
 pub mod pool;
+pub mod reactor;
 pub mod retry;
 pub mod tcpserver;
 
@@ -43,10 +44,13 @@ pub use faulty::{
 };
 pub use fileserver::FileServer;
 pub use framed::{FramedStream, MAX_FRAME_LEN};
-pub use http::client::{http_get, http_post, send_request, send_request_with, send_request_with_into};
+pub use http::client::{
+    http_get, http_post, send_request, send_request_with, send_request_with_into, HttpConnection,
+};
 pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
 pub use http::server::{metrics_response, HttpServer, HttpServerConfig};
 pub use pool::{BufferPool, Pool};
+pub use reactor::{Event, Events, Interest, Poller, Waker};
 pub use retry::{RetryPolicy, RetrySchedule};
 pub use tcpserver::{ReplyControl, TcpServer, TcpServerConfig};

@@ -20,6 +20,10 @@ use crate::error::TransportError;
 pub struct ServerMetrics {
     /// `bx_server_connections_total` — connections accepted.
     pub connections: Counter,
+    /// `bx_server_connections_active` — connections currently open.
+    pub connections_active: Gauge,
+    /// `bx_server_requests_total` — requests dispatched to handlers.
+    pub requests: Counter,
     /// `bx_server_bytes_in_total` — request payload bytes read.
     pub bytes_in: Counter,
     /// `bx_server_bytes_out_total` — response payload bytes written.
@@ -27,15 +31,22 @@ pub struct ServerMetrics {
     /// `bx_server_handler_latency_nanoseconds` — time spent in the
     /// application handler per message.
     pub handler_latency: Histogram,
+    /// `bx_server_accept_to_dispatch_nanoseconds` — time from accept to
+    /// the connection being registered with an event-loop worker; grows
+    /// when workers can't keep up with the accept rate.
+    pub accept_to_dispatch: Histogram,
 }
 
 impl ServerMetrics {
     const fn new() -> ServerMetrics {
         ServerMetrics {
             connections: Counter::new(),
+            connections_active: Gauge::new(),
+            requests: Counter::new(),
             bytes_in: Counter::new(),
             bytes_out: Counter::new(),
             handler_latency: Histogram::new(),
+            accept_to_dispatch: Histogram::new(),
         }
     }
 
@@ -47,6 +58,18 @@ impl ServerMetrics {
             "Connections accepted by a server.",
             labels,
             &self.connections,
+        );
+        r.register_gauge(
+            "bx_server_connections_active",
+            "Connections currently open on a server.",
+            labels,
+            &self.connections_active,
+        );
+        r.register_counter(
+            "bx_server_requests_total",
+            "Requests dispatched to a server's handler.",
+            labels,
+            &self.requests,
         );
         r.register_counter(
             "bx_server_bytes_in_total",
@@ -66,7 +89,25 @@ impl ServerMetrics {
             labels,
             &self.handler_latency,
         );
+        r.register_histogram(
+            "bx_server_accept_to_dispatch_nanoseconds",
+            "Time from accept to event-loop registration.",
+            labels,
+            &self.accept_to_dispatch,
+        );
     }
+}
+
+/// The per-worker loop-iteration counter
+/// (`bx_server_worker_loop_iterations_total{transport=,worker=}`), so
+/// event-loop imbalance across workers is visible in a scrape. Called
+/// once at worker startup; the returned handle is a relaxed atomic.
+pub fn worker_loop_iterations(transport: &'static str, worker: usize) -> Arc<Counter> {
+    obs::global().counter(
+        "bx_server_worker_loop_iterations_total",
+        "Event-loop iterations per reactor worker.",
+        &[("transport", transport), ("worker", &worker.to_string())],
+    )
 }
 
 /// The framed-TCP server's metrics (registered on first use).

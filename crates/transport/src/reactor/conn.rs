@@ -1,0 +1,742 @@
+//! Per-connection state machines for the readiness loop.
+//!
+//! A [`ConnDriver`] owns everything about one connection except the
+//! socket: parse state, request/response buffers, handler scratch. The
+//! worker calls [`drive`](ConnDriver::drive) whenever the socket is (or
+//! may be) ready; the driver runs its state machine until the socket
+//! would block, then reports which readiness it needs next. Drivers are
+//! created on the worker thread that owns them and never migrate, so
+//! handler state needs no `Send` — the same property the old
+//! thread-per-connection servers gave to connection-scoped scratch.
+
+use std::io::{IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{TransportError, TransportResult};
+use crate::faulty::FaultingTransport;
+use crate::framed::{MAX_FRAME_LEN, RECV_CHUNK};
+use crate::http::request::HttpRequest;
+use crate::http::response::HttpResponse;
+use crate::metrics::ServerMetrics;
+use crate::pool::BufferPool;
+use crate::tcpserver::ReplyControl;
+
+/// The socket as the driver sees it: plain, or wrapped in the
+/// fault-injecting decorator (whose injected stalls surface as
+/// `WouldBlock` — indistinguishable from "not ready", which on a
+/// level-triggered loop simply retries the event).
+pub(crate) enum ConnIo {
+    Plain(TcpStream),
+    Faulty(FaultingTransport<TcpStream>),
+}
+
+impl ConnIo {
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            ConnIo::Plain(s) => s.as_raw_fd(),
+            ConnIo::Faulty(f) => f.get_ref().as_raw_fd(),
+        }
+    }
+}
+
+impl Read for ConnIo {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ConnIo::Plain(s) => s.read(out),
+            ConnIo::Faulty(f) => f.read(out),
+        }
+    }
+}
+
+impl Write for ConnIo {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ConnIo::Plain(s) => s.write(data),
+            ConnIo::Faulty(f) => f.write(data),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            ConnIo::Plain(s) => s.write_vectored(bufs),
+            // The decorator has no vectored path; one slice per call keeps
+            // its per-event fault accounting intact.
+            ConnIo::Faulty(f) => match bufs.iter().find(|b| !b.is_empty()) {
+                Some(first) => f.write(first),
+                None => Ok(0),
+            },
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ConnIo::Plain(s) => s.flush(),
+            ConnIo::Faulty(f) => f.flush(),
+        }
+    }
+}
+
+/// What a driver wants from the event loop after a `drive` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wants {
+    /// Wake me when the socket is readable.
+    Read,
+    /// Wake me when the socket is writable.
+    Write,
+    /// Done (clean close) — deregister and drop the connection.
+    Close,
+}
+
+/// One `drive` outcome: the wanted readiness plus the write budget the
+/// handler capped this reply to (a [`ReplyControl`] deadline becomes a
+/// write *deadline* on a non-blocking socket — the loop arms it and
+/// times the connection out if the peer won't drain the reply in time).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Step {
+    pub wants: Wants,
+    pub write_cap: Option<Duration>,
+}
+
+impl Step {
+    fn read() -> Step {
+        Step {
+            wants: Wants::Read,
+            write_cap: None,
+        }
+    }
+
+    fn write(cap: Option<Duration>) -> Step {
+        Step {
+            wants: Wants::Write,
+            write_cap: cap,
+        }
+    }
+
+    fn close() -> Step {
+        Step {
+            wants: Wants::Close,
+            write_cap: None,
+        }
+    }
+}
+
+/// A per-connection protocol state machine.
+pub(crate) trait ConnDriver {
+    /// Advance the state machine until the socket would block. `draining`
+    /// means the server is shutting down: finish the in-flight message,
+    /// then close instead of waiting for the next one.
+    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step>;
+
+    /// Is a message partially read, being handled, or partially written?
+    /// Idle connections (`false`) are closed quietly on timeout or drain;
+    /// in-flight ones are errors (`timed_out`) or drops (`shutdown_drop`).
+    fn in_flight(&self) -> bool;
+}
+
+/// Run the handler, turning a panic into a typed connection error so one
+/// poisoned request cannot take down the worker (and every other
+/// connection parked on it) the way it took down a dedicated thread.
+fn run_handler(f: impl FnOnce()) -> TransportResult<()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|_| {
+        TransportError::Io(std::io::Error::other("handler panicked"))
+    })
+}
+
+/// Read into `buf[*filled..]`, translating the outcome for a state
+/// machine: `Ok(true)` made progress, `Ok(false)` would block,
+/// `Err(ConnectionClosed)` on EOF.
+fn read_some(io: &mut ConnIo, buf: &mut [u8], filled: &mut usize) -> TransportResult<bool> {
+    loop {
+        match io.read(&mut buf[*filled..]) {
+            Ok(0) => return Err(TransportError::ConnectionClosed),
+            Ok(n) => {
+                *filled += n;
+                return Ok(true);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed TCP
+// ---------------------------------------------------------------------
+
+enum FramedPhase {
+    /// Reading the 4-byte length prefix (`filled` bytes so far).
+    Prefix { filled: usize },
+    /// Reading `expected` payload bytes into `request`.
+    Payload { expected: usize },
+    /// Writing prefix + response (`written` of `4 + response.len()`).
+    Write { written: usize },
+}
+
+/// The framed-TCP state machine: length-prefixed request in, handler,
+/// length-prefixed response out, repeat. Mirrors the blocking
+/// `FramedStream` semantics — chunk-bounded payload growth, the
+/// [`MAX_FRAME_LEN`] cap before allocation, clean EOF only at a message
+/// boundary — as a resumable non-blocking machine.
+pub(crate) struct FramedDriver<S, H> {
+    state: S,
+    handler: Arc<H>,
+    metrics: &'static ServerMetrics,
+    phase: FramedPhase,
+    prefix: [u8; 4],
+    request: Vec<u8>,
+    response: Vec<u8>,
+    out_prefix: [u8; 4],
+    ctl: ReplyControl,
+}
+
+impl<S, H> FramedDriver<S, H>
+where
+    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
+{
+    pub(crate) fn new(state: S, handler: Arc<H>, metrics: &'static ServerMetrics) -> Self {
+        FramedDriver {
+            state,
+            handler,
+            metrics,
+            phase: FramedPhase::Prefix { filled: 0 },
+            prefix: [0; 4],
+            request: Vec::new(),
+            response: Vec::new(),
+            out_prefix: [0; 4],
+            ctl: ReplyControl::default(),
+        }
+    }
+
+    fn dispatch(&mut self) -> TransportResult<()> {
+        self.metrics.bytes_in.add(self.request.len() as u64);
+        self.metrics.requests.inc();
+        self.response.clear();
+        self.ctl.reset();
+        let started = Instant::now();
+        let (state, handler) = (&mut self.state, &self.handler);
+        let (request, response, ctl) = (&self.request, &mut self.response, &mut self.ctl);
+        run_handler(|| handler(state, request, response, ctl))?;
+        self.metrics.handler_latency.observe_duration(started.elapsed());
+        if self.response.len() > MAX_FRAME_LEN {
+            return Err(TransportError::FrameTooLarge {
+                declared: self.response.len() as u64,
+            });
+        }
+        self.out_prefix = (self.response.len() as u32).to_be_bytes();
+        self.phase = FramedPhase::Write { written: 0 };
+        Ok(())
+    }
+}
+
+impl<S, H> ConnDriver for FramedDriver<S, H>
+where
+    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
+{
+    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step> {
+        loop {
+            match &mut self.phase {
+                FramedPhase::Prefix { filled } => {
+                    while *filled < 4 {
+                        let at_boundary = *filled == 0;
+                        match read_some(io, &mut self.prefix, filled) {
+                            Ok(true) => {}
+                            Ok(false) => return Ok(Step::read()),
+                            Err(TransportError::ConnectionClosed) if at_boundary => {
+                                return Ok(Step::close());
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    let expected = u32::from_be_bytes(self.prefix) as usize;
+                    if expected > MAX_FRAME_LEN {
+                        return Err(TransportError::FrameTooLarge {
+                            declared: expected as u64,
+                        });
+                    }
+                    self.request.clear();
+                    self.phase = FramedPhase::Payload { expected };
+                }
+                FramedPhase::Payload { expected } => {
+                    let expected = *expected;
+                    // Chunk-bounded growth, resumable across WouldBlock:
+                    // the buffer holds exactly the bytes received so far.
+                    while self.request.len() < expected {
+                        let have = self.request.len();
+                        let target = expected.min(have + RECV_CHUNK);
+                        self.request.resize(target, 0);
+                        let mut filled = have;
+                        let progressed =
+                            read_some(io, &mut self.request[..target], &mut filled);
+                        self.request.truncate(filled);
+                        match progressed {
+                            Ok(true) => {}
+                            Ok(false) => return Ok(Step::read()),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    self.dispatch()?;
+                }
+                FramedPhase::Write { written } => {
+                    let total = 4 + self.response.len();
+                    while *written < total {
+                        let bufs = if *written < 4 {
+                            [
+                                IoSlice::new(&self.out_prefix[*written..]),
+                                IoSlice::new(&self.response),
+                            ]
+                        } else {
+                            [
+                                IoSlice::new(&self.response[*written - 4..]),
+                                IoSlice::new(&[]),
+                            ]
+                        };
+                        match io.write_vectored(&bufs) {
+                            Ok(0) => {
+                                return Err(TransportError::Io(std::io::Error::new(
+                                    std::io::ErrorKind::WriteZero,
+                                    "socket accepted no bytes",
+                                )))
+                            }
+                            Ok(n) => *written += n,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                return Ok(Step::write(self.ctl.write_budget()));
+                            }
+                            Err(e) => return Err(TransportError::Io(e)),
+                        }
+                    }
+                    self.metrics.bytes_out.add(self.response.len() as u64);
+                    if draining {
+                        return Ok(Step::close());
+                    }
+                    self.phase = FramedPhase::Prefix { filled: 0 };
+                }
+            }
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        !matches!(self.phase, FramedPhase::Prefix { filled: 0 })
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP/1.1
+// ---------------------------------------------------------------------
+
+/// Cap on accumulated header bytes before a request is rejected — a peer
+/// that trickles an endless head can't grow the buffer unboundedly.
+const MAX_HEAD_LEN: usize = 64 * 1024;
+
+/// Per-read append granularity for the head buffer.
+const HEAD_READ_CHUNK: usize = 8 * 1024;
+
+enum HttpPhase {
+    /// Accumulating head bytes until the blank line.
+    Head,
+    /// Reading `remaining` body bytes for the parsed request.
+    Body { remaining: usize },
+    /// Writing `head_out` + `body_out` (`written` bytes done).
+    Write { written: usize },
+}
+
+/// A request head parsed off the connection buffer, waiting for its body.
+struct PendingRequest {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    keep_alive: bool,
+}
+
+/// The HTTP/1.1 state machine with keep-alive and pipelining.
+///
+/// Requests are parsed straight out of a connection read buffer, so a
+/// pipelined batch is served back-to-back without extra socket reads;
+/// while a response write is backpressured the machine stops consuming
+/// input (no unbounded buffering of a client that won't read). The
+/// `Connection:` disposition follows RFC 7230 §6: 1.1 defaults to
+/// keep-alive, 1.0 to close, any `close` token (including conflicting
+/// duplicate headers) closes conservatively.
+pub(crate) struct HttpDriver<H> {
+    handler: Arc<H>,
+    metrics: &'static ServerMetrics,
+    metrics_path: Option<&'static str>,
+    pool: Arc<BufferPool>,
+    phase: HttpPhase,
+    read_buf: Vec<u8>,
+    pending: Option<PendingRequest>,
+    body: Vec<u8>,
+    head_out: Vec<u8>,
+    body_out: Vec<u8>,
+    /// Disposition of the response currently being written.
+    keep_alive: bool,
+    /// The oversize-request path counts `frame_too_large` once per
+    /// rejection, like the blocking server did.
+    ctl: ReplyControl,
+}
+
+impl<H> HttpDriver<H>
+where
+    H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse,
+{
+    pub(crate) fn new(
+        handler: Arc<H>,
+        metrics: &'static ServerMetrics,
+        metrics_path: Option<&'static str>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        let body = pool.take();
+        HttpDriver {
+            handler,
+            metrics,
+            metrics_path,
+            pool,
+            phase: HttpPhase::Head,
+            read_buf: Vec::new(),
+            pending: None,
+            body,
+            head_out: Vec::new(),
+            body_out: Vec::new(),
+            keep_alive: false,
+            ctl: ReplyControl::default(),
+        }
+    }
+
+    /// Append socket bytes to the head buffer. `Ok(true)` = progress.
+    fn fill_head_buf(&mut self, io: &mut ConnIo) -> TransportResult<bool> {
+        let have = self.read_buf.len();
+        self.read_buf.resize(have + HEAD_READ_CHUNK, 0);
+        let mut filled = have;
+        let outcome = read_some(io, &mut self.read_buf, &mut filled);
+        self.read_buf.truncate(filled);
+        outcome
+    }
+
+    /// Queue `response` for writing and flip to the write phase.
+    fn stage_response(&mut self, response: HttpResponse) {
+        // A handler that explicitly says `Connection: close` wins over
+        // the negotiated disposition; the serialized header always states
+        // what the server will actually do.
+        if crate::http::wants_close(&response.headers) {
+            self.keep_alive = false;
+        }
+        response.serialize_head(self.keep_alive, &mut self.head_out);
+        // The previous response's body goes back to the pool and the new
+        // one takes its place — same recycle point as the blocking server.
+        self.pool.put(std::mem::replace(&mut self.body_out, response.body));
+        self.phase = HttpPhase::Write { written: 0 };
+    }
+
+    /// Parse one request head out of `read_buf` if the blank line has
+    /// arrived. `Ok(true)` = a request is pending (or a parse-error
+    /// response was staged); `Ok(false)` = need more bytes.
+    fn try_parse_head(&mut self) -> TransportResult<bool> {
+        let Some(head_end) = find_head_end(&self.read_buf) else {
+            if self.read_buf.len() > MAX_HEAD_LEN {
+                // Reply like the blocking server replied to any malformed
+                // request, then close.
+                self.keep_alive = false;
+                self.stage_response(HttpResponse::bad_request("request head too large"));
+            }
+            return Ok(self.read_buf.len() > MAX_HEAD_LEN);
+        };
+        let parsed = parse_request_head(&self.read_buf[..head_end]);
+        self.read_buf.drain(..head_end + 4);
+        match parsed {
+            Ok((pending, body_len)) => {
+                if body_len > MAX_FRAME_LEN {
+                    // 413 at header-parse time: the body is never read (it
+                    // may never even be sent), the error is counted, and
+                    // the connection closes — a peer that declared gigabytes
+                    // gets no second request.
+                    crate::metrics::count_server_error(
+                        "http",
+                        crate::metrics::error_kind(&TransportError::FrameTooLarge {
+                            declared: body_len as u64,
+                        }),
+                    );
+                    self.keep_alive = false;
+                    self.stage_response(HttpResponse::payload_too_large());
+                } else {
+                    self.keep_alive = pending.keep_alive;
+                    self.pending = Some(pending);
+                    self.body.clear();
+                    self.phase = HttpPhase::Body {
+                        remaining: body_len,
+                    };
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                self.keep_alive = false;
+                self.stage_response(HttpResponse::bad_request(&e.to_string()));
+                Ok(true)
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let pending = self.pending.take().expect("body phase implies a parsed head");
+        self.metrics.bytes_in.add(self.body.len() as u64);
+        self.metrics.requests.inc();
+        let mut request = HttpRequest {
+            method: pending.method,
+            path: pending.path,
+            headers: pending.headers,
+            body: std::mem::take(&mut self.body),
+        };
+        self.ctl.reset();
+        let response = if self.metrics_path == Some(request.path.as_str())
+            && request.method == "GET"
+        {
+            crate::http::server::metrics_response()
+        } else {
+            let started = Instant::now();
+            let handler = Arc::clone(&self.handler);
+            let ctl = &mut self.ctl;
+            let mut out = None;
+            let result = run_handler(|| out = Some(handler(&request, ctl)));
+            self.metrics.handler_latency.observe_duration(started.elapsed());
+            match (result, out) {
+                (Ok(()), Some(response)) => response,
+                // A panicked handler still owes the peer an answer; the
+                // connection closes right after it.
+                _ => {
+                    self.keep_alive = false;
+                    HttpResponse::server_error(b"handler failed".to_vec())
+                }
+            }
+        };
+        // The request body buffer returns to this connection's cycle.
+        self.body = std::mem::take(&mut request.body);
+        self.stage_response(response);
+    }
+}
+
+impl<H> ConnDriver for HttpDriver<H>
+where
+    H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse,
+{
+    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step> {
+        loop {
+            match &mut self.phase {
+                HttpPhase::Head => {
+                    if self.try_parse_head()? {
+                        continue;
+                    }
+                    let at_boundary = self.read_buf.is_empty();
+                    match self.fill_head_buf(io) {
+                        Ok(true) => {}
+                        Ok(false) => return Ok(Step::read()),
+                        Err(TransportError::ConnectionClosed) if at_boundary => {
+                            // Clean EOF between requests (including a
+                            // half-closed peer whose last response just
+                            // went out).
+                            return Ok(Step::close());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                HttpPhase::Body { remaining } => {
+                    // Buffered bytes first (pipelined clients send the
+                    // body right behind the head), then the socket,
+                    // chunk-bounded like the framed payload read.
+                    let from_buf = (*remaining).min(self.read_buf.len());
+                    if from_buf > 0 {
+                        self.body.extend_from_slice(&self.read_buf[..from_buf]);
+                        self.read_buf.drain(..from_buf);
+                        *remaining -= from_buf;
+                    }
+                    while *remaining > 0 {
+                        let have = self.body.len();
+                        let target = have + (*remaining).min(RECV_CHUNK);
+                        self.body.resize(target, 0);
+                        let mut filled = have;
+                        let progressed = read_some(io, &mut self.body[..target], &mut filled);
+                        self.body.truncate(filled);
+                        match progressed {
+                            Ok(true) => *remaining -= filled - have,
+                            Ok(false) => return Ok(Step::read()),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    if draining {
+                        // The in-flight request completes, but its
+                        // response says close.
+                        self.keep_alive = false;
+                    }
+                    self.dispatch();
+                }
+                HttpPhase::Write { written } => {
+                    let total = self.head_out.len() + self.body_out.len();
+                    while *written < total {
+                        let head_len = self.head_out.len();
+                        let bufs = if *written < head_len {
+                            [
+                                IoSlice::new(&self.head_out[*written..]),
+                                IoSlice::new(&self.body_out),
+                            ]
+                        } else {
+                            [
+                                IoSlice::new(&self.body_out[*written - head_len..]),
+                                IoSlice::new(&[]),
+                            ]
+                        };
+                        match io.write_vectored(&bufs) {
+                            Ok(0) => {
+                                return Err(TransportError::Io(std::io::Error::new(
+                                    std::io::ErrorKind::WriteZero,
+                                    "socket accepted no bytes",
+                                )))
+                            }
+                            Ok(n) => *written += n,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                return Ok(Step::write(self.ctl.write_budget()));
+                            }
+                            Err(e) => return Err(TransportError::Io(e)),
+                        }
+                    }
+                    self.metrics.bytes_out.add(self.body_out.len() as u64);
+                    self.pool.put(std::mem::take(&mut self.body_out));
+                    if !self.keep_alive || draining {
+                        return Ok(Step::close());
+                    }
+                    self.phase = HttpPhase::Head;
+                }
+            }
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        match self.phase {
+            HttpPhase::Head => !self.read_buf.is_empty(),
+            HttpPhase::Body { .. } | HttpPhase::Write { .. } => true,
+        }
+    }
+}
+
+impl<H> Drop for HttpDriver<H> {
+    fn drop(&mut self) {
+        // The connection's buffers rejoin the shared cycle.
+        self.pool.put(std::mem::take(&mut self.body));
+        self.pool.put(std::mem::take(&mut self.body_out));
+    }
+}
+
+/// Find the `\r\n\r\n` terminating a request head; returns its offset.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse a request head (request line + headers, no trailing blank line)
+/// into a [`PendingRequest`] plus the declared body length.
+fn parse_request_head(head: &[u8]) -> TransportResult<(PendingRequest, usize)> {
+    let head = std::str::from_utf8(head).map_err(|_| TransportError::BadHttp {
+        what: "request head is not UTF-8".into(),
+    })?;
+    let mut lines = head.split("\r\n");
+    let first = lines.next().unwrap_or("");
+    let mut parts = first.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(TransportError::BadHttp {
+                what: format!("bad request line {first:?}"),
+            })
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(TransportError::BadHttp {
+            what: format!("unsupported version {version:?}"),
+        });
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| TransportError::BadHttp {
+            what: format!("header line without a colon: {line:?}"),
+        })?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        if headers.len() > 256 {
+            return Err(TransportError::BadHttp {
+                what: "too many headers".into(),
+            });
+        }
+    }
+    let body_len = match crate::http::find_header(&headers, "Content-Length") {
+        Some(v) => v.parse::<usize>().map_err(|_| TransportError::BadHttp {
+            what: format!("bad Content-Length {v:?}"),
+        })?,
+        None => 0,
+    };
+    let keep_alive = crate::http::keep_alive_disposition(version == "HTTP/1.1", &headers);
+    Ok((
+        PendingRequest {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers,
+            keep_alive,
+        },
+        body_len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn request_head_parses_and_negotiates() {
+        let (req, len) =
+            parse_request_head(b"POST /soap HTTP/1.1\r\nContent-Length: 12\r\nHost: x").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/soap");
+        assert_eq!(len, 12);
+        assert!(req.keep_alive, "1.1 defaults to keep-alive");
+
+        let (req, _) = parse_request_head(b"GET / HTTP/1.0\r\nHost: x").unwrap();
+        assert!(!req.keep_alive, "1.0 defaults to close");
+
+        let (req, _) =
+            parse_request_head(b"GET / HTTP/1.0\r\nConnection: keep-alive").unwrap();
+        assert!(req.keep_alive, "1.0 opts in explicitly");
+
+        let (req, _) = parse_request_head(b"GET / HTTP/1.1\r\nConnection: close").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn conflicting_connection_headers_close_conservatively() {
+        let (req, _) = parse_request_head(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close",
+        )
+        .unwrap();
+        assert!(!req.keep_alive, "any close token wins");
+        let (req, _) =
+            parse_request_head(b"GET / HTTP/1.1\r\nConnection: keep-alive, close").unwrap();
+        assert!(!req.keep_alive, "close in a token list wins");
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(parse_request_head(b"NONSENSE").is_err());
+        assert!(parse_request_head(b"GET / SPDY/3").is_err());
+        assert!(parse_request_head(b"GET / HTTP/1.1\r\nNoColon").is_err());
+        assert!(parse_request_head(b"POST / HTTP/1.1\r\nContent-Length: many").is_err());
+        assert!(parse_request_head(&[0xff, 0xfe, 0x20, 0x20]).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! An epoll-based readiness-loop runtime for the transport servers.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`poll`] — a thin safe wrapper over level-triggered `epoll`
+//!   (declared directly against the syscalls; no new dependencies).
+//! * `conn` (crate-private) — resumable per-connection state machines
+//!   for framed-TCP and HTTP/1.1 (with keep-alive and pipelining),
+//!   owning all parse state and the pooled-buffer discipline.
+//! * `server` (crate-private) — the runtime: a blocking acceptor shard feeding N
+//!   event-loop workers over wakered inboxes, loop-maintained deadlines,
+//!   and bounded-drain shutdown.
+//!
+//! `TcpServer` and `HttpServer` are thin facades over this module; their
+//! `bind_*` APIs are unchanged from the thread-per-connection era.
+
+pub mod poll;
+
+pub(crate) mod conn;
+pub(crate) mod server;
+
+pub use poll::{Event, Events, Interest, Poller, Waker};

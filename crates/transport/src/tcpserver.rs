@@ -2,9 +2,16 @@
 //!
 //! The server half of the raw `BXSA/TCP` binding: accepts connections,
 //! reads length-prefixed messages, and replies with the handler's output.
-//! Connections persist across messages (unlike the one-shot HTTP
-//! binding) — raw TCP has no per-request protocol overhead, which is part
-//! of why the paper's `SOAP over BXSA/TCP` wins on the LAN.
+//! Connections persist across messages (unlike one-shot HTTP) — raw TCP
+//! has no per-request protocol overhead, which is part of why the paper's
+//! `SOAP over BXSA/TCP` wins on the LAN.
+//!
+//! Since the reactor port, connections are served by a fixed pool of
+//! event-loop workers ([`crate::reactor`]) instead of a thread per
+//! connection: the same `bind_*` surface, per-connection handler state,
+//! and buffer-reuse discipline, but concurrency is bounded by worker
+//! count, not thread count, so tens of thousands of idle-ish connections
+//! cost file descriptors rather than stacks.
 //!
 //! Resilience: a connection that times out mid-read, trips the frame
 //! limit, or dies mid-message takes a typed error path — the connection
@@ -12,26 +19,24 @@
 //! `bx_server_connection_errors_total{transport="tcp"}`, and the
 //! listener stays alive for everyone else.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::error::TransportResult;
+use crate::faulty::SharedInjector;
 use crate::metrics;
-use crate::faulty::{FaultingTransport, SharedInjector};
-use crate::framed::FramedStream;
+use crate::reactor::conn::FramedDriver;
+use crate::reactor::server::{EventServer, ReactorConfig, DEFAULT_DRAIN};
 
 /// Per-connection service limits for a [`TcpServer`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TcpServerConfig {
-    /// Budget for each blocking read on a connection. A client that
+    /// Budget for making read progress on a message. A client that
     /// stalls mid-frame is disconnected when this expires (`None` =
     /// wait forever, the pre-resilience behaviour).
     pub read_timeout: Option<Duration>,
-    /// Budget for each blocking write (a client that stops draining its
+    /// Budget for each reply write (a client that stops draining its
     /// receive window).
     pub write_timeout: Option<Duration>,
 }
@@ -57,17 +62,14 @@ impl ReplyControl {
         self.write_budget
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.write_budget = None;
     }
 }
 
 /// A running framed-TCP server.
 pub struct TcpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    errors: Arc<AtomicU64>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: EventServer,
 }
 
 impl TcpServer {
@@ -117,8 +119,9 @@ impl TcpServer {
     /// counters — extending the buffer-reuse discipline from the two
     /// payload buffers to whatever the handler needs to keep warm.
     ///
-    /// The state never leaves its connection's thread, so it needs no
-    /// `Send`/`Sync`; only the `init` factory is shared.
+    /// The state never leaves the event-loop worker that owns its
+    /// connection, so it needs no `Send`/`Sync`; only the `init` factory
+    /// is shared.
     pub fn bind_scoped_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -154,10 +157,11 @@ impl TcpServer {
     }
 
     /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) with
-    /// every *accepted* stream wrapped in a [`FaultingTransport`] drawing
-    /// from `injector` — byte-level fault injection on the server's own
-    /// read *and write* paths, so torture tests exercise partial-write
-    /// handling under a live accept loop, not just unit-level decode.
+    /// every *accepted* stream wrapped in a
+    /// [`crate::faulty::FaultingTransport`] drawing from `injector` —
+    /// byte-level fault injection on the server's own read *and write*
+    /// paths, so torture tests exercise partial-write handling under a
+    /// live accept loop, not just unit-level decode.
     pub fn bind_scoped_faulty_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -185,197 +189,56 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = Arc::clone(&stop);
-        let errors = Arc::new(AtomicU64::new(0));
-        let errors_accept = Arc::clone(&errors);
+        let m = metrics::tcp_server();
         let handler = Arc::new(handler);
-        let init = Arc::new(init);
-
-        let accept_thread = std::thread::Builder::new()
-            .name("tcp-accept".into())
-            .spawn(move || {
-                // Keep a shutdown handle per connection so stopping the
-                // server can unblock workers parked in recv() on
-                // still-open client connections.
-                let mut workers: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
-                for conn in listener.incoming() {
-                    if stop_accept.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let Ok(shutdown_handle) = stream.try_clone() else {
-                        continue;
-                    };
-                    metrics::tcp_server().connections.inc();
-                    let handler = Arc::clone(&handler);
-                    let init = Arc::clone(&init);
-                    let errors = Arc::clone(&errors_accept);
-                    let injector = injector.clone();
-                    let worker = std::thread::Builder::new()
-                        .name("tcp-conn".into())
-                        .spawn(move || {
-                            // Connection-scoped state, born and dying
-                            // with this thread.
-                            let mut state = init();
-                            if let Err(e) =
-                                serve_connection(stream, config, injector, &mut state, &*handler)
-                            {
-                                // A connection-level failure is counted by
-                                // error kind; it never takes the listener
-                                // down.
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                metrics::count_server_error("tcp", metrics::error_kind(&e));
-                            }
-                        })
-                        .expect("spawn tcp connection thread");
-                    workers.push((worker, shutdown_handle));
-                    workers.retain(|(w, _)| !w.is_finished());
-                }
-                for (w, stream) in workers {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    let _ = w.join();
-                }
-            })
-            .expect("spawn tcp accept thread");
-
-        Ok(TcpServer {
-            addr: local,
-            stop,
-            errors,
-            accept_thread: Some(accept_thread),
-        })
+        let inner = EventServer::bind(
+            addr,
+            ReactorConfig {
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+                transport: "tcp",
+                metrics: m,
+                injector,
+            },
+            Arc::new(move || {
+                Box::new(FramedDriver::new(init(), Arc::clone(&handler), m))
+                    as Box<dyn crate::reactor::conn::ConnDriver>
+            }),
+        )?;
+        Ok(TcpServer { inner })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Connections that ended with a transport error (truncated frame,
     /// oversize frame, mid-read timeout, reset) since the server started.
     pub fn error_count(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.inner.error_count()
     }
 
-    /// Stop accepting and join the accept loop.
-    pub fn shutdown(mut self) {
-        self.do_shutdown();
+    /// Stop accepting and drain: in-flight messages get up to a short
+    /// grace period to finish, idle connections close immediately.
+    pub fn shutdown(self) {
+        self.shutdown_within(DEFAULT_DRAIN);
     }
 
-    fn do_shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+    /// [`shutdown`](TcpServer::shutdown) with an explicit drain deadline.
+    /// Connections still mid-message when it expires are dropped and
+    /// counted as `bx_server_connection_errors_total{kind="shutdown_drop"}`.
+    pub fn shutdown_within(mut self, drain: Duration) {
+        self.inner.shutdown_within(drain);
     }
-}
-
-impl Drop for TcpServer {
-    fn drop(&mut self) {
-        self.do_shutdown();
-    }
-}
-
-fn serve_connection<S, H>(
-    stream: TcpStream,
-    config: TcpServerConfig,
-    injector: Option<SharedInjector>,
-    state: &mut S,
-    handler: &H,
-) -> TransportResult<()>
-where
-    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
-{
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(config.read_timeout)?;
-    stream.set_write_timeout(config.write_timeout)?;
-    // A cloned handle onto the same socket, kept outside any decorator,
-    // so per-reply write budgets can be applied even when the data path
-    // is wrapped in a FaultingTransport.
-    let timeout_ctl = stream.try_clone()?;
-    match injector {
-        Some(inj) => {
-            let mut framed = FramedStream::new(FaultingTransport::new(stream, inj));
-            framed.assume_budgets(config.read_timeout, config.write_timeout);
-            serve_messages(&mut framed, &timeout_ctl, config, state, handler)
-        }
-        None => {
-            let mut framed = FramedStream::new(stream);
-            framed.assume_budgets(config.read_timeout, config.write_timeout);
-            serve_messages(&mut framed, &timeout_ctl, config, state, handler)
-        }
-    }
-}
-
-fn serve_messages<T, S, H>(
-    framed: &mut FramedStream<T>,
-    timeout_ctl: &TcpStream,
-    config: TcpServerConfig,
-    state: &mut S,
-    handler: &H,
-) -> TransportResult<()>
-where
-    T: Read + Write,
-    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
-{
-    let mut request = Vec::new();
-    let mut response = Vec::new();
-    let mut ctl = ReplyControl::default();
-    // Tracks whether a per-reply write cap is currently applied to the
-    // socket, so the static budget is restored (one syscall) only when a
-    // capped reply was actually sent — handlers that never cap cost no
-    // extra syscalls.
-    let mut capped = false;
-    // Serve messages until the client hangs up cleanly, reusing the two
-    // buffers (and the handler's state) across messages. Any transport
-    // error (half-written frame, oversize prefix, stall past the read
-    // budget) propagates to the caller, which logs and counts it — the
-    // typed error path.
-    let m = metrics::tcp_server();
-    while framed.recv_optional_into(&mut request)? {
-        m.bytes_in.add(request.len() as u64);
-        response.clear();
-        ctl.reset();
-        let handler_start = Instant::now();
-        handler(state, &request, &mut response, &mut ctl);
-        m.handler_latency.observe_duration(handler_start.elapsed());
-        match ctl.write_budget() {
-            Some(budget) => {
-                // Tighten only: the static write budget still bounds the
-                // reply. std rejects a zero socket timeout, so clamp the
-                // cap to ≥ 1 ms (an already-expired caller was faulted by
-                // the handler; this write is the fault going out).
-                let cap = config
-                    .write_timeout
-                    .map_or(budget, |w| w.min(budget))
-                    .max(Duration::from_millis(1));
-                timeout_ctl.set_write_timeout(Some(cap))?;
-                framed.assume_budgets(config.read_timeout, Some(cap));
-                capped = true;
-            }
-            None if capped => {
-                timeout_ctl.set_write_timeout(config.write_timeout)?;
-                framed.assume_budgets(config.read_timeout, config.write_timeout);
-                capped = false;
-            }
-            None => {}
-        }
-        framed.send(&response)?;
-        m.bytes_out.add(response.len() as u64);
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framed::FramedStream;
     use std::io::Write;
+    use std::net::TcpStream;
 
     #[test]
     fn echo_roundtrip_multiple_messages() {
@@ -467,7 +330,7 @@ mod tests {
         assert_eq!(client.recv().unwrap(), b"still alive?");
         drop(client);
         // The bad connection was accounted as a typed error. (Poll: the
-        // worker thread races the assertion.)
+        // event loop races the assertion.)
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while server.error_count() == 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -503,5 +366,23 @@ mod tests {
         assert_eq!(client.recv().unwrap(), b"after the stall");
         drop((client, staller));
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_an_in_flight_message() {
+        // A handler that parks for 300 ms: shutdown issued right after
+        // the request must still deliver the reply (drain > nap).
+        let server = TcpServer::bind("127.0.0.1:0", |req| {
+            std::thread::sleep(Duration::from_millis(300));
+            req
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = FramedStream::connect(&addr).unwrap();
+        client.send(b"draining").unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // request in flight
+        let done = std::thread::spawn(move || server.shutdown_within(Duration::from_secs(5)));
+        assert_eq!(client.recv().unwrap(), b"draining", "in-flight reply must drain");
+        done.join().unwrap();
     }
 }

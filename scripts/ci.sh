@@ -54,9 +54,32 @@ cargo test -q -p transport breaker::
 # server accept/serve paths for good.
 cargo test -q -p obs
 cargo test -q --test metrics
-for f in crates/transport/src/tcpserver.rs crates/transport/src/http/server.rs; do
+for f in crates/transport/src/tcpserver.rs crates/transport/src/http/server.rs \
+         crates/transport/src/reactor/*.rs; do
     if grep -n 'eprintln!' "$f"; then
         echo "metrics: $f writes to stderr; use the obs error counters" >&2
+        exit 1
+    fi
+done
+
+# Server-runtime job: HTTP/1.1 keep-alive conformance (pipelining,
+# Connection negotiation, half-close, client connection cache), then the
+# load-harness smoke run — 1k concurrent keep-alive connections against
+# the evented server, zero errors and a generous tail bound, plus the
+# keep-alive-beats-one-shot sanity check. The full 10k grid is recorded
+# per-PR in BENCH_PR6.json; this keeps the harness alive and honest.
+cargo test -q --test keepalive
+cargo run --release -p bench --bin loadgen -- --smoke
+
+# Evented means evented: connections are multiplexed onto the reactor's
+# fixed worker pool (spawned via thread::Builder at bind time), so no
+# per-connection thread::spawn may reappear on the serving path. Test
+# modules are exempt (clients and fixtures there spawn freely);
+# fileserver.rs predates the reactor and is out of scope.
+for f in crates/transport/src/tcpserver.rs crates/transport/src/http/server.rs \
+         crates/transport/src/reactor/*.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -n 'thread::spawn'; then
+        echo "reactor: $f spawns per-connection threads; use the event loop" >&2
         exit 1
     fi
 done

@@ -129,6 +129,29 @@ fn metrics_scrape_reports_engine_breaker_and_server_families() {
         "413 must be counted by kind: {scrape}"
     );
 
+    // Reactor families (PR 6): live-connection gauge, accept-to-dispatch
+    // latency, and per-worker loop counters. The scrape itself arrives
+    // over a live connection, so the gauge must read ≥ 1 at scrape time.
+    assert!(
+        scrape.contains("bx_server_connections_active{transport=\"http\"}"),
+        "missing live-connection gauge: {scrape}"
+    );
+    let active = scrape
+        .lines()
+        .find(|l| l.starts_with("bx_server_connections_active{transport=\"http\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("gauge sample parses");
+    assert!(active >= 1.0, "scraping connection must be counted live");
+    assert!(
+        scrape.contains("bx_server_accept_to_dispatch_nanoseconds_count{transport=\"http\"}"),
+        "missing accept-to-dispatch histogram: {scrape}"
+    );
+    assert!(
+        scrape.contains("bx_server_worker_loop_iterations_total{transport=\"http\",worker=\"0\"}"),
+        "missing per-worker loop counter: {scrape}"
+    );
+
     server.shutdown();
 }
 
