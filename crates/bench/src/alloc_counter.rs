@@ -180,4 +180,34 @@ mod tests {
         });
         assert_eq!(n, 0, "metric updates allocated {n}x in steady state");
     }
+
+    /// The overload-shed discipline: turning a request away must cost
+    /// almost nothing, or shedding itself becomes the overload. The
+    /// framed path is zero-alloc by construction (the fault payload is
+    /// pre-encoded at bind and memcpy'd into the connection's reused
+    /// response buffer); the HTTP path builds and serializes the canned
+    /// 503 per shed — bounded here so it can never grow proportional to
+    /// the request or regress into real per-shed work.
+    #[test]
+    fn shed_response_allocation_is_bounded() {
+        use std::time::Duration;
+
+        let mut wire = Vec::with_capacity(512);
+        for _ in 0..3 {
+            wire.clear();
+            transport::HttpResponse::service_unavailable(Duration::from_secs(1))
+                .write_to_with(&mut wire, false)
+                .unwrap();
+        }
+        let ((), n) = measure(|| {
+            wire.clear();
+            transport::HttpResponse::service_unavailable(Duration::from_secs(1))
+                .write_to_with(&mut wire, false)
+                .unwrap();
+        });
+        assert!(
+            n <= 16,
+            "building + serializing the shed 503 allocated {n}x; the shed path must stay cheap"
+        );
+    }
 }

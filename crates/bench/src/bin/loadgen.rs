@@ -29,6 +29,13 @@
 //! Run with: `cargo run --release -p bench --bin loadgen` (full grid,
 //! prints the BENCH_PR6 JSON on stdout) or `-- --smoke` (1k connections,
 //! one grid cell, asserts sanity bounds; the CI job).
+//!
+//! PR 7 adds hostile-client scenarios against the overload-protected
+//! server (`--overload` prints the BENCH_PR7 JSON; `--overload-smoke` is
+//! the CI job): a connection flood past the admission cap, a slow-loris
+//! swarm against the whole-message deadline, stalled readers against the
+//! write budget, and an open-loop 2× overload measuring the latency of
+//! *admitted* requests while the excess is turned away with 503s.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -39,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use obs::Histogram;
 use transport::{Events, HttpRequest, HttpResponse, HttpServer, Interest, Poller, TcpServer};
-use transport::HttpServerConfig;
+use transport::{HttpServerConfig, OverloadConfig};
 
 /// Table 1 payload grid: 12 B per array value at model sizes
 /// 10 / 100 / 1000 / 4000.
@@ -50,6 +57,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--serve") => serve(args.get(1).map(String::as_str).unwrap_or("")),
         Some("--smoke") => smoke(),
+        Some("--overload") => overload_report(),
+        Some("--overload-smoke") => overload_smoke(),
         _ => full_grid(),
     }
 }
@@ -69,6 +78,7 @@ fn serve(mode: &str) {
                     read_timeout: Some(Duration::from_secs(60)),
                     write_timeout: Some(Duration::from_secs(60)),
                     metrics_path: None,
+                    overload: OverloadConfig::default(),
                 },
                 |req| HttpResponse::ok("application/octet-stream", req.body.clone()),
             )
@@ -85,6 +95,57 @@ fn serve(mode: &str) {
         }
         "http-threaded" => threaded_http_server(),
         "tcp-threaded" => threaded_tcp_server(),
+        // Admission-capped echo: 128 connections (BX_SERVER_MAX_CONNS
+        // overrides), accept-then-reject, a whole-message deadline that
+        // kills slow-loris trickles, and a tight write budget that kills
+        // stalled readers. Metrics stay scrapable under attack.
+        "http-overload" => {
+            let server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                HttpServerConfig {
+                    read_timeout: Some(Duration::from_secs(5)),
+                    write_timeout: Some(Duration::from_secs(1)),
+                    metrics_path: Some("/metrics"),
+                    overload: OverloadConfig {
+                        max_connections: Some(128),
+                        reject_when_full: true,
+                        message_deadline: Some(Duration::from_millis(500)),
+                        ..OverloadConfig::default()
+                    },
+                },
+                |req| HttpResponse::ok("application/octet-stream", req.body.clone()),
+            )
+            .expect("bind http-overload");
+            let addr = server.local_addr();
+            std::mem::forget(server);
+            addr
+        }
+        // Slow echo (20 ms nap per request) with request-level shedding:
+        // the inflight bound and queue-delay signal turn the excess away
+        // as 503s before any handler work.
+        "http-slow" => {
+            let server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                HttpServerConfig {
+                    read_timeout: Some(Duration::from_secs(5)),
+                    write_timeout: Some(Duration::from_secs(5)),
+                    metrics_path: Some("/metrics"),
+                    overload: OverloadConfig {
+                        max_inflight: Some(2),
+                        shed_queue_delay: Some(Duration::from_millis(100)),
+                        ..OverloadConfig::default()
+                    },
+                },
+                |req| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    HttpResponse::ok("application/octet-stream", req.body.clone())
+                },
+            )
+            .expect("bind http-slow");
+            let addr = server.local_addr();
+            std::mem::forget(server);
+            addr
+        }
         other => panic!("unknown serve mode {other:?}"),
     };
     println!("ADDR {addr}");
@@ -162,13 +223,20 @@ struct ServerProc {
 
 impl ServerProc {
     fn start(mode: &str) -> ServerProc {
+        ServerProc::start_with_env(mode, &[])
+    }
+
+    /// Start with extra environment for the child — the way the overload
+    /// scenarios set `BX_SERVER_MAX_CONNS` / `BX_SERVER_WORKERS`, also
+    /// exercising the real env-override path.
+    fn start_with_env(mode: &str, env: &[(&str, &str)]) -> ServerProc {
         let exe = std::env::current_exe().expect("current exe");
-        let mut child = Command::new(exe)
-            .arg("--serve")
-            .arg(mode)
-            .stdout(Stdio::piped())
-            .spawn()
-            .expect("spawn server subprocess");
+        let mut cmd = Command::new(exe);
+        cmd.arg("--serve").arg(mode).stdout(Stdio::piped());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn server subprocess");
         let stdout = child.stdout.take().expect("child stdout");
         let mut line = String::new();
         BufReader::new(stdout)
@@ -180,6 +248,13 @@ impl ServerProc {
             .trim()
             .to_owned();
         ServerProc { child, addr }
+    }
+
+    /// `true` while the child is still running — the "zero panics/OOM"
+    /// check after an attack (a panicking worker or an OOM kill would
+    /// show up as an exited child).
+    fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
     }
 }
 
@@ -331,6 +406,37 @@ struct CellResult {
     /// Time to get the whole population connected.
     connect_time: Duration,
     latency: Histogram,
+    /// 503s received — the server's explicit overload answer. Not
+    /// goodput, not an error; the latency histogram covers 200s only.
+    shed: u64,
+    /// 503s that broke the overload contract (missing `Retry-After` or
+    /// `Connection: close`). Must stay zero.
+    shed_violations: u64,
+}
+
+/// Does a complete 503 response honor the overload contract — a
+/// parseable nonzero `Retry-After` and `Connection: close`?
+fn shed_contract_ok(response: &[u8]) -> bool {
+    let Some(head_end) = response.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return false;
+    };
+    let Ok(head) = std::str::from_utf8(&response[..head_end]) else {
+        return false;
+    };
+    let mut retry_after = false;
+    let mut closes = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.trim().parse::<u64>().is_ok_and(|s| s >= 1);
+        }
+        if name.eq_ignore_ascii_case("connection") {
+            closes = value.trim().eq_ignore_ascii_case("close");
+        }
+    }
+    retry_after && closes
 }
 
 impl CellResult {
@@ -364,6 +470,8 @@ fn run_cell(
     let mut exchanges = 0u64;
     let mut errors = 0u64;
     let mut connects = 0u64;
+    let mut shed = 0u64;
+    let mut shed_violations = 0u64;
 
     let connect_started = Instant::now();
     for token in 0..concurrency {
@@ -445,6 +553,23 @@ fn run_cell(
                     let _ = poller.modify(conn.stream.as_raw_fd(), event.token, want);
                 }
                 Ok(Some(elapsed)) => {
+                    // An overloaded server's explicit "no": tallied apart
+                    // from goodput, checked against the contract, and the
+                    // socket (which the server is closing) recycled.
+                    if protocol == Protocol::Http && conn.inbuf.starts_with(b"HTTP/1.1 503") {
+                        shed += 1;
+                        if !shed_contract_ok(&conn.inbuf) {
+                            shed_violations += 1;
+                        }
+                        let conn = conns[token].take().expect("just drove it");
+                        let _ = poller.delete(conn.stream.as_raw_fd());
+                        if Instant::now() >= deadline {
+                            live -= 1;
+                        } else {
+                            reconnect.push_back(token);
+                        }
+                        continue;
+                    }
                     latency.observe_duration(elapsed);
                     exchanges += 1;
                     let done = Instant::now() >= deadline || exchanges >= max_exchanges;
@@ -493,6 +618,8 @@ fn run_cell(
         connects,
         connect_time,
         latency,
+        shed,
+        shed_violations,
     }
 }
 
@@ -656,6 +783,411 @@ fn keepalive_vs_close(
 }
 
 // ---------------------------------------------------------------------
+// Overload scenarios (PR 7)
+// ---------------------------------------------------------------------
+
+/// Sum of every sample of a metric family in one `/metrics` scrape.
+fn scrape_metric(addr: &str, name: &str) -> Option<f64> {
+    let text = transport::http_get(addr, "/metrics").ok()?;
+    let text = std::str::from_utf8(&text).ok()?;
+    let mut total = 0.0;
+    let mut seen = false;
+    for line in text.lines() {
+        if line.starts_with(name)
+            && matches!(line.as_bytes().get(name.len()), Some(b'{' | b' '))
+        {
+            if let Some(v) = line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()) {
+                total += v;
+                seen = true;
+            }
+        }
+    }
+    seen.then_some(total)
+}
+
+struct OverloadOutcome {
+    unloaded_p99_us: f64,
+    unloaded_rps: f64,
+    loaded_p99_us: f64,
+    loaded_rps: f64,
+    served: u64,
+    shed: u64,
+    shed_violations: u64,
+    errors: u64,
+    server_survived: bool,
+}
+
+/// Open-loop overload: baseline at half the admission cap, then 2× the
+/// cap. The server keeps serving what it admitted and turns the rest
+/// away with contract-carrying 503s.
+fn openloop_overload(cap: usize, duration: Duration) -> OverloadOutcome {
+    let cap_s = cap.to_string();
+    let mut server =
+        ServerProc::start_with_env("http-overload", &[("BX_SERVER_MAX_CONNS", &cap_s)]);
+    let request = http_request(PAYLOAD_GRID[0], true);
+    let unloaded = run_cell(
+        &server.addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &request,
+        (cap / 2).max(1),
+        duration,
+        u64::MAX,
+    );
+    let loaded = run_cell(
+        &server.addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &request,
+        cap * 2,
+        duration,
+        u64::MAX,
+    );
+    eprintln!(
+        "  unloaded p99 {:.0} µs / {:.0} req/s; 2x-overload p99 {:.0} µs / {:.0} req/s goodput, {} shed ({} contract violations), {} errors",
+        unloaded.quantile_us(0.99),
+        unloaded.rps(),
+        loaded.quantile_us(0.99),
+        loaded.rps(),
+        loaded.shed,
+        unloaded.shed_violations + loaded.shed_violations,
+        unloaded.errors + loaded.errors,
+    );
+    OverloadOutcome {
+        unloaded_p99_us: unloaded.quantile_us(0.99),
+        unloaded_rps: unloaded.rps(),
+        loaded_p99_us: loaded.quantile_us(0.99),
+        loaded_rps: loaded.rps(),
+        served: loaded.exchanges,
+        shed: unloaded.shed + loaded.shed,
+        shed_violations: unloaded.shed_violations + loaded.shed_violations,
+        errors: unloaded.errors + loaded.errors,
+        server_survived: server.alive(),
+    }
+}
+
+struct FloodOutcome {
+    attempted: usize,
+    admitted: usize,
+    rejected: usize,
+    contract_violations: usize,
+    cap: usize,
+    server_survived: bool,
+}
+
+/// Connection flood: open `total` idle connections at once against a cap
+/// of `cap`. At most `cap` may be admitted; the rest must receive the
+/// canned rejection and a close, never a silent hang.
+fn connection_flood(cap: usize, total: usize) -> FloodOutcome {
+    let cap_s = cap.to_string();
+    let mut server =
+        ServerProc::start_with_env("http-overload", &[("BX_SERVER_MAX_CONNS", &cap_s)]);
+    let mut held: Vec<TcpStream> = Vec::with_capacity(total);
+    for n in 0..total {
+        match TcpStream::connect(&server.addr) {
+            Ok(s) => {
+                s.set_nonblocking(true).expect("nonblocking");
+                held.push(s);
+            }
+            Err(e) => panic!("flood connect {n}/{total}: {e}"),
+        }
+    }
+    // Give the acceptor time to classify everyone, then sort the
+    // population: data or close = rejected, silence = admitted.
+    std::thread::sleep(Duration::from_millis(500));
+    let mut admitted = 0;
+    let mut rejected = 0;
+    let mut contract_violations = 0;
+    for mut s in held {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let verdict = loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break "rejected",
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    break if buf.is_empty() { "admitted" } else { "rejected" }
+                }
+                Err(_) => break "rejected",
+            }
+        };
+        if verdict == "admitted" {
+            admitted += 1;
+        } else {
+            rejected += 1;
+            // A rejection that sent bytes must be the full 503 contract;
+            // a silent close (empty buffer) is acceptable parting.
+            let contract_held =
+                buf.is_empty() || (buf.starts_with(b"HTTP/1.1 503") && shed_contract_ok(&buf));
+            if !contract_held {
+                contract_violations += 1;
+            }
+        }
+    }
+    eprintln!(
+        "  flood {total} conns vs cap {cap}: {admitted} admitted, {rejected} rejected, {contract_violations} contract violations"
+    );
+    FloodOutcome {
+        attempted: total,
+        admitted,
+        rejected,
+        contract_violations,
+        cap,
+        server_survived: server.alive(),
+    }
+}
+
+/// One slow-loris connection: a trickling request head, one byte per
+/// tick, designed to dodge any timeout that re-arms on progress.
+fn loris_connect(addr: &str) -> Option<(TcpStream, usize)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nonblocking(true).ok()?;
+    Some((stream, 0))
+}
+
+/// Maintain a `population`-strong slow-loris swarm for `duration`;
+/// returns how many attacker sockets the server terminated (rejected at
+/// the cap or reaped by the whole-message deadline).
+fn loris_swarm(addr: &str, population: usize, duration: Duration) -> u64 {
+    const HEAD: &[u8] = b"POST /echo HTTP/1.1\r\nContent-Length: 1000000\r\nX-Pad: ";
+    let mut socks: Vec<Option<(TcpStream, usize)>> =
+        (0..population).map(|_| loris_connect(addr)).collect();
+    let mut reaped = 0u64;
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(100));
+        for slot in socks.iter_mut() {
+            let Some((stream, sent)) = slot else {
+                *slot = loris_connect(addr);
+                continue;
+            };
+            // Drain: a 503 or EOF here is the server turning us away.
+            let mut buf = [0u8; 512];
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    reaped += 1;
+                    *slot = loris_connect(addr);
+                    continue;
+                }
+                Ok(_) => {} // rejection bytes; the close lands next read
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => {
+                    reaped += 1;
+                    *slot = loris_connect(addr);
+                    continue;
+                }
+            }
+            // The trickle: one byte of request head per tick — enough
+            // progress to re-arm any per-read timeout forever.
+            let byte = if *sent < HEAD.len() { HEAD[*sent] } else { b'a' };
+            match stream.write(&[byte]) {
+                Ok(_) => *sent += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => {
+                    reaped += 1;
+                    *slot = loris_connect(addr);
+                }
+            }
+        }
+    }
+    reaped
+}
+
+struct LorisOutcome {
+    swarm: usize,
+    cap: usize,
+    reaped: u64,
+    /// Peak of `bx_server_connections_active` observed during the attack.
+    max_active: f64,
+    scrape_samples: u32,
+    victim_exchanges: u64,
+    victim_shed: u64,
+    server_survived: bool,
+}
+
+/// Slow-loris swarm vs the whole-message deadline: `swarm` trickling
+/// connections attack a cap-`cap` server while a well-behaved client
+/// keeps calling and a pre-attack keep-alive scrape connection samples
+/// the active-connection gauge.
+fn slowloris_attack(cap: usize, swarm: usize, duration: Duration) -> LorisOutcome {
+    let cap_s = cap.to_string();
+    let mut server =
+        ServerProc::start_with_env("http-overload", &[("BX_SERVER_MAX_CONNS", &cap_s)]);
+    let addr = server.addr.clone();
+
+    // The scrape connection is established (admitted) before the attack
+    // and kept alive through it — metrics scrapes are shed-exempt, so
+    // observability survives the incident.
+    let scrape_stream = TcpStream::connect(&addr).expect("scrape connect");
+    scrape_stream.set_nodelay(true).expect("nodelay");
+    let scrape_until = Instant::now() + duration;
+    let scraper = std::thread::spawn(move || {
+        let mut reader = BufReader::new(scrape_stream);
+        let mut max_active = 0.0f64;
+        let mut samples = 0u32;
+        let request = HttpRequest::get("/metrics");
+        while Instant::now() < scrape_until {
+            if request.write_to_with(reader.get_mut(), true).is_err() {
+                break;
+            }
+            let Ok(resp) = HttpResponse::read_from(&mut reader) else {
+                break;
+            };
+            if let Ok(text) = std::str::from_utf8(&resp.body) {
+                for line in text.lines() {
+                    if line.starts_with("bx_server_connections_active") {
+                        if let Some(v) =
+                            line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok())
+                        {
+                            max_active = max_active.max(v);
+                            samples += 1;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        (max_active, samples)
+    });
+
+    let attack_addr = addr.clone();
+    let attack = std::thread::spawn(move || loris_swarm(&attack_addr, swarm, duration));
+
+    // Let the attack saturate the cap, then measure a well-behaved
+    // client through the remainder: the deadline reaps attackers every
+    // 500 ms, so slots keep opening.
+    std::thread::sleep(duration / 4);
+    let victim = run_cell(
+        &addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &http_request(PAYLOAD_GRID[0], true),
+        4,
+        duration / 2,
+        u64::MAX,
+    );
+
+    let reaped = attack.join().expect("attack thread");
+    let (max_active, scrape_samples) = scraper.join().expect("scrape thread");
+    eprintln!(
+        "  loris swarm {swarm} vs cap {cap}: {reaped} attacker conns terminated, peak active {max_active:.0} ({scrape_samples} samples), victim served {} (shed {})",
+        victim.exchanges, victim.shed,
+    );
+    LorisOutcome {
+        swarm,
+        cap,
+        reaped,
+        max_active,
+        scrape_samples,
+        victim_exchanges: victim.exchanges,
+        victim_shed: victim.shed,
+        server_survived: server.alive(),
+    }
+}
+
+struct StalledOutcome {
+    stalled: usize,
+    killed: usize,
+    victim_exchanges: u64,
+    server_survived: bool,
+}
+
+/// Stalled readers: each sends a large echo request and never reads the
+/// response, pinning the server's write path until the write budget
+/// (1 s in the `http-overload` profile) kills the connection.
+fn stalled_readers(count: usize, payload: usize) -> StalledOutcome {
+    let mut server = ServerProc::start("http-overload");
+    let request = http_request(payload, true);
+    let mut socks = Vec::with_capacity(count);
+    for n in 0..count {
+        let mut s = TcpStream::connect(&server.addr)
+            .unwrap_or_else(|e| panic!("stalled connect {n}/{count}: {e}"));
+        s.write_all(&request).expect("write stalled request");
+        socks.push(s);
+    }
+    // Past the write budget every stalled connection must be gone; the
+    // kill shows up to the (finally reading) client as EOF or a reset.
+    std::thread::sleep(Duration::from_millis(2_500));
+    let mut killed = 0;
+    for mut s in socks {
+        s.set_nonblocking(true).expect("nonblocking");
+        let mut sink = [0u8; 64 * 1024];
+        loop {
+            match s.read(&mut sink) {
+                Ok(0) => {
+                    killed += 1;
+                    break;
+                }
+                Ok(_) => continue, // drain what the server got out
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    break; // still open: the write budget failed to kill it
+                }
+                Err(_) => {
+                    killed += 1;
+                    break;
+                }
+            }
+        }
+    }
+    let victim = run_cell(
+        &server.addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &http_request(PAYLOAD_GRID[0], true),
+        2,
+        Duration::from_millis(500),
+        200,
+    );
+    eprintln!(
+        "  {count} stalled readers ({payload} B echo): {killed} killed by the write budget, victim served {}",
+        victim.exchanges
+    );
+    StalledOutcome {
+        stalled: count,
+        killed,
+        victim_exchanges: victim.exchanges,
+        server_survived: server.alive(),
+    }
+}
+
+struct ShedOutcome {
+    served: u64,
+    shed: u64,
+    shed_violations: u64,
+    shed_total_metric: f64,
+    server_survived: bool,
+}
+
+/// Request-level shedding on a slow service: drive far more concurrency
+/// than the inflight bound admits and confirm the excess is answered
+/// with 503s before handler work, visible in `bx_server_shed_total`.
+fn shed_slow_service(concurrency: usize, duration: Duration) -> ShedOutcome {
+    let mut server =
+        ServerProc::start_with_env("http-slow", &[("BX_SERVER_WORKERS", "4")]);
+    let cell = run_cell(
+        &server.addr,
+        Protocol::Http,
+        Reuse::KeepAlive,
+        &http_request(PAYLOAD_GRID[0], true),
+        concurrency,
+        duration,
+        u64::MAX,
+    );
+    let shed_total = scrape_metric(&server.addr, "bx_server_shed_total").unwrap_or(0.0);
+    eprintln!(
+        "  slow service at {concurrency} conns: {} served, {} shed client-side, bx_server_shed_total {shed_total:.0}",
+        cell.exchanges, cell.shed
+    );
+    ShedOutcome {
+        served: cell.exchanges,
+        shed: cell.shed,
+        shed_violations: cell.shed_violations,
+        shed_total_metric: shed_total,
+        server_survived: server.alive(),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------
 
@@ -691,6 +1223,184 @@ fn smoke() {
         grid[0].close_rps
     );
     eprintln!("loadgen smoke: PASS");
+}
+
+/// CI job: every hostile-client scenario at reduced scale, asserted.
+fn overload_smoke() {
+    eprintln!("overload smoke: open-loop 2x vs cap 64");
+    let over = openloop_overload(64, Duration::from_millis(1_500));
+    assert!(over.server_survived, "server died under 2x overload");
+    assert!(over.served > 0, "admitted requests must still be served");
+    assert!(over.shed > 0, "2x the cap must produce rejections");
+    assert_eq!(
+        over.shed_violations, 0,
+        "every 503 must carry Retry-After and Connection: close"
+    );
+    // The acceptance bound, with a noise floor for the shared 1-core
+    // container (log2 histogram buckets make small p99s coarse too).
+    assert!(
+        over.loaded_p99_us <= 3.0 * over.unloaded_p99_us + 50_000.0,
+        "admitted p99 {} µs vs unloaded {} µs breaches the 3x bound",
+        over.loaded_p99_us,
+        over.unloaded_p99_us
+    );
+    assert!(
+        over.errors <= (over.served + over.shed) / 50 + 5,
+        "{} transport errors is beyond the RST-race allowance",
+        over.errors
+    );
+
+    eprintln!("overload smoke: flood 128 conns vs cap 32");
+    let flood = connection_flood(32, 128);
+    assert!(flood.server_survived, "server died under connection flood");
+    assert!(
+        flood.admitted <= flood.cap,
+        "{} admitted past the cap of {}",
+        flood.admitted,
+        flood.cap
+    );
+    assert!(
+        flood.rejected >= flood.attempted - flood.cap,
+        "only {} of {} overflow connections were rejected",
+        flood.rejected,
+        flood.attempted - flood.cap
+    );
+    assert_eq!(flood.contract_violations, 0, "rejections must carry the contract");
+
+    eprintln!("overload smoke: slow-loris 200 vs cap 32");
+    let loris = slowloris_attack(32, 200, Duration::from_secs(2));
+    assert!(loris.server_survived, "server died under slow-loris swarm");
+    assert!(loris.reaped > 0, "the deadline must reap trickling connections");
+    assert!(
+        loris.scrape_samples > 0,
+        "metrics must stay scrapable during the attack"
+    );
+    assert!(
+        loris.max_active <= loris.cap as f64,
+        "active connections {} exceeded the cap of {}",
+        loris.max_active,
+        loris.cap
+    );
+    assert!(
+        loris.victim_exchanges > 0,
+        "a well-behaved client must get through the attack"
+    );
+
+    eprintln!("overload smoke: request shedding on a slow service");
+    let shed = shed_slow_service(32, Duration::from_millis(1_500));
+    assert!(shed.server_survived, "server died while shedding");
+    assert!(shed.served > 0, "shedding must not starve everyone");
+    assert!(shed.shed > 0, "an overdriven slow service must shed");
+    assert_eq!(shed.shed_violations, 0, "shed 503s must carry the contract");
+    assert!(
+        shed.shed_total_metric >= 1.0,
+        "bx_server_shed_total must be nonzero after shedding"
+    );
+
+    eprintln!("overload smoke: 4 stalled readers");
+    let stalled = stalled_readers(4, 48 << 20);
+    assert!(stalled.server_survived, "server died on stalled readers");
+    assert_eq!(
+        stalled.killed, stalled.stalled,
+        "the write budget must kill every stalled reader"
+    );
+    assert!(
+        stalled.victim_exchanges > 0,
+        "service must continue after stalled readers are reaped"
+    );
+
+    eprintln!("overload smoke: PASS");
+}
+
+/// Full-scale hostile-client run; prints the BENCH_PR7 JSON on stdout.
+fn overload_report() {
+    eprintln!("loadgen overload: open-loop 2x vs cap 128");
+    let over = openloop_overload(128, Duration::from_secs(3));
+    eprintln!("loadgen overload: flood 512 conns vs cap 128");
+    let flood = connection_flood(128, 512);
+    eprintln!("loadgen overload: slow-loris 1000 vs cap 128");
+    let loris = slowloris_attack(128, 1_000, Duration::from_secs(4));
+    eprintln!("loadgen overload: request shedding on a slow service");
+    let shed = shed_slow_service(64, Duration::from_secs(2));
+    eprintln!("loadgen overload: 8 stalled readers");
+    let stalled = stalled_readers(8, 48 << 20);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"title\": \"Overload protection: admission control, load shedding, hostile-client defense\",\n");
+    out.push_str("  \"harness\": \"loadgen --overload (epoll client, overload-capped server in subprocess)\",\n");
+    out.push_str("  \"machine_note\": \"1-core container; latencies from obs log2 histograms, so percentiles are power-of-two upper bounds\",\n");
+    out.push_str(&format!(
+        "  \"openloop_2x\": {{\"cap\": 128, \"unloaded_p99_us\": {:.1}, \"unloaded_req_per_sec\": {:.0}, \"overloaded_p99_us\": {:.1}, \"overloaded_goodput_req_per_sec\": {:.0}, \"p99_ratio\": {:.2}, \"goodput_retained\": {:.2}, \"served\": {}, \"shed\": {}, \"shed_contract_violations\": {}, \"errors\": {}, \"server_survived\": {}}},\n",
+        over.unloaded_p99_us,
+        over.unloaded_rps,
+        over.loaded_p99_us,
+        over.loaded_rps,
+        over.loaded_p99_us / over.unloaded_p99_us.max(1.0),
+        over.loaded_rps / over.unloaded_rps.max(1.0),
+        over.served,
+        over.shed,
+        over.shed_violations,
+        over.errors,
+        over.server_survived,
+    ));
+    out.push_str(&format!(
+        "  \"connection_flood\": {{\"attempted\": {}, \"cap\": {}, \"admitted\": {}, \"rejected\": {}, \"contract_violations\": {}, \"server_survived\": {}}},\n",
+        flood.attempted,
+        flood.cap,
+        flood.admitted,
+        flood.rejected,
+        flood.contract_violations,
+        flood.server_survived,
+    ));
+    out.push_str(&format!(
+        "  \"slowloris\": {{\"swarm\": {}, \"cap\": {}, \"attacker_conns_terminated\": {}, \"peak_connections_active\": {:.0}, \"scrape_samples\": {}, \"victim_served\": {}, \"victim_shed\": {}, \"server_survived\": {}}},\n",
+        loris.swarm,
+        loris.cap,
+        loris.reaped,
+        loris.max_active,
+        loris.scrape_samples,
+        loris.victim_exchanges,
+        loris.victim_shed,
+        loris.server_survived,
+    ));
+    out.push_str(&format!(
+        "  \"shed_slow_service\": {{\"served\": {}, \"shed_503s\": {}, \"contract_violations\": {}, \"bx_server_shed_total\": {:.0}, \"server_survived\": {}}},\n",
+        shed.served,
+        shed.shed,
+        shed.shed_violations,
+        shed.shed_total_metric,
+        shed.server_survived,
+    ));
+    out.push_str(&format!(
+        "  \"stalled_readers\": {{\"stalled\": {}, \"killed_by_write_budget\": {}, \"victim_served\": {}, \"server_survived\": {}}}\n",
+        stalled.stalled,
+        stalled.killed,
+        stalled.victim_exchanges,
+        stalled.server_survived,
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+
+    let healthy = over.server_survived
+        && flood.server_survived
+        && loris.server_survived
+        && shed.server_survived
+        && stalled.server_survived
+        && over.shed_violations == 0
+        && flood.contract_violations == 0
+        && flood.admitted <= flood.cap
+        && loris.max_active <= loris.cap as f64
+        && loris.victim_exchanges > 0
+        && stalled.killed == stalled.stalled;
+    eprintln!(
+        "loadgen overload: {}",
+        if healthy { "all defenses held" } else { "DEFENSE BREACH" }
+    );
+    if !healthy {
+        std::process::exit(1);
+    }
 }
 
 fn full_grid() {

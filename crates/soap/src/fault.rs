@@ -101,6 +101,16 @@ impl SoapFault {
             .with_detail(&format!("{RETRY_AFTER_KEY}={}", retry_after.as_millis()))
     }
 
+    /// The fault an overloaded server sheds a request with: `Server`
+    /// class (nothing wrong with the message — the node is saturated),
+    /// carrying the same machine-readable `retry-after-ms` hint as
+    /// [`deadline_expired`](SoapFault::deadline_expired), so framed-TCP
+    /// clients get a retry hint where no `Retry-After` header exists.
+    pub fn overloaded(retry_after: std::time::Duration) -> SoapFault {
+        SoapFault::new(FaultCode::Server, "server overloaded; retry later")
+            .with_detail(&format!("{RETRY_AFTER_KEY}={}", retry_after.as_millis()))
+    }
+
     /// The retry hint from a [`deadline_expired`](SoapFault::deadline_expired)-style
     /// detail (`retry-after-ms=N`, possibly amid `;`-separated pairs).
     pub fn retry_after(&self) -> Option<std::time::Duration> {

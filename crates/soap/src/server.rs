@@ -41,6 +41,16 @@ impl TcpSoapServer {
         E: EncodingPolicy + Send + Sync + 'static,
     {
         let service = SoapService::new(encoding, registry);
+        // Overload answers travel in-band too: the shed/reject payload is
+        // a Server fault carrying a `retry-after-ms` detail, pre-encoded
+        // once at bind time through this server's own encoding policy so
+        // the hot shed path never encodes anything.
+        let shed_payload = service.encoding().encode(
+            &crate::service::fault_envelope(crate::fault::SoapFault::overloaded(
+                config.overload.retry_after_hint,
+            ))
+            .to_document(),
+        )?;
         // Faults travel in-band on raw TCP: the envelope itself says so.
         // The scoped handler keeps each connection's request/response
         // buffers AND its decode document alive across messages, so
@@ -48,9 +58,10 @@ impl TcpSoapServer {
         // allocation. Requests carrying a bx:Deadline are honored:
         // expired ones fault without dispatch, and the reply write is
         // capped to what's left of the caller's budget.
-        let inner = transport::TcpServer::bind_scoped_ctl_with(
+        let inner = transport::TcpServer::bind_scoped_ctl_overload_with(
             addr,
             config,
+            Some(shed_payload),
             DecodeScratch::default,
             move |scratch, request, out, ctl| {
                 let outcome = service.handle_bytes_deadline(scratch, request, out);
@@ -378,6 +389,7 @@ mod tests {
             TcpServerConfig {
                 read_timeout: Some(Duration::from_millis(50)),
                 write_timeout: Some(Duration::from_secs(5)),
+                ..TcpServerConfig::default()
             },
             BxsaEncoding::default(),
             verify_registry(),

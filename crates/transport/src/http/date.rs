@@ -1,0 +1,225 @@
+//! HTTP-date parsing for `Retry-After` (RFC 7231 §7.1.1.1).
+//!
+//! `Retry-After` is either delta-seconds or an HTTP-date; real-world
+//! 503s use both. All three date grammars the RFC requires recipients to
+//! accept are parsed — IMF-fixdate (`Sun, 06 Nov 1994 08:49:37 GMT`),
+//! the obsolete RFC 850 form (`Sunday, 06-Nov-94 08:49:37 GMT`), and
+//! ANSI C `asctime()` (`Sun Nov  6 08:49:37 1994`) — without a calendar
+//! dependency: civil dates convert to Unix seconds by the
+//! days-from-civil algorithm.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Dates further out than this are clamped: a hostile or misconfigured
+/// server must not be able to schedule a retry for next year.
+const MAX_DATE_DELAY_SECS: u64 = 24 * 60 * 60;
+
+/// Parse a `Retry-After` value into a delay in whole seconds.
+///
+/// Delta-seconds parse directly; an HTTP-date becomes the distance from
+/// now (clamped to [`MAX_DATE_DELAY_SECS`]), with dates in the past
+/// meaning "retry immediately" (`Some(0)`). Unparseable values are
+/// `None` — no hint, rather than a guessed one.
+pub(crate) fn parse_retry_after(value: &str) -> Option<u64> {
+    let value = value.trim();
+    if let Ok(secs) = value.parse::<u64>() {
+        return Some(secs);
+    }
+    let when = parse_http_date(value)?;
+    match when.duration_since(SystemTime::now()) {
+        Ok(delay) => Some(delay.as_secs().min(MAX_DATE_DELAY_SECS)),
+        Err(_) => Some(0), // already past: retry now
+    }
+}
+
+/// Parse any of the three RFC 7231 HTTP-date forms.
+pub(crate) fn parse_http_date(value: &str) -> Option<SystemTime> {
+    let fields: Vec<&str> = value.split_ascii_whitespace().collect();
+    let (civil, time) = match fields.as_slice() {
+        // IMF-fixdate: Sun, 06 Nov 1994 08:49:37 GMT
+        [_wkday, day, month, year, time, "GMT"] if _wkday.ends_with(',') => {
+            let civil = (
+                year.parse::<i64>().ok()?,
+                month_number(month)?,
+                day.parse::<u32>().ok()?,
+            );
+            (civil, *time)
+        }
+        // RFC 850: Sunday, 06-Nov-94 08:49:37 GMT
+        [_weekday, date, time, "GMT"] if _weekday.ends_with(',') => {
+            let mut parts = date.split('-');
+            let day = parts.next()?.parse::<u32>().ok()?;
+            let month = month_number(parts.next()?)?;
+            let yy = parts.next()?.parse::<i64>().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            // Two-digit years: RFC 7231 says interpret as the nearest
+            // future-leaning century; the pivot below matches common
+            // practice (00-69 → 2000s, 70-99 → 1900s).
+            let year = if yy < 70 { 2000 + yy } else { 1900 + yy };
+            ((year, month, day), *time)
+        }
+        // asctime: Sun Nov  6 08:49:37 1994
+        [_wkday, month, day, time, year] => {
+            let civil = (
+                year.parse::<i64>().ok()?,
+                month_number(month)?,
+                day.parse::<u32>().ok()?,
+            );
+            (civil, *time)
+        }
+        _ => return None,
+    };
+    let (year, month, day) = civil;
+    if !(1..=31).contains(&day) || !(1601..=9999).contains(&year) {
+        return None;
+    }
+    let mut hms = time.split(':');
+    let hour = hms.next()?.parse::<u64>().ok()?;
+    let minute = hms.next()?.parse::<u64>().ok()?;
+    let second = hms.next()?.parse::<u64>().ok()?;
+    if hms.next().is_some() || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    let secs = days
+        .checked_mul(86_400)?
+        .checked_add((hour * 3600 + minute * 60 + second) as i64)?;
+    if secs < 0 {
+        return None; // pre-epoch: older than any Retry-After worth honoring
+    }
+    Some(UNIX_EPOCH + Duration::from_secs(secs as u64))
+}
+
+fn month_number(name: &str) -> Option<u32> {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS
+        .iter()
+        .position(|m| m.eq_ignore_ascii_case(name))
+        .map(|i| i as u32 + 1)
+}
+
+/// Days between 1970-01-01 and the given proleptic-Gregorian civil date
+/// (Howard Hinnant's `days_from_civil`, shifted so March is month 0 and
+/// leap days land at era boundaries).
+fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    let y = year - i64::from(month <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((month + 9) % 12); // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unix(when: SystemTime) -> u64 {
+        when.duration_since(UNIX_EPOCH).unwrap().as_secs()
+    }
+
+    #[test]
+    fn the_three_rfc7231_forms_agree() {
+        // RFC 7231's own example instant in all three grammars.
+        let expected = 784_111_777; // 1994-11-06 08:49:37 UTC
+        let imf = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        let rfc850 = parse_http_date("Sunday, 06-Nov-94 08:49:37 GMT").unwrap();
+        let asctime = parse_http_date("Sun Nov  6 08:49:37 1994").unwrap();
+        assert_eq!(unix(imf), expected);
+        assert_eq!(unix(rfc850), expected);
+        assert_eq!(unix(asctime), expected);
+    }
+
+    #[test]
+    fn epoch_and_leap_handling() {
+        assert_eq!(unix(parse_http_date("Thu, 01 Jan 1970 00:00:00 GMT").unwrap()), 0);
+        // Feb 29 on a leap year parses; day 31 of a 30-day month still
+        // produces a date (the civil algorithm normalizes), but garbage
+        // fields do not.
+        assert!(parse_http_date("Tue, 29 Feb 2000 12:00:00 GMT").is_some());
+        assert_eq!(
+            unix(parse_http_date("Sat, 01 Jan 2000 00:00:00 GMT").unwrap()),
+            946_684_800
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for bad in [
+            "",
+            "soon",
+            "Sun, 06 Nov 1994 08:49:37", // missing GMT
+            "Sun, 06 Nov 1994 08:49 GMT", // missing seconds
+            "Sun, 06 Xxx 1994 08:49:37 GMT",
+            "Sun, 06 Nov 1994 25:49:37 GMT",
+            "Sun, 99 Nov 1994 08:49:37 GMT",
+            "06 Nov 1994 08:49:37 GMT",
+        ] {
+            assert!(parse_http_date(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn retry_after_prefers_delta_seconds() {
+        assert_eq!(parse_retry_after("120"), Some(120));
+        assert_eq!(parse_retry_after("  7 "), Some(7));
+        assert_eq!(parse_retry_after("not a hint"), None);
+    }
+
+    #[test]
+    fn retry_after_dates_clamp_and_floor() {
+        // A date in the past means retry immediately.
+        assert_eq!(
+            parse_retry_after("Sun, 06 Nov 1994 08:49:37 GMT"),
+            Some(0)
+        );
+        // A far-future date is clamped to the delay cap.
+        assert_eq!(
+            parse_retry_after("Fri, 31 Dec 9999 23:59:59 GMT"),
+            Some(MAX_DATE_DELAY_SECS)
+        );
+    }
+
+    #[test]
+    fn near_future_dates_round_trip_to_sane_delays() {
+        let soon = SystemTime::now() + Duration::from_secs(90);
+        let days = unix(soon) / 86_400;
+        let rem = unix(soon) % 86_400;
+        // Re-render as an IMF-fixdate (weekday is not validated).
+        let (y, m, d) = civil_from_days(days as i64);
+        let months = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+            "Dec",
+        ];
+        let rendered = format!(
+            "Xxx, {:02} {} {} {:02}:{:02}:{:02} GMT",
+            d,
+            months[(m - 1) as usize],
+            y,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        );
+        let delay = parse_retry_after(&rendered).unwrap();
+        assert!((85..=90).contains(&delay), "got {delay}");
+    }
+
+    /// Inverse of `days_from_civil`, test-only.
+    fn civil_from_days(z: i64) -> (i64, u32, u32) {
+        let z = z + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+        (y + i64::from(m <= 2), m, d)
+    }
+}

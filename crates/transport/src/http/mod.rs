@@ -7,6 +7,7 @@
 //! intentionally out of scope.
 
 pub mod client;
+pub(crate) mod date;
 pub mod request;
 pub mod response;
 pub mod server;

@@ -73,6 +73,20 @@ impl HttpResponse {
         }
     }
 
+    /// A 503 Service Unavailable with a `Retry-After` delta-seconds
+    /// header — the explicit overload answer. The hint is rounded up to
+    /// at least one second so a sub-second hint never serializes as
+    /// `Retry-After: 0` (which some clients read as "hammer away").
+    pub fn service_unavailable(retry_after: std::time::Duration) -> HttpResponse {
+        let secs = retry_after.as_secs().max(1);
+        HttpResponse {
+            status: 503,
+            reason: "Service Unavailable".into(),
+            headers: vec![("Retry-After".into(), secs.to_string())],
+            body: b"server overloaded; retry later".to_vec(),
+        }
+    }
+
     /// Add a header (chainable).
     pub fn with_header(mut self, name: &str, value: &str) -> HttpResponse {
         self.headers.push((name.into(), value.into()));
@@ -90,12 +104,13 @@ impl HttpResponse {
     }
 
     /// This response as a typed status error, preserving a diagnostic
-    /// body prefix and any `Retry-After: <seconds>` header (the
-    /// delta-seconds form; HTTP-date values are ignored).
+    /// body prefix and any `Retry-After` header — either delta-seconds
+    /// or an RFC 7231 HTTP-date (converted to a delay from now, clamped
+    /// to a day), so real-world 503s still stretch the retry backoff.
     pub fn status_error(&self) -> TransportError {
         let retry_after = self
             .header("Retry-After")
-            .and_then(|v| v.trim().parse::<u64>().ok());
+            .and_then(crate::http::date::parse_retry_after);
         TransportError::http_status(self.status, &self.reason, &self.body, retry_after)
     }
 
@@ -259,6 +274,36 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn status_error_accepts_http_date_retry_after() {
+        // A date in the past means "retry now" — hint of zero, not None.
+        let resp = HttpResponse {
+            status: 503,
+            reason: "Service Unavailable".into(),
+            headers: vec![(
+                "Retry-After".into(),
+                "Sun, 06 Nov 1994 08:49:37 GMT".into(),
+            )],
+            body: Vec::new(),
+        };
+        match resp.status_error() {
+            TransportError::HttpStatus {
+                retry_after_secs, ..
+            } => assert_eq!(retry_after_secs, Some(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_unavailable_carries_a_nonzero_hint() {
+        use std::time::Duration;
+        let resp = HttpResponse::service_unavailable(Duration::from_millis(200));
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"), "rounded up, never 0");
+        let resp = HttpResponse::service_unavailable(Duration::from_secs(3));
+        assert_eq!(resp.header("retry-after"), Some("3"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::http::response::HttpResponse;
 use crate::metrics;
 use crate::pool::BufferPool;
 use crate::reactor::conn::HttpDriver;
+use crate::reactor::overload::{Overload, OverloadConfig};
 use crate::reactor::server::{EventServer, ReactorConfig, DEFAULT_DRAIN};
 use crate::tcpserver::ReplyControl;
 
@@ -36,6 +37,11 @@ pub struct HttpServerConfig {
     /// ([`metrics_response`]), before the application handler sees the
     /// request.
     pub metrics_path: Option<&'static str>,
+    /// Overload protection: connection cap, request shedding, and the
+    /// whole-message (slow-loris) deadline. Rejected connections and
+    /// shed requests are answered `503 Service Unavailable` with
+    /// `Retry-After` and `Connection: close`. Default: everything off.
+    pub overload: OverloadConfig,
 }
 
 /// The `/metrics` scrape response: everything registered in
@@ -107,6 +113,18 @@ impl HttpServer {
         let m = metrics::http_server();
         let handler = Arc::new(handler);
         let metrics_path = config.metrics_path;
+        // The canned wire bytes a connection rejected at the cap receives:
+        // a complete 503 with Retry-After, honest `Connection: close`.
+        let reject = HttpResponse::service_unavailable(config.overload.retry_after_hint);
+        let mut reject_wire = Vec::with_capacity(256);
+        reject.serialize_head(false, &mut reject_wire);
+        reject_wire.extend_from_slice(&reject.body);
+        let overload = Arc::new(Overload::new(
+            &config.overload,
+            Some(Arc::<[u8]>::from(reject_wire)),
+            None,
+        ));
+        let driver_overload = Arc::clone(&overload);
         let inner = EventServer::bind(
             addr,
             ReactorConfig {
@@ -115,6 +133,7 @@ impl HttpServer {
                 transport: "http",
                 metrics: m,
                 injector: None,
+                overload,
             },
             Arc::new(move || {
                 Box::new(HttpDriver::new(
@@ -122,6 +141,7 @@ impl HttpServer {
                     m,
                     metrics_path,
                     Arc::clone(&pool),
+                    Arc::clone(&driver_overload),
                 )) as Box<dyn crate::reactor::conn::ConnDriver>
             }),
         )?;

@@ -51,6 +51,6 @@ pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
 pub use http::server::{metrics_response, HttpServer, HttpServerConfig};
 pub use pool::{BufferPool, Pool};
-pub use reactor::{Event, Events, Interest, Poller, Waker};
+pub use reactor::{Event, Events, Interest, OverloadConfig, Poller, Waker};
 pub use retry::{RetryPolicy, RetrySchedule};
 pub use tcpserver::{ReplyControl, TcpServer, TcpServerConfig};

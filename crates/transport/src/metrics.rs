@@ -35,6 +35,10 @@ pub struct ServerMetrics {
     /// the connection being registered with an event-loop worker; grows
     /// when workers can't keep up with the accept rate.
     pub accept_to_dispatch: Histogram,
+    /// `bx_server_requests_inflight` — requests admitted past the shed
+    /// check whose response has not yet been fully written. One half of
+    /// the overload signal ([`crate::OverloadConfig::max_inflight`]).
+    pub requests_inflight: Gauge,
 }
 
 impl ServerMetrics {
@@ -47,6 +51,7 @@ impl ServerMetrics {
             bytes_out: Counter::new(),
             handler_latency: Histogram::new(),
             accept_to_dispatch: Histogram::new(),
+            requests_inflight: Gauge::new(),
         }
     }
 
@@ -95,7 +100,68 @@ impl ServerMetrics {
             labels,
             &self.accept_to_dispatch,
         );
+        r.register_gauge(
+            "bx_server_requests_inflight",
+            "Requests admitted and not yet fully answered.",
+            labels,
+            &self.requests_inflight,
+        );
     }
+}
+
+/// Count one request shed by the overload signal before any decode or
+/// handler work (`bx_server_shed_total{transport=,reason=}`; reasons:
+/// `inflight`, `queue_delay`).
+pub fn count_shed(transport: &'static str, reason: &'static str) {
+    obs::global()
+        .counter(
+            "bx_server_shed_total",
+            "Requests shed before handler work, by transport and reason.",
+            &[("transport", transport), ("reason", reason)],
+        )
+        .inc();
+}
+
+/// Count one connection turned away at admission
+/// (`bx_server_rejected_connections_total{transport=,reason=}`; reasons:
+/// `conn_cap` for the server-wide cap, `worker_slab` for the per-worker
+/// slab bound).
+pub fn count_rejected(transport: &'static str, reason: &'static str) {
+    obs::global()
+        .counter(
+            "bx_server_rejected_connections_total",
+            "Connections rejected at admission, by transport and reason.",
+            &[("transport", transport), ("reason", reason)],
+        )
+        .inc();
+}
+
+/// Count one handler panic caught by the reactor's `catch_unwind`
+/// isolation (`bx_server_handler_panics_total{transport=}`). The
+/// connection is answered with an error/closed, the worker survives, and
+/// the event lands here instead of being silently swallowed.
+pub fn count_handler_panic(transport: &'static str) {
+    obs::global()
+        .counter(
+            "bx_server_handler_panics_total",
+            "Handler panics caught by the reactor's unwind isolation.",
+            &[("transport", transport)],
+        )
+        .inc();
+}
+
+/// Record that raising the listen backlog at bind failed
+/// (`bx_server_backlog_raise_failed{transport=}` = 1). Without this a
+/// refused backlog masquerades as mysterious connect failures under
+/// flood.
+pub fn backlog_raise_failed(transport: &'static str) {
+    obs::global()
+        .gauge(
+            "bx_server_backlog_raise_failed",
+            "1 when raising the listen backlog failed at bind.",
+            &[("transport", transport)],
+        )
+        .set(1.0);
 }
 
 /// The per-worker loop-iteration counter

@@ -15,6 +15,7 @@ use std::os::fd::{AsRawFd, RawFd};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use super::overload::{DriveCtx, Overload};
 use crate::error::{TransportError, TransportResult};
 use crate::faulty::FaultingTransport;
 use crate::framed::{MAX_FRAME_LEN, RECV_CHUNK};
@@ -88,6 +89,12 @@ pub(crate) enum Wants {
     Write,
     /// Done (clean close) — deregister and drop the connection.
     Close,
+    /// Drive me again this loop iteration even without socket readiness:
+    /// the driver hit its per-drive dispatch quota with more pipelined
+    /// requests already buffered in user space, where epoll cannot see
+    /// them. The worker re-drives these after serving every other ready
+    /// connection — the fairness bound on pipelining depth.
+    Again,
 }
 
 /// One `drive` outcome: the wanted readiness plus the write budget the
@@ -121,14 +128,28 @@ impl Step {
             write_cap: None,
         }
     }
+
+    fn again() -> Step {
+        Step {
+            wants: Wants::Again,
+            write_cap: None,
+        }
+    }
 }
+
+/// Requests one `drive` call may serve before yielding the worker to
+/// other connections. A peer that pipelines deeper than this still gets
+/// every request answered — in slices, interleaved with everyone else's
+/// traffic — instead of monopolizing its worker for the whole batch.
+const MAX_DISPATCHES_PER_DRIVE: usize = 16;
 
 /// A per-connection protocol state machine.
 pub(crate) trait ConnDriver {
-    /// Advance the state machine until the socket would block. `draining`
-    /// means the server is shutting down: finish the in-flight message,
-    /// then close instead of waiting for the next one.
-    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step>;
+    /// Advance the state machine until the socket would block (or the
+    /// dispatch quota yields). `ctx` carries the drain flag and the age
+    /// of the event batch being served — the queue-delay half of the
+    /// shed signal.
+    fn drive(&mut self, io: &mut ConnIo, ctx: &DriveCtx) -> TransportResult<Step>;
 
     /// Is a message partially read, being handled, or partially written?
     /// Idle connections (`false`) are closed quietly on timeout or drain;
@@ -185,42 +206,82 @@ pub(crate) struct FramedDriver<S, H> {
     state: S,
     handler: Arc<H>,
     metrics: &'static ServerMetrics,
+    overload: Arc<Overload>,
     phase: FramedPhase,
     prefix: [u8; 4],
     request: Vec<u8>,
     response: Vec<u8>,
     out_prefix: [u8; 4],
     ctl: ReplyControl,
+    /// This driver holds one unit of the inflight gauge (a dispatched
+    /// request whose response write hasn't completed) — released at
+    /// write-complete, or in `Drop` when the connection dies mid-write.
+    holds_inflight: bool,
 }
 
 impl<S, H> FramedDriver<S, H>
 where
     H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
 {
-    pub(crate) fn new(state: S, handler: Arc<H>, metrics: &'static ServerMetrics) -> Self {
+    pub(crate) fn new(
+        state: S,
+        handler: Arc<H>,
+        metrics: &'static ServerMetrics,
+        overload: Arc<Overload>,
+    ) -> Self {
         FramedDriver {
             state,
             handler,
             metrics,
+            overload,
             phase: FramedPhase::Prefix { filled: 0 },
             prefix: [0; 4],
             request: Vec::new(),
             response: Vec::new(),
             out_prefix: [0; 4],
             ctl: ReplyControl::default(),
+            holds_inflight: false,
+        }
+    }
+
+    /// Shed the just-read request if the overload signal says so: the
+    /// configured fault payload is staged as the response (no decode, no
+    /// handler), or the connection closes when no payload was configured.
+    /// Returns the step to take, or `None` to admit the request.
+    fn maybe_shed(&mut self, ctx: &DriveCtx) -> Option<Option<Step>> {
+        let inflight_with_me = self.metrics.requests_inflight.get() as i64 + 1;
+        let reason = self.overload.should_shed(inflight_with_me, ctx.batch_age())?;
+        crate::metrics::count_shed("tcp", reason);
+        match self.overload.shed_payload.clone() {
+            Some(payload) => {
+                self.response.clear();
+                self.response.extend_from_slice(&payload);
+                self.ctl.reset();
+                self.out_prefix = (self.response.len() as u32).to_be_bytes();
+                self.phase = FramedPhase::Write { written: 0 };
+                Some(None)
+            }
+            None => Some(Some(Step::close())),
         }
     }
 
     fn dispatch(&mut self) -> TransportResult<()> {
         self.metrics.bytes_in.add(self.request.len() as u64);
         self.metrics.requests.inc();
+        self.metrics.requests_inflight.add(1.0);
+        self.holds_inflight = true;
         self.response.clear();
         self.ctl.reset();
         let started = Instant::now();
         let (state, handler) = (&mut self.state, &self.handler);
         let (request, response, ctl) = (&self.request, &mut self.response, &mut self.ctl);
-        run_handler(|| handler(state, request, response, ctl))?;
-        self.metrics.handler_latency.observe_duration(started.elapsed());
+        if let Err(e) = run_handler(|| handler(state, request, response, ctl)) {
+            crate::metrics::count_handler_panic("tcp");
+            return Err(e);
+        }
+        let elapsed = started.elapsed();
+        self.metrics.handler_latency.observe_duration(elapsed);
+        self.overload.observe_handler_latency(elapsed);
         if self.response.len() > MAX_FRAME_LEN {
             return Err(TransportError::FrameTooLarge {
                 declared: self.response.len() as u64,
@@ -232,11 +293,20 @@ where
     }
 }
 
+impl<S, H> Drop for FramedDriver<S, H> {
+    fn drop(&mut self) {
+        if self.holds_inflight {
+            self.metrics.requests_inflight.add(-1.0);
+        }
+    }
+}
+
 impl<S, H> ConnDriver for FramedDriver<S, H>
 where
     H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl),
 {
-    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step> {
+    fn drive(&mut self, io: &mut ConnIo, ctx: &DriveCtx) -> TransportResult<Step> {
+        let mut served = 0usize;
         loop {
             match &mut self.phase {
                 FramedPhase::Prefix { filled } => {
@@ -278,7 +348,13 @@ where
                             Err(e) => return Err(e),
                         }
                     }
-                    self.dispatch()?;
+                    // The payload is complete but not yet decoded — the
+                    // cheapest point to turn the request away.
+                    match self.maybe_shed(ctx) {
+                        Some(Some(step)) => return Ok(step),
+                        Some(None) => {}
+                        None => self.dispatch()?,
+                    }
                 }
                 FramedPhase::Write { written } => {
                     let total = 4 + self.response.len();
@@ -310,10 +386,21 @@ where
                         }
                     }
                     self.metrics.bytes_out.add(self.response.len() as u64);
-                    if draining {
+                    if self.holds_inflight {
+                        self.metrics.requests_inflight.add(-1.0);
+                        self.holds_inflight = false;
+                    }
+                    if ctx.draining {
                         return Ok(Step::close());
                     }
                     self.phase = FramedPhase::Prefix { filled: 0 };
+                    served += 1;
+                    if served >= MAX_DISPATCHES_PER_DRIVE {
+                        // Yield the worker; any further pipelined frames
+                        // sit in the kernel buffer, which level-triggered
+                        // epoll keeps reporting as readable.
+                        return Ok(Step::read());
+                    }
                 }
             }
         }
@@ -366,6 +453,7 @@ pub(crate) struct HttpDriver<H> {
     metrics: &'static ServerMetrics,
     metrics_path: Option<&'static str>,
     pool: Arc<BufferPool>,
+    overload: Arc<Overload>,
     phase: HttpPhase,
     read_buf: Vec<u8>,
     pending: Option<PendingRequest>,
@@ -377,6 +465,10 @@ pub(crate) struct HttpDriver<H> {
     /// The oversize-request path counts `frame_too_large` once per
     /// rejection, like the blocking server did.
     ctl: ReplyControl,
+    /// One unit of the inflight gauge held by a dispatched request whose
+    /// response hasn't fully gone out (released in `Drop` if the
+    /// connection dies mid-write).
+    holds_inflight: bool,
 }
 
 impl<H> HttpDriver<H>
@@ -388,6 +480,7 @@ where
         metrics: &'static ServerMetrics,
         metrics_path: Option<&'static str>,
         pool: Arc<BufferPool>,
+        overload: Arc<Overload>,
     ) -> Self {
         let body = pool.take();
         HttpDriver {
@@ -395,6 +488,7 @@ where
             metrics,
             metrics_path,
             pool,
+            overload,
             phase: HttpPhase::Head,
             read_buf: Vec::new(),
             pending: None,
@@ -403,6 +497,7 @@ where
             body_out: Vec::new(),
             keep_alive: false,
             ctl: ReplyControl::default(),
+            holds_inflight: false,
         }
     }
 
@@ -432,9 +527,10 @@ where
     }
 
     /// Parse one request head out of `read_buf` if the blank line has
-    /// arrived. `Ok(true)` = a request is pending (or a parse-error
-    /// response was staged); `Ok(false)` = need more bytes.
-    fn try_parse_head(&mut self) -> TransportResult<bool> {
+    /// arrived. `Ok(true)` = a request is pending (or a parse-error,
+    /// reject, or shed response was staged); `Ok(false)` = need more
+    /// bytes.
+    fn try_parse_head(&mut self, ctx: &DriveCtx) -> TransportResult<bool> {
         let Some(head_end) = find_head_end(&self.read_buf) else {
             if self.read_buf.len() > MAX_HEAD_LEN {
                 // Reply like the blocking server replied to any malformed
@@ -461,14 +557,35 @@ where
                     );
                     self.keep_alive = false;
                     self.stage_response(HttpResponse::payload_too_large());
-                } else {
-                    self.keep_alive = pending.keep_alive;
-                    self.pending = Some(pending);
-                    self.body.clear();
-                    self.phase = HttpPhase::Body {
-                        remaining: body_len,
-                    };
+                    return Ok(true);
                 }
+                // Shed check at head-parse time — before the body is read,
+                // decoded, or handled. The 503 says `Connection: close`,
+                // so any body bytes in flight die with the connection.
+                // Metrics scrapes are exempt: observability must survive
+                // the very overload it is diagnosing.
+                let is_metrics_scrape =
+                    self.metrics_path == Some(pending.path.as_str()) && pending.method == "GET";
+                if !is_metrics_scrape {
+                    let inflight_with_me = self.metrics.requests_inflight.get() as i64 + 1;
+                    if let Some(reason) = self
+                        .overload
+                        .should_shed(inflight_with_me, ctx.batch_age())
+                    {
+                        crate::metrics::count_shed("http", reason);
+                        self.keep_alive = false;
+                        self.stage_response(HttpResponse::service_unavailable(
+                            self.overload.retry_after_hint,
+                        ));
+                        return Ok(true);
+                    }
+                }
+                self.keep_alive = pending.keep_alive;
+                self.pending = Some(pending);
+                self.body.clear();
+                self.phase = HttpPhase::Body {
+                    remaining: body_len,
+                };
                 Ok(true)
             }
             Err(e) => {
@@ -483,6 +600,8 @@ where
         let pending = self.pending.take().expect("body phase implies a parsed head");
         self.metrics.bytes_in.add(self.body.len() as u64);
         self.metrics.requests.inc();
+        self.metrics.requests_inflight.add(1.0);
+        self.holds_inflight = true;
         let mut request = HttpRequest {
             method: pending.method,
             path: pending.path,
@@ -500,12 +619,15 @@ where
             let ctl = &mut self.ctl;
             let mut out = None;
             let result = run_handler(|| out = Some(handler(&request, ctl)));
-            self.metrics.handler_latency.observe_duration(started.elapsed());
+            let elapsed = started.elapsed();
+            self.metrics.handler_latency.observe_duration(elapsed);
+            self.overload.observe_handler_latency(elapsed);
             match (result, out) {
                 (Ok(()), Some(response)) => response,
                 // A panicked handler still owes the peer an answer; the
                 // connection closes right after it.
                 _ => {
+                    crate::metrics::count_handler_panic("http");
                     self.keep_alive = false;
                     HttpResponse::server_error(b"handler failed".to_vec())
                 }
@@ -521,11 +643,12 @@ impl<H> ConnDriver for HttpDriver<H>
 where
     H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse,
 {
-    fn drive(&mut self, io: &mut ConnIo, draining: bool) -> TransportResult<Step> {
+    fn drive(&mut self, io: &mut ConnIo, ctx: &DriveCtx) -> TransportResult<Step> {
+        let mut served = 0usize;
         loop {
             match &mut self.phase {
                 HttpPhase::Head => {
-                    if self.try_parse_head()? {
+                    if self.try_parse_head(ctx)? {
                         continue;
                     }
                     let at_boundary = self.read_buf.is_empty();
@@ -564,7 +687,7 @@ where
                             Err(e) => return Err(e),
                         }
                     }
-                    if draining {
+                    if ctx.draining {
                         // The in-flight request completes, but its
                         // response says close.
                         self.keep_alive = false;
@@ -603,10 +726,26 @@ where
                     }
                     self.metrics.bytes_out.add(self.body_out.len() as u64);
                     self.pool.put(std::mem::take(&mut self.body_out));
-                    if !self.keep_alive || draining {
+                    if self.holds_inflight {
+                        self.metrics.requests_inflight.add(-1.0);
+                        self.holds_inflight = false;
+                    }
+                    if !self.keep_alive || ctx.draining {
                         return Ok(Step::close());
                     }
                     self.phase = HttpPhase::Head;
+                    served += 1;
+                    if served >= MAX_DISPATCHES_PER_DRIVE {
+                        // Pipelined requests beyond the quota sit in the
+                        // user-space read buffer where epoll can't see
+                        // them: ask the loop for a re-drive instead of
+                        // readiness. An empty buffer can wait for epoll.
+                        return Ok(if self.read_buf.is_empty() {
+                            Step::read()
+                        } else {
+                            Step::again()
+                        });
+                    }
                 }
             }
         }
@@ -625,6 +764,9 @@ impl<H> Drop for HttpDriver<H> {
         // The connection's buffers rejoin the shared cycle.
         self.pool.put(std::mem::take(&mut self.body));
         self.pool.put(std::mem::take(&mut self.body_out));
+        if self.holds_inflight {
+            self.metrics.requests_inflight.add(-1.0);
+        }
     }
 }
 

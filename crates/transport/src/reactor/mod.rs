@@ -10,6 +10,12 @@
 //! * `server` (crate-private) — the runtime: a blocking acceptor shard feeding N
 //!   event-loop workers over wakered inboxes, loop-maintained deadlines,
 //!   and bounded-drain shutdown.
+//! * `overload` (crate-private) — admission control and load shedding: the
+//!   connection cap the acceptor enforces (pause-accept or
+//!   accept-then-reject), the inflight/queue-delay signal drivers consult
+//!   before dispatching a request, and the whole-message deadline that
+//!   kills slow-loris peers. Configured per server via
+//!   [`crate::OverloadConfig`].
 //!
 //! `TcpServer` and `HttpServer` are thin facades over this module; their
 //! `bind_*` APIs are unchanged from the thread-per-connection era.
@@ -17,6 +23,8 @@
 pub mod poll;
 
 pub(crate) mod conn;
+pub(crate) mod overload;
 pub(crate) mod server;
 
+pub use overload::OverloadConfig;
 pub use poll::{Event, Events, Interest, Poller, Waker};

@@ -1,0 +1,327 @@
+//! Overload protection for the reactor: admission control at accept
+//! time, request-level load shedding at dispatch time, and the shared
+//! signal both decisions read.
+//!
+//! The design goal is *graceful* degradation: past saturation the server
+//! keeps serving what it admitted at near-peak goodput and turns the
+//! excess away **explicitly** — a canned response carrying a retry hint
+//! (`Retry-After` on HTTP, `retry-after-ms=` fault detail on framed TCP)
+//! that the client-side retry/breaker machinery already honors — instead
+//! of letting queues, latency, and memory grow without bound.
+//!
+//! Two admission layers:
+//!
+//! * **Connections** — [`OverloadConfig::max_connections`] caps the
+//!   server-wide open-connection count. The acceptor enforces it either
+//!   by *pausing* accepts (connections wait in the kernel backlog — the
+//!   TCP-native form of backpressure) or by *accept-then-reject*:
+//!   accept, write a prebuilt rejection (HTTP 503 + `Retry-After` +
+//!   `Connection: close`; a framed fault frame), close. A per-worker
+//!   slab bound (2× the fair share) backstops the global cap against
+//!   lifetime imbalance between workers.
+//! * **Requests** — once a request head (HTTP) or payload (framed) has
+//!   arrived, the driver consults [`Overload::should_shed`] *before* any
+//!   decode or handler work. The signal is cheap: the process-wide
+//!   inflight gauge, plus the age of the event batch being drained
+//!   combined with an EWMA of handler latency (how long the peer has
+//!   already waited in this batch, plus how long serving it would take).
+//!   A saturated worker sheds the tail of its batch and keeps the head
+//!   fast.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Overload-protection knobs shared by [`crate::TcpServerConfig`] and
+/// [`crate::HttpServerConfig`]. The default is fully permissive — every
+/// protection off — so existing servers behave exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Server-wide cap on concurrently open connections (`None` =
+    /// unbounded, the pre-overload behaviour). Also bounds each worker's
+    /// slab at twice the per-worker fair share.
+    /// Overridable at bind time by the `BX_SERVER_MAX_CONNS` env var.
+    pub max_connections: Option<usize>,
+    /// What a full server does with the next connection: `false` (the
+    /// default) pauses accepting — arrivals queue in the kernel backlog
+    /// and are served as slots free up; `true` accepts and immediately
+    /// writes a rejection carrying the retry hint, then closes.
+    pub reject_when_full: bool,
+    /// Shed a request when admitting it would push the inflight gauge
+    /// past this bound (`None` = no inflight-based shedding).
+    pub max_inflight: Option<usize>,
+    /// Shed a request when the age of the event batch it arrived in,
+    /// plus the EWMA of handler latency, exceeds this bound — the
+    /// request has already queued longer than the server considers
+    /// serviceable (`None` = no delay-based shedding).
+    pub shed_queue_delay: Option<Duration>,
+    /// The hint attached to rejections and shed responses: how long the
+    /// peer should wait before trying again.
+    pub retry_after_hint: Duration,
+    /// Total budget for one in-flight message exchange regardless of
+    /// byte progress — the slow-loris defense. The per-phase read/write
+    /// timeouts re-arm on every drive that makes progress, so a peer
+    /// trickling one byte per budget dodges them forever; this deadline
+    /// does not re-arm until the message completes.
+    pub message_deadline: Option<Duration>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            max_connections: None,
+            reject_when_full: false,
+            max_inflight: None,
+            shed_queue_delay: None,
+            retry_after_hint: Duration::from_secs(1),
+            message_deadline: None,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// `max_connections` with the `BX_SERVER_MAX_CONNS` env override
+    /// applied (`0` disables the cap).
+    pub(crate) fn effective_max_connections(&self) -> Option<usize> {
+        if let Ok(v) = std::env::var("BX_SERVER_MAX_CONNS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return (n > 0).then_some(n);
+            }
+        }
+        self.max_connections
+    }
+}
+
+/// EWMA smoothing: `ewma += (sample - ewma) / 8`.
+const EWMA_SHIFT: u32 = 3;
+
+/// The shared overload state for one running server: the resolved
+/// config, the admission counter, the latency EWMA, and the prebuilt
+/// rejection/shed payloads.
+pub(crate) struct Overload {
+    pub max_connections: Option<usize>,
+    pub reject_when_full: bool,
+    pub max_inflight: Option<usize>,
+    pub shed_queue_delay: Option<Duration>,
+    pub retry_after_hint: Duration,
+    pub message_deadline: Option<Duration>,
+    /// Admitted, currently-open connections (acceptor increments on
+    /// admit; workers decrement on close).
+    active: AtomicI64,
+    /// EWMA of handler latency in nanoseconds, updated after every
+    /// handler run. Plain relaxed load/store: a lost race skews the
+    /// average by one sample, which the next sample repairs.
+    ewma_nanos: AtomicU64,
+    /// Complete wire bytes written at a rejected connection (a full HTTP
+    /// 503 response / a length-prefixed framed fault). `None` = close
+    /// silently.
+    pub reject_wire: Option<Arc<[u8]>>,
+    /// The *payload* (no length prefix) a framed driver answers a shed
+    /// request with. `None` = shed by closing the connection.
+    pub shed_payload: Option<Arc<[u8]>>,
+}
+
+impl Overload {
+    pub(crate) fn new(
+        config: &OverloadConfig,
+        reject_wire: Option<Arc<[u8]>>,
+        shed_payload: Option<Arc<[u8]>>,
+    ) -> Overload {
+        Overload {
+            max_connections: config.effective_max_connections(),
+            reject_when_full: config.reject_when_full,
+            max_inflight: config.max_inflight,
+            shed_queue_delay: config.shed_queue_delay,
+            retry_after_hint: config.retry_after_hint,
+            message_deadline: config.message_deadline,
+            active: AtomicI64::new(0),
+            ewma_nanos: AtomicU64::new(0),
+            reject_wire,
+            shed_payload,
+        }
+    }
+
+    /// Admitted-connection count as the acceptor sees it.
+    pub(crate) fn active(&self) -> i64 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Record one admitted connection.
+    pub(crate) fn admit(&self) {
+        self.active.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Release one admitted connection (close, or registration failure).
+    pub(crate) fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Per-worker slab bound: twice the fair share of the global cap, so
+    /// round-robin with uneven connection lifetimes has headroom, while
+    /// one worker can never hold more than 2× its share of slab memory.
+    pub(crate) fn per_worker_cap(&self, workers: usize) -> Option<usize> {
+        self.max_connections
+            .map(|cap| (cap.div_ceil(workers.max(1)) * 2).max(8))
+    }
+
+    /// Fold one handler-latency sample into the EWMA.
+    pub(crate) fn observe_handler_latency(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(i64::MAX as u128) as i64;
+        let old = self.ewma_nanos.load(Ordering::Relaxed) as i64;
+        let new = if old == 0 {
+            sample
+        } else {
+            old.saturating_add((sample - old) >> EWMA_SHIFT)
+        };
+        self.ewma_nanos.store(new.max(0) as u64, Ordering::Relaxed);
+    }
+
+    /// The current handler-latency EWMA.
+    pub(crate) fn ewma_latency(&self) -> Duration {
+        Duration::from_nanos(self.ewma_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Should a just-arrived request be shed instead of served?
+    /// `inflight_with_me` counts the request itself; `batch_age` is how
+    /// long the worker has been draining the event batch the request
+    /// arrived in. Returns the shed reason label, or `None` to admit.
+    pub(crate) fn should_shed(
+        &self,
+        inflight_with_me: i64,
+        batch_age: Duration,
+    ) -> Option<&'static str> {
+        if let Some(max) = self.max_inflight {
+            if inflight_with_me > max as i64 {
+                return Some("inflight");
+            }
+        }
+        if let Some(limit) = self.shed_queue_delay {
+            if batch_age + self.ewma_latency() > limit {
+                return Some("queue_delay");
+            }
+        }
+        None
+    }
+
+    /// Best-effort write of the rejection bytes at a just-accepted
+    /// socket. Non-blocking with no retry loop: a fresh socket's send
+    /// buffer is empty, so the canned few hundred bytes either go out in
+    /// one call or the peer was never listening — either way the caller
+    /// must not stall. Returns the stream when the rejection went out, so
+    /// the caller can let it linger briefly instead of closing
+    /// immediately (closing with the peer's request bytes unread turns
+    /// into an RST that can destroy the rejection in flight).
+    pub(crate) fn write_reject(&self, stream: TcpStream) -> Option<TcpStream> {
+        let wire = self.reject_wire.as_ref()?;
+        stream.set_nonblocking(true).ok()?;
+        let mut stream = stream;
+        let written = stream.write(wire).ok()?;
+        if written < wire.len() {
+            // A fresh socket's send buffer swallowed less than the canned
+            // few hundred bytes: the peer is already gone. Close now.
+            return None;
+        }
+        stream.shutdown(std::net::Shutdown::Write).ok()?;
+        Some(stream)
+    }
+}
+
+/// Context the worker hands a driver for one `drive` call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DriveCtx {
+    /// The server is shutting down: finish the in-flight message, then
+    /// close instead of waiting for the next one.
+    pub draining: bool,
+    /// When the worker started draining the current event batch — the
+    /// dispatch-queue-age half of the shed signal.
+    pub batch_started: Instant,
+}
+
+impl DriveCtx {
+    /// How long the current batch has been draining.
+    pub(crate) fn batch_age(&self) -> Duration {
+        self.batch_started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overload(config: &OverloadConfig) -> Overload {
+        Overload::new(config, None, None)
+    }
+
+    #[test]
+    fn default_config_never_sheds() {
+        let o = overload(&OverloadConfig::default());
+        assert_eq!(o.should_shed(1_000_000, Duration::from_secs(60)), None);
+        assert_eq!(o.max_connections, None);
+    }
+
+    #[test]
+    fn inflight_bound_sheds_past_the_cap() {
+        let o = overload(&OverloadConfig {
+            max_inflight: Some(2),
+            ..OverloadConfig::default()
+        });
+        assert_eq!(o.should_shed(1, Duration::ZERO), None);
+        assert_eq!(o.should_shed(2, Duration::ZERO), None);
+        assert_eq!(o.should_shed(3, Duration::ZERO), Some("inflight"));
+    }
+
+    #[test]
+    fn queue_delay_combines_batch_age_and_ewma() {
+        let o = overload(&OverloadConfig {
+            shed_queue_delay: Some(Duration::from_millis(10)),
+            ..OverloadConfig::default()
+        });
+        // No latency history: only batch age counts.
+        assert_eq!(o.should_shed(1, Duration::from_millis(5)), None);
+        assert_eq!(
+            o.should_shed(1, Duration::from_millis(11)),
+            Some("queue_delay")
+        );
+        // With an 8 ms EWMA, a 5 ms-old batch entry is already over.
+        for _ in 0..100 {
+            o.observe_handler_latency(Duration::from_millis(8));
+        }
+        assert!(o.ewma_latency() >= Duration::from_millis(7));
+        assert_eq!(
+            o.should_shed(1, Duration::from_millis(5)),
+            Some("queue_delay")
+        );
+    }
+
+    #[test]
+    fn ewma_tracks_samples() {
+        let o = overload(&OverloadConfig::default());
+        o.observe_handler_latency(Duration::from_millis(4));
+        assert_eq!(o.ewma_latency(), Duration::from_millis(4));
+        for _ in 0..64 {
+            o.observe_handler_latency(Duration::from_millis(1));
+        }
+        let settled = o.ewma_latency();
+        assert!(
+            settled >= Duration::from_micros(900) && settled <= Duration::from_millis(2),
+            "EWMA should settle near the steady sample, got {settled:?}"
+        );
+    }
+
+    #[test]
+    fn admission_counter_round_trips() {
+        let o = overload(&OverloadConfig {
+            max_connections: Some(10),
+            ..OverloadConfig::default()
+        });
+        o.admit();
+        o.admit();
+        assert_eq!(o.active(), 2);
+        o.release();
+        assert_eq!(o.active(), 1);
+        // ceil(10/4) * 2 = 6, floored to the minimum slab of 8.
+        assert_eq!(o.per_worker_cap(4), Some(8));
+    }
+}

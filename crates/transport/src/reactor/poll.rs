@@ -256,10 +256,15 @@ impl Waker {
 /// Re-issue `listen()` on an already-listening socket to raise its accept
 /// backlog — `TcpListener::bind` hard-codes 128, which a 10k-connection
 /// ramp overflows (refused connects) long before the loop is saturated.
-pub(crate) fn raise_backlog(listener: &TcpListener, backlog: i32) {
-    // Best-effort: a kernel that refuses keeps the default backlog.
-    unsafe {
-        listen(listener.as_raw_fd(), backlog);
+/// A kernel that refuses keeps the default backlog; the caller surfaces
+/// the failure once (`bx_server_backlog_raise_failed`) instead of letting
+/// it masquerade as connect failures under flood.
+pub(crate) fn raise_backlog(listener: &TcpListener, backlog: i32) -> std::io::Result<()> {
+    let rc = unsafe { listen(listener.as_raw_fd(), backlog) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(std::io::Error::last_os_error())
     }
 }
 

@@ -23,6 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use super::conn::{ConnDriver, ConnIo, Wants};
+use super::overload::{DriveCtx, Overload};
 use super::poll::{raise_backlog, Events, Interest, Poller, Waker};
 use crate::error::{TransportError, TransportResult};
 use crate::faulty::{FaultingTransport, SharedInjector};
@@ -33,6 +34,19 @@ const WAKER_TOKEN: u64 = u64::MAX;
 
 /// Deadline-scan granularity: the poll tick whenever connections exist.
 const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// How often a paused acceptor re-checks for a free connection slot (and
+/// the stop flag). Arrivals meanwhile wait in the kernel backlog.
+const PAUSE_ACCEPT_TICK: Duration = Duration::from_millis(2);
+
+/// How long a rejected socket lingers after its 503/fault went out, so
+/// the close's FIN (not an RST racing unread request bytes) follows the
+/// rejection to the peer.
+const REJECT_LINGER: Duration = Duration::from_millis(250);
+
+/// Bound on lingering rejected sockets — past it the oldest close early,
+/// trading their rejection bytes for a bounded fd count under flood.
+const REJECT_LINGER_SLOTS: usize = 512;
 
 /// Listen backlog during connection ramps (the std default of 128 refuses
 /// connects long before an event loop is saturated).
@@ -55,6 +69,9 @@ pub(crate) struct ReactorConfig {
     pub metrics: &'static ServerMetrics,
     /// Wrap accepted sockets in a [`FaultingTransport`].
     pub injector: Option<SharedInjector>,
+    /// Shared overload state: admission cap, shed signal, canned
+    /// rejection payloads.
+    pub overload: Arc<Overload>,
 }
 
 /// The factory workers use to build one driver per accepted connection.
@@ -109,14 +126,21 @@ impl EventServer {
         factory: DriverFactory,
     ) -> TransportResult<EventServer> {
         let listener = TcpListener::bind(addr)?;
-        raise_backlog(&listener, ACCEPT_BACKLOG);
+        if raise_backlog(&listener, ACCEPT_BACKLOG).is_err() {
+            // Surfaced once: a refused backlog otherwise masquerades as
+            // mysterious connect failures under flood.
+            metrics::backlog_raise_failed(config.transport);
+        }
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let errors = Arc::new(AtomicU64::new(0));
         let drain_until = Arc::new(Mutex::new(None));
+        let overload = Arc::clone(&config.overload);
+        let workers_n = worker_count();
+        let worker_cap = overload.per_worker_cap(workers_n);
 
         let mut workers = Vec::new();
-        for idx in 0..worker_count() {
+        for idx in 0..workers_n {
             // Poller and waker are created here, not on the worker, so a
             // resource failure surfaces as a bind error.
             let poller = Poller::new()?;
@@ -133,6 +157,8 @@ impl EventServer {
                 transport: config.transport,
                 metrics: config.metrics,
                 injector: config.injector.clone(),
+                overload: Arc::clone(&overload),
+                worker_cap,
                 stop: Arc::clone(&stop),
                 drain_until: Arc::clone(&drain_until),
                 errors: Arc::clone(&errors),
@@ -146,6 +172,8 @@ impl EventServer {
 
         let stop_accept = Arc::clone(&stop);
         let accept_metrics = config.metrics;
+        let accept_overload = Arc::clone(&overload);
+        let transport = config.transport;
         let shards: Vec<(Inbox, Arc<Waker>)> = workers
             .iter()
             .map(|w| (Arc::clone(&w.inbox), Arc::clone(&w.waker)))
@@ -153,13 +181,58 @@ impl EventServer {
         let accept_thread = std::thread::Builder::new()
             .name(format!("evt-{}-accept", config.transport))
             .spawn(move || {
+                let at_cap = |o: &Overload| {
+                    o.max_connections
+                        .is_some_and(|cap| o.active() >= cap as i64)
+                };
                 let mut next = 0usize;
-                for conn in listener.incoming() {
+                // Rejected sockets linger briefly after the 503/fault is
+                // written: closing with the peer's request bytes still
+                // unread makes the kernel send RST, which can destroy the
+                // rejection in flight before the peer reads it. Bounded in
+                // both time and count, reaped on each accept.
+                let mut parting: VecDeque<(Instant, TcpStream)> = VecDeque::new();
+                'accept: loop {
+                    while parting.len() >= REJECT_LINGER_SLOTS
+                        || parting
+                            .front()
+                            .is_some_and(|(at, _)| at.elapsed() >= REJECT_LINGER)
+                    {
+                        parting.pop_front();
+                    }
+                    // Pause-accept admission: at the cap (and not in
+                    // reject mode), leave arrivals in the kernel backlog
+                    // until a slot frees. Only this thread admits, so
+                    // once the gate opens it stays open through the
+                    // accept below.
+                    while !accept_overload.reject_when_full && at_cap(&accept_overload) {
+                        if stop_accept.load(Ordering::Acquire) {
+                            break 'accept;
+                        }
+                        std::thread::sleep(PAUSE_ACCEPT_TICK);
+                    }
+                    let Ok((stream, _)) = listener.accept() else {
+                        if stop_accept.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
+                    };
                     if stop_accept.load(Ordering::Acquire) {
                         break;
                     }
-                    let Ok(stream) = conn else { continue };
                     accept_metrics.connections.inc();
+                    if at_cap(&accept_overload) {
+                        // Accept-then-reject: a canned, hint-carrying
+                        // response goes out best-effort and the socket
+                        // closes — the peer learns to back off instead of
+                        // seeing a silent queue.
+                        metrics::count_rejected(transport, "conn_cap");
+                        if let Some(stream) = accept_overload.write_reject(stream) {
+                            parting.push_back((Instant::now(), stream));
+                        }
+                        continue;
+                    }
+                    accept_overload.admit();
                     let (inbox, waker) = &shards[next % shards.len()];
                     next = next.wrapping_add(1);
                     lock(inbox).push_back((stream, Instant::now()));
@@ -230,6 +303,10 @@ struct Conn {
     armed_at: Instant,
     /// The budget behind `deadline` (for `TimedOut::budget`).
     budget: Duration,
+    /// Whole-message deadline (the slow-loris defense): armed when a
+    /// message goes in flight and *not* re-armed on progress, unlike
+    /// `deadline`, so trickling a byte per read budget doesn't extend it.
+    msg_deadline: Option<Instant>,
 }
 
 /// Everything a worker thread owns.
@@ -243,6 +320,9 @@ struct WorkerCtx {
     transport: &'static str,
     metrics: &'static ServerMetrics,
     injector: Option<SharedInjector>,
+    overload: Arc<Overload>,
+    /// Slab bound backstopping the global cap against worker imbalance.
+    worker_cap: Option<usize>,
     stop: Arc<AtomicBool>,
     drain_until: Arc<Mutex<Option<Instant>>>,
     errors: Arc<AtomicU64>,
@@ -255,6 +335,9 @@ impl WorkerCtx {
         let mut conns: Vec<Option<Conn>> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         let mut live = 0usize;
+        // Tokens whose drivers asked to be re-driven without socket
+        // readiness (pipelined requests buffered in user space).
+        let mut again: Vec<usize> = Vec::new();
 
         loop {
             iterations.inc();
@@ -263,10 +346,13 @@ impl WorkerCtx {
                 break;
             }
 
-            // Sleep policy: with connections (or a drain pending) wake at
-            // the poll tick to scan deadlines; empty and serving, park
-            // until the acceptor's waker fires.
-            let timeout = if live > 0 || draining {
+            // Sleep policy: re-drives pending means don't sleep at all;
+            // with connections (or a drain pending) wake at the poll tick
+            // to scan deadlines; empty and serving, park until the
+            // acceptor's waker fires.
+            let timeout = if !again.is_empty() {
+                Some(Duration::ZERO)
+            } else if live > 0 || draining {
                 Some(POLL_TICK)
             } else {
                 None
@@ -274,30 +360,43 @@ impl WorkerCtx {
             if self.poller.wait(&mut events, timeout).is_err() {
                 break; // a broken epoll fd cannot be served around
             }
+            // The event batch starts draining now; its age feeds the
+            // queue-delay shed signal for every request in it.
+            let ctx = DriveCtx {
+                draining,
+                batch_started: Instant::now(),
+            };
 
+            let pending = std::mem::take(&mut again);
             let mut woken = false;
             for ev in events.iter() {
                 if ev.token == WAKER_TOKEN {
                     woken = true;
                     continue;
                 }
-                self.drive(&mut conns, &mut free, &mut live, ev.token as usize, draining);
+                self.drive(
+                    &mut conns,
+                    &mut free,
+                    &mut live,
+                    &mut again,
+                    ev.token as usize,
+                    ctx,
+                );
             }
             if woken {
                 self.waker.drain();
             }
+            // Quota-yielded connections continue after every ready one
+            // got its turn. Stale tokens (closed meanwhile) are skipped
+            // by `drive`; slots aren't reused until registration below.
+            for token in pending {
+                self.drive(&mut conns, &mut free, &mut live, &mut again, token, ctx);
+            }
 
             // Registrations last: a slot freed earlier in this batch can
             // be reused only after its stale events were consumed.
-            while let Some((stream, accepted_at)) = lock(&self.inbox).pop_front() {
-                self.register(
-                    &mut conns,
-                    &mut free,
-                    &mut live,
-                    stream,
-                    accepted_at,
-                    draining,
-                );
+            while let Some(arrival) = lock(&self.inbox).pop_front() {
+                self.register(&mut conns, &mut free, &mut live, &mut again, arrival, ctx);
             }
 
             // Deadline scan; during a drain also close idle connections
@@ -319,6 +418,17 @@ impl WorkerCtx {
                     }
                     self.close(&mut conns, &mut free, &mut live, token);
                     continue;
+                }
+                if let Some(msg_deadline) = conn.msg_deadline {
+                    if now >= msg_deadline && in_flight {
+                        // The whole-message budget expired without the
+                        // exchange completing: a slow-loris peer trickling
+                        // just enough to re-arm the phase deadline.
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        metrics::count_server_error(self.transport, "slow_peer");
+                        self.close(&mut conns, &mut free, &mut live, token);
+                        continue;
+                    }
                 }
                 if let Some(deadline) = conn.deadline {
                     if now >= deadline {
@@ -352,11 +462,27 @@ impl WorkerCtx {
         conns: &mut Vec<Option<Conn>>,
         free: &mut Vec<usize>,
         live: &mut usize,
-        stream: TcpStream,
-        accepted_at: Instant,
-        draining: bool,
+        again: &mut Vec<usize>,
+        arrival: (TcpStream, Instant),
+        ctx: DriveCtx,
     ) {
+        let (stream, accepted_at) = arrival;
+        if let Some(cap) = self.worker_cap {
+            if *live >= cap {
+                // The slab bound backstops the global cap when connection
+                // lifetimes skew the round-robin balance: this worker is
+                // already carrying twice its fair share.
+                metrics::count_rejected(self.transport, "worker_slab");
+                self.overload.release();
+                // Dropped immediately (no linger list on workers): the
+                // slab bound only trips under extreme imbalance, where a
+                // lost rejection is acceptable.
+                drop(self.overload.write_reject(stream));
+                return;
+            }
+        }
         if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            self.overload.release();
             return;
         }
         let io = match &self.injector {
@@ -369,6 +495,7 @@ impl WorkerCtx {
         });
         if self.poller.add(io.raw_fd(), token as u64, Interest::Readable).is_err() {
             free.push(token);
+            self.overload.release();
             return;
         }
         self.metrics.connections_active.add(1.0);
@@ -382,11 +509,12 @@ impl WorkerCtx {
             deadline: self.read_timeout.map(|t| Instant::now() + t),
             armed_at: Instant::now(),
             budget: self.read_timeout.unwrap_or_default(),
+            msg_deadline: None,
         });
         *live += 1;
         // A peer may have sent bytes before registration; level-triggered
         // epoll would report them, but driving once now saves a tick.
-        self.drive(conns, free, live, token, draining);
+        self.drive(conns, free, live, again, token, ctx);
     }
 
     fn drive(
@@ -394,13 +522,14 @@ impl WorkerCtx {
         conns: &mut [Option<Conn>],
         free: &mut Vec<usize>,
         live: &mut usize,
+        again: &mut Vec<usize>,
         token: usize,
-        draining: bool,
+        ctx: DriveCtx,
     ) {
         let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
             return; // stale event for an already-closed slot
         };
-        match conn.driver.drive(&mut conn.io, draining) {
+        match conn.driver.drive(&mut conn.io, &ctx) {
             Ok(step) => {
                 let (interest, budget) = match step.wants {
                     Wants::Close => {
@@ -408,6 +537,12 @@ impl WorkerCtx {
                         return;
                     }
                     Wants::Read => (Interest::Readable, self.read_timeout),
+                    Wants::Again => {
+                        // Quota yield with buffered input: schedule a
+                        // re-drive this loop, keep watching for bytes.
+                        again.push(token);
+                        (Interest::Readable, self.read_timeout)
+                    }
                     Wants::Write => {
                         // The handler's ReplyControl cap becomes a write
                         // *deadline* here: tighten-only against the static
@@ -433,6 +568,16 @@ impl WorkerCtx {
                 conn.deadline = budget.map(|b| now + b);
                 conn.armed_at = now;
                 conn.budget = budget.unwrap_or_default();
+                // The whole-message deadline arms when a message goes in
+                // flight and only clears when it completes — progress
+                // does not extend it (the slow-loris defense).
+                match (self.overload.message_deadline, conn.driver.in_flight()) {
+                    (Some(budget), true) => {
+                        conn.msg_deadline.get_or_insert(now + budget);
+                    }
+                    (_, false) => conn.msg_deadline = None,
+                    _ => {}
+                }
             }
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -462,6 +607,7 @@ impl WorkerCtx {
         if let Some(conn) = conns[token].take() {
             let _ = self.poller.delete(conn.io.raw_fd());
             self.metrics.connections_active.add(-1.0);
+            self.overload.release();
             free.push(token);
             *live -= 1;
         }

@@ -27,6 +27,7 @@ use crate::error::TransportResult;
 use crate::faulty::SharedInjector;
 use crate::metrics;
 use crate::reactor::conn::FramedDriver;
+use crate::reactor::overload::{Overload, OverloadConfig};
 use crate::reactor::server::{EventServer, ReactorConfig, DEFAULT_DRAIN};
 
 /// Per-connection service limits for a [`TcpServer`].
@@ -39,6 +40,9 @@ pub struct TcpServerConfig {
     /// Budget for each reply write (a client that stops draining its
     /// receive window).
     pub write_timeout: Option<Duration>,
+    /// Overload protection: connection cap, request shedding, and the
+    /// whole-message (slow-loris) deadline. Default: everything off.
+    pub overload: OverloadConfig,
 }
 
 /// Per-reply knobs a handler may set — most importantly, capping the
@@ -153,7 +157,30 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        TcpServer::bind_inner(addr, config, None, init, handler)
+        TcpServer::bind_inner(addr, config, None, None, init, handler)
+    }
+
+    /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) plus the
+    /// canned payload overload protection answers with: `shed_payload`
+    /// (typically an encoded SOAP Server fault carrying a
+    /// `retry-after-ms=` detail) is sent — length-prefixed — as the reply
+    /// to a request shed under [`OverloadConfig`] pressure, and as the
+    /// parting frame of a connection rejected at the cap in
+    /// `reject_when_full` mode. Without a payload (the other `bind_*`
+    /// variants), shed and rejected connections are simply closed.
+    pub fn bind_scoped_ctl_overload_with<S, I, H>(
+        addr: &str,
+        config: TcpServerConfig,
+        shed_payload: Option<Vec<u8>>,
+        init: I,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+    {
+        TcpServer::bind_inner(addr, config, shed_payload, None, init, handler)
     }
 
     /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) with
@@ -174,12 +201,13 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        TcpServer::bind_inner(addr, config, Some(injector), init, handler)
+        TcpServer::bind_inner(addr, config, None, Some(injector), init, handler)
     }
 
     fn bind_inner<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
+        shed_payload: Option<Vec<u8>>,
         injector: Option<SharedInjector>,
         init: I,
         handler: H,
@@ -191,6 +219,20 @@ impl TcpServer {
     {
         let m = metrics::tcp_server();
         let handler = Arc::new(handler);
+        // A rejected connection gets the shed fault as a complete frame
+        // (prefix + payload); a shed request reuses the raw payload.
+        let reject_wire = shed_payload.as_ref().map(|p| {
+            let mut wire = Vec::with_capacity(4 + p.len());
+            wire.extend_from_slice(&(p.len() as u32).to_be_bytes());
+            wire.extend_from_slice(p);
+            Arc::<[u8]>::from(wire)
+        });
+        let overload = Arc::new(Overload::new(
+            &config.overload,
+            reject_wire,
+            shed_payload.map(Arc::<[u8]>::from),
+        ));
+        let driver_overload = Arc::clone(&overload);
         let inner = EventServer::bind(
             addr,
             ReactorConfig {
@@ -199,10 +241,15 @@ impl TcpServer {
                 transport: "tcp",
                 metrics: m,
                 injector,
+                overload,
             },
             Arc::new(move || {
-                Box::new(FramedDriver::new(init(), Arc::clone(&handler), m))
-                    as Box<dyn crate::reactor::conn::ConnDriver>
+                Box::new(FramedDriver::new(
+                    init(),
+                    Arc::clone(&handler),
+                    m,
+                    Arc::clone(&driver_overload),
+                )) as Box<dyn crate::reactor::conn::ConnDriver>
             }),
         )?;
         Ok(TcpServer { inner })
@@ -346,6 +393,7 @@ mod tests {
             TcpServerConfig {
                 read_timeout: Some(Duration::from_millis(40)),
                 write_timeout: Some(Duration::from_secs(5)),
+                ..TcpServerConfig::default()
             },
             |req, out| out.extend_from_slice(req),
         )

@@ -71,6 +71,18 @@ done
 cargo test -q --test keepalive
 cargo run --release -p bench --bin loadgen -- --smoke
 
+# Overload job: admission control, load shedding, and hostile-client
+# defense. The integration tests pin the contracts (503 + Retry-After +
+# Connection: close on HTTP, in-band retryable faults on framed TCP,
+# slow-loris deadline kills, shed-vs-drop accounting across shutdown);
+# the loadgen smoke run then proves them under real attack shapes —
+# open-loop 2x overload, connection flood, a slow-loris swarm, stalled
+# readers — against the release binary. The full-scale grid is recorded
+# per-PR in BENCH_PR7.json. The shed-path allocation bound rides the
+# alloc-counter step above.
+cargo test -q --test overload
+cargo run --release -p bench --bin loadgen -- --overload-smoke
+
 # Evented means evented: connections are multiplexed onto the reactor's
 # fixed worker pool (spawned via thread::Builder at bind time), so no
 # per-connection thread::spawn may reappear on the serving path. Test

@@ -62,6 +62,7 @@ fn three_hop_chain_observes_the_client_budget_end_to_end() {
         TcpServerConfig {
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
+            ..TcpServerConfig::default()
         },
         XmlEncoding::default(),
         slow_registry(Duration::from_secs(2), Arc::clone(&hits)),

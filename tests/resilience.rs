@@ -151,6 +151,7 @@ fn live_servers_survive_mutated_corpus() {
         TcpServerConfig {
             read_timeout: Some(Duration::from_secs(2)),
             write_timeout: Some(Duration::from_secs(2)),
+            ..TcpServerConfig::default()
         },
         BxsaEncoding::default(),
         Arc::clone(&registry),
@@ -484,6 +485,7 @@ fn live_server_survives_fault_injection_on_its_own_sockets() {
         TcpServerConfig {
             read_timeout: Some(Duration::from_millis(500)),
             write_timeout: Some(Duration::from_millis(500)),
+            ..TcpServerConfig::default()
         },
         Arc::clone(&injector),
         BxsaEncoding::default(),
