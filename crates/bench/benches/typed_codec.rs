@@ -1,0 +1,107 @@
+//! Ablation A8: the typed struct↔wire fast path against the generic
+//! element-tree codec, per encoding and direction.
+//!
+//! `codec_throughput` measures the raw codecs on a pre-built document;
+//! this bench starts where callers start — a typed struct — so the tree
+//! rows include the tree materialization the typed path exists to skip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soap::{EncodingPolicy, TypedEncoding, TypedScratch};
+
+use bench::workload::Workload;
+
+fn bench_typed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typed_codec");
+    for &model_size in &[1_000usize, 100_000] {
+        let w = Workload::prepare(model_size, 42);
+        let request = bxsoap::VerifyRequest {
+            index: w.index.clone(),
+            values: w.values.clone(),
+        };
+        let bxsa_enc = soap::BxsaEncoding::default();
+        let xml_enc = soap::XmlEncoding::default();
+        group.throughput(Throughput::Bytes(w.native_bytes() as u64));
+
+        // Envelope wires (typed and tree encodes are byte-identical).
+        let mut scratch = TypedScratch::default();
+        let doc = bxsoap::verify_request_envelope(&w.index, &w.values).to_document();
+        let bxsa_wire = EncodingPolicy::encode(&bxsa_enc, &doc).expect("encode");
+        let xml_wire = EncodingPolicy::encode(&xml_enc, &doc).expect("encode");
+
+        group.bench_with_input(
+            BenchmarkId::new("typed_bxsa_encode", model_size),
+            &request,
+            |b, req| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    bxsa_enc
+                        .encode_typed(req, None, &mut scratch, &mut out)
+                        .expect("encode")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree_bxsa_encode", model_size),
+            &w,
+            |b, w| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    let doc =
+                        bxsoap::verify_request_envelope(&w.index, &w.values).to_document();
+                    bxsa::encode_into(&doc, &mut out).expect("encode")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("typed_bxsa_decode", model_size),
+            &bxsa_wire,
+            |b, wire| {
+                let mut back = bxsoap::VerifyRequest::default();
+                b.iter(|| {
+                    bxsa_enc
+                        .decode_typed_reply(wire, &mut back)
+                        .expect("decode")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("typed_xml_encode", model_size),
+            &request,
+            |b, req| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    xml_enc
+                        .encode_typed(req, None, &mut scratch, &mut out)
+                        .expect("encode")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree_xml_encode", model_size),
+            &w,
+            |b, w| {
+                let opts = xmltext::XmlWriteOptions::default();
+                let mut text = String::new();
+                b.iter(|| {
+                    let doc =
+                        bxsoap::verify_request_envelope(&w.index, &w.values).to_document();
+                    let Ok(()) = xmltext::write_into(&doc, &opts, &mut text);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("typed_xml_decode", model_size),
+            &xml_wire,
+            |b, wire| {
+                let mut back = bxsoap::VerifyRequest::default();
+                b.iter(|| {
+                    xml_enc.decode_typed_reply(wire, &mut back).expect("decode")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typed);
+criterion_main!(benches);

@@ -149,6 +149,60 @@ mod tests {
         assert_eq!(reused, doc, "reuse must not change the parsed value");
     }
 
+    /// The typed fast path's acceptance invariant: after warmup, a typed
+    /// encode of the paper's 1000-pair verification model — struct fields
+    /// straight to wire bytes, no element tree — performs **zero** heap
+    /// allocations on both encodings, and so does the typed decode of the
+    /// reply into a reused struct (clear-and-refill field buffers).
+    #[test]
+    fn typed_steady_state_is_allocation_free() {
+        use soap::{BxsaEncoding, TypedDecode, TypedEncoding, TypedScratch, XmlEncoding};
+
+        let (index, values) = bxsoap::lead_dataset(1000, 42);
+        let request = bxsoap::VerifyRequest { index, values };
+        xmltext::num::warm_up();
+
+        let bxsa_enc = BxsaEncoding::default();
+        let xml_enc = XmlEncoding::default();
+        let mut scratch = TypedScratch::default();
+
+        // Typed encode into a reused wire buffer, both encodings.
+        let mut bxsa_wire = Vec::new();
+        let mut xml_wire = Vec::new();
+        for _ in 0..3 {
+            bxsa_enc
+                .encode_typed(&request, None, &mut scratch, &mut bxsa_wire)
+                .unwrap();
+            xml_enc
+                .encode_typed(&request, None, &mut scratch, &mut xml_wire)
+                .unwrap();
+        }
+        let (result, n) = measure(|| {
+            bxsa_enc.encode_typed(&request, None, &mut scratch, &mut bxsa_wire)
+        });
+        result.unwrap();
+        assert_eq!(n, 0, "typed BXSA encode allocated {n}x in steady state");
+        let (result, n) =
+            measure(|| xml_enc.encode_typed(&request, None, &mut scratch, &mut xml_wire));
+        result.unwrap();
+        assert_eq!(n, 0, "typed XML encode allocated {n}x in steady state");
+
+        // Typed decode into a reused struct, both encodings.
+        let mut reused = bxsoap::VerifyRequest::default();
+        for _ in 0..3 {
+            bxsa_enc.decode_typed_reply(&bxsa_wire, &mut reused).unwrap();
+            xml_enc.decode_typed_reply(&xml_wire, &mut reused).unwrap();
+        }
+        let (result, n) = measure(|| bxsa_enc.decode_typed_reply(&bxsa_wire, &mut reused));
+        assert_eq!(result.unwrap(), TypedDecode::Matched);
+        assert_eq!(n, 0, "typed BXSA decode allocated {n}x in steady state");
+        assert_eq!(reused.values, request.values);
+        let (result, n) = measure(|| xml_enc.decode_typed_reply(&xml_wire, &mut reused));
+        assert_eq!(result.unwrap(), TypedDecode::Matched);
+        assert_eq!(n, 0, "typed XML decode allocated {n}x in steady state");
+        assert_eq!(reused.index, request.index);
+    }
+
     /// The observability layer's discipline: once a metric is registered,
     /// updating it — counters on every message, gauges on every breaker
     /// transition, histogram observations on every call — is pure atomic

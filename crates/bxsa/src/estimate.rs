@@ -14,10 +14,86 @@ use xbs::vls::vls_len;
 use xbs::TypeCode;
 
 /// Upper bound on an encoded *(scope depth, index)* namespace reference.
-const NS_REF_BOUND: usize = 20;
+pub const NS_REF_BOUND: usize = 20;
 
-fn str_field(s: &str) -> usize {
+/// Exact size of a length-prefixed string field (VLS length + bytes).
+pub fn str_field(s: &str) -> usize {
     vls_len(s.len() as u64) + s.len()
+}
+
+/// Upper bound on an encoded atomic value (type-code byte + value, plus
+/// worst-case alignment padding for fixed-width values). `str_len` is
+/// consulted only when `code` is [`TypeCode::Str`].
+pub fn atomic_bound(code: TypeCode, str_len: usize) -> usize {
+    1 + match code.width() {
+        Some(w) => w + (w - 1),
+        None if code == TypeCode::Str => vls_len(str_len as u64) + str_len,
+        None => 1, // Bool: one raw byte
+    }
+}
+
+/// Exact upper bound on an encoded packed-array value: type-code byte,
+/// VLS element count, worst-case alignment padding, payload.
+///
+/// # Panics
+/// Panics if `code` is not a fixed-width numeric type (arrays of strings
+/// or booleans do not exist in the bXDM model).
+pub fn packed_array_bound(code: TypeCode, len: usize) -> usize {
+    let w = code.width().expect("array element types are fixed-width");
+    1 + vls_len(len as u64) + (w - 1) + len * w
+}
+
+/// Upper bound on the header of an *attribute-free* element frame body:
+/// namespace table, name reference, local name, and the (zero) attribute
+/// count. This is the shape every typed ([`crate::typed`]) element has;
+/// it matches what [`element_body_bound`] computes for the equivalent
+/// tree element, so typed and tree encodes reserve identically sized
+/// frame size fields — a prerequisite for byte-for-byte equality.
+pub fn plain_element_header_bound(local: &str, decls: &[(Option<&str>, &str)]) -> usize {
+    let mut n = vls_len(decls.len() as u64);
+    for (prefix, uri) in decls {
+        n += str_field(prefix.unwrap_or(""));
+        n += str_field(uri);
+    }
+    n + NS_REF_BOUND + str_field(local) + vls_len(0)
+}
+
+/// Upper bound on the body of an attribute-free leaf element frame.
+pub fn plain_leaf_body_bound(
+    local: &str,
+    decls: &[(Option<&str>, &str)],
+    code: TypeCode,
+    str_len: usize,
+) -> usize {
+    plain_element_header_bound(local, decls) + atomic_bound(code, str_len)
+}
+
+/// Upper bound on the body of an attribute-free packed-array element
+/// frame.
+pub fn plain_array_body_bound(
+    local: &str,
+    decls: &[(Option<&str>, &str)],
+    code: TypeCode,
+    len: usize,
+) -> usize {
+    plain_element_header_bound(local, decls) + packed_array_bound(code, len)
+}
+
+/// Upper bound on the body of an attribute-free component element frame,
+/// given the summed [`framed`] bounds of its children.
+pub fn plain_component_body_bound(
+    local: &str,
+    decls: &[(Option<&str>, &str)],
+    child_count: usize,
+    children_frames_bound: usize,
+) -> usize {
+    plain_element_header_bound(local, decls) + vls_len(child_count as u64) + children_frames_bound
+}
+
+/// Upper bound on a complete frame given its body bound: prefix byte +
+/// size field + body.
+pub fn framed(body_bound: usize) -> usize {
+    1 + size_field_len(body_bound) + body_bound
 }
 
 fn atomic_value_bound(v: &AtomicValue) -> usize {
@@ -103,8 +179,7 @@ pub fn size_field_len(bound: usize) -> usize {
 
 /// Upper bound on a complete frame (prefix + size field + body).
 pub fn frame_bound(node: &Node) -> usize {
-    let body = body_bound(node);
-    1 + size_field_len(body) + body
+    framed(body_bound(node))
 }
 
 /// Upper bound on a document frame's body.
@@ -140,6 +215,69 @@ mod tests {
         let n = Node::Element(Element::leaf("s", AtomicValue::Str("abc".into())));
         // header: nsdecls(1) + ref(20) + name(1+1) + attrs(1); value: code(1)+len(1)+3
         assert_eq!(body_bound(&n), 1 + 20 + 2 + 1 + 1 + 1 + 3);
+    }
+
+    /// The typed path's scalar bound helpers must agree exactly with the
+    /// tree walker's bounds for the attribute-free shapes typed elements
+    /// take, or typed and tree encodes would reserve differently sized
+    /// frame size fields and diverge byte-for-byte.
+    #[test]
+    fn plain_bounds_match_tree_bounds() {
+        let decls: &[(Option<&str>, &str)] = &[(Some("d"), "http://example.org/lead")];
+        let leaf = Element::leaf("d:count", AtomicValue::I64(7))
+            .with_namespace("d", "http://example.org/lead");
+        assert_eq!(
+            plain_leaf_body_bound("count", decls, TypeCode::I64, 0),
+            element_body_bound(&leaf)
+        );
+        let sleaf = Element::leaf("s", AtomicValue::Str("hello".into()));
+        assert_eq!(
+            plain_leaf_body_bound("s", &[], TypeCode::Str, 5),
+            element_body_bound(&sleaf)
+        );
+        let arr = Element::array("d:v", ArrayValue::F64(vec![0.5; 321]))
+            .with_namespace("d", "http://example.org/lead");
+        assert_eq!(
+            plain_array_body_bound("v", decls, TypeCode::F64, 321),
+            element_body_bound(&arr)
+        );
+        let comp = Element::component("d:set")
+            .with_namespace("d", "http://example.org/lead")
+            .with_child(arr.clone())
+            .with_child(leaf.clone());
+        let children = frame_bound(&Node::Element(arr)) + frame_bound(&Node::Element(leaf));
+        assert_eq!(
+            plain_component_body_bound("set", decls, 2, children),
+            element_body_bound(&comp)
+        );
+    }
+
+    /// Packed-array frames must never out-grow their estimate (that
+    /// would make the encoder's reserved size field too small), and the
+    /// estimate must be *tight*: only alignment padding and size-field
+    /// slack separate bound from actuality.
+    #[test]
+    fn packed_array_bound_is_an_exact_upper_bound() {
+        for len in [0usize, 1, 7, 1000] {
+            let e = Element::array("v", ArrayValue::F64(vec![1.5; len]));
+            let node = Node::Element(e.clone());
+            let bytes =
+                crate::encode_element(&e, &crate::EncodeOptions::default()).expect("encode");
+            let bound = frame_bound(&node);
+            assert!(
+                bytes.len() <= bound,
+                "array len {len}: actual {} exceeds bound {bound}",
+                bytes.len()
+            );
+            // Tight: worst-case slack is the 7 alignment-padding bytes
+            // the bound charges plus nothing else (the name reference
+            // bound NS_REF_BOUND - the 1 byte actually written).
+            let slack = bound - bytes.len();
+            assert!(
+                slack <= NS_REF_BOUND + 7,
+                "array len {len}: slack {slack} is not tight"
+            );
+        }
     }
 
     #[test]

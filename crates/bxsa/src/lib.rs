@@ -45,6 +45,7 @@ pub mod frame;
 pub mod pull;
 pub mod scan;
 pub mod transcode;
+pub mod typed;
 
 pub use decoder::{
     decode, decode_element, decode_element_at, decode_into, decode_into_with, decode_with,
@@ -59,6 +60,7 @@ pub use frame::FrameType;
 pub use pull::{ArrayHandle, ElementStart, LeafValue, PullEvent, PullReader};
 pub use scan::FrameScanner;
 pub use transcode::{bxsa_to_xml, xml_to_bxsa};
+pub use typed::{ElementHead, FieldReader, FrameWriter, TypedDecl, TypedName};
 
 #[cfg(test)]
 mod roundtrip_tests {

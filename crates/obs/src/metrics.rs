@@ -194,22 +194,40 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// The value at quantile `q` (`0.0..=1.0`), as the upper bound of the
-    /// first bucket whose cumulative count reaches rank `ceil(q·count)`.
+    /// The value at quantile `q` (`0.0..=1.0`): rank `ceil(q·count)`
+    /// lands in some bucket, and the estimate interpolates linearly
+    /// between that bucket's lower and upper value edges by where the
+    /// rank sits among the bucket's own observations (the same
+    /// assumption Prometheus's `histogram_quantile` makes).
     ///
-    /// With log₂ buckets this over-reports by at most 2× — the right
-    /// resolution for latency tails, where the question is "which power
-    /// of two", not "which microsecond". Returns 0 for an empty
-    /// histogram.
+    /// Compared to reporting the raw upper bound — which with log₂
+    /// buckets over-reports by up to 2× — interpolation keeps median and
+    /// tail figures honest enough to difference between benchmark runs.
+    /// The `+Inf` bucket cannot be interpolated into; a rank landing
+    /// there reports the highest finite bound seen instead. Returns 0
+    /// for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut prev_cumulative = 0u64;
+        let mut prev_bound = None;
         for &(bound, cumulative) in &self.buckets {
             if cumulative >= rank {
-                return bound;
+                if bound == u64::MAX {
+                    return prev_bound.unwrap_or(u64::MAX);
+                }
+                // Bucket `le 2^k−1` holds values in [2^(k−1), 2^k−1]:
+                // its value-space floor follows from the bound alone.
+                let lower = if bound == 0 { 0 } else { (bound >> 1) + 1 };
+                // Non-empty bucket and prev_cumulative < rank ≤
+                // cumulative, so both divisor and numerator are ≥ 1.
+                let f = (rank - prev_cumulative) as f64 / (cumulative - prev_cumulative) as f64;
+                return lower + (f * (bound - lower) as f64).round() as u64;
             }
+            prev_cumulative = cumulative;
+            prev_bound = Some(bound);
         }
         self.buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
     }
@@ -316,17 +334,35 @@ mod tests {
         // 90 fast observations and 10 slow ones: p50 is in the fast
         // bucket, p99 in the slow one.
         for _ in 0..90 {
-            h.observe(100); // bucket le 127
+            h.observe(100); // bucket le 127, value floor 64
         }
         for _ in 0..10 {
-            h.observe(1_000_000); // bucket le 2^20 - 1
+            h.observe(1_000_000); // bucket le 2^20 - 1, value floor 2^19
         }
         let snap = h.snapshot();
-        assert_eq!(snap.quantile(0.5), 127);
+        // Interpolated within [64, 127]: rank 50 of 90 → 64 + ⌈...⌉ ≈ 99.
+        assert_eq!(snap.quantile(0.5), 99);
+        // Rank 90 of 90 sits on the bucket's upper edge.
         assert_eq!(snap.quantile(0.9), 127);
-        assert_eq!(snap.quantile(0.99), (1 << 20) - 1);
+        // Rank 99: 9 of the 10 slow observations → 2^19 + 0.9·(2^20−1−2^19).
+        assert_eq!(snap.quantile(0.99), 996_146);
         assert_eq!(snap.quantile(1.0), (1 << 20) - 1);
         assert_eq!(HistogramSnapshot { count: 0, sum: 0, buckets: vec![] }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_in_the_inf_bucket_reports_the_last_finite_bound() {
+        let h = Histogram::new();
+        for _ in 0..9 {
+            h.observe(100); // le 127
+        }
+        h.observe(u64::MAX); // +Inf bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(1.0), 127, "+Inf cannot be interpolated");
+        // All mass in +Inf: nothing finite to report.
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.5), u64::MAX);
     }
 
     #[test]

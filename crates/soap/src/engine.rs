@@ -1,5 +1,6 @@
 //! The generic SOAP engine (paper §5, §5.1).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bxdm::Document;
@@ -10,6 +11,8 @@ use crate::encoding::EncodingPolicy;
 use crate::envelope::{DeadlineHeader, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
 use crate::metrics;
+use crate::service::ServiceMetadata;
+use crate::typed::{FromBxsa, ToBxsa, TypedDecode, TypedEncoding, TypedScratch};
 
 /// Per-call knobs for [`SoapEngine::call_with`] — the one place where
 /// idempotency, deadline, retry, and circuit-breaker decisions meet.
@@ -155,6 +158,13 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     /// document in place, so steady-state decoding of similarly-shaped
     /// responses allocates nothing.
     decode_buf: Document,
+    /// Typed-encode scratch (frame writer tables), reused across
+    /// [`call_typed`](SoapEngine::call_typed) invocations.
+    typed_scratch: TypedScratch,
+    /// Per-operation call defaults, consulted whenever a call's operation
+    /// name is known (always, for typed calls; the first body entry's
+    /// local name otherwise). Explicit [`CallOptions`] fields win.
+    metadata: Option<Arc<ServiceMetadata>>,
 }
 
 impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
@@ -170,6 +180,8 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             encode_buf: Vec::new(),
             response_buf: Vec::new(),
             decode_buf: Document::new(),
+            typed_scratch: TypedScratch::default(),
+            metadata: None,
         }
     }
 }
@@ -188,6 +200,8 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             encode_buf: Vec::new(),
             response_buf: Vec::new(),
             decode_buf: Document::new(),
+            typed_scratch: TypedScratch::default(),
+            metadata: None,
         }
     }
 
@@ -214,6 +228,30 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     /// Install or remove the circuit breaker in place.
     pub fn set_breaker(&mut self, breaker: Option<BreakerHandle>) {
         self.breaker = breaker;
+    }
+
+    /// Consult a service's per-operation metadata for call defaults
+    /// (chainable). For every call whose operation name is known, the
+    /// registered [`crate::service::OperationDefaults`] fill in whatever
+    /// the explicit [`CallOptions`] left unset — deadline, retry policy,
+    /// idempotency. Typically the `Arc` handed out by
+    /// [`crate::ServiceRegistry::shared_metadata`].
+    pub fn with_metadata(mut self, metadata: Arc<ServiceMetadata>) -> SoapEngine<E, B, S> {
+        self.metadata = Some(metadata);
+        self
+    }
+
+    /// Install or remove the per-operation metadata in place.
+    pub fn set_metadata(&mut self, metadata: Option<Arc<ServiceMetadata>>) {
+        self.metadata = metadata;
+    }
+
+    /// Merge per-operation defaults under the caller's explicit options.
+    fn resolve_options(&self, operation: Option<&str>, explicit: &CallOptions) -> CallOptions {
+        match (&self.metadata, operation) {
+            (Some(meta), Some(op)) => meta.resolve(op, explicit),
+            _ => explicit.clone(),
+        }
     }
 
     /// Exchanges attempted by the most recent call (1 = no retries).
@@ -274,7 +312,30 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         request: SoapEnvelope,
         options: &CallOptions,
     ) -> SoapResult<SoapEnvelope> {
+        let options = self.resolve_options(request.operation(), options);
         let mut request = self.security.apply(request)?;
+        self.run_exchange(
+            &options,
+            |enc, header, out| {
+                if let Some(h) = header {
+                    h.stamp(&mut request);
+                }
+                enc.encode_into(&request.to_document(), out)
+            },
+            |me| me.finish_call(),
+        )
+    }
+
+    /// The exchange loop shared by the tree and typed call paths: encode
+    /// (re-stamping the remaining deadline budget per attempt), admit via
+    /// the breaker, exchange, classify failures, back off and retry —
+    /// then hand the successful response bytes to `finish`.
+    fn run_exchange<R>(
+        &mut self,
+        options: &CallOptions,
+        mut encode: impl FnMut(&E, Option<&DeadlineHeader>, &mut Vec<u8>) -> SoapResult<()>,
+        finish: impl FnOnce(&mut Self) -> SoapResult<R>,
+    ) -> SoapResult<R> {
         // `Deadline::none()` is unbounded: treat it as no deadline so the
         // single-encode fast path below still applies.
         let deadline = options.deadline.filter(|d| d.budget().is_some());
@@ -287,8 +348,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         if deadline.is_none() {
             // No deadline: the bytes are identical across attempts, so
             // serialize exactly once, outside the loop.
-            let doc = request.to_document();
-            self.encoding.encode_into(&doc, &mut self.encode_buf)?;
+            encode(&self.encoding, None, &mut self.encode_buf)?;
         }
         self.binding.set_call_deadline(deadline);
         self.last_attempts = 0;
@@ -306,11 +366,8 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
                         m.deadline_expired.inc();
                         break 'call Err(SoapError::Transport(e));
                     }
-                    if let Some(header) = DeadlineHeader::from_deadline(d) {
-                        header.stamp(&mut request);
-                    }
-                    let doc = request.to_document();
-                    if let Err(e) = self.encoding.encode_into(&doc, &mut self.encode_buf) {
+                    let header = DeadlineHeader::from_deadline(d);
+                    if let Err(e) = encode(&self.encoding, header.as_ref(), &mut self.encode_buf) {
                         break 'call Err(e);
                     }
                 }
@@ -339,7 +396,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
                         if let Some(b) = &breaker {
                             b.record(true);
                         }
-                        break 'call self.finish_call();
+                        break 'call finish(self);
                     }
                     Err(e) => {
                         if let Some(b) = &breaker {
@@ -446,6 +503,76 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
         self.encoding.encode_into(&doc, &mut self.encode_buf)?;
         self.binding
             .send_one_way(&self.encode_buf, self.encoding.content_type())
+    }
+}
+
+/// The typed fast path (no-security engines only: a [`SecurityPolicy`]
+/// transforms envelope *trees*, which the typed path never builds — a
+/// secured engine keeps the tree surface).
+impl<E: TypedEncoding, B: BindingPolicy> SoapEngine<E, B, NoSecurity> {
+    /// [`call_with`](SoapEngine::call_with) without the tree: `request`
+    /// serializes straight to wire bytes via [`ToBxsa`] and the reply
+    /// decodes straight into a `Resp` via [`FromBxsa`]. Retry, deadline,
+    /// breaker, and per-operation metadata semantics are identical —
+    /// both paths share one exchange loop.
+    ///
+    /// Replies that don't match `Resp`'s shape fall back to the generic
+    /// tree decoder, so faults still surface as [`SoapError::Fault`].
+    pub fn call_typed<Req: ToBxsa, Resp: FromBxsa>(
+        &mut self,
+        request: &Req,
+        options: &CallOptions,
+    ) -> SoapResult<Resp> {
+        let mut response = Resp::default();
+        self.call_typed_into(request, &mut response, options)?;
+        Ok(response)
+    }
+
+    /// [`call_typed`](SoapEngine::call_typed) decoding into a reusable
+    /// response struct (clear-and-refill), so a steady-state caller
+    /// allocates nothing per call.
+    pub fn call_typed_into<Req: ToBxsa, Resp: FromBxsa>(
+        &mut self,
+        request: &Req,
+        response: &mut Resp,
+        options: &CallOptions,
+    ) -> SoapResult<()> {
+        let options = self.resolve_options(Some(request.element_name().local), options);
+        let mut scratch = std::mem::take(&mut self.typed_scratch);
+        let result = self.run_exchange(
+            &options,
+            |enc, header, out| enc.encode_typed(request, header, &mut scratch, out),
+            |me| me.finish_typed_call(response),
+        );
+        self.typed_scratch = scratch;
+        result
+    }
+
+    fn finish_typed_call<Resp: FromBxsa>(&mut self, response: &mut Resp) -> SoapResult<()> {
+        let typed = self
+            .encoding
+            .decode_typed_reply(&self.response_buf, response);
+        if let Ok(TypedDecode::Matched) = typed {
+            return Ok(());
+        }
+        // Fallback: decode as a tree to classify the reply — a fault, a
+        // foreign shape, or garbage (which errors here like any call).
+        self.encoding
+            .decode_into(&self.response_buf, &mut self.decode_buf)?;
+        let envelope = SoapEnvelope::from_document(&self.decode_buf)?;
+        if let Some(fault) = envelope.as_fault() {
+            return Err(SoapError::Fault(fault));
+        }
+        match typed {
+            // The shape matched well enough to be decoded generically
+            // but a typed field was missing or mistyped: surface that.
+            Err(e) => Err(e),
+            _ => Err(SoapError::Protocol(format!(
+                "typed call expected a {} reply, got {}",
+                Resp::expected_local(),
+                envelope.operation().unwrap_or("an empty body"),
+            ))),
+        }
     }
 }
 
@@ -826,5 +953,120 @@ mod tests {
         let err = engine.call(sum_request()).unwrap_err();
         assert!(matches!(err, SoapError::Transport(_)));
         assert_eq!(engine.last_call_attempts(), 10, "policy still installed");
+    }
+
+    mod typed_calls {
+        use super::*;
+        use crate::service::{OperationDefaults, ServiceMetadata, ServiceRegistry, SoapService};
+        use crate::typed::probe::{probe, Probe};
+        use crate::typed::{TypedEncoding, TypedRequest};
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        fn probe_loopback(enc: BxsaEncoding) -> impl FnMut(&[u8]) -> Vec<u8> {
+            let mut service = SoapService::new(enc, Arc::new(ServiceRegistry::new()));
+            service.register_typed::<Probe, Probe, _>("Probe", |req, resp| {
+                resp.values.clear();
+                resp.values.extend(req.values.iter().map(|v| v * 2.0));
+                resp.tag = req.tag + 1;
+                Ok(())
+            });
+            move |bytes: &[u8]| service.handle_bytes(bytes).0
+        }
+
+        #[test]
+        fn call_typed_roundtrips_without_trees() {
+            let mut engine = SoapEngine::new(
+                BxsaEncoding::default(),
+                LoopbackBinding::new(probe_loopback(BxsaEncoding::default())),
+            );
+            // Repeat: the engine's typed scratch is reused across calls.
+            for _ in 0..3 {
+                let resp: Probe = engine.call_typed(&probe(5), &CallOptions::new()).unwrap();
+                assert_eq!(resp.tag, 43);
+                let expected: Vec<f64> = probe(5).values.iter().map(|v| v * 2.0).collect();
+                assert_eq!(resp.values, expected);
+            }
+        }
+
+        #[test]
+        fn call_typed_surfaces_fault_replies_as_errors() {
+            let enc = BxsaEncoding::default();
+            let mut engine = SoapEngine::new(
+                BxsaEncoding::default(),
+                LoopbackBinding::new(move |_: &[u8]| {
+                    let fault = SoapFault::new(FaultCode::Client, "nope").to_element();
+                    EncodingPolicy::encode(&enc, &SoapEnvelope::with_body(fault).to_document())
+                        .unwrap()
+                }),
+            );
+            match engine.call_typed::<Probe, Probe>(&probe(1), &CallOptions::new()) {
+                Err(SoapError::Fault(f)) => assert_eq!(f.string, "nope"),
+                other => panic!("expected fault, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn registered_metadata_stamps_a_deadline_on_bare_typed_calls() {
+            let meta = Arc::new(ServiceMetadata::new().with_operation(
+                "Probe",
+                OperationDefaults::new().with_deadline(Duration::from_secs(30)),
+            ));
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let tap = Arc::clone(&seen);
+            let mut respond = probe_loopback(BxsaEncoding::default());
+            let mut engine = SoapEngine::new(
+                BxsaEncoding::default(),
+                LoopbackBinding::new(move |bytes: &[u8]| {
+                    tap.lock().unwrap().push(bytes.to_vec());
+                    respond(bytes)
+                }),
+            )
+            .with_metadata(meta);
+            // No explicit options — yet the wire request must carry the
+            // operation's registered deadline.
+            let resp: Probe = engine.call_typed(&probe(2), &CallOptions::new()).unwrap();
+            assert_eq!(resp.tag, 43);
+            let request = seen.lock().unwrap().pop().unwrap();
+            let mut decoy = Probe::default();
+            match BxsaEncoding::default()
+                .decode_typed_request(&request, &mut decoy)
+                .unwrap()
+            {
+                TypedRequest::Matched { deadline: Some(h) } => assert!(
+                    h.budget_millis > 25_000,
+                    "registered 30 s budget, stamped {} ms",
+                    h.budget_millis
+                ),
+                other => panic!("expected a stamped deadline, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn registered_metadata_applies_to_generic_calls_too() {
+            let meta = Arc::new(ServiceMetadata::new().with_operation(
+                "Sum",
+                OperationDefaults::new().with_deadline(Duration::from_secs(30)),
+            ));
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let tap = Arc::clone(&seen);
+            let mut respond = sum_service(XmlEncoding::default());
+            let mut engine = SoapEngine::new(
+                XmlEncoding::default(),
+                LoopbackBinding::new(move |bytes: &[u8]| {
+                    tap.lock().unwrap().push(bytes.to_vec());
+                    respond(bytes)
+                }),
+            )
+            .with_metadata(meta);
+            engine.call(sum_request()).unwrap();
+            let request = seen.lock().unwrap().pop().unwrap();
+            let doc = XmlEncoding::default().decode(&request).unwrap();
+            let envelope = SoapEnvelope::from_document(&doc).unwrap();
+            let header = DeadlineHeader::from_envelope(&envelope)
+                .unwrap()
+                .expect("metadata deadline must be stamped on the tree path");
+            assert!(header.budget_millis > 25_000);
+        }
     }
 }

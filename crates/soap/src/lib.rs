@@ -52,6 +52,7 @@ pub mod intermediary;
 pub mod metrics;
 pub mod server;
 pub mod service;
+pub mod typed;
 
 pub use anyengine::{AnyEngine, WireConfig, WireEncoding, WireTransport};
 pub use binding::{BindingPolicy, FaultingBinding, HttpBinding, LoopbackBinding, TcpBinding};
@@ -66,8 +67,11 @@ pub use fault::{FaultCode, SoapFault};
 pub use intermediary::Intermediary;
 pub use server::{HttpSoapServer, TcpSoapServer};
 pub use service::{
-    fault_for_error, DecodeScratch, HandleOutcome, ServiceHandler, ServiceRegistry, SoapService,
-    EXPIRED_RETRY_AFTER,
+    fault_for_error, DecodeScratch, HandleOutcome, OperationDefaults, ServiceHandler,
+    ServiceMetadata, ServiceRegistry, SoapService, EXPIRED_RETRY_AFTER,
+};
+pub use typed::{
+    FromBxsa, ToBxsa, TypedDecode, TypedEncoding, TypedRequest, TypedScratch, ENVELOPE_DECLS,
 };
 
 // Re-exported so `soap` users reach the resilience vocabulary without a

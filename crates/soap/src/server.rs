@@ -40,7 +40,21 @@ impl TcpSoapServer {
     where
         E: EncodingPolicy + Send + Sync + 'static,
     {
-        let service = SoapService::new(encoding, registry);
+        TcpSoapServer::bind_service_with(addr, config, SoapService::new(encoding, registry))
+    }
+
+    /// [`bind_with`](TcpSoapServer::bind_with), but serving a caller-built
+    /// [`SoapService`] — the way to put typed operations
+    /// ([`SoapService::register_typed`]) on a live listener, since those
+    /// are registered on the service rather than the registry.
+    pub fn bind_service_with<E>(
+        addr: &str,
+        config: TcpServerConfig,
+        service: SoapService<E>,
+    ) -> SoapResult<TcpSoapServer>
+    where
+        E: EncodingPolicy + Send + Sync + 'static,
+    {
         // Overload answers travel in-band too: the shed/reject payload is
         // a Server fault carrying a `retry-after-ms` detail, pre-encoded
         // once at bind time through this server's own encoding policy so
@@ -169,7 +183,21 @@ impl HttpSoapServer {
     where
         E: EncodingPolicy + Send + Sync + 'static,
     {
-        let service = SoapService::new(encoding, registry);
+        HttpSoapServer::bind_service_with(addr, path, config, SoapService::new(encoding, registry))
+    }
+
+    /// [`bind_with`](HttpSoapServer::bind_with), but serving a
+    /// caller-built [`SoapService`] — see
+    /// [`TcpSoapServer::bind_service_with`].
+    pub fn bind_service_with<E>(
+        addr: &str,
+        path: &str,
+        config: HttpServerConfig,
+        service: SoapService<E>,
+    ) -> SoapResult<HttpSoapServer>
+    where
+        E: EncodingPolicy + Send + Sync + 'static,
+    {
         let content_type = service.encoding().content_type();
         let path = path.to_owned();
         // HTTP connections are one-shot, so reuse must span connections:

@@ -1,15 +1,21 @@
-//! Service-side message processing: registry, dispatch, faults.
+//! Service-side message processing: registry, dispatch, faults, and
+//! per-operation metadata (default deadline / retry policy / idempotency
+//! / preferred encoding, resolved under explicit [`CallOptions`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use bxdm::Document;
+use transport::{Deadline, RetryPolicy};
 
+use crate::anyengine::WireEncoding;
 use crate::encoding::EncodingPolicy;
+use crate::engine::CallOptions;
 use crate::envelope::{must_understand, DeadlineHeader, SoapEnvelope};
 use crate::error::{SoapError, SoapResult};
 use crate::fault::{FaultCode, SoapFault};
+use crate::typed::{FromBxsa, ToBxsa, TypedEncoding, TypedRequest, TypedScratch};
 
 /// The retry hint a node attaches when it rejects a request whose
 /// `bx:Deadline` budget was already spent on arrival: the fixed backoff
@@ -20,12 +26,127 @@ pub const EXPIRED_RETRY_AFTER: Duration = Duration::from_secs(1);
 pub type ServiceHandler =
     dyn Fn(&SoapEnvelope) -> SoapResult<SoapEnvelope> + Send + Sync + 'static;
 
+/// Per-operation call defaults, published by a service alongside its
+/// handlers — the "service metadata" a client consults so that calling a
+/// named operation with plain `CallOptions::new()` still gets the
+/// deadline, retry policy, idempotency class, and wire encoding the
+/// operation was designed for. Every field is optional; unset fields
+/// defer to the caller's own settings.
+#[derive(Debug, Clone, Default)]
+pub struct OperationDefaults {
+    /// Default end-to-end budget for one call of this operation.
+    pub deadline: Option<Duration>,
+    /// Default retry policy for this operation.
+    pub retry: Option<RetryPolicy>,
+    /// Whether the operation may be replayed on retry-safe failures.
+    /// `Some(false)` marks a non-idempotent operation: it *vetoes*
+    /// retries even for callers who didn't think to turn them off.
+    pub idempotent: Option<bool>,
+    /// The encoding this operation is happiest with (e.g. BXSA for
+    /// array-heavy scientific payloads, XML for interop endpoints).
+    pub preferred_encoding: Option<WireEncoding>,
+}
+
+impl OperationDefaults {
+    /// No defaults — every field defers to the caller.
+    pub fn new() -> OperationDefaults {
+        OperationDefaults::default()
+    }
+
+    /// Default end-to-end budget (chainable).
+    pub fn with_deadline(mut self, budget: Duration) -> OperationDefaults {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Default retry policy (chainable).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> OperationDefaults {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Declare the idempotency class (chainable). `false` vetoes
+    /// retries for every caller of this operation.
+    pub fn idempotent(mut self, yes: bool) -> OperationDefaults {
+        self.idempotent = Some(yes);
+        self
+    }
+
+    /// Declare the preferred wire encoding (chainable).
+    pub fn prefer_encoding(mut self, encoding: WireEncoding) -> OperationDefaults {
+        self.preferred_encoding = Some(encoding);
+        self
+    }
+}
+
+/// The operation-name → [`OperationDefaults`] map a service publishes.
+///
+/// Clients install a (shared) copy on their engine
+/// ([`crate::SoapEngine::with_metadata`]); the engine then resolves each
+/// call's effective options via [`ServiceMetadata::resolve`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetadata {
+    ops: HashMap<String, OperationDefaults>,
+}
+
+impl ServiceMetadata {
+    /// An empty metadata table.
+    pub fn new() -> ServiceMetadata {
+        ServiceMetadata::default()
+    }
+
+    /// Add defaults for an operation (chainable).
+    pub fn with_operation(mut self, name: &str, defaults: OperationDefaults) -> ServiceMetadata {
+        self.set(name, defaults);
+        self
+    }
+
+    /// Add or replace defaults for an operation.
+    pub fn set(&mut self, name: &str, defaults: OperationDefaults) {
+        self.ops.insert(name.to_owned(), defaults);
+    }
+
+    /// The defaults registered for `op`, if any.
+    pub fn get(&self, op: &str) -> Option<&OperationDefaults> {
+        self.ops.get(op)
+    }
+
+    /// The wire encoding `op` prefers, if declared.
+    pub fn preferred_encoding(&self, op: &str) -> Option<WireEncoding> {
+        self.ops.get(op).and_then(|d| d.preferred_encoding)
+    }
+
+    /// Merge `op`'s registered defaults *under* the caller's explicit
+    /// options: an explicit deadline or retry override wins outright; a
+    /// missing one falls back to the operation's default. Idempotency
+    /// composes as a conjunction — either side saying "not safe to
+    /// replay" suppresses retries (a caller can always be *more*
+    /// conservative than the metadata, never less).
+    pub fn resolve(&self, op: &str, explicit: &CallOptions) -> CallOptions {
+        let Some(d) = self.ops.get(op) else {
+            return explicit.clone();
+        };
+        CallOptions {
+            idempotent: explicit.idempotent && d.idempotent.unwrap_or(true),
+            deadline: explicit
+                .deadline
+                .or_else(|| d.deadline.map(Deadline::within)),
+            retry_override: explicit
+                .retry_override
+                .clone()
+                .or_else(|| d.retry.clone()),
+            breaker: explicit.breaker.clone(),
+        }
+    }
+}
+
 /// Maps operation names (the local name of the first body entry) to
 /// handlers, and records which header types the service understands.
 #[derive(Default)]
 pub struct ServiceRegistry {
     handlers: HashMap<String, Box<ServiceHandler>>,
     understood_headers: Vec<String>,
+    metadata: ServiceMetadata,
 }
 
 impl ServiceRegistry {
@@ -56,6 +177,30 @@ impl ServiceRegistry {
     pub fn with_understood_header(mut self, local: &str) -> ServiceRegistry {
         self.understood_headers.push(local.to_owned());
         self
+    }
+
+    /// Publish call defaults for an operation (chainable). Purely
+    /// declarative: the server never reads them; clients fetch them via
+    /// [`shared_metadata`](ServiceRegistry::shared_metadata) and install
+    /// them on their engine.
+    pub fn with_operation_defaults(
+        mut self,
+        name: &str,
+        defaults: OperationDefaults,
+    ) -> ServiceRegistry {
+        self.metadata.set(name, defaults);
+        self
+    }
+
+    /// The per-operation call defaults this registry publishes.
+    pub fn metadata(&self) -> &ServiceMetadata {
+        &self.metadata
+    }
+
+    /// A shareable snapshot of the metadata, ready for
+    /// [`crate::SoapEngine::with_metadata`].
+    pub fn shared_metadata(&self) -> Arc<ServiceMetadata> {
+        Arc::new(self.metadata.clone())
     }
 
     /// Registered operation names (sorted, for diagnostics).
@@ -140,21 +285,93 @@ pub struct DecodeScratch {
     doc: Document,
 }
 
+/// What a typed operation closure decided about one request.
+enum TypedServe {
+    /// The request matched the typed shape and a response (or fault) was
+    /// encoded into the output buffer; the flag is "response is a fault".
+    Handled(bool),
+    /// The request doesn't fit the typed fast path (foreign headers,
+    /// wrong operation shape) — run the generic tree pipeline instead.
+    Fallback,
+}
+
+/// A type-erased typed-operation servicer: request bytes + optional
+/// deadline outcome in, response bytes out.
+type TypedOp = dyn Fn(&[u8], Option<&mut HandleOutcome>, &mut Vec<u8>) -> TypedServe + Send + Sync;
+
+/// A type-erased operation peek: wire bytes in, borrowed operation name
+/// out (`None` when the bytes don't parse far enough to name one).
+type TypedPeek = dyn for<'a> Fn(&'a [u8]) -> Option<&'a str> + Send + Sync;
+
+/// Encode a tree response, never failing (errors degrade to a plain-text
+/// payload rather than a server panic). Returns whether the response is
+/// a fault.
+fn encode_tree_response<E: EncodingPolicy>(
+    encoding: &E,
+    response: &SoapEnvelope,
+    out: &mut Vec<u8>,
+) -> bool {
+    let is_fault = response.is_fault();
+    if let Err(e) = encoding.encode_into(&response.to_document(), out) {
+        // Encoding a fault envelope cannot realistically fail, but
+        // never panic in the server path.
+        out.clear();
+        out.extend_from_slice(format!("encoding failure: {e}").as_bytes());
+    }
+    is_fault
+}
+
 /// A byte-level SOAP service: a registry plus an encoding policy.
 ///
 /// This is the piece both server bindings share — "receiving the message
 /// is just the reverse procedure" (paper §5.1): decode bytes → envelope →
 /// dispatch → envelope → encode bytes. It never fails: every error
 /// becomes an encoded fault envelope.
+///
+/// Operations registered through
+/// [`register_typed`](SoapService::register_typed) additionally get the
+/// typed fast path: requests whose envelope matches the expected typed
+/// shape are decoded field-by-field straight into a reusable request
+/// struct and the response is encoded straight from the response struct
+/// — no element tree on either side. Requests that don't fit (foreign
+/// headers, faults, unexpected shapes) silently fall back to the tree
+/// pipeline above, so the fast path is purely an optimization.
 pub struct SoapService<E: EncodingPolicy> {
     encoding: E,
     registry: Arc<ServiceRegistry>,
+    typed_ops: HashMap<String, Box<TypedOp>>,
+    typed_peek: Option<Box<TypedPeek>>,
 }
 
 impl<E: EncodingPolicy> SoapService<E> {
     /// Assemble a service.
     pub fn new(encoding: E, registry: Arc<ServiceRegistry>) -> SoapService<E> {
-        SoapService { encoding, registry }
+        SoapService {
+            encoding,
+            registry,
+            typed_ops: HashMap::new(),
+            typed_peek: None,
+        }
+    }
+
+    /// Serve `request` through the typed fast path if a typed operation
+    /// matches. `Some(is_fault)` means the response was written to
+    /// `out`; `None` means "take the generic pipeline".
+    fn try_typed(
+        &self,
+        request: &[u8],
+        outcome: Option<&mut HandleOutcome>,
+        out: &mut Vec<u8>,
+    ) -> Option<bool> {
+        if self.typed_ops.is_empty() {
+            return None;
+        }
+        let op = (self.typed_peek.as_ref()?)(request)?;
+        let serve = self.typed_ops.get(op)?;
+        match serve(request, outcome, out) {
+            TypedServe::Handled(is_fault) => Some(is_fault),
+            TypedServe::Fallback => None,
+        }
     }
 
     /// The service's encoding policy.
@@ -190,18 +407,14 @@ impl<E: EncodingPolicy> SoapService<E> {
         request: &[u8],
         out: &mut Vec<u8>,
     ) -> bool {
+        if let Some(is_fault) = self.try_typed(request, None, out) {
+            return is_fault;
+        }
         let response = match self.try_handle(scratch, request) {
             Ok(envelope) => envelope,
             Err(e) => fault_envelope(fault_for_error(e)),
         };
-        let is_fault = response.is_fault();
-        if let Err(e) = self.encoding.encode_into(&response.to_document(), out) {
-            // Encoding a fault envelope cannot realistically fail, but
-            // never panic in the server path.
-            out.clear();
-            out.extend_from_slice(format!("encoding failure: {e}").as_bytes());
-        }
-        is_fault
+        encode_tree_response(&self.encoding, &response, out)
     }
 
     fn try_handle(&self, scratch: &mut DecodeScratch, request: &[u8]) -> SoapResult<SoapEnvelope> {
@@ -228,15 +441,15 @@ impl<E: EncodingPolicy> SoapService<E> {
         out: &mut Vec<u8>,
     ) -> HandleOutcome {
         let mut outcome = HandleOutcome::default();
+        if let Some(is_fault) = self.try_typed(request, Some(&mut outcome), out) {
+            outcome.is_fault = is_fault;
+            return outcome;
+        }
         let response = match self.try_handle_deadline(scratch, request, &mut outcome) {
             Ok(envelope) => envelope,
             Err(e) => fault_envelope(fault_for_error(e)),
         };
-        outcome.is_fault = response.is_fault();
-        if let Err(e) = self.encoding.encode_into(&response.to_document(), out) {
-            out.clear();
-            out.extend_from_slice(format!("encoding failure: {e}").as_bytes());
-        }
+        outcome.is_fault = encode_tree_response(&self.encoding, &response, out);
         outcome
     }
 
@@ -270,6 +483,107 @@ impl<E: EncodingPolicy> SoapService<E> {
                 .saturating_sub(local.elapsed()),
         );
         Ok(response)
+    }
+}
+
+impl<E: TypedEncoding + Clone + Send + Sync + 'static> SoapService<E> {
+    /// Register a typed operation: requests named `name` whose envelope
+    /// matches `Req`'s shape are decoded field-by-field into a reusable
+    /// `Req`, handled, and answered straight from a reusable `Resp` —
+    /// no element tree either direction, allocation-free at steady
+    /// state. Anything that doesn't fit falls back to the generic tree
+    /// pipeline (and from there to a handler registered under the same
+    /// name, or a Client fault if none exists).
+    ///
+    /// `bx:Deadline` is honored with the same semantics as
+    /// [`handle_bytes_deadline`](SoapService::handle_bytes_deadline):
+    /// expired-on-arrival requests are rejected without running the
+    /// handler, and the remaining budget caps the reply write.
+    pub fn register_typed<Req, Resp, F>(&mut self, name: &str, handler: F)
+    where
+        Req: FromBxsa + Send + 'static,
+        Resp: ToBxsa + Default + Send + 'static,
+        F: Fn(&Req, &mut Resp) -> SoapResult<()> + Send + Sync + 'static,
+    {
+        if self.typed_peek.is_none() {
+            let enc = self.encoding.clone();
+            self.typed_peek = Some(Box::new(move |bytes| enc.peek_operation(bytes)));
+        }
+        let enc = self.encoding.clone();
+        // Per-operation scratch: the request/response structs and the
+        // frame writer survive between requests, so a steady stream of
+        // same-shape calls does no codec allocation. Under concurrent
+        // dispatch of the *same* operation, latecomers fall back to
+        // fresh scratch rather than waiting on the lock.
+        let scratch: parking_lot::Mutex<(Req, Resp, TypedScratch)> =
+            parking_lot::Mutex::new((Req::default(), Resp::default(), TypedScratch::default()));
+        let op = move |request: &[u8],
+                       outcome: Option<&mut HandleOutcome>,
+                       out: &mut Vec<u8>|
+              -> TypedServe {
+            let mut fresh;
+            let mut guard;
+            let (req, resp, ts) = match scratch.try_lock() {
+                Some(g) => {
+                    guard = g;
+                    &mut *guard
+                }
+                None => {
+                    fresh = (Req::default(), Resp::default(), TypedScratch::default());
+                    &mut fresh
+                }
+            };
+            let deadline = match enc.decode_typed_request(request, req) {
+                Ok(TypedRequest::Matched { deadline }) => deadline,
+                Ok(TypedRequest::Fallback) => return TypedServe::Fallback,
+                // The operation matched but its payload didn't decode:
+                // that's the sender's bad message, not a shape mismatch
+                // — answer the Client fault here (a typed-only operation
+                // has no tree handler to fall back to, and "unknown
+                // operation" would mislead).
+                Err(e) => {
+                    let is_fault =
+                        encode_tree_response(&enc, &fault_envelope(fault_for_error(e)), out);
+                    return TypedServe::Handled(is_fault);
+                }
+            };
+            let serve = |req: &Req, resp: &mut Resp, ts: &mut TypedScratch, out: &mut Vec<u8>| {
+                let served = handler(req, resp)
+                    .and_then(|()| enc.encode_typed(&*resp, None, ts, out));
+                match served {
+                    Ok(()) => false,
+                    Err(e) => encode_tree_response(&enc, &fault_envelope(fault_for_error(e)), out),
+                }
+            };
+            let is_fault = match (deadline, outcome) {
+                // Deadline semantics match the generic entry points: the
+                // deadline-blind `handle_bytes` path (outcome `None`)
+                // ignores the header entirely.
+                (Some(header), Some(oc)) => {
+                    if header.expired() {
+                        oc.retry_after = Some(EXPIRED_RETRY_AFTER);
+                        encode_tree_response(
+                            &enc,
+                            &fault_envelope(SoapFault::deadline_expired(EXPIRED_RETRY_AFTER)),
+                            out,
+                        )
+                    } else {
+                        let local = header.start();
+                        let is_fault = serve(req, resp, ts, out);
+                        oc.reply_budget = Some(
+                            local
+                                .budget()
+                                .unwrap_or_default()
+                                .saturating_sub(local.elapsed()),
+                        );
+                        is_fault
+                    }
+                }
+                _ => serve(req, resp, ts, out),
+            };
+            TypedServe::Handled(is_fault)
+        };
+        self.typed_ops.insert(name.to_owned(), Box::new(op));
     }
 }
 
@@ -430,5 +744,167 @@ mod tests {
         let resp = reg.dispatch(&req);
         let echoed = resp.body_element().unwrap().find_child("Echo").unwrap();
         assert_eq!(echoed.child_value("n"), Some(&AtomicValue::F64(2.5)));
+    }
+
+    #[test]
+    fn metadata_defaults_resolve_under_explicit_options() {
+        let registry = ServiceRegistry::new().with_operation_defaults(
+            "Slow",
+            OperationDefaults::new()
+                .with_deadline(Duration::from_millis(250))
+                .with_retry(RetryPolicy::new(5))
+                .idempotent(false)
+                .prefer_encoding(WireEncoding::Bxsa),
+        );
+        let meta = registry.shared_metadata();
+
+        // A bare call inherits every registered default.
+        let resolved = meta.resolve("Slow", &CallOptions::new());
+        assert!(!resolved.idempotent, "Some(false) must veto retries");
+        let budget = resolved.deadline.unwrap().budget().unwrap();
+        assert!(budget <= Duration::from_millis(250));
+        assert_eq!(resolved.retry_override.unwrap().max_attempts, 5);
+        assert_eq!(meta.preferred_encoding("Slow"), Some(WireEncoding::Bxsa));
+
+        // Explicit settings win over the defaults.
+        let explicit = CallOptions::new()
+            .within(Duration::from_secs(9))
+            .with_retry(RetryPolicy::new(2));
+        let resolved = meta.resolve("Slow", &explicit);
+        assert!(resolved.deadline.unwrap().budget().unwrap() > Duration::from_secs(8));
+        assert_eq!(resolved.retry_override.unwrap().max_attempts, 2);
+
+        // Unregistered operations pass the explicit options through.
+        let resolved = meta.resolve("Unknown", &CallOptions::new());
+        assert!(resolved.idempotent);
+        assert!(resolved.deadline.is_none());
+        assert!(resolved.retry_override.is_none());
+        assert_eq!(meta.preferred_encoding("Unknown"), None);
+    }
+
+    mod typed_dispatch {
+        use super::*;
+        use crate::encoding::BxsaEncoding;
+        use crate::typed::probe::{probe, tree_envelope, Probe};
+        use crate::typed::{TypedDecode, TypedEncoding, TypedScratch};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// A service whose `Probe` handler doubles the values and bumps
+        /// the tag — distinguishable from the echo a tree handler gives.
+        fn typed_service() -> SoapService<BxsaEncoding> {
+            let mut service =
+                SoapService::new(BxsaEncoding::default(), Arc::new(ServiceRegistry::new()));
+            service.register_typed::<Probe, Probe, _>("Probe", |req, resp| {
+                resp.values.clear();
+                resp.values.extend(req.values.iter().map(|v| v * 2.0));
+                resp.tag = req.tag + 1;
+                Ok(())
+            });
+            service
+        }
+
+        fn typed_request(p: &Probe, deadline: Option<DeadlineHeader>) -> Vec<u8> {
+            let enc = BxsaEncoding::default();
+            let mut scratch = TypedScratch::default();
+            let mut bytes = Vec::new();
+            enc.encode_typed(p, deadline.as_ref(), &mut scratch, &mut bytes)
+                .unwrap();
+            bytes
+        }
+
+        #[test]
+        fn typed_operation_is_served_end_to_end() {
+            let service = typed_service();
+            let request = typed_request(&probe(4), None);
+            let (reply, is_fault) = service.handle_bytes(&request);
+            assert!(!is_fault);
+            let mut back = Probe::default();
+            let decode = BxsaEncoding::default()
+                .decode_typed_reply(&reply, &mut back)
+                .unwrap();
+            assert_eq!(decode, TypedDecode::Matched);
+            assert_eq!(back.tag, 43);
+            assert_eq!(back.values, probe(4).values.iter().map(|v| v * 2.0).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn foreign_header_falls_back_to_the_tree_pipeline() {
+            let service = typed_service();
+            // A mustUnderstand header the typed path can't check: it must
+            // fall back — and the tree pipeline, with no generic handler
+            // registered, answers MustUnderstand (not a typed reply).
+            let mut envelope = tree_envelope(&probe(2), None);
+            envelope = envelope.with_header(
+                Element::component("Mystery").with_attr("soapenv:mustUnderstand", "1"),
+            );
+            let request = BxsaEncoding::default()
+                .encode(&envelope.to_document())
+                .unwrap();
+            let (reply, is_fault) = service.handle_bytes(&request);
+            assert!(is_fault);
+            let doc = BxsaEncoding::default().decode(&reply).unwrap();
+            let fault = SoapEnvelope::from_document(&doc)
+                .unwrap()
+                .as_fault()
+                .unwrap();
+            assert_eq!(fault.code, FaultCode::MustUnderstand);
+        }
+
+        #[test]
+        fn matched_operation_with_bad_payload_is_a_client_fault() {
+            let service = typed_service();
+            // Operation name matches, payload doesn't: a Probe missing
+            // its required tag field must answer Client directly (there
+            // is no tree handler to fall back to).
+            let envelope = SoapEnvelope::with_body(
+                Element::component("p:Probe").with_namespace("p", "http://example.org/probe"),
+            );
+            let request = BxsaEncoding::default()
+                .encode(&envelope.to_document())
+                .unwrap();
+            let (reply, is_fault) = service.handle_bytes(&request);
+            assert!(is_fault);
+            let doc = BxsaEncoding::default().decode(&reply).unwrap();
+            let fault = SoapEnvelope::from_document(&doc)
+                .unwrap()
+                .as_fault()
+                .unwrap();
+            assert_eq!(fault.code, FaultCode::Client);
+        }
+
+        #[test]
+        fn expired_deadline_rejects_without_running_the_handler() {
+            static RAN: AtomicBool = AtomicBool::new(false);
+            let mut service =
+                SoapService::new(BxsaEncoding::default(), Arc::new(ServiceRegistry::new()));
+            service.register_typed::<Probe, Probe, _>("Probe", |_req, _resp| {
+                RAN.store(true, Ordering::SeqCst);
+                Ok(())
+            });
+            let request = typed_request(&probe(1), Some(DeadlineHeader::new(0, 8)));
+            let mut out = Vec::new();
+            let outcome =
+                service.handle_bytes_deadline(&mut DecodeScratch::default(), &request, &mut out);
+            assert!(outcome.is_fault);
+            assert_eq!(outcome.retry_after, Some(EXPIRED_RETRY_AFTER));
+            assert!(!RAN.load(Ordering::SeqCst), "expired requests must not dispatch");
+        }
+
+        #[test]
+        fn live_deadline_leaves_a_reply_budget() {
+            let service = typed_service();
+            let request = typed_request(&probe(3), Some(DeadlineHeader::new(5_000, 8)));
+            let mut out = Vec::new();
+            let outcome =
+                service.handle_bytes_deadline(&mut DecodeScratch::default(), &request, &mut out);
+            assert!(!outcome.is_fault);
+            let budget = outcome.reply_budget.expect("deadline ⇒ reply budget");
+            assert!(budget > Duration::from_secs(4), "budget {budget:?}");
+            let mut back = Probe::default();
+            BxsaEncoding::default()
+                .decode_typed_reply(&out, &mut back)
+                .unwrap();
+            assert_eq!(back.tag, 43);
+        }
     }
 }

@@ -113,6 +113,59 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    /// Fast path for typed array bodies: if the cursor sits on a plain
+    /// `<tag>text</tag>` item — no attributes, entities, nested markup,
+    /// or self-closing form — consume it and return the raw text. Any
+    /// other shape leaves the cursor untouched and returns `None`, so
+    /// callers fall back to the event machinery. Leading inter-item
+    /// whitespace is consumed only on a match.
+    pub(crate) fn next_simple_item(&mut self) -> Option<&'a str> {
+        let b = self.input.as_bytes();
+        let mut i = self.pos;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() || b[i] != b'<' {
+            return None;
+        }
+        // Tag name: anything up to '>' that can't be an end tag, a
+        // declaration, an attribute list, or a self-closing tag.
+        let name_start = i + 1;
+        let mut j = name_start;
+        while j < b.len() && b[j] != b'>' {
+            match b[j] {
+                b'/' | b'!' | b'?' | b'=' | b'"' | b'\'' => return None,
+                c if c.is_ascii_whitespace() => return None,
+                _ => j += 1,
+            }
+        }
+        if j >= b.len() || j == name_start {
+            return None;
+        }
+        let name = &self.input[name_start..j];
+        // Text: up to '<', rejecting entities (they need unescaping).
+        let text_start = j + 1;
+        let mut k = text_start;
+        while k < b.len() && b[k] != b'<' {
+            if b[k] == b'&' {
+                return None;
+            }
+            k += 1;
+        }
+        // Matching end tag, byte for byte.
+        let rest = &b[k..];
+        if rest.len() < name.len() + 3
+            || rest[0] != b'<'
+            || rest[1] != b'/'
+            || &rest[2..2 + name.len()] != name.as_bytes()
+            || rest[2 + name.len()] != b'>'
+        {
+            return None;
+        }
+        self.pos = k + name.len() + 3;
+        Some(&self.input[text_start..k])
+    }
+
     /// Pull the next token (start tags arrive with all attributes
     /// collected into a `Vec`).
     pub fn next_token(&mut self) -> XmlResult<Token<'a>> {

@@ -33,12 +33,14 @@
 
 pub mod error;
 pub mod escape;
+pub mod field;
 pub mod lexer;
 pub mod num;
 pub mod reader;
 pub mod writer;
 
 pub use error::{XmlError, XmlResult};
+pub use field::{TypedText, XmlFieldReader, XmlFieldWriter, XmlHead, XmlItem};
 pub use reader::{parse, parse_into, parse_into_with, parse_with, XmlReadOptions};
 pub use writer::{element_to_string, to_string, to_string_with, write_into, XmlWriteOptions};
 

@@ -26,6 +26,30 @@ for id in bxsa_decode bxsa_decode_into xml_decode xml_decode_into; do
 done
 rm -f "$codec_log"
 
+# Typed fast-path job (PR 8): the typed codec benches must exist and
+# report (tree-vs-typed medians are recorded per-PR in BENCH_PR8.json by
+# the typed_fastpath bin); the typed steady state must pass the
+# alloc-counter zero-allocation gate (covered by the alloc-counter step
+# above via typed_steady_state_is_allocation_free); and the seed-corpus
+# fuzz smoke must feed mutated typed envelopes to the typed decoders on
+# both encodings without a panic anywhere in the log.
+typed_log="$(mktemp)"
+cargo bench -p bench --bench typed_codec 2>&1 | tee "$typed_log"
+for id in typed_bxsa_encode typed_bxsa_decode typed_xml_encode typed_xml_decode; do
+    if ! grep -q "^BENCH {\"id\":\"typed_codec/${id}/" "$typed_log"; then
+        echo "bench: missing typed benchmark ${id}" >&2
+        exit 1
+    fi
+done
+rm -f "$typed_log"
+typed_fuzz_log="$(mktemp)"
+cargo test -q --test typed_fuzz_smoke -- --nocapture 2>&1 | tee "$typed_fuzz_log"
+if grep -q "panicked at" "$typed_fuzz_log"; then
+    echo "typed: panic detected in typed-decoder fuzz smoke" >&2
+    exit 1
+fi
+rm -f "$typed_fuzz_log"
+
 # Resilience job: drive the seeded torture corpus (mutated/truncated
 # messages, flaky connects) through the decoders and both live servers,
 # and assert nothing anywhere panicked — a panicking worker thread can

@@ -102,6 +102,241 @@ pub fn register_verify(registry: &mut soap::ServiceRegistry) {
     });
 }
 
+/// The LEAD dataset namespace used by the `Verify` operation.
+pub const LEAD_NS: &str = "http://bxsoap.example.org/lead";
+const LEAD_DECLS: [bxsa::TypedDecl; 1] = [(Some("d"), LEAD_NS)];
+
+/// The unified-solution request as a typed struct: the whole dataset as
+/// two packed arrays, ready for the typed fast path
+/// ([`soap::ToBxsa`]/[`soap::FromBxsa`]). Encodes byte-for-byte
+/// identically to [`verify_request_envelope`] on both wire encodings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyRequest {
+    /// Position of each reading in the model grid.
+    pub index: Vec<i32>,
+    /// The readings themselves.
+    pub values: Vec<f64>,
+}
+
+/// The `Verify` reply as a typed struct; mirrors the tree response
+/// [`register_verify`] produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyResponse {
+    /// Every reading passed verification.
+    pub ok: bool,
+    /// How many readings were checked.
+    pub count: i64,
+}
+
+impl soap::ToBxsa for VerifyRequest {
+    fn element_name(&self) -> bxsa::TypedName {
+        bxsa::TypedName::new(Some("d"), "Verify")
+    }
+
+    fn bxsa_body_bound(&self) -> usize {
+        use bxsa::estimate::{framed, plain_array_body_bound, plain_component_body_bound};
+        let index = plain_array_body_bound("index", &[], xbs::TypeCode::I32, self.index.len());
+        let values = plain_array_body_bound("values", &[], xbs::TypeCode::F64, self.values.len());
+        plain_component_body_bound("Verify", &LEAD_DECLS, 2, framed(index) + framed(values))
+    }
+
+    fn encode_bxsa(&self, w: &mut bxsa::FrameWriter) -> soap::SoapResult<()> {
+        w.begin_component(self.element_name(), &LEAD_DECLS, 2, self.bxsa_body_bound())?;
+        w.array(bxsa::TypedName::new(Some("d"), "index"), &[], &self.index)?;
+        w.array(bxsa::TypedName::new(Some("d"), "values"), &[], &self.values)?;
+        Ok(w.end_component()?)
+    }
+
+    fn encode_xml(&self, w: &mut xmltext::XmlFieldWriter<'_>) {
+        w.begin_component("d:Verify", &LEAD_DECLS);
+        w.array("d:index", &[], &self.index);
+        w.array("d:values", &[], &self.values);
+        w.end_component("d:Verify");
+    }
+}
+
+impl soap::FromBxsa for VerifyRequest {
+    fn expected_local() -> &'static str {
+        "Verify"
+    }
+
+    fn decode_bxsa<'a>(
+        &mut self,
+        r: &mut bxsa::FieldReader<'a>,
+        head: &bxsa::ElementHead<'a>,
+    ) -> soap::SoapResult<()> {
+        let (mut saw_index, mut saw_values) = (false, false);
+        self.index.clear();
+        self.values.clear();
+        for _ in 0..head.child_count {
+            let f = r.open()?;
+            match f.local {
+                "index" => {
+                    r.read_array_into(&f, &mut self.index)?;
+                    saw_index = true;
+                }
+                "values" => {
+                    r.read_array_into(&f, &mut self.values)?;
+                    saw_values = true;
+                }
+                _ => r.skip(&f)?,
+            }
+        }
+        r.close(head)?;
+        require_arrays(saw_index, saw_values)
+    }
+
+    fn decode_xml<'a>(
+        &mut self,
+        r: &mut xmltext::XmlFieldReader<'a>,
+        head: &xmltext::XmlHead<'a>,
+    ) -> soap::SoapResult<()> {
+        let (mut saw_index, mut saw_values) = (false, false);
+        self.index.clear();
+        self.values.clear();
+        if !head.self_closing {
+            loop {
+                match r.next()? {
+                    xmltext::XmlItem::Start(f) if f.local == "index" => {
+                        r.array_into(&f, &mut self.index)?;
+                        saw_index = true;
+                    }
+                    xmltext::XmlItem::Start(f) if f.local == "values" => {
+                        r.array_into(&f, &mut self.values)?;
+                        saw_values = true;
+                    }
+                    xmltext::XmlItem::Start(f) => r.skip(&f)?,
+                    xmltext::XmlItem::End(l) if l == head.local => break,
+                    _ => {
+                        return Err(soap::SoapError::Protocol(
+                            "unexpected content inside Verify".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        require_arrays(saw_index, saw_values)
+    }
+}
+
+/// Both dataset arrays are required — same contract the tree handler
+/// enforces.
+fn require_arrays(saw_index: bool, saw_values: bool) -> soap::SoapResult<()> {
+    match (saw_index, saw_values) {
+        (true, true) => Ok(()),
+        (false, _) => Err(soap::SoapError::Protocol("missing index array".into())),
+        (_, false) => Err(soap::SoapError::Protocol("missing values array".into())),
+    }
+}
+
+impl soap::ToBxsa for VerifyResponse {
+    fn element_name(&self) -> bxsa::TypedName {
+        bxsa::TypedName::new(None, "VerifyResponse")
+    }
+
+    fn bxsa_body_bound(&self) -> usize {
+        use bxsa::estimate::{framed, plain_component_body_bound, plain_leaf_body_bound};
+        let ok = plain_leaf_body_bound("ok", &[], xbs::TypeCode::Bool, 0);
+        let count = plain_leaf_body_bound("count", &[], xbs::TypeCode::I64, 0);
+        plain_component_body_bound("VerifyResponse", &[], 2, framed(ok) + framed(count))
+    }
+
+    fn encode_bxsa(&self, w: &mut bxsa::FrameWriter) -> soap::SoapResult<()> {
+        w.begin_component(self.element_name(), &[], 2, self.bxsa_body_bound())?;
+        w.leaf_bool(bxsa::TypedName::new(None, "ok"), &[], self.ok)?;
+        w.leaf(bxsa::TypedName::new(None, "count"), &[], self.count)?;
+        Ok(w.end_component()?)
+    }
+
+    fn encode_xml(&self, w: &mut xmltext::XmlFieldWriter<'_>) {
+        w.begin_component("VerifyResponse", &[]);
+        w.leaf_bool("ok", &[], self.ok);
+        w.leaf("count", &[], self.count);
+        w.end_component("VerifyResponse");
+    }
+}
+
+impl soap::FromBxsa for VerifyResponse {
+    fn expected_local() -> &'static str {
+        "VerifyResponse"
+    }
+
+    fn decode_bxsa<'a>(
+        &mut self,
+        r: &mut bxsa::FieldReader<'a>,
+        head: &bxsa::ElementHead<'a>,
+    ) -> soap::SoapResult<()> {
+        let (mut ok, mut count) = (None, None);
+        for _ in 0..head.child_count {
+            let f = r.open()?;
+            match f.local {
+                "ok" => ok = Some(r.read_bool(&f)?),
+                "count" => count = Some(r.read_value::<i64>(&f)?),
+                _ => r.skip(&f)?,
+            }
+        }
+        r.close(head)?;
+        self.ok = ok.ok_or_else(|| soap::SoapError::Protocol("missing ok field".into()))?;
+        self.count = count.ok_or_else(|| soap::SoapError::Protocol("missing count field".into()))?;
+        Ok(())
+    }
+
+    fn decode_xml<'a>(
+        &mut self,
+        r: &mut xmltext::XmlFieldReader<'a>,
+        head: &xmltext::XmlHead<'a>,
+    ) -> soap::SoapResult<()> {
+        let (mut ok, mut count) = (None, None);
+        if !head.self_closing {
+            loop {
+                match r.next()? {
+                    xmltext::XmlItem::Start(f) if f.local == "ok" => {
+                        ok = Some(r.leaf_bool(&f)?)
+                    }
+                    xmltext::XmlItem::Start(f) if f.local == "count" => {
+                        count = Some(r.leaf_value::<i64>(&f)?)
+                    }
+                    xmltext::XmlItem::Start(f) => r.skip(&f)?,
+                    xmltext::XmlItem::End(l) if l == head.local => break,
+                    _ => {
+                        return Err(soap::SoapError::Protocol(
+                            "unexpected content inside VerifyResponse".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        self.ok = ok.ok_or_else(|| soap::SoapError::Protocol("missing ok field".into()))?;
+        self.count = count.ok_or_else(|| soap::SoapError::Protocol("missing count field".into()))?;
+        Ok(())
+    }
+}
+
+/// Register the typed fast path for `Verify` on a service: same
+/// semantics as [`register_verify`], no element tree either direction.
+pub fn register_verify_typed<E>(service: &mut soap::SoapService<E>)
+where
+    E: soap::TypedEncoding + Clone + Send + Sync + 'static,
+{
+    service.register_typed::<VerifyRequest, VerifyResponse, _>("Verify", |req, resp| {
+        resp.ok = verify_dataset(&req.index, &req.values);
+        resp.count = req.values.len() as i64;
+        Ok(())
+    });
+}
+
+/// The call defaults the LEAD service publishes for `Verify`: a 30 s
+/// end-to-end budget, three attempts, and the binary encoding the
+/// payload shape favors. Clients that install this metadata get those
+/// settings on every bare `Verify` call.
+pub fn verify_operation_defaults() -> soap::OperationDefaults {
+    soap::OperationDefaults::new()
+        .with_deadline(std::time::Duration::from_secs(30))
+        .with_retry(soap::RetryPolicy::new(3))
+        .idempotent(true)
+        .prefer_encoding(soap::WireEncoding::Bxsa)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +372,79 @@ mod tests {
             resp.body_element().unwrap().child_value("ok"),
             Some(&bxdm::AtomicValue::Bool(true))
         );
+    }
+
+    #[test]
+    fn typed_verify_request_matches_the_tree_envelope_on_both_encodings() {
+        use soap::{EncodingPolicy, TypedEncoding, TypedScratch};
+        let (index, values) = lead_dataset(64, 11);
+        let typed = VerifyRequest {
+            index: index.clone(),
+            values: values.clone(),
+        };
+        let tree = verify_request_envelope(&index, &values).to_document();
+        let mut scratch = TypedScratch::default();
+
+        let enc = soap::BxsaEncoding::default();
+        let mut out = Vec::new();
+        enc.encode_typed(&typed, None, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, EncodingPolicy::encode(&enc, &tree).unwrap());
+
+        let enc = soap::XmlEncoding::default();
+        let mut out = Vec::new();
+        enc.encode_typed(&typed, None, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, EncodingPolicy::encode(&enc, &tree).unwrap());
+    }
+
+    #[test]
+    fn typed_verify_service_roundtrips_and_rejects_bad_data() {
+        use soap::{TypedDecode, TypedEncoding, TypedScratch};
+        use std::sync::Arc;
+        let enc = soap::BxsaEncoding::default();
+        let mut service =
+            soap::SoapService::new(enc.clone(), Arc::new(soap::ServiceRegistry::new()));
+        register_verify_typed(&mut service);
+
+        let (index, values) = lead_dataset(32, 5);
+        let mut scratch = TypedScratch::default();
+        let mut request = Vec::new();
+        enc.encode_typed(
+            &VerifyRequest { index, values },
+            None,
+            &mut scratch,
+            &mut request,
+        )
+        .unwrap();
+        let (reply, is_fault) = service.handle_bytes(&request);
+        assert!(!is_fault);
+        let mut response = VerifyResponse::default();
+        assert_eq!(
+            enc.decode_typed_reply(&reply, &mut response).unwrap(),
+            TypedDecode::Matched
+        );
+        assert_eq!(
+            response,
+            VerifyResponse {
+                ok: true,
+                count: 32
+            }
+        );
+
+        // A NaN reading fails verification but still answers cleanly.
+        let (index, mut values) = lead_dataset(8, 5);
+        values[2] = f64::NAN;
+        let mut request = Vec::new();
+        enc.encode_typed(
+            &VerifyRequest { index, values },
+            None,
+            &mut scratch,
+            &mut request,
+        )
+        .unwrap();
+        let (reply, is_fault) = service.handle_bytes(&request);
+        assert!(!is_fault);
+        enc.decode_typed_reply(&reply, &mut response).unwrap();
+        assert!(!response.ok);
+        assert_eq!(response.count, 8);
     }
 }

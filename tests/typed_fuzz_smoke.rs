@@ -1,0 +1,123 @@
+//! Seed-corpus fuzz smoke for the typed decoders.
+//!
+//! The typed fast path parses attacker-reachable bytes (every server
+//! request, every client reply) without the tree layer's structural
+//! recovery, so it gets the same robustness bar: deterministic
+//! mutations of valid typed envelopes — bit flips, truncations, chunk
+//! duplications — must decode to `Ok` or `Err`, never panic. The CI job
+//! additionally greps this test's output for "panicked at", catching
+//! panics that a would-be catch_unwind might swallow.
+
+use bxsoap::VerifyRequest;
+use soap::{BxsaEncoding, TypedEncoding, TypedScratch, XmlEncoding};
+
+/// SplitMix64: deterministic, seedable, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// One deterministic mutation of `seed`: byte flips, truncations, chunk
+/// duplications, and chunk deletions, chosen by the round number.
+fn mutate(seed: &[u8], rng: &mut Rng, round: usize) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    match round % 4 {
+        // Flip 1..4 bytes.
+        0 => {
+            for _ in 0..=rng.below(3) {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= (rng.next() as u8) | 1;
+            }
+        }
+        // Truncate to a prefix.
+        1 => bytes.truncate(rng.below(bytes.len())),
+        // Duplicate a chunk in place.
+        2 => {
+            let start = rng.below(bytes.len());
+            let len = rng.below((bytes.len() - start).min(64)).max(1);
+            let chunk = bytes[start..start + len].to_vec();
+            bytes.splice(start..start, chunk);
+        }
+        // Delete a chunk.
+        _ => {
+            let start = rng.below(bytes.len());
+            let len = rng.below((bytes.len() - start).min(64)).max(1);
+            bytes.drain(start..start + len);
+        }
+    }
+    bytes
+}
+
+fn seeds() -> Vec<(&'static str, Vec<u8>)> {
+    let (index, values) = bxsoap::lead_dataset(64, 3);
+    let request = VerifyRequest { index, values };
+    let empty = VerifyRequest::default();
+    let mut scratch = TypedScratch::default();
+    let mut seeds = Vec::new();
+    for (tag, msg) in [("full", &request), ("empty", &empty)] {
+        let mut bxsa = Vec::new();
+        BxsaEncoding::default()
+            .encode_typed(msg, None, &mut scratch, &mut bxsa)
+            .unwrap();
+        seeds.push(("bxsa", bxsa.clone()));
+        let mut xml = Vec::new();
+        XmlEncoding::default()
+            .encode_typed(msg, None, &mut scratch, &mut xml)
+            .unwrap();
+        seeds.push(("xml", xml));
+        let _ = tag;
+    }
+    seeds
+}
+
+#[test]
+fn mutated_typed_envelopes_never_panic_the_typed_decoders() {
+    let bxsa = BxsaEncoding::default();
+    let xml = XmlEncoding::default();
+    let mut out = VerifyRequest::default();
+    let mut rng = Rng(0x5eed_cafe);
+
+    let mut decoded = 0u32;
+    let mut rejected = 0u32;
+    for (which, seed) in seeds() {
+        for round in 0..2_000 {
+            let bytes = mutate(&seed, &mut rng, round);
+            // Both decoders see every mutation regardless of which
+            // encoding produced the seed — cross-encoding bytes are
+            // exactly the garbage a confused client sends.
+            for enc in 0..2 {
+                let result = if enc == 0 {
+                    bxsa.decode_typed_request(&bytes, &mut out).map(|_| ())
+                } else {
+                    xml.decode_typed_request(&bytes, &mut out).map(|_| ())
+                };
+                match result {
+                    Ok(()) => decoded += 1,
+                    Err(_) => rejected += 1,
+                }
+                let reply = if enc == 0 {
+                    bxsa.decode_typed_reply(&bytes, &mut out).map(|_| ())
+                } else {
+                    xml.decode_typed_reply(&bytes, &mut out).map(|_| ())
+                };
+                let _ = reply;
+            }
+        }
+        let _ = which;
+    }
+    // Not an assertion about exact counts — just that the corpus
+    // exercised both outcomes and nothing above panicked.
+    assert!(decoded > 0, "no mutation survived decoding — corpus too hostile");
+    assert!(rejected > 0, "every mutation decoded — mutations too gentle");
+}
