@@ -60,7 +60,7 @@ fn bench_engine_overhead(c: &mut Criterion) {
                     BxsaEncoding::default(),
                     LoopbackBinding::new(move |bytes: &[u8]| service.handle_bytes(bytes).0),
                 );
-                b.iter(|| engine.call(request.clone()).expect("call"))
+                b.iter(|| engine.call_with(request.clone(), &soap::CallOptions::new()).expect("call"))
             },
         );
     }

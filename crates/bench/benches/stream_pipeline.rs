@@ -1,0 +1,177 @@
+//! Streamed vs buffered round-trip throughput over live HTTP sockets.
+//!
+//! One client, one `HttpSoapServer`, loopback TCP. The *buffered* rows
+//! carry the whole payload as one envelope (one `Content-Length` body
+//! each way, everything resident at once at every node); the *streamed*
+//! rows carry the same f64 payload as chunked parts of ~128 KiB through
+//! `SoapEngine::call_streaming`, O(window) resident. Wall-clock covers
+//! the full round trip: encode, wire, server fold, reply, decode.
+//!
+//! Emits the same machine-readable `BENCH {json}` lines as the
+//! criterion shims so `grep '^BENCH '` collects a report; medians are
+//! recorded per-PR in BENCH_PR9.json, where the buffered/streamed
+//! crossover is identified.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bxdm::{ArrayValue, AtomicValue, Element};
+use soap::{
+    BxsaEncoding, CallOptions, HttpBinding, HttpSoapServer, ServiceRegistry, SoapEngine,
+    SoapEnvelope, SoapError, SoapResult, SoapService, StreamOp,
+};
+
+/// f64 values per streamed part: ~128 KiB encoded, the streaming window.
+const PART_LEN: usize = 16 * 1024;
+
+/// Payload sizes in (decimal) bytes of raw f64 data. The sub-MB rows
+/// bracket the buffered/streamed crossover; 256 MB stays under the
+/// server's 256 MiB buffered-body cap, so the buffered lane is
+/// exercised rather than rejected — the cap itself is the next reason
+/// the streamed lane exists.
+const SIZES: &[(&str, usize)] = &[
+    ("64KB", 64_000),
+    ("256KB", 256_000),
+    ("1MB", 1_000_000),
+    ("16MB", 16_000_000),
+    ("256MB", 256_000_000),
+];
+
+#[derive(Default)]
+struct SumOp {
+    sum: f64,
+}
+
+impl StreamOp for SumOp {
+    fn start(&mut self, _manifest: &SoapEnvelope) -> SoapResult<()> {
+        Ok(())
+    }
+
+    fn on_part(&mut self, part: &Element) -> SoapResult<()> {
+        let xs = part
+            .as_f64_array()
+            .ok_or_else(|| SoapError::Protocol("batch is not an f64 array".into()))?;
+        self.sum += xs.iter().sum::<f64>();
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SoapResult<SoapEnvelope> {
+        Ok(SoapEnvelope::with_body(
+            Element::component("SumResponse")
+                .with_child(Element::leaf("sum", AtomicValue::F64(self.sum))),
+        ))
+    }
+
+    fn next_part(&mut self, _slot: &mut Element) -> SoapResult<bool> {
+        Ok(false)
+    }
+}
+
+fn serve() -> HttpSoapServer {
+    // The same operation both ways: "Sum" on the buffered registry for
+    // Content-Length requests, "Sum" as a streamed op for chunked ones.
+    let registry = Arc::new(ServiceRegistry::new().with_operation("Sum", |req| {
+        let sum: f64 = req
+            .body_element()
+            .and_then(|e| e.find_child("values"))
+            .and_then(Element::as_f64_array)
+            .map(|xs| xs.iter().sum())
+            .unwrap_or(0.0);
+        Ok(SoapEnvelope::with_body(
+            Element::component("SumResponse")
+                .with_child(Element::leaf("sum", AtomicValue::F64(sum))),
+        ))
+    }));
+    let mut service = SoapService::new(BxsaEncoding::default(), registry);
+    service.register_streaming("Sum", || Box::<SumOp>::default());
+    HttpSoapServer::bind_service_with(
+        "127.0.0.1:0",
+        "/soap",
+        transport::HttpServerConfig::default(),
+        service,
+    )
+    .expect("bind")
+}
+
+fn buffered_round_trip(engine: &mut SoapEngine<BxsaEncoding, HttpBinding>, values: &[f64]) -> f64 {
+    let request = SoapEnvelope::with_body(
+        Element::component("Sum")
+            .with_child(Element::array("values", ArrayValue::F64(values.to_vec()))),
+    );
+    let resp = engine
+        .call_with(request, &CallOptions::new())
+        .expect("buffered call");
+    resp.body_element()
+        .and_then(|e| e.child_value("sum"))
+        .and_then(AtomicValue::as_f64)
+        .expect("sum")
+}
+
+fn streamed_round_trip(engine: &mut SoapEngine<BxsaEncoding, HttpBinding>, values: &[f64]) -> f64 {
+    let mut reply = engine
+        .call_streaming(
+            SoapEnvelope::with_body(Element::component("Sum")),
+            &CallOptions::new(),
+            |tx| {
+                for batch in values.chunks(PART_LEN) {
+                    tx.send(&Element::array("batch", ArrayValue::F64(batch.to_vec())))?;
+                }
+                Ok(())
+            },
+        )
+        .expect("streamed call");
+    while reply.next_part().expect("drain").is_some() {}
+    reply
+        .envelope()
+        .body_element()
+        .and_then(|e| e.child_value("sum"))
+        .and_then(AtomicValue::as_f64)
+        .expect("sum")
+}
+
+fn main() {
+    let server = serve();
+    let addr = server.local_addr().to_string();
+    let mut engine = SoapEngine::new(BxsaEncoding::default(), HttpBinding::new(&addr, "/soap"));
+
+    for &(label, bytes) in SIZES {
+        let n = bytes / 8;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let expected: f64 = values.iter().sum();
+        let mb = bytes as f64 / 1e6;
+        // Big payloads take seconds per pass; scale the repeat count so
+        // the small rows get stable numbers without the large rows
+        // taking minutes.
+        let iters = match bytes {
+            0..=2_000_000 => 8,
+            2_000_001..=32_000_000 => 3,
+            _ => 1,
+        };
+        for (lane, run) in [
+            (
+                "buffered",
+                &buffered_round_trip
+                    as &dyn Fn(&mut SoapEngine<BxsaEncoding, HttpBinding>, &[f64]) -> f64,
+            ),
+            ("streamed", &streamed_round_trip),
+        ] {
+            let mut best_mbps = 0.0f64;
+            let mut last_ms = 0.0f64;
+            for _ in 0..iters {
+                let started = Instant::now();
+                let sum = run(&mut engine, &values);
+                let elapsed = started.elapsed();
+                assert_eq!(sum, expected, "{lane}/{label} answered the wrong sum");
+                last_ms = elapsed.as_secs_f64() * 1e3;
+                best_mbps = best_mbps.max(mb / elapsed.as_secs_f64());
+            }
+            println!(
+                "stream_pipeline/{lane}/{label}: {best_mbps:.1} MB/s (last pass {last_ms:.2} ms)"
+            );
+            println!(
+                "BENCH {{\"id\":\"stream_pipeline/{lane}/{label}\",\"mb_per_s\":{best_mbps:.1},\"ms\":{last_ms:.2}}}"
+            );
+        }
+    }
+    server.shutdown();
+}

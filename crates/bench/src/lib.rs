@@ -21,6 +21,8 @@
 
 #[cfg(feature = "alloc-counter")]
 pub mod alloc_counter;
+#[cfg(feature = "alloc-counter")]
+mod streaming_gate;
 pub mod cpu;
 pub mod schemes;
 pub mod workload;

@@ -1,0 +1,147 @@
+//! Constant-memory gate for the streaming pipeline (ISSUE 9).
+//!
+//! The promise of `SoapEngine::call_streaming` is O(window) memory: a
+//! warm exchange allocates for its manifest and reply, but **not per
+//! part** — the part buffer, chunk framing, and scratch document are
+//! all reused. This gate proves it with the counting allocator: two
+//! warm exchanges that differ only in part count (8 parts ≈ 1 MiB vs
+//! many parts) must allocate the *same* number of times on the client
+//! thread, within a small fixed slack.
+//!
+//! By default the large side is 64 parts (8 MiB — fast enough for every
+//! CI run). Setting `STREAM_GATE_FULL=1` raises it to 8192 parts, which
+//! pushes a simulated gigabyte through the window; the assertion is
+//! identical, only the exposure is longer.
+//!
+//! Runs under `cargo test -p bench --features alloc-counter --lib`,
+//! alongside the codec zero-allocation gates.
+
+#[cfg(test)]
+mod tests {
+    use crate::alloc_counter::measure;
+    use std::sync::Arc;
+
+    use bxdm::{ArrayValue, AtomicValue, Element};
+    use soap::{
+        BxsaEncoding, CallOptions, HttpBinding, HttpSoapServer, ServiceRegistry, SoapEngine,
+        SoapEnvelope, SoapError, SoapResult, SoapService, StreamOp,
+    };
+
+    /// f64 values per part — the same ~128 KiB window the benches use.
+    const PART_LEN: usize = 16 * 1024;
+    const SMALL_PARTS: usize = 8; // ≈ 1 MiB payload
+
+    fn large_parts() -> usize {
+        if std::env::var("STREAM_GATE_FULL").is_ok_and(|v| v == "1") {
+            8192 // ≈ 1 GiB payload through the same window
+        } else {
+            64 // ≈ 8 MiB: same assertion, CI-friendly exposure
+        }
+    }
+
+    #[derive(Default)]
+    struct SumOp {
+        sum: f64,
+    }
+
+    impl StreamOp for SumOp {
+        fn start(&mut self, _manifest: &SoapEnvelope) -> SoapResult<()> {
+            Ok(())
+        }
+
+        fn on_part(&mut self, part: &Element) -> SoapResult<()> {
+            let xs = part
+                .as_f64_array()
+                .ok_or_else(|| SoapError::Protocol("batch is not an f64 array".into()))?;
+            self.sum += xs.iter().sum::<f64>();
+            Ok(())
+        }
+
+        fn finish(&mut self) -> SoapResult<SoapEnvelope> {
+            Ok(SoapEnvelope::with_body(
+                Element::component("SumResponse")
+                    .with_child(Element::leaf("sum", AtomicValue::F64(self.sum))),
+            ))
+        }
+
+        fn next_part(&mut self, _slot: &mut Element) -> SoapResult<bool> {
+            Ok(false)
+        }
+    }
+
+    /// One full streamed exchange: `parts` copies of a pre-built batch
+    /// element. The producer allocates nothing — the same `&Element` is
+    /// sent every time, so any per-part allocation the counter sees
+    /// belongs to the pipeline itself.
+    fn exchange(
+        engine: &mut SoapEngine<BxsaEncoding, HttpBinding>,
+        batch: &Element,
+        parts: usize,
+    ) -> f64 {
+        let mut reply = engine
+            .call_streaming(
+                SoapEnvelope::with_body(Element::component("Sum")),
+                &CallOptions::new(),
+                |tx| {
+                    for _ in 0..parts {
+                        tx.send(batch)?;
+                    }
+                    Ok(())
+                },
+            )
+            .expect("streamed call");
+        while reply.next_part().expect("drain").is_some() {}
+        reply
+            .envelope()
+            .body_element()
+            .and_then(|e| e.child_value("sum"))
+            .and_then(AtomicValue::as_f64)
+            .expect("sum")
+    }
+
+    #[test]
+    fn streamed_exchange_memory_is_independent_of_payload_size() {
+        let mut service =
+            SoapService::new(BxsaEncoding::default(), Arc::new(ServiceRegistry::new()));
+        service.register_streaming("Sum", || Box::<SumOp>::default());
+        let server = HttpSoapServer::bind_service_with(
+            "127.0.0.1:0",
+            "/soap",
+            transport::HttpServerConfig::default(),
+            service,
+        )
+        .expect("bind");
+        let mut engine = SoapEngine::new(
+            BxsaEncoding::default(),
+            HttpBinding::new(&server.local_addr().to_string(), "/soap"),
+        );
+
+        let batch = Element::array("batch", ArrayValue::F64(vec![1.0; PART_LEN]));
+        let per_part: f64 = PART_LEN as f64;
+        let large = large_parts();
+
+        // Warm every buffer on the largest exchange we will measure, so
+        // Vec growth never charges the measured passes.
+        assert_eq!(exchange(&mut engine, &batch, large), per_part * large as f64);
+
+        let (sum_small, allocs_small) =
+            measure(|| exchange(&mut engine, &batch, SMALL_PARTS));
+        assert_eq!(sum_small, per_part * SMALL_PARTS as f64);
+
+        let (sum_large, allocs_large) = measure(|| exchange(&mut engine, &batch, large));
+        assert_eq!(sum_large, per_part * large as f64);
+
+        // The large exchange moves 8×–1024× the bytes. If any path
+        // allocated per part, `allocs_large` would scale with the part
+        // count; constant memory means both exchanges pay only the
+        // fixed per-call cost. A small fixed slack absorbs incidental
+        // one-time allocations (lazy statics, map rehashes).
+        assert!(
+            allocs_large <= allocs_small + 16,
+            "streamed exchange allocates per part: {SMALL_PARTS} parts -> {allocs_small} allocs, \
+             {large} parts -> {allocs_large} allocs"
+        );
+
+        server.shutdown();
+    }
+}

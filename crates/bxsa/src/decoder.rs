@@ -77,6 +77,35 @@ pub fn decode_element(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Element>
     decode_element_at(bytes, 0, opts)
 }
 
+/// [`decode_element`] into a reusable [`Node`] slot: contents are
+/// replaced, but element/string/array storage from the previous part is
+/// refilled in place, so decoding a stream of similarly-shaped parts is
+/// allocation-free at steady state (the per-part mirror of
+/// [`decode_into`]). On error the slot holds unspecified but valid
+/// contents.
+pub fn decode_element_into(bytes: &[u8], node: &mut Node) -> BxsaResult<()> {
+    decode_element_into_with(bytes, node, &DecodeOptions::default())
+}
+
+/// [`decode_element_into`] with explicit options.
+pub fn decode_element_into_with(
+    bytes: &[u8],
+    node: &mut Node,
+    opts: &DecodeOptions,
+) -> BxsaResult<()> {
+    let mut dec = Decoder {
+        r: XbsReader::new(bytes, ByteOrder::Little),
+        opts,
+    };
+    dec.fill_frame(0, None, node)?;
+    if !dec.r.is_at_end() {
+        return Err(BxsaError::Structure {
+            what: format!("{} trailing byte(s) after the element frame", dec.r.remaining()),
+        });
+    }
+    Ok(())
+}
+
 /// Decode one element frame located at `offset` inside a larger document
 /// buffer (e.g. a frame found by [`crate::scan::FrameScanner`]).
 ///

@@ -44,12 +44,13 @@ pub mod estimate;
 pub mod frame;
 pub mod pull;
 pub mod scan;
+pub mod stream;
 pub mod transcode;
 pub mod typed;
 
 pub use decoder::{
-    decode, decode_element, decode_element_at, decode_into, decode_into_with, decode_with,
-    DecodeOptions,
+    decode, decode_element, decode_element_at, decode_element_into, decode_element_into_with,
+    decode_into, decode_into_with, decode_with, DecodeOptions,
 };
 pub use encoder::{
     encode, encode_element, encode_element_into, encode_into, encode_into_with, encode_with,
@@ -59,6 +60,7 @@ pub use error::{BxsaError, BxsaResult};
 pub use frame::FrameType;
 pub use pull::{ArrayHandle, ElementStart, LeafValue, PullEvent, PullReader};
 pub use scan::FrameScanner;
+pub use stream::{FrameAssembler, FrameSink, DEFAULT_WINDOW};
 pub use transcode::{bxsa_to_xml, xml_to_bxsa};
 pub use typed::{ElementHead, FieldReader, FrameWriter, TypedDecl, TypedName};
 

@@ -75,6 +75,27 @@ impl Gauge {
         }
     }
 
+    /// Raise the value to `value` if it is higher than the current one —
+    /// a lock-free high-watermark (e.g. the largest streaming window a
+    /// connection ever buffered). Concurrent racers keep the true max.
+    pub fn record_max(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) >= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// The current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))

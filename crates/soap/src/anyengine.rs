@@ -274,7 +274,7 @@ mod tests {
             let mut engine = AnyEngine::connect(config, addr, "/s");
             assert_eq!(engine.config(), config);
             let resp = engine
-                .call(SoapEnvelope::with_body(Element::component("Ping")))
+                .call_with(SoapEnvelope::with_body(Element::component("Ping")), &crate::engine::CallOptions::new())
                 .unwrap_or_else(|e| panic!("{enc}/{tr}: {e}"));
             assert_eq!(resp.operation(), Some("Pong"));
         }

@@ -130,6 +130,81 @@ impl HttpBinding {
     pub fn connection_reuses(&self) -> u64 {
         self.conn.reuse_count()
     }
+
+    // --- streaming half (used by `SoapEngine::call_streaming`) ---
+    //
+    // The same reusable request scaffold and cached connection, but the
+    // body goes out as chunked transfer-encoding: one chunk per message
+    // part, written as the caller produces them. Only the head write may
+    // transparently reconnect; once the first part is on the wire the
+    // exchange is not replayable and any failure poisons the socket.
+
+    /// Open a streamed request: send the chunked head. `deadline`, when
+    /// set, narrows every phase budget of the whole exchange.
+    pub(crate) fn stream_begin(
+        &mut self,
+        content_type: &str,
+        deadline: Option<&Deadline>,
+    ) -> SoapResult<()> {
+        self.pending = false;
+        self.request.body.clear();
+        self.request.headers.clear();
+        self.request
+            .headers
+            .push(("Content-Type".into(), content_type.into()));
+        if let Some(action) = &self.soap_action {
+            self.request
+                .headers
+                .push(("SOAPAction".into(), action.clone()));
+        }
+        let timeouts = match deadline {
+            Some(d) => self.timeouts.clamped_to(d).map_err(SoapError::Transport)?,
+            None => self.timeouts,
+        };
+        Ok(self.conn.stream_begin_with(&self.request, &timeouts)?)
+    }
+
+    /// Send one message part as one chunk (empty parts are skipped — an
+    /// empty chunk would terminate the body).
+    pub(crate) fn stream_send_part(&mut self, part: &[u8]) -> SoapResult<()> {
+        Ok(self.conn.stream_send_part(part)?)
+    }
+
+    /// Terminate the request body and flush.
+    pub(crate) fn stream_finish_send(&mut self) -> SoapResult<()> {
+        Ok(self.conn.stream_finish_send()?)
+    }
+
+    /// Read the response head. `Ok(true)`: the reply is itself streamed —
+    /// pull its parts with
+    /// [`stream_next_part_into`](HttpBinding::stream_next_part_into).
+    /// `Ok(false)`: the reply was buffered and its complete body is held
+    /// by the binding (take it with
+    /// [`take_response_body`](HttpBinding::take_response_body)); SOAP
+    /// faults ride in buffered 500s exactly like the non-streamed path.
+    pub(crate) fn stream_read_head(&mut self) -> SoapResult<bool> {
+        let streamed = self.conn.stream_read_head(&mut self.response)?;
+        if !self.response.is_success() && self.response.status != 500 {
+            return Err(SoapError::Transport(self.response.status_error()));
+        }
+        Ok(streamed)
+    }
+
+    /// Pull the next reply part into `out` (replaced, capacity kept).
+    /// `Ok(false)`: the terminator arrived — the reply is complete and
+    /// the connection stays reusable.
+    pub(crate) fn stream_next_part_into(&mut self, out: &mut Vec<u8>) -> SoapResult<bool> {
+        Ok(self
+            .conn
+            .stream_next_part_into(out, crate::streaming::MAX_PART_LEN)?)
+    }
+
+    /// Swap out the buffered response body after
+    /// [`stream_read_head`](HttpBinding::stream_read_head) returned
+    /// `false`.
+    pub(crate) fn take_response_body(&mut self, out: &mut Vec<u8>) {
+        std::mem::swap(out, &mut self.response.body);
+    }
 }
 
 impl Clone for HttpBinding {

@@ -161,6 +161,9 @@ pub struct SoapEngine<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy = N
     /// Typed-encode scratch (frame writer tables), reused across
     /// [`call_typed`](SoapEngine::call_typed) invocations.
     typed_scratch: TypedScratch,
+    /// Per-part decode scratch for streamed replies
+    /// ([`call_streaming`](SoapEngine::call_streaming)).
+    part_scratch: crate::streaming::PartScratch,
     /// Per-operation call defaults, consulted whenever a call's operation
     /// name is known (always, for typed calls; the first body entry's
     /// local name otherwise). Explicit [`CallOptions`] fields win.
@@ -181,6 +184,7 @@ impl<E: EncodingPolicy, B: BindingPolicy> SoapEngine<E, B> {
             response_buf: Vec::new(),
             decode_buf: Document::new(),
             typed_scratch: TypedScratch::default(),
+            part_scratch: Default::default(),
             metadata: None,
         }
     }
@@ -201,6 +205,7 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
             response_buf: Vec::new(),
             decode_buf: Document::new(),
             typed_scratch: TypedScratch::default(),
+            part_scratch: Default::default(),
             metadata: None,
         }
     }
@@ -469,18 +474,23 @@ impl<E: EncodingPolicy, B: BindingPolicy, S: SecurityPolicy> SoapEngine<E, B, S>
     /// Request/response message exchange with the default options
     /// (idempotent; engine-level retry and breaker; no deadline).
     ///
-    /// Prefer [`call_with`](SoapEngine::call_with) in new code — this is
-    /// the legacy surface, kept as a thin wrapper.
+    /// Legacy surface, kept as a thin wrapper.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `call_with(request, &CallOptions::new())`"
+    )]
     pub fn call(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
         self.call_with(request, &CallOptions::new())
     }
 
-    /// [`call`](SoapEngine::call) for requests with side effects that
+    /// Request/response exchange for requests with side effects that
     /// must not be replayed: never retries, whatever policy is installed.
     ///
-    /// Prefer [`call_with`](SoapEngine::call_with) with
-    /// [`CallOptions::non_idempotent`] in new code — this is the legacy
-    /// surface, kept as a thin wrapper.
+    /// Legacy surface, kept as a thin wrapper.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `call_with(request, &CallOptions::new().non_idempotent())`"
+    )]
     pub fn call_non_idempotent(&mut self, request: SoapEnvelope) -> SoapResult<SoapEnvelope> {
         self.call_with(request, &CallOptions::new().non_idempotent())
     }
@@ -576,6 +586,105 @@ impl<E: TypedEncoding, B: BindingPolicy> SoapEngine<E, B, NoSecurity> {
     }
 }
 
+/// The streaming call path (HTTP binding only: chunked transfer-encoding
+/// is the wire mechanism; no-security engines only: a security policy
+/// would need the whole message, which streaming never materializes).
+impl<E: crate::streaming::StreamEncoding> SoapEngine<E, crate::binding::HttpBinding, NoSecurity> {
+    /// A streamed request/response exchange with constant memory on both
+    /// sides: the `manifest` envelope opens the message (operation name,
+    /// small parameters, the stamped deadline), then `produce` pushes
+    /// the payload as individually encoded parts through a
+    /// [`PartSender`], each transmitted — and forgotten — as one HTTP
+    /// chunk. The reply comes back the same way: its manifest decodes
+    /// eagerly and the payload parts are pulled one at a time from the
+    /// returned [`StreamingReply`].
+    ///
+    /// Servers answer errors with a *buffered* fault (HTTP 500), which
+    /// surfaces as [`SoapError::Fault`] exactly like the non-streamed
+    /// path — including faults decided after the whole request streamed
+    /// in.
+    ///
+    /// **No retries, ever.** Once the first part is on the wire the
+    /// request is not replayable from memory (the parts are gone — that
+    /// is the point), so failures surface immediately; the installed
+    /// retry policy and any [`CallOptions::retry_override`] are ignored.
+    /// A [`CallOptions::deadline`] still stamps the manifest and narrows
+    /// every socket budget of the exchange. Per-operation metadata still
+    /// resolves (for the deadline); breakers are not consulted (the
+    /// exchange cannot be declined-and-replayed).
+    ///
+    /// [`PartSender`]: crate::streaming::PartSender
+    /// [`StreamingReply`]: crate::streaming::StreamingReply
+    pub fn call_streaming<F>(
+        &mut self,
+        manifest: SoapEnvelope,
+        options: &CallOptions,
+        produce: F,
+    ) -> SoapResult<crate::streaming::StreamingReply<'_, E>>
+    where
+        F: FnOnce(&mut crate::streaming::PartSender<'_, E>) -> SoapResult<()>,
+    {
+        let options = self.resolve_options(manifest.operation(), options);
+        let deadline = options.deadline.filter(|d| d.budget().is_some());
+        let m = metrics::engine();
+        m.calls.inc();
+        m.attempts.inc();
+        self.last_attempts = 1;
+        metrics::stream().streams.inc();
+        let mut manifest = manifest;
+        if let Some(d) = &deadline {
+            if let Err(e) = d.remaining() {
+                m.deadline_expired.inc();
+                return Err(SoapError::Transport(e));
+            }
+            if let Some(h) = DeadlineHeader::from_deadline(d) {
+                h.stamp(&mut manifest);
+            }
+        }
+        self.encoding
+            .encode_into(&manifest.to_document(), &mut self.encode_buf)?;
+        self.binding
+            .stream_begin(self.encoding.content_type(), deadline.as_ref())?;
+        self.binding.stream_send_part(&self.encode_buf)?;
+        metrics::stream().parts_out.inc();
+        let mut sender = crate::streaming::PartSender::new(
+            &self.encoding,
+            &mut self.binding,
+            &mut self.encode_buf,
+        );
+        produce(&mut sender)?;
+        self.binding.stream_finish_send()?;
+        let streamed = self.binding.stream_read_head()?;
+        if streamed {
+            // A streamed reply's first part is its manifest.
+            if !self.binding.stream_next_part_into(&mut self.response_buf)? {
+                return Err(SoapError::Protocol(
+                    "streamed reply ended before its manifest".into(),
+                ));
+            }
+            metrics::stream().parts_in.inc();
+        } else {
+            // Buffered reply: the whole body is already here (faults
+            // take this shape, but a part-less success may too).
+            self.binding.take_response_body(&mut self.response_buf);
+        }
+        self.encoding
+            .decode_into(&self.response_buf, &mut self.decode_buf)?;
+        let envelope = SoapEnvelope::from_document(&self.decode_buf)?;
+        if let Some(fault) = envelope.as_fault() {
+            return Err(SoapError::Fault(fault));
+        }
+        Ok(crate::streaming::StreamingReply::new(
+            &self.encoding,
+            &mut self.binding,
+            &mut self.response_buf,
+            &mut self.part_scratch,
+            envelope,
+            !streamed,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,7 +728,7 @@ mod tests {
             XmlEncoding::default(),
             LoopbackBinding::new(sum_service(XmlEncoding::default())),
         );
-        let resp = engine.call(sum_request()).unwrap();
+        let resp = engine.call_with(sum_request(), &CallOptions::new()).unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("total"),
             Some(&AtomicValue::F64(3.0))
@@ -632,7 +741,7 @@ mod tests {
             BxsaEncoding::default(),
             LoopbackBinding::new(sum_service(BxsaEncoding::default())),
         );
-        let resp = engine.call(sum_request()).unwrap();
+        let resp = engine.call_with(sum_request(), &CallOptions::new()).unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("total"),
             Some(&AtomicValue::F64(3.0))
@@ -650,7 +759,7 @@ mod tests {
                     .unwrap()
             }),
         );
-        match engine.call(sum_request()) {
+        match engine.call_with(sum_request(), &CallOptions::new()) {
             Err(SoapError::Fault(f)) => {
                 assert_eq!(f.code, FaultCode::Client);
                 assert_eq!(f.string, "rejected");
@@ -682,7 +791,7 @@ mod tests {
             LoopbackBinding::new(|_: &[u8]| b"not a bxsa document".to_vec()),
         );
         assert!(matches!(
-            engine.call(sum_request()),
+            engine.call_with(sum_request(), &CallOptions::new()),
             Err(SoapError::Bxsa(_))
         ));
     }
@@ -704,7 +813,7 @@ mod tests {
         .with_retry(RetryPolicy::no_delay(10));
         let mut retried_calls = 0u32;
         for _ in 0..50 {
-            let resp = engine.call(sum_request()).expect("retry must recover");
+            let resp = engine.call_with(sum_request(), &CallOptions::new()).expect("retry must recover");
             assert_eq!(
                 resp.body_element().unwrap().child_value("total"),
                 Some(&AtomicValue::F64(3.0))
@@ -731,7 +840,7 @@ mod tests {
             }),
         )
         .with_retry(RetryPolicy::no_delay(10));
-        assert!(matches!(engine.call(sum_request()), Err(SoapError::Fault(_))));
+        assert!(matches!(engine.call_with(sum_request(), &CallOptions::new()), Err(SoapError::Fault(_))));
         assert_eq!(engine.last_call_attempts(), 1, "faults are answers");
     }
 
@@ -787,7 +896,7 @@ mod tests {
                 .unwrap()
             }),
         );
-        engine.call(sum_request()).unwrap();
+        engine.call_with(sum_request(), &CallOptions::new()).unwrap();
     }
 
     #[test]
@@ -837,13 +946,13 @@ mod tests {
         )
         .with_breaker(breaker.clone());
         for _ in 0..4 {
-            let err = engine.call(sum_request()).unwrap_err();
+            let err = engine.call_with(sum_request(), &CallOptions::new()).unwrap_err();
             assert!(matches!(err, SoapError::Transport(_)));
         }
         assert_eq!(breaker.state(), BreakerState::Open);
         let refused_so_far = injector.lock().connects_refused();
         // While open: typed fast-fail, zero exchanges attempted.
-        let err = engine.call(sum_request()).unwrap_err();
+        let err = engine.call_with(sum_request(), &CallOptions::new()).unwrap_err();
         match err {
             SoapError::CircuitOpen {
                 endpoint,
@@ -890,7 +999,7 @@ mod tests {
         .with_retry(RetryPolicy::new(4));
         let started = std::time::Instant::now();
         let resp = engine
-            .call(sum_request())
+            .call_with(sum_request(), &CallOptions::new())
             .expect("retry must ride out the breaker cooldown");
         assert_eq!(
             resp.body_element().unwrap().child_value("total"),
@@ -931,6 +1040,8 @@ mod tests {
     }
 
     #[test]
+    // The deprecated shims must keep their exact semantics until removal.
+    #[allow(deprecated)]
     fn call_non_idempotent_never_retries() {
         use crate::binding::FaultingBinding;
         use transport::faulty::{FaultInjector, FaultProfile};
@@ -950,7 +1061,7 @@ mod tests {
         assert!(matches!(err, SoapError::Transport(_)));
         assert_eq!(engine.last_call_attempts(), 1, "must not be replayed");
         // The installed policy survives for subsequent idempotent calls.
-        let err = engine.call(sum_request()).unwrap_err();
+        let err = engine.call_with(sum_request(), &CallOptions::new()).unwrap_err();
         assert!(matches!(err, SoapError::Transport(_)));
         assert_eq!(engine.last_call_attempts(), 10, "policy still installed");
     }
@@ -1059,7 +1170,7 @@ mod tests {
                 }),
             )
             .with_metadata(meta);
-            engine.call(sum_request()).unwrap();
+            engine.call_with(sum_request(), &CallOptions::new()).unwrap();
             let request = seen.lock().unwrap().pop().unwrap();
             let doc = XmlEncoding::default().decode(&request).unwrap();
             let envelope = SoapEnvelope::from_document(&doc).unwrap();

@@ -12,22 +12,43 @@
 //! An [`Intermediary`] listens with one (encoding, transport) pair and
 //! forwards with another; the message crosses the hop as a bXDM tree, so
 //! nothing is lost in the re-encode.
+//!
+//! [`bind_http_streaming`](Intermediary::bind_http_streaming) extends
+//! the relay to streamed messages: each part is forwarded (or
+//! transcoded) the moment its chunk completes, so the relay holds one
+//! part — never the message — and a gigabyte payload crosses the hop in
+//! O(window) memory. When both hops speak the same encoding, payload
+//! parts are forwarded *verbatim*: BXSA element frames self-describe
+//! their byte order, so the middle hop never even decodes them.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 
+use bxdm::Document;
 use parking_lot::Mutex;
+use transport::{
+    HttpConnection, HttpRequest, HttpResponse, StreamReply as WireReply, Timeouts,
+    TransportResult,
+};
 
-use crate::binding::BindingPolicy;
+use crate::binding::{BindingPolicy, HttpBinding};
 use crate::encoding::EncodingPolicy;
 use crate::envelope::{DeadlineHeader, SoapEnvelope};
-use crate::error::SoapResult;
+use crate::error::{SoapError, SoapResult};
 use crate::fault::{FaultCode, SoapFault};
-use crate::service::{fault_envelope, EXPIRED_RETRY_AFTER};
+use crate::metrics;
+use crate::service::{fault_envelope, fault_for_error, EXPIRED_RETRY_AFTER};
+use crate::streaming::{wire_err, PartScratch, StreamEncoding, MAX_PART_LEN};
+
+/// The listening half of a relay: framed TCP or reactor HTTP.
+enum Inner {
+    Tcp(transport::TcpServer),
+    Http(transport::HttpServer),
+}
 
 /// A running relay node.
 pub struct Intermediary {
-    inner: transport::TcpServer,
+    inner: Inner,
 }
 
 impl Intermediary {
@@ -64,17 +85,104 @@ impl Intermediary {
                 }
             }
         })?;
-        Ok(Intermediary { inner })
+        Ok(Intermediary {
+            inner: Inner::Tcp(inner),
+        })
+    }
+
+    /// Listen over HTTP at `addr`/`path` with down-link encoding `InE`
+    /// and relay every call — buffered or streamed — to the HTTP SOAP
+    /// endpoint at `upstream_addr`/`upstream_path` in `UpE`.
+    ///
+    /// Streamed requests stay streamed across the hop: each chunked part
+    /// is forwarded upstream as it arrives and each reply part is pulled
+    /// on demand, so the relay's memory stays O(window) regardless of
+    /// message size — backpressure propagates end to end through the two
+    /// TCP windows. Buffered (non-chunked) requests take the classic
+    /// decode/re-encode path. Each streamed exchange dials its own
+    /// upstream connection (concurrent streams must not serialize);
+    /// buffered exchanges share one keep-alive upstream connection.
+    pub fn bind_http_streaming<InE, UpE>(
+        addr: &str,
+        path: &str,
+        in_encoding: InE,
+        up_encoding: UpE,
+        upstream_addr: &str,
+        upstream_path: &str,
+    ) -> SoapResult<Intermediary>
+    where
+        InE: StreamEncoding + Send + Sync + 'static,
+        UpE: StreamEncoding + Send + Sync + 'static,
+    {
+        let target = Arc::new(RelayTarget {
+            in_enc: in_encoding,
+            up_enc: up_encoding,
+            upstream_addr: upstream_addr.to_owned(),
+            upstream_path: upstream_path.to_owned(),
+        });
+
+        let stream_target = Arc::clone(&target);
+        let stream_path = path.to_owned();
+        let buffered_path = path.to_owned();
+        // Buffered fallback reuses the classic relay loop over a shared
+        // keep-alive upstream HTTP connection.
+        let buffered_upstream = Arc::new(Mutex::new((
+            (),
+            HttpBinding::new(upstream_addr, upstream_path),
+        )));
+        let buffered_target = Arc::clone(&target);
+
+        let inner = transport::ServerBuilder::bind(addr)
+            .stream_factory(move |head| {
+                if head.method != "POST" || head.path != stream_path {
+                    return None;
+                }
+                Some(Box::new(RelaySession::new(Arc::clone(&stream_target))))
+            })
+            .serve_http(move |request| {
+                if request.method != "POST" || request.path != buffered_path {
+                    return HttpResponse::not_found();
+                }
+                let t = &buffered_target;
+                let result = {
+                    let mut guard = buffered_upstream.lock();
+                    let ((), binding) = &mut *guard;
+                    relay_buffered(&t.in_enc, &t.up_enc, binding, &request.body)
+                };
+                let content_type = t.in_enc.content_type();
+                match result {
+                    Ok(bytes) => HttpResponse::ok(content_type, bytes),
+                    Err(e) => {
+                        let fault = fault_envelope(SoapFault::new(
+                            FaultCode::Server,
+                            &format!("intermediary relay failed: {e}"),
+                        ));
+                        HttpResponse::server_error(
+                            t.in_enc.encode(&fault.to_document()).unwrap_or_default(),
+                        )
+                        .with_header("Content-Type", content_type)
+                    }
+                }
+            })?;
+        Ok(Intermediary {
+            inner: Inner::Http(inner),
+        })
     }
 
     /// The relay's listening address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.inner.local_addr()
+        match &self.inner {
+            Inner::Tcp(s) => s.local_addr(),
+            Inner::Http(s) => s.local_addr(),
+        }
     }
 
     /// Stop relaying.
     pub fn shutdown(self) {
-        self.inner.shutdown();
+        match self.inner {
+            Inner::Tcp(s) => s.shutdown(),
+            Inner::Http(s) => s.shutdown(),
+        }
     }
 }
 
@@ -138,12 +246,313 @@ where
     in_encoding.encode(&response_doc)
 }
 
+/// The buffered-HTTP variant of [`relay`]: same envelope/deadline
+/// discipline, but the upstream is an [`HttpBinding`] owned by the
+/// caller (the encodings live outside the mutex here).
+fn relay_buffered<InE, UpE>(
+    in_encoding: &InE,
+    up_encoding: &UpE,
+    up_binding: &mut HttpBinding,
+    request: &[u8],
+) -> SoapResult<Vec<u8>>
+where
+    InE: EncodingPolicy,
+    UpE: EncodingPolicy,
+{
+    let doc = in_encoding.decode(request)?;
+    let mut envelope = SoapEnvelope::from_document(&doc)?;
+    let budget = match DeadlineHeader::from_envelope(&envelope)? {
+        Some(h) if h.expired() => {
+            let fault = fault_envelope(SoapFault::deadline_expired(EXPIRED_RETRY_AFTER));
+            return in_encoding.encode(&fault.to_document());
+        }
+        Some(h) if h.hops == 0 => {
+            let fault = fault_envelope(SoapFault::new(
+                FaultCode::Client,
+                "bx:Deadline hop count exhausted at intermediary",
+            ));
+            return in_encoding.encode(&fault.to_document());
+        }
+        Some(h) => Some((h, h.start())),
+        None => None,
+    };
+    if let Some((header, local)) = &budget {
+        header.decremented(local.elapsed()).stamp(&mut envelope);
+        up_binding.set_call_deadline(Some(*local));
+    }
+    let payload = up_encoding.encode(&envelope.to_document())?;
+    let exchanged = up_binding.exchange(&payload, up_encoding.content_type());
+    if budget.is_some() {
+        up_binding.set_call_deadline(None);
+    }
+    let response_doc = up_encoding.decode(&exchanged?)?;
+    in_encoding.encode(&response_doc)
+}
+
+/// What a streamed relay forwards to.
+struct RelayTarget<InE, UpE> {
+    in_enc: InE,
+    up_enc: UpE,
+    upstream_addr: String,
+    upstream_path: String,
+}
+
+/// Where one streamed relay exchange stands.
+enum RelayState {
+    /// Nothing received: the first part must be the manifest.
+    AwaitManifest,
+    /// Manifest forwarded; parts are proxying through.
+    Proxying,
+    /// The request phase failed: the encoded (down-link) fault waits for
+    /// the sender's terminator; further parts are drained silently.
+    Faulted(Vec<u8>),
+}
+
+/// One streamed exchange through the relay: an own upstream connection,
+/// parts forwarded as chunks complete, the reply pulled part by part.
+struct RelaySession<InE, UpE> {
+    target: Arc<RelayTarget<InE, UpE>>,
+    state: RelayState,
+    /// The upstream connection, dialed when the manifest arrives.
+    conn: Option<HttpConnection>,
+    /// Same encoding on both hops: payload parts cross untouched (BXSA
+    /// frames self-describe byte order, so bytes are portable as-is).
+    verbatim: bool,
+    /// Per-part transcode scratch (decode target).
+    scratch: PartScratch,
+    /// Manifest (whole-envelope) decode target.
+    doc: Document,
+    /// Encode landing zone: outgoing manifest, transcoded parts,
+    /// upstream reply parts.
+    buf: Vec<u8>,
+    /// Transcoded reply manifest, emitted as the first reply part.
+    reply_manifest: Vec<u8>,
+    manifest_sent: bool,
+}
+
+impl<InE, UpE> RelaySession<InE, UpE>
+where
+    InE: StreamEncoding,
+    UpE: StreamEncoding,
+{
+    fn new(target: Arc<RelayTarget<InE, UpE>>) -> RelaySession<InE, UpE> {
+        let verbatim = target.in_enc.name() == target.up_enc.name();
+        RelaySession {
+            target,
+            state: RelayState::AwaitManifest,
+            conn: None,
+            verbatim,
+            scratch: PartScratch::default(),
+            doc: Document::new(),
+            buf: Vec::new(),
+            reply_manifest: Vec::new(),
+            manifest_sent: false,
+        }
+    }
+
+    /// Doom the exchange: pre-encode the down-link fault and drop any
+    /// upstream connection (it cannot be cleanly reused mid-stream).
+    fn fault(&mut self, fault: SoapFault) {
+        self.conn = None;
+        let mut out = Vec::new();
+        let envelope = fault_envelope(fault);
+        if self
+            .target
+            .in_enc
+            .encode_into(&envelope.to_document(), &mut out)
+            .is_err()
+        {
+            out.clear();
+            out.extend_from_slice(b"fault encoding failed");
+        }
+        self.state = RelayState::Faulted(out);
+    }
+
+    /// Decode the manifest, apply the hop/deadline discipline, dial the
+    /// upstream, and forward the (re-stamped, re-encoded) manifest.
+    fn handle_manifest(&mut self, part: &[u8]) {
+        let opened = (|| -> SoapResult<HttpConnection> {
+            let t = &self.target;
+            t.in_enc.decode_into(part, &mut self.doc)?;
+            let mut envelope = SoapEnvelope::from_document(&self.doc)?;
+            let budget = match DeadlineHeader::from_envelope(&envelope)? {
+                Some(h) if h.expired() => {
+                    return Err(SoapError::Fault(SoapFault::deadline_expired(
+                        EXPIRED_RETRY_AFTER,
+                    )))
+                }
+                Some(h) if h.hops == 0 => {
+                    return Err(SoapError::Fault(SoapFault::new(
+                        FaultCode::Client,
+                        "bx:Deadline hop count exhausted at intermediary",
+                    )))
+                }
+                Some(h) => Some((h, h.start())),
+                None => None,
+            };
+            let mut timeouts = Timeouts::none();
+            if let Some((header, local)) = &budget {
+                header.decremented(local.elapsed()).stamp(&mut envelope);
+                timeouts = timeouts.clamped_to(local).map_err(SoapError::Transport)?;
+            }
+            let mut conn = HttpConnection::new(&t.upstream_addr);
+            let head = HttpRequest::post(&t.upstream_path, t.up_enc.content_type(), Vec::new());
+            conn.stream_begin_with(&head, &timeouts)
+                .map_err(SoapError::Transport)?;
+            t.up_enc.encode_into(&envelope.to_document(), &mut self.buf)?;
+            conn.stream_send_part(&self.buf)
+                .map_err(SoapError::Transport)?;
+            Ok(conn)
+        })();
+        match opened {
+            Ok(conn) => {
+                self.conn = Some(conn);
+                self.state = RelayState::Proxying;
+            }
+            Err(e) => self.fault(fault_for_error(e)),
+        }
+    }
+
+    /// Forward one payload part upstream, transcoding unless the hops
+    /// share an encoding.
+    fn forward_part(&mut self, part: &[u8]) -> SoapResult<()> {
+        let t = &self.target;
+        let conn = self.conn.as_mut().expect("proxying state has a connection");
+        if self.verbatim {
+            return conn.stream_send_part(part).map_err(SoapError::Transport);
+        }
+        let elem = t.in_enc.decode_part(part, &mut self.scratch)?;
+        t.up_enc.encode_part_into(elem, &mut self.buf)?;
+        conn.stream_send_part(&self.buf).map_err(SoapError::Transport)
+    }
+}
+
+impl<InE, UpE> transport::StreamSession for RelaySession<InE, UpE>
+where
+    InE: StreamEncoding + Send + Sync + 'static,
+    UpE: StreamEncoding + Send + Sync + 'static,
+{
+    fn on_part(&mut self, part: &[u8]) -> TransportResult<()> {
+        match &mut self.state {
+            RelayState::AwaitManifest => {
+                metrics::stream().streams.inc();
+                self.handle_manifest(part);
+            }
+            RelayState::Proxying => {
+                if let Err(e) = self.forward_part(part) {
+                    // Our reply head is not out yet, so the sender can
+                    // still get a clean in-band fault once it finishes.
+                    self.fault(fault_for_error(e));
+                }
+            }
+            RelayState::Faulted(_) => {}
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> TransportResult<WireReply> {
+        let content_type = self.target.in_enc.content_type();
+        match &mut self.state {
+            RelayState::AwaitManifest => {
+                self.fault(SoapFault::new(
+                    FaultCode::Client,
+                    "streamed request ended before its manifest",
+                ));
+                self.finish()
+            }
+            RelayState::Proxying => {
+                let relayed = (|| -> SoapResult<WireReply> {
+                    let conn = self.conn.as_mut().expect("proxying has a connection");
+                    conn.stream_finish_send().map_err(SoapError::Transport)?;
+                    let mut response = HttpResponse::ok(content_type, Vec::new());
+                    let streamed = conn
+                        .stream_read_head(&mut response)
+                        .map_err(SoapError::Transport)?;
+                    let t = &self.target;
+                    if !streamed {
+                        // Buffered upstream reply (typically a fault):
+                        // transcode the whole body and mirror the status.
+                        t.up_enc.decode_into(&response.body, &mut self.doc)?;
+                        let mut out = Vec::new();
+                        t.in_enc.encode_into(&self.doc, &mut out)?;
+                        let mut reply = HttpResponse::ok(content_type, out);
+                        reply.status = response.status;
+                        return Ok(WireReply::Buffered(reply));
+                    }
+                    // Streamed reply: its first part is the manifest —
+                    // transcode it now, while a clean fault downstream is
+                    // still possible, and hold it as our first part.
+                    if !conn
+                        .stream_next_part_into(&mut self.buf, MAX_PART_LEN)
+                        .map_err(SoapError::Transport)?
+                    {
+                        return Err(SoapError::Protocol(
+                            "upstream streamed reply ended before its manifest".into(),
+                        ));
+                    }
+                    if self.verbatim {
+                        std::mem::swap(&mut self.reply_manifest, &mut self.buf);
+                    } else {
+                        t.up_enc.decode_into(&self.buf, &mut self.doc)?;
+                        t.in_enc.encode_into(&self.doc, &mut self.reply_manifest)?;
+                    }
+                    self.manifest_sent = false;
+                    Ok(WireReply::Streamed(HttpResponse::ok(
+                        content_type,
+                        Vec::new(),
+                    )))
+                })();
+                match relayed {
+                    Ok(reply) => Ok(reply),
+                    Err(e) => {
+                        self.fault(fault_for_error(SoapError::Fault(SoapFault::new(
+                            FaultCode::Server,
+                            &format!("intermediary relay failed: {e}"),
+                        ))));
+                        self.finish()
+                    }
+                }
+            }
+            RelayState::Faulted(bytes) => Ok(WireReply::Buffered(
+                HttpResponse::server_error(std::mem::take(bytes))
+                    .with_header("Content-Type", content_type),
+            )),
+        }
+    }
+
+    fn next_part(&mut self, out: &mut Vec<u8>) -> TransportResult<bool> {
+        if !self.manifest_sent {
+            self.manifest_sent = true;
+            std::mem::swap(out, &mut self.reply_manifest);
+            return Ok(true);
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Ok(false);
+        };
+        if self.verbatim {
+            // One pull, zero transcodes: upstream chunk bytes become the
+            // downstream chunk directly.
+            return conn.stream_next_part_into(out, MAX_PART_LEN);
+        }
+        if !conn.stream_next_part_into(&mut self.buf, MAX_PART_LEN)? {
+            return Ok(false);
+        }
+        let t = &self.target;
+        let elem = t
+            .up_enc
+            .decode_part(&self.buf, &mut self.scratch)
+            .map_err(wire_err)?;
+        t.in_enc.encode_part_into(elem, out).map_err(wire_err)?;
+        Ok(true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::binding::TcpBinding;
     use crate::encoding::{BxsaEncoding, XmlEncoding};
-    use crate::engine::SoapEngine;
+    use crate::engine::{CallOptions, SoapEngine};
     use crate::server::TcpSoapServer;
     use crate::service::ServiceRegistry;
     use bxdm::{AtomicValue, Element};
@@ -188,10 +597,13 @@ mod tests {
             TcpBinding::new(&relay.local_addr().to_string()),
         );
         let resp = engine
-            .call(SoapEnvelope::with_body(
-                Element::component("Upper")
-                    .with_child(Element::leaf("s", AtomicValue::Str("hello".into()))),
-            ))
+            .call_with(
+                SoapEnvelope::with_body(
+                    Element::component("Upper")
+                        .with_child(Element::leaf("s", AtomicValue::Str("hello".into()))),
+                ),
+                &CallOptions::new(),
+            )
             .unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("s"),
@@ -218,7 +630,10 @@ mod tests {
             BxsaEncoding::default(),
             TcpBinding::new(&relay.local_addr().to_string()),
         );
-        match engine.call(SoapEnvelope::with_body(Element::component("Nope"))) {
+        match engine.call_with(
+            SoapEnvelope::with_body(Element::component("Nope")),
+            &CallOptions::new(),
+        ) {
             Err(crate::error::SoapError::Fault(f)) => {
                 assert_eq!(f.code, FaultCode::Client);
             }
@@ -241,7 +656,10 @@ mod tests {
             BxsaEncoding::default(),
             TcpBinding::new(&relay.local_addr().to_string()),
         );
-        match engine.call(SoapEnvelope::with_body(Element::component("Upper"))) {
+        match engine.call_with(
+            SoapEnvelope::with_body(Element::component("Upper")),
+            &CallOptions::new(),
+        ) {
             Err(crate::error::SoapError::Fault(f)) => {
                 assert_eq!(f.code, FaultCode::Server);
                 assert!(f.string.contains("relay failed"));

@@ -25,7 +25,7 @@
 //! "intact web service protocol stack" argument.
 //!
 //! ```no_run
-//! use soap::{SoapEngine, SoapEnvelope, XmlEncoding, HttpBinding};
+//! use soap::{CallOptions, SoapEngine, SoapEnvelope, XmlEncoding, HttpBinding};
 //! use bxdm::{Element, AtomicValue};
 //!
 //! let mut engine = SoapEngine::new(
@@ -37,7 +37,7 @@
 //!         .with_namespace("m", "http://example.org/ping")
 //!         .with_child(Element::leaf("m:seq", AtomicValue::I32(1))),
 //! );
-//! let response = engine.call(request).unwrap();
+//! let response = engine.call_with(request, &CallOptions::new()).unwrap();
 //! assert!(response.body_element().is_some());
 //! ```
 
@@ -52,6 +52,7 @@ pub mod intermediary;
 pub mod metrics;
 pub mod server;
 pub mod service;
+pub mod streaming;
 pub mod typed;
 
 pub use anyengine::{AnyEngine, WireConfig, WireEncoding, WireTransport};
@@ -70,6 +71,7 @@ pub use service::{
     fault_for_error, DecodeScratch, HandleOutcome, OperationDefaults, ServiceHandler,
     ServiceMetadata, ServiceRegistry, SoapService, EXPIRED_RETRY_AFTER,
 };
+pub use streaming::{PartScratch, StreamEncoding, StreamOp, MAX_PART_LEN};
 pub use typed::{
     FromBxsa, ToBxsa, TypedDecode, TypedEncoding, TypedRequest, TypedScratch, ENVELOPE_DECLS,
 };

@@ -7,7 +7,7 @@
 
 use std::sync::Once;
 
-use obs::{Counter, Histogram};
+use obs::{Counter, Gauge, Histogram};
 
 /// Counters and latency for `SoapEngine::call_with`.
 pub struct EngineMetrics {
@@ -84,6 +84,69 @@ pub fn engine() -> &'static EngineMetrics {
             "Wall time of a whole call, attempts and backoff included.",
             &[],
             &METRICS.call_latency,
+        );
+    });
+    &METRICS
+}
+
+/// Counters for the streaming pipeline (client and server sides share
+/// them — a relay contributes on both).
+pub struct StreamMetrics {
+    /// `bx_stream_exchanges_total` — streamed exchanges started.
+    pub streams: Counter,
+    /// `bx_stream_parts_in_total` — message parts received (manifest
+    /// included).
+    pub parts_in: Counter,
+    /// `bx_stream_parts_out_total` — message parts sent (manifest
+    /// included).
+    pub parts_out: Counter,
+    /// `bx_stream_part_bytes_max` — high-watermark of one encoded part:
+    /// the largest window any streamed exchange ever made this process
+    /// buffer. Constant-memory operation means this stays near the part
+    /// size no matter how large the messages get.
+    pub part_bytes_max: Gauge,
+}
+
+impl StreamMetrics {
+    const fn new() -> StreamMetrics {
+        StreamMetrics {
+            streams: Counter::new(),
+            parts_in: Counter::new(),
+            parts_out: Counter::new(),
+            part_bytes_max: Gauge::new(),
+        }
+    }
+}
+
+/// The streaming pipeline's metrics (registered on first use).
+pub fn stream() -> &'static StreamMetrics {
+    static METRICS: StreamMetrics = StreamMetrics::new();
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        let r = obs::global();
+        r.register_counter(
+            "bx_stream_exchanges_total",
+            "Streamed exchanges started.",
+            &[],
+            &METRICS.streams,
+        );
+        r.register_counter(
+            "bx_stream_parts_in_total",
+            "Streamed message parts received, manifests included.",
+            &[],
+            &METRICS.parts_in,
+        );
+        r.register_counter(
+            "bx_stream_parts_out_total",
+            "Streamed message parts sent, manifests included.",
+            &[],
+            &METRICS.parts_out,
+        );
+        r.register_gauge(
+            "bx_stream_part_bytes_max",
+            "High-watermark of one encoded streamed part (the realized window).",
+            &[],
+            &METRICS.part_bytes_max,
         );
     });
     &METRICS

@@ -15,6 +15,34 @@ use transport::{HttpServerConfig, TcpServerConfig};
 use crate::encoding::EncodingPolicy;
 use crate::error::SoapResult;
 use crate::service::{DecodeScratch, ServiceRegistry, SoapService};
+use crate::streaming::{ServiceStreamSession, StreamEncoding};
+
+/// Seed a [`transport::ServerBuilder`] from a framed-TCP config.
+fn builder_for(addr: &str, config: &TcpServerConfig) -> transport::ServerBuilder {
+    let mut b = transport::ServerBuilder::bind(addr).overload(config.overload);
+    if let Some(t) = config.read_timeout {
+        b = b.read_timeout(t);
+    }
+    if let Some(t) = config.write_timeout {
+        b = b.write_timeout(t);
+    }
+    b
+}
+
+/// Seed a [`transport::ServerBuilder`] from an HTTP config.
+fn builder_for_http(addr: &str, config: &HttpServerConfig) -> transport::ServerBuilder {
+    let mut b = transport::ServerBuilder::bind(addr).overload(config.overload);
+    if let Some(t) = config.read_timeout {
+        b = b.read_timeout(t);
+    }
+    if let Some(t) = config.write_timeout {
+        b = b.write_timeout(t);
+    }
+    if let Some(p) = config.metrics_path {
+        b = b.metrics_path(p);
+    }
+    b
+}
 
 /// A SOAP service listening on framed TCP.
 pub struct TcpSoapServer {
@@ -72,18 +100,14 @@ impl TcpSoapServer {
         // allocation. Requests carrying a bx:Deadline are honored:
         // expired ones fault without dispatch, and the reply write is
         // capped to what's left of the caller's budget.
-        let inner = transport::TcpServer::bind_scoped_ctl_overload_with(
-            addr,
-            config,
-            Some(shed_payload),
-            DecodeScratch::default,
-            move |scratch, request, out, ctl| {
+        let inner = builder_for(addr, &config)
+            .shed_payload(shed_payload)
+            .serve_framed(DecodeScratch::default, move |scratch, request, out, ctl| {
                 let outcome = service.handle_bytes_deadline(scratch, request, out);
                 if let Some(budget) = outcome.reply_budget {
                     ctl.cap_write(budget);
                 }
-            },
-        )?;
+            })?;
         Ok(TcpSoapServer { inner })
     }
 
@@ -102,18 +126,14 @@ impl TcpSoapServer {
         E: EncodingPolicy + Send + Sync + 'static,
     {
         let service = SoapService::new(encoding, registry);
-        let inner = transport::TcpServer::bind_scoped_faulty_with(
-            addr,
-            config,
-            injector,
-            DecodeScratch::default,
-            move |scratch, request, out, ctl| {
+        let inner = builder_for(addr, &config)
+            .faults(injector)
+            .serve_framed(DecodeScratch::default, move |scratch, request, out, ctl| {
                 let outcome = service.handle_bytes_deadline(scratch, request, out);
                 if let Some(budget) = outcome.reply_budget {
                     ctl.cap_write(budget);
                 }
-            },
-        )?;
+            })?;
         Ok(TcpSoapServer { inner })
     }
 
@@ -163,7 +183,7 @@ impl HttpSoapServer {
         registry: Arc<ServiceRegistry>,
     ) -> SoapResult<HttpSoapServer>
     where
-        E: EncodingPolicy + Send + Sync + 'static,
+        E: StreamEncoding + Send + Sync + 'static,
     {
         let config = HttpServerConfig {
             metrics_path: Some("/metrics"),
@@ -181,14 +201,19 @@ impl HttpSoapServer {
         registry: Arc<ServiceRegistry>,
     ) -> SoapResult<HttpSoapServer>
     where
-        E: EncodingPolicy + Send + Sync + 'static,
+        E: StreamEncoding + Send + Sync + 'static,
     {
         HttpSoapServer::bind_service_with(addr, path, config, SoapService::new(encoding, registry))
     }
 
     /// [`bind_with`](HttpSoapServer::bind_with), but serving a
     /// caller-built [`SoapService`] — see
-    /// [`TcpSoapServer::bind_service_with`].
+    /// [`TcpSoapServer::bind_service_with`]. This is also where
+    /// streaming operations ([`SoapService::register_streaming`]) go
+    /// live: when the service has any, chunked requests at `path` are
+    /// upgraded to streamed sessions; buffered requests (and chunked
+    /// ones on a service with no streaming ops) take the ordinary
+    /// buffered pipeline.
     pub fn bind_service_with<E>(
         addr: &str,
         path: &str,
@@ -196,10 +221,9 @@ impl HttpSoapServer {
         service: SoapService<E>,
     ) -> SoapResult<HttpSoapServer>
     where
-        E: EncodingPolicy + Send + Sync + 'static,
+        E: StreamEncoding + Send + Sync + 'static,
     {
         let content_type = service.encoding().content_type();
-        let path = path.to_owned();
         // HTTP connections are one-shot, so reuse must span connections:
         // one shared pool carries body buffers (request reads, response
         // encodes, recycled by the transport after each reply) and a
@@ -208,7 +232,24 @@ impl HttpSoapServer {
         let handler_pool = Arc::clone(&pool);
         let scratch_pool: Arc<transport::Pool<DecodeScratch>> =
             Arc::new(transport::Pool::default());
-        let inner = transport::HttpServer::bind_pooled_ctl(addr, config, pool, move |request, ctl| {
+        let service = Arc::new(service);
+        let mut builder = builder_for_http(addr, &config).pool(pool);
+        if service.has_streaming() {
+            let stream_service = Arc::clone(&service);
+            let stream_path = path.to_owned();
+            builder = builder.stream_factory(move |head| {
+                // Operation dispatch happens at the manifest (first
+                // part), not here: the head only gates path and method.
+                if head.method != "POST" || head.path != stream_path {
+                    return None;
+                }
+                Some(Box::new(ServiceStreamSession::new(Arc::clone(
+                    &stream_service,
+                ))))
+            });
+        }
+        let path = path.to_owned();
+        let inner = builder.serve_http_ctl(move |request, ctl| {
             if request.method != "POST" || request.path != path {
                 return transport::HttpResponse::not_found();
             }
@@ -270,7 +311,7 @@ mod tests {
     use super::*;
     use crate::binding::{HttpBinding, TcpBinding};
     use crate::encoding::{BxsaEncoding, XmlEncoding};
-    use crate::engine::SoapEngine;
+    use crate::engine::{CallOptions, SoapEngine};
     use crate::envelope::SoapEnvelope;
     use crate::error::SoapError;
     use crate::fault::FaultCode;
@@ -316,7 +357,7 @@ mod tests {
             BxsaEncoding::default(),
             TcpBinding::new(&server.local_addr().to_string()),
         );
-        let resp = engine.call(verify_request(100)).unwrap();
+        let resp = engine.call_with(verify_request(100), &CallOptions::new()).unwrap();
         let body = resp.body_element().unwrap();
         assert_eq!(body.child_value("ok"), Some(&AtomicValue::Bool(true)));
         assert_eq!(body.child_value("count"), Some(&AtomicValue::I64(100)));
@@ -336,7 +377,7 @@ mod tests {
             XmlEncoding::default(),
             HttpBinding::new(&server.local_addr().to_string(), "/soap"),
         );
-        let resp = engine.call(verify_request(10)).unwrap();
+        let resp = engine.call_with(verify_request(10), &CallOptions::new()).unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("ok"),
             Some(&AtomicValue::Bool(true))
@@ -358,7 +399,7 @@ mod tests {
             BxsaEncoding::default(),
             HttpBinding::new(&server.local_addr().to_string(), "/soap"),
         );
-        assert!(engine.call(verify_request(5)).is_ok());
+        assert!(engine.call_with(verify_request(5), &CallOptions::new()).is_ok());
         server.shutdown();
 
         // XML over raw TCP.
@@ -369,7 +410,7 @@ mod tests {
             XmlEncoding::default(),
             TcpBinding::new(&server.local_addr().to_string()),
         );
-        assert!(engine.call(verify_request(5)).is_ok());
+        assert!(engine.call_with(verify_request(5), &CallOptions::new()).is_ok());
         server.shutdown();
     }
 
@@ -383,7 +424,7 @@ mod tests {
             TcpBinding::new(&server.local_addr().to_string()),
         );
         let bad = SoapEnvelope::with_body(Element::component("NoSuchOp"));
-        match engine.call(bad.clone()) {
+        match engine.call_with(bad.clone(), &CallOptions::new()) {
             Err(SoapError::Fault(f)) => assert_eq!(f.code, FaultCode::Client),
             other => panic!("expected fault, got {other:?}"),
         }
@@ -400,7 +441,7 @@ mod tests {
             XmlEncoding::default(),
             HttpBinding::new(&server.local_addr().to_string(), "/soap"),
         );
-        match engine.call(bad) {
+        match engine.call_with(bad, &CallOptions::new()) {
             Err(SoapError::Fault(f)) => assert_eq!(f.code, FaultCode::Client),
             other => panic!("expected fault, got {other:?}"),
         }
@@ -443,7 +484,7 @@ mod tests {
             BxsaEncoding::default(),
             TcpBinding::new(&addr.to_string()),
         );
-        let resp = engine.call(verify_request(10)).unwrap();
+        let resp = engine.call_with(verify_request(10), &CallOptions::new()).unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("ok"),
             Some(&AtomicValue::Bool(true))
@@ -465,7 +506,7 @@ mod tests {
             HttpBinding::new(&server.local_addr().to_string(), "/wrong"),
         );
         assert!(matches!(
-            engine.call(verify_request(1)),
+            engine.call_with(verify_request(1), &CallOptions::new()),
             Err(SoapError::Transport(_))
         ));
         server.shutdown();

@@ -341,6 +341,7 @@ pub struct SoapService<E: EncodingPolicy> {
     registry: Arc<ServiceRegistry>,
     typed_ops: HashMap<String, Box<TypedOp>>,
     typed_peek: Option<Box<TypedPeek>>,
+    stream_ops: HashMap<String, Box<crate::streaming::StreamOpFactory>>,
 }
 
 impl<E: EncodingPolicy> SoapService<E> {
@@ -351,7 +352,33 @@ impl<E: EncodingPolicy> SoapService<E> {
             registry,
             typed_ops: HashMap::new(),
             typed_peek: None,
+            stream_ops: HashMap::new(),
         }
+    }
+
+    /// Register a streaming operation: requests arriving as chunked
+    /// part streams whose manifest names `name` are served by a fresh
+    /// [`crate::StreamOp`] from `factory`, one instance per exchange.
+    /// Parts are fed to it as they arrive and its reply parts are
+    /// pulled as the client drains them, so neither direction ever
+    /// buffers more than one part. Buffered (non-chunked) requests for
+    /// the same operation still take the ordinary registry path.
+    pub fn register_streaming<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn crate::streaming::StreamOp> + Send + Sync + 'static,
+    {
+        self.stream_ops.insert(name.to_owned(), Box::new(factory));
+    }
+
+    /// Whether any streaming operations are registered (servers only
+    /// install the chunked-upgrade hook when there are).
+    pub fn has_streaming(&self) -> bool {
+        !self.stream_ops.is_empty()
+    }
+
+    /// A fresh [`crate::StreamOp`] for `name`, if one is registered.
+    pub(crate) fn new_stream_op(&self, name: &str) -> Option<Box<dyn crate::streaming::StreamOp>> {
+        self.stream_ops.get(name).map(|f| f())
     }
 
     /// Serve `request` through the typed fast path if a typed operation

@@ -1,0 +1,541 @@
+//! End-to-end streaming: constant-memory message exchange.
+//!
+//! The paper's configurations buffer a whole message per exchange; this
+//! module removes that ceiling. A *streamed* SOAP message is a sequence
+//! of independently decodable pieces carried over HTTP/1.1 chunked
+//! transfer-encoding, one piece per chunk:
+//!
+//! * **chunk 1 — the manifest**: a complete encoded SOAP envelope naming
+//!   the operation and carrying whatever small parameters it has (and
+//!   the `bx:Deadline` header, when the caller set one);
+//! * **chunks 2..N — the parts**: one standalone element each (a BXSA
+//!   element frame, or a textual XML fragment), typically an array
+//!   batch of the payload;
+//! * **the zero-length chunk** terminates the message.
+//!
+//! Chunk boundaries *are* part boundaries, so neither side ever
+//! re-frames: the receiver decodes each part the moment its chunk
+//! completes and releases the buffer for the next one. Steady-state
+//! memory is O(window) — one part — independent of the payload size,
+//! which is what lets a gigabyte message cross a node that never holds
+//! more than [`MAX_PART_LEN`] of it.
+//!
+//! [`StreamEncoding`] extends [`EncodingPolicy`] with the per-part
+//! codec; both stock encodings implement it, so the streaming path is
+//! policy-generic exactly like the buffered one. The client surface is
+//! [`crate::SoapEngine::call_streaming`]; the server surface is
+//! [`crate::SoapService::register_streaming`] + [`StreamOp`]; relays
+//! use [`crate::Intermediary::bind_http_streaming`].
+
+use std::sync::Arc;
+
+use bxdm::{Document, Element, Node};
+use transport::{StreamReply as WireReply, TransportError};
+
+use crate::binding::HttpBinding;
+use crate::encoding::{BxsaEncoding, EncodingPolicy, XmlEncoding};
+use crate::envelope::{DeadlineHeader, SoapEnvelope};
+use crate::error::{SoapError, SoapResult};
+use crate::fault::SoapFault;
+use crate::metrics;
+use crate::service::{fault_envelope, fault_for_error, SoapService, EXPIRED_RETRY_AFTER};
+
+/// Hard cap on one encoded part, mirrored from the transport's
+/// per-chunk cap: the streaming window both sides size their buffers
+/// to. A payload bigger than this must be split into more parts, not a
+/// bigger one.
+pub const MAX_PART_LEN: usize = 4 * 1024 * 1024;
+
+/// Reusable per-part decode state: the node/document slot each part is
+/// decoded into, refilled in place so a stream of similarly-shaped
+/// parts decodes allocation-free at steady state.
+pub struct PartScratch {
+    /// BXSA parts land here (a standalone element frame).
+    node: Node,
+    /// XML parts land here (a one-element fragment document).
+    doc: Document,
+}
+
+impl Default for PartScratch {
+    fn default() -> PartScratch {
+        PartScratch {
+            node: Node::Text(String::new()),
+            doc: Document::new(),
+        }
+    }
+}
+
+/// An encoding that can serialize and deserialize *individual message
+/// parts* in addition to whole documents — the per-part half of the
+/// streaming pipeline.
+///
+/// A part is one standalone [`Element`]: a BXSA element frame
+/// (self-delimiting, byte-order-tagged) or a textual XML fragment. The
+/// `_into` forms are required for the same reason as on
+/// [`EncodingPolicy`]: the steady-state path reuses caller storage.
+pub trait StreamEncoding: EncodingPolicy {
+    /// Serialize one part into a reusable buffer (contents replaced,
+    /// capacity kept).
+    fn encode_part_into(&self, part: &Element, out: &mut Vec<u8>) -> SoapResult<()>;
+
+    /// Decode one part into reusable scratch, borrowing the result from
+    /// it. On error the scratch holds unspecified but valid contents.
+    fn decode_part<'s>(&self, bytes: &[u8], scratch: &'s mut PartScratch)
+        -> SoapResult<&'s Element>;
+}
+
+impl StreamEncoding for BxsaEncoding {
+    fn encode_part_into(&self, part: &Element, out: &mut Vec<u8>) -> SoapResult<()> {
+        Ok(bxsa::encode_element_into(part, &self.options, out)?)
+    }
+
+    fn decode_part<'s>(
+        &self,
+        bytes: &[u8],
+        scratch: &'s mut PartScratch,
+    ) -> SoapResult<&'s Element> {
+        bxsa::decode_element_into(bytes, &mut scratch.node)?;
+        scratch
+            .node
+            .as_element()
+            .ok_or_else(|| SoapError::Protocol("BXSA part frame is not an element".into()))
+    }
+}
+
+impl StreamEncoding for XmlEncoding {
+    fn encode_part_into(&self, part: &Element, out: &mut Vec<u8>) -> SoapResult<()> {
+        // Same buffer-as-String trick as the whole-document encoder:
+        // the byte buffer's capacity is the writer's capacity.
+        let mut text = String::from_utf8(std::mem::take(out)).unwrap_or_default();
+        xmltext::write_element_into(part, &self.write_options, &mut text);
+        *out = text.into_bytes();
+        Ok(())
+    }
+
+    fn decode_part<'s>(
+        &self,
+        bytes: &[u8],
+        scratch: &'s mut PartScratch,
+    ) -> SoapResult<&'s Element> {
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            SoapError::Protocol("XML part is not valid UTF-8".into())
+        })?;
+        xmltext::parse_into(text, &mut scratch.doc)?;
+        scratch
+            .doc
+            .root()
+            .ok_or_else(|| SoapError::Protocol("XML part has no element".into()))
+    }
+}
+
+/// One server-side streamed exchange: the operation implementation a
+/// service registers via [`crate::SoapService::register_streaming`].
+///
+/// Lifecycle: `start` (the decoded manifest envelope) → `on_part` per
+/// request part → `finish` (produce the reply manifest) → `next_part`
+/// until it returns `false`. Each instance serves exactly one exchange;
+/// the factory closure makes a fresh one per request.
+pub trait StreamOp: Send {
+    /// The request manifest arrived (operation parameters live here).
+    fn start(&mut self, manifest: &SoapEnvelope) -> SoapResult<()>;
+
+    /// One request part arrived. The element borrows per-part scratch —
+    /// copy out whatever must outlive the call.
+    fn on_part(&mut self, part: &Element) -> SoapResult<()>;
+
+    /// All request parts are in: produce the reply manifest envelope.
+    /// Returning a fault envelope (or an error) answers buffered with
+    /// HTTP 500, like the non-streamed path.
+    fn finish(&mut self) -> SoapResult<SoapEnvelope>;
+
+    /// Produce the next reply part by refilling `slot` (it arrives
+    /// holding the previous part, so same-shape replies can refill in
+    /// place). `Ok(false)` ends the reply. An error after `finish`
+    /// truncates the wire stream — the client sees a hard transport
+    /// error, never a silently short payload.
+    fn next_part(&mut self, slot: &mut Element) -> SoapResult<bool>;
+}
+
+/// Factory for per-exchange [`StreamOp`] instances.
+pub(crate) type StreamOpFactory = dyn Fn() -> Box<dyn StreamOp> + Send + Sync;
+
+/// Sends a streamed request's payload parts, from inside the producer
+/// closure of [`crate::SoapEngine::call_streaming`]. Each [`send`]
+/// encodes one element into the engine's reusable part buffer and puts
+/// it on the wire as one chunk — the element is gone the moment the
+/// call returns, so the producer can refill and resend one element
+/// forever: constant memory no matter how much data flows.
+///
+/// [`send`]: PartSender::send
+pub struct PartSender<'a, E: StreamEncoding> {
+    encoding: &'a E,
+    binding: &'a mut HttpBinding,
+    buf: &'a mut Vec<u8>,
+    parts: u64,
+}
+
+impl<'a, E: StreamEncoding> PartSender<'a, E> {
+    pub(crate) fn new(
+        encoding: &'a E,
+        binding: &'a mut HttpBinding,
+        buf: &'a mut Vec<u8>,
+    ) -> PartSender<'a, E> {
+        PartSender {
+            encoding,
+            binding,
+            buf,
+            parts: 0,
+        }
+    }
+
+    /// Encode and transmit one payload part (one chunk on the wire).
+    /// The encoded form must fit the [`MAX_PART_LEN`] window — split
+    /// bigger payloads into more parts, not bigger ones.
+    pub fn send(&mut self, part: &Element) -> SoapResult<()> {
+        self.encoding.encode_part_into(part, self.buf)?;
+        if self.buf.len() > MAX_PART_LEN {
+            return Err(SoapError::Protocol(format!(
+                "encoded part is {} bytes, over the {} byte streaming window",
+                self.buf.len(),
+                MAX_PART_LEN,
+            )));
+        }
+        let m = metrics::stream();
+        m.part_bytes_max.record_max(self.buf.len() as f64);
+        self.binding.stream_send_part(self.buf)?;
+        m.parts_out.inc();
+        self.parts += 1;
+        Ok(())
+    }
+
+    /// Parts sent so far (the manifest not counted).
+    pub fn parts_sent(&self) -> u64 {
+        self.parts
+    }
+}
+
+/// The reply to a streamed call: the decoded manifest envelope plus a
+/// pull-iterator over the reply's payload parts. Each
+/// [`next_part`](StreamingReply::next_part) lands one chunk in the
+/// engine's reusable buffers and lends the decoded element out — the
+/// whole reply is never resident.
+///
+/// Dropping the reply before draining it abandons the HTTP exchange
+/// mid-body, so the engine's cached connection redials on the next
+/// call; drain to the end (`Ok(None)`) to keep the socket reusable.
+pub struct StreamingReply<'a, E: StreamEncoding> {
+    encoding: &'a E,
+    binding: &'a mut HttpBinding,
+    buf: &'a mut Vec<u8>,
+    scratch: &'a mut PartScratch,
+    envelope: SoapEnvelope,
+    done: bool,
+    parts: u64,
+}
+
+impl<'a, E: StreamEncoding> StreamingReply<'a, E> {
+    pub(crate) fn new(
+        encoding: &'a E,
+        binding: &'a mut HttpBinding,
+        buf: &'a mut Vec<u8>,
+        scratch: &'a mut PartScratch,
+        envelope: SoapEnvelope,
+        done: bool,
+    ) -> StreamingReply<'a, E> {
+        StreamingReply {
+            encoding,
+            binding,
+            buf,
+            scratch,
+            envelope,
+            done,
+            parts: 0,
+        }
+    }
+
+    /// The reply manifest (the envelope that opened the response).
+    pub fn envelope(&self) -> &SoapEnvelope {
+        &self.envelope
+    }
+
+    /// Give up the payload stream and keep only the manifest. If parts
+    /// were still in flight the connection is abandoned mid-body.
+    pub fn into_envelope(self) -> SoapEnvelope {
+        self.envelope
+    }
+
+    /// Pull and decode the next payload part. `Ok(None)` means the
+    /// reply is complete (and the connection stays reusable). The
+    /// element borrows the reply's scratch — copy out whatever must
+    /// survive the next pull.
+    pub fn next_part(&mut self) -> SoapResult<Option<&Element>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.binding.stream_next_part_into(self.buf)? {
+            self.done = true;
+            return Ok(None);
+        }
+        let m = metrics::stream();
+        m.parts_in.inc();
+        m.part_bytes_max.record_max(self.buf.len() as f64);
+        self.parts += 1;
+        let elem = self.encoding.decode_part(self.buf, self.scratch)?;
+        Ok(Some(elem))
+    }
+
+    /// Payload parts pulled so far (the manifest not counted).
+    pub fn parts_received(&self) -> u64 {
+        self.parts
+    }
+}
+
+/// Map a session-level SOAP failure onto the wire error that truncates
+/// the connection (used only where a clean in-band fault is no longer
+/// possible, i.e. after the reply head went out).
+pub(crate) fn wire_err(e: SoapError) -> TransportError {
+    TransportError::BadHttp {
+        what: format!("streaming session failed: {e}"),
+    }
+}
+
+/// Where one server-side streamed exchange stands.
+enum SessionState {
+    /// Nothing received yet; the first part must be the manifest.
+    AwaitManifest,
+    /// Manifest dispatched; parts are flowing into the operation.
+    Streaming(Box<dyn StreamOp>),
+    /// Something failed during the request phase; the encoded fault
+    /// response waits for `finish` (later parts are drained silently —
+    /// the sender cannot stop mid-chunk anyway).
+    Faulted(Vec<u8>),
+}
+
+/// The transport-facing session that adapts a [`SoapService`]'s
+/// registered [`StreamOp`]s to [`transport::StreamSession`]: decodes
+/// parts, routes by the manifest's operation name, encodes reply parts.
+pub(crate) struct ServiceStreamSession<E: EncodingPolicy> {
+    service: Arc<SoapService<E>>,
+    state: SessionState,
+    scratch: PartScratch,
+    /// Manifest decode target (reused if keep-alive ever reuses us —
+    /// it doesn't today, but the discipline is free).
+    doc: Document,
+    /// Encoded reply manifest, emitted as the first reply part.
+    reply_manifest: Vec<u8>,
+    manifest_sent: bool,
+    /// Reusable reply-part slot handed to the operation.
+    part_slot: Element,
+}
+
+impl<E: EncodingPolicy> ServiceStreamSession<E> {
+    pub(crate) fn new(service: Arc<SoapService<E>>) -> ServiceStreamSession<E> {
+        ServiceStreamSession {
+            service,
+            state: SessionState::AwaitManifest,
+            scratch: PartScratch::default(),
+            doc: Document::new(),
+            reply_manifest: Vec::new(),
+            manifest_sent: false,
+            part_slot: Element::component("part"),
+        }
+    }
+
+    /// Pre-encode the fault this exchange will answer with.
+    fn fault(&mut self, fault: SoapFault) {
+        let mut out = Vec::new();
+        let envelope = fault_envelope(fault);
+        if self
+            .service
+            .encoding()
+            .encode_into(&envelope.to_document(), &mut out)
+            .is_err()
+        {
+            out.clear();
+            out.extend_from_slice(b"fault encoding failed");
+        }
+        self.state = SessionState::Faulted(out);
+    }
+
+    fn handle_manifest(&mut self, part: &[u8]) {
+        let dispatched = (|| -> SoapResult<Box<dyn StreamOp>> {
+            self.service.encoding().decode_into(part, &mut self.doc)?;
+            let envelope = SoapEnvelope::from_document(&self.doc)?;
+            // Honor the caller's deadline at the gate: a budget already
+            // spent on arrival is refused before any part is processed.
+            if let Some(h) = DeadlineHeader::from_envelope(&envelope)? {
+                if h.expired() {
+                    return Err(SoapError::Fault(SoapFault::deadline_expired(
+                        EXPIRED_RETRY_AFTER,
+                    )));
+                }
+            }
+            let op_name = envelope
+                .operation()
+                .ok_or_else(|| SoapError::Protocol("streamed manifest has an empty body".into()))?;
+            let mut op = self.service.new_stream_op(op_name).ok_or_else(|| {
+                SoapError::Protocol(format!(
+                    "operation {op_name:?} is not registered for streaming"
+                ))
+            })?;
+            op.start(&envelope)?;
+            Ok(op)
+        })();
+        match dispatched {
+            Ok(op) => self.state = SessionState::Streaming(op),
+            Err(e) => self.fault(fault_for_error(e)),
+        }
+    }
+}
+
+impl<E: StreamEncoding + Send + Sync + 'static> transport::StreamSession
+    for ServiceStreamSession<E>
+{
+    fn on_part(&mut self, part: &[u8]) -> transport::TransportResult<()> {
+        let m = metrics::stream();
+        m.parts_in.inc();
+        m.part_bytes_max.record_max(part.len() as f64);
+        match &mut self.state {
+            SessionState::AwaitManifest => {
+                m.streams.inc();
+                self.handle_manifest(part);
+            }
+            SessionState::Streaming(op) => {
+                let fed = self
+                    .service
+                    .encoding()
+                    .decode_part(part, &mut self.scratch)
+                    .and_then(|elem| op.on_part(elem));
+                if let Err(e) = fed {
+                    self.fault(fault_for_error(e));
+                }
+            }
+            // Already doomed: drain the remaining parts quietly; the
+            // fault goes out once the sender's terminator arrives.
+            SessionState::Faulted(_) => {}
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> transport::TransportResult<WireReply> {
+        let content_type = self.service.encoding().content_type();
+        match &mut self.state {
+            SessionState::AwaitManifest => {
+                self.fault(SoapFault::new(
+                    crate::fault::FaultCode::Client,
+                    "streamed request ended before its manifest",
+                ));
+                self.finish()
+            }
+            SessionState::Streaming(op) => {
+                match op.finish() {
+                    Ok(envelope) if envelope.is_fault() => {
+                        let mut out = Vec::new();
+                        let is_err = self
+                            .service
+                            .encoding()
+                            .encode_into(&envelope.to_document(), &mut out);
+                        if is_err.is_err() {
+                            out.clear();
+                        }
+                        Ok(WireReply::Buffered(
+                            transport::HttpResponse::server_error(out)
+                                .with_header("Content-Type", content_type),
+                        ))
+                    }
+                    Ok(envelope) => {
+                        self.service
+                            .encoding()
+                            .encode_into(&envelope.to_document(), &mut self.reply_manifest)
+                            .map_err(wire_err)?;
+                        self.manifest_sent = false;
+                        Ok(WireReply::Streamed(transport::HttpResponse::ok(
+                            content_type,
+                            Vec::new(),
+                        )))
+                    }
+                    Err(e) => {
+                        self.fault(fault_for_error(e));
+                        self.finish()
+                    }
+                }
+            }
+            SessionState::Faulted(bytes) => Ok(WireReply::Buffered(
+                transport::HttpResponse::server_error(std::mem::take(bytes))
+                    .with_header("Content-Type", content_type),
+            )),
+        }
+    }
+
+    fn next_part(&mut self, out: &mut Vec<u8>) -> transport::TransportResult<bool> {
+        if !self.manifest_sent {
+            self.manifest_sent = true;
+            std::mem::swap(out, &mut self.reply_manifest);
+            metrics::stream().parts_out.inc();
+            return Ok(true);
+        }
+        let SessionState::Streaming(op) = &mut self.state else {
+            return Ok(false);
+        };
+        if !op.next_part(&mut self.part_slot).map_err(wire_err)? {
+            return Ok(false);
+        }
+        self.service
+            .encoding()
+            .encode_part_into(&self.part_slot, out)
+            .map_err(wire_err)?;
+        metrics::stream().parts_out.inc();
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bxdm::ArrayValue;
+
+    fn part(n: usize) -> Element {
+        Element::array("m:batch", ArrayValue::F64((0..n).map(|i| i as f64).collect()))
+            .with_namespace("m", "http://example.org/m")
+    }
+
+    #[test]
+    fn both_encodings_roundtrip_parts_through_reused_scratch() {
+        let bxsa = BxsaEncoding::default();
+        let xml = XmlEncoding::default();
+        let mut scratch = PartScratch::default();
+        let mut buf = Vec::new();
+        for n in [3usize, 64, 7, 64] {
+            let original = part(n);
+            bxsa.encode_part_into(&original, &mut buf).unwrap();
+            assert_eq!(bxsa.decode_part(&buf, &mut scratch).unwrap(), &original);
+            xml.encode_part_into(&original, &mut buf).unwrap();
+            let back = xml.decode_part(&buf, &mut scratch).unwrap();
+            assert_eq!(back.as_f64_array(), original.as_f64_array());
+        }
+    }
+
+    #[test]
+    fn xml_part_encode_reuses_buffer_capacity() {
+        let xml = XmlEncoding::default();
+        let mut buf = Vec::with_capacity(4096);
+        xml.encode_part_into(&part(10), &mut buf).unwrap();
+        let ptr = buf.as_ptr();
+        xml.encode_part_into(&part(10), &mut buf).unwrap();
+        assert_eq!(buf.as_ptr(), ptr, "capacity must be reused");
+    }
+
+    #[test]
+    fn garbage_parts_error_cleanly() {
+        let mut scratch = PartScratch::default();
+        assert!(BxsaEncoding::default()
+            .decode_part(b"not a frame", &mut scratch)
+            .is_err());
+        assert!(XmlEncoding::default()
+            .decode_part(&[0xff, 0xfe], &mut scratch)
+            .is_err());
+        assert!(XmlEncoding::default()
+            .decode_part(b"<unclosed", &mut scratch)
+            .is_err());
+    }
+}

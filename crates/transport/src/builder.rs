@@ -1,0 +1,215 @@
+//! One builder for every server shape.
+//!
+//! The `bind_*` constructor zoo grew one method per option combination
+//! (scratch init, reply control, shed payload, fault injection, shared
+//! pools, …). [`ServerBuilder`] replaces it: chain the options you need,
+//! then finish with [`serve_framed`](ServerBuilder::serve_framed) (the
+//! framed-TCP binding) or [`serve_http`](ServerBuilder::serve_http) /
+//! [`serve_http_ctl`](ServerBuilder::serve_http_ctl) (HTTP/1.1 with
+//! keep-alive and streaming). The old constructors survive as thin
+//! deprecated shims over the same two funnels.
+//!
+//! ```no_run
+//! use transport::ServerBuilder;
+//!
+//! let server = ServerBuilder::bind("127.0.0.1:0")
+//!     .read_timeout(std::time::Duration::from_secs(5))
+//!     .serve_framed(
+//!         || Vec::<u8>::new(), // per-connection scratch
+//!         |_scratch, request, out, _ctl| out.extend_from_slice(request),
+//!     )
+//!     .unwrap();
+//! # drop(server);
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::TransportResult;
+use crate::faulty::SharedInjector;
+use crate::http::request::HttpRequest;
+use crate::http::response::HttpResponse;
+use crate::http::server::{bind_http_inner, HttpServer, HttpServerConfig};
+use crate::http::streaming::{StreamFactory, StreamRequestHead, StreamSession};
+use crate::pool::BufferPool;
+use crate::reactor::overload::OverloadConfig;
+use crate::tcpserver::{bind_framed_inner, ReplyControl, TcpServer, TcpServerConfig};
+
+/// A chainable server configuration, finished by a `serve_*` call.
+#[derive(Clone)]
+pub struct ServerBuilder {
+    addr: String,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    overload: OverloadConfig,
+    metrics_path: Option<&'static str>,
+    shed_payload: Option<Vec<u8>>,
+    injector: Option<SharedInjector>,
+    pool: Option<Arc<BufferPool>>,
+    stream_factory: Option<StreamFactory>,
+}
+
+impl ServerBuilder {
+    /// Start building a server for `addr` (port 0 = ephemeral).
+    pub fn bind(addr: &str) -> ServerBuilder {
+        ServerBuilder {
+            addr: addr.to_owned(),
+            read_timeout: None,
+            write_timeout: None,
+            overload: OverloadConfig::default(),
+            metrics_path: None,
+            shed_payload: None,
+            injector: None,
+            pool: None,
+            stream_factory: None,
+        }
+    }
+
+    /// Budget for making read progress on a message (and the idle
+    /// allowance between keep-alive requests).
+    pub fn read_timeout(mut self, budget: Duration) -> ServerBuilder {
+        self.read_timeout = Some(budget);
+        self
+    }
+
+    /// Budget for writing each reply.
+    pub fn write_timeout(mut self, budget: Duration) -> ServerBuilder {
+        self.write_timeout = Some(budget);
+        self
+    }
+
+    /// Overload protection (connection cap, shedding, slow-loris
+    /// deadline).
+    pub fn overload(mut self, config: OverloadConfig) -> ServerBuilder {
+        self.overload = config;
+        self
+    }
+
+    /// Serve process metrics on `GET <path>` (HTTP servers only).
+    pub fn metrics_path(mut self, path: &'static str) -> ServerBuilder {
+        self.metrics_path = Some(path);
+        self
+    }
+
+    /// Canned payload answered to shed/rejected requests (framed servers
+    /// only; typically a pre-encoded SOAP Server fault).
+    pub fn shed_payload(mut self, payload: Vec<u8>) -> ServerBuilder {
+        self.shed_payload = Some(payload);
+        self
+    }
+
+    /// Wrap every accepted stream in byte-level fault injection (framed
+    /// servers only).
+    pub fn faults(mut self, injector: SharedInjector) -> ServerBuilder {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Share an explicit request/response buffer pool (HTTP servers
+    /// only).
+    pub fn pool(mut self, pool: Arc<BufferPool>) -> ServerBuilder {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Serve chunked requests through streaming sessions: `factory` is
+    /// consulted per chunked request head; a `Some` session receives one
+    /// part per chunk and streams its reply (HTTP servers only — see
+    /// [`crate::http::streaming`]).
+    pub fn stream_factory<F>(mut self, factory: F) -> ServerBuilder
+    where
+        F: Fn(&StreamRequestHead<'_>) -> Option<Box<dyn StreamSession>> + Send + Sync + 'static,
+    {
+        self.stream_factory = Some(Arc::new(factory));
+        self
+    }
+
+    /// Finish as a framed-TCP server: `init` builds per-connection
+    /// scratch, `handler` maps each request to a response with a
+    /// [`ReplyControl`] for deadline-aware reply capping.
+    pub fn serve_framed<S, I, H>(self, init: I, handler: H) -> TransportResult<TcpServer>
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+    {
+        let config = TcpServerConfig {
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            overload: self.overload,
+        };
+        bind_framed_inner(
+            &self.addr,
+            config,
+            self.shed_payload,
+            self.injector,
+            init,
+            handler,
+        )
+    }
+
+    /// Finish as an HTTP/1.1 server with a plain request handler.
+    pub fn serve_http<H>(self, handler: H) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        self.serve_http_ctl(move |request, _ctl| handler(request))
+    }
+
+    /// Finish as an HTTP/1.1 server whose handler also gets a
+    /// [`ReplyControl`] for deadline-aware reply capping.
+    pub fn serve_http_ctl<H>(self, handler: H) -> TransportResult<HttpServer>
+    where
+        H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse + Send + Sync + 'static,
+    {
+        let config = HttpServerConfig {
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            metrics_path: self.metrics_path,
+            overload: self.overload,
+        };
+        let pool = self.pool.unwrap_or_default();
+        bind_http_inner(&self.addr, config, pool, self.stream_factory, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framed::FramedStream;
+    use crate::http::client::http_get;
+
+    #[test]
+    fn builder_serves_framed_with_scratch() {
+        let server = ServerBuilder::bind("127.0.0.1:0")
+            .read_timeout(Duration::from_secs(5))
+            .serve_framed(
+                || 0u64,
+                |count, request, out, _ctl| {
+                    *count += 1;
+                    out.extend_from_slice(request);
+                    out.extend_from_slice(format!(" #{count}").as_bytes());
+                },
+            )
+            .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = FramedStream::connect(&addr).unwrap();
+        client.send(b"msg").unwrap();
+        assert_eq!(client.recv().unwrap(), b"msg #1");
+        client.send(b"msg").unwrap();
+        assert_eq!(client.recv().unwrap(), b"msg #2", "scratch persists per connection");
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn builder_serves_http() {
+        let server = ServerBuilder::bind("127.0.0.1:0")
+            .pool(Arc::new(BufferPool::default()))
+            .serve_http(|req| HttpResponse::ok("text/plain", req.path.as_bytes().to_vec()))
+            .unwrap();
+        let addr = server.local_addr().to_string();
+        assert_eq!(http_get(&addr, "/x").unwrap(), b"/x");
+        server.shutdown();
+    }
+}

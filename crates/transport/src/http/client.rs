@@ -8,6 +8,7 @@ use std::time::Instant;
 use crate::deadline::Timeouts;
 use crate::error::{TransportError, TransportResult};
 use crate::framed::connect_stream;
+use crate::http::chunked::{self, ChunkDecoder};
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
 
@@ -32,6 +33,19 @@ pub struct HttpConnection {
     timeouts: Timeouts,
     stream: Option<BufReader<TcpStream>>,
     reuses: u64,
+    phase: StreamPhase,
+}
+
+/// Where a chunked (streaming) exchange stands on this connection.
+#[derive(Debug)]
+enum StreamPhase {
+    /// No streaming exchange in flight; plain exchanges are fine.
+    Idle,
+    /// Chunked request head written; parts may be sent.
+    Sending,
+    /// Chunked reply head read; parts may be pulled. `keep` caches the
+    /// response's connection disposition until the terminator arrives.
+    Receiving { dec: ChunkDecoder, keep: bool },
 }
 
 /// Why one wire attempt failed: a provably-unstarted exchange on a stale
@@ -49,6 +63,7 @@ impl HttpConnection {
             timeouts: Timeouts::none(),
             stream: None,
             reuses: 0,
+            phase: StreamPhase::Idle,
         }
     }
 
@@ -68,9 +83,12 @@ impl HttpConnection {
         self.reuses
     }
 
-    /// Drop the kept socket (the next exchange reconnects).
+    /// Drop the kept socket (the next exchange reconnects). Abandons any
+    /// streaming exchange in flight — the socket cannot be reused with
+    /// half a chunked message on it.
     pub fn disconnect(&mut self) {
         self.stream = None;
+        self.phase = StreamPhase::Idle;
     }
 
     /// Send `request` and return the response.
@@ -100,6 +118,11 @@ impl HttpConnection {
         timeouts: &Timeouts,
         response: &mut HttpResponse,
     ) -> TransportResult<()> {
+        if !matches!(self.phase, StreamPhase::Idle) {
+            // A plain exchange over a half-finished chunked message would
+            // desynchronize the connection; start fresh instead.
+            self.disconnect();
+        }
         let mut resent = false;
         loop {
             let reused = self.stream.is_some();
@@ -146,6 +169,183 @@ impl HttpConnection {
         socket.set_read_timeout(timeouts.read)?;
         socket.set_write_timeout(timeouts.write)?;
         Ok(reader)
+    }
+
+    // --- Streaming (chunked) exchanges -----------------------------------
+    //
+    // A streaming exchange walks the connection through a small state
+    // machine instead of one `exchange` call:
+    //
+    // ```text
+    // stream_begin → stream_send_part* → stream_finish_send
+    //   → stream_read_head → (stream_next_part_into* | buffered body)
+    // ```
+    //
+    // Only the head write may transparently reconnect (nothing
+    // irreplayable has been sent at that point). Any failure after the
+    // first part is fatal for this exchange and poisons the socket — the
+    // retry decision belongs to the caller, who knows whether the
+    // operation is replayable.
+
+    /// Start a chunked (streaming) request: write the head with
+    /// `Transfer-Encoding: chunked`. `request.body` is ignored — the
+    /// payload goes out via [`stream_send_part`](Self::stream_send_part).
+    pub fn stream_begin(&mut self, request: &HttpRequest) -> TransportResult<()> {
+        let timeouts = self.timeouts;
+        self.stream_begin_with(request, &timeouts)
+    }
+
+    /// [`stream_begin`](Self::stream_begin) with per-call budgets.
+    pub fn stream_begin_with(
+        &mut self,
+        request: &HttpRequest,
+        timeouts: &Timeouts,
+    ) -> TransportResult<()> {
+        if !matches!(self.phase, StreamPhase::Idle) {
+            self.disconnect();
+        }
+        let mut resent = false;
+        loop {
+            let reused = self.stream.is_some();
+            let reader = self.connected(timeouts)?;
+            match request.write_chunked_head_to(&mut reader.get_ref(), true) {
+                Ok(()) => {
+                    if reused {
+                        self.reuses += 1;
+                    }
+                    self.phase = StreamPhase::Sending;
+                    return Ok(());
+                }
+                Err(TransportError::Io(io)) if TransportError::io_is_timeout(&io) => {
+                    self.stream = None;
+                    return Err(TransportError::TimedOut {
+                        elapsed: std::time::Duration::ZERO,
+                        budget: timeouts.write.unwrap_or_default(),
+                    });
+                }
+                Err(TransportError::Io(io)) if is_stale_pipe(&io) && reused && !resent => {
+                    self.stream = None;
+                    resent = true;
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Send one message part as one chunk. Empty parts are skipped (an
+    /// empty chunk would terminate the body).
+    pub fn stream_send_part(&mut self, part: &[u8]) -> TransportResult<()> {
+        if !matches!(self.phase, StreamPhase::Sending) {
+            return Err(TransportError::BadHttp {
+                what: "stream_send_part outside a streaming send".into(),
+            });
+        }
+        if part.is_empty() {
+            return Ok(());
+        }
+        let reader = self.stream.as_mut().expect("sending phase has a socket");
+        if let Err(e) = chunked::write_chunk_to(&mut reader.get_ref(), part) {
+            self.disconnect();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Terminate the request body (zero-length chunk) and flush.
+    pub fn stream_finish_send(&mut self) -> TransportResult<()> {
+        use std::io::Write as _;
+
+        if !matches!(self.phase, StreamPhase::Sending) {
+            return Err(TransportError::BadHttp {
+                what: "stream_finish_send outside a streaming send".into(),
+            });
+        }
+        let reader = self.stream.as_mut().expect("sending phase has a socket");
+        let mut socket = reader.get_ref();
+        if let Err(e) = socket
+            .write_all(b"0\r\n\r\n")
+            .and_then(|()| socket.flush())
+        {
+            self.disconnect();
+            return Err(TransportError::Io(e));
+        }
+        Ok(())
+    }
+
+    /// Read the response head. Returns `true` when the reply body is
+    /// chunked — pull parts with
+    /// [`stream_next_part_into`](Self::stream_next_part_into) until it
+    /// returns `false`. Returns `false` when the reply was buffered
+    /// (e.g. a fault): the whole body is already in `response.body` and
+    /// the exchange is complete.
+    pub fn stream_read_head(&mut self, response: &mut HttpResponse) -> TransportResult<bool> {
+        if !matches!(self.phase, StreamPhase::Sending) {
+            return Err(TransportError::BadHttp {
+                what: "stream_read_head outside a streaming exchange".into(),
+            });
+        }
+        let reader = self.stream.as_mut().expect("sending phase has a socket");
+        if let Err(e) = HttpResponse::read_head_into(reader, response) {
+            self.disconnect();
+            return Err(e);
+        }
+        let keep = crate::http::response_keeps_alive(&response.headers);
+        if crate::http::body_is_chunked(&response.headers) {
+            self.phase = StreamPhase::Receiving {
+                dec: ChunkDecoder::new(),
+                keep,
+            };
+            response.body.clear();
+            return Ok(true);
+        }
+        let result = crate::http::read_body_into(reader, &response.headers, &mut response.body);
+        self.phase = StreamPhase::Idle;
+        match result {
+            Ok(()) => {
+                if !keep {
+                    self.stream = None;
+                }
+                Ok(false)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Pull the next reply part (one chunk) into `out` (contents
+    /// replaced). Returns `false` once the terminator has been consumed —
+    /// the exchange is complete and the socket is kept per the response's
+    /// connection disposition. Parts larger than `max` are refused.
+    pub fn stream_next_part_into(
+        &mut self,
+        out: &mut Vec<u8>,
+        max: usize,
+    ) -> TransportResult<bool> {
+        let StreamPhase::Receiving { ref mut dec, keep } = self.phase else {
+            return Err(TransportError::BadHttp {
+                what: "stream_next_part_into outside a streaming reply".into(),
+            });
+        };
+        let reader = self.stream.as_mut().expect("receiving phase has a socket");
+        match chunked::read_one_chunk_into(reader, dec, out, max) {
+            Ok(true) => Ok(true),
+            Ok(false) => {
+                self.phase = StreamPhase::Idle;
+                if !keep {
+                    self.stream = None;
+                }
+                Ok(false)
+            }
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
     }
 }
 

@@ -1,16 +1,18 @@
 //! A minimal HTTP/1.1 implementation.
 //!
 //! Covers what the paper's configurations need — SOAP POSTs and
-//! whole-file GETs — with `Content-Length` bodies and one request per
-//! connection (`Connection: close`), which is how 2006-era SOAP toolkits
-//! commonly drove HTTP. Chunked transfer encoding, pipelining and TLS are
+//! whole-file GETs — with `Content-Length` bodies by default, plus
+//! HTTP/1.1 [`chunked`] transfer-encoding for the streaming path (one
+//! message part per chunk, unknown total length). Pipelining and TLS are
 //! intentionally out of scope.
 
+pub mod chunked;
 pub mod client;
 pub(crate) mod date;
 pub mod request;
 pub mod response;
 pub mod server;
+pub mod streaming;
 
 pub(crate) const CRLF: &str = "\r\n";
 
@@ -103,8 +105,23 @@ fn connection_tokens(headers: &[(String, String)]) -> impl Iterator<Item = &str>
         .filter(|t| !t.is_empty())
 }
 
-/// Read a `Content-Length`-delimited body into a reusable buffer
-/// (contents replaced, capacity kept).
+/// Does the header set declare a chunked body? Transfer-Encoding takes
+/// precedence over any Content-Length (RFC 9112 §6.3); encodings other
+/// than a final `chunked` are rejected by the caller's parse.
+pub(crate) fn body_is_chunked(headers: &[(String, String)]) -> bool {
+    find_header(headers, "Transfer-Encoding")
+        .map(|v| {
+            v.split(',')
+                .next_back()
+                .is_some_and(|t| t.trim().eq_ignore_ascii_case("chunked"))
+        })
+        .unwrap_or(false)
+}
+
+/// Read a message body into a reusable buffer (contents replaced,
+/// capacity kept): `Content-Length`-delimited, or de-chunked when the
+/// headers declare `Transfer-Encoding: chunked` — so buffered consumers
+/// handle streamed senders transparently.
 pub(crate) fn read_body_into(
     reader: &mut impl std::io::BufRead,
     headers: &[(String, String)],
@@ -112,6 +129,9 @@ pub(crate) fn read_body_into(
 ) -> crate::TransportResult<()> {
     use crate::TransportError;
 
+    if body_is_chunked(headers) {
+        return chunked::read_chunked_body_into(reader, body, crate::framed::MAX_FRAME_LEN);
+    }
     let len = match find_header(headers, "Content-Length") {
         Some(v) => v.parse::<usize>().map_err(|_| TransportError::BadHttp {
             what: format!("bad Content-Length {v:?}"),

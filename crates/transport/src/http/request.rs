@@ -93,6 +93,47 @@ impl HttpRequest {
         Ok(())
     }
 
+    /// Serialize only the head of this request for a **chunked** send:
+    /// `Transfer-Encoding: chunked` replaces `Content-Length`, the body
+    /// field is ignored, and the caller streams chunks (see
+    /// [`crate::http::chunked`]) followed by the zero-chunk terminator.
+    pub fn write_chunked_head_to(
+        &self,
+        out: &mut impl Write,
+        keep_alive: bool,
+    ) -> TransportResult<()> {
+        let mut head = String::with_capacity(128);
+        head.push_str(&self.method);
+        head.push(' ');
+        head.push_str(&self.path);
+        head.push_str(" HTTP/1.1");
+        head.push_str(CRLF);
+        for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("connection")
+                || name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("transfer-encoding")
+            {
+                continue;
+            }
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str(CRLF);
+        }
+        head.push_str("Transfer-Encoding: chunked");
+        head.push_str(CRLF);
+        head.push_str(if keep_alive {
+            "Connection: keep-alive"
+        } else {
+            "Connection: close"
+        });
+        head.push_str(CRLF);
+        head.push_str(CRLF);
+        out.write_all(head.as_bytes())?;
+        out.flush()?;
+        Ok(())
+    }
+
     /// Parse a request from a buffered stream.
     pub fn read_from(reader: &mut impl BufRead) -> TransportResult<HttpRequest> {
         HttpRequest::read_from_with_body(reader, Vec::new())

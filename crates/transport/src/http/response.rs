@@ -165,6 +165,33 @@ impl HttpResponse {
         head.extend_from_slice(disposition);
     }
 
+    /// Build the wire head for a **chunked** reply into a reusable
+    /// buffer: `Transfer-Encoding: chunked` replaces `Content-Length`,
+    /// the body field is ignored, and the caller streams chunks followed
+    /// by the zero-chunk terminator.
+    pub(crate) fn serialize_chunked_head(&self, keep_alive: bool, head: &mut Vec<u8>) {
+        use std::io::Write as _;
+
+        head.clear();
+        let _ = write!(head, "HTTP/1.1 {} {}{CRLF}", self.status, self.reason);
+        for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("connection")
+                || name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("transfer-encoding")
+            {
+                continue;
+            }
+            let _ = write!(head, "{name}: {value}{CRLF}");
+        }
+        head.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+        let disposition: &[u8] = if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        };
+        head.extend_from_slice(disposition);
+    }
+
     /// An empty placeholder (status 0, no headers, no body) — the
     /// reusable parse target for
     /// [`read_from_into`](HttpResponse::read_from_into).
@@ -192,6 +219,18 @@ impl HttpResponse {
         reader: &mut impl BufRead,
         into: &mut HttpResponse,
     ) -> TransportResult<()> {
+        HttpResponse::read_head_into(reader, into)?;
+        read_body_into(reader, &into.headers, &mut into.body)
+    }
+
+    /// Parse only the status line and headers into an existing value,
+    /// leaving the body buffer untouched — the streaming client reads the
+    /// head first to learn whether the reply body is chunked, then pulls
+    /// parts (or the buffered body) separately.
+    pub fn read_head_into(
+        reader: &mut impl BufRead,
+        into: &mut HttpResponse,
+    ) -> TransportResult<()> {
         let (first, headers) = read_head(reader)?;
         let mut parts = first.splitn(3, ' ');
         let (version, status, reason) = match (parts.next(), parts.next(), parts.next()) {
@@ -215,7 +254,7 @@ impl HttpResponse {
         into.reason.push_str(reason);
         into.headers.clear();
         into.headers.extend(headers);
-        read_body_into(reader, &into.headers, &mut into.body)
+        Ok(())
     }
 }
 

@@ -77,7 +77,13 @@ impl HttpServer {
     where
         H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     {
-        HttpServer::bind_pooled(addr, config, Arc::new(BufferPool::default()), handler)
+        bind_http_inner(
+            addr,
+            config,
+            Arc::new(BufferPool::default()),
+            None,
+            move |request, _ctl| handler(request),
+        )
     }
 
     /// [`bind_with`](HttpServer::bind_with) sharing an explicit buffer
@@ -86,6 +92,7 @@ impl HttpServer {
     /// it on close; response bodies are recycled into `pool` once on the
     /// wire. Handlers that want their response bodies to come from the
     /// same cycle take buffers from the shared pool.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).pool(...).serve_http(...)`")]
     pub fn bind_pooled<H>(
         addr: &str,
         config: HttpServerConfig,
@@ -95,12 +102,16 @@ impl HttpServer {
     where
         H: Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     {
-        HttpServer::bind_pooled_ctl(addr, config, pool, move |request, _ctl| handler(request))
+        bind_http_inner(addr, config, pool, None, move |request, _ctl| {
+            handler(request)
+        })
     }
 
-    /// [`bind_pooled`](HttpServer::bind_pooled) plus a [`ReplyControl`]
-    /// the handler may use to cap the response's write budget to the
-    /// caller's remaining deadline instead of the static config.
+    /// [`bind_with`](HttpServer::bind_with) plus a shared pool and a
+    /// [`ReplyControl`] the handler may use to cap the response's write
+    /// budget to the caller's remaining deadline instead of the static
+    /// config.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).pool(...).serve_http_ctl(...)`")]
     pub fn bind_pooled_ctl<H>(
         addr: &str,
         config: HttpServerConfig,
@@ -110,42 +121,7 @@ impl HttpServer {
     where
         H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse + Send + Sync + 'static,
     {
-        let m = metrics::http_server();
-        let handler = Arc::new(handler);
-        let metrics_path = config.metrics_path;
-        // The canned wire bytes a connection rejected at the cap receives:
-        // a complete 503 with Retry-After, honest `Connection: close`.
-        let reject = HttpResponse::service_unavailable(config.overload.retry_after_hint);
-        let mut reject_wire = Vec::with_capacity(256);
-        reject.serialize_head(false, &mut reject_wire);
-        reject_wire.extend_from_slice(&reject.body);
-        let overload = Arc::new(Overload::new(
-            &config.overload,
-            Some(Arc::<[u8]>::from(reject_wire)),
-            None,
-        ));
-        let driver_overload = Arc::clone(&overload);
-        let inner = EventServer::bind(
-            addr,
-            ReactorConfig {
-                read_timeout: config.read_timeout,
-                write_timeout: config.write_timeout,
-                transport: "http",
-                metrics: m,
-                injector: None,
-                overload,
-            },
-            Arc::new(move || {
-                Box::new(HttpDriver::new(
-                    Arc::clone(&handler),
-                    m,
-                    metrics_path,
-                    Arc::clone(&pool),
-                    Arc::clone(&driver_overload),
-                )) as Box<dyn crate::reactor::conn::ConnDriver>
-            }),
-        )?;
-        Ok(HttpServer { inner })
+        bind_http_inner(addr, config, pool, None, handler)
     }
 
     /// The address the server is listening on.
@@ -173,6 +149,57 @@ impl HttpServer {
     pub fn shutdown_within(mut self, drain: Duration) {
         self.inner.shutdown_within(drain);
     }
+}
+
+/// The one true HTTP bind: every public constructor and the
+/// [`crate::ServerBuilder`] funnel through here.
+pub(crate) fn bind_http_inner<H>(
+    addr: &str,
+    config: HttpServerConfig,
+    pool: Arc<BufferPool>,
+    stream_factory: Option<crate::http::streaming::StreamFactory>,
+    handler: H,
+) -> TransportResult<HttpServer>
+where
+    H: Fn(&HttpRequest, &mut ReplyControl) -> HttpResponse + Send + Sync + 'static,
+{
+    let m = metrics::http_server();
+    let handler = Arc::new(handler);
+    let metrics_path = config.metrics_path;
+    // The canned wire bytes a connection rejected at the cap receives:
+    // a complete 503 with Retry-After, honest `Connection: close`.
+    let reject = HttpResponse::service_unavailable(config.overload.retry_after_hint);
+    let mut reject_wire = Vec::with_capacity(256);
+    reject.serialize_head(false, &mut reject_wire);
+    reject_wire.extend_from_slice(&reject.body);
+    let overload = Arc::new(Overload::new(
+        &config.overload,
+        Some(Arc::<[u8]>::from(reject_wire)),
+        None,
+    ));
+    let driver_overload = Arc::clone(&overload);
+    let inner = EventServer::bind(
+        addr,
+        ReactorConfig {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            transport: "http",
+            metrics: m,
+            injector: None,
+            overload,
+        },
+        Arc::new(move || {
+            Box::new(HttpDriver::new(
+                Arc::clone(&handler),
+                m,
+                metrics_path,
+                Arc::clone(&pool),
+                Arc::clone(&driver_overload),
+                stream_factory.clone(),
+            )) as Box<dyn crate::reactor::conn::ConnDriver>
+        }),
+    )?;
+    Ok(HttpServer { inner })
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! testing.
 
 pub mod breaker;
+pub mod builder;
 pub mod deadline;
 pub mod error;
 pub mod faulty;
@@ -37,6 +38,7 @@ pub mod tcpserver;
 pub use breaker::{
     BreakerConfig, BreakerHandle, BreakerRegistry, BreakerState, CircuitBreaker, Permit,
 };
+pub use builder::ServerBuilder;
 pub use deadline::{Deadline, Timeouts};
 pub use error::{TransportError, TransportResult, HTTP_STATUS_BODY_PREFIX};
 pub use faulty::{
@@ -50,6 +52,7 @@ pub use http::client::{
 pub use http::request::HttpRequest;
 pub use http::response::HttpResponse;
 pub use http::server::{metrics_response, HttpServer, HttpServerConfig};
+pub use http::streaming::{StreamFactory, StreamReply, StreamRequestHead, StreamSession};
 pub use pool::{BufferPool, Pool};
 pub use reactor::{Event, Events, Interest, OverloadConfig, Poller, Waker};
 pub use retry::{RetryPolicy, RetrySchedule};

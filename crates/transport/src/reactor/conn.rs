@@ -19,8 +19,10 @@ use super::overload::{DriveCtx, Overload};
 use crate::error::{TransportError, TransportResult};
 use crate::faulty::FaultingTransport;
 use crate::framed::{MAX_FRAME_LEN, RECV_CHUNK};
+use crate::http::chunked::{self, ChunkDecoder, ChunkEvent};
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
+use crate::http::streaming::{StreamFactory, StreamReply, StreamRequestHead, StreamSession};
 use crate::metrics::ServerMetrics;
 use crate::pool::BufferPool;
 use crate::tcpserver::ReplyControl;
@@ -422,13 +424,31 @@ const MAX_HEAD_LEN: usize = 64 * 1024;
 /// Per-read append granularity for the head buffer.
 const HEAD_READ_CHUNK: usize = 8 * 1024;
 
+/// Cap on one streamed part (one chunk) — a hostile peer declaring a
+/// giant chunk is refused before the part buffer grows to match.
+const MAX_STREAM_PART: usize = 4 * 1024 * 1024;
+
+/// How far ahead of the socket the streaming reply path will pull parts:
+/// once at least this many staged bytes are waiting to be written, no
+/// more parts are pulled until the peer drains them — the backpressure
+/// bound that keeps a streamed reply O(window) regardless of reply size.
+const STREAM_WRITE_WINDOW: usize = 64 * 1024;
+
 enum HttpPhase {
     /// Accumulating head bytes until the blank line.
     Head,
     /// Reading `remaining` body bytes for the parsed request.
     Body { remaining: usize },
+    /// Reading a chunked request body. `streaming` feeds each completed
+    /// chunk to the stream session as one part; otherwise the body is
+    /// de-chunked into the ordinary request buffer for buffered dispatch.
+    ChunkedBody { streaming: bool },
     /// Writing `head_out` + `body_out` (`written` bytes done).
     Write { written: usize },
+    /// Writing a streamed (chunked) reply: flush `head_out` + the staged
+    /// chunk batch in `body_out`, refill from the session when drained,
+    /// finish once `source_done` and everything is on the wire.
+    StreamWrite { written: usize, source_done: bool },
 }
 
 /// A request head parsed off the connection buffer, waiting for its body.
@@ -437,6 +457,12 @@ struct PendingRequest {
     path: String,
     headers: Vec<(String, String)>,
     keep_alive: bool,
+}
+
+/// How a request head declares its body.
+enum BodyKind {
+    Length(usize),
+    Chunked,
 }
 
 /// The HTTP/1.1 state machine with keep-alive and pipelining.
@@ -469,6 +495,12 @@ pub(crate) struct HttpDriver<H> {
     /// response hasn't fully gone out (released in `Drop` if the
     /// connection dies mid-write).
     holds_inflight: bool,
+    /// Per-request streaming decision hook (None = always buffered).
+    stream_factory: Option<StreamFactory>,
+    /// The live stream session while a chunked exchange is in flight.
+    session: Option<Box<dyn StreamSession>>,
+    /// Chunked-body parse state (reset when a chunked body starts).
+    chunk_dec: ChunkDecoder,
 }
 
 impl<H> HttpDriver<H>
@@ -481,6 +513,7 @@ where
         metrics_path: Option<&'static str>,
         pool: Arc<BufferPool>,
         overload: Arc<Overload>,
+        stream_factory: Option<StreamFactory>,
     ) -> Self {
         let body = pool.take();
         HttpDriver {
@@ -498,6 +531,9 @@ where
             keep_alive: false,
             ctl: ReplyControl::default(),
             holds_inflight: false,
+            stream_factory,
+            session: None,
+            chunk_dec: ChunkDecoder::new(),
         }
     }
 
@@ -543,7 +579,50 @@ where
         let parsed = parse_request_head(&self.read_buf[..head_end]);
         self.read_buf.drain(..head_end + 4);
         match parsed {
-            Ok((pending, body_len)) => {
+            Ok((pending, BodyKind::Chunked)) => {
+                // Shed chunked requests at head-parse time like
+                // length-delimited ones.
+                let inflight_with_me = self.metrics.requests_inflight.get() as i64 + 1;
+                if let Some(reason) = self
+                    .overload
+                    .should_shed(inflight_with_me, ctx.batch_age())
+                {
+                    crate::metrics::count_shed("http", reason);
+                    self.keep_alive = false;
+                    self.stage_response(HttpResponse::service_unavailable(
+                        self.overload.retry_after_hint,
+                    ));
+                    return Ok(true);
+                }
+                self.keep_alive = pending.keep_alive;
+                self.chunk_dec.reset();
+                self.body.clear();
+                let streaming = if let Some(factory) = &self.stream_factory {
+                    let head = StreamRequestHead {
+                        method: &pending.method,
+                        path: &pending.path,
+                        headers: &pending.headers,
+                    };
+                    self.session = factory(&head);
+                    self.session.is_some()
+                } else {
+                    false
+                };
+                if streaming {
+                    // A streamed request is dispatched now — the session
+                    // is its handler — and inflight until the reply's
+                    // last chunk is on the wire.
+                    self.metrics.requests.inc();
+                    self.metrics.requests_inflight.add(1.0);
+                    self.holds_inflight = true;
+                    self.ctl.reset();
+                } else {
+                    self.pending = Some(pending);
+                }
+                self.phase = HttpPhase::ChunkedBody { streaming };
+                Ok(true)
+            }
+            Ok((pending, BodyKind::Length(body_len))) => {
                 if body_len > MAX_FRAME_LEN {
                     // 413 at header-parse time: the body is never read (it
                     // may never even be sent), the error is counted, and
@@ -637,6 +716,124 @@ where
         self.body = std::mem::take(&mut request.body);
         self.stage_response(response);
     }
+
+    /// Pump a chunked request body: decode whatever is buffered, refill
+    /// from the socket, feed completed parts to the session (streaming)
+    /// or accumulate into the request buffer (buffered fallback).
+    /// `Ok(Some(step))` yields to the event loop; `Ok(None)` means the
+    /// phase changed — continue the drive loop.
+    fn pump_chunked(
+        &mut self,
+        io: &mut ConnIo,
+        ctx: &DriveCtx,
+        streaming: bool,
+    ) -> TransportResult<Option<Step>> {
+        loop {
+            let mut consumed = 0;
+            let mut ended = false;
+            let mut part_err = None;
+            while consumed < self.read_buf.len() {
+                let (n, event) = match self.chunk_dec.advance(&self.read_buf[consumed..]) {
+                    Ok(step) => step,
+                    Err(e) => {
+                        // Malformed chunked framing: answer like any
+                        // other parse error, then close.
+                        self.read_buf.clear();
+                        self.keep_alive = false;
+                        self.stage_response(HttpResponse::bad_request(&e.to_string()));
+                        return Ok(None);
+                    }
+                };
+                consumed += n;
+                match event {
+                    ChunkEvent::NeedMore => break,
+                    ChunkEvent::Data { payload, chunk_done } => {
+                        let cap = if streaming { MAX_STREAM_PART } else { MAX_FRAME_LEN };
+                        if self.body.len() + payload.len() > cap {
+                            crate::metrics::count_server_error(
+                                "http",
+                                crate::metrics::error_kind(&TransportError::FrameTooLarge {
+                                    declared: (self.body.len() + payload.len()) as u64,
+                                }),
+                            );
+                            self.read_buf.clear();
+                            self.keep_alive = false;
+                            self.stage_response(HttpResponse::payload_too_large());
+                            return Ok(None);
+                        }
+                        self.body.extend_from_slice(payload);
+                        if streaming && chunk_done {
+                            self.metrics.bytes_in.add(self.body.len() as u64);
+                            let session =
+                                self.session.as_mut().expect("streaming implies a session");
+                            if let Err(e) = session.on_part(&self.body) {
+                                part_err = Some(e);
+                            }
+                            self.body.clear();
+                            if part_err.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    ChunkEvent::End => {
+                        ended = true;
+                        break;
+                    }
+                }
+            }
+            self.read_buf.drain(..consumed);
+            if let Some(e) = part_err {
+                self.read_buf.clear();
+                self.keep_alive = false;
+                self.stage_response(HttpResponse::bad_request(&e.to_string()));
+                return Ok(None);
+            }
+            if ended {
+                self.finish_chunked(ctx);
+                return Ok(None);
+            }
+            match self.fill_head_buf(io) {
+                Ok(true) => {}
+                Ok(false) => return Ok(Some(Step::read())),
+                Err(e) => Err(e)?,
+            }
+        }
+    }
+
+    /// The chunked request terminator arrived: dispatch the buffered
+    /// fallback, or ask the stream session for its reply.
+    fn finish_chunked(&mut self, ctx: &DriveCtx) {
+        if ctx.draining {
+            self.keep_alive = false;
+        }
+        if self.session.is_none() {
+            self.dispatch();
+            return;
+        }
+        let session = self.session.as_mut().expect("checked above");
+        match session.finish() {
+            Ok(StreamReply::Buffered(response)) => {
+                self.session = None;
+                self.stage_response(response);
+            }
+            Ok(StreamReply::Streamed(response)) => {
+                if crate::http::wants_close(&response.headers) {
+                    self.keep_alive = false;
+                }
+                response.serialize_chunked_head(self.keep_alive, &mut self.head_out);
+                self.body_out.clear();
+                self.phase = HttpPhase::StreamWrite {
+                    written: 0,
+                    source_done: false,
+                };
+            }
+            Err(e) => {
+                self.session = None;
+                self.keep_alive = false;
+                self.stage_response(HttpResponse::server_error(e.to_string().into_bytes()));
+            }
+        }
+    }
 }
 
 impl<H> ConnDriver for HttpDriver<H>
@@ -693,6 +890,102 @@ where
                         self.keep_alive = false;
                     }
                     self.dispatch();
+                }
+                HttpPhase::ChunkedBody { streaming } => {
+                    let streaming = *streaming;
+                    if let Some(step) = self.pump_chunked(io, ctx, streaming)? {
+                        return Ok(step);
+                    }
+                }
+                HttpPhase::StreamWrite {
+                    written,
+                    source_done,
+                } => {
+                    let mut written = *written;
+                    let mut source_done = *source_done;
+                    if written >= self.head_out.len() + self.body_out.len() && !source_done {
+                        // Previous batch fully on the wire: stage the next
+                        // one, pulling parts only up to the write window —
+                        // the backpressure bound.
+                        self.head_out.clear();
+                        self.body_out.clear();
+                        written = 0;
+                        while self.body_out.len() < STREAM_WRITE_WINDOW {
+                            self.body.clear();
+                            let session =
+                                self.session.as_mut().expect("stream write implies a session");
+                            // An error here is fatal for the connection:
+                            // the chunked head already went out, so the
+                            // only honest signal is a truncated stream.
+                            if !session.next_part(&mut self.body)? {
+                                chunked::write_final_chunk(&mut self.body_out);
+                                source_done = true;
+                                break;
+                            }
+                            if !self.body.is_empty() {
+                                chunked::write_chunk(&mut self.body_out, &self.body);
+                            }
+                        }
+                    }
+                    let total = self.head_out.len() + self.body_out.len();
+                    while written < total {
+                        let head_len = self.head_out.len();
+                        let bufs = if written < head_len {
+                            [
+                                IoSlice::new(&self.head_out[written..]),
+                                IoSlice::new(&self.body_out),
+                            ]
+                        } else {
+                            [
+                                IoSlice::new(&self.body_out[written - head_len..]),
+                                IoSlice::new(&[]),
+                            ]
+                        };
+                        match io.write_vectored(&bufs) {
+                            Ok(0) => {
+                                return Err(TransportError::Io(std::io::Error::new(
+                                    std::io::ErrorKind::WriteZero,
+                                    "socket accepted no bytes",
+                                )))
+                            }
+                            Ok(n) => written += n,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                self.phase = HttpPhase::StreamWrite {
+                                    written,
+                                    source_done,
+                                };
+                                return Ok(Step::write(self.ctl.write_budget()));
+                            }
+                            Err(e) => return Err(TransportError::Io(e)),
+                        }
+                    }
+                    self.metrics.bytes_out.add(self.body_out.len() as u64);
+                    if source_done {
+                        self.session = None;
+                        self.body_out.clear();
+                        if self.holds_inflight {
+                            self.metrics.requests_inflight.add(-1.0);
+                            self.holds_inflight = false;
+                        }
+                        if !self.keep_alive || ctx.draining {
+                            return Ok(Step::close());
+                        }
+                        self.phase = HttpPhase::Head;
+                        served += 1;
+                        if served >= MAX_DISPATCHES_PER_DRIVE {
+                            return Ok(if self.read_buf.is_empty() {
+                                Step::read()
+                            } else {
+                                Step::again()
+                            });
+                        }
+                    } else {
+                        self.phase = HttpPhase::StreamWrite {
+                            written,
+                            source_done,
+                        };
+                    }
                 }
                 HttpPhase::Write { written } => {
                     let total = self.head_out.len() + self.body_out.len();
@@ -754,7 +1047,10 @@ where
     fn in_flight(&self) -> bool {
         match self.phase {
             HttpPhase::Head => !self.read_buf.is_empty(),
-            HttpPhase::Body { .. } | HttpPhase::Write { .. } => true,
+            HttpPhase::Body { .. }
+            | HttpPhase::ChunkedBody { .. }
+            | HttpPhase::Write { .. }
+            | HttpPhase::StreamWrite { .. } => true,
         }
     }
 }
@@ -776,8 +1072,8 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 /// Parse a request head (request line + headers, no trailing blank line)
-/// into a [`PendingRequest`] plus the declared body length.
-fn parse_request_head(head: &[u8]) -> TransportResult<(PendingRequest, usize)> {
+/// into a [`PendingRequest`] plus how the body is delimited.
+fn parse_request_head(head: &[u8]) -> TransportResult<(PendingRequest, BodyKind)> {
     let head = std::str::from_utf8(head).map_err(|_| TransportError::BadHttp {
         what: "request head is not UTF-8".into(),
     })?;
@@ -812,11 +1108,17 @@ fn parse_request_head(head: &[u8]) -> TransportResult<(PendingRequest, usize)> {
             });
         }
     }
-    let body_len = match crate::http::find_header(&headers, "Content-Length") {
-        Some(v) => v.parse::<usize>().map_err(|_| TransportError::BadHttp {
-            what: format!("bad Content-Length {v:?}"),
-        })?,
-        None => 0,
+    let body = if crate::http::body_is_chunked(&headers) {
+        BodyKind::Chunked
+    } else {
+        match crate::http::find_header(&headers, "Content-Length") {
+            Some(v) => BodyKind::Length(v.parse::<usize>().map_err(|_| {
+                TransportError::BadHttp {
+                    what: format!("bad Content-Length {v:?}"),
+                }
+            })?),
+            None => BodyKind::Length(0),
+        }
     };
     let keep_alive = crate::http::keep_alive_disposition(version == "HTTP/1.1", &headers);
     Ok((
@@ -826,7 +1128,7 @@ fn parse_request_head(head: &[u8]) -> TransportResult<(PendingRequest, usize)> {
             headers,
             keep_alive,
         },
-        body_len,
+        body,
     ))
 }
 
@@ -843,12 +1145,18 @@ mod tests {
 
     #[test]
     fn request_head_parses_and_negotiates() {
-        let (req, len) =
+        let (req, body) =
             parse_request_head(b"POST /soap HTTP/1.1\r\nContent-Length: 12\r\nHost: x").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/soap");
-        assert_eq!(len, 12);
+        assert!(matches!(body, BodyKind::Length(12)));
         assert!(req.keep_alive, "1.1 defaults to keep-alive");
+
+        let (_, body) = parse_request_head(
+            b"POST /soap HTTP/1.1\r\nTransfer-Encoding: chunked\r\nHost: x",
+        )
+        .unwrap();
+        assert!(matches!(body, BodyKind::Chunked));
 
         let (req, _) = parse_request_head(b"GET / HTTP/1.0\r\nHost: x").unwrap();
         assert!(!req.keep_alive, "1.0 defaults to close");

@@ -83,8 +83,24 @@ impl TcpServer {
     where
         H: Fn(Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
     {
-        TcpServer::bind_buffered(addr, move |request, out| {
+        TcpServer::bind_with(addr, TcpServerConfig::default(), move |request, out| {
             *out = handler(request.to_vec());
+        })
+    }
+
+    /// [`bind`](TcpServer::bind) with explicit per-connection limits and
+    /// caller-managed buffers: `handler` reads the request slice and
+    /// writes the response into `out` (handed over cleared).
+    pub fn bind_with<H>(
+        addr: &str,
+        config: TcpServerConfig,
+        handler: H,
+    ) -> TransportResult<TcpServer>
+    where
+        H: Fn(&[u8], &mut Vec<u8>) + Send + Sync + 'static,
+    {
+        bind_framed_inner(addr, config, None, None, || (), move |_: &mut (), request, out, _ctl| {
+            handler(request, out)
         })
     }
 
@@ -93,15 +109,17 @@ impl TcpServer {
     /// cleared). Each connection cycles one request and one response
     /// buffer for its whole lifetime, so steady-state service of
     /// similarly-sized messages does no per-message allocation.
+    #[deprecated(since = "0.9.0", note = "use `TcpServer::bind_with` or `ServerBuilder::bind(addr).serve_framed(...)`")]
     pub fn bind_buffered<H>(addr: &str, handler: H) -> TransportResult<TcpServer>
     where
         H: Fn(&[u8], &mut Vec<u8>) + Send + Sync + 'static,
     {
-        TcpServer::bind_buffered_with(addr, TcpServerConfig::default(), handler)
+        TcpServer::bind_with(addr, TcpServerConfig::default(), handler)
     }
 
     /// [`bind_buffered`](TcpServer::bind_buffered) with explicit
     /// per-connection limits.
+    #[deprecated(since = "0.9.0", note = "use `TcpServer::bind_with` or `ServerBuilder::bind(addr).serve_framed(...)`")]
     pub fn bind_buffered_with<H>(
         addr: &str,
         config: TcpServerConfig,
@@ -110,7 +128,7 @@ impl TcpServer {
     where
         H: Fn(&[u8], &mut Vec<u8>) + Send + Sync + 'static,
     {
-        TcpServer::bind_scoped_with(addr, config, || (), move |_: &mut (), request, out| {
+        bind_framed_inner(addr, config, None, None, || (), move |_: &mut (), request, out, _ctl| {
             handler(request, out)
         })
     }
@@ -126,6 +144,7 @@ impl TcpServer {
     /// The state never leaves the event-loop worker that owns its
     /// connection, so it needs no `Send`/`Sync`; only the `init` factory
     /// is shared.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).serve_framed(init, handler)`")]
     pub fn bind_scoped_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -137,7 +156,7 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>) + Send + Sync + 'static,
     {
-        TcpServer::bind_scoped_ctl_with(addr, config, init, move |state, request, out, _ctl| {
+        bind_framed_inner(addr, config, None, None, init, move |state, request, out, _ctl| {
             handler(state, request, out)
         })
     }
@@ -146,6 +165,7 @@ impl TcpServer {
     /// [`ReplyControl`] the handler may use to cap this reply's write
     /// budget — the hook deadline-aware services use to bound the reply
     /// write by the caller's remaining time instead of the static config.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).serve_framed(init, handler)`")]
     pub fn bind_scoped_ctl_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -157,7 +177,7 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        TcpServer::bind_inner(addr, config, None, None, init, handler)
+        bind_framed_inner(addr, config, None, None, init, handler)
     }
 
     /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) plus the
@@ -168,6 +188,7 @@ impl TcpServer {
     /// parting frame of a connection rejected at the cap in
     /// `reject_when_full` mode. Without a payload (the other `bind_*`
     /// variants), shed and rejected connections are simply closed.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).shed_payload(...).serve_framed(init, handler)`")]
     pub fn bind_scoped_ctl_overload_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -180,7 +201,7 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        TcpServer::bind_inner(addr, config, shed_payload, None, init, handler)
+        bind_framed_inner(addr, config, shed_payload, None, init, handler)
     }
 
     /// [`bind_scoped_ctl_with`](TcpServer::bind_scoped_ctl_with) with
@@ -189,6 +210,7 @@ impl TcpServer {
     /// byte-level fault injection on the server's own read *and write*
     /// paths, so torture tests exercise partial-write handling under a
     /// live accept loop, not just unit-level decode.
+    #[deprecated(since = "0.9.0", note = "use `ServerBuilder::bind(addr).faults(...).serve_framed(init, handler)`")]
     pub fn bind_scoped_faulty_with<S, I, H>(
         addr: &str,
         config: TcpServerConfig,
@@ -201,58 +223,7 @@ impl TcpServer {
         I: Fn() -> S + Send + Sync + 'static,
         H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
     {
-        TcpServer::bind_inner(addr, config, None, Some(injector), init, handler)
-    }
-
-    fn bind_inner<S, I, H>(
-        addr: &str,
-        config: TcpServerConfig,
-        shed_payload: Option<Vec<u8>>,
-        injector: Option<SharedInjector>,
-        init: I,
-        handler: H,
-    ) -> TransportResult<TcpServer>
-    where
-        S: 'static,
-        I: Fn() -> S + Send + Sync + 'static,
-        H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
-    {
-        let m = metrics::tcp_server();
-        let handler = Arc::new(handler);
-        // A rejected connection gets the shed fault as a complete frame
-        // (prefix + payload); a shed request reuses the raw payload.
-        let reject_wire = shed_payload.as_ref().map(|p| {
-            let mut wire = Vec::with_capacity(4 + p.len());
-            wire.extend_from_slice(&(p.len() as u32).to_be_bytes());
-            wire.extend_from_slice(p);
-            Arc::<[u8]>::from(wire)
-        });
-        let overload = Arc::new(Overload::new(
-            &config.overload,
-            reject_wire,
-            shed_payload.map(Arc::<[u8]>::from),
-        ));
-        let driver_overload = Arc::clone(&overload);
-        let inner = EventServer::bind(
-            addr,
-            ReactorConfig {
-                read_timeout: config.read_timeout,
-                write_timeout: config.write_timeout,
-                transport: "tcp",
-                metrics: m,
-                injector,
-                overload,
-            },
-            Arc::new(move || {
-                Box::new(FramedDriver::new(
-                    init(),
-                    Arc::clone(&handler),
-                    m,
-                    Arc::clone(&driver_overload),
-                )) as Box<dyn crate::reactor::conn::ConnDriver>
-            }),
-        )?;
-        Ok(TcpServer { inner })
+        bind_framed_inner(addr, config, None, Some(injector), init, handler)
     }
 
     /// The bound address.
@@ -278,6 +249,59 @@ impl TcpServer {
     pub fn shutdown_within(mut self, drain: Duration) {
         self.inner.shutdown_within(drain);
     }
+}
+
+/// The one true framed-TCP bind: every public constructor and the
+/// [`crate::ServerBuilder`] funnel through here.
+pub(crate) fn bind_framed_inner<S, I, H>(
+    addr: &str,
+    config: TcpServerConfig,
+    shed_payload: Option<Vec<u8>>,
+    injector: Option<SharedInjector>,
+    init: I,
+    handler: H,
+) -> TransportResult<TcpServer>
+where
+    S: 'static,
+    I: Fn() -> S + Send + Sync + 'static,
+    H: Fn(&mut S, &[u8], &mut Vec<u8>, &mut ReplyControl) + Send + Sync + 'static,
+{
+    let m = metrics::tcp_server();
+    let handler = Arc::new(handler);
+    // A rejected connection gets the shed fault as a complete frame
+    // (prefix + payload); a shed request reuses the raw payload.
+    let reject_wire = shed_payload.as_ref().map(|p| {
+        let mut wire = Vec::with_capacity(4 + p.len());
+        wire.extend_from_slice(&(p.len() as u32).to_be_bytes());
+        wire.extend_from_slice(p);
+        Arc::<[u8]>::from(wire)
+    });
+    let overload = Arc::new(Overload::new(
+        &config.overload,
+        reject_wire,
+        shed_payload.map(Arc::<[u8]>::from),
+    ));
+    let driver_overload = Arc::clone(&overload);
+    let inner = EventServer::bind(
+        addr,
+        ReactorConfig {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            transport: "tcp",
+            metrics: m,
+            injector,
+            overload,
+        },
+        Arc::new(move || {
+            Box::new(FramedDriver::new(
+                init(),
+                Arc::clone(&handler),
+                m,
+                Arc::clone(&driver_overload),
+            )) as Box<dyn crate::reactor::conn::ConnDriver>
+        }),
+    )?;
+    Ok(TcpServer { inner })
 }
 
 #[cfg(test)]
@@ -309,12 +333,16 @@ mod tests {
 
     #[test]
     fn buffered_handler_roundtrip() {
-        let server = TcpServer::bind_buffered("127.0.0.1:0", |req, out| {
-            assert!(out.is_empty());
-            out.extend_from_slice(req);
-            out.reverse();
-        })
-        .unwrap();
+        let server = crate::ServerBuilder::bind("127.0.0.1:0")
+            .serve_framed(
+                || (),
+                |_scratch, req, out: &mut Vec<u8>, _ctl| {
+                    assert!(out.is_empty());
+                    out.extend_from_slice(req);
+                    out.reverse();
+                },
+            )
+            .unwrap();
         let addr = server.local_addr().to_string();
         let mut client = FramedStream::connect(&addr).unwrap();
         for msg in [&b"abc"[..], b"", b"0123456789"] {
@@ -388,16 +416,14 @@ mod tests {
 
     #[test]
     fn stalled_client_times_out_and_listener_survives() {
-        let server = TcpServer::bind_buffered_with(
-            "127.0.0.1:0",
-            TcpServerConfig {
-                read_timeout: Some(Duration::from_millis(40)),
-                write_timeout: Some(Duration::from_secs(5)),
-                ..TcpServerConfig::default()
-            },
-            |req, out| out.extend_from_slice(req),
-        )
-        .unwrap();
+        let server = crate::ServerBuilder::bind("127.0.0.1:0")
+            .read_timeout(Duration::from_millis(40))
+            .write_timeout(Duration::from_secs(5))
+            .serve_framed(
+                || (),
+                |_scratch, req, out: &mut Vec<u8>, _ctl| out.extend_from_slice(req),
+            )
+            .unwrap();
         let addr = server.local_addr();
         // Stall mid-frame: prefix only, then silence.
         let mut staller = TcpStream::connect(addr).unwrap();

@@ -112,7 +112,7 @@ impl EventSource {
             .into_iter()
             .map(|sub| {
                 let mut engine = make_engine(&sub);
-                let result = engine.call(envelope.clone()).map(|_ack| ());
+                let result = engine.call_with(envelope.clone(), &soap::CallOptions::new()).map(|_ack| ());
                 (sub.id, result)
             })
             .collect()

@@ -247,7 +247,7 @@ mod policy_tests {
 
         // Unsigned engine: rejected with a Client fault.
         let mut plain = SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
-        match plain.call(SoapEnvelope::with_body(Element::component("Ping"))) {
+        match plain.call_with(SoapEnvelope::with_body(Element::component("Ping")), &soap::CallOptions::new()) {
             Err(SoapError::Fault(f)) => assert!(f.string.contains("security")),
             other => panic!("expected security fault, got {other:?}"),
         }
@@ -259,7 +259,7 @@ mod policy_tests {
             HmacSigner::new(b"fleet key", "fleet"),
         );
         let response = secured
-            .call(SoapEnvelope::with_body(Element::component("Ping")))
+            .call_with(SoapEnvelope::with_body(Element::component("Ping")), &soap::CallOptions::new())
             .unwrap();
         assert_eq!(response.operation(), Some("Pong"));
 
@@ -282,7 +282,7 @@ mod policy_tests {
         // The *request* signature is ignored by this unprotected service,
         // but the unsigned response fails the client-side check.
         assert!(matches!(
-            secured.call(SoapEnvelope::with_body(Element::component("Ping"))),
+            secured.call_with(SoapEnvelope::with_body(Element::component("Ping")), &soap::CallOptions::new()),
             Err(SoapError::Protocol(_))
         ));
         server.shutdown();

@@ -312,7 +312,7 @@ mod tests {
         for port in ["fast", "interop"] {
             let mut engine = discovered.connect(port).unwrap();
             let resp = engine
-                .call(SoapEnvelope::with_body(bxdm::Element::component("Echo")))
+                .call_with(SoapEnvelope::with_body(bxdm::Element::component("Echo")), &soap::CallOptions::new())
                 .unwrap();
             assert_eq!(resp.operation(), Some("EchoResponse"), "port {port}");
         }

@@ -42,7 +42,9 @@ pub mod writer;
 pub use error::{XmlError, XmlResult};
 pub use field::{TypedText, XmlFieldReader, XmlFieldWriter, XmlHead, XmlItem};
 pub use reader::{parse, parse_into, parse_into_with, parse_with, XmlReadOptions};
-pub use writer::{element_to_string, to_string, to_string_with, write_into, XmlWriteOptions};
+pub use writer::{
+    element_to_string, to_string, to_string_with, write_element_into, write_into, XmlWriteOptions,
+};
 
 /// Prefix conventionally bound to the bXDM extension namespace (array
 /// typing attributes).

@@ -70,12 +70,18 @@ pub fn write_into(
 /// Serialize a single element (used by SOAP fault paths and tests).
 pub fn element_to_string(element: &Element, opts: &XmlWriteOptions) -> String {
     let mut out = String::with_capacity(128);
-    let mut w = XmlWriter {
-        out: &mut out,
-        opts,
-    };
-    let Ok(()) = walk_element(element, &mut w);
+    write_element_into(element, opts, &mut out);
     out
+}
+
+/// [`element_to_string`] into a caller-provided buffer (cleared first,
+/// capacity kept) — the streaming path's per-part encoder: cycling one
+/// `String` through a stream of similarly-sized parts serializes each
+/// with no heap allocation.
+pub fn write_element_into(element: &Element, opts: &XmlWriteOptions, out: &mut String) {
+    out.clear();
+    let mut w = XmlWriter { out, opts };
+    let Ok(()) = walk_element(element, &mut w);
 }
 
 struct XmlWriter<'o> {

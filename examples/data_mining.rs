@@ -81,7 +81,7 @@ fn main() {
         // ---- Unified: data inside the SOAP message.
         let request = bxsoap::verify_request_envelope(&index, &values);
         let start = Instant::now();
-        let resp = engine.call(request).expect("unified call");
+        let resp = engine.call_with(request, &soap::CallOptions::new()).expect("unified call");
         let unified = start.elapsed();
         assert_verified(&resp, model_size);
 
@@ -101,7 +101,7 @@ fn main() {
                 AtomicValue::Str(format!("http://{file_addr}/{file_name}")),
             )),
         );
-        let resp = engine.call(control).expect("separated call");
+        let resp = engine.call_with(control, &soap::CallOptions::new()).expect("separated call");
         let separated = start.elapsed();
         assert_verified(&resp, model_size);
 

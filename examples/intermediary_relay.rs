@@ -81,7 +81,7 @@ fn main() {
             .with_child(Element::array("data", ArrayValue::F64(values))),
     ));
 
-    let response = engine.call(request).expect("relayed call");
+    let response = engine.call_with(request, &soap::CallOptions::new()).expect("relayed call");
     let body = response.body_element().expect("body");
     let reply_addressing = WsAddressing::from_envelope(&response);
     println!(

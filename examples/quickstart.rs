@@ -75,7 +75,7 @@ fn main() {
         BxsaEncoding::default(),
         TcpBinding::new(&tcp_server.local_addr().to_string()),
     );
-    let resp = bin_engine.call(request.clone()).expect("bxsa/tcp call");
+    let resp = bin_engine.call_with(request.clone(), &soap::CallOptions::new()).expect("bxsa/tcp call");
     report("SOAP over BXSA/TCP", &resp);
 
     // SOAP over XML/HTTP — the conventional path. Identical service.
@@ -83,7 +83,7 @@ fn main() {
         XmlEncoding::default(),
         HttpBinding::new(&http_server.local_addr().to_string(), "/soap"),
     );
-    let resp = xml_engine.call(request).expect("xml/http call");
+    let resp = xml_engine.call_with(request, &soap::CallOptions::new()).expect("xml/http call");
     report("SOAP over XML/HTTP", &resp);
 
     tcp_server.shutdown();

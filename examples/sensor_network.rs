@@ -92,7 +92,7 @@ fn main() {
                             ))
                             .with_child(Element::leaf("reading", AtomicValue::F64(reading))),
                     );
-                    engine.call(env).expect("report");
+                    engine.call_with(env, &soap::CallOptions::new()).expect("report");
                 }
             });
         }

@@ -96,7 +96,7 @@ fn main() {
     let request = bxsoap::verify_request_envelope(&index, &values);
     for port in ["fast", "interop"] {
         let mut engine = discovered.connect(port).expect("connect");
-        let resp = engine.call(request.clone()).expect("call");
+        let resp = engine.call_with(request.clone(), &soap::CallOptions::new()).expect("call");
         let ok = resp
             .body_element()
             .and_then(|b| b.child_value("ok"))
@@ -113,7 +113,7 @@ fn main() {
         TcpBinding::new(&secure_port.address),
         HmacSigner::new(b"org shared key", "org-key-1"),
     );
-    let resp = engine.call(request.clone()).expect("signed call");
+    let resp = engine.call_with(request.clone(), &soap::CallOptions::new()).expect("signed call");
     let ok = resp
         .body_element()
         .and_then(|b| b.child_value("ok"))
@@ -123,7 +123,7 @@ fn main() {
 
     // An unsigned client is turned away from the secure port.
     let mut unsigned = discovered.connect("secure").expect("connect");
-    match unsigned.call(request) {
+    match unsigned.call_with(request, &soap::CallOptions::new()) {
         Err(soap::SoapError::Fault(f)) => {
             println!("unsigned client rejected as expected: {}", f.string)
         }

@@ -107,7 +107,7 @@ fn run<E, B>(
     B: BindingPolicy,
 {
     // Warm-up call establishes connections and page caches.
-    let warm = engine.call(request.clone()).expect("warmup call");
+    let warm = engine.call_with(request.clone(), &soap::CallOptions::new()).expect("warmup call");
     assert_eq!(
         warm.body_element()
             .and_then(|b| b.child_value("ok"))
@@ -118,7 +118,7 @@ fn run<E, B>(
 
     let start = Instant::now();
     for _ in 0..calls {
-        engine.call(request.clone()).expect("call");
+        engine.call_with(request.clone(), &soap::CallOptions::new()).expect("call");
     }
     let elapsed = start.elapsed();
     let per_call_us = elapsed.as_micros() as f64 / calls as f64;

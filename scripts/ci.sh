@@ -120,6 +120,40 @@ for f in crates/transport/src/tcpserver.rs crates/transport/src/http/server.rs \
     fi
 done
 
+# Streaming job (PR 9): the end-to-end streamed lane stays live and
+# constant-memory. The e2e tests drive a >=8x-window payload
+# client -> transcoding intermediary -> server and back; the chunked
+# edge tests feed the server degenerate framing over raw sockets; the
+# alloc gate (rides the alloc-counter step above; STREAM_GATE_FULL=1
+# scales it to a simulated gigabyte) pins a warm streamed exchange's
+# client-side allocations independent of payload size; and the bench
+# must keep emitting both lanes' rows for BENCH_PR9.json.
+cargo test -q --test streaming_live
+cargo test -q --test chunked_edges
+stream_bench_out=$(cargo bench -p bench --bench stream_pipeline 2>&1 | grep '^BENCH ') || {
+    echo "stream_pipeline bench produced no BENCH lines" >&2
+    exit 1
+}
+for row in 'stream_pipeline/buffered/1MB' 'stream_pipeline/streamed/1MB' \
+           'stream_pipeline/streamed/256MB'; do
+    if ! grep -q "^BENCH {\"id\":\"$row\"" <<<"$stream_bench_out"; then
+        echo "stream_pipeline bench is missing row $row" >&2
+        exit 1
+    fi
+done
+
+# Streaming means streaming: no serving-path code may slurp a body with
+# read_to_end — bodies arrive through the sized/chunked readers with
+# their frame and part caps. Test modules are exempt (faulty.rs's
+# fixtures read sockets to EOF on purpose).
+for f in crates/transport/src/http/*.rs crates/transport/src/reactor/*.rs \
+         crates/soap/src/*.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -n 'read_to_end'; then
+        echo "streaming: $f buffers a whole body with read_to_end" >&2
+        exit 1
+    fi
+done
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The API is the product: rustdoc must build clean (broken intra-doc

@@ -143,7 +143,7 @@ fn expired_on_arrival_is_rejected_without_dispatch_on_both_transports() {
         BxsaEncoding::default(),
         TcpBinding::new(&tcp.local_addr().to_string()),
     );
-    match engine.call(dead.clone()) {
+    match engine.call_with(dead.clone(), &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => {
             assert_eq!(f.code, soap::FaultCode::Server);
             assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
@@ -155,7 +155,7 @@ fn expired_on_arrival_is_rejected_without_dispatch_on_both_transports() {
         XmlEncoding::default(),
         HttpBinding::new(&http.local_addr().to_string(), "/soap"),
     );
-    match engine.call(dead.clone()) {
+    match engine.call_with(dead.clone(), &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => {
             assert_eq!(f.code, soap::FaultCode::Server);
             assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
@@ -209,7 +209,7 @@ fn intermediary_decrements_hops_and_forwards_remaining_budget() {
     // Hand-stamped header with a known hop count crosses one relay hop.
     let mut request = SoapEnvelope::with_body(Element::component("EchoDeadline"));
     DeadlineHeader::new(5_000, 3).stamp(&mut request);
-    let resp = engine.call(request).unwrap();
+    let resp = engine.call_with(request, &soap::CallOptions::new()).unwrap();
     let body = resp.body_element().unwrap();
     let Some(AtomicValue::I64(hops)) = body.child_value("hops") else {
         panic!("server saw no deadline header");
@@ -228,7 +228,7 @@ fn intermediary_decrements_hops_and_forwards_remaining_budget() {
     // sender's problem, not the upstream's).
     let mut exhausted = SoapEnvelope::with_body(Element::component("EchoDeadline"));
     DeadlineHeader::new(5_000, 0).stamp(&mut exhausted);
-    match engine.call(exhausted) {
+    match engine.call_with(exhausted, &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => {
             assert_eq!(f.code, soap::FaultCode::Client);
             assert!(f.string.contains("hop"), "{}", f.string);
@@ -240,7 +240,7 @@ fn intermediary_decrements_hops_and_forwards_remaining_budget() {
     // deadline fault (and its retry hint), never reaching the upstream.
     let mut expired = SoapEnvelope::with_body(Element::component("EchoDeadline"));
     DeadlineHeader::new(0, 3).stamp(&mut expired);
-    match engine.call(expired) {
+    match engine.call_with(expired, &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => {
             assert_eq!(f.code, soap::FaultCode::Server);
             assert_eq!(f.retry_after(), Some(EXPIRED_RETRY_AFTER));
@@ -280,7 +280,7 @@ fn breaker_opens_fast_fails_and_recovers_against_real_sockets() {
 
     // Three refused connects trip the breaker...
     for _ in 0..3 {
-        let err = engine.call(slow_request()).unwrap_err();
+        let err = engine.call_with(slow_request(), &soap::CallOptions::new()).unwrap_err();
         assert!(matches!(err, SoapError::Transport(_)), "{err:?}");
         assert_eq!(engine.last_call_attempts(), 1);
     }
@@ -288,7 +288,7 @@ fn breaker_opens_fast_fails_and_recovers_against_real_sockets() {
 
     // ...and while open the engine fails fast: typed error, zero
     // exchange attempts, no socket work at all.
-    match engine.call(slow_request()) {
+    match engine.call_with(slow_request(), &soap::CallOptions::new()) {
         Err(SoapError::CircuitOpen {
             endpoint,
             retry_after,
@@ -311,10 +311,10 @@ fn breaker_opens_fast_fails_and_recovers_against_real_sockets() {
     )
     .expect("freed port must be rebindable");
     std::thread::sleep(Duration::from_millis(200)); // > cooldown_cap
-    let resp = engine.call(slow_request()).expect("probe must go through");
+    let resp = engine.call_with(slow_request(), &soap::CallOptions::new()).expect("probe must go through");
     assert_eq!(resp.operation(), Some("SlowResponse"));
     assert_eq!(breaker.state(), BreakerState::Closed);
-    assert!(engine.call(slow_request()).is_ok(), "closed circuit serves normally");
+    assert!(engine.call_with(slow_request(), &soap::CallOptions::new()).is_ok(), "closed circuit serves normally");
     assert_eq!(breaker.trips(), 1);
 
     server.shutdown();

@@ -12,7 +12,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::time::Duration;
 
 use transport::{
-    HttpConnection, HttpRequest, HttpResponse, HttpServer, TcpServer, TcpServerConfig, Timeouts,
+    HttpConnection, HttpRequest, HttpResponse, HttpServer, Timeouts,
 };
 
 fn echo_path_server() -> HttpServer {
@@ -131,16 +131,15 @@ fn per_connection_state_is_private_across_reused_connections() {
     // with connections now multiplexed onto shared event-loop workers,
     // two live connections must still see disjoint state (the old
     // thread-per-connection guarantee).
-    let server = TcpServer::bind_scoped_with(
-        "127.0.0.1:0",
-        TcpServerConfig::default(),
-        || 0u64, // per-connection message counter
-        |count: &mut u64, _req: &[u8], out: &mut Vec<u8>| {
-            *count += 1;
-            out.extend_from_slice(&count.to_be_bytes());
-        },
-    )
-    .unwrap();
+    let server = transport::ServerBuilder::bind("127.0.0.1:0")
+        .serve_framed(
+            || 0u64, // per-connection message counter
+            |count: &mut u64, _req: &[u8], out: &mut Vec<u8>, _ctl| {
+                *count += 1;
+                out.extend_from_slice(&count.to_be_bytes());
+            },
+        )
+        .unwrap();
     let addr = server.local_addr().to_string();
 
     let mut a = transport::FramedStream::connect(&addr).unwrap();

@@ -45,7 +45,7 @@ fn metrics_scrape_reports_engine_breaker_and_server_families() {
     let (index, values) = lead_dataset(20, 42);
     let request = verify_request_envelope(&index, &values);
     for _ in 0..3 {
-        engine.call(request.clone()).expect("healthy server");
+        engine.call_with(request.clone(), &soap::CallOptions::new()).expect("healthy server");
     }
 
     // A deadline already expired when the call starts: the engine must
@@ -61,7 +61,7 @@ fn metrics_scrape_reports_engine_breaker_and_server_families() {
         TcpBinding::new("127.0.0.1:1"),
     )
     .with_retry(RetryPolicy::no_delay(3));
-    let _ = doomed.call(request.clone()).unwrap_err();
+    let _ = doomed.call_with(request.clone(), &soap::CallOptions::new()).unwrap_err();
 
     // A tripped breaker: trips counter and open-state gauge.
     let tripped = transport::BreakerHandle::standalone(
@@ -172,7 +172,7 @@ fn tcp_only_deployment_exports_via_dump() {
     let (index, values) = lead_dataset(50, 7);
     let request = verify_request_envelope(&index, &values);
     for _ in 0..2 {
-        let resp = engine.call(request.clone()).unwrap();
+        let resp = engine.call_with(request.clone(), &soap::CallOptions::new()).unwrap();
         assert_eq!(
             resp.body_element().unwrap().child_value("ok"),
             Some(&bxdm::AtomicValue::Bool(true))

@@ -258,7 +258,7 @@ fn framed_shed_answers_a_retryable_fault_and_keeps_the_connection() {
     let mut engine = SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
     // Two calls: the second proves the connection survived the first shed.
     for round in 0..2 {
-        match engine.call(nap_request()) {
+        match engine.call_with(nap_request(), &soap::CallOptions::new()) {
             Err(SoapError::Fault(f)) => {
                 assert_eq!(f.code, FaultCode::Server, "round {round}");
                 let hint = f.retry_after().expect("shed fault must carry retry-after-ms");
@@ -280,22 +280,19 @@ fn framed_shed_answers_a_retryable_fault_and_keeps_the_connection() {
 /// well-behaved client is served immediately afterwards.
 #[test]
 fn slow_loris_trickle_is_cut_by_the_message_deadline() {
-    let server = TcpServer::bind_buffered_with(
-        "127.0.0.1:0",
-        TcpServerConfig {
-            // Generous progress budget: each trickled byte re-arms it, so
-            // on its own it would never fire. Only the message deadline
-            // can end this connection early.
-            read_timeout: Some(Duration::from_secs(5)),
-            overload: OverloadConfig {
-                message_deadline: Some(Duration::from_millis(200)),
-                ..OverloadConfig::default()
-            },
-            ..TcpServerConfig::default()
-        },
-        |req, out| out.extend_from_slice(req),
-    )
-    .unwrap();
+    let server = transport::ServerBuilder::bind("127.0.0.1:0")
+        // Generous progress budget: each trickled byte re-arms it, so
+        // on its own it would never fire. Only the message deadline
+        // can end this connection early.
+        .read_timeout(Duration::from_secs(5))
+        .overload(OverloadConfig {
+            message_deadline: Some(Duration::from_millis(200)),
+            ..OverloadConfig::default()
+        })
+        .serve_framed(|| (), |(), req: &[u8], out: &mut Vec<u8>, _ctl| {
+            out.extend_from_slice(req)
+        })
+        .unwrap();
     let addr = server.local_addr().to_string();
     let slow_before =
         counter("bx_server_connection_errors_total", &["transport=\"tcp\"", "kind=\"slow_peer\""]);
@@ -398,18 +395,14 @@ fn handler_panics_are_counted_per_transport() {
 /// began — and drops nothing.
 #[test]
 fn shutdown_answers_admitted_inflight_work_under_overload_config() {
-    let server = TcpServer::bind_buffered_with(
-        "127.0.0.1:0",
-        TcpServerConfig {
-            overload: OverloadConfig {
-                max_connections: Some(8),
-                reject_when_full: true,
-                message_deadline: Some(Duration::from_secs(5)),
-                ..OverloadConfig::default()
-            },
-            ..TcpServerConfig::default()
-        },
-        |req, out| {
+    let server = transport::ServerBuilder::bind("127.0.0.1:0")
+        .overload(OverloadConfig {
+            max_connections: Some(8),
+            reject_when_full: true,
+            message_deadline: Some(Duration::from_secs(5)),
+            ..OverloadConfig::default()
+        })
+        .serve_framed(|| (), |(), req: &[u8], out: &mut Vec<u8>, _ctl| {
             thread::sleep(Duration::from_millis(300));
             out.extend_from_slice(req);
         },
@@ -463,10 +456,10 @@ fn sheds_are_not_double_counted_as_shutdown_drops() {
     let mut engine = SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
     // First call is admitted (no latency history yet) and takes 250 ms,
     // which primes the EWMA far past the 50 ms queue-delay budget…
-    let first = engine.call(nap_request()).expect("first call admitted");
+    let first = engine.call_with(nap_request(), &soap::CallOptions::new()).expect("first call admitted");
     assert!(first.body_element().is_some());
     // …so the second call on the same connection is shed with a hint.
-    match engine.call(nap_request()) {
+    match engine.call_with(nap_request(), &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => assert!(f.retry_after().is_some()),
         other => panic!("expected a queue-delay shed, got {other:?}"),
     }

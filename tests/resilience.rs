@@ -204,7 +204,7 @@ fn live_servers_survive_mutated_corpus() {
     let (index, values) = lead_dataset(50, seed());
     let request = verify_request_envelope(&index, &values);
     let mut tcp_engine = SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&tcp_addr));
-    let resp = tcp_engine.call(request.clone()).expect("TCP listener alive");
+    let resp = tcp_engine.call_with(request.clone(), &soap::CallOptions::new()).expect("TCP listener alive");
     assert_eq!(
         resp.body_element().unwrap().child_value("ok"),
         Some(&bxdm::AtomicValue::Bool(true))
@@ -213,7 +213,7 @@ fn live_servers_survive_mutated_corpus() {
         XmlEncoding::default(),
         HttpBinding::new(&http_addr, "/soap"),
     );
-    let resp = http_engine.call(request).expect("HTTP listener alive");
+    let resp = http_engine.call_with(request, &soap::CallOptions::new()).expect("HTTP listener alive");
     assert_eq!(
         resp.body_element().unwrap().child_value("ok"),
         Some(&bxdm::AtomicValue::Bool(true))
@@ -250,7 +250,7 @@ fn engine_retries_through_flaky_connects_against_live_server() {
     let request = verify_request_envelope(&index, &values);
     let mut retried = 0u32;
     for _ in 0..40 {
-        let resp = engine.call(request.clone()).expect("retry must recover");
+        let resp = engine.call_with(request.clone(), &soap::CallOptions::new()).expect("retry must recover");
         assert_eq!(
             resp.body_element().unwrap().child_value("ok"),
             Some(&bxdm::AtomicValue::Bool(true))
@@ -295,13 +295,13 @@ fn non_idempotent_calls_are_never_replayed() {
     .with_retry(RetryPolicy::no_delay(10));
 
     let request = SoapEnvelope::with_body(bxdm::Element::component("Increment"));
-    let err = engine.call_non_idempotent(request.clone()).unwrap_err();
+    let err = engine.call_with(request.clone(), &soap::CallOptions::new().non_idempotent()).unwrap_err();
     assert!(matches!(err, SoapError::Transport(_)));
     assert_eq!(engine.last_call_attempts(), 1, "must not be replayed");
 
     // The same failure through the idempotent path burns every attempt —
     // the contrast proves the non-idempotent guard is what held it to 1.
-    let err = engine.call(request).unwrap_err();
+    let err = engine.call_with(request, &soap::CallOptions::new()).unwrap_err();
     assert!(matches!(err, SoapError::Transport(_)));
     assert_eq!(engine.last_call_attempts(), 10);
     assert_eq!(hits.load(Ordering::SeqCst), 0);
@@ -343,7 +343,7 @@ fn retry_honors_503_with_retry_after_from_live_http_server() {
     .with_retry(RetryPolicy::no_delay(5));
     let (index, values) = lead_dataset(5, seed());
     let resp = engine
-        .call(verify_request_envelope(&index, &values))
+        .call_with(verify_request_envelope(&index, &values), &soap::CallOptions::new())
         .expect("503s must be retried through");
     assert_eq!(
         resp.body_element().unwrap().child_value("ok"),
@@ -393,7 +393,7 @@ fn hostile_content_length_is_rejected_with_413_before_allocation() {
         HttpBinding::new(&addr, "/soap"),
     );
     let resp = engine
-        .call(verify_request_envelope(&index, &values))
+        .call_with(verify_request_envelope(&index, &values), &soap::CallOptions::new())
         .expect("listener alive after hostile headers");
     assert_eq!(
         resp.body_element().unwrap().child_value("ok"),
@@ -449,7 +449,7 @@ fn retry_after_hint_stretches_the_backoff_sleep() {
     let (index, values) = lead_dataset(5, seed());
     let started = std::time::Instant::now();
     let resp = engine
-        .call(verify_request_envelope(&index, &values))
+        .call_with(verify_request_envelope(&index, &values), &soap::CallOptions::new())
         .expect("one 503 then success");
     let elapsed = started.elapsed();
     assert_eq!(
@@ -507,7 +507,7 @@ fn live_server_survives_fault_injection_on_its_own_sockets() {
             TcpBinding::new(&addr)
                 .with_timeouts(transport::Timeouts::all(Duration::from_millis(500))),
         );
-        match engine.call(request.clone()) {
+        match engine.call_with(request.clone(), &soap::CallOptions::new()) {
             // BXSA carries no integrity check, so injected corruption can
             // occasionally survive decoding with flipped *values* (an
             // `ok=false` reply, a garbled flag); that's a broken exchange,
@@ -554,7 +554,7 @@ fn mid_exchange_drops_are_not_retried() {
     )
     .with_retry(RetryPolicy::no_delay(10));
     let request = SoapEnvelope::with_body(bxdm::Element::component("Anything"));
-    let err = engine.call(request).unwrap_err();
+    let err = engine.call_with(request, &soap::CallOptions::new()).unwrap_err();
     assert!(
         matches!(
             err,

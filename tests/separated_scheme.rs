@@ -79,7 +79,7 @@ fn full_separated_flow_over_real_sockets_and_disk() {
             AtomicValue::Str(format!("http://{}/run1.nc", files.local_addr())),
         ),
     ));
-    let resp = engine.call(control).unwrap();
+    let resp = engine.call_with(control, &soap::CallOptions::new()).unwrap();
     let body = resp.body_element().unwrap();
     assert_eq!(
         body.child_value("ok").and_then(AtomicValue::as_bool),
@@ -111,7 +111,7 @@ fn missing_file_surfaces_as_fault() {
             AtomicValue::Str(format!("http://{}/nope.nc", files.local_addr())),
         ),
     ));
-    match engine.call(control) {
+    match engine.call_with(control, &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => assert!(f.string.contains("404")),
         other => panic!("expected fault, got {other:?}"),
     }
@@ -137,7 +137,7 @@ fn corrupt_file_surfaces_as_fault() {
             AtomicValue::Str(format!("http://{}/bad.nc", files.local_addr())),
         ),
     ));
-    match engine.call(control) {
+    match engine.call_with(control, &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => assert!(f.string.contains("bad file")),
         other => panic!("expected fault, got {other:?}"),
     }

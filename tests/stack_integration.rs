@@ -38,7 +38,7 @@ fn all_four_policy_combinations_serve_the_lead_workload() {
         BxsaEncoding::default(),
         TcpBinding::new(&s.local_addr().to_string()),
     );
-    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    assert_ok_response(&e.call_with(request.clone(), &soap::CallOptions::new()).unwrap(), 2_000);
     s.shutdown();
 
     // XML over TCP.
@@ -47,7 +47,7 @@ fn all_four_policy_combinations_serve_the_lead_workload() {
         XmlEncoding::default(),
         TcpBinding::new(&s.local_addr().to_string()),
     );
-    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    assert_ok_response(&e.call_with(request.clone(), &soap::CallOptions::new()).unwrap(), 2_000);
     s.shutdown();
 
     // BXSA over HTTP.
@@ -62,7 +62,7 @@ fn all_four_policy_combinations_serve_the_lead_workload() {
         BxsaEncoding::default(),
         HttpBinding::new(&s.local_addr().to_string(), "/soap"),
     );
-    assert_ok_response(&e.call(request.clone()).unwrap(), 2_000);
+    assert_ok_response(&e.call_with(request.clone(), &soap::CallOptions::new()).unwrap(), 2_000);
     s.shutdown();
 
     // XML over HTTP.
@@ -77,7 +77,7 @@ fn all_four_policy_combinations_serve_the_lead_workload() {
         XmlEncoding::default(),
         HttpBinding::new(&s.local_addr().to_string(), "/soap"),
     );
-    assert_ok_response(&e.call(request).unwrap(), 2_000);
+    assert_ok_response(&e.call_with(request, &soap::CallOptions::new()).unwrap(), 2_000);
     s.shutdown();
 }
 
@@ -97,7 +97,7 @@ fn concurrent_clients_share_one_server() {
                     SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
                 for _ in 0..5 {
                     let resp = engine
-                        .call(bxsoap::verify_request_envelope(&index, &values))
+                        .call_with(bxsoap::verify_request_envelope(&index, &values), &soap::CallOptions::new())
                         .unwrap();
                     assert_ok_response(&resp, index.len());
                 }
@@ -135,7 +135,7 @@ fn two_hop_relay_chain_with_mixed_encodings() {
         TcpBinding::new(&relay1.local_addr().to_string()),
     );
     let resp = engine
-        .call(bxsoap::verify_request_envelope(&index, &values))
+        .call_with(bxsoap::verify_request_envelope(&index, &values), &soap::CallOptions::new())
         .unwrap();
     assert_ok_response(&resp, 800);
 
@@ -175,7 +175,7 @@ fn mismatched_data_is_reported_not_faulted() {
     let (index, mut values) = bxsoap::lead_dataset(100, 2);
     values[50] = f64::INFINITY;
     let resp = engine
-        .call(bxsoap::verify_request_envelope(&index, &values))
+        .call_with(bxsoap::verify_request_envelope(&index, &values), &soap::CallOptions::new())
         .unwrap();
     let body = resp.body_element().unwrap();
     assert_eq!(
@@ -195,7 +195,7 @@ fn missing_arrays_fault_with_protocol_message() {
         TcpBinding::new(&server.local_addr().to_string()),
     );
     let bad = SoapEnvelope::with_body(Element::component("Verify"));
-    match engine.call(bad) {
+    match engine.call_with(bad, &soap::CallOptions::new()) {
         Err(SoapError::Fault(f)) => assert!(f.string.contains("index")),
         other => panic!("expected fault, got {other:?}"),
     }

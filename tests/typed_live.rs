@@ -95,7 +95,7 @@ fn typed_verify_round_trips_over_live_http_xml() {
     // The generic tree pipeline shares the wire format, so a tree client
     // talking to the typed-registered server gets the same answer.
     let envelope = bxsoap::verify_request_envelope(&request.index, &request.values);
-    let reply = engine.call(envelope).unwrap();
+    let reply = engine.call_with(envelope, &soap::CallOptions::new()).unwrap();
     assert_eq!(reply.operation(), Some("VerifyResponse"));
 
     server.shutdown();
@@ -133,7 +133,7 @@ fn registered_deadline_default_gates_bare_calls() {
     // Bare call: the registered zero deadline applies and expires before
     // anything reaches the server.
     let request = SoapEnvelope::with_body(Element::component("Expired"));
-    let err = engine.call(request.clone()).unwrap_err();
+    let err = engine.call_with(request.clone(), &soap::CallOptions::new()).unwrap_err();
     // The expired budget surfaces as a transport deadline error
     // ("timed out ... (budget 0.000s)").
     let msg = err.to_string().to_lowercase();
@@ -175,7 +175,7 @@ fn registered_retry_default_drives_bare_call_attempts() {
     let request = SoapEnvelope::with_body(Element::component("Flaky"));
     let mut with_defaults =
         SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr)).with_metadata(metadata);
-    assert!(with_defaults.call(request.clone()).is_err());
+    assert!(with_defaults.call_with(request.clone(), &soap::CallOptions::new()).is_err());
     assert_eq!(
         with_defaults.last_call_attempts(),
         3,
@@ -183,6 +183,6 @@ fn registered_retry_default_drives_bare_call_attempts() {
     );
 
     let mut plain = SoapEngine::new(BxsaEncoding::default(), TcpBinding::new(&addr));
-    assert!(plain.call(request).is_err());
+    assert!(plain.call_with(request, &soap::CallOptions::new()).is_err());
     assert_eq!(plain.last_call_attempts(), 1, "no policy, no retries");
 }
