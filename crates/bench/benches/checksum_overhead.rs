@@ -1,0 +1,61 @@
+//! PR 10 ablation: what the opt-in CRC32C frame checksum costs.
+//!
+//! The checksum trailer covers every byte of the document frame, so the
+//! worst case for relative overhead is exactly the codec-throughput
+//! workload: big numeric arrays where the codec itself is fastest. Four
+//! cells per model size — encode and decode, plain and checksummed —
+//! plus the raw `crc32c` kernel rate as the theoretical floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::workload::Workload;
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum_overhead");
+    for &model_size in &[1_000usize, 100_000] {
+        let w = Workload::prepare(model_size, 42);
+        let opts = bxsa::EncodeOptions {
+            checksum: true,
+            ..Default::default()
+        };
+        let checked = bxsa::encode_with(&w.request_doc, &opts).expect("encode");
+        group.throughput(Throughput::Bytes(w.native_bytes() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("encode_plain", model_size),
+            &w,
+            |b, w| b.iter(|| bxsa::encode(&w.request_doc).expect("encode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_crc32c", model_size),
+            &w,
+            |b, w| b.iter(|| bxsa::encode_with(&w.request_doc, &opts).expect("encode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_plain", model_size),
+            &w,
+            |b, w| b.iter(|| bxsa::decode(&w.bxsa_bytes).expect("decode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_crc32c", model_size),
+            &checked,
+            |b, bytes| b.iter(|| bxsa::decode(bytes).expect("decode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("crc32c_kernel", model_size),
+            &checked,
+            |b, bytes| b.iter(|| bxsa::crc32c::crc32c(bytes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_checksum
+}
+criterion_main!(benches);

@@ -117,12 +117,15 @@ impl From<String> for QName {
 /// This is deliberately the pragmatic subset real SOAP toolkits enforce,
 /// not the full XML 1.0 production.
 pub fn is_valid_ncname(s: &str) -> bool {
+    // The non-ASCII pass-through still excludes whitespace: XML names
+    // never contain it, and text-side tag lexing would split or trim it.
+    let pass = |c: char| !c.is_ascii() && !c.is_whitespace();
     let mut chars = s.chars();
     match chars.next() {
-        Some(c) if c.is_ascii_alphabetic() || c == '_' || !c.is_ascii() => {}
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || pass(c) => {}
         _ => return false,
     }
-    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || !c.is_ascii())
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || pass(c))
 }
 
 #[cfg(test)]
@@ -169,5 +172,7 @@ mod tests {
         assert!(!is_valid_ncname("a b"));
         assert!(!is_valid_ncname("-x"));
         assert!(is_valid_ncname("élément"));
+        assert!(!is_valid_ncname("a\u{a0}"));
+        assert!(!is_valid_ncname("\u{2028}x"));
     }
 }

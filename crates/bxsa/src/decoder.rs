@@ -63,9 +63,26 @@ pub fn decode_into_with(bytes: &[u8], doc: &mut Document, opts: &DecodeOptions) 
         opts,
     };
     dec.fill_document(doc)?;
-    if !dec.r.is_at_end() {
+    finish_with_optional_checksum(&mut dec.r, "document")
+}
+
+/// End-of-input check shared by the tree decoders and the pull reader:
+/// after the top-level frame, the input must either end or carry exactly
+/// one checksum frame covering everything before it (which is verified).
+/// Anything else is a typed error.
+pub(crate) fn finish_with_optional_checksum(r: &mut XbsReader<'_>, what: &str) -> BxsaResult<()> {
+    if r.is_at_end() {
+        return Ok(());
+    }
+    let pos = r.position();
+    let buf = r.buffer();
+    if matches!(parse_prefix(buf[pos], pos), Ok((_, FrameType::Checksum))) {
+        let end = crate::frame::verify_checksum_frame(buf, 0, pos)?;
+        r.seek(end)?;
+    }
+    if !r.is_at_end() {
         return Err(BxsaError::Structure {
-            what: format!("{} trailing byte(s) after the document frame", dec.r.remaining()),
+            what: format!("{} trailing byte(s) after the {what} frame", r.remaining()),
         });
     }
     Ok(())
@@ -74,7 +91,23 @@ pub fn decode_into_with(bytes: &[u8], doc: &mut Document, opts: &DecodeOptions) 
 /// Decode a standalone element frame (the output of
 /// [`crate::encoder::encode_element`]).
 pub fn decode_element(bytes: &[u8], opts: &DecodeOptions) -> BxsaResult<Element> {
-    decode_element_at(bytes, 0, opts)
+    // Not `decode_element_at(bytes, 0, ..)`: that entry point decodes a
+    // frame embedded in a larger buffer and so cannot demand end-of-input.
+    // A standalone part must end after its frame (or its checksum), else
+    // trailing garbage — or a checksum frame that would catch corruption —
+    // would be silently ignored.
+    let mut dec = Decoder {
+        r: XbsReader::new(bytes, ByteOrder::Little),
+        opts,
+    };
+    let node = dec.read_frame(0, None)?;
+    finish_with_optional_checksum(&mut dec.r, "element")?;
+    match node {
+        Node::Element(e) => Ok(e),
+        other => Err(BxsaError::Structure {
+            what: format!("expected an element frame, found {other:?}"),
+        }),
+    }
 }
 
 /// [`decode_element`] into a reusable [`Node`] slot: contents are
@@ -98,12 +131,7 @@ pub fn decode_element_into_with(
         opts,
     };
     dec.fill_frame(0, None, node)?;
-    if !dec.r.is_at_end() {
-        return Err(BxsaError::Structure {
-            what: format!("{} trailing byte(s) after the element frame", dec.r.remaining()),
-        });
-    }
-    Ok(())
+    finish_with_optional_checksum(&mut dec.r, "element")
 }
 
 /// Decode one element frame located at `offset` inside a larger document
@@ -230,6 +258,12 @@ impl Decoder<'_, '_> {
             FrameType::Document => Err(BxsaError::Structure {
                 what: "nested document frame".into(),
             }),
+            // Checksum frames are only valid trailing a top-level frame
+            // (see `finish_with_optional_checksum`); one inside a
+            // container is a structure violation.
+            FrameType::Checksum => Err(BxsaError::Structure {
+                what: format!("checksum frame at offset {start} inside a container frame"),
+            }),
             FrameType::Component | FrameType::Leaf | FrameType::Array => {
                 let el = match slot {
                     Node::Element(e) => e,
@@ -247,13 +281,19 @@ impl Decoder<'_, '_> {
                 Node::Text(t) => set_string(t, s),
                 other => *other = Node::Text(s.to_owned()),
             }),
-            FrameType::Comment => self.r.read_str().map_err(Into::into).map(|s| match slot {
-                Node::Comment(t) => set_string(t, s),
-                other => *other = Node::Comment(s.to_owned()),
-            }),
+            FrameType::Comment => (|| {
+                let s = self.r.read_str()?;
+                crate::wellformed::check_comment(s)?;
+                match slot {
+                    Node::Comment(t) => set_string(t, s),
+                    other => *other = Node::Comment(s.to_owned()),
+                }
+                Ok(())
+            })(),
             FrameType::Pi => (|| {
                 let t = self.r.read_str()?;
                 let d = self.r.read_str()?;
+                crate::wellformed::check_pi(t, d)?;
                 match slot {
                     Node::Pi { target, data } => {
                         set_string(target, t);
@@ -290,6 +330,9 @@ impl Decoder<'_, '_> {
         for i in 0..n1 {
             let prefix = self.r.read_str()?;
             let uri = self.r.read_str()?;
+            if !prefix.is_empty() {
+                crate::wellformed::check_name("namespace prefix", prefix)?;
+            }
             match el.namespaces.get_mut(i) {
                 Some(decl) => {
                     set_opt_string(&mut decl.prefix, (!prefix.is_empty()).then_some(prefix));
@@ -402,6 +445,7 @@ impl Decoder<'_, '_> {
             decl.prefix.as_deref()
         };
         let local = self.r.read_str()?;
+        crate::wellformed::check_name("local name", local)?;
         name.set(prefix, local);
         Ok(())
     }
@@ -516,6 +560,7 @@ mod tests {
             &doc,
             &EncodeOptions {
                 byte_order: ByteOrder::Big,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -680,7 +725,7 @@ mod tests {
         let mut out = Vec::new();
         for doc in &docs {
             for order in [ByteOrder::Little, ByteOrder::Big] {
-                out.push(encode_with(doc, &EncodeOptions { byte_order: order }).unwrap());
+                out.push(encode_with(doc, &EncodeOptions { byte_order: order, ..Default::default() }).unwrap());
             }
         }
         out

@@ -14,6 +14,27 @@ pub struct EncodeOptions {
     /// encoding in the machine's native order keeps the zero-copy read
     /// path available on the receiver when architectures match.
     pub byte_order: ByteOrder,
+    /// Append a CRC32C integrity-checksum frame after the top-level
+    /// frame. Off by default. Decoders verify the checksum when present
+    /// and accept its absence, so checksummed and plain peers interop
+    /// without negotiation.
+    pub checksum: bool,
+}
+
+/// Append a checksum frame covering everything already in the writer.
+pub(crate) fn append_checksum_frame(w: &mut XbsWriter, order: ByteOrder) {
+    let crc = crate::crc32c::crc32c(w.as_bytes());
+    w.put_raw_u8(prefix_byte(order, FrameType::Checksum));
+    w.put_raw_u8(crate::frame::CHECKSUM_FRAME_LEN as u8);
+    w.put_raw_u8(crate::frame::CHECKSUM_ALG_CRC32C);
+    // Raw bytes, not `put_u32`: scalar puts align to the buffer start,
+    // which would pad the frame to a position-dependent size. The frame
+    // is fixed-layout; only the CRC's byte order follows the prefix.
+    let bytes = match order {
+        ByteOrder::Little => crc.to_le_bytes(),
+        ByteOrder::Big => crc.to_be_bytes(),
+    };
+    w.put_bytes(&bytes);
 }
 
 /// Encode a document with default options (little-endian).
@@ -31,6 +52,9 @@ pub fn encode_with(doc: &Document, opts: &EncodeOptions) -> BxsaResult<Vec<u8>> 
         order: opts.byte_order,
     };
     enc.write_document(doc)?;
+    if opts.checksum {
+        append_checksum_frame(&mut enc.w, opts.byte_order);
+    }
     Ok(enc.w.into_bytes())
 }
 
@@ -55,6 +79,9 @@ pub fn encode_into_with(
         order: opts.byte_order,
     };
     let result = enc.write_document(doc);
+    if result.is_ok() && opts.checksum {
+        append_checksum_frame(&mut enc.w, opts.byte_order);
+    }
     *buf = enc.w.take_buf();
     if result.is_err() {
         buf.clear();
@@ -71,6 +98,9 @@ pub fn encode_element(element: &Element, opts: &EncodeOptions) -> BxsaResult<Vec
         order: opts.byte_order,
     };
     enc.write_element_frame(element, None)?;
+    if opts.checksum {
+        append_checksum_frame(&mut enc.w, opts.byte_order);
+    }
     Ok(enc.w.into_bytes())
 }
 
@@ -86,6 +116,9 @@ pub fn encode_element_into(
         order: opts.byte_order,
     };
     let result = enc.write_element_frame(element, None);
+    if result.is_ok() && opts.checksum {
+        append_checksum_frame(&mut enc.w, opts.byte_order);
+    }
     *buf = enc.w.take_buf();
     if result.is_err() {
         buf.clear();
@@ -134,10 +167,12 @@ impl Encoder {
                 Ok(())
             }
             Node::Comment(c) => {
+                crate::wellformed::check_comment(c)?;
                 self.write_text_like(FrameType::Comment, c);
                 Ok(())
             }
             Node::Pi { target, data } => {
+                crate::wellformed::check_pi(target, data)?;
                 let bound = body_bound(node);
                 let (start, field_len) = self.open_frame(FrameType::Pi, bound);
                 self.w.put_str(target);
@@ -173,6 +208,9 @@ impl Encoder {
         // prefix string.
         self.w.put_vls(e.namespaces.len() as u64);
         for decl in &e.namespaces {
+            if let Some(prefix) = decl.prefix.as_deref() {
+                crate::wellformed::check_name("namespace prefix", prefix)?;
+            }
             self.w.put_str(decl.prefix.as_deref().unwrap_or(""));
             self.w.put_str(&decl.uri);
         }
@@ -184,11 +222,13 @@ impl Encoder {
             None => ScopeChain::root(&e.namespaces),
         };
 
+        crate::wellformed::check_name("local name", e.name.local())?;
         self.write_ns_ref(&chain, e.name.prefix(), false)?;
         self.w.put_str(e.name.local());
 
         self.w.put_vls(e.attributes.len() as u64);
         for attr in &e.attributes {
+            crate::wellformed::check_name("local name", attr.name.local())?;
             self.write_ns_ref(&chain, attr.name.prefix(), true)?;
             self.w.put_str(attr.name.local());
             self.write_atomic(&attr.value);

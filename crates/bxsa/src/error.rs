@@ -29,6 +29,12 @@ pub enum BxsaError {
     /// A type code not permitted in this position (e.g. a string-typed
     /// array element).
     BadValueType { offset: usize, what: String },
+    /// A checksum frame's stored CRC did not match the bytes it covers.
+    ChecksumMismatch {
+        offset: usize,
+        stored: u32,
+        computed: u32,
+    },
     /// Document-level structure violation.
     Structure { what: String },
 }
@@ -60,6 +66,14 @@ impl fmt::Display for BxsaError {
             BxsaError::BadValueType { offset, what } => {
                 write!(f, "invalid value type at offset {offset}: {what}")
             }
+            BxsaError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum frame at offset {offset} stored {stored:#010x} but covered bytes hash to {computed:#010x}"
+            ),
             BxsaError::Structure { what } => write!(f, "document structure error: {what}"),
         }
     }

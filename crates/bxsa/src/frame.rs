@@ -30,6 +30,16 @@ pub enum FrameType {
     Comment = 0x06,
     /// A processing instruction.
     Pi = 0x07,
+    /// An integrity checksum covering the immediately preceding frame.
+    ///
+    /// Trailing placement (after the frame it covers, never before)
+    /// keeps document and part frames at buffer offset 0, which the
+    /// packed-array alignment rules depend on, and lets encoders append
+    /// the checksum without backpatching. Body layout after the common
+    /// prefix + padded-VLS size: 1 algorithm byte (0x01 = CRC32C), then
+    /// the 4-byte CRC stored in the frame's declared byte order. The CRC
+    /// covers every byte of the preceding frame, prefix included.
+    Checksum = 0x08,
 }
 
 impl FrameType {
@@ -43,6 +53,7 @@ impl FrameType {
             0x05 => FrameType::CharData,
             0x06 => FrameType::Comment,
             0x07 => FrameType::Pi,
+            0x08 => FrameType::Checksum,
             _ => return Err(BxsaError::BadFrameType { offset, code }),
         })
     }
@@ -51,6 +62,77 @@ impl FrameType {
     pub fn is_element(self) -> bool {
         matches!(self, FrameType::Component | FrameType::Leaf | FrameType::Array)
     }
+}
+
+/// Total wire size of a checksum frame as this crate emits it: prefix
+/// byte, 1-byte padded-VLS size, algorithm byte, 4-byte CRC.
+pub(crate) const CHECKSUM_FRAME_LEN: usize = 7;
+
+/// Algorithm byte for CRC32C — the only algorithm currently assigned.
+pub(crate) const CHECKSUM_ALG_CRC32C: u8 = 0x01;
+
+/// Parse and verify a checksum frame starting at `at`, whose CRC must
+/// cover `buf[covered_start..at]`. Returns the frame's end offset.
+///
+/// Any malformation is a typed error — a corrupt checksum frame must
+/// never be silently skipped, or it would defeat the integrity check it
+/// exists to provide.
+pub(crate) fn verify_checksum_frame(
+    buf: &[u8],
+    covered_start: usize,
+    at: usize,
+) -> BxsaResult<usize> {
+    let mut r = xbs::XbsReader::new(buf, ByteOrder::Little);
+    r.seek(at)?;
+    let (order, ft) = parse_prefix(r.read_raw_u8()?, at)?;
+    if ft != FrameType::Checksum {
+        return Err(BxsaError::Structure {
+            what: format!("expected checksum frame at offset {at}"),
+        });
+    }
+    if at == covered_start {
+        return Err(BxsaError::Structure {
+            what: format!("checksum frame at offset {at} has no preceding frame to cover"),
+        });
+    }
+    r.set_order(order);
+    let size = r.read_vls_padded()?;
+    let end = at
+        .checked_add(size as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| BxsaError::Structure {
+            what: format!("checksum frame at offset {at} declares size {size} past buffer end"),
+        })?;
+    let alg = r.read_raw_u8()?;
+    if alg != CHECKSUM_ALG_CRC32C {
+        return Err(BxsaError::Structure {
+            what: format!("unknown checksum algorithm {alg:#04x} at offset {at}"),
+        });
+    }
+    // Raw unaligned read — see `append_checksum_frame` for why the CRC
+    // is not an aligned scalar field.
+    let raw = r.read_bytes(4)?;
+    let raw: [u8; 4] = raw.try_into().expect("read_bytes(4) returned 4 bytes");
+    let stored = match order {
+        ByteOrder::Little => u32::from_le_bytes(raw),
+        ByteOrder::Big => u32::from_be_bytes(raw),
+    };
+    if r.position() != end {
+        return Err(BxsaError::FrameSizeMismatch {
+            offset: at,
+            declared: size,
+            consumed: (r.position() - at) as u64,
+        });
+    }
+    let computed = crate::crc32c::crc32c(&buf[covered_start..at]);
+    if stored != computed {
+        return Err(BxsaError::ChecksumMismatch {
+            offset: at,
+            stored,
+            computed,
+        });
+    }
+    Ok(end)
 }
 
 /// Pack a prefix byte from byte order and frame type.
@@ -84,6 +166,7 @@ mod tests {
                 FrameType::CharData,
                 FrameType::Comment,
                 FrameType::Pi,
+                FrameType::Checksum,
             ] {
                 let b = prefix_byte(order, ft);
                 assert_eq!(parse_prefix(b, 0).unwrap(), (order, ft));

@@ -37,6 +37,7 @@
 //! assert_eq!(back, doc);
 //! ```
 
+pub mod crc32c;
 pub mod decoder;
 pub mod encoder;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod scan;
 pub mod stream;
 pub mod transcode;
 pub mod typed;
+mod wellformed;
 
 pub use decoder::{
     decode, decode_element, decode_element_at, decode_element_into, decode_element_into_with,
@@ -145,7 +147,7 @@ mod roundtrip_tests {
         #[test]
         fn big_endian_roundtrips(root in arb_element(2)) {
             let doc = Document::with_root(root);
-            let opts = EncodeOptions { byte_order: ByteOrder::Big };
+            let opts = EncodeOptions { byte_order: ByteOrder::Big, ..Default::default() };
             let bytes = encode_with(&doc, &opts).unwrap();
             let back = decode(&bytes).unwrap();
             prop_assert_eq!(back, doc);

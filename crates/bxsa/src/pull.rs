@@ -224,13 +224,21 @@ impl<'a> PullReader<'a> {
         }
         r.set_order(order);
         let size = r.read_vls_padded()? as usize;
+        // Hostile size fields are attacker-controlled u64s: the addition
+        // must not wrap, and the declared end must stay inside the buffer.
+        let doc_end = start
+            .checked_add(size)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| BxsaError::Structure {
+                what: format!("document frame declares size {size} past buffer end"),
+            })?;
         let top_remaining = r.read_count(1)?;
         Ok(PullReader {
             r,
             ctx: NsContext::new(),
             stack: Vec::new(),
             top_remaining,
-            doc_end: start + size,
+            doc_end,
             finished: false,
         })
     }
@@ -310,7 +318,8 @@ impl<'a> PullReader<'a> {
                 consumed: self.r.position() as u64,
             });
         }
-        Ok(())
+        // Verify a trailing checksum frame when the sender appended one.
+        crate::decoder::finish_with_optional_checksum(&mut self.r, "document")
     }
 
     fn close_element(&mut self, end: usize) -> BxsaResult<()> {
@@ -331,10 +340,18 @@ impl<'a> PullReader<'a> {
         let (order, frame_type) = parse_prefix(self.r.read_raw_u8()?, start)?;
         self.r.set_order(order);
         let size = self.r.read_vls_padded()? as usize;
-        let end = start + size;
+        let end = start
+            .checked_add(size)
+            .filter(|&e| e <= self.r.buffer().len())
+            .ok_or_else(|| BxsaError::Structure {
+                what: format!("frame at offset {start} declares size {size} past buffer end"),
+            })?;
         match frame_type {
             FrameType::Document => Err(BxsaError::Structure {
                 what: "nested document frame".into(),
+            }),
+            FrameType::Checksum => Err(BxsaError::Structure {
+                what: format!("checksum frame at offset {start} inside a container frame"),
             }),
             FrameType::CharData => {
                 let text = self.r.read_str()?;
@@ -701,7 +718,12 @@ mod tests {
     fn truncated_stream_errors() {
         let bytes = encode(&sample_doc()).unwrap();
         let cut = &bytes[..bytes.len() / 2];
-        let mut reader = PullReader::new(cut).unwrap();
+        // The document frame's declared size now exceeds the truncated
+        // buffer, so the open itself may reject — also a surfaced error.
+        let mut reader = match PullReader::new(cut) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
         let mut saw_error = false;
         for _ in 0..100 {
             match reader.next_event() {

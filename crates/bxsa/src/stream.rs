@@ -26,7 +26,7 @@ use xbs::XbsError;
 
 use crate::encoder::{encode_element_into, EncodeOptions};
 use crate::error::{BxsaError, BxsaResult};
-use crate::frame::parse_prefix;
+use crate::frame::{parse_prefix, FrameType};
 
 /// Default streaming window: the upper bound on a single part frame and
 /// on the bytes either half buffers at steady state.
@@ -110,8 +110,12 @@ impl FrameAssembler {
     }
 
     /// Append transport bytes.
+    ///
+    /// Deliberately does *not* drop the previously surfaced frame: it
+    /// must stay buffered until the next
+    /// [`next_frame`](FrameAssembler::next_frame) call in case the bytes
+    /// that follow it are a checksum frame covering it.
     pub fn feed(&mut self, bytes: &[u8]) {
-        self.compact();
         self.buf.extend_from_slice(bytes);
     }
 
@@ -138,24 +142,13 @@ impl FrameAssembler {
         }
     }
 
-    /// Surface the next complete frame, or `None` if more input is
-    /// needed. The slice starts at the frame's first byte and is valid
-    /// until the next call on this assembler.
-    pub fn next_frame(&mut self) -> BxsaResult<Option<&[u8]>> {
-        self.compact();
-        let avail = &self.buf[..];
-        if avail.is_empty() {
-            if self.finished {
-                return Ok(None);
-            }
-            return Ok(None);
-        }
-        // Prefix byte: validate eagerly so garbage fails fast.
-        parse_prefix(avail[0], 0)?;
+    /// Declared total size of the frame starting at `at`, or `None` when
+    /// more input is needed to learn or to hold it.
+    fn frame_total_at(&mut self, at: usize) -> BxsaResult<Option<usize>> {
         // Size field: a padded VLS right after the prefix. A truncated
         // field reads as UnexpectedEof — "need more" unless the stream
         // already ended.
-        let total = match read_vls_padded(&avail[1..], 1) {
+        let total = match read_vls_padded(&self.buf[at + 1..], at + 1) {
             Ok((len, _)) => {
                 let len: usize = len.try_into().map_err(|_| BxsaError::Structure {
                     what: "frame size exceeds addressable memory".into(),
@@ -178,18 +171,68 @@ impl FrameAssembler {
                 what: format!("frame declares impossible size {total}"),
             });
         }
-        if avail.len() < total {
+        let avail = self.buf.len() - at;
+        if avail < total {
             if self.finished {
                 return Err(BxsaError::Structure {
-                    what: format!(
-                        "stream ended mid-frame: {} of {total} bytes",
-                        avail.len()
-                    ),
+                    what: format!("stream ended mid-frame: {avail} of {total} bytes"),
                 });
             }
-            self.buf.reserve(total - avail.len());
+            self.buf.reserve(total - avail);
             return Ok(None);
         }
+        Ok(Some(total))
+    }
+
+    /// Surface the next complete frame, or `None` if more input is
+    /// needed. The slice starts at the frame's first byte and is valid
+    /// until the next call on this assembler.
+    ///
+    /// A checksum frame following the previously surfaced frame is
+    /// *absorbed*: its CRC is verified against that frame's bytes (still
+    /// buffered until this call) and both are consumed, so checksummed
+    /// and plain senders look identical to the caller. Verification can
+    /// only happen here — one call after the covered frame was surfaced —
+    /// because a frame must surface the moment it completes, without
+    /// waiting to learn whether a checksum follows.
+    pub fn next_frame(&mut self) -> BxsaResult<Option<&[u8]>> {
+        // The previously surfaced frame is still at buf[..consumed]; if
+        // the next frame is a checksum over it, verify and drop both.
+        if self.consumed > 0 && self.buf.len() == self.consumed && !self.finished {
+            // Exactly at the frame boundary: whether a checksum trailer
+            // follows is unknowable until at least one more byte arrives,
+            // and verifying it needs the covered bytes — don't compact.
+            return Ok(None);
+        }
+        if self.consumed > 0 && self.buf.len() > self.consumed {
+            if let (_, FrameType::Checksum) = parse_prefix(self.buf[self.consumed], self.consumed)?
+            {
+                let Some(total) = self.frame_total_at(self.consumed)? else {
+                    return Ok(None);
+                };
+                let end = crate::frame::verify_checksum_frame(
+                    &self.buf[..self.consumed + total],
+                    0,
+                    self.consumed,
+                )?;
+                self.consumed = end;
+            }
+        }
+        self.compact();
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        // Prefix byte: validate eagerly so garbage fails fast. A checksum
+        // frame at offset 0 has no preceding frame to cover — reject.
+        let (_, ft) = parse_prefix(self.buf[0], 0)?;
+        if ft == FrameType::Checksum {
+            return Err(BxsaError::Structure {
+                what: "checksum frame with no preceding frame to cover".into(),
+            });
+        }
+        let Some(total) = self.frame_total_at(0)? else {
+            return Ok(None);
+        };
         self.consumed = total;
         Ok(Some(&self.buf[..total]))
     }

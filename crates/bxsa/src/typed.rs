@@ -101,6 +101,8 @@ pub struct FrameWriter {
     scope_starts: Vec<usize>,
     /// Buffer identity at message start, for the debug no-realloc check.
     guard: (usize, usize),
+    /// Append a CRC32C checksum frame after each document frame.
+    checksum: bool,
 }
 
 impl FrameWriter {
@@ -113,7 +115,15 @@ impl FrameWriter {
             decls: Vec::new(),
             scope_starts: Vec::new(),
             guard: (0, 0),
+            checksum: false,
         }
+    }
+
+    /// Enable or disable the trailing CRC32C checksum frame on
+    /// subsequent messages (mirrors
+    /// [`EncodeOptions::checksum`](crate::EncodeOptions)).
+    pub fn set_checksum(&mut self, enabled: bool) {
+        self.checksum = enabled;
     }
 
     /// The byte order frames are written in.
@@ -136,8 +146,15 @@ impl FrameWriter {
         let mut taken = std::mem::take(buf);
         taken.clear();
         // One reservation for the whole message: the exact-size
-        // preallocation the estimate exists for.
-        taken.reserve(1 + size_field_len(body_bound) + body_bound);
+        // preallocation the estimate exists for. The checksum frame (if
+        // enabled) lands after the document frame, inside the same
+        // reservation, so the no-realloc guard still holds.
+        let trailer = if self.checksum {
+            crate::frame::CHECKSUM_FRAME_LEN
+        } else {
+            0
+        };
+        taken.reserve(1 + size_field_len(body_bound) + body_bound + trailer);
         self.guard = (taken.capacity(), taken.as_ptr() as usize);
         self.w = XbsWriter::from_buf(taken, self.order);
         self.frames.clear();
@@ -166,6 +183,9 @@ impl FrameWriter {
             });
         }
         self.close_frame();
+        if self.checksum {
+            crate::encoder::append_checksum_frame(&mut self.w, self.order);
+        }
         *buf = self.w.take_buf();
         debug_assert_eq!(
             (buf.capacity(), buf.as_ptr() as usize),
@@ -665,7 +685,7 @@ mod tests {
             for len in [0usize, 1, 3, 257] {
                 let values: Vec<f64> = (0..len).map(|i| i as f64 * 0.5).collect();
                 let doc = tree_doc(&values, len as i64);
-                let tree = crate::encode_with(&doc, &crate::EncodeOptions { byte_order: order })
+                let tree = crate::encode_with(&doc, &crate::EncodeOptions { byte_order: order, ..Default::default() })
                     .unwrap();
                 let mut typed = Vec::new();
                 typed_encode(&values, len as i64, order, &mut typed);

@@ -1,0 +1,95 @@
+//! XML well-formedness checks shared by the encoder and decoder.
+//!
+//! The BXSA wire format can physically carry arbitrary strings in
+//! positions where XML 1.0 only allows a restricted grammar: names
+//! (element locals, attribute locals, namespace prefixes, PI targets),
+//! comment bodies (no `--`), and PI bodies (no `?>`, and no leading
+//! whitespace in the data, which attribute-style trimming would eat).
+//! Both codec directions enforce the grammar, for symmetric reasons:
+//!
+//! * the **decoder** rejects such frames so that everything `decode`
+//!   accepts is guaranteed to survive `bxsa_to_xml` → re-parse — a
+//!   hostile binary message cannot smuggle markup through the textual
+//!   gateway path or make the transcoder emit malformed XML;
+//! * the **encoder** rejects such trees so `xml_to_bxsa` (whose lexer
+//!   accepts a superset of these grammars for names) fails with a typed
+//!   error instead of minting bytes its own decoder then refuses.
+
+use crate::error::{BxsaError, BxsaResult};
+use bxdm::name::is_valid_ncname;
+
+/// Reject `s` unless it is a valid XML name (NCName subset).
+pub(crate) fn check_name(what: &str, s: &str) -> BxsaResult<()> {
+    if is_valid_ncname(s) {
+        return Ok(());
+    }
+    Err(BxsaError::Structure {
+        what: format!("{what} {s:?} is not a valid XML name"),
+    })
+}
+
+/// Reject comment text that has no XML 1.0 serialization.
+pub(crate) fn check_comment(text: &str) -> BxsaResult<()> {
+    if text.contains("--") {
+        return Err(BxsaError::Structure {
+            what: "comment contains '--', which XML forbids".to_owned(),
+        });
+    }
+    Ok(())
+}
+
+/// Reject processing instructions that cannot round-trip through text.
+pub(crate) fn check_pi(target: &str, data: &str) -> BxsaResult<()> {
+    check_name("processing-instruction target", target)?;
+    if target.eq_ignore_ascii_case("xml") {
+        // `<?xml ...?>` is the document declaration, not a PI; a reader
+        // would silently drop it.
+        return Err(BxsaError::Structure {
+            what: "processing-instruction target 'xml' is reserved".to_owned(),
+        });
+    }
+    if data.contains("?>") {
+        return Err(BxsaError::Structure {
+            what: "processing-instruction data contains '?>'".to_owned(),
+        });
+    }
+    if data.starts_with(char::is_whitespace) {
+        // The textual form separates target from data with whitespace;
+        // leading whitespace (the lexer trims *Unicode* whitespace from
+        // the data) would not survive re-parsing.
+        return Err(BxsaError::Structure {
+            what: "processing-instruction data starts with whitespace".to_owned(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert!(check_name("local name", "Envelope").is_ok());
+        assert!(check_name("local name", "\n").is_err());
+        assert!(check_name("namespace prefix", "a b").is_err());
+    }
+
+    #[test]
+    fn comments() {
+        assert!(check_comment("ok - fine").is_ok());
+        assert!(check_comment("not -- fine").is_err());
+        assert!(check_comment("-->").is_err());
+    }
+
+    #[test]
+    fn pis() {
+        assert!(check_pi("t", "d e f").is_ok());
+        assert!(check_pi("t", "").is_ok());
+        assert!(check_pi("xml", "version='1.0'").is_err());
+        assert!(check_pi("XML", "").is_err());
+        assert!(check_pi("t", "a ?> b").is_err());
+        assert!(check_pi("t", " leading").is_err());
+        assert!(check_pi("1bad", "").is_err());
+    }
+}

@@ -100,8 +100,18 @@ impl BxsaEncoding {
         BxsaEncoding {
             options: bxsa::EncodeOptions {
                 byte_order: xbs::ByteOrder::native(),
+                ..Default::default()
             },
         }
+    }
+
+    /// Enable per-frame CRC32C integrity checksums on everything this
+    /// policy encodes (envelopes and streamed parts alike). Decoding is
+    /// unaffected: checksums are verified whenever present, so a
+    /// checksum-enabled endpoint interops with plain peers transparently.
+    pub fn with_checksum(mut self) -> BxsaEncoding {
+        self.options.checksum = true;
+        self
     }
 }
 

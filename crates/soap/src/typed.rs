@@ -731,7 +731,7 @@ mod tests {
     fn bxsa_typed_envelope_is_byte_identical_to_tree() {
         for order in [ByteOrder::Little, ByteOrder::Big] {
             let enc = BxsaEncoding {
-                options: EncodeOptions { byte_order: order },
+                options: EncodeOptions { byte_order: order, ..Default::default() },
             };
             let mut scratch = TypedScratch::default();
             for deadline in [None, Some(DeadlineHeader::new(250, 8))] {

@@ -516,7 +516,7 @@ fn assert_encodes_match(msg: &DynMsg) {
 
     for order in [ByteOrder::Little, ByteOrder::Big] {
         let enc = BxsaEncoding {
-            options: EncodeOptions { byte_order: order },
+            options: EncodeOptions { byte_order: order, ..Default::default() },
         };
         let tree = EncodingPolicy::encode(&enc, &doc).unwrap();
         let mut typed = Vec::new();
@@ -542,7 +542,7 @@ fn assert_decodes_match(msg: &DynMsg) {
 
     for order in [ByteOrder::Little, ByteOrder::Big] {
         let enc = BxsaEncoding {
-            options: EncodeOptions { byte_order: order },
+            options: EncodeOptions { byte_order: order, ..Default::default() },
         };
         let wire = EncodingPolicy::encode(&enc, &doc).unwrap();
         let mut back = msg.clone();

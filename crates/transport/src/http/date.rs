@@ -12,7 +12,7 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Dates further out than this are clamped: a hostile or misconfigured
 /// server must not be able to schedule a retry for next year.
-const MAX_DATE_DELAY_SECS: u64 = 24 * 60 * 60;
+pub const MAX_DATE_DELAY_SECS: u64 = 24 * 60 * 60;
 
 /// Parse a `Retry-After` value into a delay in whole seconds.
 ///
@@ -20,7 +20,7 @@ const MAX_DATE_DELAY_SECS: u64 = 24 * 60 * 60;
 /// now (clamped to [`MAX_DATE_DELAY_SECS`]), with dates in the past
 /// meaning "retry immediately" (`Some(0)`). Unparseable values are
 /// `None` — no hint, rather than a guessed one.
-pub(crate) fn parse_retry_after(value: &str) -> Option<u64> {
+pub fn parse_retry_after(value: &str) -> Option<u64> {
     let value = value.trim();
     if let Ok(secs) = value.parse::<u64>() {
         return Some(secs);
@@ -33,7 +33,7 @@ pub(crate) fn parse_retry_after(value: &str) -> Option<u64> {
 }
 
 /// Parse any of the three RFC 7231 HTTP-date forms.
-pub(crate) fn parse_http_date(value: &str) -> Option<SystemTime> {
+pub fn parse_http_date(value: &str) -> Option<SystemTime> {
     let fields: Vec<&str> = value.split_ascii_whitespace().collect();
     let (civil, time) = match fields.as_slice() {
         // IMF-fixdate: Sun, 06 Nov 1994 08:49:37 GMT
@@ -72,7 +72,10 @@ pub(crate) fn parse_http_date(value: &str) -> Option<SystemTime> {
         _ => return None,
     };
     let (year, month, day) = civil;
-    if !(1..=31).contains(&day) || !(1601..=9999).contains(&year) {
+    if !(1601..=9999).contains(&year) || day < 1 || day > days_in_month(year, month) {
+        // Impossible civil dates (Feb 29 off-leap-year, Sep 31) must be
+        // rejected, not silently normalized into the next month by the
+        // days-from-civil arithmetic.
         return None;
     }
     let mut hms = time.split(':');
@@ -100,6 +103,23 @@ fn month_number(name: &str) -> Option<u32> {
         .iter()
         .position(|m| m.eq_ignore_ascii_case(name))
         .map(|i| i as u32 + 1)
+}
+
+/// Length of `month` in `year`, Gregorian rules.
+fn days_in_month(year: i64, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
 }
 
 /// Days between 1970-01-01 and the given proleptic-Gregorian civil date
@@ -138,10 +158,13 @@ mod tests {
     #[test]
     fn epoch_and_leap_handling() {
         assert_eq!(unix(parse_http_date("Thu, 01 Jan 1970 00:00:00 GMT").unwrap()), 0);
-        // Feb 29 on a leap year parses; day 31 of a 30-day month still
-        // produces a date (the civil algorithm normalizes), but garbage
-        // fields do not.
+        // Feb 29 exists only on leap years; impossible civil dates are
+        // rejected instead of normalized into the following month.
         assert!(parse_http_date("Tue, 29 Feb 2000 12:00:00 GMT").is_some());
+        assert!(parse_http_date("Mon, 29 Feb 1900 12:00:00 GMT").is_none());
+        assert!(parse_http_date("Wed, 29 Feb 2023 12:00:00 GMT").is_none());
+        assert!(parse_http_date("Thu, 31 Sep 2020 12:00:00 GMT").is_none());
+        assert!(parse_http_date("Fri, 31 Apr 2020 12:00:00 GMT").is_none());
         assert_eq!(
             unix(parse_http_date("Sat, 01 Jan 2000 00:00:00 GMT").unwrap()),
             946_684_800

@@ -8,7 +8,7 @@
 
 pub mod chunked;
 pub mod client;
-pub(crate) mod date;
+pub mod date;
 pub mod request;
 pub mod response;
 pub mod server;

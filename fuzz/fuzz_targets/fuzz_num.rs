@@ -1,0 +1,75 @@
+//! Differential oracle for the numeric text kernels against the
+//! standard library — the paper's hot path, where a one-ULP divergence
+//! is a silent wrong value in every array element.
+//!
+//! * `parse_u64`/`parse_i64`/`parse_f64`: wherever the kernel accepts,
+//!   std must accept with the identical result (bit-for-bit for f64);
+//!   wherever the kernel's own grammar holds, acceptance must match std.
+//! * `write_u64`/`write_i64`: identical to `format!`.
+//! * `write_f64` on arbitrary bit patterns: must re-parse (kernel and
+//!   std alike) to the identical bits — shortest round-trip fidelity.
+
+use libfuzzer_sys::fuzz_target;
+
+fn check_parsers(s: &str) {
+    if let Some(v) = xmltext::num::parse_u64(s) {
+        assert_eq!(s.parse::<u64>().ok(), Some(v), "parse_u64 diverges on {s:?}");
+    }
+    if let Some(v) = xmltext::num::parse_i64(s) {
+        assert_eq!(s.parse::<i64>().ok(), Some(v), "parse_i64 diverges on {s:?}");
+    }
+    if let Some(v) = xmltext::num::parse_f64(s) {
+        let std = s.parse::<f64>().unwrap_or_else(|_| {
+            panic!("parse_f64 accepted {s:?} but std rejected it");
+        });
+        assert_eq!(
+            v.to_bits(),
+            std.to_bits(),
+            "parse_f64 diverges from std on {s:?}"
+        );
+    }
+}
+
+fn check_writers(data: &[u8]) {
+    for chunk in data.chunks_exact(8) {
+        let bits = u64::from_le_bytes(chunk.try_into().unwrap());
+
+        let u = bits;
+        let mut out = String::new();
+        xmltext::num::write_u64(u, &mut out);
+        assert_eq!(out, format!("{u}"), "write_u64 diverges");
+
+        let i = bits as i64;
+        out.clear();
+        xmltext::num::write_i64(i, &mut out);
+        assert_eq!(out, format!("{i}"), "write_i64 diverges");
+
+        let f = f64::from_bits(bits);
+        out.clear();
+        xmltext::num::write_f64(f, &mut out);
+        if f.is_nan() {
+            assert_eq!(out, "NaN");
+            continue;
+        }
+        if f.is_infinite() {
+            assert_eq!(out, if f > 0.0 { "INF" } else { "-INF" });
+            continue;
+        }
+        let via_std: f64 = out.parse().expect("write_f64 output must parse via std");
+        assert_eq!(
+            via_std.to_bits(),
+            f.to_bits(),
+            "write_f64 is not round-trip exact for bits {bits:#018x} ({out:?})"
+        );
+        let via_kernel = xmltext::num::parse_f64(&out)
+            .expect("write_f64 output must parse via the kernel parser");
+        assert_eq!(via_kernel.to_bits(), f.to_bits());
+    }
+}
+
+fuzz_target!(|data: &[u8]| {
+    if let Ok(s) = std::str::from_utf8(data) {
+        check_parsers(s);
+    }
+    check_writers(data);
+});

@@ -1,0 +1,34 @@
+//! Differential transcode oracle: XML ↔ BXSA conversions must reach a
+//! byte-for-byte fixpoint after one canonicalization round.
+//!
+//! Two entry directions share the oracle:
+//! * binary-first — any input the BXSA decoder accepts must transcode
+//!   to XML, back to (canonical) BXSA, and then cycle exactly;
+//! * text-first — any input the XML parser accepts must do the same
+//!   starting from `xml_to_bxsa`.
+//!
+//! String/byte comparison (not tree `==`) keeps NaN-carrying documents
+//! honest: NaN != NaN, but its canonical spelling is stable.
+
+use libfuzzer_sys::fuzz_target;
+
+fn cycle_from_bxsa(bytes: &[u8]) {
+    let xml = bxsa::bxsa_to_xml(bytes).expect("decodable input must transcode to XML");
+    let canonical = bxsa::xml_to_bxsa(&xml).expect("transcoded XML must parse back");
+    let xml2 = bxsa::bxsa_to_xml(&canonical).expect("canonical bytes must transcode");
+    assert_eq!(xml, xml2, "XML transcode is not a fixpoint");
+    let canonical2 = bxsa::xml_to_bxsa(&xml2).expect("fixpoint XML must parse back");
+    assert_eq!(canonical, canonical2, "BXSA transcode is not a fixpoint");
+}
+
+fuzz_target!(|data: &[u8]| {
+    if bxsa::decode(data).is_ok() {
+        cycle_from_bxsa(data);
+    }
+
+    if let Ok(s) = std::str::from_utf8(data) {
+        if let Ok(bytes) = bxsa::xml_to_bxsa(s) {
+            cycle_from_bxsa(&bytes);
+        }
+    }
+});

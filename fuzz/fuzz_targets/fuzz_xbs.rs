@@ -1,0 +1,80 @@
+//! Fuzz the XBS primitive layer: VLS integers, counted reads, strings,
+//! packed arrays — the length-bearing readers everything above trusts.
+//!
+//! The first byte of the input is an opcode script selecting which
+//! reader to exercise; the rest is the buffer under attack. A separate
+//! oracle checks VLS round-tripping: any value the reader accepts must
+//! re-encode to the identical canonical bytes.
+
+use libfuzzer_sys::fuzz_target;
+use xbs::{ByteOrder, XbsReader, XbsWriter};
+
+fn drive_reads(script: &[u8], buf: &[u8]) {
+    let order = if script.first().copied().unwrap_or(0) & 1 == 0 {
+        ByteOrder::Little
+    } else {
+        ByteOrder::Big
+    };
+    let mut r = XbsReader::new(buf, order);
+    for &op in script {
+        let ok = match op % 12 {
+            0 => r.read_raw_u8().is_ok(),
+            1 => r.read_vls().is_ok(),
+            2 => r.read_vls_padded().is_ok(),
+            3 => r.read_str().is_ok(),
+            4 => r.read::<i32>().is_ok(),
+            5 => r.read::<f64>().is_ok(),
+            6 => r.read_count(8).is_ok(),
+            7 => match r.read_count(4) {
+                Ok(n) => r.read_packed::<i32>(n).is_ok(),
+                Err(_) => false,
+            },
+            8 => match r.read_count(8) {
+                Ok(n) => r.read_packed::<f64>(n).is_ok(),
+                Err(_) => false,
+            },
+            9 => r.read_array::<i16>().is_ok(),
+            10 => r.align(8).is_ok(),
+            _ => r.read_bytes(3).is_ok(),
+        };
+        if !ok && r.is_at_end() {
+            break;
+        }
+    }
+}
+
+fn vls_roundtrip(buf: &[u8]) {
+    let mut r = XbsReader::new(buf, ByteOrder::Little);
+    let Ok(v) = r.read_vls() else { return };
+    let used = r.position();
+    let mut w = XbsWriter::new(ByteOrder::Little);
+    w.put_vls(v);
+    assert_eq!(
+        w.as_bytes(),
+        &buf[..used],
+        "accepted VLS {v} is not canonical"
+    );
+}
+
+fuzz_target!(|data: &[u8]| {
+    if data.is_empty() {
+        return;
+    }
+    let split = (data[0] as usize % 8) + 1;
+    if data.len() <= split {
+        return;
+    }
+    let (script, buf) = data.split_at(split);
+    drive_reads(script, buf);
+    vls_roundtrip(buf);
+
+    // Packed reads honor alignment relative to the buffer start: whatever
+    // the offset, a successful read must never slice misaligned memory
+    // (debug assertions in read_packed_zero_copy would catch it).
+    let mut r = XbsReader::new(buf, ByteOrder::Little);
+    if r.seek(script[0] as usize % (buf.len() + 1)).is_ok() {
+        if let Ok(n) = r.read_count(8) {
+            let _ = r.read_packed::<f64>(n);
+        }
+    }
+});

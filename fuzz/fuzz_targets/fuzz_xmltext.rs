@@ -1,0 +1,64 @@
+//! Fuzz the XML text readers: tree parser (fresh and dirty-slot),
+//! field-level pull reader, and the raw lexer.
+//!
+//! Oracles beyond "don't panic":
+//! * `parse_into` into a dirty slot must agree with a fresh `parse` —
+//!   both in outcome and in the resulting document.
+//! * A document that parses must serialize and re-parse to itself
+//!   (lexical round-trip through the writer).
+
+use libfuzzer_sys::fuzz_target;
+
+fn drive_lexer(s: &str) {
+    let mut lx = xmltext::lexer::Lexer::new(s);
+    for _ in 0..100_000 {
+        match lx.next_event() {
+            Ok(xmltext::lexer::Event::StartTagOpen { .. }) => loop {
+                match lx.next_attr() {
+                    Ok(xmltext::lexer::AttrEvent::Attr(..)) => {}
+                    Ok(xmltext::lexer::AttrEvent::TagEnd { .. }) => break,
+                    Err(_) => return,
+                }
+            },
+            Ok(xmltext::lexer::Event::Eof) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn drive_field_reader(s: &str) {
+    let mut fr = xmltext::XmlFieldReader::new(s);
+    for _ in 0..100_000 {
+        match fr.next() {
+            Ok(xmltext::XmlItem::Eof) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+fuzz_target!(|data: &[u8]| {
+    let Ok(s) = std::str::from_utf8(data) else {
+        return;
+    };
+    drive_lexer(s);
+    drive_field_reader(s);
+
+    let fresh = xmltext::parse(s);
+
+    // Dirty-slot decode: reuse a document that already holds content.
+    let mut slot = xmltext::parse("<a x='1'><b>text</b><c/></a>").unwrap();
+    let reused = xmltext::parse_into(s, &mut slot);
+    assert_eq!(
+        fresh.is_ok(),
+        reused.is_ok(),
+        "parse and parse_into disagree on acceptance"
+    );
+
+    if let Ok(doc) = fresh {
+        assert_eq!(slot, doc, "dirty-slot parse_into diverged from parse");
+        let text = xmltext::to_string(&doc).expect("serialization is infallible");
+        let back = xmltext::parse(&text).expect("serialized document must re-parse");
+        assert_eq!(back, doc, "write/parse round trip changed the document");
+    }
+});

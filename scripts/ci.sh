@@ -159,3 +159,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The API is the product: rustdoc must build clean (broken intra-doc
 # links and malformed HTML fail the gate).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Adversarial-hardening job (PR 10): the fuzz workspace must build, every
+# fuzz target must have a seed corpus (a target without one silently
+# fuzzes from nothing), and a short smoke run over the checked-in corpora
+# — which include every minimized crash reproducer — must come back
+# crash-free. The smoke uses the stable-toolchain build (blind mutation);
+# the coverage-guided nightly+sancov build is for longer local sessions,
+# see fuzz/Cargo.toml. Differential regression tests ride the workspace
+# test step above (fuzz_regressions, differential_oracles).
+cargo build --release --manifest-path fuzz/Cargo.toml -q
+for t in fuzz/fuzz_targets/*.rs; do
+    name=$(basename "$t" .rs)
+    if [ ! -d "fuzz/corpus/$name" ] || [ -z "$(ls -A "fuzz/corpus/$name")" ]; then
+        echo "fuzz: target $name has no seed corpus in fuzz/corpus/$name" >&2
+        exit 1
+    fi
+    if ! fuzz/target/release/"$name" -max_total_time=8 \
+         -artifact_prefix="fuzz/artifacts/ci-$name-" "fuzz/corpus/$name" \
+         > /tmp/fuzz-smoke-"$name".log 2>&1; then
+        echo "fuzz: $name crashed during the CI smoke run:" >&2
+        tail -20 /tmp/fuzz-smoke-"$name".log >&2
+        exit 1
+    fi
+done

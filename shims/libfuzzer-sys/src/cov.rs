@@ -1,0 +1,198 @@
+//! SanitizerCoverage callbacks and the edge-coverage map.
+//!
+//! Two instrumentation modes are supported, matching what rustc's
+//! `sancov-module` LLVM pass can emit:
+//!
+//! * **trace-pc-guard** — `__sanitizer_cov_trace_pc_guard_init` assigns
+//!   each guard a sequential edge id; every hit bumps a slot in a fixed
+//!   64 KiB counter map.
+//! * **inline-8bit-counters** — the pass allocates the counter region
+//!   itself and registers it via `__sanitizer_cov_8bit_counters_init`;
+//!   the runtime scans and resets that region directly.
+//!
+//! Either way, [`snapshot_new_coverage`] folds the per-run counters into
+//! AFL-style hit-count buckets and reports whether any (edge, bucket)
+//! pair is new against the global `SEEN` bitmap — the signal the driver
+//! uses to promote an input into the corpus.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Size of the guard-mode counter map (entries).
+pub const MAP_SIZE: usize = 1 << 16;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU8 = AtomicU8::new(0);
+/// Guard-mode hit counters, bumped from instrumented code.
+static GUARD_MAP: [AtomicU8; MAP_SIZE] = [ZERO; MAP_SIZE];
+
+/// Number of guards registered by trace-pc-guard instrumentation.
+static GUARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Inline-8bit-counters region: (start address, length).
+static INLINE_START: AtomicUsize = AtomicUsize::new(0);
+static INLINE_LEN: AtomicUsize = AtomicUsize::new(0);
+
+/// (edge, bucket) pairs observed so far, 8 buckets per edge.
+static SEEN: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+
+/// trace-pc-guard initialization: assign sequential ids to every guard
+/// in `[start, stop)`. Ids start at 1 so an uninitialized guard (0) maps
+/// to a shared slot instead of tripping real edges.
+///
+/// # Safety
+/// Called by compiler-emitted module constructors with a valid range.
+#[no_mangle]
+pub unsafe extern "C" fn __sanitizer_cov_trace_pc_guard_init(start: *mut u32, stop: *mut u32) {
+    if start.is_null() || start == stop {
+        return;
+    }
+    let mut guard = start;
+    while guard < stop {
+        if *guard == 0 {
+            let id = GUARDS.fetch_add(1, Ordering::Relaxed) + 1;
+            *guard = (id % MAP_SIZE) as u32;
+        }
+        guard = guard.add(1);
+    }
+}
+
+/// trace-pc-guard hit: bump the guard's counter (saturating).
+///
+/// # Safety
+/// Called by instrumented code with a pointer produced by the init hook.
+#[no_mangle]
+pub unsafe extern "C" fn __sanitizer_cov_trace_pc_guard(guard: *mut u32) {
+    if guard.is_null() {
+        return;
+    }
+    let idx = (*guard) as usize % MAP_SIZE;
+    let slot = &GUARD_MAP[idx];
+    let c = slot.load(Ordering::Relaxed);
+    if c < u8::MAX {
+        slot.store(c + 1, Ordering::Relaxed);
+    }
+}
+
+/// inline-8bit-counters initialization: remember the region.
+///
+/// # Safety
+/// Called by compiler-emitted module constructors with a valid range.
+#[no_mangle]
+pub unsafe extern "C" fn __sanitizer_cov_8bit_counters_init(start: *mut u8, stop: *mut u8) {
+    if start.is_null() || stop <= start {
+        return;
+    }
+    INLINE_START.store(start as usize, Ordering::Relaxed);
+    INLINE_LEN.store(stop as usize - start as usize, Ordering::Relaxed);
+}
+
+/// PC-table registration: unused, but referenced when the pass emits
+/// `-sanitizer-coverage-pc-table`.
+///
+/// # Safety
+/// Called by compiler-emitted module constructors; the range is ignored.
+#[no_mangle]
+pub unsafe extern "C" fn __sanitizer_cov_pcs_init(_start: *const usize, _stop: *const usize) {}
+
+/// AFL hit-count bucket (0..8) for a nonzero counter value.
+fn bucket(count: u8) -> u32 {
+    match count {
+        0 => unreachable!("only nonzero counts are bucketed"),
+        1 => 0,
+        2 => 1,
+        3 => 2,
+        4..=7 => 3,
+        8..=15 => 4,
+        16..=31 => 5,
+        32..=127 => 6,
+        _ => 7,
+    }
+}
+
+/// Is any coverage instrumentation registered at all?
+pub fn instrumented() -> bool {
+    GUARDS.load(Ordering::Relaxed) > 0 || INLINE_LEN.load(Ordering::Relaxed) > 0
+}
+
+/// Zero every per-run counter (call before each execution).
+pub fn reset_counters() {
+    for slot in GUARD_MAP.iter() {
+        if slot.load(Ordering::Relaxed) != 0 {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+    let len = INLINE_LEN.load(Ordering::Relaxed);
+    if len > 0 {
+        let start = INLINE_START.load(Ordering::Relaxed) as *mut u8;
+        // Safety: the region was registered by the init hook and lives
+        // for the whole process (it is compiler-allocated static data).
+        unsafe { std::ptr::write_bytes(start, 0, len) };
+    }
+}
+
+/// Fold the current counters into the global `SEEN` bitmap; returns
+/// `(new_coverage, total_edges_ever_seen)`.
+pub fn snapshot_new_coverage() -> (bool, usize) {
+    let mut seen = SEEN.lock().unwrap();
+    let inline_len = INLINE_LEN.load(Ordering::Relaxed);
+    let edges = if inline_len > 0 { inline_len } else { MAP_SIZE };
+    if seen.len() < edges {
+        seen.resize(edges, 0);
+    }
+    let mut new = false;
+    let mut mark = |edge: usize, count: u8| {
+        let bit = 1u8 << bucket(count);
+        if seen[edge] & bit == 0 {
+            seen[edge] |= bit;
+            new = true;
+        }
+    };
+    if inline_len > 0 {
+        let start = INLINE_START.load(Ordering::Relaxed) as *const u8;
+        for i in 0..inline_len {
+            // Safety: in-bounds read of the registered counter region.
+            let c = unsafe { *start.add(i) };
+            if c != 0 {
+                mark(i, c);
+            }
+        }
+    } else {
+        for (i, slot) in GUARD_MAP.iter().enumerate() {
+            let c = slot.load(Ordering::Relaxed);
+            if c != 0 {
+                mark(i, c);
+            }
+        }
+    }
+    let covered = seen.iter().filter(|&&b| b != 0).count();
+    (new, covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_classes() {
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(7), 3);
+        assert_eq!(bucket(8), 4);
+        assert_eq!(bucket(16), 5);
+        assert_eq!(bucket(32), 6);
+        assert_eq!(bucket(128), 7);
+        assert_eq!(bucket(255), 7);
+    }
+
+    #[test]
+    fn uninstrumented_process_reports_no_coverage() {
+        // Unit tests are never built with sancov flags, so the hooks
+        // were not called: counters are empty and snapshots are quiet.
+        reset_counters();
+        let (new, _) = snapshot_new_coverage();
+        assert!(!new);
+    }
+}

@@ -1,0 +1,70 @@
+//! Shim for the `libfuzzer-sys` crate: the `fuzz_target!` macro over an
+//! in-tree greybox fuzzing runtime instead of LLVM's libFuzzer.
+//!
+//! The build environment has no registry access, so linking the real
+//! libFuzzer runtime is not an option. This shim keeps the `cargo fuzz`
+//! project layout and the libFuzzer command-line conventions while the
+//! runtime itself lives in [`driver`]:
+//!
+//! * **Corpus replay** — every file in the corpus directories passed as
+//!   positional arguments runs once before mutation starts, so checked-in
+//!   regression reproducers are exercised on every invocation.
+//! * **Mutation loop** — a deterministic splitmix/xorshift RNG drives
+//!   stacked havoc mutations (bit flips, interesting values, arithmetic,
+//!   block insert/delete/duplicate, corpus splicing) until `-runs=N` or
+//!   `-max_total_time=SECS` is exhausted.
+//! * **Coverage feedback** — the crate defines the SanitizerCoverage
+//!   callbacks (`__sanitizer_cov_trace_pc_guard`,
+//!   `__sanitizer_cov_8bit_counters_init`, ...). Building the fuzz
+//!   workspace on nightly with
+//!   `RUSTFLAGS="-Cpasses=sancov-module -Cllvm-args=-sanitizer-coverage-level=3 -Cllvm-args=-sanitizer-coverage-inline-8bit-counters"`
+//!   instruments every crate, and inputs reaching new edge buckets are
+//!   promoted into the in-memory corpus (AFL-style bucketed hit counts).
+//!   On stable the callbacks are simply never invoked and the loop
+//!   degrades to blind corpus mutation — same interface, less feedback.
+//! * **Crash handling** — panics are caught per-execution; a crashing
+//!   input is greedily minimized by chunk removal while it still crashes,
+//!   then written to `-artifact_prefix` (default
+//!   `fuzz/artifacts/<target>/`) as `crash-<hash>`, and the process exits
+//!   nonzero — which is what `scripts/ci.sh` keys on.
+//!
+//! A positional argument that is a *file* (not a directory) switches to
+//! reproduce mode: each file runs exactly once and the process exits,
+//! the workflow for replaying a checked-in crasher.
+
+pub mod driver;
+
+mod cov;
+mod mutate;
+
+/// Whether this binary was built with SanitizerCoverage instrumentation.
+///
+/// Also serves as a link anchor: an instrumented build graph requires
+/// the `__sanitizer_cov_*` hooks this crate defines, but the linker only
+/// pulls them in if the binary references *something* from the defining
+/// object. Non-fuzzing binaries that share the instrumented crates (e.g.
+/// a corpus generator) call this once to force the pull.
+pub fn instrumented() -> bool {
+    cov::instrumented()
+}
+
+/// Define the fuzz entry point, libFuzzer-style.
+///
+/// ```ignore
+/// libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+///     let _ = my_parser::parse(data);
+/// });
+/// ```
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:expr) => {
+        fn main() {
+            $crate::driver::run(env!("CARGO_BIN_NAME"), |$data: &[u8]| {
+                let _ = $body;
+            });
+        }
+    };
+    (|$data:ident| $body:expr) => {
+        $crate::fuzz_target!(|$data: &[u8]| $body);
+    };
+}

@@ -1,0 +1,199 @@
+//! Deterministic havoc mutator.
+//!
+//! Stacked small mutations in the AFL/libFuzzer family: bit flips, byte
+//! sets, interesting-value splats, bounded arithmetic on 1/2/4/8-byte
+//! words in both endiannesses, block insert/delete/duplicate, and
+//! two-input splicing. Everything is driven by [`Rng`], a splitmix64
+//! seeded xorshift generator, so a given `-seed` replays exactly.
+
+/// Deterministic 64-bit RNG (splitmix64 seeding, xorshift* stepping).
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed the generator; any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Rng {
+        // splitmix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// A coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Values that disproportionately trip parser edge cases.
+const INTERESTING: &[u64] = &[
+    0,
+    1,
+    0x7f,
+    0x80,
+    0xff,
+    0x100,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+    0x8000_0000_0000_0000,
+    u64::MAX,
+];
+
+/// Apply 1..=16 stacked mutations to `data`, splicing from `other` when
+/// chosen. The result is clamped to `max_len` and never left empty.
+pub fn havoc(data: &mut Vec<u8>, other: Option<&[u8]>, max_len: usize, rng: &mut Rng) {
+    let rounds = 1 + rng.below(16);
+    for _ in 0..rounds {
+        mutate_once(data, other, max_len, rng);
+    }
+    if data.len() > max_len {
+        data.truncate(max_len);
+    }
+    if data.is_empty() {
+        data.push(rng.next() as u8);
+    }
+}
+
+fn mutate_once(data: &mut Vec<u8>, other: Option<&[u8]>, max_len: usize, rng: &mut Rng) {
+    // An empty buffer supports only insertion.
+    if data.is_empty() {
+        data.push(rng.next() as u8);
+        return;
+    }
+    match rng.below(9) {
+        // Flip one bit.
+        0 => {
+            let i = rng.below(data.len());
+            data[i] ^= 1 << rng.below(8);
+        }
+        // Overwrite one byte.
+        1 => {
+            let i = rng.below(data.len());
+            data[i] = rng.next() as u8;
+        }
+        // Splat an interesting value at a random width and endianness.
+        2 => {
+            let v = INTERESTING[rng.below(INTERESTING.len())];
+            let width = [1usize, 2, 4, 8][rng.below(4)];
+            if data.len() >= width {
+                let i = rng.below(data.len() - width + 1);
+                let bytes = if rng.flip() {
+                    v.to_le_bytes()
+                } else {
+                    v.to_be_bytes()
+                };
+                data[i..i + width].copy_from_slice(&bytes[..width]);
+            }
+        }
+        // Bounded add/subtract on a 1/2/4/8-byte word.
+        3 => {
+            let width = [1usize, 2, 4, 8][rng.below(4)];
+            if data.len() >= width {
+                let i = rng.below(data.len() - width + 1);
+                let delta = (1 + rng.below(35)) as u64;
+                let mut word = [0u8; 8];
+                word[..width].copy_from_slice(&data[i..i + width]);
+                let le = rng.flip();
+                let v = if le {
+                    u64::from_le_bytes(word)
+                } else {
+                    u64::from_be_bytes(word)
+                };
+                let v = if rng.flip() {
+                    v.wrapping_add(delta)
+                } else {
+                    v.wrapping_sub(delta)
+                };
+                let bytes = if le { v.to_le_bytes() } else { v.to_be_bytes() };
+                data[i..i + width].copy_from_slice(&bytes[..width]);
+            }
+        }
+        // Insert a short random block.
+        4 => {
+            if data.len() < max_len {
+                let i = rng.below(data.len() + 1);
+                let n = 1 + rng.below(8.min(max_len - data.len()));
+                let block: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
+                data.splice(i..i, block);
+            }
+        }
+        // Delete a block.
+        5 => {
+            let i = rng.below(data.len());
+            let n = 1 + rng.below((data.len() - i).min(16));
+            data.drain(i..i + n);
+        }
+        // Duplicate a block elsewhere.
+        6 => {
+            let i = rng.below(data.len());
+            let n = 1 + rng.below((data.len() - i).min(32));
+            let block: Vec<u8> = data[i..i + n].to_vec();
+            let at = rng.below(data.len() + 1);
+            data.splice(at..at, block);
+        }
+        // Splice a window from another corpus entry.
+        7 => {
+            if let Some(o) = other.filter(|o| !o.is_empty()) {
+                let oi = rng.below(o.len());
+                let on = 1 + rng.below((o.len() - oi).min(64));
+                let at = rng.below(data.len() + 1);
+                let end = (at + on).min(data.len());
+                data.splice(at..end, o[oi..oi + on].iter().copied());
+            }
+        }
+        // ASCII-digit churn: numbers and hex size fields live in text.
+        _ => {
+            let i = rng.below(data.len());
+            data[i] = b"0123456789abcdefxXeE+-."[rng.below(23)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mutations() {
+        let mut a = b"seed input".to_vec();
+        let mut b = a.clone();
+        let mut r1 = Rng::new(42);
+        let mut r2 = Rng::new(42);
+        for _ in 0..100 {
+            havoc(&mut a, Some(b"other"), 4096, &mut r1);
+            havoc(&mut b, Some(b"other"), 4096, &mut r2);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn havoc_respects_max_len_and_nonempty() {
+        let mut rng = Rng::new(7);
+        let mut data = vec![0u8; 64];
+        for _ in 0..1000 {
+            havoc(&mut data, None, 128, &mut rng);
+            assert!(!data.is_empty());
+            assert!(data.len() <= 128);
+        }
+    }
+}
